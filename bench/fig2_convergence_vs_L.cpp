@@ -1,0 +1,57 @@
+// Figure 2 reproduction: C1 (probability of non-converging traceback
+// paths) as a function of the traceback length L. The paper's claims:
+// C1 decreases with L and stabilises past L = 5m (m=1 here), empirically
+// justifying the folklore L = 4m..5m traceback-depth rule.
+//
+// One model with a deep saturating counter answers every L through the
+// "nc<k>" reward structures — a single transient pass per horizon.
+#include <cstdio>
+
+#include "dtmc/builder.hpp"
+#include "mc/checker.hpp"
+#include "viterbi/model_convergence.hpp"
+
+int main() {
+  using namespace mimostat;
+
+  std::printf("=== Figure 2: C1 as a function of L ===\n");
+  std::printf("(paper: decreasing, stabilising past L=5m; SNR 8dB)\n\n");
+
+  viterbi::ViterbiParams params;
+  params.snrDb = 8.0;
+  params.tracebackLength = 8;  // default reward's L; nc<k> covers the sweep
+  const int maxL = 14;
+  const viterbi::ConvergenceViterbiModel model(params, maxL + 2);
+  const auto build = dtmc::buildExplicit(model);
+  const mc::Checker checker(build.dtmc, model);
+
+  std::printf("Model: %u states, RI=%u\n\n", build.dtmc.numStates(),
+              build.reachabilityIterations);
+  std::printf("%-6s %-14s %-14s\n", "L", "C1", "C1(L)/C1(L+1)");
+
+  std::vector<double> series;
+  for (int L = 2; L <= maxL; ++L) {
+    const std::string prop = "R{\"nc" + std::to_string(L) + "\"}=? [ I=400 ]";
+    series.push_back(checker.check(prop).value);
+  }
+  for (int L = 2; L <= maxL; ++L) {
+    const double c1 = series[static_cast<std::size_t>(L - 2)];
+    const double ratio = (L < maxL && series[static_cast<std::size_t>(L - 1)] > 0)
+                             ? c1 / series[static_cast<std::size_t>(L - 1)]
+                             : 0.0;
+    std::printf("%-6d %-14.6e %-14.3f\n", L, c1, ratio);
+  }
+
+  bool monotone = true;
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    if (series[i] > series[i - 1] + 1e-15) monotone = false;
+  }
+  std::printf("\nShape check: monotone decreasing in L: %s\n",
+              monotone ? "yes" : "NO");
+  // "Stabilises" in the paper's sense: the *decision* cost of raising L past
+  // 5m is marginal because C1 is already tiny (geometric decay).
+  const double atFiveM = series[3];  // L=5 (m=1)
+  std::printf("C1 at L=5m is already %.2e (< 1e-2: %s)\n", atFiveM,
+              atFiveM < 1e-2 ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// google-benchmark micro kernels for the engine primitives: sparse
+// matrix-vector products (transient analysis), bounded-until iterations,
+// bisimulation lumping, BDD operations and Gaussian cell probabilities.
+#include <benchmark/benchmark.h>
+
+#include "bdd/manager.hpp"
+#include "comm/quantizer.hpp"
+#include "dtmc/builder.hpp"
+#include "lump/bisim.hpp"
+#include "mc/bounded.hpp"
+#include "mc/transient.hpp"
+#include "util/rng.hpp"
+#include "viterbi/model_reduced.hpp"
+
+namespace {
+
+using namespace mimostat;
+
+const dtmc::ExplicitDtmc& viterbiDtmc() {
+  static const dtmc::ExplicitDtmc dtmc = [] {
+    viterbi::ViterbiParams params;
+    params.tracebackLength = 5;
+    const viterbi::ReducedViterbiModel model(params);
+    return dtmc::buildExplicit(model).dtmc;
+  }();
+  return dtmc;
+}
+
+void BM_TransientStep(benchmark::State& state) {
+  const auto& d = viterbiDtmc();
+  std::vector<double> pi = d.initialDistribution();
+  std::vector<double> next(pi.size());
+  for (auto _ : state) {
+    d.multiplyLeft(pi, next);
+    pi.swap(next);
+    benchmark::DoNotOptimize(pi.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(d.numTransitions()));
+}
+BENCHMARK(BM_TransientStep);
+
+void BM_BoundedUntil(benchmark::State& state) {
+  const auto& d = viterbiDtmc();
+  const std::vector<std::uint8_t> phi(d.numStates(), 1);
+  std::vector<std::uint8_t> psi(d.numStates(), 0);
+  const auto flagIdx = d.varLayout().indexOf("flag");
+  for (std::uint32_t s = 0; s < d.numStates(); ++s) {
+    psi[s] = d.varValue(s, flagIdx) == 1;
+  }
+  const auto bound = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mc::boundedUntil(d, phi, psi, bound).data());
+  }
+}
+BENCHMARK(BM_BoundedUntil)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_ModelBuild(benchmark::State& state) {
+  viterbi::ViterbiParams params;
+  params.tracebackLength = static_cast<int>(state.range(0));
+  const viterbi::ReducedViterbiModel model(params);
+  for (auto _ : state) {
+    const auto result = dtmc::buildExplicit(model);
+    benchmark::DoNotOptimize(result.dtmc.numStates());
+  }
+}
+BENCHMARK(BM_ModelBuild)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_Lumping(benchmark::State& state) {
+  const auto& d = viterbiDtmc();
+  std::vector<double> reward(d.numStates(), 0.0);
+  const auto flagIdx = d.varLayout().indexOf("flag");
+  for (std::uint32_t s = 0; s < d.numStates(); ++s) {
+    reward[s] = d.varValue(s, flagIdx);
+  }
+  const auto keys = lump::keysFromRewardAndLabels(reward, {});
+  for (auto _ : state) {
+    const auto result = lump::lump(d, keys);
+    benchmark::DoNotOptimize(result.partition.numBlocks);
+  }
+}
+BENCHMARK(BM_Lumping);
+
+void BM_BddOps(benchmark::State& state) {
+  util::Xoshiro256 rng(5);
+  for (auto _ : state) {
+    bdd::BddManager mgr(24);
+    bdd::NodeRef f = bdd::BddManager::kFalse;
+    for (int i = 0; i < 64; ++i) {
+      f = mgr.bddOr(f, mgr.minterm(rng.nextBounded(1 << 24), 24));
+    }
+    benchmark::DoNotOptimize(mgr.satCount(f));
+  }
+}
+BENCHMARK(BM_BddOps);
+
+void BM_QuantizerCellProbs(benchmark::State& state) {
+  const comm::UniformQuantizer quant(8, 3.0);
+  double signal = -2.0;
+  for (auto _ : state) {
+    signal = signal >= 2.0 ? -2.0 : signal + 0.1;
+    benchmark::DoNotOptimize(quant.cellProbabilities(signal, 0.8).data());
+  }
+}
+BENCHMARK(BM_QuantizerCellProbs);
+
+}  // namespace

@@ -1,0 +1,72 @@
+// Statistical model checking vs exact probabilistic model checking on the
+// Viterbi error model — the modern version of the paper's §V comparison
+// (its ref. [13] is SMC): same model definition, two verification engines.
+//
+// Shapes: SMC estimates converge to the exact values like 1/sqrt(paths);
+// the exact checker's cost is independent of the property's probability,
+// while SPRT path counts explode as the threshold approaches the true
+// probability.
+#include <cstdio>
+
+#include "dtmc/builder.hpp"
+#include "mc/checker.hpp"
+#include "smc/smc.hpp"
+#include "util/timer.hpp"
+#include "viterbi/model_reduced.hpp"
+
+int main() {
+  using namespace mimostat;
+
+  std::printf("=== SMC vs exact model checking (Viterbi, L=4, SNR 5dB) ===\n\n");
+  viterbi::ViterbiParams params;
+  params.tracebackLength = 4;
+  const viterbi::ReducedViterbiModel model(params);
+
+  util::Stopwatch exactTimer;
+  const auto build = dtmc::buildExplicit(model);
+  const mc::Checker checker(build.dtmc, model);
+  const char* property = "P=? [ G<=10 !flag ]";
+  const double exact = checker.check(property).value;
+  const double exactSeconds = exactTimer.elapsedSeconds();
+  std::printf("exact:  %s = %.8f   (%u states, %.3fs total)\n\n", property,
+              exact, build.dtmc.numStates(), exactSeconds);
+
+  std::printf("%-10s %-12s %-12s %-22s %-8s\n", "paths", "estimate",
+              "abs error", "99.9% Wilson interval", "time(s)");
+  for (const std::uint64_t paths : {100ULL, 1000ULL, 10000ULL, 100000ULL}) {
+    smc::SmcOptions options;
+    options.paths = paths;
+    options.seed = 17;
+    const auto estimate = smc::estimateProperty(model, property, options);
+    const auto interval = estimate.satisfied.wilson(0.999);
+    std::printf("%-10llu %-12.6f %-12.2e [%.6f, %.6f]   %-8.3f %s\n",
+                static_cast<unsigned long long>(paths), estimate.estimate(),
+                std::abs(estimate.estimate() - exact), interval.low,
+                interval.high, estimate.seconds,
+                interval.contains(exact) ? "" : "(!)");
+  }
+
+  std::printf("\nSPRT hypothesis testing P>=theta [ G<=10 !flag ] "
+              "(true p = %.4f):\n", exact);
+  std::printf("%-10s %-12s %-10s\n", "theta", "paths used", "verdict");
+  // Thresholds relative to the true probability, far to near.
+  for (const double theta :
+       {0.25 * exact, 0.5 * exact, 0.9 * exact, 0.98 * exact,
+        std::min(0.98, 1.02 * exact)}) {
+    smc::SprtOptions options;
+    options.indifference = 0.01;
+    options.seed = 23;
+    char prop[96];
+    std::snprintf(prop, sizeof(prop), "P>=%.4f [ G<=10 !flag ]", theta);
+    const auto outcome = smc::testProperty(model, prop, options);
+    std::printf("%-10.4f %-12llu %-10s\n", theta,
+                static_cast<unsigned long long>(outcome.pathsUsed),
+                outcome.decision == stats::SprtDecision::kContinue
+                    ? "undecided"
+                    : (outcome.holds ? "holds" : "fails"));
+  }
+  std::printf("\nNote the blow-up near theta = p: sequential testing pays "
+              "for precision with samples;\nthe exact engine's one-time cost "
+              "answers every threshold at once.\n");
+  return 0;
+}

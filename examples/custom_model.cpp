@@ -1,0 +1,105 @@
+// Bring-your-own design: describe an RTL block in the PML guarded-command
+// language (no C++ subclassing needed), check its performance metrics, and
+// scale out with synchronous composition — the paper's methodology applied
+// to a design the library has never seen.
+//
+// The design here: a serial link retry buffer. Each cycle a word arrives
+// and is corrupted with probability pErr; corrupted words are retried up
+// to R times before being dropped. We ask for the steady-state drop rate
+// (a P2-style metric), the probability of a drop-free window (P1-style),
+// and the expected cycles until the first drop (an R=?[F ...] query).
+#include <cstdio>
+
+#include "core/analyzer.hpp"
+#include "dtmc/compose.hpp"
+#include "mc/checker.hpp"
+#include "pml/model.hpp"
+
+namespace {
+
+constexpr const char* kRetryBuffer = R"(
+dtmc
+const double pErr = 0.2;   // per-transfer corruption probability
+const int R = 3;           // retry budget
+
+module retry_buffer
+  tries : [0..R] init 0;    // retries consumed by the in-flight word
+  dropped : [0..1] init 0;  // this cycle's word was dropped
+
+  // Transfer attempt with retries left: success clears the counter,
+  // corruption consumes one retry.
+  [] tries<R -> 1-pErr : (tries'=0) & (dropped'=0)
+              + pErr  : (tries'=tries+1) & (dropped'=0);
+  // Last attempt: corruption now drops the word.
+  [] tries=R -> 1-pErr : (tries'=0) & (dropped'=0)
+              + pErr  : (tries'=0) & (dropped'=1);
+endmodule
+
+rewards
+  dropped=1 : 1;
+endrewards
+
+label "drop" = dropped=1;
+)";
+
+}  // namespace
+
+int main() {
+  using namespace mimostat;
+
+  const pml::PmlModel model(kRetryBuffer);
+  const core::PerformanceAnalyzer analyzer(model);
+
+  std::printf("Retry-buffer model from PML source: %u states, RI=%u\n\n",
+              analyzer.dtmc().numStates(), analyzer.reachabilityIterations());
+
+  const auto dropRate = analyzer.check("R=? [ I=200 ]");
+  const auto window = analyzer.check("P=? [ G<=100 !\"drop\" ]");
+  std::printf("Steady-state drop rate (P2-style):        %.6g\n",
+              dropRate.value);
+  std::printf("P(no drop in a 100-cycle window):         %.6g\n",
+              window.value);
+
+  // Expected cycles until the first drop, as a reachability reward with a
+  // unit-per-cycle reward structure added on the C++ side via a tiny
+  // wrapper model? No need — reuse the default reward trick: count cycles
+  // by rewarding every state and stopping at the first drop.
+  const pml::PmlModel timed(R"(
+dtmc
+const double pErr = 0.2;
+const int R = 3;
+module retry_buffer
+  tries : [0..R] init 0;
+  dropped : [0..1] init 0;
+  [] tries<R -> 1-pErr : (tries'=0) & (dropped'=0)
+              + pErr  : (tries'=tries+1) & (dropped'=0);
+  [] tries=R -> 1-pErr : (tries'=0) & (dropped'=0)
+              + pErr  : (tries'=0) & (dropped'=1);
+endmodule
+rewards
+  true : 1;
+endrewards
+label "drop" = dropped=1;
+)");
+  const core::PerformanceAnalyzer timedAnalyzer(timed);
+  const auto meanTime = timedAnalyzer.check("R=? [ F \"drop\" ]");
+  std::printf("Expected cycles until the first drop:     %.4g\n\n",
+              meanTime.value);
+
+  // Scale out: four independent lanes clocked together; the aggregate
+  // reward is the expected number of lanes dropping per cycle.
+  const pml::PmlModel lane(kRetryBuffer);
+  const dtmc::SynchronousProduct fourLanes({&lane, &lane, &lane, &lane});
+  const core::PerformanceAnalyzer laneAnalyzer(fourLanes);
+  const auto aggregate = laneAnalyzer.check("R=? [ I=200 ]");
+  std::printf("4-lane composition: %u states; expected drops/cycle %.6g "
+              "(= 4x single lane: %s)\n",
+              laneAnalyzer.dtmc().numStates(), aggregate.value,
+              std::abs(aggregate.value - 4.0 * dropRate.value) < 1e-9
+                  ? "yes"
+                  : "NO");
+  std::printf("\nThe whole pipeline — parser, builder, reductions, pCTL "
+              "checker — ran on a design\ndefined entirely in this file's "
+              "string literal.\n");
+  return 0;
+}

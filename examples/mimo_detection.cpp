@@ -1,0 +1,49 @@
+// MIMO ML detection with symmetry reduction: build the detector DTMC both
+// ways, show the orbit-count reduction, verify the symmetry argument, and
+// read the BER off the quotient.
+#include <cstdio>
+
+#include "core/analyzer.hpp"
+#include "dtmc/builder.hpp"
+#include "lump/symmetry.hpp"
+#include "mimo/model.hpp"
+#include "mimo/sim.hpp"
+
+int main() {
+  using namespace mimostat;
+
+  mimo::MimoParams params = mimo::mimo1x2Params();
+  std::printf("1x%d BPSK ML detector at %.0f dB, %d-level h / %d-level y "
+              "quantizers\n\n",
+              params.nr, params.snrDb, params.hLevels, params.yLevels);
+
+  const mimo::MimoDetectorModel model(params);
+  const lump::SymmetryReducedModel reduced(model, model.symmetryBlocks());
+
+  // The full model is buildable at this size — do both for the comparison.
+  const auto full = dtmc::buildExplicit(model);
+  const auto quotient = dtmc::buildExplicit(reduced);
+  std::printf("Full model M:    %8u states\n", full.dtmc.numStates());
+  std::printf("Quotient M_R:    %8u states (factor %.1f)\n",
+              quotient.dtmc.numStates(),
+              static_cast<double>(full.dtmc.numStates()) /
+                  quotient.dtmc.numStates());
+
+  // The symmetry is an assumption — verify it before trusting the quotient.
+  std::printf("Block-permutation symmetry verified: %s\n",
+              reduced.verifySymmetry({"error"}, 500, 9) ? "yes" : "NO");
+
+  const core::PerformanceAnalyzer analyzer(reduced);
+  const double ber = analyzer.check("R=? [ I=10 ]").value;
+  std::printf("\nModel-checked BER: %.6g\n", ber);
+
+  const auto analog = mimo::simulateAnalog(params, 500'000, 3);
+  const auto quantized = mimo::simulateQuantized(params, 500'000, 3);
+  std::printf("Simulated BER:     %.6g (quantized datapath)\n",
+              quantized.bitErrors.estimate());
+  std::printf("Analog-datapath BER: %.6g — the gap is the fixed-point "
+              "quantization penalty\nthe paper's methodology is designed to "
+              "quantify before committing to an RTL widths choice.\n",
+              analog.bitErrors.estimate());
+  return 0;
+}

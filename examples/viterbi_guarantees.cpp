@@ -1,0 +1,39 @@
+// Sweep the SNR of the Viterbi link and compare model-checked BER (exact)
+// with Monte-Carlo estimates (sampling error shown as 95% intervals) — the
+// paper's core argument in one plot-ready table.
+#include <cstdio>
+
+#include "core/analyzer.hpp"
+#include "viterbi/model_reduced.hpp"
+#include "viterbi/sim.hpp"
+
+int main() {
+  using namespace mimostat;
+
+  std::printf("# Viterbi BER vs SNR: exact model checking vs simulation\n");
+  std::printf("%-8s %-14s %-14s %-26s %-8s\n", "SNR(dB)", "BER(model)",
+              "BER(sim)", "sim 95% interval", "inside");
+
+  for (const double snr : {0.0, 2.0, 4.0, 6.0, 8.0, 10.0}) {
+    viterbi::ViterbiParams params;
+    params.snrDb = snr;
+    params.tracebackLength = 5;
+
+    const viterbi::ReducedViterbiModel model(params);
+    const core::PerformanceAnalyzer analyzer(model);
+    const double exact = analyzer.check("R=? [ I=500 ]").value;
+
+    const auto sim = viterbi::simulate(params, 300'000,
+                                       static_cast<std::uint64_t>(snr) + 1);
+    const auto interval = sim.bitErrors.wilson(0.95);
+
+    std::printf("%-8.1f %-14.6g %-14.6g [%.3e, %.3e]  %-8s\n", snr, exact,
+                sim.bitErrors.estimate(), interval.low, interval.high,
+                interval.contains(exact) ? "yes" : "NO");
+  }
+
+  std::printf("\nNote how the interval width stagnates while the exact value "
+              "keeps falling:\nat low BERs simulation needs quadratically "
+              "more steps, the model checker does not.\n");
+  return 0;
+}

@@ -1,0 +1,285 @@
+#include "bdd/manager.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/hash.hpp"
+
+namespace mimostat::bdd {
+
+namespace {
+// Operation tags for the computed cache (ite covers the Boolean ops; the
+// quantifiers and shifts need distinct tags).
+constexpr std::uint32_t kOpIte = 1;
+constexpr std::uint32_t kOpExists = 2;
+constexpr std::uint32_t kOpForall = 3;
+constexpr std::uint32_t kOpAndExists = 4;
+constexpr std::uint32_t kOpShiftBase = 1000;  // + encoded delta
+}  // namespace
+
+std::size_t BddManager::UniqueKeyHash::operator()(const UniqueKey& k) const {
+  return static_cast<std::size_t>(util::mix64(
+      (static_cast<std::uint64_t>(k.var) << 40) ^
+      (static_cast<std::uint64_t>(k.low) << 20) ^ k.high));
+}
+
+std::size_t BddManager::CacheKeyHash::operator()(const CacheKey& k) const {
+  std::uint64_t h = util::mix64((static_cast<std::uint64_t>(k.a) << 32) | k.b);
+  h = util::hashCombine(h, util::mix64((static_cast<std::uint64_t>(k.c) << 32) |
+                                       k.op));
+  return static_cast<std::size_t>(h);
+}
+
+BddManager::BddManager(std::uint32_t numVars) : numVars_(numVars) {
+  constexpr std::uint32_t kTermVar = ~0u;
+  nodes_.push_back({kTermVar, kFalse, kFalse});  // 0 = false
+  nodes_.push_back({kTermVar, kTrue, kTrue});    // 1 = true
+}
+
+NodeRef BddManager::mk(std::uint32_t var, NodeRef low, NodeRef high) {
+  if (low == high) return low;
+  const UniqueKey key{var, low, high};
+  auto [it, inserted] =
+      unique_.try_emplace(key, static_cast<NodeRef>(nodes_.size()));
+  if (inserted) nodes_.push_back({var, low, high});
+  return it->second;
+}
+
+NodeRef BddManager::var(std::uint32_t v) {
+  assert(v < numVars_);
+  return mk(v, kFalse, kTrue);
+}
+
+NodeRef BddManager::nvar(std::uint32_t v) {
+  assert(v < numVars_);
+  return mk(v, kTrue, kFalse);
+}
+
+NodeRef BddManager::ite(NodeRef f, NodeRef g, NodeRef h) {
+  // Terminal cases.
+  if (f == kTrue) return g;
+  if (f == kFalse) return h;
+  if (g == h) return g;
+  if (g == kTrue && h == kFalse) return f;
+
+  const CacheKey key{f, g, h, kOpIte};
+  if (const auto it = cache_.find(key); it != cache_.end()) return it->second;
+
+  // Top variable among the three.
+  std::uint32_t top = ~0u;
+  if (!isTerminal(f)) top = std::min(top, varOf(f));
+  if (!isTerminal(g)) top = std::min(top, varOf(g));
+  if (!isTerminal(h)) top = std::min(top, varOf(h));
+
+  const auto cofactor = [&](NodeRef r, bool positive) -> NodeRef {
+    if (isTerminal(r) || varOf(r) != top) return r;
+    return positive ? nodes_[r].high : nodes_[r].low;
+  };
+
+  const NodeRef highPart =
+      ite(cofactor(f, true), cofactor(g, true), cofactor(h, true));
+  const NodeRef lowPart =
+      ite(cofactor(f, false), cofactor(g, false), cofactor(h, false));
+  const NodeRef result = mk(top, lowPart, highPart);
+  cache_.emplace(key, result);
+  return result;
+}
+
+NodeRef BddManager::bddNot(NodeRef f) { return ite(f, kFalse, kTrue); }
+NodeRef BddManager::bddAnd(NodeRef f, NodeRef g) { return ite(f, g, kFalse); }
+NodeRef BddManager::bddOr(NodeRef f, NodeRef g) { return ite(f, kTrue, g); }
+NodeRef BddManager::bddXor(NodeRef f, NodeRef g) {
+  return ite(f, bddNot(g), g);
+}
+NodeRef BddManager::bddImplies(NodeRef f, NodeRef g) {
+  return ite(f, g, kTrue);
+}
+
+NodeRef BddManager::restrict(NodeRef f, std::uint32_t v, bool value) {
+  if (isTerminal(f)) return f;
+  const std::uint32_t fv = varOf(f);
+  if (fv > v) return f;
+  if (fv == v) return value ? nodes_[f].high : nodes_[f].low;
+  // fv < v: recurse on both branches. Use the cache keyed via ite-style op.
+  const CacheKey key{f, v, value ? kTrue : kFalse, kOpShiftBase - 1};
+  if (const auto it = cache_.find(key); it != cache_.end()) return it->second;
+  const NodeRef result = mk(fv, restrict(nodes_[f].low, v, value),
+                            restrict(nodes_[f].high, v, value));
+  cache_.emplace(key, result);
+  return result;
+}
+
+NodeRef BddManager::exists(NodeRef f, NodeRef cubeRef) {
+  if (isTerminal(f) || cubeRef == kTrue) return f;
+  assert(cubeRef != kFalse);
+  // Skip cube variables above f's top variable.
+  while (!isTerminal(cubeRef) && varOf(cubeRef) < varOf(f)) {
+    cubeRef = nodes_[cubeRef].high;
+  }
+  if (cubeRef == kTrue) return f;
+
+  const CacheKey key{f, cubeRef, 0, kOpExists};
+  if (const auto it = cache_.find(key); it != cache_.end()) return it->second;
+
+  const std::uint32_t top = varOf(f);
+  NodeRef result = kFalse;
+  if (varOf(cubeRef) == top) {
+    const NodeRef rest = nodes_[cubeRef].high;
+    result = bddOr(exists(nodes_[f].low, rest), exists(nodes_[f].high, rest));
+  } else {
+    result = mk(top, exists(nodes_[f].low, cubeRef),
+                exists(nodes_[f].high, cubeRef));
+  }
+  cache_.emplace(key, result);
+  return result;
+}
+
+NodeRef BddManager::forall(NodeRef f, NodeRef cubeRef) {
+  // forall v. f == !exists v. !f
+  const CacheKey key{f, cubeRef, 0, kOpForall};
+  if (const auto it = cache_.find(key); it != cache_.end()) return it->second;
+  const NodeRef result = bddNot(exists(bddNot(f), cubeRef));
+  cache_.emplace(key, result);
+  return result;
+}
+
+NodeRef BddManager::andExists(NodeRef f, NodeRef g, NodeRef cubeRef) {
+  if (f == kFalse || g == kFalse) return kFalse;
+  if (f == kTrue && g == kTrue) return kTrue;
+  if (cubeRef == kTrue) return bddAnd(f, g);
+  if (f == kTrue) return exists(g, cubeRef);
+  if (g == kTrue) return exists(f, cubeRef);
+
+  const CacheKey key{f, g, cubeRef, kOpAndExists};
+  if (const auto it = cache_.find(key); it != cache_.end()) return it->second;
+
+  const std::uint32_t top = std::min(varOf(f), varOf(g));
+  while (!isTerminal(cubeRef) && varOf(cubeRef) < top) {
+    cubeRef = nodes_[cubeRef].high;
+  }
+
+  const auto cofactor = [&](NodeRef r, bool positive) -> NodeRef {
+    if (isTerminal(r) || varOf(r) != top) return r;
+    return positive ? nodes_[r].high : nodes_[r].low;
+  };
+
+  NodeRef result = kFalse;
+  if (!isTerminal(cubeRef) && varOf(cubeRef) == top) {
+    const NodeRef rest = nodes_[cubeRef].high;
+    const NodeRef lowPart =
+        andExists(cofactor(f, false), cofactor(g, false), rest);
+    const NodeRef highPart =
+        andExists(cofactor(f, true), cofactor(g, true), rest);
+    result = bddOr(lowPart, highPart);
+  } else {
+    const NodeRef lowPart =
+        andExists(cofactor(f, false), cofactor(g, false), cubeRef);
+    const NodeRef highPart =
+        andExists(cofactor(f, true), cofactor(g, true), cubeRef);
+    result = mk(top, lowPart, highPart);
+  }
+  cache_.emplace(key, result);
+  return result;
+}
+
+NodeRef BddManager::cube(const std::vector<std::uint32_t>& vars) {
+  NodeRef result = kTrue;
+  // Build bottom-up (highest variable first) for linear construction.
+  std::vector<std::uint32_t> sorted(vars);
+  std::sort(sorted.begin(), sorted.end());
+  for (auto it = sorted.rbegin(); it != sorted.rend(); ++it) {
+    result = mk(*it, kFalse, result);
+  }
+  return result;
+}
+
+NodeRef BddManager::minterm(std::uint64_t assignment, std::uint32_t bits) {
+  assert(bits <= numVars_);
+  NodeRef result = kTrue;
+  for (std::int32_t v = static_cast<std::int32_t>(bits) - 1; v >= 0; --v) {
+    const bool bit = (assignment >> v) & 1;
+    result = bit ? mk(static_cast<std::uint32_t>(v), kFalse, result)
+                 : mk(static_cast<std::uint32_t>(v), result, kFalse);
+  }
+  return result;
+}
+
+double BddManager::satCountRec(NodeRef f,
+                               std::unordered_map<NodeRef, double>& cache) {
+  if (f == kFalse) return 0.0;
+  if (f == kTrue) return 1.0;
+  if (const auto it = cache.find(f); it != cache.end()) return it->second;
+  const Node& node = nodes_[f];
+  const auto weight = [&](NodeRef child) {
+    const std::uint32_t childVar =
+        isTerminal(child) ? numVars_ : nodes_[child].var;
+    return std::ldexp(satCountRec(child, cache),
+                      static_cast<int>(childVar - node.var - 1));
+  };
+  const double count = weight(node.low) + weight(node.high);
+  cache.emplace(f, count);
+  return count;
+}
+
+double BddManager::satCount(NodeRef f) {
+  std::unordered_map<NodeRef, double> cache;
+  const std::uint32_t topVar = isTerminal(f) ? numVars_ : nodes_[f].var;
+  return std::ldexp(satCountRec(f, cache), static_cast<int>(topVar));
+}
+
+std::vector<std::uint32_t> BddManager::support(NodeRef f) {
+  std::unordered_set<NodeRef> visited;
+  std::unordered_set<std::uint32_t> vars;
+  std::vector<NodeRef> stack{f};
+  while (!stack.empty()) {
+    const NodeRef r = stack.back();
+    stack.pop_back();
+    if (isTerminal(r) || !visited.insert(r).second) continue;
+    vars.insert(nodes_[r].var);
+    stack.push_back(nodes_[r].low);
+    stack.push_back(nodes_[r].high);
+  }
+  std::vector<std::uint32_t> result(vars.begin(), vars.end());
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+bool BddManager::evaluate(NodeRef f, std::uint64_t assignment) const {
+  while (!isTerminal(f)) {
+    const Node& node = nodes_[f];
+    f = ((assignment >> node.var) & 1) ? node.high : node.low;
+  }
+  return f == kTrue;
+}
+
+std::size_t BddManager::functionSize(NodeRef f) const {
+  std::unordered_set<NodeRef> visited;
+  std::vector<NodeRef> stack{f};
+  while (!stack.empty()) {
+    const NodeRef r = stack.back();
+    stack.pop_back();
+    if (isTerminal(r) || !visited.insert(r).second) continue;
+    stack.push_back(nodes_[r].low);
+    stack.push_back(nodes_[r].high);
+  }
+  return visited.size() + (f <= 1 ? 1 : 2);  // count terminals conventionally
+}
+
+NodeRef BddManager::shiftVars(NodeRef f, std::int32_t delta) {
+  if (isTerminal(f) || delta == 0) return f;
+  const CacheKey key{f, static_cast<NodeRef>(delta + (1 << 20)), 0,
+                     kOpShiftBase};
+  if (const auto it = cache_.find(key); it != cache_.end()) return it->second;
+  const Node node = nodes_[f];
+  const auto newVar = static_cast<std::int64_t>(node.var) + delta;
+  assert(newVar >= 0 && newVar < static_cast<std::int64_t>(numVars_));
+  const NodeRef result =
+      mk(static_cast<std::uint32_t>(newVar), shiftVars(node.low, delta),
+         shiftVars(node.high, delta));
+  cache_.emplace(key, result);
+  return result;
+}
+
+}  // namespace mimostat::bdd

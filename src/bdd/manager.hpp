@@ -1,0 +1,118 @@
+// Reduced Ordered Binary Decision Diagram (ROBDD) package.
+//
+// PRISM — the engine the paper runs on — is a symbolic model checker built
+// on BDDs/MTBDDs. This is our from-scratch equivalent: hash-consed nodes,
+// ITE with a computed cache, Boolean connectives, cofactors, existential /
+// universal quantification, conjunctive quantification fused with AND
+// (andExists, the relational-product kernel), satisfying-assignment
+// counting, and support computation.
+//
+// Node indices are stable handles owned by the manager (no reference
+// counting; the manager is an arena freed as a whole — appropriate for the
+// bounded workloads in this library).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mimostat::bdd {
+
+using NodeRef = std::uint32_t;
+
+class BddManager {
+ public:
+  explicit BddManager(std::uint32_t numVars);
+
+  static constexpr NodeRef kFalse = 0;
+  static constexpr NodeRef kTrue = 1;
+
+  [[nodiscard]] std::uint32_t numVars() const { return numVars_; }
+  [[nodiscard]] std::size_t numNodes() const { return nodes_.size(); }
+
+  /// The projection function for variable `var`.
+  [[nodiscard]] NodeRef var(std::uint32_t var);
+  /// Negated projection.
+  [[nodiscard]] NodeRef nvar(std::uint32_t var);
+
+  [[nodiscard]] NodeRef ite(NodeRef f, NodeRef g, NodeRef h);
+  [[nodiscard]] NodeRef bddNot(NodeRef f);
+  [[nodiscard]] NodeRef bddAnd(NodeRef f, NodeRef g);
+  [[nodiscard]] NodeRef bddOr(NodeRef f, NodeRef g);
+  [[nodiscard]] NodeRef bddXor(NodeRef f, NodeRef g);
+  [[nodiscard]] NodeRef bddImplies(NodeRef f, NodeRef g);
+
+  /// Positive/negative cofactor w.r.t. a variable.
+  [[nodiscard]] NodeRef restrict(NodeRef f, std::uint32_t var, bool value);
+
+  /// Existential quantification over the variables of a positive cube.
+  [[nodiscard]] NodeRef exists(NodeRef f, NodeRef cube);
+  /// Universal quantification over the variables of a positive cube.
+  [[nodiscard]] NodeRef forall(NodeRef f, NodeRef cube);
+  /// exists cube. (f AND g) — the relational-product kernel.
+  [[nodiscard]] NodeRef andExists(NodeRef f, NodeRef g, NodeRef cube);
+
+  /// Positive cube over the given variables.
+  [[nodiscard]] NodeRef cube(const std::vector<std::uint32_t>& vars);
+
+  /// Minterm of a full assignment over variables [0, bits): bit i of
+  /// `assignment` gives the value of variable i.
+  [[nodiscard]] NodeRef minterm(std::uint64_t assignment, std::uint32_t bits);
+
+  /// Number of satisfying assignments over all numVars() variables.
+  [[nodiscard]] double satCount(NodeRef f);
+
+  /// Variables appearing in f.
+  [[nodiscard]] std::vector<std::uint32_t> support(NodeRef f);
+
+  /// Evaluate under a full assignment (bit i of `assignment` = variable i).
+  [[nodiscard]] bool evaluate(NodeRef f, std::uint64_t assignment) const;
+
+  /// Structural node count of the function (distinct reachable nodes).
+  [[nodiscard]] std::size_t functionSize(NodeRef f) const;
+
+  /// Rename every variable v in f to v + delta (delta may be negative).
+  /// Precondition: the shift preserves the variable order (true for uniform
+  /// shifts) and stays within [0, numVars).
+  [[nodiscard]] NodeRef shiftVars(NodeRef f, std::int32_t delta);
+
+ private:
+  struct Node {
+    std::uint32_t var;
+    NodeRef low;
+    NodeRef high;
+  };
+
+  struct UniqueKey {
+    std::uint32_t var;
+    NodeRef low;
+    NodeRef high;
+    bool operator==(const UniqueKey&) const = default;
+  };
+  struct UniqueKeyHash {
+    std::size_t operator()(const UniqueKey& k) const;
+  };
+
+  struct CacheKey {
+    NodeRef a, b, c;
+    std::uint32_t op;
+    bool operator==(const CacheKey&) const = default;
+  };
+  struct CacheKeyHash {
+    std::size_t operator()(const CacheKey& k) const;
+  };
+
+  [[nodiscard]] NodeRef mk(std::uint32_t var, NodeRef low, NodeRef high);
+  [[nodiscard]] std::uint32_t varOf(NodeRef f) const { return nodes_[f].var; }
+  [[nodiscard]] bool isTerminal(NodeRef f) const { return f <= 1; }
+
+  double satCountRec(NodeRef f, std::unordered_map<NodeRef, double>& cache);
+
+  std::uint32_t numVars_;
+  std::vector<Node> nodes_;
+  std::unordered_map<UniqueKey, NodeRef, UniqueKeyHash> unique_;
+  std::unordered_map<CacheKey, NodeRef, CacheKeyHash> cache_;
+};
+
+}  // namespace mimostat::bdd

@@ -1,0 +1,147 @@
+#include "bdd/mtbdd.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+#include "util/hash.hpp"
+
+namespace mimostat::bdd {
+
+std::size_t MtbddManager::UniqueKeyHash::operator()(const UniqueKey& k) const {
+  return static_cast<std::size_t>(util::mix64(
+      (static_cast<std::uint64_t>(k.var) << 40) ^
+      (static_cast<std::uint64_t>(k.low) << 20) ^ k.high));
+}
+
+std::size_t MtbddManager::CacheKeyHash::operator()(const CacheKey& k) const {
+  return static_cast<std::size_t>(util::hashCombine(
+      util::mix64((static_cast<std::uint64_t>(k.a) << 32) | k.b),
+      util::mix64(k.op)));
+}
+
+MtbddManager::MtbddManager(std::uint32_t numVars) : numVars_(numVars) {}
+
+MtRef MtbddManager::constant(double value) {
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(value);
+  auto [it, inserted] =
+      terminals_.try_emplace(bits, static_cast<MtRef>(nodes_.size()));
+  if (inserted) nodes_.push_back({kTermVar, 0, 0, value});
+  return it->second;
+}
+
+double MtbddManager::terminalValue(MtRef f) const {
+  assert(isTerminal(f));
+  return nodes_[f].value;
+}
+
+MtRef MtbddManager::mk(std::uint32_t var, MtRef low, MtRef high) {
+  if (low == high) return low;
+  const UniqueKey key{var, low, high};
+  auto [it, inserted] =
+      unique_.try_emplace(key, static_cast<MtRef>(nodes_.size()));
+  if (inserted) nodes_.push_back({var, low, high, 0.0});
+  return it->second;
+}
+
+MtRef MtbddManager::varNode(std::uint32_t var, MtRef low, MtRef high) {
+  assert(var < numVars_);
+  return mk(var, low, high);
+}
+
+double MtbddManager::applyOp(MtOp op, double a, double b) {
+  switch (op) {
+    case MtOp::kAdd:
+      return a + b;
+    case MtOp::kSub:
+      return a - b;
+    case MtOp::kMul:
+      return a * b;
+    case MtOp::kMin:
+      return std::min(a, b);
+    case MtOp::kMax:
+      return std::max(a, b);
+  }
+  return 0.0;
+}
+
+MtRef MtbddManager::apply(MtOp op, MtRef f, MtRef g) {
+  if (isTerminal(f) && isTerminal(g)) {
+    return constant(applyOp(op, nodes_[f].value, nodes_[g].value));
+  }
+  const CacheKey key{f, g, static_cast<std::uint64_t>(op)};
+  if (const auto it = cache_.find(key); it != cache_.end()) return it->second;
+
+  const std::uint32_t fVar = nodes_[f].var;
+  const std::uint32_t gVar = nodes_[g].var;
+  const std::uint32_t top = std::min(fVar, gVar);
+  const MtRef fLow = (fVar == top) ? nodes_[f].low : f;
+  const MtRef fHigh = (fVar == top) ? nodes_[f].high : f;
+  const MtRef gLow = (gVar == top) ? nodes_[g].low : g;
+  const MtRef gHigh = (gVar == top) ? nodes_[g].high : g;
+  const MtRef result =
+      mk(top, apply(op, fLow, gLow), apply(op, fHigh, gHigh));
+  cache_.emplace(key, result);
+  return result;
+}
+
+MtRef MtbddManager::greaterThan(MtRef f, double threshold) {
+  if (isTerminal(f)) {
+    return constant(nodes_[f].value > threshold ? 1.0 : 0.0);
+  }
+  const CacheKey key{f, constant(threshold), 100};
+  if (const auto it = cache_.find(key); it != cache_.end()) return it->second;
+  const MtRef result = mk(nodes_[f].var, greaterThan(nodes_[f].low, threshold),
+                          greaterThan(nodes_[f].high, threshold));
+  cache_.emplace(key, result);
+  return result;
+}
+
+double MtbddManager::evaluate(MtRef f, std::uint64_t assignment) const {
+  while (!isTerminal(f)) {
+    const Node& node = nodes_[f];
+    f = ((assignment >> node.var) & 1) ? node.high : node.low;
+  }
+  return nodes_[f].value;
+}
+
+MtRef MtbddManager::sumOver(MtRef f, const std::vector<std::uint32_t>& vars) {
+  MtRef result = f;
+  // Quantify variables one at a time (descending keeps recursions shallow).
+  std::vector<std::uint32_t> sorted(vars);
+  std::sort(sorted.rbegin(), sorted.rend());
+  for (const std::uint32_t v : sorted) {
+    // sum_v f = f|v=0 + f|v=1, implemented as a pointwise apply of the two
+    // cofactors. Cofactor via a dedicated recursion:
+    struct Cofactor {
+      MtbddManager& mgr;
+      std::uint32_t var;
+      bool value;
+      std::unordered_map<MtRef, MtRef> memo;
+      MtRef run(MtRef r) {
+        if (mgr.isTerminal(r) || mgr.nodes_[r].var > var) return r;
+        if (const auto it = memo.find(r); it != memo.end()) return it->second;
+        MtRef out;
+        if (mgr.nodes_[r].var == var) {
+          out = value ? mgr.nodes_[r].high : mgr.nodes_[r].low;
+        } else {
+          out = mgr.mk(mgr.nodes_[r].var, run(mgr.nodes_[r].low),
+                       run(mgr.nodes_[r].high));
+        }
+        memo.emplace(r, out);
+        return out;
+      }
+    };
+    Cofactor low{*this, v, false, {}};
+    Cofactor high{*this, v, true, {}};
+    result = apply(MtOp::kAdd, low.run(result), high.run(result));
+  }
+  return result;
+}
+
+double MtbddManager::maxValue(MtRef f) const {
+  if (isTerminal(f)) return nodes_[f].value;
+  return std::max(maxValue(nodes_[f].low), maxValue(nodes_[f].high));
+}
+
+}  // namespace mimostat::bdd

@@ -1,0 +1,94 @@
+// Multi-Terminal BDDs over real terminals — the data structure PRISM uses
+// to store transition-probability matrices and value vectors symbolically.
+// Hash-consed like the Boolean manager; terminals are hash-consed by their
+// exact bit pattern.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace mimostat::bdd {
+
+using MtRef = std::uint32_t;
+
+enum class MtOp : std::uint32_t {
+  kAdd,
+  kSub,
+  kMul,
+  kMin,
+  kMax,
+};
+
+class MtbddManager {
+ public:
+  explicit MtbddManager(std::uint32_t numVars);
+
+  [[nodiscard]] std::uint32_t numVars() const { return numVars_; }
+
+  /// Terminal with the given value (hash-consed).
+  [[nodiscard]] MtRef constant(double value);
+  [[nodiscard]] bool isTerminal(MtRef f) const {
+    return nodes_[f].var == kTermVar;
+  }
+  [[nodiscard]] double terminalValue(MtRef f) const;
+
+  /// if-then-else on a variable: var=1 ? high : low.
+  [[nodiscard]] MtRef varNode(std::uint32_t var, MtRef low, MtRef high);
+
+  /// Pointwise arithmetic.
+  [[nodiscard]] MtRef apply(MtOp op, MtRef f, MtRef g);
+
+  /// 0/1-valued MTBDD: 1 where f > threshold.
+  [[nodiscard]] MtRef greaterThan(MtRef f, double threshold);
+
+  /// Evaluate under a full assignment (bit i = variable i).
+  [[nodiscard]] double evaluate(MtRef f, std::uint64_t assignment) const;
+
+  /// Sum of f over all assignments of the variables in `vars` (ascending).
+  [[nodiscard]] MtRef sumOver(MtRef f, const std::vector<std::uint32_t>& vars);
+
+  /// Max terminal value reachable in f.
+  [[nodiscard]] double maxValue(MtRef f) const;
+
+  [[nodiscard]] std::size_t numNodes() const { return nodes_.size(); }
+
+ private:
+  static constexpr std::uint32_t kTermVar = ~0u;
+
+  struct Node {
+    std::uint32_t var;
+    MtRef low;
+    MtRef high;
+    double value;  // terminals only
+  };
+
+  struct UniqueKey {
+    std::uint32_t var;
+    MtRef low;
+    MtRef high;
+    bool operator==(const UniqueKey&) const = default;
+  };
+  struct UniqueKeyHash {
+    std::size_t operator()(const UniqueKey& k) const;
+  };
+  struct CacheKey {
+    MtRef a, b;
+    std::uint64_t op;
+    bool operator==(const CacheKey&) const = default;
+  };
+  struct CacheKeyHash {
+    std::size_t operator()(const CacheKey& k) const;
+  };
+
+  [[nodiscard]] MtRef mk(std::uint32_t var, MtRef low, MtRef high);
+  static double applyOp(MtOp op, double a, double b);
+
+  std::uint32_t numVars_;
+  std::vector<Node> nodes_;
+  std::unordered_map<std::uint64_t, MtRef> terminals_;  // by bit pattern
+  std::unordered_map<UniqueKey, MtRef, UniqueKeyHash> unique_;
+  std::unordered_map<CacheKey, MtRef, CacheKeyHash> cache_;
+};
+
+}  // namespace mimostat::bdd

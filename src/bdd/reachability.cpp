@@ -1,0 +1,124 @@
+#include "bdd/reachability.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+
+#include "util/hash.hpp"
+
+namespace mimostat::bdd {
+
+SymbolicSpace::SymbolicSpace(std::uint32_t bits)
+    : bits_(bits), manager_(2 * bits) {
+  assert(bits >= 1 && bits <= 32);
+  std::vector<std::uint32_t> rowVars;
+  rowVars.reserve(bits_);
+  for (std::uint32_t i = 0; i < bits_; ++i) rowVars.push_back(2 * i);
+  rowCube_ = manager_.cube(rowVars);
+}
+
+NodeRef SymbolicSpace::rowMinterm(std::uint64_t packed) {
+  NodeRef result = BddManager::kTrue;
+  for (std::int32_t i = static_cast<std::int32_t>(bits_) - 1; i >= 0; --i) {
+    const auto v = static_cast<std::uint32_t>(2 * i);
+    const bool bit = (packed >> i) & 1;
+    result = bit ? manager_.bddAnd(manager_.var(v), result)
+                 : manager_.bddAnd(manager_.nvar(v), result);
+  }
+  return result;
+}
+
+NodeRef SymbolicSpace::edge(std::uint64_t src, std::uint64_t dst) {
+  NodeRef result = BddManager::kTrue;
+  for (std::int32_t i = static_cast<std::int32_t>(bits_) - 1; i >= 0; --i) {
+    const auto rowVar = static_cast<std::uint32_t>(2 * i);
+    const auto colVar = rowVar + 1;
+    const bool srcBit = (src >> i) & 1;
+    const bool dstBit = (dst >> i) & 1;
+    result = manager_.bddAnd(
+        srcBit ? manager_.var(rowVar) : manager_.nvar(rowVar),
+        manager_.bddAnd(
+            dstBit ? manager_.var(colVar) : manager_.nvar(colVar), result));
+  }
+  return result;
+}
+
+NodeRef SymbolicSpace::image(NodeRef rowSet, NodeRef relation) {
+  // exists rows. (R AND S) leaves a function over column variables; shifting
+  // every column variable 2i+1 down to 2i renames it to the row space.
+  const NodeRef columns = manager_.andExists(relation, rowSet, rowCube_);
+  return manager_.shiftVars(columns, -1);
+}
+
+NodeRef SymbolicSpace::reachable(NodeRef init, NodeRef relation,
+                                 std::uint32_t* iterations) {
+  NodeRef reached = init;
+  NodeRef frontier = init;
+  std::uint32_t iters = 0;
+  while (frontier != BddManager::kFalse) {
+    ++iters;
+    const NodeRef next = image(frontier, relation);
+    const NodeRef fresh = manager_.bddAnd(next, manager_.bddNot(reached));
+    reached = manager_.bddOr(reached, fresh);
+    frontier = fresh;
+  }
+  if (iterations != nullptr) *iterations = iters;
+  return reached;
+}
+
+double SymbolicSpace::countStates(NodeRef rowSet) {
+  // rowSet depends only on the `bits_` row variables out of 2*bits_ total;
+  // divide out the free column variables.
+  return manager_.satCount(rowSet) / std::ldexp(1.0, static_cast<int>(bits_));
+}
+
+SymbolicBuildResult buildSymbolic(const dtmc::Model& model,
+                                  SymbolicSpace& space,
+                                  std::uint64_t maxStates) {
+  const dtmc::VarLayout layout = model.layout();
+  if (!layout.fitsInU64() ||
+      static_cast<std::uint32_t>(layout.totalBits()) > space.bits()) {
+    throw std::runtime_error("buildSymbolic: state does not fit the space");
+  }
+
+  SymbolicBuildResult result;
+  util::PackedStateSet seen(1 << 12);
+  std::deque<std::uint64_t> queue;
+
+  result.init = BddManager::kFalse;
+  for (const auto& s : model.initialStates()) {
+    const std::uint64_t packed = layout.pack(s);
+    if (seen.insert(packed)) queue.push_back(packed);
+    result.init =
+        space.manager().bddOr(result.init, space.rowMinterm(packed));
+  }
+
+  result.relation = BddManager::kFalse;
+  std::vector<dtmc::Transition> scratch;
+  while (!queue.empty()) {
+    const std::uint64_t packed = queue.front();
+    queue.pop_front();
+    scratch.clear();
+    model.transitions(layout.unpack(packed), scratch);
+    dtmc::normalizeTransitions(scratch, 0.0);
+    for (const auto& t : scratch) {
+      const std::uint64_t next = layout.pack(t.target);
+      result.relation = space.manager().bddOr(result.relation,
+                                              space.edge(packed, next));
+      if (seen.insert(next)) {
+        if (seen.size() > maxStates) {
+          throw std::runtime_error("buildSymbolic: maxStates exceeded");
+        }
+        queue.push_back(next);
+      }
+    }
+  }
+
+  result.reachable =
+      space.reachable(result.init, result.relation, &result.iterations);
+  result.stateCount = space.countStates(result.reachable);
+  return result;
+}
+
+}  // namespace mimostat::bdd

@@ -1,0 +1,23 @@
+#include "bdd/stateset.hpp"
+
+namespace mimostat::bdd {
+
+BddStateSet::BddStateSet(std::uint32_t bits) : bits_(bits), manager_(bits) {}
+
+bool BddStateSet::insert(std::uint64_t packed) {
+  if (contains(packed)) return false;
+  root_ = manager_.bddOr(root_, manager_.minterm(packed, bits_));
+  return true;
+}
+
+bool BddStateSet::contains(std::uint64_t packed) const {
+  return manager_.evaluate(root_, packed);
+}
+
+double BddStateSet::size() { return manager_.satCount(root_); }
+
+std::size_t BddStateSet::nodeCount() const {
+  return manager_.functionSize(root_);
+}
+
+}  // namespace mimostat::bdd

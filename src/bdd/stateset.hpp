@@ -1,0 +1,37 @@
+// BDD-backed set of packed states — the symbolic alternative to the hash
+// set used by the explicit builder, exercised by the state-storage ablation
+// bench (hash set vs BDD: memory/time trade-off, mirroring PRISM's hybrid
+// engine discussion).
+#pragma once
+
+#include <cstdint>
+
+#include "bdd/manager.hpp"
+
+namespace mimostat::bdd {
+
+class BddStateSet {
+ public:
+  /// @param bits packed-state width; the set owns a manager with `bits` vars
+  explicit BddStateSet(std::uint32_t bits);
+
+  /// Insert; returns true when the state was new.
+  bool insert(std::uint64_t packed);
+  [[nodiscard]] bool contains(std::uint64_t packed) const;
+
+  /// Exact number of states in the set.
+  [[nodiscard]] double size();
+
+  /// Structural BDD node count (the memory proxy).
+  [[nodiscard]] std::size_t nodeCount() const;
+
+  [[nodiscard]] BddManager& manager() { return manager_; }
+  [[nodiscard]] NodeRef root() const { return root_; }
+
+ private:
+  std::uint32_t bits_;
+  BddManager manager_;
+  NodeRef root_ = BddManager::kFalse;
+};
+
+}  // namespace mimostat::bdd

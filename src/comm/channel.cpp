@@ -1,0 +1,56 @@
+#include "comm/channel.hpp"
+
+#include <cassert>
+
+#include "comm/snr.hpp"
+
+namespace mimostat::comm {
+
+IsiChannel::IsiChannel(std::vector<double> taps) : taps_(std::move(taps)) {
+  assert(!taps_.empty());
+}
+
+double IsiChannel::level(const std::vector<int>& bits) const {
+  assert(bits.size() == taps_.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < taps_.size(); ++i) {
+    acc += taps_[i] * bpsk(bits[i]);
+  }
+  return acc;
+}
+
+double IsiChannel::level2(int current, int previous) const {
+  assert(taps_.size() == 2);
+  return taps_[0] * bpsk(current) + taps_[1] * bpsk(previous);
+}
+
+double IsiChannel::signalPower() const {
+  // Independent +-1 symbols: E[s^2] = sum taps^2.
+  double acc = 0.0;
+  for (const double t : taps_) acc += t * t;
+  return acc;
+}
+
+DiscreteIsiChannel::DiscreteIsiChannel(const IsiChannel& channel,
+                                       const UniformQuantizer& quantizer,
+                                       double snrDb)
+    : channel_(channel),
+      quantizer_(quantizer),
+      sigma_(noiseSigma(snrDb, channel.signalPower())) {
+  assert(channel_.memory() == 1 && "DiscreteIsiChannel models memory-1 ISI");
+  for (int current = 0; current < 2; ++current) {
+    for (int previous = 0; previous < 2; ++previous) {
+      probs_[pairIndex(current, previous)] = quantizer_.cellProbabilities(
+          channel_.level2(current, previous), sigma_);
+    }
+  }
+}
+
+int DiscreteIsiChannel::sample(int current, int previous,
+                               util::Xoshiro256& rng) const {
+  const double analog =
+      channel_.level2(current, previous) + sigma_ * rng.nextGaussian();
+  return quantizer_.index(analog);
+}
+
+}  // namespace mimostat::comm

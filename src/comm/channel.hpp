@@ -1,0 +1,81 @@
+// BPSK signaling and the 1+D intersymbol-interference channel used by the
+// paper's Viterbi case study (transmitter output = current bit + previous
+// bit, i.e. memory m = 1), plus a discretised channel that combines the ISI
+// levels, AWGN and the quantizer into exact per-level transition
+// probabilities.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "comm/quantizer.hpp"
+#include "util/rng.hpp"
+
+namespace mimostat::comm {
+
+/// BPSK mapping: bit 0 -> -1, bit 1 -> +1.
+[[nodiscard]] constexpr double bpsk(int bit) { return bit ? 1.0 : -1.0; }
+
+/// FIR intersymbol-interference channel s[n] = sum_i taps[i] * a[n-i] where
+/// a are BPSK symbols. taps = {1, 1} gives the paper's memory-1 adder.
+class IsiChannel {
+ public:
+  explicit IsiChannel(std::vector<double> taps);
+
+  [[nodiscard]] std::size_t memory() const { return taps_.size() - 1; }
+  [[nodiscard]] const std::vector<double>& taps() const { return taps_; }
+
+  /// Noiseless output level for a window of bits, bits[0] = newest.
+  [[nodiscard]] double level(const std::vector<int>& bits) const;
+
+  /// Noiseless output level for memory-1 channels (the common case).
+  [[nodiscard]] double level2(int current, int previous) const;
+
+  /// E[s^2] under i.i.d. uniform bits (signal power for SNR conversion).
+  [[nodiscard]] double signalPower() const;
+
+ private:
+  std::vector<double> taps_;
+};
+
+/// Discrete channel: for each (current bit, previous bit) pair of a
+/// memory-1 ISI channel, the probability of every quantizer output cell.
+/// These are exactly the paper's DTMC transition labels.
+class DiscreteIsiChannel {
+ public:
+  DiscreteIsiChannel(const IsiChannel& channel, const UniformQuantizer& quantizer,
+                     double snrDb);
+
+  [[nodiscard]] const UniformQuantizer& quantizer() const { return quantizer_; }
+  [[nodiscard]] double sigma() const { return sigma_; }
+
+  /// P(q = cell | current bit, previous bit).
+  [[nodiscard]] double cellProb(int current, int previous, int cell) const {
+    return probs_[pairIndex(current, previous)][cell];
+  }
+
+  /// Full distribution for a bit pair.
+  [[nodiscard]] const std::vector<double>& distribution(int current,
+                                                        int previous) const {
+    return probs_[pairIndex(current, previous)];
+  }
+
+  /// Sample one quantized output (for the Monte-Carlo baseline); uses the
+  /// *analog* path (level + Gaussian noise -> quantize) so the simulator and
+  /// the DTMC share only the mathematical definition, not the tables.
+  [[nodiscard]] int sample(int current, int previous, util::Xoshiro256& rng) const;
+
+ private:
+  static std::size_t pairIndex(int current, int previous) {
+    return static_cast<std::size_t>(current) * 2 +
+           static_cast<std::size_t>(previous);
+  }
+
+  IsiChannel channel_;
+  UniformQuantizer quantizer_;
+  double sigma_;
+  std::array<std::vector<double>, 4> probs_;
+};
+
+}  // namespace mimostat::comm

@@ -1,0 +1,62 @@
+#include "comm/quantizer.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "stats/gaussian.hpp"
+
+namespace mimostat::comm {
+
+UniformQuantizer::UniformQuantizer(int levels, double range)
+    : levels_(levels), range_(range), step_(2.0 * range / levels) {
+  assert(levels >= 2);
+  assert(range > 0.0);
+}
+
+int UniformQuantizer::index(double x) const {
+  if (x <= -range_) return 0;
+  if (x >= range_) return levels_ - 1;
+  const int cell = static_cast<int>(std::floor((x + range_) / step_));
+  if (cell < 0) return 0;
+  if (cell >= levels_) return levels_ - 1;
+  return cell;
+}
+
+double UniformQuantizer::value(int cell) const {
+  assert(cell >= 0 && cell < levels_);
+  return -range_ + (static_cast<double>(cell) + 0.5) * step_;
+}
+
+double UniformQuantizer::lowerThreshold(int cell) const {
+  assert(cell >= 0 && cell < levels_);
+  if (cell == 0) return -std::numeric_limits<double>::infinity();
+  return -range_ + static_cast<double>(cell) * step_;
+}
+
+double UniformQuantizer::upperThreshold(int cell) const {
+  assert(cell >= 0 && cell < levels_);
+  if (cell == levels_ - 1) return std::numeric_limits<double>::infinity();
+  return -range_ + static_cast<double>(cell + 1) * step_;
+}
+
+std::vector<double> UniformQuantizer::cellProbabilities(double signal,
+                                                        double sigma) const {
+  std::vector<double> probs(levels_);
+  for (int cell = 0; cell < levels_; ++cell) {
+    const double lo = lowerThreshold(cell);
+    const double hi = upperThreshold(cell);
+    if (std::isinf(lo) && std::isinf(hi)) {
+      probs[cell] = 1.0;
+    } else if (std::isinf(lo)) {
+      probs[cell] = stats::normalCdf(hi, signal, sigma);
+    } else if (std::isinf(hi)) {
+      probs[cell] = stats::normalTail((lo - signal) / sigma);
+    } else {
+      probs[cell] = stats::normalIntervalProb(lo, hi, signal, sigma);
+    }
+  }
+  return probs;
+}
+
+}  // namespace mimostat::comm

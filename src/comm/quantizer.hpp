@@ -1,0 +1,46 @@
+// Uniform scalar quantizer with exact Gaussian cell probabilities.
+//
+// This is the bridge between the analog world and the DTMC: the probability
+// that a received sample with mean `signal` under AWGN falls into cell k
+// labels the DTMC transition (paper §III "DTMC modeling").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mimostat::comm {
+
+/// Uniform quantizer over [-range, range] with `levels` cells. The outer
+/// cells extend to +-infinity so cell probabilities always sum to exactly 1.
+/// Reconstruction values are cell midpoints (outer cells use the midpoint of
+/// their finite edge and the range bound).
+class UniformQuantizer {
+ public:
+  UniformQuantizer(int levels, double range);
+
+  [[nodiscard]] int levels() const { return levels_; }
+  [[nodiscard]] double range() const { return range_; }
+
+  /// Cell index of a real sample (0 .. levels-1).
+  [[nodiscard]] int index(double x) const;
+
+  /// Reconstruction value of a cell.
+  [[nodiscard]] double value(int cell) const;
+
+  /// Lower threshold of a cell (-inf for cell 0).
+  [[nodiscard]] double lowerThreshold(int cell) const;
+  /// Upper threshold of a cell (+inf for the last cell).
+  [[nodiscard]] double upperThreshold(int cell) const;
+
+  /// P(index(signal + N(0, sigma^2)) = k) for all k; sums to 1 exactly
+  /// (up to floating-point addition) by construction.
+  [[nodiscard]] std::vector<double> cellProbabilities(double signal,
+                                                      double sigma) const;
+
+ private:
+  int levels_;
+  double range_;
+  double step_;
+};
+
+}  // namespace mimostat::comm

@@ -1,0 +1,20 @@
+#include "comm/snr.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace mimostat::comm {
+
+double snrDbToLinear(double snrDb) { return std::pow(10.0, snrDb / 10.0); }
+
+double noiseSigma(double snrDb, double signalPower) {
+  assert(signalPower > 0.0);
+  return std::sqrt(signalPower / snrDbToLinear(snrDb));
+}
+
+double noiseSigmaPerDimension(double snrDb) {
+  const double n0 = 1.0 / snrDbToLinear(snrDb);
+  return std::sqrt(n0 / 2.0);
+}
+
+}  // namespace mimostat::comm

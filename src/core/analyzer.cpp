@@ -1,0 +1,64 @@
+#include "core/analyzer.hpp"
+
+#include "mc/transient.hpp"
+#include "pctl/parser.hpp"
+
+namespace mimostat::core {
+
+PerformanceAnalyzer::PerformanceAnalyzer(const dtmc::Model& model,
+                                         dtmc::BuildOptions buildOptions)
+    : model_(model), build_(dtmc::buildExplicit(model, buildOptions)) {
+  checker_ = std::make_unique<mc::Checker>(build_.dtmc, model_);
+}
+
+GuaranteeReport PerformanceAnalyzer::check(std::string_view property) const {
+  const mc::CheckResult result = checker_->check(property);
+  GuaranteeReport report;
+  report.property = std::string(property);
+  report.value = result.value;
+  report.satisfied = result.satisfied;
+  report.states = build_.dtmc.numStates();
+  report.transitions = build_.dtmc.numTransitions();
+  report.reachabilityIterations = build_.reachabilityIterations;
+  report.buildSeconds = build_.buildSeconds;
+  report.checkSeconds = result.checkSeconds;
+  return report;
+}
+
+std::vector<GuaranteeReport> PerformanceAnalyzer::sweepInstantaneous(
+    const std::vector<std::uint64_t>& horizons,
+    const std::string& rewardName) const {
+  std::vector<GuaranteeReport> reports;
+  reports.reserve(horizons.size());
+  for (const std::uint64_t horizon : horizons) {
+    std::string property = "R=? [ I=" + std::to_string(horizon) + " ]";
+    if (!rewardName.empty()) {
+      property = "R{\"" + rewardName + "\"}=? [ I=" + std::to_string(horizon) +
+                 " ]";
+    }
+    reports.push_back(check(property));
+  }
+  return reports;
+}
+
+mc::SteadyDetection PerformanceAnalyzer::detectSteadyState(
+    double tolerance, std::uint64_t window, std::uint64_t maxSteps) const {
+  const std::vector<double> reward = build_.dtmc.evalReward(model_, "");
+  return mc::detectRewardSteadyState(build_.dtmc, reward, tolerance, window,
+                                     maxSteps);
+}
+
+PerformanceAnalyzer::CrossCheck PerformanceAnalyzer::crossCheck(
+    std::string_view property, const sim::ErrorSource& source,
+    std::uint64_t steps) const {
+  CrossCheck result;
+  result.modelChecked = checker_->check(property).value;
+  sim::BerRunOptions options;
+  options.maxSteps = steps;
+  result.simulation = sim::runBer(source, options);
+  result.interval95 = result.simulation.errors.wilson(0.95);
+  result.insideInterval = result.interval95.contains(result.modelChecked);
+  return result;
+}
+
+}  // namespace mimostat::core

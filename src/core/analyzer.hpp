@@ -1,0 +1,67 @@
+// PerformanceAnalyzer — the paper's methodology as a facade.
+//
+// Given any dtmc::Model it (1) builds the reachable DTMC once, (2) checks
+// pCTL performance properties against it, (3) reports the model statistics
+// the paper tabulates, (4) can sweep R=?[I=T] over T to exhibit steady
+// state, and (5) can cross-check a model-checked value against a
+// Monte-Carlo error source with confidence intervals.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/report.hpp"
+#include "dtmc/builder.hpp"
+#include "mc/checker.hpp"
+#include "mc/transient.hpp"
+#include "sim/ber_simulator.hpp"
+
+namespace mimostat::core {
+
+class PerformanceAnalyzer {
+ public:
+  /// Builds the explicit DTMC eagerly. The model must outlive the analyzer.
+  explicit PerformanceAnalyzer(const dtmc::Model& model,
+                               dtmc::BuildOptions buildOptions = {});
+
+  [[nodiscard]] const dtmc::ExplicitDtmc& dtmc() const { return build_.dtmc; }
+  [[nodiscard]] std::uint32_t reachabilityIterations() const {
+    return build_.reachabilityIterations;
+  }
+  [[nodiscard]] double buildSeconds() const { return build_.buildSeconds; }
+
+  /// Check a property and package the paper-style report row.
+  [[nodiscard]] GuaranteeReport check(std::string_view property) const;
+
+  /// R=?[I=T] for each requested horizon (Tables III/IV/V rows).
+  [[nodiscard]] std::vector<GuaranteeReport> sweepInstantaneous(
+      const std::vector<std::uint64_t>& horizons,
+      const std::string& rewardName = {}) const;
+
+  /// Detect steady state of the default reward (tolerance on a window).
+  [[nodiscard]] mc::SteadyDetection detectSteadyState(
+      double tolerance = 1e-9, std::uint64_t window = 16,
+      std::uint64_t maxSteps = 100'000) const;
+
+  struct CrossCheck {
+    double modelChecked = 0.0;
+    sim::BerRunResult simulation;
+    stats::Interval interval95;
+    bool insideInterval = false;
+  };
+
+  /// Compare a model-checked value against a Monte-Carlo error source.
+  [[nodiscard]] CrossCheck crossCheck(std::string_view property,
+                                      const sim::ErrorSource& source,
+                                      std::uint64_t steps) const;
+
+ private:
+  const dtmc::Model& model_;
+  dtmc::BuildResult build_;
+  std::unique_ptr<mc::Checker> checker_;
+};
+
+}  // namespace mimostat::core

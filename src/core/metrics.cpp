@@ -1,0 +1,34 @@
+#include "core/metrics.hpp"
+
+namespace mimostat::core {
+
+const char* metricName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kBestCase:
+      return "P1 (best case)";
+    case MetricKind::kAverageCase:
+      return "P2 (average case)";
+    case MetricKind::kWorstCase:
+      return "P3 (worst case)";
+    case MetricKind::kConvergence:
+      return "C1 (convergence)";
+  }
+  return "?";
+}
+
+std::string metricProperty(MetricKind kind, std::uint64_t horizon,
+                           int threshold) {
+  switch (kind) {
+    case MetricKind::kBestCase:
+      return "P=? [ G<=" + std::to_string(horizon) + " !flag ]";
+    case MetricKind::kAverageCase:
+    case MetricKind::kConvergence:
+      return "R=? [ I=" + std::to_string(horizon) + " ]";
+    case MetricKind::kWorstCase:
+      return "P=? [ F<=" + std::to_string(horizon) + " errs>" +
+             std::to_string(threshold) + " ]";
+  }
+  return {};
+}
+
+}  // namespace mimostat::core

@@ -1,0 +1,37 @@
+#include "core/report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace mimostat::core {
+
+std::string formatValue(double value) {
+  char buffer[64];
+  if (value != 0.0 && (std::fabs(value) < 1e-3 || std::fabs(value) >= 1e6)) {
+    std::snprintf(buffer, sizeof(buffer), "%.3e", value);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.6f", value);
+  }
+  return buffer;
+}
+
+std::string formatReportTable(const std::string& title,
+                              const std::vector<GuaranteeReport>& reports) {
+  std::ostringstream os;
+  os << title << '\n';
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-34s %12s %14s %10s %12s\n", "Property",
+                "States", "Transitions", "Time(s)", "Result");
+  os << line;
+  for (const auto& r : reports) {
+    std::snprintf(line, sizeof(line), "%-34s %12llu %14llu %10.2f %12s\n",
+                  r.property.c_str(), static_cast<unsigned long long>(r.states),
+                  static_cast<unsigned long long>(r.transitions),
+                  r.totalSeconds(), formatValue(r.value).c_str());
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace mimostat::core

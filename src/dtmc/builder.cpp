@@ -1,0 +1,160 @@
+#include "dtmc/builder.hpp"
+
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/hash.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace mimostat::dtmc {
+
+namespace {
+
+using StateIndexMap =
+    std::unordered_map<State, std::uint32_t, util::VecI32Hash>;
+
+}  // namespace
+
+BuildResult buildExplicit(const Model& model, const BuildOptions& options) {
+  util::Stopwatch timer;
+
+  const VarLayout layout = model.layout();
+  StateIndexMap index;
+  std::vector<State> states;
+  std::vector<std::vector<Transition>> rows;
+
+  const auto internState = [&](const State& s) -> std::uint32_t {
+    auto [it, inserted] =
+        index.try_emplace(s, static_cast<std::uint32_t>(states.size()));
+    if (inserted) {
+      if (states.size() >= options.maxStates) {
+        throw std::runtime_error(
+            "buildExplicit: reachable state space exceeds maxStates");
+      }
+      states.push_back(s);
+    }
+    return it->second;
+  };
+
+  const std::vector<State> initial = model.initialStates();
+  if (initial.empty()) {
+    throw std::runtime_error("buildExplicit: model has no initial states");
+  }
+  std::vector<std::uint32_t> initialIdx;
+  initialIdx.reserve(initial.size());
+  for (const auto& s : initial) initialIdx.push_back(internState(s));
+
+  // BFS by levels so we can report the reachability-iteration count.
+  std::uint32_t frontierBegin = 0;
+  std::uint32_t reachabilityIterations = 0;
+  std::vector<Transition> scratch;
+  double worstMass = 0.0;
+
+  while (frontierBegin < states.size()) {
+    const auto frontierEnd = static_cast<std::uint32_t>(states.size());
+    ++reachabilityIterations;
+    for (std::uint32_t s = frontierBegin; s < frontierEnd; ++s) {
+      scratch.clear();
+      model.transitions(states[s], scratch);
+      const double mass = normalizeTransitions(scratch, options.probFloor);
+      worstMass = std::max(worstMass, std::fabs(mass - 1.0));
+      std::vector<Transition> row;
+      row.reserve(scratch.size());
+      for (auto& t : scratch) {
+        internState(t.target);
+        row.push_back(std::move(t));
+      }
+      rows.resize(states.size());
+      rows[s] = std::move(row);
+    }
+    frontierBegin = frontierEnd;
+  }
+  rows.resize(states.size());
+
+  if (worstMass > options.massTolerance) {
+    MS_LOG_WARN("buildExplicit: worst transition-mass deviation %.3e",
+                worstMass);
+  }
+
+  // Assemble CSR.
+  ExplicitDtmc::Raw raw;
+  raw.layout = layout;
+  raw.states = std::move(states);
+  raw.rowPtr.reserve(raw.states.size() + 1);
+  raw.rowPtr.push_back(0);
+  std::uint64_t nnz = 0;
+  for (const auto& row : rows) nnz += row.size();
+  raw.col.reserve(nnz);
+  raw.val.reserve(nnz);
+  for (auto& row : rows) {
+    for (const auto& t : row) {
+      raw.col.push_back(index.at(t.target));
+      raw.val.push_back(t.prob);
+    }
+    raw.rowPtr.push_back(raw.col.size());
+    row.clear();
+    row.shrink_to_fit();
+  }
+
+  raw.initial.assign(raw.states.size(), 0.0);
+  const double w = 1.0 / static_cast<double>(initialIdx.size());
+  for (const auto idx : initialIdx) raw.initial[idx] += w;
+
+  BuildResult result{ExplicitDtmc::fromRaw(std::move(raw)),
+                     reachabilityIterations, timer.elapsedSeconds()};
+  MS_LOG_INFO("buildExplicit: %u states, %llu transitions, RI=%u, %.2fs",
+              result.dtmc.numStates(),
+              static_cast<unsigned long long>(result.dtmc.numTransitions()),
+              result.reachabilityIterations, result.buildSeconds);
+  return result;
+}
+
+CountResult countReachable(const Model& model, std::uint64_t maxStates) {
+  util::Stopwatch timer;
+  const VarLayout layout = model.layout();
+  if (!layout.fitsInU64()) {
+    throw std::runtime_error(
+        "countReachable: model state does not pack into 64 bits");
+  }
+
+  util::PackedStateSet seen(1 << 20);
+  std::deque<std::uint64_t> frontier;
+
+  for (const auto& s : model.initialStates()) {
+    const std::uint64_t packed = layout.pack(s);
+    if (seen.insert(packed)) frontier.push_back(packed);
+  }
+
+  CountResult result;
+  std::vector<Transition> scratch;
+  while (!frontier.empty()) {
+    ++result.reachabilityIterations;
+    const std::size_t levelSize = frontier.size();
+    for (std::size_t i = 0; i < levelSize; ++i) {
+      const std::uint64_t packed = frontier.front();
+      frontier.pop_front();
+      scratch.clear();
+      model.transitions(layout.unpack(packed), scratch);
+      normalizeTransitions(scratch, 0.0);
+      result.numTransitions += scratch.size();
+      for (const auto& t : scratch) {
+        const std::uint64_t next = layout.pack(t.target);
+        if (seen.insert(next)) {
+          if (seen.size() > maxStates) {
+            throw std::runtime_error(
+                "countReachable: reachable state space exceeds maxStates");
+          }
+          frontier.push_back(next);
+        }
+      }
+    }
+  }
+  result.numStates = seen.size();
+  result.buildSeconds = timer.elapsedSeconds();
+  return result;
+}
+
+}  // namespace mimostat::dtmc

@@ -1,0 +1,54 @@
+// Explicit-state reachability builder.
+//
+// Breadth-first exploration from the initial states; the BFS depth at which
+// no new states appear is PRISM's "reachability iterations" (RI) reported in
+// the paper's Tables III-V. Also provides a memory-lean packed-u64 variant
+// that only counts reachable states (for the paper's original-model columns
+// where the full matrix would not fit in memory).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "dtmc/explicit_dtmc.hpp"
+#include "dtmc/model.hpp"
+
+namespace mimostat::dtmc {
+
+struct BuildOptions {
+  /// Abort when the reachable set exceeds this size.
+  std::uint64_t maxStates = 20'000'000;
+  /// Drop transitions with probability below this and renormalize
+  /// (PRISM-style 1e-15 discard when set; 0 disables).
+  double probFloor = 0.0;
+  /// Warn when a row's probability mass deviates from 1 by more than this.
+  double massTolerance = 1e-9;
+};
+
+struct BuildResult {
+  ExplicitDtmc dtmc;
+  /// BFS depth at which the reachable set stopped growing (PRISM's RI).
+  std::uint32_t reachabilityIterations = 0;
+  /// Wall-clock seconds spent building.
+  double buildSeconds = 0.0;
+};
+
+/// Build the reachable explicit DTMC for a model.
+/// Throws std::runtime_error when maxStates is exceeded.
+[[nodiscard]] BuildResult buildExplicit(const Model& model,
+                                        const BuildOptions& options = {});
+
+struct CountResult {
+  std::uint64_t numStates = 0;
+  std::uint64_t numTransitions = 0;
+  std::uint32_t reachabilityIterations = 0;
+  double buildSeconds = 0.0;
+};
+
+/// Count reachable states without materializing the matrix. Requires the
+/// model's packed state width to fit in 64 bits.
+/// Throws std::runtime_error when maxStates is exceeded.
+[[nodiscard]] CountResult countReachable(const Model& model,
+                                         std::uint64_t maxStates = 200'000'000);
+
+}  // namespace mimostat::dtmc

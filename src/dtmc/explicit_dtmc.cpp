@@ -1,0 +1,77 @@
+#include "dtmc/explicit_dtmc.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace mimostat::dtmc {
+
+ExplicitDtmc ExplicitDtmc::fromRaw(Raw raw) {
+  ExplicitDtmc d;
+  d.rowPtr_ = std::move(raw.rowPtr);
+  d.col_ = std::move(raw.col);
+  d.val_ = std::move(raw.val);
+  d.initial_ = std::move(raw.initial);
+  d.states_ = std::move(raw.states);
+  d.layout_ = std::move(raw.layout);
+  assert(!d.rowPtr_.empty());
+  assert(d.rowPtr_.back() == d.col_.size());
+  assert(d.col_.size() == d.val_.size());
+  assert(d.initial_.size() == d.rowPtr_.size() - 1);
+  return d;
+}
+
+std::vector<std::uint8_t> ExplicitDtmc::evalAtom(const Model& model,
+                                                 std::string_view name) const {
+  std::vector<std::uint8_t> truth(numStates());
+  for (std::uint32_t i = 0; i < numStates(); ++i) {
+    truth[i] = model.atom(states_[i], name) ? 1 : 0;
+  }
+  return truth;
+}
+
+std::vector<double> ExplicitDtmc::evalReward(const Model& model,
+                                             std::string_view name) const {
+  std::vector<double> reward(numStates());
+  for (std::uint32_t i = 0; i < numStates(); ++i) {
+    reward[i] = model.stateReward(states_[i], name);
+  }
+  return reward;
+}
+
+double ExplicitDtmc::maxRowDeviation() const {
+  double worst = 0.0;
+  for (std::uint32_t s = 0; s < numStates(); ++s) {
+    double sum = 0.0;
+    for (std::uint64_t k = rowPtr_[s]; k < rowPtr_[s + 1]; ++k) sum += val_[k];
+    worst = std::max(worst, std::fabs(sum - 1.0));
+  }
+  return worst;
+}
+
+void ExplicitDtmc::multiplyLeft(const std::vector<double>& x,
+                                std::vector<double>& y) const {
+  assert(x.size() == numStates());
+  y.assign(numStates(), 0.0);
+  for (std::uint32_t s = 0; s < numStates(); ++s) {
+    const double xs = x[s];
+    if (xs == 0.0) continue;
+    for (std::uint64_t k = rowPtr_[s]; k < rowPtr_[s + 1]; ++k) {
+      y[col_[k]] += xs * val_[k];
+    }
+  }
+}
+
+void ExplicitDtmc::multiplyRight(const std::vector<double>& x,
+                                 std::vector<double>& y) const {
+  assert(x.size() == numStates());
+  y.assign(numStates(), 0.0);
+  for (std::uint32_t s = 0; s < numStates(); ++s) {
+    double acc = 0.0;
+    for (std::uint64_t k = rowPtr_[s]; k < rowPtr_[s + 1]; ++k) {
+      acc += val_[k] * x[col_[k]];
+    }
+    y[s] = acc;
+  }
+}
+
+}  // namespace mimostat::dtmc

@@ -1,0 +1,86 @@
+// Explicit-state DTMC: CSR sparse transition matrix plus the decoded state
+// table, initial distribution, and cached label/reward vectors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dtmc/model.hpp"
+#include "dtmc/state.hpp"
+
+namespace mimostat::dtmc {
+
+class ExplicitDtmc {
+ public:
+  /// Number of states.
+  [[nodiscard]] std::uint32_t numStates() const {
+    return static_cast<std::uint32_t>(rowPtr_.size() - 1);
+  }
+  /// Number of nonzero transitions.
+  [[nodiscard]] std::uint64_t numTransitions() const { return col_.size(); }
+
+  /// CSR accessors.
+  [[nodiscard]] const std::vector<std::uint64_t>& rowPtr() const { return rowPtr_; }
+  [[nodiscard]] const std::vector<std::uint32_t>& col() const { return col_; }
+  [[nodiscard]] const std::vector<double>& val() const { return val_; }
+
+  /// Initial distribution over states (sums to 1).
+  [[nodiscard]] const std::vector<double>& initialDistribution() const {
+    return initial_;
+  }
+
+  /// Variable layout of the source model.
+  [[nodiscard]] const VarLayout& varLayout() const { return layout_; }
+
+  /// Decoded state table (index -> variable assignment).
+  [[nodiscard]] const std::vector<State>& states() const { return states_; }
+  [[nodiscard]] const State& state(std::uint32_t idx) const { return states_[idx]; }
+
+  /// Value of variable `varIdx` in state `stateIdx`.
+  [[nodiscard]] std::int32_t varValue(std::uint32_t stateIdx,
+                                      std::size_t varIdx) const {
+    return states_[stateIdx][varIdx];
+  }
+
+  /// Per-state truth vector of an atomic proposition, evaluated through the
+  /// source model's atom() hook.
+  [[nodiscard]] std::vector<std::uint8_t> evalAtom(const Model& model,
+                                                   std::string_view name) const;
+
+  /// Per-state reward vector from the source model.
+  [[nodiscard]] std::vector<double> evalReward(const Model& model,
+                                               std::string_view name) const;
+
+  /// Verify every row sums to 1 within `tol`; returns the worst deviation.
+  [[nodiscard]] double maxRowDeviation() const;
+
+  /// y = x * P (row vector times matrix). x.size()==numStates.
+  void multiplyLeft(const std::vector<double>& x, std::vector<double>& y) const;
+
+  /// y = P * x (matrix times column vector) — used by bounded-until backward
+  /// iterations.
+  void multiplyRight(const std::vector<double>& x, std::vector<double>& y) const;
+
+  // --- construction (used by Builder) ---
+  struct Raw {
+    std::vector<std::uint64_t> rowPtr;
+    std::vector<std::uint32_t> col;
+    std::vector<double> val;
+    std::vector<double> initial;
+    std::vector<State> states;
+    VarLayout layout;
+  };
+  static ExplicitDtmc fromRaw(Raw raw);
+
+ private:
+  std::vector<std::uint64_t> rowPtr_{0};
+  std::vector<std::uint32_t> col_;
+  std::vector<double> val_;
+  std::vector<double> initial_;
+  std::vector<State> states_;
+  VarLayout layout_;
+};
+
+}  // namespace mimostat::dtmc

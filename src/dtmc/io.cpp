@@ -1,0 +1,365 @@
+#include "dtmc/io.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace mimostat::dtmc {
+
+void writeTra(const ExplicitDtmc& dtmc, std::ostream& os) {
+  // Full round-trip precision: probabilities must survive write/read.
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << dtmc.numStates() << ' ' << dtmc.numTransitions() << '\n';
+  for (std::uint32_t s = 0; s < dtmc.numStates(); ++s) {
+    for (std::uint64_t k = dtmc.rowPtr()[s]; k < dtmc.rowPtr()[s + 1]; ++k) {
+      os << s << ' ' << dtmc.col()[k] << ' ' << dtmc.val()[k] << '\n';
+    }
+  }
+}
+
+void writeSta(const ExplicitDtmc& dtmc, std::ostream& os) {
+  os << '(';
+  const auto& vars = dtmc.varLayout().vars();
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    if (i != 0) os << ',';
+    os << vars[i].name;
+  }
+  os << ")\n";
+  for (std::uint32_t s = 0; s < dtmc.numStates(); ++s) {
+    os << s << ":(";
+    const State& st = dtmc.state(s);
+    for (std::size_t i = 0; i < st.size(); ++i) {
+      if (i != 0) os << ',';
+      os << st[i];
+    }
+    os << ")\n";
+  }
+}
+
+void writeDot(const ExplicitDtmc& dtmc, std::ostream& os) {
+  os << "digraph dtmc {\n  rankdir=LR;\n";
+  for (std::uint32_t s = 0; s < dtmc.numStates(); ++s) {
+    os << "  s" << s << " [label=\"" << s << "\"";
+    if (dtmc.initialDistribution()[s] > 0.0) os << ", shape=doublecircle";
+    os << "];\n";
+  }
+  for (std::uint32_t s = 0; s < dtmc.numStates(); ++s) {
+    for (std::uint64_t k = dtmc.rowPtr()[s]; k < dtmc.rowPtr()[s + 1]; ++k) {
+      os << "  s" << s << " -> s" << dtmc.col()[k] << " [label=\""
+         << dtmc.val()[k] << "\"];\n";
+    }
+  }
+  os << "}\n";
+}
+
+void writeLab(const ExplicitDtmc& dtmc, const Model& model,
+              const std::vector<std::string>& labels, std::ostream& os) {
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i != 0) os << ' ';
+    os << i << "=\"" << labels[i] << '"';
+  }
+  os << '\n';
+  for (std::uint32_t s = 0; s < dtmc.numStates(); ++s) {
+    bool any = false;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (model.atom(dtmc.state(s), labels[i])) {
+        if (!any) {
+          os << s << ':';
+          any = true;
+        }
+        os << ' ' << i;
+      }
+    }
+    if (any) os << '\n';
+  }
+}
+
+void writeSrew(const ExplicitDtmc& dtmc, const Model& model,
+               std::string_view rewardName, std::ostream& os) {
+  std::vector<std::pair<std::uint32_t, double>> nonzero;
+  for (std::uint32_t s = 0; s < dtmc.numStates(); ++s) {
+    const double r = model.stateReward(dtmc.state(s), rewardName);
+    if (r != 0.0) nonzero.emplace_back(s, r);
+  }
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << dtmc.numStates() << ' ' << nonzero.size() << '\n';
+  for (const auto& [s, r] : nonzero) os << s << ' ' << r << '\n';
+}
+
+ExplicitDtmc readTra(std::istream& tra, std::istream* sta,
+                     std::uint32_t initialState) {
+  std::uint32_t numStates = 0;
+  std::uint64_t numTransitions = 0;
+  if (!(tra >> numStates >> numTransitions)) {
+    throw std::runtime_error("readTra: malformed header");
+  }
+  struct Entry {
+    std::uint32_t src;
+    std::uint32_t dst;
+    double prob;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(numTransitions);
+  for (std::uint64_t i = 0; i < numTransitions; ++i) {
+    Entry e{};
+    if (!(tra >> e.src >> e.dst >> e.prob)) {
+      throw std::runtime_error("readTra: truncated transition list");
+    }
+    if (e.src >= numStates || e.dst >= numStates) {
+      throw std::runtime_error("readTra: state index out of range");
+    }
+    entries.push_back(e);
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry& a, const Entry& b) { return a.src < b.src; });
+
+  ExplicitDtmc::Raw raw;
+  raw.rowPtr.assign(1, 0);
+  std::uint32_t row = 0;
+  for (const Entry& e : entries) {
+    while (row < e.src) {
+      raw.rowPtr.push_back(raw.col.size());
+      ++row;
+    }
+    raw.col.push_back(e.dst);
+    raw.val.push_back(e.prob);
+  }
+  while (row < numStates) {
+    raw.rowPtr.push_back(raw.col.size());
+    ++row;
+  }
+
+  if (initialState >= numStates) {
+    throw std::runtime_error("readTra: initial state out of range");
+  }
+  raw.initial.assign(numStates, 0.0);
+  raw.initial[initialState] = 1.0;
+
+  if (sta != nullptr) {
+    std::string header;
+    if (!std::getline(*sta, header)) {
+      throw std::runtime_error("readTra: empty .sta stream");
+    }
+    // header: (v1,v2,...)
+    std::vector<std::string> names;
+    std::string current;
+    for (const char c : header) {
+      if (c == '(' || std::isspace(static_cast<unsigned char>(c))) continue;
+      if (c == ',' || c == ')') {
+        if (!current.empty()) names.push_back(std::exchange(current, {}));
+      } else {
+        current.push_back(c);
+      }
+    }
+    raw.states.assign(numStates, State(names.size(), 0));
+    std::vector<VarSpec> specs;
+    for (const auto& name : names) {
+      specs.push_back({name, std::numeric_limits<std::int32_t>::max(),
+                       std::numeric_limits<std::int32_t>::min()});
+    }
+    std::string line;
+    while (std::getline(*sta, line)) {
+      if (line.empty()) continue;
+      const auto colon = line.find(':');
+      if (colon == std::string::npos) {
+        throw std::runtime_error("readTra: malformed .sta line");
+      }
+      const auto idx =
+          static_cast<std::uint32_t>(std::stoul(line.substr(0, colon)));
+      if (idx >= numStates) {
+        throw std::runtime_error("readTra: .sta state index out of range");
+      }
+      State& state = raw.states[idx];
+      std::size_t var = 0;
+      std::string token;
+      for (std::size_t i = colon + 1; i < line.size(); ++i) {
+        const char c = line[i];
+        if (c == '(' || std::isspace(static_cast<unsigned char>(c))) continue;
+        if (c == ',' || c == ')') {
+          if (!token.empty()) {
+            if (var >= names.size()) {
+              throw std::runtime_error("readTra: too many values in .sta");
+            }
+            state[var] = static_cast<std::int32_t>(
+                std::stol(std::exchange(token, {})));
+            ++var;
+          }
+        } else {
+          token.push_back(c);
+        }
+      }
+      if (var != names.size()) {
+        throw std::runtime_error("readTra: wrong arity in .sta line");
+      }
+    }
+    for (std::uint32_t s = 0; s < numStates; ++s) {
+      for (std::size_t v = 0; v < specs.size(); ++v) {
+        specs[v].lo = std::min(specs[v].lo, raw.states[s][v]);
+        specs[v].hi = std::max(specs[v].hi, raw.states[s][v]);
+      }
+    }
+    raw.layout = VarLayout(specs);
+  } else {
+    // No state file: identity state table over one index variable.
+    raw.layout = VarLayout(
+        {{"s", 0, static_cast<std::int32_t>(numStates) - 1}});
+    raw.states.reserve(numStates);
+    for (std::uint32_t s = 0; s < numStates; ++s) {
+      raw.states.push_back({static_cast<std::int32_t>(s)});
+    }
+  }
+  return ExplicitDtmc::fromRaw(std::move(raw));
+}
+
+std::vector<std::pair<std::string, std::vector<std::uint8_t>>> readLab(
+    std::istream& lab, std::uint32_t numStates) {
+  std::string header;
+  if (!std::getline(lab, header)) {
+    throw std::runtime_error("readLab: empty stream");
+  }
+  // header: 0="init" 1="error" ...
+  std::vector<std::pair<std::string, std::vector<std::uint8_t>>> labels;
+  {
+    std::istringstream hs(header);
+    std::string item;
+    while (hs >> item) {
+      const auto eq = item.find('=');
+      if (eq == std::string::npos || item.size() < eq + 3) {
+        throw std::runtime_error("readLab: malformed header item");
+      }
+      const auto id = std::stoul(item.substr(0, eq));
+      std::string name = item.substr(eq + 1);
+      if (name.front() != '"' || name.back() != '"') {
+        throw std::runtime_error("readLab: label name not quoted");
+      }
+      name = name.substr(1, name.size() - 2);
+      if (id != labels.size()) {
+        throw std::runtime_error("readLab: non-sequential label ids");
+      }
+      labels.emplace_back(std::move(name),
+                          std::vector<std::uint8_t>(numStates, 0));
+    }
+  }
+  std::string line;
+  while (std::getline(lab, line)) {
+    if (line.empty()) continue;
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) {
+      throw std::runtime_error("readLab: malformed state line");
+    }
+    const auto state =
+        static_cast<std::uint32_t>(std::stoul(line.substr(0, colon)));
+    if (state >= numStates) {
+      throw std::runtime_error("readLab: state index out of range");
+    }
+    std::istringstream ls(line.substr(colon + 1));
+    std::size_t id = 0;
+    while (ls >> id) {
+      if (id >= labels.size()) {
+        throw std::runtime_error("readLab: label id out of range");
+      }
+      labels[id].second[state] = 1;
+    }
+  }
+  return labels;
+}
+
+std::vector<double> readSrew(std::istream& srew, std::uint32_t numStates) {
+  std::uint32_t headerStates = 0;
+  std::uint64_t nonzero = 0;
+  if (!(srew >> headerStates >> nonzero)) {
+    throw std::runtime_error("readSrew: malformed header");
+  }
+  if (headerStates != numStates) {
+    throw std::runtime_error("readSrew: state count mismatch");
+  }
+  std::vector<double> rewards(numStates, 0.0);
+  for (std::uint64_t i = 0; i < nonzero; ++i) {
+    std::uint32_t state = 0;
+    double value = 0.0;
+    if (!(srew >> state >> value)) {
+      throw std::runtime_error("readSrew: truncated reward list");
+    }
+    if (state >= numStates) {
+      throw std::runtime_error("readSrew: state index out of range");
+    }
+    rewards[state] = value;
+  }
+  return rewards;
+}
+
+ImportedModel::ImportedModel(ImportedExplicit imported)
+    : imported_(std::move(imported)) {}
+
+std::vector<VarSpec> ImportedModel::variables() const {
+  return {{"s", 0,
+           static_cast<std::int32_t>(imported_.dtmc.numStates()) - 1}};
+}
+
+std::vector<State> ImportedModel::initialStates() const {
+  std::vector<State> initial;
+  const auto& dist = imported_.dtmc.initialDistribution();
+  for (std::uint32_t s = 0; s < imported_.dtmc.numStates(); ++s) {
+    if (dist[s] > 0.0) initial.push_back({static_cast<std::int32_t>(s)});
+  }
+  return initial;
+}
+
+void ImportedModel::transitions(const State& s,
+                                std::vector<Transition>& out) const {
+  const std::uint32_t idx = indexOf(s);
+  const auto& d = imported_.dtmc;
+  for (std::uint64_t k = d.rowPtr()[idx]; k < d.rowPtr()[idx + 1]; ++k) {
+    out.push_back({d.val()[k], {static_cast<std::int32_t>(d.col()[k])}});
+  }
+  if (d.rowPtr()[idx] == d.rowPtr()[idx + 1]) {
+    out.push_back({1.0, s});  // missing row: absorbing
+  }
+}
+
+bool ImportedModel::atom(const State& s, std::string_view name) const {
+  for (const auto& [labelName, truth] : imported_.labels) {
+    if (labelName == name) return truth[indexOf(s)] != 0;
+  }
+  return false;
+}
+
+double ImportedModel::stateReward(const State& s,
+                                  std::string_view name) const {
+  const std::string_view effective =
+      (name == "default") ? std::string_view{} : name;
+  for (const auto& [rewardName, values] : imported_.rewards) {
+    if (rewardName == effective) return values[indexOf(s)];
+  }
+  return 0.0;
+}
+
+namespace {
+std::ofstream openOrThrow(const std::string& path) {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("cannot open for writing: " + path);
+  return file;
+}
+}  // namespace
+
+void writeTraFile(const ExplicitDtmc& dtmc, const std::string& path) {
+  auto file = openOrThrow(path);
+  writeTra(dtmc, file);
+}
+
+void writeStaFile(const ExplicitDtmc& dtmc, const std::string& path) {
+  auto file = openOrThrow(path);
+  writeSta(dtmc, file);
+}
+
+void writeDotFile(const ExplicitDtmc& dtmc, const std::string& path) {
+  auto file = openOrThrow(path);
+  writeDot(dtmc, file);
+}
+
+}  // namespace mimostat::dtmc

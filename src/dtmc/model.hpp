@@ -1,0 +1,58 @@
+// Abstract DTMC model interface — the library's analogue of a PRISM module.
+//
+// A model declares its state variables, its initial states, and a transition
+// function mapping each state to a probability distribution over successor
+// states (paper Eq. 2-5 define such a function for the Viterbi decoder).
+// Labels (atomic propositions) and reward structures are exposed by name so
+// pCTL properties can refer to them.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "dtmc/state.hpp"
+
+namespace mimostat::dtmc {
+
+/// One probabilistic successor: (probability, target state).
+struct Transition {
+  double prob = 0.0;
+  State target;
+};
+
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  /// Ordered list of state variables; defines the State vector layout.
+  [[nodiscard]] virtual std::vector<VarSpec> variables() const = 0;
+
+  /// Initial states (taken as a uniform distribution when more than one).
+  [[nodiscard]] virtual std::vector<State> initialStates() const = 0;
+
+  /// Append the successor distribution of `s` to `out`. Implementations may
+  /// emit duplicate targets; the builder merges them. Probabilities must sum
+  /// to 1 within 1e-9.
+  virtual void transitions(const State& s, std::vector<Transition>& out) const = 0;
+
+  /// Truth of the named atomic proposition in state `s`.
+  /// Default: no atoms (returns false for every name).
+  [[nodiscard]] virtual bool atom(const State& s, std::string_view name) const;
+
+  /// Value of the named reward structure in state `s`.
+  /// Default reward (empty name or "default") is 0.
+  [[nodiscard]] virtual double stateReward(const State& s,
+                                           std::string_view name) const;
+
+  /// Convenience: layout built from variables().
+  [[nodiscard]] VarLayout layout() const { return VarLayout(variables()); }
+};
+
+/// Merge duplicate targets in a transition list (sums probabilities) and
+/// optionally drop entries below `floor`, renormalizing the remainder.
+/// Returns the total probability mass before normalization (should be ~1).
+double normalizeTransitions(std::vector<Transition>& transitions, double floor);
+
+}  // namespace mimostat::dtmc

@@ -1,0 +1,156 @@
+#include "lump/bisim.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/hash.hpp"
+#include "util/timer.hpp"
+
+namespace mimostat::lump {
+
+namespace {
+
+/// Hash of a state's signature: sorted (target block, bucketed prob) pairs,
+/// merged per block.
+std::uint64_t signatureHash(const dtmc::ExplicitDtmc& dtmc, std::uint32_t s,
+                            const std::vector<std::uint32_t>& blockOf,
+                            double resolution,
+                            std::vector<std::pair<std::uint32_t, double>>& scratch) {
+  scratch.clear();
+  for (std::uint64_t k = dtmc.rowPtr()[s]; k < dtmc.rowPtr()[s + 1]; ++k) {
+    scratch.emplace_back(blockOf[dtmc.col()[k]], dtmc.val()[k]);
+  }
+  std::sort(scratch.begin(), scratch.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::uint64_t hash = 0x9E3779B97F4A7C15ULL;
+  std::size_t i = 0;
+  while (i < scratch.size()) {
+    const std::uint32_t block = scratch[i].first;
+    double prob = 0.0;
+    while (i < scratch.size() && scratch[i].first == block) {
+      prob += scratch[i].second;
+      ++i;
+    }
+    const auto bucket =
+        static_cast<std::int64_t>(std::llround(prob / resolution));
+    hash = util::hashCombine(hash, util::mix64(block));
+    hash = util::hashCombine(hash, util::mix64(static_cast<std::uint64_t>(bucket)));
+  }
+  return hash;
+}
+
+}  // namespace
+
+InitialKeys keysFromRewardAndLabels(
+    const std::vector<double>& reward,
+    const std::vector<std::vector<std::uint8_t>>& labels,
+    double rewardResolution) {
+  InitialKeys keys(reward.size());
+  for (std::size_t s = 0; s < reward.size(); ++s) {
+    const auto bucket =
+        static_cast<std::int64_t>(std::llround(reward[s] / rewardResolution));
+    std::uint64_t key = util::mix64(static_cast<std::uint64_t>(bucket));
+    for (std::size_t l = 0; l < labels.size(); ++l) {
+      assert(labels[l].size() == reward.size());
+      key = util::hashCombine(key, labels[l][s] ? l + 1 : 0);
+    }
+    keys[s] = key;
+  }
+  return keys;
+}
+
+LumpResult lump(const dtmc::ExplicitDtmc& dtmc, const InitialKeys& initialKeys,
+                const LumpOptions& options) {
+  util::Stopwatch timer;
+  const std::uint32_t n = dtmc.numStates();
+  assert(initialKeys.size() == n);
+
+  LumpResult result;
+  std::vector<std::uint32_t>& blockOf = result.partition.blockOf;
+  blockOf.assign(n, 0);
+
+  // Initial partition from the keys.
+  {
+    std::unordered_map<std::uint64_t, std::uint32_t> blockIds;
+    for (std::uint32_t s = 0; s < n; ++s) {
+      auto [it, inserted] = blockIds.try_emplace(
+          initialKeys[s], static_cast<std::uint32_t>(blockIds.size()));
+      blockOf[s] = it->second;
+    }
+    result.partition.numBlocks = static_cast<std::uint32_t>(blockIds.size());
+  }
+
+  // Signature refinement to fixpoint.
+  std::vector<std::pair<std::uint32_t, double>> scratch;
+  std::vector<std::uint32_t> newBlockOf(n);
+  for (std::uint32_t round = 0; round < options.maxRefinementRounds; ++round) {
+    ++result.refinementRounds;
+    std::unordered_map<std::uint64_t, std::uint32_t> blockIds;
+    blockIds.reserve(result.partition.numBlocks * 2);
+    for (std::uint32_t s = 0; s < n; ++s) {
+      const std::uint64_t sig =
+          signatureHash(dtmc, s, blockOf, options.probResolution, scratch);
+      const std::uint64_t key =
+          util::hashCombine(util::mix64(blockOf[s]), sig);
+      auto [it, inserted] =
+          blockIds.try_emplace(key, static_cast<std::uint32_t>(blockIds.size()));
+      newBlockOf[s] = it->second;
+    }
+    const auto newCount = static_cast<std::uint32_t>(blockIds.size());
+    blockOf.swap(newBlockOf);
+    if (newCount == result.partition.numBlocks) break;
+    result.partition.numBlocks = newCount;
+  }
+
+  // Representatives: first state of each block.
+  result.representative.assign(result.partition.numBlocks, ~0u);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    if (result.representative[blockOf[s]] == ~0u) {
+      result.representative[blockOf[s]] = s;
+    }
+  }
+
+  // Quotient matrix: aggregate each representative's row per target block.
+  dtmc::ExplicitDtmc::Raw raw;
+  raw.layout = dtmc.varLayout();
+  raw.rowPtr.reserve(result.partition.numBlocks + 1);
+  raw.rowPtr.push_back(0);
+  std::vector<double> rowAccum(result.partition.numBlocks, 0.0);
+  std::vector<std::uint32_t> touched;
+  for (std::uint32_t b = 0; b < result.partition.numBlocks; ++b) {
+    const std::uint32_t rep = result.representative[b];
+    touched.clear();
+    for (std::uint64_t k = dtmc.rowPtr()[rep]; k < dtmc.rowPtr()[rep + 1]; ++k) {
+      const std::uint32_t tb = blockOf[dtmc.col()[k]];
+      if (rowAccum[tb] == 0.0) touched.push_back(tb);
+      rowAccum[tb] += dtmc.val()[k];
+    }
+    std::sort(touched.begin(), touched.end());
+    for (const std::uint32_t tb : touched) {
+      raw.col.push_back(tb);
+      raw.val.push_back(rowAccum[tb]);
+      rowAccum[tb] = 0.0;
+    }
+    raw.rowPtr.push_back(raw.col.size());
+  }
+
+  // Initial distribution: block mass = sum of member masses.
+  raw.initial.assign(result.partition.numBlocks, 0.0);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    raw.initial[blockOf[s]] += dtmc.initialDistribution()[s];
+  }
+
+  // Quotient state table: representatives (keeps VarCmp properties usable).
+  raw.states.reserve(result.partition.numBlocks);
+  for (std::uint32_t b = 0; b < result.partition.numBlocks; ++b) {
+    raw.states.push_back(dtmc.state(result.representative[b]));
+  }
+
+  result.quotient = dtmc::ExplicitDtmc::fromRaw(std::move(raw));
+  result.seconds = timer.elapsedSeconds();
+  return result;
+}
+
+}  // namespace mimostat::lump

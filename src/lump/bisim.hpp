@@ -1,0 +1,61 @@
+// Probabilistic bisimulation minimisation by signature refinement.
+//
+// Implements the partition-refinement view of the Strong Lumping Theorem
+// (Derisavi, Hermanns & Sanders; cited as [17] in the paper): start from an
+// initial partition that separates states with different labels/rewards,
+// then repeatedly split blocks whose states have different probability
+// signatures (block -> summed probability maps) until a fixpoint. The final
+// partition is the coarsest lumpable refinement of the initial one, and the
+// quotient DTMC is a probabilistic bisimulation of the original with
+// respect to every property definable over the initial partition's keys.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dtmc/explicit_dtmc.hpp"
+
+namespace mimostat::lump {
+
+struct Partition {
+  /// Block id per state.
+  std::vector<std::uint32_t> blockOf;
+  std::uint32_t numBlocks = 0;
+};
+
+struct LumpOptions {
+  /// Probabilities are bucketed to this resolution when hashing signatures
+  /// (guards against floating-point noise splitting equal blocks).
+  double probResolution = 1e-12;
+  std::uint32_t maxRefinementRounds = 1'000'000;
+};
+
+struct LumpResult {
+  Partition partition;
+  dtmc::ExplicitDtmc quotient;
+  /// stateOf[block] = representative original state index.
+  std::vector<std::uint32_t> representative;
+  std::uint32_t refinementRounds = 0;
+  double seconds = 0.0;
+};
+
+/// Initial-partition keys: states with different keys may never share a
+/// block. Typical key: (reward value, relevant label bits).
+using InitialKeys = std::vector<std::uint64_t>;
+
+/// Coarsest lumping quotient respecting the initial keys.
+/// The quotient's states() table stores the representative original states,
+/// and its VarLayout is inherited — so pCTL variable comparisons keep
+/// working on the quotient as long as the compared variables are constant
+/// within blocks (true whenever they are part of the initial keys).
+[[nodiscard]] LumpResult lump(const dtmc::ExplicitDtmc& dtmc,
+                              const InitialKeys& initialKeys,
+                              const LumpOptions& options = {});
+
+/// Initial keys from a reward vector (bucketed) and optional label vectors.
+[[nodiscard]] InitialKeys keysFromRewardAndLabels(
+    const std::vector<double>& reward,
+    const std::vector<std::vector<std::uint8_t>>& labels,
+    double rewardResolution = 1e-12);
+
+}  // namespace mimostat::lump

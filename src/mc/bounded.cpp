@@ -1,0 +1,80 @@
+#include "mc/bounded.hpp"
+
+#include <cassert>
+
+namespace mimostat::mc {
+
+std::vector<double> boundedUntil(const dtmc::ExplicitDtmc& dtmc,
+                                 const std::vector<std::uint8_t>& phi,
+                                 const std::vector<std::uint8_t>& psi,
+                                 std::uint64_t bound) {
+  const std::uint32_t n = dtmc.numStates();
+  assert(phi.size() == n && psi.size() == n);
+
+  std::vector<double> x(n);
+  for (std::uint32_t s = 0; s < n; ++s) x[s] = psi[s] ? 1.0 : 0.0;
+
+  std::vector<double> next(n);
+  for (std::uint64_t j = 0; j < bound; ++j) {
+    for (std::uint32_t s = 0; s < n; ++s) {
+      if (psi[s]) {
+        next[s] = 1.0;
+      } else if (!phi[s]) {
+        next[s] = 0.0;
+      } else {
+        double acc = 0.0;
+        for (std::uint64_t k = dtmc.rowPtr()[s]; k < dtmc.rowPtr()[s + 1]; ++k) {
+          acc += dtmc.val()[k] * x[dtmc.col()[k]];
+        }
+        next[s] = acc;
+      }
+    }
+    x.swap(next);
+  }
+  return x;
+}
+
+std::vector<double> boundedFinally(const dtmc::ExplicitDtmc& dtmc,
+                                   const std::vector<std::uint8_t>& psi,
+                                   std::uint64_t bound) {
+  const std::vector<std::uint8_t> phi(dtmc.numStates(), 1);
+  return boundedUntil(dtmc, phi, psi, bound);
+}
+
+std::vector<double> boundedGlobally(const dtmc::ExplicitDtmc& dtmc,
+                                    const std::vector<std::uint8_t>& phi,
+                                    std::uint64_t bound) {
+  std::vector<std::uint8_t> notPhi(dtmc.numStates());
+  for (std::uint32_t s = 0; s < dtmc.numStates(); ++s) notPhi[s] = phi[s] ? 0 : 1;
+  std::vector<double> reach = boundedFinally(dtmc, notPhi, bound);
+  for (double& v : reach) v = 1.0 - v;
+  return reach;
+}
+
+std::vector<double> nextProb(const dtmc::ExplicitDtmc& dtmc,
+                             const std::vector<std::uint8_t>& psi) {
+  const std::uint32_t n = dtmc.numStates();
+  assert(psi.size() == n);
+  std::vector<double> x(n);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    double acc = 0.0;
+    for (std::uint64_t k = dtmc.rowPtr()[s]; k < dtmc.rowPtr()[s + 1]; ++k) {
+      if (psi[dtmc.col()[k]]) acc += dtmc.val()[k];
+    }
+    x[s] = acc;
+  }
+  return x;
+}
+
+double fromInitial(const dtmc::ExplicitDtmc& dtmc,
+                   const std::vector<double>& stateValues) {
+  const auto& init = dtmc.initialDistribution();
+  assert(stateValues.size() == init.size());
+  double acc = 0.0;
+  for (std::size_t s = 0; s < init.size(); ++s) {
+    if (init[s] > 0.0) acc += init[s] * stateValues[s];
+  }
+  return acc;
+}
+
+}  // namespace mimostat::mc

@@ -1,0 +1,39 @@
+// Bounded path operators (the paper's P1 and P3 properties).
+//
+//   P(phi U<=k psi) — standard backward value iteration:
+//     x_0 = [psi];  x_{j+1}(s) = psi(s) ? 1 : (phi(s) ? sum P(s,.) x_j : 0)
+//   P(F<=k psi) = P(true U<=k psi)
+//   P(G<=k phi) = 1 - P(F<=k !phi)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dtmc/explicit_dtmc.hpp"
+
+namespace mimostat::mc {
+
+/// Per-state probability of (phi U<=bound psi). phi/psi are 0/1 vectors.
+[[nodiscard]] std::vector<double> boundedUntil(
+    const dtmc::ExplicitDtmc& dtmc, const std::vector<std::uint8_t>& phi,
+    const std::vector<std::uint8_t>& psi, std::uint64_t bound);
+
+/// Per-state probability of F<=bound psi.
+[[nodiscard]] std::vector<double> boundedFinally(
+    const dtmc::ExplicitDtmc& dtmc, const std::vector<std::uint8_t>& psi,
+    std::uint64_t bound);
+
+/// Per-state probability of G<=bound phi.
+[[nodiscard]] std::vector<double> boundedGlobally(
+    const dtmc::ExplicitDtmc& dtmc, const std::vector<std::uint8_t>& phi,
+    std::uint64_t bound);
+
+/// Per-state probability of X psi.
+[[nodiscard]] std::vector<double> nextProb(const dtmc::ExplicitDtmc& dtmc,
+                                           const std::vector<std::uint8_t>& psi);
+
+/// Weigh per-state values by the initial distribution.
+[[nodiscard]] double fromInitial(const dtmc::ExplicitDtmc& dtmc,
+                                 const std::vector<double>& stateValues);
+
+}  // namespace mimostat::mc

@@ -1,0 +1,187 @@
+#include "mc/checker.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mc/bounded.hpp"
+#include "mc/steady.hpp"
+#include "mc/transient.hpp"
+#include "mc/unbounded.hpp"
+#include "util/timer.hpp"
+
+namespace mimostat::mc {
+
+namespace {
+bool evalCmpDouble(pctl::CmpOp op, double lhs, double rhs) {
+  switch (op) {
+    case pctl::CmpOp::kEq:
+      return lhs == rhs;
+    case pctl::CmpOp::kNe:
+      return lhs != rhs;
+    case pctl::CmpOp::kLt:
+      return lhs < rhs;
+    case pctl::CmpOp::kLe:
+      return lhs <= rhs;
+    case pctl::CmpOp::kGt:
+      return lhs > rhs;
+    case pctl::CmpOp::kGe:
+      return lhs >= rhs;
+  }
+  return false;
+}
+}  // namespace
+
+Checker::Checker(const dtmc::ExplicitDtmc& dtmc, const dtmc::Model& model,
+                 CheckOptions options)
+    : dtmc_(dtmc), model_(model), options_(options) {}
+
+std::vector<std::uint8_t> Checker::evalStateFormula(
+    const pctl::StateFormula& f) const {
+  using Kind = pctl::StateFormula::Kind;
+  const std::uint32_t n = dtmc_.numStates();
+  std::vector<std::uint8_t> truth(n, 0);
+
+  switch (f.kind) {
+    case Kind::kTrue:
+      std::fill(truth.begin(), truth.end(), 1);
+      return truth;
+    case Kind::kFalse:
+      return truth;
+    case Kind::kAtom: {
+      // Resolve against a variable first (bare identifier sugar: var != 0),
+      // then against the model's named atoms.
+      const auto varIdx = dtmc_.varLayout().tryIndexOf(f.name);
+      if (varIdx != dtmc::VarLayout::npos) {
+        for (std::uint32_t s = 0; s < n; ++s) {
+          truth[s] = dtmc_.varValue(s, varIdx) != 0 ? 1 : 0;
+        }
+        return truth;
+      }
+      return dtmc_.evalAtom(model_, f.name);
+    }
+    case Kind::kVarCmp: {
+      const auto varIdx = dtmc_.varLayout().tryIndexOf(f.name);
+      if (varIdx == dtmc::VarLayout::npos) {
+        throw std::runtime_error("pCTL: unknown state variable '" + f.name +
+                                 "'");
+      }
+      for (std::uint32_t s = 0; s < n; ++s) {
+        truth[s] =
+            pctl::evalCmp(f.op, dtmc_.varValue(s, varIdx), f.value) ? 1 : 0;
+      }
+      return truth;
+    }
+    case Kind::kNot: {
+      truth = evalStateFormula(*f.lhs);
+      for (auto& b : truth) b = b ? 0 : 1;
+      return truth;
+    }
+    case Kind::kAnd: {
+      truth = evalStateFormula(*f.lhs);
+      const auto rhs = evalStateFormula(*f.rhs);
+      for (std::uint32_t s = 0; s < n; ++s) truth[s] = truth[s] && rhs[s];
+      return truth;
+    }
+    case Kind::kOr: {
+      truth = evalStateFormula(*f.lhs);
+      const auto rhs = evalStateFormula(*f.rhs);
+      for (std::uint32_t s = 0; s < n; ++s) truth[s] = truth[s] || rhs[s];
+      return truth;
+    }
+  }
+  throw std::logic_error("unreachable state-formula kind");
+}
+
+CheckResult Checker::check(const pctl::Property& property) const {
+  util::Stopwatch timer;
+  CheckResult result;
+
+  if (property.kind == pctl::Property::Kind::kProb) {
+    const pctl::PathFormula& path = property.prob.path;
+    std::vector<double> values;
+    switch (path.kind) {
+      case pctl::PathFormula::Kind::kNext:
+        values = nextProb(dtmc_, evalStateFormula(*path.lhs));
+        break;
+      case pctl::PathFormula::Kind::kFinally: {
+        const auto psi = evalStateFormula(*path.lhs);
+        if (path.bound) {
+          values = boundedFinally(dtmc_, psi, *path.bound);
+        } else {
+          ReachOptions ro{options_.epsilon, options_.maxIterations};
+          values = reachProb(dtmc_, psi, ro).stateValues;
+        }
+        break;
+      }
+      case pctl::PathFormula::Kind::kGlobally: {
+        const auto phi = evalStateFormula(*path.lhs);
+        if (path.bound) {
+          values = boundedGlobally(dtmc_, phi, *path.bound);
+        } else {
+          // G phi = !F !phi
+          std::vector<std::uint8_t> notPhi(phi.size());
+          for (std::size_t s = 0; s < phi.size(); ++s) notPhi[s] = !phi[s];
+          ReachOptions ro{options_.epsilon, options_.maxIterations};
+          values = reachProb(dtmc_, notPhi, ro).stateValues;
+          for (double& v : values) v = 1.0 - v;
+        }
+        break;
+      }
+      case pctl::PathFormula::Kind::kUntil: {
+        const auto phi = evalStateFormula(*path.lhs);
+        const auto psi = evalStateFormula(*path.rhs);
+        if (path.bound) {
+          values = boundedUntil(dtmc_, phi, psi, *path.bound);
+        } else {
+          ReachOptions ro{options_.epsilon, options_.maxIterations};
+          values = untilProb(dtmc_, phi, psi, ro).stateValues;
+        }
+        break;
+      }
+    }
+    result.value = fromInitial(dtmc_, values);
+    result.stateValues = std::move(values);
+    if (!property.prob.isQuery) {
+      result.satisfied = evalCmpDouble(property.prob.boundOp, result.value,
+                                       property.prob.boundValue);
+    }
+  } else {
+    const pctl::RewardQuery& rq = property.reward;
+    const std::vector<double> reward = dtmc_.evalReward(model_, rq.rewardName);
+    switch (rq.kind) {
+      case pctl::RewardQuery::Kind::kInstantaneous:
+        result.value = instantaneousReward(dtmc_, reward, rq.bound);
+        break;
+      case pctl::RewardQuery::Kind::kCumulative:
+        result.value = cumulativeReward(dtmc_, reward, rq.bound);
+        break;
+      case pctl::RewardQuery::Kind::kSteadyState: {
+        SteadyOptions so;
+        so.cesaroAveraging = options_.cesaroSteadyState;
+        result.value = steadyStateReward(dtmc_, reward, so);
+        break;
+      }
+      case pctl::RewardQuery::Kind::kReachability: {
+        const auto psi = evalStateFormula(*rq.target);
+        ReachOptions ro{options_.epsilon, options_.maxIterations};
+        auto values = expectedReachReward(dtmc_, reward, psi, ro).stateValues;
+        result.value = fromInitial(dtmc_, values);
+        result.stateValues = std::move(values);
+        break;
+      }
+    }
+    if (!rq.isQuery) {
+      result.satisfied =
+          evalCmpDouble(rq.boundOp, result.value, rq.boundValue);
+    }
+  }
+
+  result.checkSeconds = timer.elapsedSeconds();
+  return result;
+}
+
+CheckResult Checker::check(std::string_view propertyText) const {
+  return check(pctl::parseProperty(propertyText));
+}
+
+}  // namespace mimostat::mc

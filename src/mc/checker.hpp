@@ -1,0 +1,67 @@
+// Full pCTL checker: evaluates a parsed property against an explicit DTMC.
+//
+// State formulas resolve identifiers first against the model's variables
+// (comparisons like errs>1 become per-state predicates over the stored
+// variable assignment) and then against the model's named atoms. Reward
+// queries resolve through the model's reward structures; the empty name is
+// the default structure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dtmc/explicit_dtmc.hpp"
+#include "dtmc/model.hpp"
+#include "pctl/ast.hpp"
+#include "pctl/parser.hpp"
+
+namespace mimostat::mc {
+
+struct CheckOptions {
+  /// Cap for unbounded operators' value iteration.
+  double epsilon = 1e-12;
+  std::uint64_t maxIterations = 1'000'000;
+  /// Use Cesàro averaging for R=?[S] on periodic chains.
+  bool cesaroSteadyState = false;
+};
+
+struct CheckResult {
+  /// Numeric answer of the query, weighted by the initial distribution
+  /// (for bounded properties this is the paper's reported value).
+  double value = 0.0;
+  /// For bounded properties (P>=0.9 [...], R<=0.1 [...]): whether the bound
+  /// holds in the initial distribution.
+  bool satisfied = true;
+  /// Per-state values when the operator produces them (empty for rewards).
+  std::vector<double> stateValues;
+  /// Seconds spent checking (excludes model construction).
+  double checkSeconds = 0.0;
+};
+
+class Checker {
+ public:
+  /// The model reference supplies atoms/rewards; both must outlive the
+  /// checker.
+  Checker(const dtmc::ExplicitDtmc& dtmc, const dtmc::Model& model,
+          CheckOptions options = {});
+
+  /// Evaluate a parsed property.
+  [[nodiscard]] CheckResult check(const pctl::Property& property) const;
+
+  /// Parse and evaluate.
+  [[nodiscard]] CheckResult check(std::string_view propertyText) const;
+
+  /// Per-state truth vector of a state formula (exposed for tests and for
+  /// the reduction verifier).
+  [[nodiscard]] std::vector<std::uint8_t> evalStateFormula(
+      const pctl::StateFormula& f) const;
+
+ private:
+  const dtmc::ExplicitDtmc& dtmc_;
+  const dtmc::Model& model_;
+  CheckOptions options_;
+};
+
+}  // namespace mimostat::mc

@@ -1,0 +1,68 @@
+#include "mc/steady.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "dtmc/graph.hpp"
+
+namespace mimostat::mc {
+
+ChainStructure analyzeStructure(const dtmc::ExplicitDtmc& dtmc) {
+  ChainStructure cs;
+  const dtmc::SccDecomposition scc = dtmc::computeSccs(dtmc);
+  cs.numSccs = scc.numComponents;
+  cs.numBottomSccs = static_cast<std::uint32_t>(scc.bottomComponents.size());
+  cs.irreducible = scc.numComponents == 1;
+  if (cs.irreducible) cs.period = dtmc::chainPeriod(dtmc);
+  return cs;
+}
+
+SteadyResult steadyStateDistribution(const dtmc::ExplicitDtmc& dtmc,
+                                     const SteadyOptions& options) {
+  SteadyResult result;
+  std::vector<double> pi = dtmc.initialDistribution();
+  std::vector<double> next(pi.size());
+  std::vector<double> average;
+  if (options.cesaroAveraging) average.assign(pi.size(), 0.0);
+
+  for (std::uint64_t iter = 1; iter <= options.maxIterations; ++iter) {
+    dtmc.multiplyLeft(pi, next);
+    double delta = 0.0;
+    for (std::size_t s = 0; s < pi.size(); ++s) {
+      delta += std::fabs(next[s] - pi[s]);
+    }
+    pi.swap(next);
+    result.iterations = iter;
+    if (options.cesaroAveraging) {
+      for (std::size_t s = 0; s < pi.size(); ++s) average[s] += pi[s];
+    }
+    if (!options.cesaroAveraging && delta < options.epsilon) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  if (options.cesaroAveraging) {
+    const double scale = 1.0 / static_cast<double>(result.iterations);
+    for (double& v : average) v *= scale;
+    result.distribution = std::move(average);
+    result.converged = true;  // Cesàro limit always exists for finite chains
+  } else {
+    result.distribution = std::move(pi);
+  }
+  return result;
+}
+
+double steadyStateReward(const dtmc::ExplicitDtmc& dtmc,
+                         const std::vector<double>& reward,
+                         const SteadyOptions& options) {
+  const SteadyResult ss = steadyStateDistribution(dtmc, options);
+  assert(reward.size() == ss.distribution.size());
+  double acc = 0.0;
+  for (std::size_t s = 0; s < reward.size(); ++s) {
+    acc += ss.distribution[s] * reward[s];
+  }
+  return acc;
+}
+
+}  // namespace mimostat::mc

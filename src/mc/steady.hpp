@@ -1,0 +1,47 @@
+// Steady-state analysis.
+//
+// The paper argues its DTMCs are finite, irreducible and aperiodic and hence
+// possess a unique stationary distribution; P2 evaluated past the mixing
+// point is the BER. We provide a power-method solver (with Cesàro averaging
+// as a fallback for periodic chains) and structural checks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dtmc/explicit_dtmc.hpp"
+
+namespace mimostat::mc {
+
+struct SteadyOptions {
+  double epsilon = 1e-13;          ///< L1 convergence threshold
+  std::uint64_t maxIterations = 200'000;
+  bool cesaroAveraging = false;    ///< average iterates (periodic chains)
+};
+
+struct SteadyResult {
+  std::vector<double> distribution;
+  std::uint64_t iterations = 0;
+  bool converged = false;
+};
+
+/// Structural summary used to justify steady-state existence.
+struct ChainStructure {
+  bool irreducible = false;
+  std::uint32_t period = 0;  ///< 1 = aperiodic (only valid when irreducible)
+  std::uint32_t numSccs = 0;
+  std::uint32_t numBottomSccs = 0;
+};
+
+[[nodiscard]] ChainStructure analyzeStructure(const dtmc::ExplicitDtmc& dtmc);
+
+/// Stationary distribution by power iteration from the initial distribution.
+[[nodiscard]] SteadyResult steadyStateDistribution(
+    const dtmc::ExplicitDtmc& dtmc, const SteadyOptions& options = {});
+
+/// Long-run average reward: pi . r (R=? [ S ] for a state reward).
+[[nodiscard]] double steadyStateReward(const dtmc::ExplicitDtmc& dtmc,
+                                       const std::vector<double>& reward,
+                                       const SteadyOptions& options = {});
+
+}  // namespace mimostat::mc

@@ -1,0 +1,101 @@
+#include "mc/transient.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace mimostat::mc {
+
+namespace {
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+}  // namespace
+
+std::vector<double> transientDistribution(const dtmc::ExplicitDtmc& dtmc,
+                                          std::uint64_t steps) {
+  std::vector<double> pi = dtmc.initialDistribution();
+  std::vector<double> next(pi.size());
+  for (std::uint64_t t = 0; t < steps; ++t) {
+    dtmc.multiplyLeft(pi, next);
+    pi.swap(next);
+  }
+  return pi;
+}
+
+double instantaneousReward(const dtmc::ExplicitDtmc& dtmc,
+                           const std::vector<double>& reward,
+                           std::uint64_t steps) {
+  return dot(transientDistribution(dtmc, steps), reward);
+}
+
+double cumulativeReward(const dtmc::ExplicitDtmc& dtmc,
+                        const std::vector<double>& reward,
+                        std::uint64_t steps) {
+  std::vector<double> pi = dtmc.initialDistribution();
+  std::vector<double> next(pi.size());
+  double total = 0.0;
+  for (std::uint64_t t = 0; t < steps; ++t) {
+    total += dot(pi, reward);
+    dtmc.multiplyLeft(pi, next);
+    pi.swap(next);
+  }
+  return total;
+}
+
+std::vector<double> instantaneousRewardSeries(const dtmc::ExplicitDtmc& dtmc,
+                                              const std::vector<double>& reward,
+                                              std::uint64_t steps) {
+  std::vector<double> series;
+  series.reserve(steps + 1);
+  std::vector<double> pi = dtmc.initialDistribution();
+  std::vector<double> next(pi.size());
+  series.push_back(dot(pi, reward));
+  for (std::uint64_t t = 0; t < steps; ++t) {
+    dtmc.multiplyLeft(pi, next);
+    pi.swap(next);
+    series.push_back(dot(pi, reward));
+  }
+  return series;
+}
+
+SteadyDetection detectRewardSteadyState(const dtmc::ExplicitDtmc& dtmc,
+                                        const std::vector<double>& reward,
+                                        double tolerance, std::uint64_t window,
+                                        std::uint64_t maxSteps) {
+  assert(window >= 1);
+  SteadyDetection result;
+  std::vector<double> pi = dtmc.initialDistribution();
+  std::vector<double> next(pi.size());
+  double windowMin = dot(pi, reward);
+  double windowMax = windowMin;
+  std::uint64_t stable = 0;
+  for (std::uint64_t t = 1; t <= maxSteps; ++t) {
+    dtmc.multiplyLeft(pi, next);
+    pi.swap(next);
+    const double value = dot(pi, reward);
+    if (std::fabs(value - windowMin) <= tolerance &&
+        std::fabs(value - windowMax) <= tolerance) {
+      ++stable;
+      windowMin = std::min(windowMin, value);
+      windowMax = std::max(windowMax, value);
+      if (stable >= window) {
+        result.converged = true;
+        result.step = t;
+        result.value = value;
+        return result;
+      }
+    } else {
+      stable = 0;
+      windowMin = value;
+      windowMax = value;
+    }
+    result.step = t;
+    result.value = value;
+  }
+  return result;
+}
+
+}  // namespace mimostat::mc

@@ -1,0 +1,52 @@
+// Transient analysis: forward propagation of the state distribution.
+//
+// R=? [ I=T ] (the paper's P2/C1 average-case metrics) is the expected
+// instantaneous reward after exactly T transitions: pi_T . r where
+// pi_T = pi_0 P^T.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dtmc/explicit_dtmc.hpp"
+
+namespace mimostat::mc {
+
+/// Distribution after exactly `steps` transitions from the initial
+/// distribution.
+[[nodiscard]] std::vector<double> transientDistribution(
+    const dtmc::ExplicitDtmc& dtmc, std::uint64_t steps);
+
+/// Expected instantaneous reward after exactly `steps` transitions
+/// (R=? [ I=steps ]).
+[[nodiscard]] double instantaneousReward(const dtmc::ExplicitDtmc& dtmc,
+                                         const std::vector<double>& reward,
+                                         std::uint64_t steps);
+
+/// Expected cumulative reward over the first `steps` transitions
+/// (R=? [ C<=steps ]): sum_{t=0}^{steps-1} pi_t . r.
+[[nodiscard]] double cumulativeReward(const dtmc::ExplicitDtmc& dtmc,
+                                      const std::vector<double>& reward,
+                                      std::uint64_t steps);
+
+/// Instantaneous reward at every t in [0, steps] — one pass, used for
+/// steady-state detection sweeps (the paper's Tables III/IV).
+[[nodiscard]] std::vector<double> instantaneousRewardSeries(
+    const dtmc::ExplicitDtmc& dtmc, const std::vector<double>& reward,
+    std::uint64_t steps);
+
+struct SteadyDetection {
+  bool converged = false;
+  std::uint64_t step = 0;   ///< first step where the criterion held
+  double value = 0.0;       ///< reward value at that step
+};
+
+/// Iterate the instantaneous reward forward until successive values over a
+/// window of `window` steps stay within `tolerance`, or `maxSteps` is hit.
+/// This operationalises the paper's "explore until the DTMC reaches steady
+/// state" recipe.
+[[nodiscard]] SteadyDetection detectRewardSteadyState(
+    const dtmc::ExplicitDtmc& dtmc, const std::vector<double>& reward,
+    double tolerance, std::uint64_t window, std::uint64_t maxSteps);
+
+}  // namespace mimostat::mc

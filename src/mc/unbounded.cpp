@@ -1,0 +1,204 @@
+#include "mc/unbounded.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "dtmc/graph.hpp"
+
+namespace mimostat::mc {
+
+std::vector<std::uint8_t> prob0States(const dtmc::ExplicitDtmc& dtmc,
+                                      const std::vector<std::uint8_t>& phi,
+                                      const std::vector<std::uint8_t>& psi) {
+  const std::uint32_t n = dtmc.numStates();
+  // Backward closure of psi through phi-states, computed on the fly:
+  // canReach[s] = s can reach psi via phi-states.
+  std::vector<std::uint8_t> canReach(psi);
+  // Build transpose walk: repeat relaxation until fixpoint (worklist on the
+  // reverse graph via repeated forward sweeps is O(n*m) worst case; use the
+  // dedicated backward reachability with a phi-restricted graph instead).
+  //
+  // We restrict to phi by masking sources: an edge u->v counts only when
+  // phi[u] (u may be traversed) — psi states themselves count regardless.
+  std::vector<std::uint32_t> queue;
+  for (std::uint32_t s = 0; s < n; ++s) {
+    if (canReach[s]) queue.push_back(s);
+  }
+  // Transposed adjacency built once.
+  std::vector<std::uint64_t> inPtr(n + 1, 0);
+  for (std::uint64_t k = 0; k < dtmc.numTransitions(); ++k) {
+    ++inPtr[dtmc.col()[k] + 1];
+  }
+  for (std::uint32_t i = 0; i < n; ++i) inPtr[i + 1] += inPtr[i];
+  std::vector<std::uint32_t> inCol(dtmc.numTransitions());
+  {
+    std::vector<std::uint64_t> cursor(inPtr.begin(), inPtr.end() - 1);
+    for (std::uint32_t s = 0; s < n; ++s) {
+      for (std::uint64_t k = dtmc.rowPtr()[s]; k < dtmc.rowPtr()[s + 1]; ++k) {
+        inCol[cursor[dtmc.col()[k]]++] = s;
+      }
+    }
+  }
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const std::uint32_t v = queue[head];
+    for (std::uint64_t k = inPtr[v]; k < inPtr[v + 1]; ++k) {
+      const std::uint32_t u = inCol[k];
+      if (!canReach[u] && phi[u]) {
+        canReach[u] = 1;
+        queue.push_back(u);
+      }
+    }
+  }
+  std::vector<std::uint8_t> prob0(n);
+  for (std::uint32_t s = 0; s < n; ++s) prob0[s] = canReach[s] ? 0 : 1;
+  return prob0;
+}
+
+std::vector<std::uint8_t> prob1States(const dtmc::ExplicitDtmc& dtmc,
+                                      const std::vector<std::uint8_t>& phi,
+                                      const std::vector<std::uint8_t>& psi) {
+  // Standard algorithm: start from candidate set C = all states; repeatedly
+  // remove states that can escape to (prob0 OR removed) before reaching psi.
+  // Equivalent fixpoint formulation (Baier & Katoen Alg. 46):
+  //   prob1 = nu Z. psi OR (phi AND all... ) computed via complement:
+  // We compute the complement: states with P < 1 = backward closure of prob0
+  // through "phi and not psi" edges, iterated to fixpoint... The simple and
+  // correct version: iterate
+  //   bad_0 = prob0
+  //   bad_{i+1} = bad_i U { s in phi\psi : exists edge s->t with t in bad_i }
+  //     restricted so that s is added only if it can reach bad while avoiding
+  //     psi — which is exactly backward reachability of bad through phi\psi.
+  const std::uint32_t n = dtmc.numStates();
+  const std::vector<std::uint8_t> prob0 = prob0States(dtmc, phi, psi);
+
+  // Backward reachability of prob0 through states in phi and not psi
+  // (psi states never leave psi-satisfaction; non-phi non-psi states are
+  // already prob0).
+  std::vector<std::uint64_t> inPtr(n + 1, 0);
+  for (std::uint64_t k = 0; k < dtmc.numTransitions(); ++k) {
+    ++inPtr[dtmc.col()[k] + 1];
+  }
+  for (std::uint32_t i = 0; i < n; ++i) inPtr[i + 1] += inPtr[i];
+  std::vector<std::uint32_t> inCol(dtmc.numTransitions());
+  {
+    std::vector<std::uint64_t> cursor(inPtr.begin(), inPtr.end() - 1);
+    for (std::uint32_t s = 0; s < n; ++s) {
+      for (std::uint64_t k = dtmc.rowPtr()[s]; k < dtmc.rowPtr()[s + 1]; ++k) {
+        inCol[cursor[dtmc.col()[k]]++] = s;
+      }
+    }
+  }
+  std::vector<std::uint8_t> lessThanOne(prob0);
+  std::vector<std::uint32_t> queue;
+  for (std::uint32_t s = 0; s < n; ++s) {
+    if (lessThanOne[s]) queue.push_back(s);
+  }
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const std::uint32_t v = queue[head];
+    for (std::uint64_t k = inPtr[v]; k < inPtr[v + 1]; ++k) {
+      const std::uint32_t u = inCol[k];
+      if (!lessThanOne[u] && phi[u] && !psi[u]) {
+        lessThanOne[u] = 1;
+        queue.push_back(u);
+      }
+    }
+  }
+  std::vector<std::uint8_t> prob1(n);
+  for (std::uint32_t s = 0; s < n; ++s) prob1[s] = lessThanOne[s] ? 0 : 1;
+  return prob1;
+}
+
+ReachResult untilProb(const dtmc::ExplicitDtmc& dtmc,
+                      const std::vector<std::uint8_t>& phi,
+                      const std::vector<std::uint8_t>& psi,
+                      const ReachOptions& options) {
+  const std::uint32_t n = dtmc.numStates();
+  assert(phi.size() == n && psi.size() == n);
+
+  const std::vector<std::uint8_t> prob0 = prob0States(dtmc, phi, psi);
+  const std::vector<std::uint8_t> prob1 = prob1States(dtmc, phi, psi);
+
+  ReachResult result;
+  result.stateValues.assign(n, 0.0);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    if (prob1[s]) result.stateValues[s] = 1.0;
+  }
+
+  // Gauss–Seidel value iteration on the undetermined states.
+  std::vector<std::uint32_t> undetermined;
+  for (std::uint32_t s = 0; s < n; ++s) {
+    if (!prob0[s] && !prob1[s]) undetermined.push_back(s);
+  }
+  if (undetermined.empty()) return result;
+
+  std::vector<double>& x = result.stateValues;
+  for (std::uint64_t iter = 0; iter < options.maxIterations; ++iter) {
+    ++result.iterations;
+    double maxDelta = 0.0;
+    for (const std::uint32_t s : undetermined) {
+      double acc = 0.0;
+      for (std::uint64_t k = dtmc.rowPtr()[s]; k < dtmc.rowPtr()[s + 1]; ++k) {
+        acc += dtmc.val()[k] * x[dtmc.col()[k]];
+      }
+      maxDelta = std::max(maxDelta, std::fabs(acc - x[s]));
+      x[s] = acc;
+    }
+    if (maxDelta < options.epsilon) return result;
+  }
+  result.converged = false;
+  return result;
+}
+
+ReachResult reachProb(const dtmc::ExplicitDtmc& dtmc,
+                      const std::vector<std::uint8_t>& psi,
+                      const ReachOptions& options) {
+  const std::vector<std::uint8_t> phi(dtmc.numStates(), 1);
+  return untilProb(dtmc, phi, psi, options);
+}
+
+ReachResult expectedReachReward(const dtmc::ExplicitDtmc& dtmc,
+                                const std::vector<double>& reward,
+                                const std::vector<std::uint8_t>& psi,
+                                const ReachOptions& options) {
+  const std::uint32_t n = dtmc.numStates();
+  assert(reward.size() == n && psi.size() == n);
+
+  const std::vector<std::uint8_t> phi(n, 1);
+  const std::vector<std::uint8_t> prob1 = prob1States(dtmc, phi, psi);
+
+  ReachResult result;
+  result.stateValues.assign(n, 0.0);
+  std::vector<std::uint32_t> active;
+  for (std::uint32_t s = 0; s < n; ++s) {
+    if (psi[s]) {
+      result.stateValues[s] = 0.0;  // accumulate nothing once reached
+    } else if (!prob1[s]) {
+      result.stateValues[s] = std::numeric_limits<double>::infinity();
+    } else {
+      active.push_back(s);
+    }
+  }
+  if (active.empty()) return result;
+
+  // Gauss–Seidel: x(s) = r(s) + sum_t P(s,t) x(t), target states fixed at 0.
+  // Infinite neighbours propagate naturally through the sum.
+  std::vector<double>& x = result.stateValues;
+  for (std::uint64_t iter = 0; iter < options.maxIterations; ++iter) {
+    ++result.iterations;
+    double maxDelta = 0.0;
+    for (const std::uint32_t s : active) {
+      double acc = reward[s];
+      for (std::uint64_t k = dtmc.rowPtr()[s]; k < dtmc.rowPtr()[s + 1]; ++k) {
+        acc += dtmc.val()[k] * x[dtmc.col()[k]];
+      }
+      maxDelta = std::max(maxDelta, std::fabs(acc - x[s]));
+      x[s] = acc;
+    }
+    if (maxDelta < options.epsilon) return result;
+  }
+  result.converged = false;
+  return result;
+}
+
+}  // namespace mimostat::mc

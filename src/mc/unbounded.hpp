@@ -1,0 +1,53 @@
+// Unbounded reachability: P(phi U psi) via the classic PRISM pipeline —
+// Prob0 / Prob1 graph precomputation followed by value iteration on the
+// remaining states.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dtmc/explicit_dtmc.hpp"
+
+namespace mimostat::mc {
+
+struct ReachOptions {
+  double epsilon = 1e-12;       ///< value-iteration convergence threshold
+  std::uint64_t maxIterations = 1'000'000;
+};
+
+struct ReachResult {
+  std::vector<double> stateValues;
+  std::uint64_t iterations = 0;
+  bool converged = true;
+};
+
+/// States with P(phi U psi) = 0: complement of backward reachability of psi
+/// through phi states.
+[[nodiscard]] std::vector<std::uint8_t> prob0States(
+    const dtmc::ExplicitDtmc& dtmc, const std::vector<std::uint8_t>& phi,
+    const std::vector<std::uint8_t>& psi);
+
+/// States with P(phi U psi) = 1 (standard double-fixpoint algorithm).
+[[nodiscard]] std::vector<std::uint8_t> prob1States(
+    const dtmc::ExplicitDtmc& dtmc, const std::vector<std::uint8_t>& phi,
+    const std::vector<std::uint8_t>& psi);
+
+/// Full unbounded until probabilities.
+[[nodiscard]] ReachResult untilProb(const dtmc::ExplicitDtmc& dtmc,
+                                    const std::vector<std::uint8_t>& phi,
+                                    const std::vector<std::uint8_t>& psi,
+                                    const ReachOptions& options = {});
+
+/// P(F psi) = P(true U psi).
+[[nodiscard]] ReachResult reachProb(const dtmc::ExplicitDtmc& dtmc,
+                                    const std::vector<std::uint8_t>& psi,
+                                    const ReachOptions& options = {});
+
+/// Expected reward accumulated before reaching psi (R=? [ F psi ]).
+/// States from which psi is reached with probability < 1 get +infinity
+/// (PRISM semantics); psi states accumulate nothing.
+[[nodiscard]] ReachResult expectedReachReward(
+    const dtmc::ExplicitDtmc& dtmc, const std::vector<double>& reward,
+    const std::vector<std::uint8_t>& psi, const ReachOptions& options = {});
+
+}  // namespace mimostat::mc

@@ -1,0 +1,84 @@
+// Maximum-likelihood MIMO detection (paper §IV-B, after Han/Erdogan/Arslan).
+//
+// For an Nt=1 BPSK transmission over Nr receive antennas with flat Rayleigh
+// fading, the complex system y_j = h_j s + n_j splits into 2*Nr independent
+// real "metric blocks" (real and imaginary part per antenna):
+//
+//   x_hat = argmin_{s in {0,1}} sum_b | y_b - h_b * bpsk(s) |     (Eq. 14/15)
+//
+// The detector is implemented twice: an analog (double) datapath used by the
+// Monte-Carlo baseline and a quantized datapath operating on quantizer cell
+// indices — the latter is the function embedded in the DTMC model, so model
+// and simulation share the decision logic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/quantizer.hpp"
+
+namespace mimostat::mimo {
+
+/// Case-study parameters. Defaults are the 1x2 configuration (Table II/V);
+/// see mimo1x4Params() / mimo2x2Params() for the other configurations.
+struct MimoParams {
+  int nr = 2;            ///< receive antennas
+  int nt = 1;            ///< transmit antennas (BPSK per antenna)
+  double snrDb = 8.0;    ///< SNR per receive antenna
+  int hLevels = 3;       ///< quantizer cells per channel-coefficient part
+  double hRange = 1.5;   ///< channel quantizer full-scale
+  int yLevels = 6;       ///< quantizer cells per received-sample part
+  double yRange = 3.0;   ///< sample quantizer full-scale
+
+  /// Metric blocks (paper Eq. 15): one per real dimension of y — 2*Nr.
+  [[nodiscard]] int numBlocks() const { return 2 * nr; }
+  /// Real-valued channel coefficients: nt per metric block.
+  [[nodiscard]] int numChannelParts() const { return 2 * nr * nt; }
+  /// ML hypotheses: 2^nt BPSK vectors.
+  [[nodiscard]] int numHypotheses() const { return 1 << nt; }
+};
+
+/// The paper's 1x2 detector configuration (SNR 8 dB).
+[[nodiscard]] MimoParams mimo1x2Params();
+/// The paper's 1x4 detector configuration (SNR 12 dB, coarser quantizers).
+[[nodiscard]] MimoParams mimo1x4Params();
+/// The 2x2 system of paper Eq. 14-15 (two BPSK transmit streams).
+[[nodiscard]] MimoParams mimo2x2Params();
+
+class MlDetector {
+ public:
+  /// Upper bound on Nr supported by the permutation-stable quantized
+  /// metric accumulator.
+  static constexpr int kMaxBlocks = 16;
+
+  explicit MlDetector(const MimoParams& params);
+
+  [[nodiscard]] const MimoParams& params() const { return params_; }
+  [[nodiscard]] const comm::UniformQuantizer& hQuantizer() const {
+    return hQuant_;
+  }
+  [[nodiscard]] const comm::UniformQuantizer& yQuantizer() const {
+    return yQuant_;
+  }
+
+  /// ML decision from analog per-block observations (paper Eq. 14/15):
+  /// returns the index of the most likely transmitted bit vector (bit k =
+  /// stream k's bit). `y` has numBlocks() entries; `h` has
+  /// numChannelParts() entries, h[b*nt + k] being stream k's coefficient in
+  /// metric block b. Ties decide the smallest index.
+  [[nodiscard]] int detectAnalog(const std::vector<double>& y,
+                                 const std::vector<double>& h) const;
+
+  /// ML decision from quantizer cell indices (reconstruction-value metric).
+  /// Accumulation order is canonicalised so the decision is invariant under
+  /// metric-block permutation — required by the symmetry reduction.
+  [[nodiscard]] int detectQuantized(const std::vector<int>& yCells,
+                                    const std::vector<int>& hCells) const;
+
+ private:
+  MimoParams params_;
+  comm::UniformQuantizer hQuant_;
+  comm::UniformQuantizer yQuant_;
+};
+
+}  // namespace mimostat::mimo

@@ -1,0 +1,85 @@
+#include "mimo/sim.hpp"
+
+#include <bit>
+
+#include "comm/channel.hpp"
+#include "comm/rayleigh.hpp"
+#include "comm/snr.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace mimostat::mimo {
+
+namespace {
+
+/// Run `trials` independent transmissions of an Nt-stream BPSK vector and
+/// count per-bit errors through the supplied detector function, which maps
+/// (y parts, h parts) to a hypothesis index.
+template <typename DetectFn>
+MimoSimulationResult runTrials(const MimoParams& params, std::uint64_t trials,
+                               std::uint64_t seed, DetectFn&& detect) {
+  util::Stopwatch timer;
+  util::Xoshiro256 rng(seed);
+  const double hSigma = comm::RayleighFading::perDimensionSigma();
+  const double nSigma = comm::noiseSigmaPerDimension(params.snrDb);
+  const auto blocks = static_cast<std::size_t>(params.numBlocks());
+  const auto nt = static_cast<std::size_t>(params.nt);
+
+  std::vector<double> h(blocks * nt);
+  std::vector<double> y(blocks);
+
+  MimoSimulationResult result;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    const int x = static_cast<int>(
+        rng.nextBounded(static_cast<std::uint64_t>(params.numHypotheses())));
+    for (std::size_t b = 0; b < blocks; ++b) {
+      double signal = 0.0;
+      for (std::size_t k = 0; k < nt; ++k) {
+        h[b * nt + k] = hSigma * rng.nextGaussian();
+        signal += h[b * nt + k] * comm::bpsk((x >> k) & 1);
+      }
+      y[b] = signal + nSigma * rng.nextGaussian();
+    }
+    const int detected = detect(y, h);
+    // Count per-bit errors so the estimate is a BER for any Nt.
+    const auto wrongBits = static_cast<unsigned>(detected ^ x);
+    for (int k = 0; k < params.nt; ++k) {
+      result.bitErrors.add(((wrongBits >> k) & 1u) != 0);
+    }
+  }
+  result.seconds = timer.elapsedSeconds();
+  return result;
+}
+
+}  // namespace
+
+MimoSimulationResult simulateQuantized(const MimoParams& params,
+                                       std::uint64_t trials,
+                                       std::uint64_t seed) {
+  const MlDetector detector(params);
+  const auto blocks = static_cast<std::size_t>(params.numBlocks());
+  const auto parts = static_cast<std::size_t>(params.numChannelParts());
+  std::vector<int> yCells(blocks);
+  std::vector<int> hCells(parts);
+  return runTrials(params, trials, seed,
+                   [&](const std::vector<double>& y, const std::vector<double>& h) {
+                     for (std::size_t b = 0; b < blocks; ++b) {
+                       yCells[b] = detector.yQuantizer().index(y[b]);
+                     }
+                     for (std::size_t i = 0; i < parts; ++i) {
+                       hCells[i] = detector.hQuantizer().index(h[i]);
+                     }
+                     return detector.detectQuantized(yCells, hCells);
+                   });
+}
+
+MimoSimulationResult simulateAnalog(const MimoParams& params,
+                                    std::uint64_t trials, std::uint64_t seed) {
+  const MlDetector detector(params);
+  return runTrials(params, trials, seed,
+                   [&](const std::vector<double>& y, const std::vector<double>& h) {
+                     return detector.detectAnalog(y, h);
+                   });
+}
+
+}  // namespace mimostat::mimo

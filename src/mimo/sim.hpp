@@ -1,0 +1,31 @@
+// Monte-Carlo baseline for the MIMO detector: per trial, draw analog fading
+// and noise, quantize, run the same quantized ML decision as the DTMC, and
+// count errors. This is the paper's §V comparison — 1e7 trials to resolve
+// the 1x4 BER that the model checker computes exactly.
+#pragma once
+
+#include <cstdint>
+
+#include "stats/estimator.hpp"
+#include "mimo/detector.hpp"
+
+namespace mimostat::mimo {
+
+struct MimoSimulationResult {
+  stats::BernoulliEstimator bitErrors;
+  double seconds = 0.0;
+};
+
+/// Simulate `trials` independent transmissions through the quantized
+/// datapath (the system the DTMC models).
+[[nodiscard]] MimoSimulationResult simulateQuantized(const MimoParams& params,
+                                                     std::uint64_t trials,
+                                                     std::uint64_t seed);
+
+/// Simulate the unquantized (analog) detector — the reference floor showing
+/// how much the fixed-point quantization costs.
+[[nodiscard]] MimoSimulationResult simulateAnalog(const MimoParams& params,
+                                                  std::uint64_t trials,
+                                                  std::uint64_t seed);
+
+}  // namespace mimostat::mimo

@@ -1,0 +1,221 @@
+#include "pctl/ast.hpp"
+
+#include <cassert>
+#include <sstream>
+
+namespace mimostat::pctl {
+
+const char* cmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool evalCmp(CmpOp op, std::int64_t lhs, std::int64_t rhs) {
+  switch (op) {
+    case CmpOp::kEq:
+      return lhs == rhs;
+    case CmpOp::kNe:
+      return lhs != rhs;
+    case CmpOp::kLt:
+      return lhs < rhs;
+    case CmpOp::kLe:
+      return lhs <= rhs;
+    case CmpOp::kGt:
+      return lhs > rhs;
+    case CmpOp::kGe:
+      return lhs >= rhs;
+  }
+  return false;
+}
+
+StateFormulaPtr StateFormula::makeTrue() {
+  auto f = std::make_shared<StateFormula>();
+  f->kind = Kind::kTrue;
+  return f;
+}
+
+StateFormulaPtr StateFormula::makeFalse() {
+  auto f = std::make_shared<StateFormula>();
+  f->kind = Kind::kFalse;
+  return f;
+}
+
+StateFormulaPtr StateFormula::makeAtom(std::string name) {
+  auto f = std::make_shared<StateFormula>();
+  f->kind = Kind::kAtom;
+  f->name = std::move(name);
+  return f;
+}
+
+StateFormulaPtr StateFormula::makeVarCmp(std::string var, CmpOp op,
+                                         std::int64_t v) {
+  auto f = std::make_shared<StateFormula>();
+  f->kind = Kind::kVarCmp;
+  f->name = std::move(var);
+  f->op = op;
+  f->value = v;
+  return f;
+}
+
+StateFormulaPtr StateFormula::makeNot(StateFormulaPtr inner) {
+  auto f = std::make_shared<StateFormula>();
+  f->kind = Kind::kNot;
+  f->lhs = std::move(inner);
+  return f;
+}
+
+StateFormulaPtr StateFormula::makeAnd(StateFormulaPtr a, StateFormulaPtr b) {
+  auto f = std::make_shared<StateFormula>();
+  f->kind = Kind::kAnd;
+  f->lhs = std::move(a);
+  f->rhs = std::move(b);
+  return f;
+}
+
+StateFormulaPtr StateFormula::makeOr(StateFormulaPtr a, StateFormulaPtr b) {
+  auto f = std::make_shared<StateFormula>();
+  f->kind = Kind::kOr;
+  f->lhs = std::move(a);
+  f->rhs = std::move(b);
+  return f;
+}
+
+namespace {
+
+int precedence(StateFormula::Kind kind) {
+  switch (kind) {
+    case StateFormula::Kind::kOr:
+      return 1;
+    case StateFormula::Kind::kAnd:
+      return 2;
+    case StateFormula::Kind::kNot:
+      return 3;
+    default:
+      return 4;
+  }
+}
+
+void printFormula(const StateFormula& f, std::ostream& os, int parentPrec) {
+  const int prec = precedence(f.kind);
+  const bool parens = prec < parentPrec;
+  if (parens) os << '(';
+  switch (f.kind) {
+    case StateFormula::Kind::kTrue:
+      os << "true";
+      break;
+    case StateFormula::Kind::kFalse:
+      os << "false";
+      break;
+    case StateFormula::Kind::kAtom:
+      os << '"' << f.name << '"';
+      break;
+    case StateFormula::Kind::kVarCmp:
+      os << f.name << cmpOpName(f.op) << f.value;
+      break;
+    case StateFormula::Kind::kNot:
+      os << '!';
+      printFormula(*f.lhs, os, prec + 1);
+      break;
+    case StateFormula::Kind::kAnd:
+      printFormula(*f.lhs, os, prec);
+      os << " & ";
+      printFormula(*f.rhs, os, prec + 1);
+      break;
+    case StateFormula::Kind::kOr:
+      printFormula(*f.lhs, os, prec);
+      os << " | ";
+      printFormula(*f.rhs, os, prec + 1);
+      break;
+  }
+  if (parens) os << ')';
+}
+
+void printBound(const std::optional<std::uint64_t>& bound, std::ostream& os) {
+  if (bound) os << "<=" << *bound;
+}
+
+}  // namespace
+
+std::string toString(const StateFormula& f) {
+  std::ostringstream os;
+  printFormula(f, os, 0);
+  return os.str();
+}
+
+std::string toString(const PathFormula& f) {
+  std::ostringstream os;
+  switch (f.kind) {
+    case PathFormula::Kind::kNext:
+      os << "X " << toString(*f.lhs);
+      break;
+    case PathFormula::Kind::kUntil:
+      os << toString(*f.lhs) << " U";
+      printBound(f.bound, os);
+      os << ' ' << toString(*f.rhs);
+      break;
+    case PathFormula::Kind::kFinally:
+      os << 'F';
+      printBound(f.bound, os);
+      os << ' ' << toString(*f.lhs);
+      break;
+    case PathFormula::Kind::kGlobally:
+      os << 'G';
+      printBound(f.bound, os);
+      os << ' ' << toString(*f.lhs);
+      break;
+  }
+  return os.str();
+}
+
+std::string toString(const Property& p) {
+  std::ostringstream os;
+  if (p.kind == Property::Kind::kProb) {
+    os << 'P';
+    if (p.prob.isQuery) {
+      os << "=?";
+    } else {
+      os << cmpOpName(p.prob.boundOp) << p.prob.boundValue;
+    }
+    os << " [ " << toString(p.prob.path) << " ]";
+  } else {
+    os << 'R';
+    if (!p.reward.rewardName.empty()) os << "{\"" << p.reward.rewardName << "\"}";
+    if (p.reward.isQuery) {
+      os << "=?";
+    } else {
+      os << cmpOpName(p.reward.boundOp) << p.reward.boundValue;
+    }
+    os << " [ ";
+    switch (p.reward.kind) {
+      case RewardQuery::Kind::kInstantaneous:
+        os << "I=" << p.reward.bound;
+        break;
+      case RewardQuery::Kind::kCumulative:
+        os << "C<=" << p.reward.bound;
+        break;
+      case RewardQuery::Kind::kSteadyState:
+        os << 'S';
+        break;
+      case RewardQuery::Kind::kReachability:
+        os << "F " << toString(*p.reward.target);
+        break;
+    }
+    os << " ]";
+  }
+  return os.str();
+}
+
+}  // namespace mimostat::pctl

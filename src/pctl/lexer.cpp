@@ -1,0 +1,141 @@
+#include "pctl/lexer.hpp"
+
+#include <cctype>
+
+#include "pctl/parser.hpp"
+
+namespace mimostat::pctl {
+
+std::vector<Token> tokenize(std::string_view input) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  const std::size_t n = input.size();
+
+  const auto push = [&](TokenKind kind, std::size_t pos, std::string text = {}) {
+    tokens.push_back({kind, std::move(text), 0.0, pos});
+  };
+
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const std::size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '_')) {
+        ++j;
+      }
+      push(TokenKind::kIdent, start, std::string(input.substr(i, j - i)));
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      std::size_t j = i;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '.' || input[j] == 'e' || input[j] == 'E' ||
+                       ((input[j] == '+' || input[j] == '-') && j > i &&
+                        (input[j - 1] == 'e' || input[j - 1] == 'E')))) {
+        ++j;
+      }
+      Token t{TokenKind::kNumber, std::string(input.substr(i, j - i)), 0.0,
+              start};
+      try {
+        t.number = std::stod(t.text);
+      } catch (const std::exception&) {
+        throw ParseError("bad number literal", start);
+      }
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    switch (c) {
+      case '"': {
+        std::size_t j = i + 1;
+        while (j < n && input[j] != '"') ++j;
+        if (j >= n) throw ParseError("unterminated quoted atom", start);
+        push(TokenKind::kAtom, start, std::string(input.substr(i + 1, j - i - 1)));
+        i = j + 1;
+        break;
+      }
+      case '[':
+        push(TokenKind::kLBracket, start);
+        ++i;
+        break;
+      case ']':
+        push(TokenKind::kRBracket, start);
+        ++i;
+        break;
+      case '(':
+        push(TokenKind::kLParen, start);
+        ++i;
+        break;
+      case ')':
+        push(TokenKind::kRParen, start);
+        ++i;
+        break;
+      case '{':
+        push(TokenKind::kLBrace, start);
+        ++i;
+        break;
+      case '}':
+        push(TokenKind::kRBrace, start);
+        ++i;
+        break;
+      case '&':
+        push(TokenKind::kAnd, start);
+        ++i;
+        break;
+      case '|':
+        push(TokenKind::kOr, start);
+        ++i;
+        break;
+      case '!':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokenKind::kNe, start);
+          i += 2;
+        } else {
+          push(TokenKind::kNot, start);
+          ++i;
+        }
+        break;
+      case '=':
+        if (i + 1 < n && input[i + 1] == '?') {
+          push(TokenKind::kEqQ, start);
+          i += 2;
+        } else {
+          push(TokenKind::kEq, start);
+          ++i;
+        }
+        break;
+      case '<':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokenKind::kLe, start);
+          i += 2;
+        } else {
+          push(TokenKind::kLt, start);
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokenKind::kGe, start);
+          i += 2;
+        } else {
+          push(TokenKind::kGt, start);
+          ++i;
+        }
+        break;
+      default:
+        throw ParseError(std::string("unexpected character '") + c + "'", start);
+    }
+  }
+  push(TokenKind::kEnd, n);
+  return tokens;
+}
+
+}  // namespace mimostat::pctl

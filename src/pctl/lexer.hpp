@@ -1,0 +1,44 @@
+// Tokenizer for the pCTL property syntax.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mimostat::pctl {
+
+enum class TokenKind {
+  kIdent,     // flag, count, true, false, P, R, F, G, U, X, I, S, C
+  kAtom,      // "error" (quoted label)
+  kNumber,    // integer or real literal
+  kLBracket,  // [
+  kRBracket,  // ]
+  kLParen,    // (
+  kRParen,    // )
+  kLBrace,    // {
+  kRBrace,    // }
+  kNot,       // !
+  kAnd,       // &
+  kOr,        // |
+  kEq,        // =
+  kEqQ,       // =?
+  kNe,        // !=
+  kLt,        // <
+  kLe,        // <=
+  kGt,        // >
+  kGe,        // >=
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;   // identifier/atom text
+  double number = 0;  // for kNumber
+  std::size_t pos = 0;
+};
+
+/// Tokenize; throws ParseError (see parser.hpp) on malformed input.
+[[nodiscard]] std::vector<Token> tokenize(std::string_view input);
+
+}  // namespace mimostat::pctl

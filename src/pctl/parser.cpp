@@ -1,0 +1,242 @@
+#include "pctl/parser.hpp"
+
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "pctl/lexer.hpp"
+
+namespace mimostat::pctl {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : tokens_(tokenize(input)) {}
+
+  Property parseProperty() {
+    Property prop;
+    const Token& head = expect(TokenKind::kIdent, "expected P or R");
+    if (head.text == "P") {
+      prop.kind = Property::Kind::kProb;
+      prop.prob = parseProbQuery();
+    } else if (head.text == "R") {
+      prop.kind = Property::Kind::kReward;
+      prop.reward = parseRewardQuery();
+    } else {
+      throw ParseError("expected P or R, got '" + head.text + "'", head.pos);
+    }
+    expect(TokenKind::kEnd, "trailing input after property");
+    return prop;
+  }
+
+  StateFormulaPtr parseBareStateFormula() {
+    StateFormulaPtr f = parseOr();
+    expect(TokenKind::kEnd, "trailing input after state formula");
+    return f;
+  }
+
+ private:
+  // --- token helpers ---
+  const Token& peek() const { return tokens_[pos_]; }
+  const Token& advance() { return tokens_[pos_++]; }
+  bool check(TokenKind kind) const { return peek().kind == kind; }
+  bool match(TokenKind kind) {
+    if (check(kind)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  const Token& expect(TokenKind kind, const char* what) {
+    if (!check(kind)) throw ParseError(what, peek().pos);
+    return advance();
+  }
+
+  std::optional<CmpOp> matchCmpOp() {
+    switch (peek().kind) {
+      case TokenKind::kEq:
+        ++pos_;
+        return CmpOp::kEq;
+      case TokenKind::kNe:
+        ++pos_;
+        return CmpOp::kNe;
+      case TokenKind::kLt:
+        ++pos_;
+        return CmpOp::kLt;
+      case TokenKind::kLe:
+        ++pos_;
+        return CmpOp::kLe;
+      case TokenKind::kGt:
+        ++pos_;
+        return CmpOp::kGt;
+      case TokenKind::kGe:
+        ++pos_;
+        return CmpOp::kGe;
+      default:
+        return std::nullopt;
+    }
+  }
+
+  std::uint64_t expectIntBound() {
+    const Token& t = expect(TokenKind::kNumber, "expected integer bound");
+    if (t.number < 0 || t.number != std::floor(t.number)) {
+      throw ParseError("bound must be a non-negative integer", t.pos);
+    }
+    return static_cast<std::uint64_t>(t.number);
+  }
+
+  // --- properties ---
+  ProbQuery parseProbQuery() {
+    ProbQuery q;
+    if (match(TokenKind::kEqQ)) {
+      q.isQuery = true;
+    } else if (auto op = matchCmpOp()) {
+      q.isQuery = false;
+      q.boundOp = *op;
+      const Token& t = expect(TokenKind::kNumber, "expected probability bound");
+      q.boundValue = t.number;
+    } else {
+      throw ParseError("expected =? or comparison after P", peek().pos);
+    }
+    expect(TokenKind::kLBracket, "expected [");
+    q.path = parsePathFormula();
+    expect(TokenKind::kRBracket, "expected ]");
+    return q;
+  }
+
+  RewardQuery parseRewardQuery() {
+    RewardQuery q;
+    if (match(TokenKind::kLBrace)) {
+      const Token& name = expect(TokenKind::kAtom, "expected quoted reward name");
+      q.rewardName = name.text;
+      expect(TokenKind::kRBrace, "expected }");
+    }
+    if (match(TokenKind::kEqQ)) {
+      q.isQuery = true;
+    } else if (auto op = matchCmpOp()) {
+      q.isQuery = false;
+      q.boundOp = *op;
+      const Token& t = expect(TokenKind::kNumber, "expected reward bound");
+      q.boundValue = t.number;
+    } else {
+      throw ParseError("expected =? or comparison after R", peek().pos);
+    }
+    expect(TokenKind::kLBracket, "expected [");
+    const Token& body = expect(TokenKind::kIdent, "expected I, C or S");
+    if (body.text == "I") {
+      q.kind = RewardQuery::Kind::kInstantaneous;
+      expect(TokenKind::kEq, "expected = after I");
+      q.bound = expectIntBound();
+    } else if (body.text == "C") {
+      q.kind = RewardQuery::Kind::kCumulative;
+      expect(TokenKind::kLe, "expected <= after C");
+      q.bound = expectIntBound();
+    } else if (body.text == "S") {
+      q.kind = RewardQuery::Kind::kSteadyState;
+    } else if (body.text == "F") {
+      q.kind = RewardQuery::Kind::kReachability;
+      q.target = parseOr();
+    } else {
+      throw ParseError("expected I, C, S or F in reward body", body.pos);
+    }
+    expect(TokenKind::kRBracket, "expected ]");
+    return q;
+  }
+
+  // --- path formulas ---
+  PathFormula parsePathFormula() {
+    PathFormula path;
+    if (check(TokenKind::kIdent)) {
+      const std::string& kw = peek().text;
+      if (kw == "X") {
+        advance();
+        path.kind = PathFormula::Kind::kNext;
+        path.lhs = parseOr();
+        return path;
+      }
+      // F/G only act as temporal operators when not immediately followed by
+      // a comparison (so a variable named F still works: "F>=1 U ..." is
+      // unusual but unambiguous in practice; we keep it simple and treat a
+      // leading F/G identifier as the operator, matching PRISM).
+      if (kw == "F" || kw == "G") {
+        const bool isFinally = kw == "F";
+        advance();
+        path.kind = isFinally ? PathFormula::Kind::kFinally
+                              : PathFormula::Kind::kGlobally;
+        if (match(TokenKind::kLe)) path.bound = expectIntBound();
+        path.lhs = parseOr();
+        return path;
+      }
+    }
+    // left U[<=k] right
+    path.lhs = parseOr();
+    const Token& u = expect(TokenKind::kIdent, "expected U in path formula");
+    if (u.text != "U") throw ParseError("expected U in path formula", u.pos);
+    path.kind = PathFormula::Kind::kUntil;
+    if (match(TokenKind::kLe)) path.bound = expectIntBound();
+    path.rhs = parseOr();
+    return path;
+  }
+
+  // --- state formulas ---
+  StateFormulaPtr parseOr() {
+    StateFormulaPtr f = parseAnd();
+    while (match(TokenKind::kOr)) {
+      f = StateFormula::makeOr(std::move(f), parseAnd());
+    }
+    return f;
+  }
+
+  StateFormulaPtr parseAnd() {
+    StateFormulaPtr f = parseNot();
+    while (match(TokenKind::kAnd)) {
+      f = StateFormula::makeAnd(std::move(f), parseNot());
+    }
+    return f;
+  }
+
+  StateFormulaPtr parseNot() {
+    if (match(TokenKind::kNot)) return StateFormula::makeNot(parseNot());
+    return parsePrimary();
+  }
+
+  StateFormulaPtr parsePrimary() {
+    if (match(TokenKind::kLParen)) {
+      StateFormulaPtr f = parseOr();
+      expect(TokenKind::kRParen, "expected )");
+      return f;
+    }
+    if (check(TokenKind::kAtom)) {
+      return StateFormula::makeAtom(advance().text);
+    }
+    const Token& t = expect(TokenKind::kIdent, "expected state formula");
+    if (t.text == "true") return StateFormula::makeTrue();
+    if (t.text == "false") return StateFormula::makeFalse();
+    if (auto op = matchCmpOp()) {
+      const Token& num = expect(TokenKind::kNumber, "expected comparison value");
+      if (num.number != std::floor(num.number)) {
+        throw ParseError("variable comparisons take integer values", num.pos);
+      }
+      return StateFormula::makeVarCmp(t.text, *op,
+                                      static_cast<std::int64_t>(num.number));
+    }
+    // Bare identifier: resolved at check time (variable != 0, else label).
+    return StateFormula::makeAtom(t.text);
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Property parseProperty(std::string_view input) {
+  return Parser(input).parseProperty();
+}
+
+StateFormulaPtr parseStateFormula(std::string_view input) {
+  return Parser(input).parseBareStateFormula();
+}
+
+}  // namespace mimostat::pctl

@@ -1,0 +1,46 @@
+// Recursive-descent parser for pCTL properties and state formulas.
+//
+// Grammar (PRISM-flavoured):
+//   property   := 'P' probSpec '[' pathFormula ']'
+//               | 'R' rewardRef? probSpec '[' rewardBody ']'
+//   probSpec   := '=?' | cmpOp NUMBER
+//   rewardRef  := '{' ATOM '}'
+//   rewardBody := 'I' '=' NUMBER | 'C' '<=' NUMBER | 'S'
+//   pathFormula:= 'X' stateF | 'F' bound? stateF | 'G' bound? stateF
+//               | stateF 'U' bound? stateF
+//   bound      := '<=' NUMBER
+//   stateF     := orF;  orF := andF ('|' andF)*;  andF := notF ('&' notF)*
+//   notF       := '!' notF | primary
+//   primary    := 'true' | 'false' | ATOM | IDENT cmpOp NUMBER | IDENT
+//               | '(' stateF ')'
+// A bare IDENT is sugar for IDENT != 0 when it names a variable, or an
+// unquoted atom otherwise (resolution happens at check time).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "pctl/ast.hpp"
+
+namespace mimostat::pctl {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& message, std::size_t pos)
+      : std::runtime_error(message + " (at offset " + std::to_string(pos) + ")"),
+        pos_(pos) {}
+
+  [[nodiscard]] std::size_t position() const { return pos_; }
+
+ private:
+  std::size_t pos_;
+};
+
+/// Parse a full property ("P=? [ G<=300 !flag ]", "R=? [ I=300 ]", ...).
+[[nodiscard]] Property parseProperty(std::string_view input);
+
+/// Parse a bare state formula ("!flag & count<=6").
+[[nodiscard]] StateFormulaPtr parseStateFormula(std::string_view input);
+
+}  // namespace mimostat::pctl

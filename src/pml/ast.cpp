@@ -1,0 +1,50 @@
+#include "pml/ast.hpp"
+
+namespace mimostat::pml {
+
+ExprPtr Expr::makeNumber(double v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kNumber;
+  e->number = v;
+  return e;
+}
+
+ExprPtr Expr::makeBool(bool v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kBool;
+  e->number = v ? 1.0 : 0.0;
+  return e;
+}
+
+ExprPtr Expr::makeIdent(std::string name) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kIdent;
+  e->name = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::makeUnary(Op op, ExprPtr a) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kUnary;
+  e->op = op;
+  e->args = {std::move(a)};
+  return e;
+}
+
+ExprPtr Expr::makeBinary(Op op, ExprPtr a, ExprPtr b) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kBinary;
+  e->op = op;
+  e->args = {std::move(a), std::move(b)};
+  return e;
+}
+
+ExprPtr Expr::makeCall(Op op, std::vector<ExprPtr> args) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kCall;
+  e->op = op;
+  e->args = std::move(args);
+  return e;
+}
+
+}  // namespace mimostat::pml

@@ -1,0 +1,124 @@
+// AST of the PML modeling language — a PRISM-flavoured guarded-command
+// language for DTMCs, so models can be written as text instead of C++:
+//
+//   dtmc
+//   const double p = 0.3;
+//   module chain
+//     s : [0..7] init 0;
+//     [] s<7 -> p : (s'=s+1) + 1-p : (s'=0);
+//     [] s=7 -> (s'=7);
+//   endmodule
+//   rewards "steps"  s>0 : 1;  endrewards
+//   label "done" = s=7;
+//
+// Subset notes (documented deliberately): one module per model (use
+// dtmc::SynchronousProduct to compose several), unlabeled commands only,
+// constants are scalars, and all arithmetic is double-valued with
+// integrality enforced at variable assignment.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mimostat::pml {
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+enum class Op {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kNeg,
+  kAnd,
+  kOr,
+  kNot,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kMin,
+  kMax,
+  kMod,
+  kFloor,
+  kCeil,
+};
+
+struct Expr {
+  enum class Kind { kNumber, kIdent, kBool, kUnary, kBinary, kCall };
+
+  Kind kind = Kind::kNumber;
+  double number = 0.0;       // kNumber / kBool (0 or 1)
+  std::string name;          // kIdent
+  Op op = Op::kAdd;          // kUnary/kBinary/kCall
+  std::vector<ExprPtr> args; // operands
+
+  static ExprPtr makeNumber(double v);
+  static ExprPtr makeBool(bool v);
+  static ExprPtr makeIdent(std::string name);
+  static ExprPtr makeUnary(Op op, ExprPtr a);
+  static ExprPtr makeBinary(Op op, ExprPtr a, ExprPtr b);
+  static ExprPtr makeCall(Op op, std::vector<ExprPtr> args);
+};
+
+struct ConstDecl {
+  std::string name;
+  bool isInt = false;
+  ExprPtr value;
+};
+
+struct VarDecl {
+  std::string name;
+  ExprPtr low;
+  ExprPtr high;
+  ExprPtr init;
+};
+
+struct Assignment {
+  std::string var;   // assigned as var' = expr
+  ExprPtr value;
+};
+
+struct Update {
+  ExprPtr probability;  // null = probability 1
+  std::vector<Assignment> assignments;
+};
+
+struct Command {
+  ExprPtr guard;
+  std::vector<Update> updates;
+};
+
+struct ModuleDecl {
+  std::string name;
+  std::vector<VarDecl> variables;
+  std::vector<Command> commands;
+};
+
+struct RewardItem {
+  ExprPtr guard;
+  ExprPtr value;
+};
+
+struct RewardsDecl {
+  std::string name;  // empty = default structure
+  std::vector<RewardItem> items;
+};
+
+struct LabelDecl {
+  std::string name;
+  ExprPtr condition;
+};
+
+struct ModelDecl {
+  std::vector<ConstDecl> constants;
+  ModuleDecl module;
+  std::vector<RewardsDecl> rewards;
+  std::vector<LabelDecl> labels;
+};
+
+}  // namespace mimostat::pml

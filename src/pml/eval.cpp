@@ -1,0 +1,97 @@
+#include "pml/eval.hpp"
+
+#include <cmath>
+
+namespace mimostat::pml {
+
+double evaluate(const Expr& expr, const Environment& env) {
+  switch (expr.kind) {
+    case Expr::Kind::kNumber:
+    case Expr::Kind::kBool:
+      return expr.number;
+    case Expr::Kind::kIdent: {
+      const auto it = env.find(expr.name);
+      if (it == env.end()) {
+        throw EvalError("unknown identifier '" + expr.name + "'");
+      }
+      return it->second;
+    }
+    case Expr::Kind::kUnary: {
+      const double a = evaluate(*expr.args[0], env);
+      switch (expr.op) {
+        case Op::kNeg:
+          return -a;
+        case Op::kNot:
+          return isTruthy(a) ? 0.0 : 1.0;
+        case Op::kFloor:
+          return std::floor(a);
+        case Op::kCeil:
+          return std::ceil(a);
+        default:
+          throw EvalError("bad unary operator");
+      }
+    }
+    case Expr::Kind::kBinary:
+    case Expr::Kind::kCall: {
+      const double a = evaluate(*expr.args[0], env);
+      // Short-circuit the boolean connectives.
+      if (expr.op == Op::kAnd) {
+        return isTruthy(a) && isTruthy(evaluate(*expr.args[1], env)) ? 1.0
+                                                                     : 0.0;
+      }
+      if (expr.op == Op::kOr) {
+        return isTruthy(a) || isTruthy(evaluate(*expr.args[1], env)) ? 1.0
+                                                                     : 0.0;
+      }
+      const double b = evaluate(*expr.args[1], env);
+      switch (expr.op) {
+        case Op::kAdd:
+          return a + b;
+        case Op::kSub:
+          return a - b;
+        case Op::kMul:
+          return a * b;
+        case Op::kDiv:
+          if (b == 0.0) throw EvalError("division by zero");
+          return a / b;
+        case Op::kEq:
+          return a == b ? 1.0 : 0.0;
+        case Op::kNe:
+          return a != b ? 1.0 : 0.0;
+        case Op::kLt:
+          return a < b ? 1.0 : 0.0;
+        case Op::kLe:
+          return a <= b ? 1.0 : 0.0;
+        case Op::kGt:
+          return a > b ? 1.0 : 0.0;
+        case Op::kGe:
+          return a >= b ? 1.0 : 0.0;
+        case Op::kMin:
+          return std::min(a, b);
+        case Op::kMax:
+          return std::max(a, b);
+        case Op::kMod: {
+          const double ra = std::round(a);
+          const double rb = std::round(b);
+          if (ra != a || rb != b) throw EvalError("mod of non-integers");
+          if (rb == 0.0) throw EvalError("mod by zero");
+          return std::fmod(ra, rb);
+        }
+        default:
+          throw EvalError("bad binary operator");
+      }
+    }
+  }
+  throw EvalError("unreachable expression kind");
+}
+
+long long evaluateInt(const Expr& expr, const Environment& env) {
+  const double v = evaluate(expr, env);
+  const double rounded = std::round(v);
+  if (std::fabs(v - rounded) > 1e-9) {
+    throw EvalError("expected an integer value, got " + std::to_string(v));
+  }
+  return static_cast<long long>(rounded);
+}
+
+}  // namespace mimostat::pml

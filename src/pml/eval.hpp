@@ -1,0 +1,32 @@
+// Expression evaluation for the PML language.
+//
+// All values are doubles; booleans are 0/1 and guards test truthiness.
+// Identifier lookup goes through an Environment mapping names (constants
+// and state variables) to values. Evaluation throws EvalError on unknown
+// identifiers or malformed arithmetic (e.g. division by zero), making
+// model bugs loud at build time rather than silently probabilistic.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+#include "pml/ast.hpp"
+
+namespace mimostat::pml {
+
+class EvalError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+using Environment = std::unordered_map<std::string, double>;
+
+[[nodiscard]] double evaluate(const Expr& expr, const Environment& env);
+
+[[nodiscard]] inline bool isTruthy(double v) { return v != 0.0; }
+
+/// Evaluate and require an integral result (for variable bounds/updates).
+[[nodiscard]] long long evaluateInt(const Expr& expr, const Environment& env);
+
+}  // namespace mimostat::pml

@@ -1,0 +1,563 @@
+#include "pml/parser.hpp"
+
+#include <cctype>
+#include <optional>
+#include <vector>
+
+namespace mimostat::pml {
+
+namespace {
+
+enum class Tok {
+  kIdent,
+  kNumber,
+  kString,
+  kLBracket,
+  kRBracket,
+  kLParen,
+  kRParen,
+  kSemicolon,
+  kColon,
+  kComma,
+  kPrime,      // '
+  kDotDot,     // ..
+  kArrow,      // ->
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kAmp,
+  kPipe,
+  kBang,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEnd,
+};
+
+struct Token {
+  Tok kind;
+  std::string text;
+  double number = 0.0;
+  std::size_t line = 1;
+};
+
+std::vector<Token> lex(std::string_view src) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  std::size_t line = 1;
+  const std::size_t n = src.size();
+  const auto push = [&](Tok kind, std::string text = {}) {
+    tokens.push_back({kind, std::move(text), 0.0, line});
+  };
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      while (i < n && src[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(src[j])) ||
+                       src[j] == '_')) {
+        ++j;
+      }
+      push(Tok::kIdent, std::string(src.substr(i, j - i)));
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && src[i + 1] != '.' &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      std::size_t j = i;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(src[j])) ||
+                       src[j] == 'e' || src[j] == 'E' ||
+                       (src[j] == '.' && !(j + 1 < n && src[j + 1] == '.')) ||
+                       ((src[j] == '+' || src[j] == '-') && j > i &&
+                        (src[j - 1] == 'e' || src[j - 1] == 'E')))) {
+        ++j;
+      }
+      Token t{Tok::kNumber, std::string(src.substr(i, j - i)), 0.0, line};
+      try {
+        t.number = std::stod(t.text);
+      } catch (const std::exception&) {
+        throw PmlParseError("bad number literal '" + t.text + "'", line);
+      }
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    switch (c) {
+      case '"': {
+        std::size_t j = i + 1;
+        while (j < n && src[j] != '"') ++j;
+        if (j >= n) throw PmlParseError("unterminated string", line);
+        push(Tok::kString, std::string(src.substr(i + 1, j - i - 1)));
+        i = j + 1;
+        break;
+      }
+      case '[':
+        push(Tok::kLBracket);
+        ++i;
+        break;
+      case ']':
+        push(Tok::kRBracket);
+        ++i;
+        break;
+      case '(':
+        push(Tok::kLParen);
+        ++i;
+        break;
+      case ')':
+        push(Tok::kRParen);
+        ++i;
+        break;
+      case ';':
+        push(Tok::kSemicolon);
+        ++i;
+        break;
+      case ':':
+        push(Tok::kColon);
+        ++i;
+        break;
+      case ',':
+        push(Tok::kComma);
+        ++i;
+        break;
+      case '\'':
+        push(Tok::kPrime);
+        ++i;
+        break;
+      case '.':
+        if (i + 1 < n && src[i + 1] == '.') {
+          push(Tok::kDotDot);
+          i += 2;
+        } else {
+          throw PmlParseError("stray '.'", line);
+        }
+        break;
+      case '-':
+        if (i + 1 < n && src[i + 1] == '>') {
+          push(Tok::kArrow);
+          i += 2;
+        } else {
+          push(Tok::kMinus);
+          ++i;
+        }
+        break;
+      case '+':
+        push(Tok::kPlus);
+        ++i;
+        break;
+      case '*':
+        push(Tok::kStar);
+        ++i;
+        break;
+      case '/':
+        push(Tok::kSlash);
+        ++i;
+        break;
+      case '&':
+        push(Tok::kAmp);
+        ++i;
+        break;
+      case '|':
+        push(Tok::kPipe);
+        ++i;
+        break;
+      case '!':
+        if (i + 1 < n && src[i + 1] == '=') {
+          push(Tok::kNe);
+          i += 2;
+        } else {
+          push(Tok::kBang);
+          ++i;
+        }
+        break;
+      case '=':
+        push(Tok::kEq);
+        ++i;
+        break;
+      case '<':
+        if (i + 1 < n && src[i + 1] == '=') {
+          push(Tok::kLe);
+          i += 2;
+        } else {
+          push(Tok::kLt);
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && src[i + 1] == '=') {
+          push(Tok::kGe);
+          i += 2;
+        } else {
+          push(Tok::kGt);
+          ++i;
+        }
+        break;
+      default:
+        throw PmlParseError(std::string("unexpected character '") + c + "'",
+                            line);
+    }
+  }
+  push(Tok::kEnd);
+  return tokens;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view src) : tokens_(lex(src)) {}
+
+  ModelDecl parseModel() {
+    expectKeyword("dtmc");
+    ModelDecl model;
+    bool haveModule = false;
+    while (!check(Tok::kEnd)) {
+      const Token& head = peek();
+      if (head.kind != Tok::kIdent) {
+        throw PmlParseError("expected a declaration", head.line);
+      }
+      if (head.text == "const") {
+        model.constants.push_back(parseConst());
+      } else if (head.text == "module") {
+        if (haveModule) {
+          throw PmlParseError(
+              "multiple modules are not supported; compose with "
+              "dtmc::SynchronousProduct",
+              head.line);
+        }
+        model.module = parseModule();
+        haveModule = true;
+      } else if (head.text == "rewards") {
+        model.rewards.push_back(parseRewards());
+      } else if (head.text == "label") {
+        model.labels.push_back(parseLabel());
+      } else {
+        throw PmlParseError("unknown declaration '" + head.text + "'",
+                            head.line);
+      }
+    }
+    if (!haveModule) {
+      throw PmlParseError("model has no module", peek().line);
+    }
+    return model;
+  }
+
+  ExprPtr parseBareExpression() {
+    ExprPtr e = parseExpr();
+    expect(Tok::kEnd, "trailing input after expression");
+    return e;
+  }
+
+ private:
+  const Token& peek() const { return tokens_[pos_]; }
+  const Token& advance() { return tokens_[pos_++]; }
+  bool check(Tok kind) const { return peek().kind == kind; }
+  bool match(Tok kind) {
+    if (check(kind)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  const Token& expect(Tok kind, const char* what) {
+    if (!check(kind)) throw PmlParseError(what, peek().line);
+    return advance();
+  }
+  bool checkKeyword(const char* kw) const {
+    return peek().kind == Tok::kIdent && peek().text == kw;
+  }
+  void expectKeyword(const char* kw) {
+    if (!checkKeyword(kw)) {
+      throw PmlParseError(std::string("expected '") + kw + "'", peek().line);
+    }
+    ++pos_;
+  }
+
+  ConstDecl parseConst() {
+    expectKeyword("const");
+    ConstDecl decl;
+    const Token& type = expect(Tok::kIdent, "expected const type");
+    if (type.text == "int") {
+      decl.isInt = true;
+    } else if (type.text == "double") {
+      decl.isInt = false;
+    } else {
+      throw PmlParseError("expected 'int' or 'double'", type.line);
+    }
+    decl.name = expect(Tok::kIdent, "expected constant name").text;
+    expect(Tok::kEq, "expected = in const declaration");
+    decl.value = parseExpr();
+    expect(Tok::kSemicolon, "expected ; after const declaration");
+    return decl;
+  }
+
+  ModuleDecl parseModule() {
+    expectKeyword("module");
+    ModuleDecl module;
+    module.name = expect(Tok::kIdent, "expected module name").text;
+    while (!checkKeyword("endmodule")) {
+      if (check(Tok::kLBracket)) {
+        module.commands.push_back(parseCommand());
+      } else {
+        module.variables.push_back(parseVarDecl());
+      }
+    }
+    expectKeyword("endmodule");
+    return module;
+  }
+
+  VarDecl parseVarDecl() {
+    VarDecl decl;
+    decl.name = expect(Tok::kIdent, "expected variable name").text;
+    expect(Tok::kColon, "expected : in variable declaration");
+    expect(Tok::kLBracket, "expected [ in variable range");
+    decl.low = parseExpr();
+    expect(Tok::kDotDot, "expected .. in variable range");
+    decl.high = parseExpr();
+    expect(Tok::kRBracket, "expected ] in variable range");
+    expectKeyword("init");
+    decl.init = parseExpr();
+    expect(Tok::kSemicolon, "expected ; after variable declaration");
+    return decl;
+  }
+
+  Command parseCommand() {
+    expect(Tok::kLBracket, "expected [ to start command");
+    expect(Tok::kRBracket, "expected ] (labeled commands not supported)");
+    Command command;
+    command.guard = parseExpr();
+    expect(Tok::kArrow, "expected -> after guard");
+    command.updates.push_back(parseUpdate());
+    while (match(Tok::kPlus)) {
+      command.updates.push_back(parseUpdate());
+    }
+    expect(Tok::kSemicolon, "expected ; after command");
+    return command;
+  }
+
+  Update parseUpdate() {
+    Update update;
+    // Lookahead: an update is either "expr : assignments" or bare
+    // assignments (probability 1). Assignments always start with '(' IDENT
+    // '\''; "true" denotes the empty assignment.
+    if (checkKeyword("true")) {
+      advance();
+      return update;  // no-op self loop with probability 1
+    }
+    const std::size_t save = pos_;
+    if (check(Tok::kLParen)) {
+      // Could be a parenthesised probability or an assignment. Peek for
+      // IDENT '\'' after the paren.
+      if (tokens_[pos_ + 1].kind == Tok::kIdent &&
+          tokens_[pos_ + 2].kind == Tok::kPrime) {
+        update.assignments = parseAssignments();
+        return update;
+      }
+    }
+    // Parse a probability expression followed by ':'.
+    update.probability = parseExpr();
+    if (match(Tok::kColon)) {
+      if (checkKeyword("true")) {
+        advance();
+        return update;
+      }
+      update.assignments = parseAssignments();
+      return update;
+    }
+    // No ':': what we parsed must have been an assignment list start — but
+    // assignments are parenthesised, so this is an error.
+    pos_ = save;
+    throw PmlParseError("expected 'prob : updates' or '(var'=expr)'",
+                        peek().line);
+  }
+
+  std::vector<Assignment> parseAssignments() {
+    std::vector<Assignment> assignments;
+    assignments.push_back(parseAssignment());
+    while (match(Tok::kAmp)) {
+      assignments.push_back(parseAssignment());
+    }
+    return assignments;
+  }
+
+  Assignment parseAssignment() {
+    expect(Tok::kLParen, "expected ( in assignment");
+    Assignment assignment;
+    assignment.var = expect(Tok::kIdent, "expected variable in assignment").text;
+    expect(Tok::kPrime, "expected ' in assignment");
+    expect(Tok::kEq, "expected = in assignment");
+    assignment.value = parseExpr();
+    expect(Tok::kRParen, "expected ) after assignment");
+    return assignment;
+  }
+
+  RewardsDecl parseRewards() {
+    expectKeyword("rewards");
+    RewardsDecl decl;
+    if (check(Tok::kString)) decl.name = advance().text;
+    while (!checkKeyword("endrewards")) {
+      RewardItem item;
+      item.guard = parseExpr();
+      expect(Tok::kColon, "expected : in reward item");
+      item.value = parseExpr();
+      expect(Tok::kSemicolon, "expected ; after reward item");
+      decl.items.push_back(std::move(item));
+    }
+    expectKeyword("endrewards");
+    return decl;
+  }
+
+  LabelDecl parseLabel() {
+    expectKeyword("label");
+    LabelDecl decl;
+    decl.name = expect(Tok::kString, "expected label name string").text;
+    expect(Tok::kEq, "expected = in label declaration");
+    decl.condition = parseExpr();
+    expect(Tok::kSemicolon, "expected ; after label");
+    return decl;
+  }
+
+  // --- expressions (precedence climbing) ---
+  ExprPtr parseExpr() { return parseOr(); }
+
+  ExprPtr parseOr() {
+    ExprPtr e = parseAnd();
+    while (match(Tok::kPipe)) {
+      e = Expr::makeBinary(Op::kOr, std::move(e), parseAnd());
+    }
+    return e;
+  }
+
+  ExprPtr parseAnd() {
+    ExprPtr e = parseNot();
+    while (match(Tok::kAmp)) {
+      e = Expr::makeBinary(Op::kAnd, std::move(e), parseNot());
+    }
+    return e;
+  }
+
+  ExprPtr parseNot() {
+    if (match(Tok::kBang)) return Expr::makeUnary(Op::kNot, parseNot());
+    return parseComparison();
+  }
+
+  ExprPtr parseComparison() {
+    ExprPtr e = parseAdditive();
+    const auto cmpOp = [&]() -> std::optional<Op> {
+      switch (peek().kind) {
+        case Tok::kEq:
+          return Op::kEq;
+        case Tok::kNe:
+          return Op::kNe;
+        case Tok::kLt:
+          return Op::kLt;
+        case Tok::kLe:
+          return Op::kLe;
+        case Tok::kGt:
+          return Op::kGt;
+        case Tok::kGe:
+          return Op::kGe;
+        default:
+          return std::nullopt;
+      }
+    }();
+    if (cmpOp) {
+      ++pos_;
+      e = Expr::makeBinary(*cmpOp, std::move(e), parseAdditive());
+    }
+    return e;
+  }
+
+  ExprPtr parseAdditive() {
+    ExprPtr e = parseMultiplicative();
+    while (true) {
+      if (match(Tok::kPlus)) {
+        e = Expr::makeBinary(Op::kAdd, std::move(e), parseMultiplicative());
+      } else if (match(Tok::kMinus)) {
+        e = Expr::makeBinary(Op::kSub, std::move(e), parseMultiplicative());
+      } else {
+        return e;
+      }
+    }
+  }
+
+  ExprPtr parseMultiplicative() {
+    ExprPtr e = parseUnary();
+    while (true) {
+      if (match(Tok::kStar)) {
+        e = Expr::makeBinary(Op::kMul, std::move(e), parseUnary());
+      } else if (match(Tok::kSlash)) {
+        e = Expr::makeBinary(Op::kDiv, std::move(e), parseUnary());
+      } else {
+        return e;
+      }
+    }
+  }
+
+  ExprPtr parseUnary() {
+    if (match(Tok::kMinus)) return Expr::makeUnary(Op::kNeg, parseUnary());
+    return parsePrimary();
+  }
+
+  ExprPtr parsePrimary() {
+    if (match(Tok::kLParen)) {
+      ExprPtr e = parseExpr();
+      expect(Tok::kRParen, "expected )");
+      return e;
+    }
+    if (check(Tok::kNumber)) return Expr::makeNumber(advance().number);
+    const Token& t = expect(Tok::kIdent, "expected expression");
+    if (t.text == "true") return Expr::makeBool(true);
+    if (t.text == "false") return Expr::makeBool(false);
+    if (t.text == "min" || t.text == "max" || t.text == "mod" ||
+        t.text == "floor" || t.text == "ceil") {
+      const Op op = t.text == "min"     ? Op::kMin
+                    : t.text == "max"   ? Op::kMax
+                    : t.text == "mod"   ? Op::kMod
+                    : t.text == "floor" ? Op::kFloor
+                                        : Op::kCeil;
+      expect(Tok::kLParen, "expected ( after function name");
+      std::vector<ExprPtr> args;
+      args.push_back(parseExpr());
+      while (match(Tok::kComma)) args.push_back(parseExpr());
+      expect(Tok::kRParen, "expected ) after function arguments");
+      const std::size_t expected =
+          (op == Op::kFloor || op == Op::kCeil) ? 1 : 2;
+      if (args.size() != expected) {
+        throw PmlParseError("wrong argument count for " + t.text, t.line);
+      }
+      if (expected == 1) return Expr::makeUnary(op, std::move(args[0]));
+      return Expr::makeCall(op, std::move(args));
+    }
+    return Expr::makeIdent(t.text);
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+ModelDecl parseModel(std::string_view source) {
+  return Parser(source).parseModel();
+}
+
+ExprPtr parseExpression(std::string_view source) {
+  return Parser(source).parseBareExpression();
+}
+
+}  // namespace mimostat::pml

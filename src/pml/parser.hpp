@@ -1,0 +1,30 @@
+// Parser for the PML guarded-command language (see ast.hpp for the
+// grammar subset). Line comments start with //.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "pml/ast.hpp"
+
+namespace mimostat::pml {
+
+class PmlParseError : public std::runtime_error {
+ public:
+  PmlParseError(const std::string& message, std::size_t line)
+      : std::runtime_error(message + " (line " + std::to_string(line) + ")"),
+        line_(line) {}
+
+  [[nodiscard]] std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+[[nodiscard]] ModelDecl parseModel(std::string_view source);
+
+/// Parse a bare expression (exposed for tests).
+[[nodiscard]] ExprPtr parseExpression(std::string_view source);
+
+}  // namespace mimostat::pml

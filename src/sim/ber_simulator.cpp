@@ -1,0 +1,37 @@
+#include "sim/ber_simulator.hpp"
+
+#include <cmath>
+
+#include "util/timer.hpp"
+
+namespace mimostat::sim {
+
+BerRunResult runBer(const ErrorSource& source, const BerRunOptions& options) {
+  util::Stopwatch timer;
+  BerRunResult result;
+  for (std::uint64_t step = 0; step < options.maxSteps; ++step) {
+    result.errors.add(source(step));
+    ++result.stepsRun;
+    if (options.relPrecision > 0.0 && result.stepsRun > 0 &&
+        result.stepsRun % options.checkInterval == 0) {
+      const double estimate = result.errors.estimate();
+      if (estimate > 0.0) {
+        const auto interval = result.errors.wilson(options.confidence);
+        if (interval.width() / 2.0 <= options.relPrecision * estimate) {
+          result.stoppedEarly = true;
+          break;
+        }
+      }
+    }
+  }
+  result.seconds = timer.elapsedSeconds();
+  return result;
+}
+
+std::uint64_t expectedStepsForErrors(double ber, std::uint64_t minErrors) {
+  if (ber <= 0.0) return ~0ULL;
+  return static_cast<std::uint64_t>(
+      std::ceil(static_cast<double>(minErrors) / ber));
+}
+
+}  // namespace mimostat::sim

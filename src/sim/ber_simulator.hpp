@@ -1,0 +1,46 @@
+// Generic Monte-Carlo BER estimation harness — the paper's comparison
+// baseline packaged as a reusable component: feed it any Bernoulli error
+// source and it tracks the estimate, confidence intervals, and (optionally)
+// stops early once a target relative precision is met.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "stats/estimator.hpp"
+
+namespace mimostat::sim {
+
+/// One step of a system under test: returns whether a bit error occurred.
+using ErrorSource = std::function<bool(std::uint64_t step)>;
+
+struct BerRunOptions {
+  std::uint64_t maxSteps = 1'000'000;
+  double confidence = 0.95;
+  /// Stop early when the Wilson interval half-width falls below
+  /// relPrecision * estimate (0 disables early stopping).
+  double relPrecision = 0.0;
+  /// Check the stopping rule every `checkInterval` steps.
+  std::uint64_t checkInterval = 10'000;
+};
+
+struct BerRunResult {
+  stats::BernoulliEstimator errors;
+  std::uint64_t stepsRun = 0;
+  bool stoppedEarly = false;
+  double seconds = 0.0;
+
+  [[nodiscard]] double estimate() const { return errors.estimate(); }
+};
+
+/// Drive the error source until maxSteps or the precision target.
+[[nodiscard]] BerRunResult runBer(const ErrorSource& source,
+                                  const BerRunOptions& options);
+
+/// How many Monte-Carlo steps are expected to be needed to observe at least
+/// `minErrors` errors at bit error rate `ber` (the paper's "simulation is
+/// infeasible below BER 1e-7" argument).
+[[nodiscard]] std::uint64_t expectedStepsForErrors(double ber,
+                                                   std::uint64_t minErrors);
+
+}  // namespace mimostat::sim

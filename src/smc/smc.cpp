@@ -1,0 +1,221 @@
+#include "smc/smc.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "pctl/parser.hpp"
+#include "util/timer.hpp"
+
+namespace mimostat::smc {
+
+bool evalStateFormula(const dtmc::Model& model, const dtmc::VarLayout& layout,
+                      const dtmc::State& state,
+                      const pctl::StateFormula& formula) {
+  using Kind = pctl::StateFormula::Kind;
+  switch (formula.kind) {
+    case Kind::kTrue:
+      return true;
+    case Kind::kFalse:
+      return false;
+    case Kind::kAtom: {
+      const auto varIdx = layout.tryIndexOf(formula.name);
+      if (varIdx != dtmc::VarLayout::npos) return state[varIdx] != 0;
+      return model.atom(state, formula.name);
+    }
+    case Kind::kVarCmp: {
+      const auto varIdx = layout.tryIndexOf(formula.name);
+      if (varIdx == dtmc::VarLayout::npos) {
+        throw std::runtime_error("SMC: unknown state variable '" +
+                                 formula.name + "'");
+      }
+      return pctl::evalCmp(formula.op, state[varIdx], formula.value);
+    }
+    case Kind::kNot:
+      return !evalStateFormula(model, layout, state, *formula.lhs);
+    case Kind::kAnd:
+      return evalStateFormula(model, layout, state, *formula.lhs) &&
+             evalStateFormula(model, layout, state, *formula.rhs);
+    case Kind::kOr:
+      return evalStateFormula(model, layout, state, *formula.lhs) ||
+             evalStateFormula(model, layout, state, *formula.rhs);
+  }
+  throw std::logic_error("unreachable state-formula kind");
+}
+
+PathSampler::PathSampler(const dtmc::Model& model, std::uint64_t seed)
+    : model_(model), layout_(model.layout()), rng_(seed) {
+  reset();
+}
+
+const dtmc::State& PathSampler::reset() {
+  const std::vector<dtmc::State> initial = model_.initialStates();
+  assert(!initial.empty());
+  state_ = initial[rng_.nextBounded(initial.size())];
+  return state_;
+}
+
+const dtmc::State& PathSampler::step() {
+  scratch_.clear();
+  model_.transitions(state_, scratch_);
+  const double mass = dtmc::normalizeTransitions(scratch_, 0.0);
+  double u = rng_.nextDouble() * mass;
+  for (const auto& t : scratch_) {
+    u -= t.prob;
+    if (u <= 0.0) {
+      state_ = t.target;
+      return state_;
+    }
+  }
+  state_ = scratch_.back().target;  // numeric tail
+  return state_;
+}
+
+namespace {
+
+/// Evaluate one sampled path against a bounded path formula.
+bool samplePathSatisfies(PathSampler& sampler, const dtmc::Model& model,
+                         const pctl::PathFormula& path) {
+  using Kind = pctl::PathFormula::Kind;
+  const dtmc::VarLayout& layout = sampler.layout();
+  sampler.reset();
+
+  switch (path.kind) {
+    case Kind::kNext:
+      sampler.step();
+      return evalStateFormula(model, layout, sampler.state(), *path.lhs);
+    case Kind::kFinally: {
+      const std::uint64_t bound = *path.bound;
+      if (evalStateFormula(model, layout, sampler.state(), *path.lhs)) {
+        return true;
+      }
+      for (std::uint64_t t = 0; t < bound; ++t) {
+        sampler.step();
+        if (evalStateFormula(model, layout, sampler.state(), *path.lhs)) {
+          return true;
+        }
+      }
+      return false;
+    }
+    case Kind::kGlobally: {
+      const std::uint64_t bound = *path.bound;
+      if (!evalStateFormula(model, layout, sampler.state(), *path.lhs)) {
+        return false;
+      }
+      for (std::uint64_t t = 0; t < bound; ++t) {
+        sampler.step();
+        if (!evalStateFormula(model, layout, sampler.state(), *path.lhs)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case Kind::kUntil: {
+      const std::uint64_t bound = *path.bound;
+      for (std::uint64_t t = 0; t <= bound; ++t) {
+        if (evalStateFormula(model, layout, sampler.state(), *path.rhs)) {
+          return true;
+        }
+        if (!evalStateFormula(model, layout, sampler.state(), *path.lhs)) {
+          return false;
+        }
+        if (t < bound) sampler.step();
+      }
+      return false;
+    }
+  }
+  throw std::logic_error("unreachable path-formula kind");
+}
+
+void requireBounded(const pctl::PathFormula& path) {
+  if (path.kind != pctl::PathFormula::Kind::kNext && !path.bound) {
+    throw std::invalid_argument(
+        "SMC can only estimate bounded path formulas");
+  }
+}
+
+}  // namespace
+
+SmcEstimate estimatePathProbability(const dtmc::Model& model,
+                                    const pctl::PathFormula& path,
+                                    const SmcOptions& options) {
+  requireBounded(path);
+  util::Stopwatch timer;
+  PathSampler sampler(model, options.seed);
+  SmcEstimate result;
+  for (std::uint64_t i = 0; i < options.paths; ++i) {
+    result.satisfied.add(samplePathSatisfies(sampler, model, path));
+  }
+  result.seconds = timer.elapsedSeconds();
+  return result;
+}
+
+SmcEstimate estimateProperty(const dtmc::Model& model,
+                             std::string_view propertyText,
+                             const SmcOptions& options) {
+  const pctl::Property property = pctl::parseProperty(propertyText);
+  if (property.kind != pctl::Property::Kind::kProb) {
+    throw std::invalid_argument("estimateProperty takes a P-property");
+  }
+  return estimatePathProbability(model, property.prob.path, options);
+}
+
+stats::RunningStats estimateInstantaneousReward(const dtmc::Model& model,
+                                                std::uint64_t horizon,
+                                                std::string_view rewardName,
+                                                const SmcOptions& options) {
+  PathSampler sampler(model, options.seed);
+  stats::RunningStats stats;
+  for (std::uint64_t i = 0; i < options.paths; ++i) {
+    sampler.reset();
+    for (std::uint64_t t = 0; t < horizon; ++t) sampler.step();
+    stats.add(model.stateReward(sampler.state(), rewardName));
+  }
+  return stats;
+}
+
+SprtOutcome testProperty(const dtmc::Model& model,
+                         std::string_view propertyText,
+                         const SprtOptions& options) {
+  const pctl::Property property = pctl::parseProperty(propertyText);
+  if (property.kind != pctl::Property::Kind::kProb ||
+      property.prob.isQuery) {
+    throw std::invalid_argument(
+        "testProperty needs a bounded-probability P-property (e.g. "
+        "P>=0.9 [...])");
+  }
+  const double theta = property.prob.boundValue;
+  const pctl::CmpOp op = property.prob.boundOp;
+  if (op != pctl::CmpOp::kGe && op != pctl::CmpOp::kGt &&
+      op != pctl::CmpOp::kLe && op != pctl::CmpOp::kLt) {
+    throw std::invalid_argument("testProperty needs an inequality bound");
+  }
+  requireBounded(property.prob.path);
+
+  if (theta <= 0.0 || theta >= 1.0) {
+    throw std::invalid_argument("testProperty needs 0 < theta < 1");
+  }
+  // Shrink the indifference region when theta sits near a boundary so the
+  // SPRT hypotheses stay inside (0, 1).
+  const double delta =
+      std::min({options.indifference, theta / 2.0, (1.0 - theta) / 2.0});
+  stats::Sprt sprt(theta, delta, options.alpha, options.beta);
+  PathSampler sampler(model, options.seed);
+  SprtOutcome outcome;
+  while (outcome.pathsUsed < options.maxPaths) {
+    const bool sat =
+        samplePathSatisfies(sampler, model, property.prob.path);
+    ++outcome.pathsUsed;
+    outcome.decision = sprt.add(sat);
+    if (outcome.decision != stats::SprtDecision::kContinue) break;
+  }
+  const bool lowerBound = op == pctl::CmpOp::kGe || op == pctl::CmpOp::kGt;
+  if (outcome.decision == stats::SprtDecision::kAcceptH1) {
+    outcome.holds = lowerBound;  // P >= theta+delta accepted
+  } else if (outcome.decision == stats::SprtDecision::kAcceptH0) {
+    outcome.holds = !lowerBound;  // P <= theta-delta accepted
+  }
+  return outcome;
+}
+
+}  // namespace mimostat::smc

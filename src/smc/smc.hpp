@@ -1,0 +1,104 @@
+// Statistical model checking (SMC) — the sampling-based alternative the
+// paper positions itself against (cf. its ref. [13], Clarke/Donzé/Legay).
+//
+// Instead of exhaustively exploring the DTMC, SMC samples finite paths
+// directly from the dtmc::Model transition function and estimates bounded
+// pCTL properties, or sequentially tests P(phi) >= theta with Wald's SPRT.
+// This gives the library both poles of the paper's comparison: exact
+// probabilistic model checking (mc::Checker) and statistical guarantees by
+// simulation (this module), sharing one model definition.
+//
+// Only *bounded* path formulas are estimable by finite sampling; passing an
+// unbounded formula throws.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "dtmc/model.hpp"
+#include "pctl/ast.hpp"
+#include "stats/estimator.hpp"
+#include "stats/sprt.hpp"
+#include "util/rng.hpp"
+
+namespace mimostat::smc {
+
+/// Evaluate a state formula on a concrete state of a model (variables are
+/// resolved through the layout, quoted/bare atoms through Model::atom).
+[[nodiscard]] bool evalStateFormula(const dtmc::Model& model,
+                                    const dtmc::VarLayout& layout,
+                                    const dtmc::State& state,
+                                    const pctl::StateFormula& formula);
+
+/// Samples random paths from a model. Each path starts from a uniformly
+/// chosen initial state.
+class PathSampler {
+ public:
+  PathSampler(const dtmc::Model& model, std::uint64_t seed);
+
+  /// Restart at a random initial state; returns it.
+  const dtmc::State& reset();
+  /// Advance one transition; returns the new state.
+  const dtmc::State& step();
+  [[nodiscard]] const dtmc::State& state() const { return state_; }
+  [[nodiscard]] const dtmc::VarLayout& layout() const { return layout_; }
+
+ private:
+  const dtmc::Model& model_;
+  dtmc::VarLayout layout_;
+  util::Xoshiro256 rng_;
+  dtmc::State state_;
+  std::vector<dtmc::Transition> scratch_;
+};
+
+struct SmcOptions {
+  std::uint64_t paths = 10'000;
+  std::uint64_t seed = 1;
+};
+
+struct SmcEstimate {
+  stats::BernoulliEstimator satisfied;  ///< per-path satisfaction counter
+  double seconds = 0.0;
+
+  [[nodiscard]] double estimate() const { return satisfied.estimate(); }
+};
+
+/// Estimate P(path formula) for a bounded path formula by sampling.
+/// Throws std::invalid_argument for unbounded formulas.
+[[nodiscard]] SmcEstimate estimatePathProbability(const dtmc::Model& model,
+                                                  const pctl::PathFormula& path,
+                                                  const SmcOptions& options);
+
+/// Parse-and-estimate convenience for "P=? [ ... ]" property strings.
+[[nodiscard]] SmcEstimate estimateProperty(const dtmc::Model& model,
+                                           std::string_view propertyText,
+                                           const SmcOptions& options);
+
+/// Estimate R=? [ I=T ] by sampling (mean instantaneous reward at T).
+[[nodiscard]] stats::RunningStats estimateInstantaneousReward(
+    const dtmc::Model& model, std::uint64_t horizon,
+    std::string_view rewardName, const SmcOptions& options);
+
+struct SprtOptions {
+  double indifference = 0.01;  ///< half-width of the indifference region
+  double alpha = 0.01;         ///< false-accept probability for H1
+  double beta = 0.01;          ///< false-accept probability for H0
+  std::uint64_t maxPaths = 10'000'000;
+  std::uint64_t seed = 1;
+};
+
+struct SprtOutcome {
+  stats::SprtDecision decision = stats::SprtDecision::kContinue;
+  std::uint64_t pathsUsed = 0;
+  /// The tested satisfaction claim holds (only meaningful when a decision
+  /// was reached): for P>=theta, kAcceptH1 means "holds".
+  bool holds = false;
+};
+
+/// Sequentially test "P(path) >= theta [ / <= theta ]" given as a bounded
+/// P-property with a probability bound (e.g. "P>=0.9 [ F<=50 flag ]").
+[[nodiscard]] SprtOutcome testProperty(const dtmc::Model& model,
+                                       std::string_view propertyText,
+                                       const SprtOptions& options);
+
+}  // namespace mimostat::smc

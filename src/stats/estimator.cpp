@@ -1,0 +1,76 @@
+#include "stats/estimator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "stats/gaussian.hpp"
+
+namespace mimostat::stats {
+
+BatchMeansEstimator::BatchMeansEstimator(std::uint64_t batchSize)
+    : batchSize_(batchSize) {
+  assert(batchSize >= 1);
+}
+
+void BatchMeansEstimator::add(double x) {
+  ++observations_;
+  batchSum_ += x;
+  if (++inBatch_ == batchSize_) {
+    batches_.add(batchSum_ / static_cast<double>(batchSize_));
+    inBatch_ = 0;
+    batchSum_ = 0.0;
+  }
+}
+
+Interval BatchMeansEstimator::interval(double confidence) const {
+  assert(batches_.count() >= 2);
+  const double z = normalInvCdf(0.5 + confidence / 2.0);
+  const double half = z * batches_.standardError();
+  return {batches_.mean() - half, batches_.mean() + half};
+}
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::standardError() const {
+  if (count_ == 0) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+}  // namespace mimostat::stats

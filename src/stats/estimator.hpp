@@ -1,0 +1,97 @@
+// Streaming estimators for Monte-Carlo runs.
+#pragma once
+
+#include <cstdint>
+
+#include "stats/intervals.hpp"
+
+namespace mimostat::stats {
+
+/// Welford online mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  /// Unbiased sample variance (0 for fewer than 2 samples).
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  /// Standard error of the mean.
+  [[nodiscard]] double standardError() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+  /// Merge another accumulator (Chan's parallel formula).
+  void merge(const RunningStats& other);
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch-means estimator for *correlated* streams (e.g. the per-cycle
+/// error process of a decoder, which is a function of a Markov chain).
+/// The stream is cut into fixed-size batches; batch means are approximately
+/// independent once the batch length exceeds the mixing time, so a normal
+/// interval on the batch means has honest coverage where an iid Wilson
+/// interval would be too narrow.
+class BatchMeansEstimator {
+ public:
+  explicit BatchMeansEstimator(std::uint64_t batchSize);
+
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t observations() const { return observations_; }
+  [[nodiscard]] std::uint64_t completeBatches() const {
+    return batches_.count();
+  }
+  /// Mean over complete batches.
+  [[nodiscard]] double mean() const { return batches_.mean(); }
+  /// Normal-approximation interval on the batch means. Requires at least
+  /// two complete batches.
+  [[nodiscard]] Interval interval(double confidence) const;
+
+ private:
+  std::uint64_t batchSize_;
+  std::uint64_t inBatch_ = 0;
+  double batchSum_ = 0.0;
+  std::uint64_t observations_ = 0;
+  RunningStats batches_;
+};
+
+/// Bernoulli (bit-error) counter with interval accessors.
+class BernoulliEstimator {
+ public:
+  void add(bool success) {
+    ++trials_;
+    if (success) ++successes_;
+  }
+
+  [[nodiscard]] std::uint64_t trials() const { return trials_; }
+  [[nodiscard]] std::uint64_t successes() const { return successes_; }
+  [[nodiscard]] double estimate() const {
+    return trials_ == 0 ? 0.0
+                        : static_cast<double>(successes_) /
+                              static_cast<double>(trials_);
+  }
+
+  [[nodiscard]] Interval wilson(double confidence) const {
+    return wilsonInterval(successes_, trials_, confidence);
+  }
+  [[nodiscard]] Interval clopperPearson(double confidence) const {
+    return clopperPearsonInterval(successes_, trials_, confidence);
+  }
+  [[nodiscard]] Interval hoeffding(double confidence) const {
+    return hoeffdingInterval(successes_, trials_, confidence);
+  }
+
+ private:
+  std::uint64_t trials_ = 0;
+  std::uint64_t successes_ = 0;
+};
+
+}  // namespace mimostat::stats

@@ -1,0 +1,34 @@
+// Gaussian distribution primitives.
+//
+// The DTMC transition probabilities in the paper are Gaussian cell
+// probabilities: P(q = k | signal s) = Phi((t_{k+1}-s)/sigma) - Phi((t_k-s)/sigma).
+// Everything downstream (quantizers, channel models) is built on these.
+#pragma once
+
+namespace mimostat::stats {
+
+/// Standard normal probability density function.
+[[nodiscard]] double normalPdf(double x);
+
+/// Standard normal cumulative distribution function Phi(x).
+/// Implemented via erfc for full double-precision accuracy in the tails —
+/// required because the paper resolves BERs down to 1e-15.
+[[nodiscard]] double normalCdf(double x);
+
+/// Gaussian CDF with mean/sigma.
+[[nodiscard]] double normalCdf(double x, double mean, double sigma);
+
+/// Upper tail Q(x) = 1 - Phi(x), accurate for large x.
+[[nodiscard]] double normalTail(double x);
+
+/// Inverse standard normal CDF (Acklam's rational approximation, refined by
+/// one Halley step; |relative error| < 1e-13 over (0,1)).
+[[nodiscard]] double normalInvCdf(double p);
+
+/// Probability mass of the interval [lo, hi] under N(mean, sigma^2).
+/// lo may be -inf and hi +inf. Computed tail-aware so that narrow cells far
+/// from the mean do not cancel to zero.
+[[nodiscard]] double normalIntervalProb(double lo, double hi, double mean,
+                                        double sigma);
+
+}  // namespace mimostat::stats

@@ -1,0 +1,32 @@
+#include "stats/sprt.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace mimostat::stats {
+
+Sprt::Sprt(double theta, double delta, double alpha, double beta)
+    : p0_(theta - delta), p1_(theta + delta) {
+  assert(p0_ > 0.0 && p1_ < 1.0 && p0_ < p1_);
+  assert(alpha > 0.0 && alpha < 1.0 && beta > 0.0 && beta < 1.0);
+  logA_ = std::log((1.0 - beta) / alpha);
+  logB_ = std::log(beta / (1.0 - alpha));
+}
+
+SprtDecision Sprt::add(bool success) {
+  if (decision_ != SprtDecision::kContinue) return decision_;
+  ++n_;
+  if (success) {
+    llr_ += std::log(p1_ / p0_);
+  } else {
+    llr_ += std::log((1.0 - p1_) / (1.0 - p0_));
+  }
+  if (llr_ >= logA_) {
+    decision_ = SprtDecision::kAcceptH1;
+  } else if (llr_ <= logB_) {
+    decision_ = SprtDecision::kAcceptH0;
+  }
+  return decision_;
+}
+
+}  // namespace mimostat::stats

@@ -1,0 +1,57 @@
+// Saturating fixed-point helpers modelling RTL datapath arithmetic.
+//
+// The paper's DTMC models track RTL registers (path metrics, counters) that
+// saturate rather than wrap; these helpers centralise that behaviour so the
+// bit-accurate decoder and the DTMC models share identical arithmetic.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace mimostat::util {
+
+/// Clamp v into [lo, hi].
+[[nodiscard]] constexpr std::int32_t clampI32(std::int64_t v, std::int32_t lo,
+                                              std::int32_t hi) {
+  if (v < lo) return lo;
+  if (v > hi) return hi;
+  return static_cast<std::int32_t>(v);
+}
+
+/// Saturating add on [0, cap] — the path-metric accumulator idiom.
+[[nodiscard]] constexpr std::int32_t satAdd(std::int32_t a, std::int32_t b,
+                                            std::int32_t cap) {
+  const std::int64_t sum = static_cast<std::int64_t>(a) + b;
+  return clampI32(sum, 0, cap);
+}
+
+/// Round-to-nearest quantization of a real magnitude onto [0, cap]
+/// (used for branch metrics: |sample - expected| -> small integer).
+[[nodiscard]] inline std::int32_t quantizeMagnitude(double magnitude,
+                                                    double scale,
+                                                    std::int32_t cap) {
+  const double scaled = magnitude * scale;
+  const auto rounded = static_cast<std::int64_t>(std::llround(scaled));
+  return clampI32(rounded, 0, cap);
+}
+
+/// Unsigned fixed-point value with explicit width, saturating on overflow.
+/// Mirrors a Verilog reg [width-1:0] with saturating assignment.
+class SatCounter {
+ public:
+  constexpr SatCounter(std::int32_t value, std::int32_t cap)
+      : value_(std::min(value, cap)), cap_(cap) {}
+
+  constexpr void add(std::int32_t delta) { value_ = satAdd(value_, delta, cap_); }
+  constexpr void reset() { value_ = 0; }
+  [[nodiscard]] constexpr std::int32_t value() const { return value_; }
+  [[nodiscard]] constexpr std::int32_t cap() const { return cap_; }
+  [[nodiscard]] constexpr bool saturated() const { return value_ == cap_; }
+
+ private:
+  std::int32_t value_;
+  std::int32_t cap_;
+};
+
+}  // namespace mimostat::util

@@ -1,0 +1,39 @@
+#include "util/log.hpp"
+
+#include <cstdarg>
+
+namespace mimostat::util {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kDebug:
+      return "DEBUG";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel logLevel() { return g_level; }
+
+void setLogLevel(LogLevel level) { g_level = level; }
+
+void logMessage(LogLevel level, const char* fmt, ...) {
+  if (static_cast<int>(level) > static_cast<int>(g_level)) return;
+  std::fprintf(stderr, "[mimostat %s] ", levelName(level));
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace mimostat::util

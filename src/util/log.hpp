@@ -1,0 +1,38 @@
+// Minimal leveled logger for the mimostat library.
+//
+// The library is deterministic and mostly silent; logging exists for the
+// builder / engines to report progress on large models and for benches to
+// explain what they are doing. Not thread-safe by design (all engines are
+// single-threaded).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace mimostat::util {
+
+enum class LogLevel : int {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+};
+
+/// Global log threshold; messages above this level are dropped.
+LogLevel logLevel();
+void setLogLevel(LogLevel level);
+
+/// printf-style logging. Prefer the LOG_* macros below.
+void logMessage(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace mimostat::util
+
+#define MS_LOG_ERROR(...) \
+  ::mimostat::util::logMessage(::mimostat::util::LogLevel::kError, __VA_ARGS__)
+#define MS_LOG_WARN(...) \
+  ::mimostat::util::logMessage(::mimostat::util::LogLevel::kWarn, __VA_ARGS__)
+#define MS_LOG_INFO(...) \
+  ::mimostat::util::logMessage(::mimostat::util::LogLevel::kInfo, __VA_ARGS__)
+#define MS_LOG_DEBUG(...) \
+  ::mimostat::util::logMessage(::mimostat::util::LogLevel::kDebug, __VA_ARGS__)

@@ -1,0 +1,41 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace mimostat::util {
+
+std::uint64_t Xoshiro256::nextBounded(std::uint64_t bound) {
+  if (bound <= 1) return 0;
+  // Lemire's nearly-divisionless method.
+  __uint128_t m = static_cast<__uint128_t>((*this)()) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      m = static_cast<__uint128_t>((*this)()) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Xoshiro256::nextGaussian() {
+  if (hasSpare_) {
+    hasSpare_ = false;
+    return spare_;
+  }
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = 2.0 * nextDouble() - 1.0;
+    v = 2.0 * nextDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * factor;
+  hasSpare_ = true;
+  return u * factor;
+}
+
+}  // namespace mimostat::util

@@ -1,0 +1,70 @@
+// Deterministic, seedable random number generation for the Monte-Carlo
+// baselines. xoshiro256** for the raw stream, seeded through splitmix64 so
+// that small consecutive seeds give independent-looking streams.
+//
+// Every simulation entry point in this library takes an explicit seed; there
+// is no global RNG state.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace mimostat::util {
+
+/// splitmix64 step: the canonical seeding PRNG (Steele et al.).
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Passes BigCrush; tiny state.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x853C49E6748FEA9BULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double nextDouble() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  /// Fair coin.
+  bool nextBit() { return ((*this)() >> 63) != 0; }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire).
+  std::uint64_t nextBounded(std::uint64_t bound);
+
+  /// Standard normal variate (polar Marsaglia; caches the spare value).
+  double nextGaussian();
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  bool hasSpare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace mimostat::util

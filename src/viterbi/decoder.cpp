@@ -1,0 +1,35 @@
+#include "viterbi/decoder.hpp"
+
+#include <cassert>
+
+namespace mimostat::viterbi {
+
+Decoder::Decoder(const TrellisKernel& kernel) : kernel_(kernel) { reset(); }
+
+void Decoder::reset() {
+  const int traceLength = kernel_.params().tracebackLength;
+  pm0_ = 0;
+  pm1_ = kernel_.params().pmCap;
+  prev0_.assign(static_cast<std::size_t>(traceLength), 0);
+  prev1_.assign(static_cast<std::size_t>(traceLength), 0);
+  lastConvergent_ = false;
+}
+
+int Decoder::step(int q) {
+  const AcsResult acs = kernel_.acs(pm0_, pm1_, q);
+  pm0_ = acs.pm0;
+  pm1_ = acs.pm1;
+  lastConvergent_ = acs.prev0 == acs.prev1;
+
+  // Writeback: advance the trellis by one stage.
+  prev0_.pop_back();
+  prev0_.insert(prev0_.begin(), acs.prev0);
+  prev1_.pop_back();
+  prev1_.insert(prev1_.begin(), acs.prev1);
+
+  // Traceback of L-1 hops from the best internal state.
+  const int hops = kernel_.params().tracebackLength - 1;
+  return traceback(acs.tracebackStart, prev0_, prev1_, hops);
+}
+
+}  // namespace mimostat::viterbi

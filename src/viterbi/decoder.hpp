@@ -1,0 +1,44 @@
+// Bit-accurate RTL-style Viterbi decoder, used as the Monte-Carlo baseline.
+//
+// The decoder starts "warm" with an all-zero trellis history (matching the
+// DTMC models' initial state) and emits one decoded bit per step with a
+// decoding latency of L-1: the bit returned at step n is the decision for
+// the data bit transmitted at step n-(L-1) (bits before time 0 are 0).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "viterbi/code.hpp"
+
+namespace mimostat::viterbi {
+
+class Decoder {
+ public:
+  explicit Decoder(const TrellisKernel& kernel);
+
+  /// Process one quantized sample cell; returns the decoded (delayed) bit.
+  int step(int q);
+
+  /// Reset to the initial (all-zero history, pm0=0, pm1=pmCap) state.
+  void reset();
+
+  [[nodiscard]] std::int32_t pm0() const { return pm0_; }
+  [[nodiscard]] std::int32_t pm1() const { return pm1_; }
+
+  /// Whether the most recent step produced a convergent trellis stage
+  /// (prev0 == prev1).
+  [[nodiscard]] bool lastStageConvergent() const { return lastConvergent_; }
+
+ private:
+  const TrellisKernel& kernel_;
+  std::int32_t pm0_ = 0;
+  std::int32_t pm1_ = 0;
+  // Stage 0 = newest. Fixed length L.
+  std::vector<int> prev0_;
+  std::vector<int> prev1_;
+  bool lastConvergent_ = false;
+};
+
+}  // namespace mimostat::viterbi

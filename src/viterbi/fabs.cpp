@@ -1,0 +1,92 @@
+#include "viterbi/fabs.hpp"
+
+#include <cassert>
+#include <vector>
+
+namespace mimostat::viterbi {
+
+dtmc::State abstractState(const FullViterbiModel& full,
+                          const ReducedViterbiModel& reduced,
+                          const dtmc::State& fullState) {
+  const int L = full.params().tracebackLength;
+  assert(reduced.params().tracebackLength == L);
+  assert(full.params().withErrorCounter == reduced.params().withErrorCounter);
+
+  dtmc::State r(reduced.variables().size(), 0);
+  r[reduced.idxPm0()] = fullState[full.idxPm0()];
+  r[reduced.idxPm1()] = fullState[full.idxPm1()];
+  r[reduced.idxX0()] = fullState[full.idxX(0)];
+  for (int i = 0; i < L - 1; ++i) {
+    const int xi = fullState[full.idxX(i)];
+    const int xNext = fullState[full.idxX(i + 1)];
+    const int fromCorrect =
+        (xi == 0) ? fullState[full.idxPrev0(i)] : fullState[full.idxPrev1(i)];
+    const int fromWrong =
+        (xi == 0) ? fullState[full.idxPrev1(i)] : fullState[full.idxPrev0(i)];
+    r[reduced.idxA(i)] = (fromCorrect != xNext) ? 1 : 0;
+    r[reduced.idxB(i)] = (fromWrong != xNext) ? 1 : 0;
+  }
+  r[reduced.idxFlag()] = fullState[full.idxFlag()];
+  if (full.params().withErrorCounter) {
+    r[reduced.idxErrs()] = fullState[full.idxErrs()];
+  }
+  return r;
+}
+
+EquivalenceReport verifyFlagEquivalence(int tracebackLength) {
+  const int L = tracebackLength;
+  assert(L >= 2);
+  const int stages = L - 1;  // traceback consults stages 0..L-2
+
+  EquivalenceReport report;
+
+  // Enumerate: traceback start s0 (2), data bits x_0..x_{L-1} (2^L),
+  // prev0/prev1 per consulted stage (4^(L-1)).
+  const std::uint64_t numX = 1ULL << L;
+  const std::uint64_t numPrev = 1ULL << (2 * stages);
+
+  std::vector<int> x(static_cast<std::size_t>(L));
+  std::vector<int> prev0(static_cast<std::size_t>(stages));
+  std::vector<int> prev1(static_cast<std::size_t>(stages));
+
+  for (int s0 = 0; s0 < 2; ++s0) {
+    for (std::uint64_t xBits = 0; xBits < numX; ++xBits) {
+      for (int i = 0; i < L; ++i) x[i] = static_cast<int>((xBits >> i) & 1);
+      for (std::uint64_t pBits = 0; pBits < numPrev; ++pBits) {
+        for (int i = 0; i < stages; ++i) {
+          prev0[i] = static_cast<int>((pBits >> (2 * i)) & 1);
+          prev1[i] = static_cast<int>((pBits >> (2 * i + 1)) & 1);
+        }
+
+        // Eq. 5: concrete traceback, compare against x_{L-1}.
+        int state = s0;
+        for (int i = 0; i < stages; ++i) {
+          state = (state == 0) ? prev0[i] : prev1[i];
+        }
+        const int flagFull = (state != x[L - 1]) ? 1 : 0;
+
+        // Eq. 9: relative traceback over F_abs(prev, x).
+        int e = (s0 != x[0]) ? 1 : 0;
+        for (int i = 0; i < stages; ++i) {
+          const int fromCorrect = (x[i] == 0) ? prev0[i] : prev1[i];
+          const int fromWrong = (x[i] == 0) ? prev1[i] : prev0[i];
+          const int a = (fromCorrect != x[i + 1]) ? 1 : 0;
+          const int b = (fromWrong != x[i + 1]) ? 1 : 0;
+          e = e ? b : a;
+        }
+        const int flagReduced = e;
+
+        ++report.assignmentsChecked;
+        if (flagFull != flagReduced) {
+          report.equivalent = false;
+          report.counterexample =
+              (static_cast<std::uint64_t>(s0) << 62) | (xBits << 32) | pBits;
+          return report;
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace mimostat::viterbi

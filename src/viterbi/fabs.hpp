@@ -1,0 +1,40 @@
+// The abstraction function F_abs mapping full-model states to reduced-model
+// states (paper Eq. 6/10), and the equivalence check between the two flag
+// functions (paper Eq. 5 vs Eq. 9).
+//
+// The paper discharges the Boolean equivalence with Synopsys Formality; we
+// substitute an exhaustive equivalence checker — sound and complete here
+// because the combined input space of the two functions is small
+// (2 * 2^L * 4^(L-1) assignments for traceback length L).
+#pragma once
+
+#include <cstdint>
+
+#include "dtmc/state.hpp"
+#include "viterbi/model_full.hpp"
+#include "viterbi/model_reduced.hpp"
+
+namespace mimostat::viterbi {
+
+/// Map a full-model state to the corresponding reduced-model state
+/// (the equivalence-class representative). Both models must be built from
+/// the same ViterbiParams.
+[[nodiscard]] dtmc::State abstractState(const FullViterbiModel& full,
+                                        const ReducedViterbiModel& reduced,
+                                        const dtmc::State& fullState);
+
+struct EquivalenceReport {
+  bool equivalent = true;
+  std::uint64_t assignmentsChecked = 0;
+  /// First counterexample when not equivalent (full-model flag inputs).
+  std::uint64_t counterexample = 0;
+};
+
+/// Exhaustively verify that the full model's flag function (traceback over
+/// prev pointers compared against x_{L-1}, Eq. 5) equals the reduced
+/// model's flag function (relative-coordinate traceback, Eq. 9) under
+/// F_abs, for every assignment of traceback start, data bits and prev
+/// pointers. This is the paper's "Part A" proof obligation.
+[[nodiscard]] EquivalenceReport verifyFlagEquivalence(int tracebackLength);
+
+}  // namespace mimostat::viterbi

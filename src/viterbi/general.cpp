@@ -1,0 +1,210 @@
+#include "viterbi/general.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "comm/snr.hpp"
+#include "util/fixed_point.hpp"
+
+namespace mimostat::viterbi {
+
+GeneralTrellis::GeneralTrellis(const GeneralParams& params)
+    : params_(params),
+      memory_(static_cast<int>(params.taps.size()) - 1),
+      quantizer_(params.quantLevels, params.quantRange),
+      sigma_(0.0) {
+  assert(memory_ >= 1 && memory_ <= 16);
+  double signalPower = 0.0;
+  for (const double t : params_.taps) signalPower += t * t;
+  sigma_ = comm::noiseSigma(params_.snrDb, signalPower);
+
+  bm_.resize(static_cast<std::size_t>(params_.quantLevels) * 2 *
+             static_cast<std::size_t>(numStates()));
+  for (int q = 0; q < params_.quantLevels; ++q) {
+    for (int b = 0; b < 2; ++b) {
+      for (int state = 0; state < numStates(); ++state) {
+        const double distance =
+            std::fabs(quantizer_.value(q) - level(b, state));
+        bm_[static_cast<std::size_t>(q) * 2 *
+                static_cast<std::size_t>(numStates()) +
+            static_cast<std::size_t>(b) * static_cast<std::size_t>(numStates()) +
+            static_cast<std::size_t>(state)] =
+            util::quantizeMagnitude(distance, params_.bmScale, params_.bmCap);
+      }
+    }
+  }
+}
+
+double GeneralTrellis::level(int b, int state) const {
+  double acc = params_.taps[0] * comm::bpsk(b);
+  for (int i = 1; i <= memory_; ++i) {
+    const int bit = (state >> (i - 1)) & 1;
+    acc += params_.taps[static_cast<std::size_t>(i)] * comm::bpsk(bit);
+  }
+  return acc;
+}
+
+double GeneralTrellis::cellProb(int b, int state, int cell) const {
+  return quantizer_.cellProbabilities(level(b, state), sigma_)
+      [static_cast<std::size_t>(cell)];
+}
+
+int GeneralTrellis::sample(int b, int state, util::Xoshiro256& rng) const {
+  return quantizer_.index(level(b, state) + sigma_ * rng.nextGaussian());
+}
+
+GeneralDecoder::GeneralDecoder(const GeneralTrellis& trellis)
+    : trellis_(trellis) {
+  reset();
+}
+
+void GeneralDecoder::reset() {
+  const int n = trellis_.numStates();
+  pm_.assign(static_cast<std::size_t>(n), trellis_.params().pmCap);
+  pm_[0] = 0;  // all-zero history at start
+  ptr_.assign(static_cast<std::size_t>(trellis_.params().tracebackLength),
+              std::vector<int>(static_cast<std::size_t>(n), 0));
+}
+
+int GeneralDecoder::step(int q) {
+  const int n = trellis_.numStates();
+  const int cap = trellis_.params().pmCap;
+
+  std::vector<std::int32_t> next(static_cast<std::size_t>(n), 0);
+  std::vector<int> chosen(static_cast<std::size_t>(n), 0);
+  std::int32_t best = std::numeric_limits<std::int32_t>::max();
+  for (int ns = 0; ns < n; ++ns) {
+    const int b = ns & 1;
+    std::int32_t bestMetric = std::numeric_limits<std::int32_t>::max();
+    int bestOldest = 0;
+    for (int oldest = 0; oldest < 2; ++oldest) {
+      const int pred = trellis_.predecessor(ns, oldest);
+      const std::int32_t candidate =
+          pm_[static_cast<std::size_t>(pred)] + trellis_.branchMetric(q, b, pred);
+      if (candidate < bestMetric) {  // tie prefers oldest=0 (pred = ns>>1)
+        bestMetric = candidate;
+        bestOldest = oldest;
+      }
+    }
+    next[static_cast<std::size_t>(ns)] = bestMetric;
+    chosen[static_cast<std::size_t>(ns)] = bestOldest;
+    best = std::min(best, bestMetric);
+  }
+  for (int ns = 0; ns < n; ++ns) {
+    next[static_cast<std::size_t>(ns)] = util::clampI32(
+        next[static_cast<std::size_t>(ns)] - best, 0, cap);
+  }
+  pm_ = std::move(next);
+
+  // Writeback: newest pointer stage at the front.
+  ptr_.pop_back();
+  ptr_.insert(ptr_.begin(), std::move(chosen));
+
+  // Traceback: argmin state (ties to the smallest index), L-1 hops.
+  int state = 0;
+  for (int s = 1; s < n; ++s) {
+    if (pm_[static_cast<std::size_t>(s)] < pm_[static_cast<std::size_t>(state)]) {
+      state = s;
+    }
+  }
+  const int hops = trellis_.params().tracebackLength - 1;
+  for (int i = 0; i < hops; ++i) {
+    const int oldest = ptr_[static_cast<std::size_t>(i)]
+                           [static_cast<std::size_t>(state)];
+    state = trellis_.predecessor(state, oldest);
+  }
+  return state & 1;  // most recent bit of the reached history
+}
+
+std::vector<int> GeneralDecoder::decodeBlock(
+    const std::vector<int>& samples) const {
+  const int n = trellis_.numStates();
+  // Unsaturated metrics so the block decode is exactly ML.
+  std::vector<std::int64_t> pm(static_cast<std::size_t>(n),
+                               std::numeric_limits<std::int64_t>::max() / 4);
+  pm[0] = 0;
+  std::vector<std::vector<int>> pointers;
+  pointers.reserve(samples.size());
+
+  for (const int q : samples) {
+    std::vector<std::int64_t> next(static_cast<std::size_t>(n), 0);
+    std::vector<int> chosen(static_cast<std::size_t>(n), 0);
+    for (int ns = 0; ns < n; ++ns) {
+      const int b = ns & 1;
+      std::int64_t bestMetric = std::numeric_limits<std::int64_t>::max();
+      int bestOldest = 0;
+      for (int oldest = 0; oldest < 2; ++oldest) {
+        const int pred = trellis_.predecessor(ns, oldest);
+        const std::int64_t candidate =
+            pm[static_cast<std::size_t>(pred)] +
+            trellis_.branchMetric(q, b, pred);
+        if (candidate < bestMetric) {
+          bestMetric = candidate;
+          bestOldest = oldest;
+        }
+      }
+      next[static_cast<std::size_t>(ns)] = bestMetric;
+      chosen[static_cast<std::size_t>(ns)] = bestOldest;
+    }
+    pm = std::move(next);
+    pointers.push_back(std::move(chosen));
+  }
+
+  // Trace the single best path from the best end state.
+  int state = 0;
+  for (int s = 1; s < n; ++s) {
+    if (pm[static_cast<std::size_t>(s)] < pm[static_cast<std::size_t>(state)]) {
+      state = s;
+    }
+  }
+  std::vector<int> bits(samples.size(), 0);
+  for (std::size_t t = samples.size(); t-- > 0;) {
+    bits[t] = state & 1;
+    const int oldest = pointers[t][static_cast<std::size_t>(state)];
+    state = trellis_.predecessor(state, oldest);
+  }
+  return bits;
+}
+
+std::int64_t GeneralDecoder::sequenceMetric(
+    const std::vector<int>& bits, const std::vector<int>& samples) const {
+  assert(bits.size() == samples.size());
+  std::int64_t total = 0;
+  int state = 0;  // zero pre-history
+  for (std::size_t t = 0; t < bits.size(); ++t) {
+    total += trellis_.branchMetric(samples[t], bits[t], state);
+    state = trellis_.nextState(bits[t], state);
+  }
+  return total;
+}
+
+GeneralSimulationResult simulateGeneral(const GeneralParams& params,
+                                        std::uint64_t steps,
+                                        std::uint64_t seed) {
+  const GeneralTrellis trellis(params);
+  GeneralDecoder decoder(trellis);
+  util::Xoshiro256 rng(seed);
+
+  const int latency = params.tracebackLength - 1;
+  std::deque<int> history(static_cast<std::size_t>(latency) + 1, 0);
+
+  GeneralSimulationResult result;
+  int channelState = 0;
+  for (std::uint64_t t = 0; t < steps; ++t) {
+    const int bit = rng.nextBit() ? 1 : 0;
+    const int q = trellis.sample(bit, channelState, rng);
+    channelState = trellis.nextState(bit, channelState);
+    const int decoded = decoder.step(q);
+    history.push_front(bit);
+    const int actual = history[static_cast<std::size_t>(latency)];
+    history.pop_back();
+    ++result.steps;
+    if (decoded != actual) ++result.errors;
+  }
+  return result;
+}
+
+}  // namespace mimostat::viterbi

@@ -1,0 +1,53 @@
+#include "viterbi/sim.hpp"
+
+#include <deque>
+
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+#include "viterbi/decoder.hpp"
+
+namespace mimostat::viterbi {
+
+SimulationResult simulate(const ViterbiParams& params, std::uint64_t steps,
+                          std::uint64_t seed) {
+  util::Stopwatch timer;
+  util::Xoshiro256 rng(seed);
+  const TrellisKernel kernel(params);
+  Decoder decoder(kernel);
+
+  const int L = params.tracebackLength;
+  // Delay line of the actual transmitted bits; bits before time 0 are 0,
+  // matching the models' all-zero initial trellis.
+  std::deque<int> history(static_cast<std::size_t>(L), 0);
+
+  SimulationResult result;
+  int nonConvergentRun = 0;
+
+  int prevBit = 0;
+  for (std::uint64_t t = 0; t < steps; ++t) {
+    const int bit = rng.nextBit() ? 1 : 0;
+    const int q = kernel.channel().sample(bit, prevBit, rng);
+    const int decoded = decoder.step(q);
+
+    history.push_front(bit);
+    // After the push, history[i] is the bit from i steps ago; the decoder's
+    // decision latency is L-1.
+    const int actual = history[static_cast<std::size_t>(L - 1)];
+    history.pop_back();
+
+    result.bitErrors.add(decoded != actual);
+
+    if (decoder.lastStageConvergent()) {
+      nonConvergentRun = 0;
+    } else if (nonConvergentRun <= L) {
+      ++nonConvergentRun;
+    }
+    result.nonConvergent.add(nonConvergentRun > L);
+
+    prevBit = bit;
+  }
+  result.seconds = timer.elapsedSeconds();
+  return result;
+}
+
+}  // namespace mimostat::viterbi

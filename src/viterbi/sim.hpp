@@ -1,0 +1,28 @@
+// Monte-Carlo baseline for the Viterbi case study (the paper's "simulate
+// many cycles" comparator): drive the bit-accurate decoder with random data
+// through the analog AWGN + quantizer path and estimate the BER and the
+// traceback non-convergence rate.
+#pragma once
+
+#include <cstdint>
+
+#include "stats/estimator.hpp"
+#include "viterbi/code.hpp"
+
+namespace mimostat::viterbi {
+
+struct SimulationResult {
+  stats::BernoulliEstimator bitErrors;      ///< per-step decoded-bit errors
+  stats::BernoulliEstimator nonConvergent;  ///< per-step count>L events
+  double seconds = 0.0;
+};
+
+/// Simulate `steps` RTL clocks with the given seed. The decoder starts in
+/// the same warm all-zero state as the DTMC models, so for large `steps`
+/// bitErrors.estimate() converges to the model-checked P2 and
+/// nonConvergent.estimate() to C1.
+[[nodiscard]] SimulationResult simulate(const ViterbiParams& params,
+                                        std::uint64_t steps,
+                                        std::uint64_t seed);
+
+}  // namespace mimostat::viterbi

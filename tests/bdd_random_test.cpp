@@ -1,0 +1,159 @@
+// Randomized property tests for the BDD package: random Boolean expression
+// trees are evaluated both through the BDD manager and by direct truth-table
+// enumeration; every operation must agree on every assignment.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "bdd/manager.hpp"
+#include "util/rng.hpp"
+
+namespace mimostat {
+namespace {
+
+using bdd::BddManager;
+using bdd::NodeRef;
+
+constexpr std::uint32_t kVars = 7;
+constexpr std::uint64_t kAssignments = 1ULL << kVars;
+
+/// A random function as both a BDD and a direct evaluator.
+struct RandomFunction {
+  NodeRef node;
+  std::function<bool(std::uint64_t)> eval;
+};
+
+RandomFunction buildRandom(BddManager& mgr, util::Xoshiro256& rng, int depth) {
+  if (depth == 0 || rng.nextBounded(4) == 0) {
+    switch (rng.nextBounded(4)) {
+      case 0:
+        return {BddManager::kTrue, [](std::uint64_t) { return true; }};
+      case 1:
+        return {BddManager::kFalse, [](std::uint64_t) { return false; }};
+      default: {
+        const auto v = static_cast<std::uint32_t>(rng.nextBounded(kVars));
+        return {mgr.var(v),
+                [v](std::uint64_t a) { return ((a >> v) & 1) != 0; }};
+      }
+    }
+  }
+  const auto op = rng.nextBounded(4);
+  auto lhs = buildRandom(mgr, rng, depth - 1);
+  if (op == 0) {
+    return {mgr.bddNot(lhs.node),
+            [l = lhs.eval](std::uint64_t a) { return !l(a); }};
+  }
+  auto rhs = buildRandom(mgr, rng, depth - 1);
+  switch (op) {
+    case 1:
+      return {mgr.bddAnd(lhs.node, rhs.node),
+              [l = lhs.eval, r = rhs.eval](std::uint64_t a) {
+                return l(a) && r(a);
+              }};
+    case 2:
+      return {mgr.bddOr(lhs.node, rhs.node),
+              [l = lhs.eval, r = rhs.eval](std::uint64_t a) {
+                return l(a) || r(a);
+              }};
+    default:
+      return {mgr.bddXor(lhs.node, rhs.node),
+              [l = lhs.eval, r = rhs.eval](std::uint64_t a) {
+                return l(a) != r(a);
+              }};
+  }
+}
+
+class BddRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BddRandomTest, EvaluationMatchesExpressionTree) {
+  BddManager mgr(kVars);
+  util::Xoshiro256 rng(GetParam());
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto f = buildRandom(mgr, rng, 5);
+    for (std::uint64_t a = 0; a < kAssignments; ++a) {
+      ASSERT_EQ(mgr.evaluate(f.node, a), f.eval(a)) << "assignment " << a;
+    }
+  }
+}
+
+TEST_P(BddRandomTest, SatCountMatchesEnumeration) {
+  BddManager mgr(kVars);
+  util::Xoshiro256 rng(GetParam() + 1000);
+  const auto f = buildRandom(mgr, rng, 6);
+  double count = 0;
+  for (std::uint64_t a = 0; a < kAssignments; ++a) {
+    if (f.eval(a)) count += 1.0;
+  }
+  EXPECT_EQ(mgr.satCount(f.node), count);
+}
+
+TEST_P(BddRandomTest, ExistsMatchesEnumeration) {
+  BddManager mgr(kVars);
+  util::Xoshiro256 rng(GetParam() + 2000);
+  const auto f = buildRandom(mgr, rng, 5);
+  const auto v = static_cast<std::uint32_t>(rng.nextBounded(kVars));
+  const NodeRef quantified = mgr.exists(f.node, mgr.cube({v}));
+  for (std::uint64_t a = 0; a < kAssignments; ++a) {
+    const bool expected =
+        f.eval(a & ~(1ULL << v)) || f.eval(a | (1ULL << v));
+    ASSERT_EQ(mgr.evaluate(quantified, a), expected);
+  }
+}
+
+TEST_P(BddRandomTest, ForallMatchesEnumeration) {
+  BddManager mgr(kVars);
+  util::Xoshiro256 rng(GetParam() + 3000);
+  const auto f = buildRandom(mgr, rng, 5);
+  const auto v = static_cast<std::uint32_t>(rng.nextBounded(kVars));
+  const NodeRef quantified = mgr.forall(f.node, mgr.cube({v}));
+  for (std::uint64_t a = 0; a < kAssignments; ++a) {
+    const bool expected =
+        f.eval(a & ~(1ULL << v)) && f.eval(a | (1ULL << v));
+    ASSERT_EQ(mgr.evaluate(quantified, a), expected);
+  }
+}
+
+TEST_P(BddRandomTest, RestrictMatchesEnumeration) {
+  BddManager mgr(kVars);
+  util::Xoshiro256 rng(GetParam() + 4000);
+  const auto f = buildRandom(mgr, rng, 5);
+  const auto v = static_cast<std::uint32_t>(rng.nextBounded(kVars));
+  for (const bool value : {false, true}) {
+    const NodeRef restricted = mgr.restrict(f.node, v, value);
+    for (std::uint64_t a = 0; a < kAssignments; ++a) {
+      const std::uint64_t forced =
+          value ? (a | (1ULL << v)) : (a & ~(1ULL << v));
+      ASSERT_EQ(mgr.evaluate(restricted, a), f.eval(forced));
+    }
+  }
+}
+
+TEST_P(BddRandomTest, AndExistsEqualsComposition) {
+  BddManager mgr(kVars);
+  util::Xoshiro256 rng(GetParam() + 5000);
+  const auto f = buildRandom(mgr, rng, 4);
+  const auto g = buildRandom(mgr, rng, 4);
+  const NodeRef cube = mgr.cube({1, 4});
+  EXPECT_EQ(mgr.andExists(f.node, g.node, cube),
+            mgr.exists(mgr.bddAnd(f.node, g.node), cube));
+}
+
+TEST_P(BddRandomTest, CanonicityAcrossConstructionOrders) {
+  // f & (g | h) built two different ways must be the identical node.
+  BddManager mgr(kVars);
+  util::Xoshiro256 rng(GetParam() + 6000);
+  const auto f = buildRandom(mgr, rng, 4);
+  const auto g = buildRandom(mgr, rng, 4);
+  const auto h = buildRandom(mgr, rng, 4);
+  const NodeRef direct = mgr.bddAnd(f.node, mgr.bddOr(g.node, h.node));
+  const NodeRef distributed = mgr.bddOr(mgr.bddAnd(f.node, g.node),
+                                        mgr.bddAnd(f.node, h.node));
+  EXPECT_EQ(direct, distributed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BddRandomTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace mimostat

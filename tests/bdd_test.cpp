@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bdd/manager.hpp"
+#include "util/rng.hpp"
+
+namespace mimostat {
+namespace {
+
+using bdd::BddManager;
+using bdd::NodeRef;
+
+TEST(Bdd, TerminalIdentities) {
+  BddManager mgr(4);
+  EXPECT_EQ(mgr.bddNot(BddManager::kTrue), BddManager::kFalse);
+  EXPECT_EQ(mgr.bddAnd(BddManager::kTrue, BddManager::kFalse),
+            BddManager::kFalse);
+  EXPECT_EQ(mgr.bddOr(BddManager::kTrue, BddManager::kFalse),
+            BddManager::kTrue);
+}
+
+TEST(Bdd, HashConsingCanonicity) {
+  BddManager mgr(4);
+  const NodeRef a = mgr.var(0);
+  const NodeRef b = mgr.var(1);
+  // Same function built two ways must be the same node.
+  const NodeRef f1 = mgr.bddAnd(a, b);
+  const NodeRef f2 = mgr.bddNot(mgr.bddOr(mgr.bddNot(a), mgr.bddNot(b)));
+  EXPECT_EQ(f1, f2);  // De Morgan, structurally canonical
+}
+
+TEST(Bdd, ComplementLaws) {
+  BddManager mgr(3);
+  const NodeRef x = mgr.var(1);
+  EXPECT_EQ(mgr.bddAnd(x, mgr.bddNot(x)), BddManager::kFalse);
+  EXPECT_EQ(mgr.bddOr(x, mgr.bddNot(x)), BddManager::kTrue);
+  EXPECT_EQ(mgr.bddNot(mgr.bddNot(x)), x);
+  EXPECT_EQ(mgr.bddXor(x, x), BddManager::kFalse);
+}
+
+TEST(Bdd, SatCountBasics) {
+  BddManager mgr(4);
+  EXPECT_EQ(mgr.satCount(BddManager::kTrue), 16.0);
+  EXPECT_EQ(mgr.satCount(BddManager::kFalse), 0.0);
+  EXPECT_EQ(mgr.satCount(mgr.var(0)), 8.0);
+  EXPECT_EQ(mgr.satCount(mgr.bddAnd(mgr.var(0), mgr.var(3))), 4.0);
+  EXPECT_EQ(mgr.satCount(mgr.bddXor(mgr.var(1), mgr.var(2))), 8.0);
+}
+
+TEST(Bdd, MintermHasOneSatisfyingAssignment) {
+  BddManager mgr(6);
+  const NodeRef m = mgr.minterm(0b101011, 6);
+  EXPECT_EQ(mgr.satCount(m), 1.0);
+  EXPECT_TRUE(mgr.evaluate(m, 0b101011));
+  EXPECT_FALSE(mgr.evaluate(m, 0b101010));
+}
+
+TEST(Bdd, CubeAndSupport) {
+  BddManager mgr(5);
+  const NodeRef c = mgr.cube({0, 2, 4});
+  EXPECT_EQ(mgr.satCount(c), 4.0);  // 2 free variables
+  const auto support = mgr.support(c);
+  EXPECT_EQ(support, (std::vector<std::uint32_t>{0, 2, 4}));
+}
+
+TEST(Bdd, RestrictIsCofactor) {
+  BddManager mgr(3);
+  const NodeRef f =
+      mgr.bddOr(mgr.bddAnd(mgr.var(0), mgr.var(1)), mgr.var(2));
+  EXPECT_EQ(mgr.restrict(f, 0, true), mgr.bddOr(mgr.var(1), mgr.var(2)));
+  EXPECT_EQ(mgr.restrict(f, 0, false), mgr.var(2));
+}
+
+TEST(Bdd, ExistsAndForall) {
+  BddManager mgr(3);
+  const NodeRef f = mgr.bddAnd(mgr.var(0), mgr.var(1));
+  const NodeRef cube0 = mgr.cube({0});
+  EXPECT_EQ(mgr.exists(f, cube0), mgr.var(1));
+  EXPECT_EQ(mgr.forall(f, cube0), BddManager::kFalse);
+  const NodeRef g = mgr.bddOr(mgr.var(0), mgr.var(1));
+  EXPECT_EQ(mgr.forall(g, cube0), mgr.var(1));
+}
+
+TEST(Bdd, AndExistsEqualsComposition) {
+  util::Xoshiro256 rng(21);
+  for (int trial = 0; trial < 20; ++trial) {
+    BddManager mgr(8);
+    // Random functions from random minterms.
+    NodeRef f = BddManager::kFalse;
+    NodeRef g = BddManager::kFalse;
+    for (int i = 0; i < 12; ++i) {
+      f = mgr.bddOr(f, mgr.minterm(rng.nextBounded(256), 8));
+      g = mgr.bddOr(g, mgr.minterm(rng.nextBounded(256), 8));
+    }
+    const NodeRef cube = mgr.cube({1, 3, 5});
+    EXPECT_EQ(mgr.andExists(f, g, cube),
+              mgr.exists(mgr.bddAnd(f, g), cube));
+  }
+}
+
+TEST(Bdd, EvaluateMatchesTruthTable) {
+  util::Xoshiro256 rng(31);
+  BddManager mgr(6);
+  // Build a random function as OR of minterms; evaluate must agree exactly.
+  std::vector<bool> truth(64, false);
+  NodeRef f = BddManager::kFalse;
+  for (int i = 0; i < 20; ++i) {
+    const std::uint64_t m = rng.nextBounded(64);
+    truth[m] = true;
+    f = mgr.bddOr(f, mgr.minterm(m, 6));
+  }
+  double count = 0;
+  for (std::uint64_t a = 0; a < 64; ++a) {
+    EXPECT_EQ(mgr.evaluate(f, a), truth[a]) << a;
+    count += truth[a] ? 1 : 0;
+  }
+  EXPECT_EQ(mgr.satCount(f), count);
+}
+
+TEST(Bdd, XorLinearFunctionSizeIsLinear) {
+  // Parity of n variables has 2n-1 internal nodes in any order.
+  BddManager mgr(10);
+  NodeRef parity = BddManager::kFalse;
+  for (std::uint32_t v = 0; v < 10; ++v) {
+    parity = mgr.bddXor(parity, mgr.var(v));
+  }
+  EXPECT_EQ(mgr.satCount(parity), 512.0);
+  EXPECT_LE(mgr.functionSize(parity), 2u * 10u + 2u);
+}
+
+TEST(Bdd, ShiftVarsRenames) {
+  BddManager mgr(6);
+  const NodeRef f = mgr.bddAnd(mgr.var(1), mgr.bddNot(mgr.var(3)));
+  const NodeRef shifted = mgr.shiftVars(f, -1);
+  EXPECT_EQ(shifted, mgr.bddAnd(mgr.var(0), mgr.bddNot(mgr.var(2))));
+  EXPECT_EQ(mgr.shiftVars(shifted, 1), f);
+}
+
+TEST(Bdd, IteGeneral) {
+  BddManager mgr(3);
+  const NodeRef f = mgr.ite(mgr.var(0), mgr.var(1), mgr.var(2));
+  // Truth table check of the multiplexer.
+  for (std::uint64_t a = 0; a < 8; ++a) {
+    const bool expected = (a & 1) ? ((a >> 1) & 1) : ((a >> 2) & 1);
+    EXPECT_EQ(mgr.evaluate(f, a), expected) << a;
+  }
+}
+
+TEST(Bdd, ImpliesOperator) {
+  BddManager mgr(2);
+  const NodeRef imp = mgr.bddImplies(mgr.var(0), mgr.var(1));
+  EXPECT_TRUE(mgr.evaluate(imp, 0b00));
+  EXPECT_TRUE(mgr.evaluate(imp, 0b10));
+  EXPECT_FALSE(mgr.evaluate(imp, 0b01));
+  EXPECT_TRUE(mgr.evaluate(imp, 0b11));
+}
+
+}  // namespace
+}  // namespace mimostat

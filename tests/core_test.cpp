@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "core/analyzer.hpp"
+#include "core/metrics.hpp"
+#include "core/reduction.hpp"
+#include "core/report.hpp"
+#include "test_models.hpp"
+#include "util/rng.hpp"
+#include "viterbi/decoder.hpp"
+#include "viterbi/model_reduced.hpp"
+#include "viterbi/sim.hpp"
+
+namespace mimostat {
+namespace {
+
+TEST(Metrics, PropertyStrings) {
+  EXPECT_EQ(core::metricProperty(core::MetricKind::kBestCase, 300),
+            "P=? [ G<=300 !flag ]");
+  EXPECT_EQ(core::metricProperty(core::MetricKind::kAverageCase, 300),
+            "R=? [ I=300 ]");
+  EXPECT_EQ(core::metricProperty(core::MetricKind::kWorstCase, 300, 1),
+            "P=? [ F<=300 errs>1 ]");
+  EXPECT_EQ(core::metricProperty(core::MetricKind::kConvergence, 100),
+            "R=? [ I=100 ]");
+}
+
+TEST(Metrics, Names) {
+  EXPECT_STREQ(core::metricName(core::MetricKind::kBestCase),
+               "P1 (best case)");
+  EXPECT_STREQ(core::metricName(core::MetricKind::kWorstCase),
+               "P3 (worst case)");
+}
+
+TEST(Analyzer, ChecksPropertiesOnSmallViterbi) {
+  viterbi::ViterbiParams params;
+  params.tracebackLength = 3;
+  const viterbi::ReducedViterbiModel model(params);
+  const core::PerformanceAnalyzer analyzer(model);
+
+  const auto p1 = analyzer.check("P=? [ G<=50 !flag ]");
+  const auto p2 = analyzer.check("R=? [ I=50 ]");
+  EXPECT_GT(p2.value, 0.0);
+  EXPECT_LT(p2.value, 1.0);
+  EXPECT_GE(p1.value, 0.0);
+  EXPECT_EQ(p1.states, analyzer.dtmc().numStates());
+  EXPECT_GT(p1.states, 0u);
+  EXPECT_GT(p1.transitions, 0u);
+  EXPECT_GT(analyzer.reachabilityIterations(), 0u);
+}
+
+TEST(Analyzer, SweepInstantaneous) {
+  // Reward = indicator of state 1 (set via MatrixModel).
+  auto labelled = test::twoStateChain(0.3, 0.4);
+  labelled.withRewards({0.0, 1.0});
+  const core::PerformanceAnalyzer analyzer(labelled);
+  const auto reports = analyzer.sweepInstantaneous({1, 5, 50});
+  ASSERT_EQ(reports.size(), 3u);
+  EXPECT_LT(reports[0].value, reports[2].value);  // approaching steady state
+  EXPECT_NEAR(reports[2].value, 0.3 / 0.7, 1e-6);
+}
+
+TEST(Analyzer, DetectSteadyState) {
+  auto model = test::twoStateChain(0.25, 0.4);
+  model.withRewards({0.0, 1.0});
+  const core::PerformanceAnalyzer analyzer(model);
+  const auto detection = analyzer.detectSteadyState(1e-12, 8, 10000);
+  EXPECT_TRUE(detection.converged);
+  EXPECT_NEAR(detection.value, 0.25 / 0.65, 1e-9);
+}
+
+TEST(Analyzer, CrossCheckAgainstSimulation) {
+  viterbi::ViterbiParams params;
+  params.tracebackLength = 3;
+  const viterbi::ReducedViterbiModel model(params);
+  const core::PerformanceAnalyzer analyzer(model);
+
+  // Error source: a live bit-accurate decode stream, one step per call.
+  const viterbi::TrellisKernel kernel(params);
+  auto decoder = std::make_shared<viterbi::Decoder>(kernel);
+  auto history = std::make_shared<std::vector<int>>(
+      static_cast<std::size_t>(params.tracebackLength), 0);
+  auto prevBit = std::make_shared<int>(0);
+  auto rngPtr = std::make_shared<util::Xoshiro256>(314);
+  const sim::ErrorSource source = [=, &kernel](std::uint64_t) {
+    const int bit = rngPtr->nextBit() ? 1 : 0;
+    const int q = kernel.channel().sample(bit, *prevBit, *rngPtr);
+    const int decoded = decoder->step(q);
+    history->insert(history->begin(), bit);
+    const int actual = (*history)[static_cast<std::size_t>(
+        params.tracebackLength - 1)];
+    history->pop_back();
+    *prevBit = bit;
+    return decoded != actual;
+  };
+  // The per-cycle error process is Markov-correlated, so the iid Wilson
+  // interval in CrossCheck::interval95 is (correctly) too narrow for a
+  // strict containment assertion. Check agreement two ways: a coarse
+  // absolute tolerance on the CrossCheck result, and honest containment in
+  // a batch-means interval built from the same stream.
+  const auto crossCheck =
+      analyzer.crossCheck("R=? [ I=2000 ]", source, 200000);
+  EXPECT_NEAR(crossCheck.modelChecked, crossCheck.simulation.estimate(), 0.01);
+
+  stats::BatchMeansEstimator batches(2000);
+  auto rng2 = std::make_shared<util::Xoshiro256>(2718);
+  auto decoder2 = std::make_shared<viterbi::Decoder>(kernel);
+  auto history2 = std::make_shared<std::vector<int>>(
+      static_cast<std::size_t>(params.tracebackLength), 0);
+  int prev2 = 0;
+  for (int t = 0; t < 400000; ++t) {
+    const int bit = rng2->nextBit() ? 1 : 0;
+    const int q = kernel.channel().sample(bit, prev2, *rng2);
+    const int decoded = decoder2->step(q);
+    history2->insert(history2->begin(), bit);
+    const int actual =
+        (*history2)[static_cast<std::size_t>(params.tracebackLength - 1)];
+    history2->pop_back();
+    prev2 = bit;
+    batches.add(decoded != actual ? 1.0 : 0.0);
+  }
+  const auto interval = batches.interval(0.99);
+  EXPECT_TRUE(interval.contains(crossCheck.modelChecked))
+      << "model " << crossCheck.modelChecked << " batch-means ["
+      << interval.low << ", " << interval.high << "]";
+}
+
+TEST(Report, FormatsTable) {
+  core::GuaranteeReport row;
+  row.property = "P=? [ G<=300 !flag ]";
+  row.value = 3e-15;
+  row.states = 8505363;
+  row.transitions = 123456;
+  row.buildSeconds = 1.5;
+  row.checkSeconds = 0.5;
+  const auto table = core::formatReportTable("Table I", {row});
+  EXPECT_NE(table.find("Table I"), std::string::npos);
+  EXPECT_NE(table.find("8505363"), std::string::npos);
+  EXPECT_NE(table.find("3.000e-15"), std::string::npos);
+  EXPECT_NE(table.find("2.00"), std::string::npos);  // total time
+}
+
+TEST(Report, FormatValueSwitchesNotation) {
+  EXPECT_EQ(core::formatValue(0.25), "0.250000");
+  EXPECT_EQ(core::formatValue(1.08e-5), "1.080e-05");
+  EXPECT_EQ(core::formatValue(0.0), "0.000000");
+}
+
+TEST(Reduction, VerdictDetectsBrokenReduction) {
+  // Comparing two unrelated models must fail the property check.
+  const auto a = test::twoStateChain(0.3, 0.4);
+  auto aReward = test::twoStateChain(0.3, 0.4);
+  aReward.withRewards({0.0, 1.0});
+  auto b = test::twoStateChain(0.45, 0.1);
+  b.withRewards({0.0, 1.0});
+  const auto verdict =
+      core::verifyReduction(aReward, b, {"R=? [ I=10 ]"}, nullptr, 1e-9);
+  EXPECT_FALSE(verdict.propertiesPreserved);
+  EXPECT_FALSE(verdict.sound());
+}
+
+}  // namespace
+}  // namespace mimostat

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "dtmc/builder.hpp"
+#include "dtmc/io.hpp"
+#include "test_models.hpp"
+
+namespace mimostat {
+namespace {
+
+TEST(VarLayout, PackUnpackRoundTrip) {
+  dtmc::VarLayout layout({{"a", 0, 6}, {"b", -2, 2}, {"c", 0, 1}});
+  EXPECT_TRUE(layout.fitsInU64());
+  EXPECT_EQ(layout.totalBits(), 3 + 3 + 1);
+  const dtmc::State s{5, -1, 1};
+  EXPECT_EQ(layout.unpack(layout.pack(s)), s);
+  EXPECT_EQ(layout.indexOf("b"), 1u);
+  EXPECT_EQ(layout.tryIndexOf("missing"), dtmc::VarLayout::npos);
+  EXPECT_NEAR(layout.potentialStateCount(), 7.0 * 5.0 * 2.0, 1e-9);
+}
+
+TEST(VarLayout, FormatState) {
+  dtmc::VarLayout layout({{"x", 0, 3}, {"flag", 0, 1}});
+  EXPECT_EQ(formatState(layout, {2, 1}), "x=2, flag=1");
+}
+
+TEST(NormalizeTransitions, MergesDuplicates) {
+  std::vector<dtmc::Transition> ts;
+  ts.push_back({0.25, {1}});
+  ts.push_back({0.25, {1}});
+  ts.push_back({0.5, {0}});
+  const double mass = dtmc::normalizeTransitions(ts, 0.0);
+  EXPECT_NEAR(mass, 1.0, 1e-15);
+  ASSERT_EQ(ts.size(), 2u);
+  EXPECT_EQ(ts[0].target, dtmc::State{0});
+  EXPECT_NEAR(ts[1].prob, 0.5, 1e-15);
+}
+
+TEST(NormalizeTransitions, FloorDropsAndRenormalizes) {
+  std::vector<dtmc::Transition> ts;
+  ts.push_back({1e-20, {0}});
+  ts.push_back({0.5, {1}});
+  ts.push_back({0.5 - 1e-20, {2}});
+  dtmc::normalizeTransitions(ts, 1e-15);
+  ASSERT_EQ(ts.size(), 2u);
+  double total = 0.0;
+  for (const auto& t : ts) total += t.prob;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Builder, TwoStateChain) {
+  const auto model = test::twoStateChain(0.3, 0.4);
+  const auto result = dtmc::buildExplicit(model);
+  EXPECT_EQ(result.dtmc.numStates(), 2u);
+  EXPECT_EQ(result.dtmc.numTransitions(), 4u);
+  EXPECT_LT(result.dtmc.maxRowDeviation(), 1e-12);
+  EXPECT_NEAR(result.dtmc.initialDistribution()[0], 1.0, 1e-15);
+}
+
+TEST(Builder, ReachabilityIterationsOfLine) {
+  // A line of n states needs n frontier expansions to fixpoint.
+  const auto model = test::lineModel(10);
+  const auto result = dtmc::buildExplicit(model);
+  EXPECT_EQ(result.dtmc.numStates(), 10u);
+  EXPECT_EQ(result.reachabilityIterations, 10u);
+}
+
+TEST(Builder, UnreachableStatesExcluded) {
+  // Matrix has 5 states but only 0 and 1 communicate from the start.
+  test::MatrixModel model({{0.5, 0.5, 0, 0, 0},
+                           {1.0, 0, 0, 0, 0},
+                           {0, 0, 1.0, 0, 0},
+                           {0, 0, 0, 1.0, 0},
+                           {0, 0, 0, 0, 1.0}});
+  const auto result = dtmc::buildExplicit(model);
+  EXPECT_EQ(result.dtmc.numStates(), 2u);
+}
+
+TEST(Builder, MaxStatesThrows) {
+  dtmc::BuildOptions options;
+  options.maxStates = 5;
+  const auto model = test::lineModel(10);
+  EXPECT_THROW(dtmc::buildExplicit(model, options), std::runtime_error);
+}
+
+TEST(Builder, MultipleInitialStatesUniform) {
+  test::MatrixModel model({{1.0, 0, 0}, {0, 1.0, 0}, {0, 0, 1.0}}, {0, 2});
+  const auto result = dtmc::buildExplicit(model);
+  EXPECT_NEAR(result.dtmc.initialDistribution()[0], 0.5, 1e-15);
+}
+
+TEST(Builder, EvalAtomAndReward) {
+  auto model = test::twoStateChain(0.5, 0.5);
+  model.withLabel("one", {0, 1}).withRewards({0.0, 2.5});
+  const auto result = dtmc::buildExplicit(model);
+  const auto truth = result.dtmc.evalAtom(model, "one");
+  const auto reward = result.dtmc.evalReward(model, "");
+  // State order follows BFS from the initial state 0.
+  EXPECT_EQ(truth[0], 0);
+  EXPECT_EQ(truth[1], 1);
+  EXPECT_EQ(reward[1], 2.5);
+}
+
+TEST(Builder, MultiplyLeftRightConsistent) {
+  const auto model = test::randomModel(20, 3, 77);
+  const auto result = dtmc::buildExplicit(model);
+  std::vector<double> x(result.dtmc.numStates());
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = 0.01 * (i + 1);
+  std::vector<double> left;
+  std::vector<double> right;
+  result.dtmc.multiplyLeft(x, left);
+  result.dtmc.multiplyRight(x, right);
+  // x P 1 == x . (P 1) == sum(x) since rows sum to 1.
+  double sumLeft = 0.0;
+  double sumX = 0.0;
+  double dotRight = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sumLeft += left[i];
+    sumX += x[i];
+  }
+  std::vector<double> ones(x.size(), 1.0);
+  std::vector<double> pOnes;
+  result.dtmc.multiplyRight(ones, pOnes);
+  for (std::size_t i = 0; i < x.size(); ++i) dotRight += x[i] * pOnes[i];
+  EXPECT_NEAR(sumLeft, sumX, 1e-10);
+  EXPECT_NEAR(dotRight, sumX, 1e-10);
+}
+
+TEST(CountReachable, MatchesExplicitBuilder) {
+  const auto model = test::randomModel(50, 4, 123);
+  const auto explicitResult = dtmc::buildExplicit(model);
+  const auto countResult = dtmc::countReachable(model);
+  EXPECT_EQ(countResult.numStates, explicitResult.dtmc.numStates());
+  EXPECT_EQ(countResult.numTransitions, explicitResult.dtmc.numTransitions());
+  EXPECT_EQ(countResult.reachabilityIterations,
+            explicitResult.reachabilityIterations);
+}
+
+TEST(CountReachable, MaxStatesThrows) {
+  const auto model = test::lineModel(100);
+  EXPECT_THROW(dtmc::countReachable(model, 10), std::runtime_error);
+}
+
+TEST(Io, TraAndStaFormats) {
+  const auto model = test::twoStateChain(0.3, 0.4);
+  const auto result = dtmc::buildExplicit(model);
+  std::ostringstream tra;
+  dtmc::writeTra(result.dtmc, tra);
+  EXPECT_NE(tra.str().find("2 4"), std::string::npos);
+  // Probabilities are written with max_digits10 for exact round trips.
+  EXPECT_NE(tra.str().find("0 1 0.2999999999999999"), std::string::npos);
+  std::ostringstream sta;
+  dtmc::writeSta(result.dtmc, sta);
+  EXPECT_NE(sta.str().find("(s)"), std::string::npos);
+  EXPECT_NE(sta.str().find("0:(0)"), std::string::npos);
+  std::ostringstream dot;
+  dtmc::writeDot(result.dtmc, dot);
+  EXPECT_NE(dot.str().find("digraph"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mimostat

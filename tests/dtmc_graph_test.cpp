@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "dtmc/builder.hpp"
+#include "dtmc/graph.hpp"
+#include "test_models.hpp"
+
+namespace mimostat {
+namespace {
+
+dtmc::ExplicitDtmc build(const dtmc::Model& model) {
+  return dtmc::buildExplicit(model).dtmc;
+}
+
+TEST(Scc, SingleComponentCycle) {
+  const auto d = build(test::cycleModel(5));
+  const auto scc = dtmc::computeSccs(d);
+  EXPECT_EQ(scc.numComponents, 1u);
+  EXPECT_EQ(scc.bottomComponents.size(), 1u);
+  EXPECT_TRUE(dtmc::isIrreducible(d));
+}
+
+TEST(Scc, LineHasOneComponentPerState) {
+  const auto d = build(test::lineModel(6));
+  const auto scc = dtmc::computeSccs(d);
+  EXPECT_EQ(scc.numComponents, 6u);
+  EXPECT_EQ(scc.bottomComponents.size(), 1u);  // only the absorbing end
+  EXPECT_FALSE(dtmc::isIrreducible(d));
+}
+
+TEST(Scc, GamblersRuinHasTwoBottoms) {
+  const auto d = build(test::gamblersRuin(5, 0.5, 2));
+  const auto scc = dtmc::computeSccs(d);
+  EXPECT_EQ(scc.bottomComponents.size(), 2u);
+}
+
+TEST(Scc, ReverseTopologicalNumbering) {
+  const auto d = build(test::lineModel(4));
+  const auto scc = dtmc::computeSccs(d);
+  // Every edge must go from a higher component id to a lower one.
+  for (std::uint32_t s = 0; s < d.numStates(); ++s) {
+    for (std::uint64_t k = d.rowPtr()[s]; k < d.rowPtr()[s + 1]; ++k) {
+      const std::uint32_t t = d.col()[k];
+      if (scc.componentOf[s] != scc.componentOf[t]) {
+        EXPECT_GT(scc.componentOf[s], scc.componentOf[t]);
+      }
+    }
+  }
+}
+
+TEST(Period, CycleHasPeriodN) {
+  const auto d = build(test::cycleModel(6));
+  EXPECT_EQ(dtmc::chainPeriod(d), 6u);
+}
+
+TEST(Period, SelfLoopMakesAperiodic) {
+  test::MatrixModel model({{0.5, 0.5, 0.0}, {0.0, 0.0, 1.0}, {1.0, 0.0, 0.0}});
+  const auto d = build(model);
+  ASSERT_TRUE(dtmc::isIrreducible(d));
+  EXPECT_EQ(dtmc::chainPeriod(d), 1u);
+}
+
+TEST(Period, TwoCycleEvenPeriod) {
+  const auto d = build(test::cycleModel(2));
+  EXPECT_EQ(dtmc::chainPeriod(d), 2u);
+}
+
+TEST(Reachability, BackwardClosure) {
+  const auto d = build(test::lineModel(5));
+  std::vector<std::uint8_t> target(5, 0);
+  target[4] = 1;
+  const auto reach = dtmc::backwardReachable(d, target);
+  for (std::uint32_t s = 0; s < 5; ++s) {
+    EXPECT_EQ(reach[s], 1) << "state " << s;
+  }
+}
+
+TEST(Reachability, ForwardClosure) {
+  const auto d = build(test::gamblersRuin(4, 0.5, 2));
+  // From the absorbing state 0 (BFS index lookup needed): find its index.
+  std::vector<std::uint8_t> from(d.numStates(), 0);
+  std::uint32_t zeroIdx = ~0u;
+  for (std::uint32_t s = 0; s < d.numStates(); ++s) {
+    if (d.state(s)[0] == 0) zeroIdx = s;
+  }
+  ASSERT_NE(zeroIdx, ~0u);
+  from[zeroIdx] = 1;
+  const auto reach = dtmc::forwardReachable(d, from);
+  std::uint32_t reached = 0;
+  for (const auto r : reach) reached += r;
+  EXPECT_EQ(reached, 1u);  // absorbing: only itself
+}
+
+}  // namespace
+}  // namespace mimostat

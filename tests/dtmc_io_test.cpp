@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dtmc/builder.hpp"
+#include "dtmc/io.hpp"
+#include "mc/checker.hpp"
+#include "test_models.hpp"
+#include "viterbi/model_reduced.hpp"
+
+namespace mimostat {
+namespace {
+
+TEST(IoImport, TraRoundTrip) {
+  auto model = test::randomModel(25, 3, 42);
+  const auto original = dtmc::buildExplicit(model).dtmc;
+
+  std::stringstream tra;
+  dtmc::writeTra(original, tra);
+  std::stringstream sta;
+  dtmc::writeSta(original, sta);
+
+  const auto imported = dtmc::readTra(tra, &sta, 0);
+  ASSERT_EQ(imported.numStates(), original.numStates());
+  ASSERT_EQ(imported.numTransitions(), original.numTransitions());
+  for (std::uint32_t s = 0; s < original.numStates(); ++s) {
+    ASSERT_EQ(imported.rowPtr()[s + 1], original.rowPtr()[s + 1]);
+    ASSERT_EQ(imported.state(s), original.state(s));
+  }
+  for (std::uint64_t k = 0; k < original.numTransitions(); ++k) {
+    ASSERT_EQ(imported.col()[k], original.col()[k]);
+    ASSERT_NEAR(imported.val()[k], original.val()[k], 1e-9);
+  }
+}
+
+TEST(IoImport, TraWithoutStaUsesIndexVariable) {
+  const auto model = test::twoStateChain(0.3, 0.4);
+  const auto original = dtmc::buildExplicit(model).dtmc;
+  std::stringstream tra;
+  dtmc::writeTra(original, tra);
+  const auto imported = dtmc::readTra(tra, nullptr, 1);
+  EXPECT_EQ(imported.varLayout().vars()[0].name, "s");
+  EXPECT_NEAR(imported.initialDistribution()[1], 1.0, 1e-15);
+}
+
+TEST(IoImport, MalformedInputsThrow) {
+  {
+    std::stringstream tra("garbage");
+    EXPECT_THROW(dtmc::readTra(tra, nullptr), std::runtime_error);
+  }
+  {
+    std::stringstream tra("2 1\n0 5 1.0\n");  // dst out of range
+    EXPECT_THROW(dtmc::readTra(tra, nullptr), std::runtime_error);
+  }
+  {
+    std::stringstream tra("2 2\n0 1 1.0\n");  // truncated
+    EXPECT_THROW(dtmc::readTra(tra, nullptr), std::runtime_error);
+  }
+  {
+    std::stringstream tra("2 1\n0 1 1.0\n");
+    EXPECT_THROW(dtmc::readTra(tra, nullptr, 7), std::runtime_error);
+  }
+}
+
+TEST(IoImport, LabRoundTrip) {
+  auto model = test::randomModel(20, 3, 7);
+  const auto d = dtmc::buildExplicit(model).dtmc;
+  std::stringstream lab;
+  dtmc::writeLab(d, model, {"target"}, lab);
+  const auto labels = dtmc::readLab(lab, d.numStates());
+  ASSERT_EQ(labels.size(), 1u);
+  EXPECT_EQ(labels[0].first, "target");
+  EXPECT_EQ(labels[0].second, d.evalAtom(model, "target"));
+}
+
+TEST(IoImport, SrewRoundTrip) {
+  auto model = test::randomModel(20, 3, 8);
+  const auto d = dtmc::buildExplicit(model).dtmc;
+  std::stringstream srew;
+  dtmc::writeSrew(d, model, "", srew);
+  const auto rewards = dtmc::readSrew(srew, d.numStates());
+  EXPECT_EQ(rewards, d.evalReward(model, ""));
+}
+
+TEST(IoImport, ImportedModelIsCheckable) {
+  // Export a Viterbi model with its labels and rewards; re-import; the
+  // checker must produce identical values on the imported model.
+  viterbi::ViterbiParams params;
+  params.tracebackLength = 3;
+  const viterbi::ReducedViterbiModel model(params);
+  const auto d = dtmc::buildExplicit(model).dtmc;
+
+  std::stringstream tra;
+  std::stringstream lab;
+  std::stringstream srew;
+  dtmc::writeTra(d, tra);
+  dtmc::writeLab(d, model, {"error"}, lab);
+  dtmc::writeSrew(d, model, "", srew);
+
+  dtmc::ImportedExplicit imported;
+  imported.dtmc = dtmc::readTra(tra, nullptr, 0);
+  imported.labels = dtmc::readLab(lab, d.numStates());
+  imported.rewards.emplace_back("", dtmc::readSrew(srew, d.numStates()));
+  const dtmc::ImportedModel importedModel(std::move(imported));
+
+  const auto rebuilt = dtmc::buildExplicit(importedModel).dtmc;
+  const mc::Checker originalChecker(d, model);
+  const mc::Checker importedChecker(rebuilt, importedModel);
+  for (const auto* prop :
+       {"R=? [ I=40 ]", "P=? [ G<=25 !\"error\" ]", "P=? [ F<=10 \"error\" ]"}) {
+    EXPECT_NEAR(originalChecker.check(prop).value,
+                importedChecker.check(prop).value, 1e-10)
+        << prop;
+  }
+}
+
+TEST(IoImport, ImportedModelAbsorbingOnMissingRows) {
+  // A .tra with no outgoing transitions for state 1: imported model makes
+  // it absorbing instead of producing a substochastic row.
+  std::stringstream tra("2 1\n0 1 1.0\n");
+  dtmc::ImportedExplicit imported;
+  imported.dtmc = dtmc::readTra(tra, nullptr, 0);
+  const dtmc::ImportedModel model(std::move(imported));
+  const auto rebuilt = dtmc::buildExplicit(model).dtmc;
+  EXPECT_LT(rebuilt.maxRowDeviation(), 1e-15);
+}
+
+}  // namespace
+}  // namespace mimostat

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "dtmc/builder.hpp"
+#include "lump/bisim.hpp"
+#include "lump/verify.hpp"
+#include "mc/transient.hpp"
+#include "test_models.hpp"
+
+namespace mimostat {
+namespace {
+
+TEST(Lump, SymmetricStatesMerge) {
+  // States 1 and 2 are exact copies; both lead to 3.
+  test::MatrixModel model({{0, 0.5, 0.5, 0},
+                           {0, 0, 0, 1.0},
+                           {0, 0, 0, 1.0},
+                           {0, 0, 0, 1.0}});
+  const auto d = dtmc::buildExplicit(model).dtmc;
+  const lump::InitialKeys keys(d.numStates(), 0);  // no distinctions
+  const auto result = lump::lump(d, keys);
+  EXPECT_LT(result.partition.numBlocks, d.numStates());
+  EXPECT_EQ(result.quotient.numStates(), result.partition.numBlocks);
+  EXPECT_LT(result.quotient.maxRowDeviation(), 1e-12);
+  const auto report = lump::verifyLumpable(d, result.partition);
+  EXPECT_TRUE(report.lumpable) << report.worstMismatch;
+}
+
+TEST(Lump, InitialKeysPreventMerging) {
+  test::MatrixModel model({{0, 0.5, 0.5, 0},
+                           {0, 0, 0, 1.0},
+                           {0, 0, 0, 1.0},
+                           {0, 0, 0, 1.0}});
+  const auto d = dtmc::buildExplicit(model).dtmc;
+  // Without keys the twins (and the absorbing tail, which is bisimilar to
+  // its deterministic predecessors) collapse.
+  const auto coarse = lump::lump(d, lump::InitialKeys(d.numStates(), 0));
+  // Distinguishing one twin splits its block; the result must be strictly
+  // finer and still lumpable.
+  lump::InitialKeys keys(d.numStates(), 0);
+  keys[1] = 99;
+  const auto fine = lump::lump(d, keys);
+  EXPECT_GT(fine.partition.numBlocks, coarse.partition.numBlocks);
+  EXPECT_TRUE(lump::verifyLumpable(d, fine.partition).lumpable);
+  // The distinguished state sits alone.
+  std::uint32_t sameAsOne = 0;
+  for (std::uint32_t s = 0; s < d.numStates(); ++s) {
+    if (fine.partition.blockOf[s] == fine.partition.blockOf[1]) ++sameAsOne;
+  }
+  EXPECT_EQ(sameAsOne, 1u);
+}
+
+TEST(Lump, QuotientPreservesTransientRewards) {
+  for (const std::uint64_t seed : {11ULL, 22ULL, 33ULL}) {
+    const auto model = test::randomModel(60, 3, seed);
+    const auto d = dtmc::buildExplicit(model).dtmc;
+    const auto reward = d.evalReward(model, "");
+    const auto keys = lump::keysFromRewardAndLabels(reward, {});
+    const auto result = lump::lump(d, keys);
+    ASSERT_TRUE(lump::verifyLumpable(d, result.partition).lumpable);
+    // Quotient reward vector = representative rewards.
+    std::vector<double> quotientReward(result.quotient.numStates());
+    for (std::uint32_t b = 0; b < result.quotient.numStates(); ++b) {
+      quotientReward[b] = reward[result.representative[b]];
+    }
+    for (const std::uint64_t t : {1ULL, 5ULL, 17ULL}) {
+      EXPECT_NEAR(mc::instantaneousReward(d, reward, t),
+                  mc::instantaneousReward(result.quotient, quotientReward, t),
+                  1e-10)
+          << "seed " << seed << " t " << t;
+    }
+  }
+}
+
+TEST(Lump, TrivialKeysGiveTrivialQuotient) {
+  // With no distinguishing keys every stochastic chain lumps to a single
+  // block (the coarsest bisimulation ignores all structure).
+  test::MatrixModel model({{0.1, 0.9, 0}, {0, 0.2, 0.8}, {0.5, 0, 0.5}});
+  const auto d = dtmc::buildExplicit(model).dtmc;
+  const auto trivial = lump::lump(d, lump::InitialKeys(d.numStates(), 0));
+  EXPECT_EQ(trivial.partition.numBlocks, 1u);
+}
+
+TEST(Lump, DistinctKeysPreventAnyMergingInAsymmetricChain) {
+  // Distinct self-loop probabilities: once any state is distinguished, the
+  // refinement separates all of them.
+  test::MatrixModel model({{0.1, 0.9, 0}, {0, 0.2, 0.8}, {0.5, 0, 0.5}});
+  const auto d = dtmc::buildExplicit(model).dtmc;
+  lump::InitialKeys keys(d.numStates(), 0);
+  keys[0] = 1;  // mark only state 0; dynamics must split 1 from 2
+  const auto result = lump::lump(d, keys);
+  EXPECT_EQ(result.partition.numBlocks, 3u);
+  EXPECT_TRUE(lump::verifyLumpable(d, result.partition).lumpable);
+}
+
+TEST(Lump, SymmetricBanksCollapseToCounts) {
+  // k iid two-state components with a symmetric reward lump to k+1 states
+  // (the count of components in state 1).
+  const test::SymmetricBanksModel model(4, 0.3, 0.2);
+  const auto d = dtmc::buildExplicit(model).dtmc;
+  EXPECT_EQ(d.numStates(), 16u);
+  const auto reward = d.evalReward(model, "");
+  const auto keys = lump::keysFromRewardAndLabels(reward, {});
+  const auto result = lump::lump(d, keys);
+  EXPECT_EQ(result.partition.numBlocks, 5u);
+  EXPECT_TRUE(lump::verifyLumpable(d, result.partition).lumpable);
+}
+
+TEST(Lump, PartitionFromMapAndWitness) {
+  // Deliberately wrong partition: merging states with different dynamics
+  // must be reported as non-lumpable with a witness pair.
+  test::MatrixModel model({{0.1, 0.9, 0}, {0, 0.2, 0.8}, {0.5, 0, 0.5}});
+  const auto d = dtmc::buildExplicit(model).dtmc;
+  const auto partition = lump::partitionFromMap({0, 0, 1});
+  const auto report = lump::verifyLumpable(d, partition);
+  EXPECT_FALSE(report.lumpable);
+  EXPECT_GT(report.worstMismatch, 0.1);
+  EXPECT_NE(report.witnessA, report.witnessB);
+}
+
+TEST(Lump, CompareProperties) {
+  const test::SymmetricBanksModel model(3, 0.25, 0.35);
+  const auto full = dtmc::buildExplicit(model);
+  // Lump and wrap the quotient with the same model for atom evaluation
+  // (representative states preserve the variable layout).
+  const auto reward = full.dtmc.evalReward(model, "");
+  const auto keys = lump::keysFromRewardAndLabels(reward, {});
+  const auto lumped = lump::lump(full.dtmc, keys);
+  const auto comparisons = lump::compareProperties(
+      full.dtmc, model, lumped.quotient, model, {"R=? [ I=7 ]", "R=? [ C<=9 ]"});
+  for (const auto& cmp : comparisons) {
+    EXPECT_LT(cmp.absDiff, 1e-10) << cmp.property;
+  }
+}
+
+}  // namespace
+}  // namespace mimostat

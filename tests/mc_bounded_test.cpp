@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dtmc/builder.hpp"
+#include "mc/bounded.hpp"
+#include "test_models.hpp"
+
+namespace mimostat {
+namespace {
+
+TEST(Bounded, FinallyOnLineNeedsExactlyDistanceSteps) {
+  const auto model = test::lineModel(6);
+  const auto d = dtmc::buildExplicit(model).dtmc;
+  std::vector<std::uint8_t> psi(6, 0);
+  psi[5] = 1;
+  // From state 0 the target is 5 steps away.
+  EXPECT_NEAR(mc::boundedFinally(d, psi, 4)[0], 0.0, 1e-15);
+  EXPECT_NEAR(mc::boundedFinally(d, psi, 5)[0], 1.0, 1e-15);
+  EXPECT_NEAR(mc::boundedFinally(d, psi, 100)[0], 1.0, 1e-15);
+}
+
+TEST(Bounded, MonotoneInBound) {
+  const auto model = test::randomModel(25, 3, 17);
+  const auto d = dtmc::buildExplicit(model).dtmc;
+  const auto psi = d.evalAtom(model, "target");
+  double prev = -1.0;
+  for (const std::uint64_t k : {0ULL, 1ULL, 2ULL, 4ULL, 8ULL, 16ULL}) {
+    const double v = mc::fromInitial(d, mc::boundedFinally(d, psi, k));
+    EXPECT_GE(v, prev - 1e-12);
+    prev = v;
+  }
+}
+
+TEST(Bounded, GloballyIsComplementOfFinallyNot) {
+  const auto model = test::randomModel(20, 3, 31);
+  const auto d = dtmc::buildExplicit(model).dtmc;
+  const auto target = d.evalAtom(model, "target");
+  std::vector<std::uint8_t> notTarget(target.size());
+  for (std::size_t i = 0; i < target.size(); ++i) notTarget[i] = !target[i];
+  for (const std::uint64_t k : {0ULL, 3ULL, 7ULL}) {
+    const auto g = mc::boundedGlobally(d, notTarget, k);
+    const auto f = mc::boundedFinally(d, target, k);
+    for (std::size_t s = 0; s < g.size(); ++s) {
+      EXPECT_NEAR(g[s], 1.0 - f[s], 1e-12);
+    }
+  }
+}
+
+TEST(Bounded, UntilZeroBoundIsPsiIndicator) {
+  const auto model = test::randomModel(10, 2, 3);
+  const auto d = dtmc::buildExplicit(model).dtmc;
+  const auto psi = d.evalAtom(model, "target");
+  const std::vector<std::uint8_t> phi(d.numStates(), 1);
+  const auto x = mc::boundedUntil(d, phi, psi, 0);
+  for (std::size_t s = 0; s < x.size(); ++s) {
+    EXPECT_EQ(x[s], psi[s] ? 1.0 : 0.0);
+  }
+}
+
+TEST(Bounded, UntilBlockedByPhi) {
+  // 0 -> 1 -> 2(target); phi excludes state 1, so P(phi U target) from 0 is
+  // 0 for every bound.
+  test::MatrixModel model({{0, 1, 0}, {0, 0, 1}, {0, 0, 1}});
+  const auto d = dtmc::buildExplicit(model).dtmc;
+  std::vector<std::uint8_t> phi{1, 0, 1};
+  std::vector<std::uint8_t> psi{0, 0, 1};
+  EXPECT_NEAR(mc::boundedUntil(d, phi, psi, 10)[0], 0.0, 1e-15);
+  // With phi allowing state 1 it reaches in 2 steps.
+  phi[1] = 1;
+  EXPECT_NEAR(mc::boundedUntil(d, phi, psi, 2)[0], 1.0, 1e-15);
+}
+
+TEST(Bounded, GamblersRuinSymmetric) {
+  // Fair game from the midpoint: hitting 0 within k steps has the same
+  // probability as hitting n within k steps.
+  const auto model = test::gamblersRuin(6, 0.5, 3);
+  const auto d = dtmc::buildExplicit(model).dtmc;
+  const auto varIdx = d.varLayout().indexOf("s");
+  std::vector<std::uint8_t> ruin(d.numStates(), 0);
+  std::vector<std::uint8_t> win(d.numStates(), 0);
+  for (std::uint32_t s = 0; s < d.numStates(); ++s) {
+    ruin[s] = d.varValue(s, varIdx) == 0;
+    win[s] = d.varValue(s, varIdx) == 6;
+  }
+  for (const std::uint64_t k : {3ULL, 9ULL, 30ULL}) {
+    EXPECT_NEAR(mc::fromInitial(d, mc::boundedFinally(d, ruin, k)),
+                mc::fromInitial(d, mc::boundedFinally(d, win, k)), 1e-12);
+  }
+}
+
+TEST(Bounded, NextProbability) {
+  const auto model = test::twoStateChain(0.3, 0.4);
+  const auto d = dtmc::buildExplicit(model).dtmc;
+  const std::vector<std::uint8_t> psi{0, 1};
+  const auto x = mc::nextProb(d, psi);
+  EXPECT_NEAR(x[0], 0.3, 1e-15);
+  EXPECT_NEAR(x[1], 0.6, 1e-15);
+}
+
+TEST(Bounded, FromInitialWeighsDistribution) {
+  // Only the two absorbing initial states are reachable.
+  test::MatrixModel model({{1.0, 0, 0}, {0, 1.0, 0}, {0, 0, 1.0}}, {0, 1});
+  const auto d = dtmc::buildExplicit(model).dtmc;
+  ASSERT_EQ(d.numStates(), 2u);
+  const std::vector<double> values{1.0, 0.5};
+  EXPECT_NEAR(mc::fromInitial(d, values), 0.75, 1e-15);
+}
+
+}  // namespace
+}  // namespace mimostat

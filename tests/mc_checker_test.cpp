@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dtmc/builder.hpp"
+#include "mc/checker.hpp"
+#include "test_models.hpp"
+
+namespace mimostat {
+namespace {
+
+class CheckerTest : public ::testing::Test {
+ protected:
+  CheckerTest()
+      : model_(test::twoStateChain(0.3, 0.4)),
+        build_((model_.withLabel("one", {0, 1}).withRewards({0.0, 1.0}),
+                dtmc::buildExplicit(model_))),
+        checker_(build_.dtmc, model_) {}
+
+  test::MatrixModel model_;
+  dtmc::BuildResult build_;
+  mc::Checker checker_;
+};
+
+double twoStateP1(double a, double b, std::uint64_t t) {
+  return a / (a + b) * (1.0 - std::pow(1.0 - a - b, static_cast<double>(t)));
+}
+
+TEST_F(CheckerTest, InstantaneousReward) {
+  const auto result = checker_.check("R=? [ I=10 ]");
+  EXPECT_NEAR(result.value, twoStateP1(0.3, 0.4, 10), 1e-12);
+}
+
+TEST_F(CheckerTest, BoundedFinallyOnAtom) {
+  // F<=1 "one" from state 0: reach state 1 within one step = 0.3.
+  const auto result = checker_.check("P=? [ F<=1 \"one\" ]");
+  EXPECT_NEAR(result.value, 0.3, 1e-12);
+}
+
+TEST_F(CheckerTest, BoundedGloballyComplement) {
+  const auto g = checker_.check("P=? [ G<=5 !\"one\" ]");
+  const auto f = checker_.check("P=? [ F<=5 \"one\" ]");
+  EXPECT_NEAR(g.value, 1.0 - f.value, 1e-12);
+}
+
+TEST_F(CheckerTest, VarComparisonFormula) {
+  const auto result = checker_.check("P=? [ F<=1 s=1 ]");
+  EXPECT_NEAR(result.value, 0.3, 1e-12);
+  const auto ge = checker_.check("P=? [ F<=1 s>=1 ]");
+  EXPECT_NEAR(ge.value, 0.3, 1e-12);
+}
+
+TEST_F(CheckerTest, BareIdentifierResolvesToVariable) {
+  // "s" used as a bare atom means s != 0.
+  const auto viaVar = checker_.check("P=? [ F<=2 s ]");
+  const auto viaCmp = checker_.check("P=? [ F<=2 s!=0 ]");
+  EXPECT_NEAR(viaVar.value, viaCmp.value, 1e-15);
+}
+
+TEST_F(CheckerTest, ProbabilityBoundSatisfaction) {
+  const auto sat = checker_.check("P>=0.2 [ F<=1 \"one\" ]");
+  EXPECT_TRUE(sat.satisfied);
+  const auto unsat = checker_.check("P>=0.9 [ F<=1 \"one\" ]");
+  EXPECT_FALSE(unsat.satisfied);
+}
+
+TEST_F(CheckerTest, RewardBoundSatisfaction) {
+  const auto result = checker_.check("R<=0.9 [ I=100 ]");
+  EXPECT_TRUE(result.satisfied);
+}
+
+TEST_F(CheckerTest, SteadyStateReward) {
+  const auto result = checker_.check("R=? [ S ]");
+  EXPECT_NEAR(result.value, 0.3 / 0.7, 1e-9);
+}
+
+TEST_F(CheckerTest, CumulativeReward) {
+  const auto result = checker_.check("R=? [ C<=3 ]");
+  double manual = 0.0;
+  for (std::uint64_t t = 0; t < 3; ++t) manual += twoStateP1(0.3, 0.4, t);
+  EXPECT_NEAR(result.value, manual, 1e-12);
+}
+
+TEST_F(CheckerTest, UnboundedFinally) {
+  const auto result = checker_.check("P=? [ F \"one\" ]");
+  EXPECT_NEAR(result.value, 1.0, 1e-9);  // irreducible: reaches eventually
+}
+
+TEST_F(CheckerTest, NextOperator) {
+  const auto result = checker_.check("P=? [ X \"one\" ]");
+  EXPECT_NEAR(result.value, 0.3, 1e-15);
+}
+
+TEST_F(CheckerTest, UnknownVariableThrows) {
+  EXPECT_THROW(checker_.check("P=? [ F<=1 bogus>2 ]"), std::runtime_error);
+}
+
+TEST_F(CheckerTest, BooleanConnectives) {
+  const auto t = checker_.check("P=? [ F<=0 true ]");
+  EXPECT_NEAR(t.value, 1.0, 1e-15);
+  const auto f = checker_.check("P=? [ F<=100 false ]");
+  EXPECT_NEAR(f.value, 0.0, 1e-15);
+  const auto andOr =
+      checker_.check("P=? [ F<=1 (\"one\" & s=1) | false ]");
+  EXPECT_NEAR(andOr.value, 0.3, 1e-12);
+}
+
+TEST(CheckerUnbounded, ExpectedReachabilityReward) {
+  // Fair gambler's ruin from i on [0,n] with unit step rewards:
+  // expected absorption time = i*(n-i).
+  auto model = test::gamblersRuin(6, 0.5, 2);
+  std::vector<double> rewards(7, 1.0);
+  rewards[0] = 0.0;
+  rewards[6] = 0.0;
+  // MatrixModel rewards index by matrix state id = variable value here.
+  model.withRewards(std::move(rewards));
+  const auto d = dtmc::buildExplicit(model).dtmc;
+  const mc::Checker checker(d, model);
+  EXPECT_NEAR(checker.check("R=? [ F s=0 | s=6 ]").value, 2.0 * 4.0, 1e-7);
+}
+
+TEST(CheckerUnbounded, ReachRewardInfiniteWhenTargetUnreachable) {
+  auto model = test::twoStateChain(0.3, 0.4);
+  model.withRewards({1.0, 1.0});
+  const auto d = dtmc::buildExplicit(model).dtmc;
+  const mc::Checker checker(d, model);
+  const auto result = checker.check("R=? [ F s=7 ]");
+  EXPECT_TRUE(std::isinf(result.value));
+}
+
+TEST(CheckerUnbounded, UntilOnGamblersRuin) {
+  const auto model = test::gamblersRuin(4, 0.5, 2);
+  const auto d = dtmc::buildExplicit(model).dtmc;
+  const mc::Checker checker(d, model);
+  const auto result = checker.check("P=? [ s>0 U s=4 ]");
+  EXPECT_NEAR(result.value, 0.5, 1e-9);
+  const auto g = checker.check("P=? [ G s>=0 ]");
+  EXPECT_NEAR(g.value, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace mimostat

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dtmc/builder.hpp"
+#include "mc/transient.hpp"
+#include "test_models.hpp"
+
+namespace mimostat {
+namespace {
+
+// Closed form for the two-state chain with P(0->1)=a, P(1->0)=b starting in
+// state 0: pi_t(1) = a/(a+b) * (1 - (1-a-b)^t).
+double twoStateP1(double a, double b, std::uint64_t t) {
+  return a / (a + b) * (1.0 - std::pow(1.0 - a - b, static_cast<double>(t)));
+}
+
+TEST(Transient, TwoStateClosedForm) {
+  const double a = 0.3;
+  const double b = 0.4;
+  const auto model = test::twoStateChain(a, b);
+  const auto d = dtmc::buildExplicit(model).dtmc;
+  for (const std::uint64_t t : {0ULL, 1ULL, 2ULL, 5ULL, 20ULL, 100ULL}) {
+    const auto pi = mc::transientDistribution(d, t);
+    EXPECT_NEAR(pi[1], twoStateP1(a, b, t), 1e-12) << "t=" << t;
+    EXPECT_NEAR(pi[0] + pi[1], 1.0, 1e-12);
+  }
+}
+
+TEST(Transient, DistributionStaysNormalized) {
+  const auto model = test::randomModel(30, 4, 99);
+  const auto d = dtmc::buildExplicit(model).dtmc;
+  auto pi = mc::transientDistribution(d, 50);
+  double total = 0.0;
+  for (const double p : pi) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-10);
+}
+
+TEST(Transient, InstantaneousRewardMatchesDistribution) {
+  const auto model = test::twoStateChain(0.2, 0.1);
+  const auto d = dtmc::buildExplicit(model).dtmc;
+  const std::vector<double> reward{0.0, 1.0};  // indicator of state 1
+  for (const std::uint64_t t : {1ULL, 3ULL, 10ULL}) {
+    EXPECT_NEAR(mc::instantaneousReward(d, reward, t),
+                twoStateP1(0.2, 0.1, t), 1e-12);
+  }
+}
+
+TEST(Transient, CumulativeIsSumOfInstantaneous) {
+  const auto model = test::randomModel(15, 3, 5);
+  const auto d = dtmc::buildExplicit(model).dtmc;
+  const auto reward = d.evalReward(model, "");
+  const std::uint64_t horizon = 12;
+  double manual = 0.0;
+  for (std::uint64_t t = 0; t < horizon; ++t) {
+    manual += mc::instantaneousReward(d, reward, t);
+  }
+  EXPECT_NEAR(mc::cumulativeReward(d, reward, horizon), manual, 1e-10);
+}
+
+TEST(Transient, SeriesMatchesPointQueries) {
+  const auto model = test::twoStateChain(0.25, 0.15);
+  const auto d = dtmc::buildExplicit(model).dtmc;
+  const std::vector<double> reward{0.0, 1.0};
+  const auto series = mc::instantaneousRewardSeries(d, reward, 20);
+  ASSERT_EQ(series.size(), 21u);
+  for (std::uint64_t t = 0; t <= 20; ++t) {
+    EXPECT_NEAR(series[t], mc::instantaneousReward(d, reward, t), 1e-12);
+  }
+}
+
+TEST(Transient, SteadyDetectionConvergesToStationaryReward) {
+  const double a = 0.3;
+  const double b = 0.4;
+  const auto model = test::twoStateChain(a, b);
+  const auto d = dtmc::buildExplicit(model).dtmc;
+  const std::vector<double> reward{0.0, 1.0};
+  const auto det = mc::detectRewardSteadyState(d, reward, 1e-12, 8, 10000);
+  EXPECT_TRUE(det.converged);
+  EXPECT_NEAR(det.value, a / (a + b), 1e-9);
+}
+
+TEST(Transient, SteadyDetectionFailsOnPeriodicChain) {
+  const auto model = test::cycleModel(3);
+  const auto d = dtmc::buildExplicit(model).dtmc;
+  const std::vector<double> reward{1.0, 0.0, 0.0};
+  const auto det = mc::detectRewardSteadyState(d, reward, 1e-9, 8, 200);
+  EXPECT_FALSE(det.converged);  // reward oscillates 1,0,0,1,0,0,...
+}
+
+TEST(Transient, ZeroStepsReturnsInitialDistribution) {
+  const auto model = test::gamblersRuin(4, 0.5, 2);
+  const auto d = dtmc::buildExplicit(model).dtmc;
+  const auto pi = mc::transientDistribution(d, 0);
+  EXPECT_NEAR(pi[0], 1.0, 1e-15);  // BFS index 0 = initial state
+}
+
+}  // namespace
+}  // namespace mimostat

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "bdd/mtbdd.hpp"
+#include "util/rng.hpp"
+
+namespace mimostat {
+namespace {
+
+using bdd::MtbddManager;
+using bdd::MtOp;
+using bdd::MtRef;
+
+TEST(Mtbdd, ConstantsAreHashConsed) {
+  MtbddManager mgr(4);
+  EXPECT_EQ(mgr.constant(0.5), mgr.constant(0.5));
+  EXPECT_NE(mgr.constant(0.5), mgr.constant(0.25));
+  EXPECT_EQ(mgr.terminalValue(mgr.constant(1.25)), 1.25);
+}
+
+TEST(Mtbdd, VarNodeCollapsesEqualChildren) {
+  MtbddManager mgr(4);
+  const MtRef c = mgr.constant(2.0);
+  EXPECT_EQ(mgr.varNode(1, c, c), c);
+}
+
+TEST(Mtbdd, ApplyArithmetic) {
+  MtbddManager mgr(2);
+  // f = var0 ? 3 : 1;  g = var1 ? 10 : 20.
+  const MtRef f = mgr.varNode(0, mgr.constant(1.0), mgr.constant(3.0));
+  const MtRef g = mgr.varNode(1, mgr.constant(20.0), mgr.constant(10.0));
+  const MtRef sum = mgr.apply(MtOp::kAdd, f, g);
+  EXPECT_EQ(mgr.evaluate(sum, 0b00), 21.0);
+  EXPECT_EQ(mgr.evaluate(sum, 0b01), 23.0);
+  EXPECT_EQ(mgr.evaluate(sum, 0b10), 11.0);
+  EXPECT_EQ(mgr.evaluate(sum, 0b11), 13.0);
+  const MtRef prod = mgr.apply(MtOp::kMul, f, g);
+  EXPECT_EQ(mgr.evaluate(prod, 0b11), 30.0);
+  const MtRef mn = mgr.apply(MtOp::kMin, f, g);
+  EXPECT_EQ(mgr.evaluate(mn, 0b00), 1.0);
+  const MtRef mx = mgr.apply(MtOp::kMax, f, g);
+  EXPECT_EQ(mgr.evaluate(mx, 0b00), 20.0);
+  const MtRef diff = mgr.apply(MtOp::kSub, g, f);
+  EXPECT_EQ(mgr.evaluate(diff, 0b00), 19.0);
+}
+
+TEST(Mtbdd, EvaluateAgainstDirectFormula) {
+  util::Xoshiro256 rng(3);
+  MtbddManager mgr(5);
+  // f(a) = sum over set bits of weights — built as nested var nodes added up.
+  const double weights[5] = {1.0, 2.0, 4.0, 8.0, 16.0};
+  MtRef f = mgr.constant(0.0);
+  for (std::uint32_t v = 0; v < 5; ++v) {
+    const MtRef term =
+        mgr.varNode(v, mgr.constant(0.0), mgr.constant(weights[v]));
+    f = mgr.apply(MtOp::kAdd, f, term);
+  }
+  for (int trial = 0; trial < 32; ++trial) {
+    const std::uint64_t a = rng.nextBounded(32);
+    double expected = 0.0;
+    for (std::uint32_t v = 0; v < 5; ++v) {
+      if ((a >> v) & 1) expected += weights[v];
+    }
+    EXPECT_EQ(mgr.evaluate(f, a), expected);
+  }
+}
+
+TEST(Mtbdd, GreaterThanThreshold) {
+  MtbddManager mgr(1);
+  const MtRef f = mgr.varNode(0, mgr.constant(0.2), mgr.constant(0.8));
+  const MtRef gt = mgr.greaterThan(f, 0.5);
+  EXPECT_EQ(mgr.evaluate(gt, 0), 0.0);
+  EXPECT_EQ(mgr.evaluate(gt, 1), 1.0);
+}
+
+TEST(Mtbdd, SumOverIsTotalMass) {
+  MtbddManager mgr(3);
+  // A probability-like function over 3 bits.
+  const MtRef f0 = mgr.varNode(0, mgr.constant(0.4), mgr.constant(0.6));
+  const MtRef f1 = mgr.varNode(1, mgr.constant(0.5), mgr.constant(0.5));
+  const MtRef f2 = mgr.varNode(2, mgr.constant(0.9), mgr.constant(0.1));
+  const MtRef product =
+      mgr.apply(MtOp::kMul, f0, mgr.apply(MtOp::kMul, f1, f2));
+  const MtRef total = mgr.sumOver(product, {0, 1, 2});
+  ASSERT_TRUE(mgr.isTerminal(total));
+  EXPECT_NEAR(mgr.terminalValue(total), 1.0, 1e-12);
+  // Partial sum leaves a function over the remaining variable.
+  const MtRef partial = mgr.sumOver(product, {0, 1});
+  EXPECT_NEAR(mgr.evaluate(partial, 0b000), 0.9, 1e-12);
+  EXPECT_NEAR(mgr.evaluate(partial, 0b100), 0.1, 1e-12);
+}
+
+TEST(Mtbdd, MaxValue) {
+  MtbddManager mgr(2);
+  const MtRef f = mgr.varNode(
+      0, mgr.varNode(1, mgr.constant(-1.0), mgr.constant(5.0)),
+      mgr.constant(2.0));
+  EXPECT_EQ(mgr.maxValue(f), 5.0);
+}
+
+}  // namespace
+}  // namespace mimostat

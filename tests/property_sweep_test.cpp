@@ -1,0 +1,156 @@
+// Parameterized property-style sweeps over randomly generated DTMCs:
+// engine identities and reduction-soundness invariants that must hold for
+// every model, not just the hand-picked ones.
+#include <gtest/gtest.h>
+
+#include "bdd/reachability.hpp"
+#include "dtmc/builder.hpp"
+#include "lump/bisim.hpp"
+#include "mc/bounded.hpp"
+#include "mc/transient.hpp"
+#include "mc/unbounded.hpp"
+#include "test_models.hpp"
+
+namespace mimostat {
+namespace {
+
+class RandomChainProperties : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  RandomChainProperties()
+      : model_(test::randomModel(35, 3, GetParam())),
+        dtmc_(dtmc::buildExplicit(model_).dtmc) {}
+
+  test::MatrixModel model_;
+  dtmc::ExplicitDtmc dtmc_;
+};
+
+TEST_P(RandomChainProperties, TransientStaysNormalized) {
+  auto pi = dtmc_.initialDistribution();
+  std::vector<double> next(pi.size());
+  for (int t = 0; t < 40; ++t) {
+    dtmc_.multiplyLeft(pi, next);
+    pi.swap(next);
+    double total = 0.0;
+    for (const double p : pi) total += p;
+    ASSERT_NEAR(total, 1.0, 1e-9) << "t=" << t;
+  }
+}
+
+TEST_P(RandomChainProperties, BoundedFinallyMonotoneAndBounded) {
+  const auto psi = dtmc_.evalAtom(model_, "target");
+  double previous = -1.0;
+  for (const std::uint64_t k : {0ULL, 1ULL, 3ULL, 6ULL, 12ULL, 24ULL}) {
+    const double v = mc::fromInitial(dtmc_, mc::boundedFinally(dtmc_, psi, k));
+    ASSERT_GE(v, previous - 1e-12);
+    ASSERT_GE(v, 0.0);
+    ASSERT_LE(v, 1.0 + 1e-12);
+    previous = v;
+  }
+}
+
+TEST_P(RandomChainProperties, GloballyFinallyComplement) {
+  const auto target = dtmc_.evalAtom(model_, "target");
+  std::vector<std::uint8_t> notTarget(target.size());
+  for (std::size_t i = 0; i < target.size(); ++i) notTarget[i] = !target[i];
+  const auto g = mc::boundedGlobally(dtmc_, notTarget, 9);
+  const auto f = mc::boundedFinally(dtmc_, target, 9);
+  for (std::size_t s = 0; s < g.size(); ++s) {
+    ASSERT_NEAR(g[s] + f[s], 1.0, 1e-10);
+  }
+}
+
+TEST_P(RandomChainProperties, UnboundedDominatesBounded) {
+  const auto psi = dtmc_.evalAtom(model_, "target");
+  const auto unbounded = mc::reachProb(dtmc_, psi);
+  const auto bounded = mc::boundedFinally(dtmc_, psi, 50);
+  for (std::size_t s = 0; s < bounded.size(); ++s) {
+    ASSERT_LE(bounded[s], unbounded.stateValues[s] + 1e-9);
+  }
+}
+
+TEST_P(RandomChainProperties, LumpingPreservesRewardTransients) {
+  const auto reward = dtmc_.evalReward(model_, "");
+  const auto keys = lump::keysFromRewardAndLabels(reward, {});
+  const auto lumped = lump::lump(dtmc_, keys);
+  std::vector<double> quotientReward(lumped.quotient.numStates());
+  for (std::uint32_t b = 0; b < lumped.quotient.numStates(); ++b) {
+    quotientReward[b] = reward[lumped.representative[b]];
+  }
+  for (const std::uint64_t t : {2ULL, 8ULL, 21ULL}) {
+    ASSERT_NEAR(mc::instantaneousReward(dtmc_, reward, t),
+                mc::instantaneousReward(lumped.quotient, quotientReward, t),
+                1e-9);
+  }
+}
+
+TEST_P(RandomChainProperties, SymbolicReachabilityAgrees) {
+  bdd::SymbolicSpace space(model_.layout().totalBits());
+  const auto symbolic = bdd::buildSymbolic(model_, space, 1 << 16);
+  ASSERT_EQ(symbolic.stateCount, static_cast<double>(dtmc_.numStates()));
+}
+
+TEST_P(RandomChainProperties, Prob0Prob1AreConsistentWithValues) {
+  const auto psi = dtmc_.evalAtom(model_, "target");
+  const std::vector<std::uint8_t> phi(dtmc_.numStates(), 1);
+  const auto prob0 = mc::prob0States(dtmc_, phi, psi);
+  const auto prob1 = mc::prob1States(dtmc_, phi, psi);
+  const auto values = mc::reachProb(dtmc_, psi).stateValues;
+  for (std::uint32_t s = 0; s < dtmc_.numStates(); ++s) {
+    if (prob0[s]) ASSERT_NEAR(values[s], 0.0, 1e-12);
+    if (prob1[s]) ASSERT_NEAR(values[s], 1.0, 1e-12);
+    ASSERT_FALSE(prob0[s] && prob1[s]);
+  }
+}
+
+TEST_P(RandomChainProperties, LumpingIsIdempotent) {
+  // Lumping the quotient with the inherited keys must not shrink it
+  // further: the first pass already reached the coarsest refinement.
+  const auto reward = dtmc_.evalReward(model_, "");
+  const auto keys = lump::keysFromRewardAndLabels(reward, {});
+  const auto once = lump::lump(dtmc_, keys);
+  std::vector<double> quotientReward(once.quotient.numStates());
+  for (std::uint32_t b = 0; b < once.quotient.numStates(); ++b) {
+    quotientReward[b] = reward[once.representative[b]];
+  }
+  const auto twice = lump::lump(
+      once.quotient, lump::keysFromRewardAndLabels(quotientReward, {}));
+  ASSERT_EQ(twice.partition.numBlocks, once.partition.numBlocks);
+}
+
+TEST_P(RandomChainProperties, CumulativeRewardIsMonotoneAndConsistent) {
+  const auto reward = dtmc_.evalReward(model_, "");
+  double previous = 0.0;
+  for (const std::uint64_t t : {1ULL, 4ULL, 16ULL, 64ULL}) {
+    const double c = mc::cumulativeReward(dtmc_, reward, t);
+    ASSERT_GE(c, previous - 1e-12);  // nonnegative rewards accumulate
+    previous = c;
+  }
+  // C<=k equals the sum of instantaneous rewards at 0..k-1.
+  double manual = 0.0;
+  for (std::uint64_t t = 0; t < 8; ++t) {
+    manual += mc::instantaneousReward(dtmc_, reward, t);
+  }
+  ASSERT_NEAR(mc::cumulativeReward(dtmc_, reward, 8), manual, 1e-9);
+}
+
+TEST_P(RandomChainProperties, UntilDecomposition) {
+  // P(phi U<=k psi) >= P(psi now) and <= P(F<=k psi), for any phi.
+  const auto psi = dtmc_.evalAtom(model_, "target");
+  std::vector<std::uint8_t> phi(dtmc_.numStates());
+  for (std::uint32_t s = 0; s < dtmc_.numStates(); ++s) {
+    phi[s] = (s % 3) != 0;  // arbitrary restriction
+  }
+  const auto until = mc::boundedUntil(dtmc_, phi, psi, 12);
+  const auto finallyAll = mc::boundedFinally(dtmc_, psi, 12);
+  for (std::uint32_t s = 0; s < dtmc_.numStates(); ++s) {
+    ASSERT_GE(until[s], (psi[s] ? 1.0 : 0.0) - 1e-12);
+    ASSERT_LE(until[s], finallyAll[s] + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomChainProperties,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707,
+                                           808, 909, 1010));
+
+}  // namespace
+}  // namespace mimostat

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "sim/ber_simulator.hpp"
+#include "util/rng.hpp"
+
+namespace mimostat {
+namespace {
+
+TEST(BerSimulator, CountsErrors) {
+  auto rng = std::make_shared<util::Xoshiro256>(1);
+  const sim::ErrorSource source = [rng](std::uint64_t) {
+    return rng->nextDouble() < 0.1;
+  };
+  sim::BerRunOptions options;
+  options.maxSteps = 100000;
+  const auto result = sim::runBer(source, options);
+  EXPECT_EQ(result.stepsRun, 100000u);
+  EXPECT_NEAR(result.estimate(), 0.1, 0.01);
+  EXPECT_FALSE(result.stoppedEarly);
+}
+
+TEST(BerSimulator, EarlyStopOnPrecision) {
+  auto rng = std::make_shared<util::Xoshiro256>(2);
+  const sim::ErrorSource source = [rng](std::uint64_t) {
+    return rng->nextDouble() < 0.5;
+  };
+  sim::BerRunOptions options;
+  options.maxSteps = 10'000'000;
+  options.relPrecision = 0.05;
+  options.checkInterval = 1000;
+  const auto result = sim::runBer(source, options);
+  EXPECT_TRUE(result.stoppedEarly);
+  EXPECT_LT(result.stepsRun, 100000u);
+  const auto interval = result.errors.wilson(0.95);
+  EXPECT_LE(interval.width() / 2.0, 0.05 * result.estimate() * 1.2);
+}
+
+TEST(BerSimulator, NoEarlyStopWithoutErrors) {
+  // Zero observed errors: the stopping rule must not fire (estimate = 0).
+  const sim::ErrorSource source = [](std::uint64_t) { return false; };
+  sim::BerRunOptions options;
+  options.maxSteps = 50000;
+  options.relPrecision = 0.1;
+  const auto result = sim::runBer(source, options);
+  EXPECT_FALSE(result.stoppedEarly);
+  EXPECT_EQ(result.errors.successes(), 0u);
+}
+
+TEST(BerSimulator, ExpectedStepsForErrors) {
+  EXPECT_EQ(sim::expectedStepsForErrors(0.01, 100), 10000u);
+  // The paper's regime: a BER of 1e-7 needs ~1e8 steps per observed error —
+  // the motivating infeasibility of pure simulation.
+  EXPECT_EQ(sim::expectedStepsForErrors(1e-7, 10), 100'000'000u);
+  EXPECT_EQ(sim::expectedStepsForErrors(0.0, 1), ~0ULL);
+}
+
+TEST(BerSimulator, StepIndexPassedThrough) {
+  std::uint64_t lastStep = 0;
+  const sim::ErrorSource source = [&lastStep](std::uint64_t step) {
+    lastStep = step;
+    return false;
+  };
+  sim::BerRunOptions options;
+  options.maxSteps = 123;
+  sim::runBer(source, options);
+  EXPECT_EQ(lastStep, 122u);
+}
+
+}  // namespace
+}  // namespace mimostat

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "dtmc/builder.hpp"
+#include "mc/checker.hpp"
+#include "smc/smc.hpp"
+#include "test_models.hpp"
+#include "viterbi/model_reduced.hpp"
+
+namespace mimostat {
+namespace {
+
+TEST(Smc, StateFormulaEvaluation) {
+  auto model = test::twoStateChain(0.3, 0.4);
+  model.withLabel("one", {0, 1});
+  const auto layout = model.layout();
+  const auto f = pctl::parseStateFormula("!\"one\" & s=0");
+  EXPECT_TRUE(smc::evalStateFormula(model, layout, {0}, *f));
+  EXPECT_FALSE(smc::evalStateFormula(model, layout, {1}, *f));
+}
+
+TEST(Smc, SamplerIsDeterministicPerSeed) {
+  const auto model = test::randomModel(20, 3, 9);
+  smc::PathSampler a(model, 42);
+  smc::PathSampler b(model, 42);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.step(), b.step());
+  }
+}
+
+TEST(Smc, EstimateMatchesExactChecker) {
+  auto model = test::twoStateChain(0.3, 0.4);
+  model.withLabel("one", {0, 1}).withRewards({0.0, 1.0});
+  const auto d = dtmc::buildExplicit(model).dtmc;
+  const mc::Checker checker(d, model);
+
+  smc::SmcOptions options;
+  options.paths = 40'000;
+  options.seed = 7;
+  for (const auto* prop : {"P=? [ F<=5 \"one\" ]", "P=? [ G<=5 !\"one\" ]",
+                           "P=? [ !\"one\" U<=8 \"one\" ]",
+                           "P=? [ X \"one\" ]"}) {
+    const double exact = checker.check(prop).value;
+    const auto estimate = smc::estimateProperty(model, prop, options);
+    const auto interval = estimate.satisfied.wilson(0.999);
+    EXPECT_TRUE(interval.contains(exact))
+        << prop << ": exact " << exact << " interval [" << interval.low
+        << ", " << interval.high << "]";
+  }
+}
+
+TEST(Smc, InstantaneousRewardEstimate) {
+  auto model = test::twoStateChain(0.25, 0.4);
+  model.withRewards({0.0, 1.0});
+  const auto d = dtmc::buildExplicit(model).dtmc;
+  const mc::Checker checker(d, model);
+  const double exact = checker.check("R=? [ I=12 ]").value;
+
+  smc::SmcOptions options;
+  options.paths = 40'000;
+  options.seed = 3;
+  const auto stats = smc::estimateInstantaneousReward(model, 12, "", options);
+  EXPECT_NEAR(stats.mean(), exact, 4.0 * stats.standardError() + 1e-6);
+}
+
+TEST(Smc, UnboundedFormulaRejected) {
+  const auto model = test::twoStateChain(0.3, 0.4);
+  smc::SmcOptions options;
+  options.paths = 10;
+  EXPECT_THROW(smc::estimateProperty(model, "P=? [ F s=1 ]", options),
+               std::invalid_argument);
+  EXPECT_THROW(smc::estimateProperty(model, "R=? [ I=5 ]", options),
+               std::invalid_argument);
+}
+
+TEST(Smc, SprtAcceptsTrueClaim) {
+  // P(F<=5 one) ~ 0.832 for a=0.3,b=0.4; test a clearly-true claim.
+  auto model = test::twoStateChain(0.3, 0.4);
+  model.withLabel("one", {0, 1});
+  smc::SprtOptions options;
+  options.indifference = 0.05;
+  options.seed = 5;
+  const auto outcome =
+      smc::testProperty(model, "P>=0.6 [ F<=5 \"one\" ]", options);
+  EXPECT_NE(outcome.decision, stats::SprtDecision::kContinue);
+  EXPECT_TRUE(outcome.holds);
+  EXPECT_GT(outcome.pathsUsed, 0u);
+}
+
+TEST(Smc, SprtRejectsFalseClaim) {
+  auto model = test::twoStateChain(0.3, 0.4);
+  model.withLabel("one", {0, 1});
+  smc::SprtOptions options;
+  options.indifference = 0.05;
+  options.seed = 6;
+  const auto outcome =
+      smc::testProperty(model, "P>=0.95 [ F<=5 \"one\" ]", options);
+  EXPECT_NE(outcome.decision, stats::SprtDecision::kContinue);
+  EXPECT_FALSE(outcome.holds);
+}
+
+TEST(Smc, SprtUpperBoundClaims) {
+  auto model = test::twoStateChain(0.3, 0.4);
+  model.withLabel("one", {0, 1});
+  smc::SprtOptions options;
+  options.indifference = 0.05;
+  options.seed = 8;
+  const auto holds =
+      smc::testProperty(model, "P<=0.9 [ F<=5 \"one\" ]", options);
+  EXPECT_TRUE(holds.holds);
+  const auto fails =
+      smc::testProperty(model, "P<=0.5 [ F<=5 \"one\" ]", options);
+  EXPECT_FALSE(fails.holds);
+}
+
+TEST(Smc, SprtNeedsFewerPathsFartherFromThreshold) {
+  auto model = test::twoStateChain(0.3, 0.4);
+  model.withLabel("one", {0, 1});
+  smc::SprtOptions options;
+  options.indifference = 0.02;
+  options.seed = 11;
+  const auto far = smc::testProperty(model, "P>=0.3 [ F<=5 \"one\" ]", options);
+  const auto near =
+      smc::testProperty(model, "P>=0.8 [ F<=5 \"one\" ]", options);
+  // True probability ~0.832: the 0.3 threshold is far (quick accept), the
+  // 0.8 threshold is close (more samples).
+  EXPECT_LT(far.pathsUsed, near.pathsUsed);
+}
+
+TEST(Smc, AgreesWithExactCheckerOnViterbi) {
+  // End-to-end on a real case-study model: SMC brackets the exact P1.
+  viterbi::ViterbiParams params;
+  params.tracebackLength = 3;
+  const viterbi::ReducedViterbiModel model(params);
+  const auto d = dtmc::buildExplicit(model).dtmc;
+  const mc::Checker checker(d, model);
+  const double exact = checker.check("P=? [ G<=20 !flag ]").value;
+
+  smc::SmcOptions options;
+  options.paths = 20'000;
+  options.seed = 12;
+  const auto estimate =
+      smc::estimateProperty(model, "P=? [ G<=20 !flag ]", options);
+  EXPECT_TRUE(estimate.satisfied.wilson(0.999).contains(exact))
+      << "exact " << exact << " est " << estimate.estimate();
+}
+
+}  // namespace
+}  // namespace mimostat

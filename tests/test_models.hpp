@@ -1,0 +1,195 @@
+// Shared hand-written DTMC models for the test suite: explicit matrices
+// with closed-form answers, parameterized random chains, and structural
+// corner cases.
+#pragma once
+
+#include <cassert>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dtmc/model.hpp"
+#include "util/rng.hpp"
+
+namespace mimostat::test {
+
+/// DTMC given directly as a dense transition matrix over one variable "s".
+/// Optional labels (name -> per-state truth) and per-state default rewards.
+class MatrixModel : public dtmc::Model {
+ public:
+  MatrixModel(std::vector<std::vector<double>> matrix,
+              std::vector<std::uint32_t> initial = {0})
+      : matrix_(std::move(matrix)), initial_(std::move(initial)) {
+    rewards_.assign(matrix_.size(), 0.0);
+  }
+
+  MatrixModel& withLabel(std::string name, std::vector<std::uint8_t> truth) {
+    labels_.emplace_back(std::move(name), std::move(truth));
+    return *this;
+  }
+  MatrixModel& withRewards(std::vector<double> rewards) {
+    rewards_ = std::move(rewards);
+    return *this;
+  }
+
+  [[nodiscard]] std::vector<dtmc::VarSpec> variables() const override {
+    return {{"s", 0, static_cast<std::int32_t>(matrix_.size()) - 1}};
+  }
+  [[nodiscard]] std::vector<dtmc::State> initialStates() const override {
+    std::vector<dtmc::State> states;
+    for (const auto i : initial_) {
+      states.push_back({static_cast<std::int32_t>(i)});
+    }
+    return states;
+  }
+  void transitions(const dtmc::State& s,
+                   std::vector<dtmc::Transition>& out) const override {
+    const auto row = static_cast<std::size_t>(s[0]);
+    for (std::size_t j = 0; j < matrix_[row].size(); ++j) {
+      if (matrix_[row][j] > 0.0) {
+        out.push_back({matrix_[row][j], {static_cast<std::int32_t>(j)}});
+      }
+    }
+  }
+  [[nodiscard]] bool atom(const dtmc::State& s,
+                          std::string_view name) const override {
+    for (const auto& [labelName, truth] : labels_) {
+      if (labelName == name) return truth[static_cast<std::size_t>(s[0])] != 0;
+    }
+    return false;
+  }
+  [[nodiscard]] double stateReward(const dtmc::State& s,
+                                   std::string_view /*name*/) const override {
+    return rewards_[static_cast<std::size_t>(s[0])];
+  }
+
+ private:
+  std::vector<std::vector<double>> matrix_;
+  std::vector<std::uint32_t> initial_;
+  std::vector<std::pair<std::string, std::vector<std::uint8_t>>> labels_;
+  std::vector<double> rewards_;
+};
+
+/// Two-state chain with P(0->1)=a, P(1->0)=b — closed-form transients.
+inline MatrixModel twoStateChain(double a, double b) {
+  return MatrixModel({{1.0 - a, a}, {b, 1.0 - b}});
+}
+
+/// Deterministic line 0 -> 1 -> ... -> n-1 (absorbing).
+inline MatrixModel lineModel(std::uint32_t n) {
+  std::vector<std::vector<double>> matrix(n, std::vector<double>(n, 0.0));
+  for (std::uint32_t i = 0; i + 1 < n; ++i) matrix[i][i + 1] = 1.0;
+  matrix[n - 1][n - 1] = 1.0;
+  return MatrixModel(std::move(matrix));
+}
+
+/// Directed cycle of length n (period n).
+inline MatrixModel cycleModel(std::uint32_t n) {
+  std::vector<std::vector<double>> matrix(n, std::vector<double>(n, 0.0));
+  for (std::uint32_t i = 0; i < n; ++i) matrix[i][(i + 1) % n] = 1.0;
+  return MatrixModel(std::move(matrix));
+}
+
+/// Gambler's ruin on 0..n starting at `start`: win prob p, states 0 and n
+/// absorbing. For p = 1/2 the ruin probability from i is 1 - i/n.
+inline MatrixModel gamblersRuin(std::uint32_t n, double p,
+                                std::uint32_t start) {
+  std::vector<std::vector<double>> matrix(n + 1,
+                                          std::vector<double>(n + 1, 0.0));
+  matrix[0][0] = 1.0;
+  matrix[n][n] = 1.0;
+  for (std::uint32_t i = 1; i < n; ++i) {
+    matrix[i][i + 1] = p;
+    matrix[i][i - 1] = 1.0 - p;
+  }
+  return MatrixModel(std::move(matrix), {start});
+}
+
+/// Random stochastic matrix with the given fan-out per row; strictly
+/// positive probabilities; random labels/rewards derived from the seed.
+inline MatrixModel randomModel(std::uint32_t n, std::uint32_t fanout,
+                               std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::vector<double>> matrix(n, std::vector<double>(n, 0.0));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    double total = 0.0;
+    for (std::uint32_t k = 0; k < fanout; ++k) {
+      const auto j = static_cast<std::uint32_t>(rng.nextBounded(n));
+      const double w = rng.nextDouble() + 0.05;
+      matrix[i][j] += w;
+      total += w;
+    }
+    for (auto& v : matrix[i]) v /= total;
+  }
+  std::vector<std::uint8_t> target(n, 0);
+  std::vector<double> rewards(n, 0.0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    target[i] = rng.nextDouble() < 0.3 ? 1 : 0;
+    rewards[i] = target[i] ? 1.0 : 0.0;
+  }
+  MatrixModel model(std::move(matrix));
+  model.withLabel("target", std::move(target)).withRewards(std::move(rewards));
+  return model;
+}
+
+/// k identical independent sub-chains observed through a symmetric reward —
+/// a toy model with a block symmetry, used by the symmetry tests.
+/// Variables: c0..c_{k-1}, each a two-state chain (P(0->1)=a, P(1->0)=b);
+/// reward = number of components in state 1.
+class SymmetricBanksModel : public dtmc::Model {
+ public:
+  SymmetricBanksModel(int k, double a, double b) : k_(k), a_(a), b_(b) {}
+
+  [[nodiscard]] std::vector<dtmc::VarSpec> variables() const override {
+    std::vector<dtmc::VarSpec> vars;
+    for (int i = 0; i < k_; ++i) {
+      vars.push_back({"c" + std::to_string(i), 0, 1});
+    }
+    return vars;
+  }
+  [[nodiscard]] std::vector<dtmc::State> initialStates() const override {
+    return {dtmc::State(static_cast<std::size_t>(k_), 0)};
+  }
+  void transitions(const dtmc::State& s,
+                   std::vector<dtmc::Transition>& out) const override {
+    // Product of independent per-component flips.
+    std::vector<dtmc::Transition> partial{{1.0, {}}};
+    for (int i = 0; i < k_; ++i) {
+      std::vector<dtmc::Transition> next;
+      const double flip = s[static_cast<std::size_t>(i)] == 0 ? a_ : b_;
+      for (const auto& t : partial) {
+        dtmc::State stay = t.target;
+        stay.push_back(s[static_cast<std::size_t>(i)]);
+        next.push_back({t.prob * (1.0 - flip), std::move(stay)});
+        dtmc::State flipped = t.target;
+        flipped.push_back(1 - s[static_cast<std::size_t>(i)]);
+        next.push_back({t.prob * flip, std::move(flipped)});
+      }
+      partial = std::move(next);
+    }
+    for (auto& t : partial) out.push_back(std::move(t));
+  }
+  [[nodiscard]] double stateReward(const dtmc::State& s,
+                                   std::string_view /*name*/) const override {
+    double count = 0.0;
+    for (const auto v : s) count += v;
+    return count;
+  }
+  [[nodiscard]] bool atom(const dtmc::State& s,
+                          std::string_view name) const override {
+    if (name == "any") {
+      for (const auto v : s) {
+        if (v != 0) return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  int k_;
+  double a_;
+  double b_;
+};
+
+}  // namespace mimostat::test

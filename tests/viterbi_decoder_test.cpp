@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "viterbi/code.hpp"
+#include "viterbi/decoder.hpp"
+#include "viterbi/sim.hpp"
+
+namespace mimostat {
+namespace {
+
+viterbi::ViterbiParams defaultParams() { return viterbi::ViterbiParams{}; }
+
+TEST(TrellisKernel, BranchMetricsPreferMatchingLevel) {
+  const viterbi::TrellisKernel kernel(defaultParams());
+  // Quantizer cell 3 has value 2.25; the (1,1) transition expects +2, so its
+  // branch metric must be the smallest of the four.
+  const int q = 3;
+  const int matching = kernel.branchMetric(q, 1, 1);
+  EXPECT_LE(matching, kernel.branchMetric(q, 0, 0));
+  EXPECT_LE(matching, kernel.branchMetric(q, 0, 1));
+  EXPECT_LE(matching, kernel.branchMetric(q, 1, 0));
+}
+
+TEST(TrellisKernel, BranchMetricsWithinCap) {
+  const auto params = defaultParams();
+  const viterbi::TrellisKernel kernel(params);
+  for (int q = 0; q < params.quantLevels; ++q) {
+    for (int u = 0; u < 2; ++u) {
+      for (int v = 0; v < 2; ++v) {
+        const auto bm = kernel.branchMetric(q, u, v);
+        EXPECT_GE(bm, 0);
+        EXPECT_LE(bm, params.bmCap);
+      }
+    }
+  }
+}
+
+TEST(TrellisKernel, AcsNormalizesToZeroMin) {
+  const auto params = defaultParams();
+  const viterbi::TrellisKernel kernel(params);
+  for (int q = 0; q < params.quantLevels; ++q) {
+    for (int pm0 = 0; pm0 <= params.pmCap; ++pm0) {
+      for (int pm1 = 0; pm1 <= params.pmCap; ++pm1) {
+        const auto acs = kernel.acs(pm0, pm1, q);
+        EXPECT_EQ(std::min(acs.pm0, acs.pm1), 0);
+        EXPECT_LE(std::max(acs.pm0, acs.pm1), params.pmCap);
+        EXPECT_EQ(acs.tracebackStart, acs.pm0 <= acs.pm1 ? 0 : 1);
+      }
+    }
+  }
+}
+
+TEST(TrellisKernel, CellProbsFormDistributions) {
+  const auto params = defaultParams();
+  const viterbi::TrellisKernel kernel(params);
+  for (int cur = 0; cur < 2; ++cur) {
+    for (int prev = 0; prev < 2; ++prev) {
+      double total = 0.0;
+      for (int q = 0; q < params.quantLevels; ++q) {
+        total += kernel.cellProb(cur, prev, q);
+      }
+      EXPECT_NEAR(total, 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(Traceback, FollowsPointers) {
+  // Stage pointers: from state s at depth i, go to prev{s}[i].
+  const std::vector<int> prev0{1, 0, 1};
+  const std::vector<int> prev1{0, 1, 1};
+  EXPECT_EQ(viterbi::traceback(0, prev0, prev1, 0), 0);
+  EXPECT_EQ(viterbi::traceback(0, prev0, prev1, 1), 1);  // prev0[0]=1
+  EXPECT_EQ(viterbi::traceback(0, prev0, prev1, 2), 1);  // prev1[1]=1
+  EXPECT_EQ(viterbi::traceback(0, prev0, prev1, 3), 1);  // prev1[2]=1
+  EXPECT_EQ(viterbi::traceback(1, prev0, prev1, 1), 0);  // prev1[0]=0
+}
+
+TEST(Decoder, RecoversDataAtHighSnr) {
+  // At 30 dB the channel is effectively noiseless: the decoder must track
+  // the transmitted bits exactly (after the warm-up transient).
+  auto params = defaultParams();
+  params.snrDb = 30.0;
+  const auto result = viterbi::simulate(params, 20000, 42);
+  EXPECT_LT(result.bitErrors.estimate(), 1e-3);
+}
+
+TEST(Decoder, DegradesAtLowSnr) {
+  auto params = defaultParams();
+  params.snrDb = -5.0;
+  const auto result = viterbi::simulate(params, 20000, 42);
+  EXPECT_GT(result.bitErrors.estimate(), 0.1);
+}
+
+TEST(Decoder, BerMonotoneInSnr) {
+  double previous = 1.0;
+  for (const double snr : {0.0, 5.0, 10.0, 15.0}) {
+    auto params = defaultParams();
+    params.snrDb = snr;
+    const auto result = viterbi::simulate(params, 50000, 7);
+    EXPECT_LE(result.bitErrors.estimate(), previous + 0.02) << snr;
+    previous = result.bitErrors.estimate();
+  }
+}
+
+TEST(Decoder, ResetRestoresInitialState) {
+  const viterbi::TrellisKernel kernel(defaultParams());
+  viterbi::Decoder decoder(kernel);
+  util::Xoshiro256 rng(3);
+  std::vector<int> first;
+  for (int i = 0; i < 50; ++i) {
+    first.push_back(decoder.step(static_cast<int>(rng.nextBounded(4))));
+  }
+  decoder.reset();
+  util::Xoshiro256 rng2(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(decoder.step(static_cast<int>(rng2.nextBounded(4))), first[i]);
+  }
+}
+
+TEST(Decoder, InitialPathMetricsBiasedToStateZero) {
+  const viterbi::TrellisKernel kernel(defaultParams());
+  const viterbi::Decoder decoder(kernel);
+  EXPECT_EQ(decoder.pm0(), 0);
+  EXPECT_EQ(decoder.pm1(), kernel.params().pmCap);
+}
+
+TEST(Simulation, DeterministicPerSeed) {
+  const auto params = defaultParams();
+  const auto a = viterbi::simulate(params, 5000, 99);
+  const auto b = viterbi::simulate(params, 5000, 99);
+  EXPECT_EQ(a.bitErrors.successes(), b.bitErrors.successes());
+  EXPECT_EQ(a.nonConvergent.successes(), b.nonConvergent.successes());
+}
+
+TEST(Simulation, LongerTracebackConvergesMore) {
+  auto shortParams = defaultParams();
+  shortParams.tracebackLength = 2;
+  auto longParams = defaultParams();
+  longParams.tracebackLength = 10;
+  const auto shortRun = viterbi::simulate(shortParams, 100000, 5);
+  const auto longRun = viterbi::simulate(longParams, 100000, 5);
+  // Figure 2's trend: non-convergence decreases with traceback length.
+  EXPECT_GT(shortRun.nonConvergent.estimate(),
+            longRun.nonConvergent.estimate());
+}
+
+}  // namespace
+}  // namespace mimostat

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/rng.hpp"
+#include "viterbi/code.hpp"
+#include "viterbi/decoder.hpp"
+#include "viterbi/general.hpp"
+
+namespace mimostat {
+namespace {
+
+viterbi::GeneralParams memoryTwoParams() {
+  viterbi::GeneralParams p;
+  p.taps = {1.0, 0.6, 0.3};
+  p.snrDb = 12.0;
+  return p;
+}
+
+TEST(GeneralTrellis, StateTransitions) {
+  viterbi::GeneralParams params = memoryTwoParams();
+  const viterbi::GeneralTrellis trellis(params);
+  EXPECT_EQ(trellis.memory(), 2);
+  EXPECT_EQ(trellis.numStates(), 4);
+  // State bits: bit0 = previous bit, bit1 = bit before that.
+  EXPECT_EQ(trellis.nextState(1, 0b00), 0b01);
+  EXPECT_EQ(trellis.nextState(0, 0b01), 0b10);
+  EXPECT_EQ(trellis.nextState(1, 0b11), 0b11);
+  // Predecessors invert nextState.
+  for (int state = 0; state < 4; ++state) {
+    for (int oldest = 0; oldest < 2; ++oldest) {
+      const int pred = trellis.predecessor(state, oldest);
+      EXPECT_EQ(trellis.nextState(state & 1, pred), state);
+    }
+  }
+}
+
+TEST(GeneralTrellis, LevelsMatchConvolution) {
+  const viterbi::GeneralTrellis trellis(memoryTwoParams());
+  // bit=1, history (prev=0, prevprev=1): 1*1 + 0.6*(-1) + 0.3*(+1).
+  EXPECT_NEAR(trellis.level(1, 0b10), 1.0 - 0.6 + 0.3, 1e-12);
+  EXPECT_NEAR(trellis.level(0, 0b11), -1.0 + 0.6 + 0.3, 1e-12);
+}
+
+TEST(GeneralTrellis, CellProbsFormDistributions) {
+  const viterbi::GeneralTrellis trellis(memoryTwoParams());
+  for (int b = 0; b < 2; ++b) {
+    for (int state = 0; state < trellis.numStates(); ++state) {
+      double total = 0.0;
+      for (int cell = 0; cell < trellis.params().quantLevels; ++cell) {
+        total += trellis.cellProb(b, state, cell);
+      }
+      EXPECT_NEAR(total, 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(GeneralDecoder, MatchesMemoryOneDecoderStepForStep) {
+  // With taps {1,1} and the paper's parameters the general decoder must be
+  // identical to the specialised two-state decoder on any input stream.
+  viterbi::ViterbiParams m1;
+  viterbi::GeneralParams general;
+  general.taps = {1.0, 1.0};
+  general.snrDb = m1.snrDb;
+  general.quantLevels = m1.quantLevels;
+  general.quantRange = m1.quantRange;
+  general.tracebackLength = m1.tracebackLength;
+  general.pmCap = m1.pmCap;
+  general.bmCap = m1.bmCap;
+  general.bmScale = m1.bmScale;
+
+  const viterbi::TrellisKernel kernel(m1);
+  viterbi::Decoder specialised(kernel);
+  const viterbi::GeneralTrellis trellis(general);
+  viterbi::GeneralDecoder generalDecoder(trellis);
+
+  util::Xoshiro256 rng(77);
+  for (int t = 0; t < 2000; ++t) {
+    const int q = static_cast<int>(rng.nextBounded(
+        static_cast<std::uint64_t>(m1.quantLevels)));
+    EXPECT_EQ(generalDecoder.step(q), specialised.step(q)) << "t=" << t;
+  }
+}
+
+TEST(GeneralDecoder, BlockDecodeIsMaximumLikelihood) {
+  // Forney's theorem, checked by brute force: the block decode achieves
+  // the minimum sequence metric over all 2^n bit sequences.
+  const viterbi::GeneralTrellis trellis(memoryTwoParams());
+  const viterbi::GeneralDecoder decoder(trellis);
+  util::Xoshiro256 rng(5);
+  const int n = 12;
+
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<int> samples(n);
+    for (int t = 0; t < n; ++t) {
+      samples[t] = static_cast<int>(rng.nextBounded(
+          static_cast<std::uint64_t>(trellis.params().quantLevels)));
+    }
+    const std::vector<int> decoded = decoder.decodeBlock(samples);
+    const std::int64_t decodedMetric = decoder.sequenceMetric(decoded, samples);
+
+    std::int64_t bruteForce = std::numeric_limits<std::int64_t>::max();
+    for (std::uint32_t bits = 0; bits < (1u << n); ++bits) {
+      std::vector<int> candidate(n);
+      for (int t = 0; t < n; ++t) candidate[t] = (bits >> t) & 1;
+      bruteForce = std::min(bruteForce,
+                            decoder.sequenceMetric(candidate, samples));
+    }
+    EXPECT_EQ(decodedMetric, bruteForce) << "trial " << trial;
+  }
+}
+
+TEST(GeneralDecoder, NoiselessBlockRecovery) {
+  // Quantize the noiseless channel output of a random sequence; the block
+  // decode must reproduce it exactly (the metric of the true sequence is
+  // minimal and, at this quantizer resolution, unique).
+  const viterbi::GeneralTrellis trellis(memoryTwoParams());
+  const viterbi::GeneralDecoder decoder(trellis);
+  util::Xoshiro256 rng(9);
+  const int n = 16;
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<int> bits(n);
+    std::vector<int> samples(n);
+    int state = 0;
+    for (int t = 0; t < n; ++t) {
+      bits[t] = rng.nextBit() ? 1 : 0;
+      samples[t] = trellis.quantizer().index(trellis.level(bits[t], state));
+      state = trellis.nextState(bits[t], state);
+    }
+    EXPECT_EQ(decoder.decodeBlock(samples), bits) << "trial " << trial;
+  }
+}
+
+TEST(GeneralDecoder, StreamingRecoversAtHighSnr) {
+  viterbi::GeneralParams params = memoryTwoParams();
+  params.snrDb = 30.0;
+  const auto result = viterbi::simulateGeneral(params, 20000, 3);
+  EXPECT_LT(result.ber(), 1e-3);
+}
+
+TEST(GeneralDecoder, MemoryThreeTrellis) {
+  viterbi::GeneralParams params;
+  params.taps = {1.0, 0.7, 0.4, 0.2};
+  params.snrDb = 30.0;
+  params.tracebackLength = 20;
+  const viterbi::GeneralTrellis trellis(params);
+  EXPECT_EQ(trellis.numStates(), 8);
+  const auto result = viterbi::simulateGeneral(params, 20000, 11);
+  EXPECT_LT(result.ber(), 5e-3);
+}
+
+TEST(GeneralDecoder, BerDegradesWithIsiSeverity) {
+  // Heavier ISI at the same SNR is harder to equalise.
+  viterbi::GeneralParams mild;
+  mild.taps = {1.0, 0.2};
+  mild.snrDb = 8.0;
+  viterbi::GeneralParams severe;
+  severe.taps = {1.0, 0.9};
+  severe.snrDb = 8.0;
+  const auto mildRun = viterbi::simulateGeneral(mild, 100000, 4);
+  const auto severeRun = viterbi::simulateGeneral(severe, 100000, 4);
+  EXPECT_LT(mildRun.ber(), severeRun.ber());
+}
+
+TEST(GeneralDecoder, ResetReproducesStream) {
+  const viterbi::GeneralTrellis trellis(memoryTwoParams());
+  viterbi::GeneralDecoder decoder(trellis);
+  util::Xoshiro256 rng(13);
+  std::vector<int> qs(500);
+  for (auto& q : qs) {
+    q = static_cast<int>(rng.nextBounded(
+        static_cast<std::uint64_t>(trellis.params().quantLevels)));
+  }
+  std::vector<int> first;
+  for (const int q : qs) first.push_back(decoder.step(q));
+  decoder.reset();
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_EQ(decoder.step(qs[i]), first[i]);
+  }
+}
+
+}  // namespace
+}  // namespace mimostat
