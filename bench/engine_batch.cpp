@@ -1,0 +1,120 @@
+// Batched horizon sweeps vs per-call checking.
+//
+// The paper's Tables III/IV sweep R=?[I=T] over many horizons of one model;
+// Figure 2 sweeps fifteen nc<L> rewards at one horizon. Per-call checking
+// re-propagates the distribution from pi_0 for every property (sum of all
+// horizons matrix-vector passes); the engine's batcher advances ONE sweep to
+// the maximum horizon. Expected speedups: sum(T)/max(T) for a horizon sweep
+// (~5.5x for T=100..1000) and #rewards for a reward-family sweep (~15x).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dtmc/builder.hpp"
+#include "engine/engine.hpp"
+#include "mc/checker.hpp"
+#include "util/timer.hpp"
+#include "viterbi/model_convergence.hpp"
+#include "viterbi/model_reduced.hpp"
+
+namespace {
+
+using namespace mimostat;
+
+struct SweepResult {
+  double perCallSeconds = 0.0;
+  double batchedSeconds = 0.0;
+  double maxAbsDiff = 0.0;
+};
+
+SweepResult compareSweep(const dtmc::Model& model,
+                         const std::vector<std::string>& properties) {
+  SweepResult result;
+
+  // Per-call baseline: one independent check per property on a prebuilt
+  // model (the seed PerformanceAnalyzer behavior).
+  const auto build = dtmc::buildExplicit(model);
+  const mc::Checker checker(build.dtmc, model);
+  std::vector<double> perCall;
+  perCall.reserve(properties.size());
+  {
+    const util::Stopwatch timer;
+    for (const auto& property : properties) {
+      perCall.push_back(checker.check(property).value);
+    }
+    result.perCallSeconds = timer.elapsedSeconds();
+  }
+
+  // Batched: one engine request, one shared transient sweep. Warm the model
+  // cache first so the measured time is checking only.
+  engine::AnalysisEngine engine;
+  const auto built = engine.ensureBuilt(model);
+  engine::AnalysisRequest request;
+  request.model = &model;
+  request.properties = properties;
+  request.options.modelKey = built->signature;
+  {
+    const util::Stopwatch timer;
+    const auto response = engine.analyze(request);
+    result.batchedSeconds = timer.elapsedSeconds();
+    for (std::size_t i = 0; i < properties.size(); ++i) {
+      const double diff = response.results[i].value - perCall[i];
+      result.maxAbsDiff = std::max(result.maxAbsDiff, diff < 0 ? -diff : diff);
+    }
+  }
+  return result;
+}
+
+void report(const char* title, const SweepResult& result) {
+  std::printf("%-34s per-call %8.3fs   batched %8.3fs   speedup %5.1fx   "
+              "max|diff| %.1e\n",
+              title, result.perCallSeconds, result.batchedSeconds,
+              result.perCallSeconds / result.batchedSeconds,
+              result.maxAbsDiff);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Engine horizon batching vs per-call checks ===\n\n");
+
+  // Table III-style: P2 of the L=6 Viterbi decoder at T=100..1000.
+  {
+    viterbi::ViterbiParams params;  // L=6, SNR 5 dB
+    const viterbi::ReducedViterbiModel model(params);
+    std::vector<std::string> properties;
+    for (std::uint64_t horizon = 100; horizon <= 1000; horizon += 100) {
+      properties.push_back("R=? [ I=" + std::to_string(horizon) + " ]");
+    }
+    report("Table III sweep (T=100..1000):", compareSweep(model, properties));
+  }
+
+  // Table IV-style: C1 of the convergence model at T=100..1000.
+  {
+    viterbi::ViterbiParams params;
+    params.tracebackLength = 8;
+    params.snrDb = 8.0;
+    const viterbi::ConvergenceViterbiModel model(params, 12);
+    std::vector<std::string> properties;
+    for (std::uint64_t horizon = 100; horizon <= 1000; horizon += 100) {
+      properties.push_back("R=? [ I=" + std::to_string(horizon) + " ]");
+    }
+    report("Table IV sweep (T=100..1000):", compareSweep(model, properties));
+  }
+
+  // Figure 2-style: fifteen nc<L> rewards at one horizon (one sweep serves
+  // every reward structure).
+  {
+    viterbi::ViterbiParams params;
+    params.snrDb = 8.0;
+    const viterbi::ConvergenceViterbiModel model(params, 18);
+    std::vector<std::string> properties;
+    for (int L = 2; L <= 16; ++L) {
+      properties.push_back("R{\"nc" + std::to_string(L) + "\"}=? [ I=500 ]");
+    }
+    report("Figure 2 sweep (nc2..nc16, I=500):",
+           compareSweep(model, properties));
+  }
+
+  return 0;
+}

@@ -3,9 +3,15 @@
 //   T=100: 0.2373, T=300: 0.2394, T=600: 0.2397, T=1000: 0.2398.
 // The shape to verify: the value stabilises for T >> RI, so the
 // steady-state P2 can be read off as the BER.
+//
+// All horizons are one engine request: they share a single 1000-step
+// transient sweep instead of one propagation per row.
 #include <cstdio>
+#include <string>
+#include <vector>
 
-#include "core/analyzer.hpp"
+#include "engine/engine.hpp"
+#include "mc/transient.hpp"
 #include "viterbi/model_reduced.hpp"
 
 int main() {
@@ -16,30 +22,44 @@ int main() {
 
   viterbi::ViterbiParams params;  // L=6, SNR 5 dB
   const viterbi::ReducedViterbiModel model(params);
-  const core::PerformanceAnalyzer analyzer(model);
-
-  std::printf("Model: %u states, %llu transitions, RI=%u, built in %.2fs\n\n",
-              analyzer.dtmc().numStates(),
-              static_cast<unsigned long long>(analyzer.dtmc().numTransitions()),
-              analyzer.reachabilityIterations(), analyzer.buildSeconds());
 
   // Our documented quantizer widths give a much shorter mixing time than
   // the authors' (steady by T~60 vs their T~300); the small-T rows expose
   // the same transient shape their Table III shows between T=100 and 1000.
   const std::vector<std::uint64_t> horizons{5, 10, 25, 50, 100, 300, 600, 1000};
-  const auto rows = analyzer.sweepInstantaneous(horizons);
-  std::printf("%-8s %-14s %-10s\n", "T", "P2", "time(s)");
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    std::printf("%-8llu %-14.6g %-10.3f\n",
-                static_cast<unsigned long long>(horizons[i]), rows[i].value,
-                rows[i].checkSeconds);
+
+  engine::AnalysisEngine engine;
+  engine::AnalysisRequest request;
+  request.model = &model;
+  for (const auto horizon : horizons) {
+    request.properties.push_back("R=? [ I=" + std::to_string(horizon) + " ]");
+  }
+  const engine::AnalysisResponse response = engine.analyze(request);
+
+  std::printf("Model: %llu states, %llu transitions, RI=%u, built in %.2fs "
+              "(batched sweep: %.3fs total)\n\n",
+              static_cast<unsigned long long>(response.states),
+              static_cast<unsigned long long>(response.transitions),
+              response.reachabilityIterations, response.buildSeconds,
+              response.results.back().checkSeconds);
+
+  std::printf("%-8s %-14s %-10s\n", "T", "P2", "batched");
+  for (std::size_t i = 0; i < response.results.size(); ++i) {
+    std::printf("%-8llu %-14.6g %-10s\n",
+                static_cast<unsigned long long>(horizons[i]),
+                response.results[i].value,
+                response.results[i].batched ? "yes" : "no");
   }
 
-  const auto detection = analyzer.detectSteadyState(1e-10, 16, 5000);
+  const auto built = engine.ensureBuilt(model);
+  const auto reward = built->dtmc.evalReward(model, "");
+  const auto detection =
+      mc::detectRewardSteadyState(built->dtmc, reward, 1e-10, 16, 5000);
   std::printf("\nSteady state detected at T=%llu (P2 -> %.6g): %s\n",
               static_cast<unsigned long long>(detection.step),
               detection.value, detection.converged ? "yes" : "NO");
-  const double drift = rows.back().value - rows[5].value;  // T=1000 vs T=300
+  const double drift =
+      response.results.back().value - response.results[5].value;
   std::printf("Shape check: |P2(1000) - P2(300)| = %.2e (< 1e-2: %s)\n",
               drift < 0 ? -drift : drift,
               (drift < 1e-2 && drift > -1e-2) ? "yes" : "NO");

@@ -3,9 +3,13 @@
 //   T=100: 1.034e-3, T=400: ~1.04e-3, T=1000: 1.044e-3
 // plus the paper's claim that C1 is checkable within ~120 s on a model of
 // only ~61,000 states thanks to the projection onto (pm0, pm1, x0, count).
+//
+// The three horizons are one engine request sharing one transient sweep.
 #include <cstdio>
+#include <string>
+#include <vector>
 
-#include "core/analyzer.hpp"
+#include "engine/engine.hpp"
 #include "mc/steady.hpp"
 #include "viterbi/model_convergence.hpp"
 #include "viterbi/sim.hpp"
@@ -20,23 +24,30 @@ int main() {
   params.tracebackLength = 8;
   params.snrDb = 8.0;
   const viterbi::ConvergenceViterbiModel model(params, /*maxCount=*/12);
-  const core::PerformanceAnalyzer analyzer(model);
-
-  std::printf("Model: %u states, %llu transitions, RI=%u, built in %.2fs\n\n",
-              analyzer.dtmc().numStates(),
-              static_cast<unsigned long long>(analyzer.dtmc().numTransitions()),
-              analyzer.reachabilityIterations(), analyzer.buildSeconds());
 
   const std::vector<std::uint64_t> horizons{100, 400, 1000};
-  const auto rows = analyzer.sweepInstantaneous(horizons);
+  engine::AnalysisEngine engine;
+  engine::AnalysisRequest request;
+  request.model = &model;
+  for (const auto horizon : horizons) {
+    request.properties.push_back("R=? [ I=" + std::to_string(horizon) + " ]");
+  }
+  const engine::AnalysisResponse response = engine.analyze(request);
+
+  std::printf("Model: %llu states, %llu transitions, RI=%u, built in %.2fs\n\n",
+              static_cast<unsigned long long>(response.states),
+              static_cast<unsigned long long>(response.transitions),
+              response.reachabilityIterations, response.buildSeconds);
+
   std::printf("%-8s %-14s %-10s\n", "T", "C1", "time(s)");
-  for (std::size_t i = 0; i < rows.size(); ++i) {
+  for (std::size_t i = 0; i < response.results.size(); ++i) {
     std::printf("%-8llu %-14.6g %-10.3f\n",
-                static_cast<unsigned long long>(horizons[i]), rows[i].value,
-                rows[i].checkSeconds);
+                static_cast<unsigned long long>(horizons[i]),
+                response.results[i].value, response.results[i].checkSeconds);
   }
 
-  const auto structure = mc::analyzeStructure(analyzer.dtmc());
+  const auto built = engine.ensureBuilt(model);
+  const auto structure = mc::analyzeStructure(built->dtmc);
   std::printf("\nChain structure: %u SCCs, %u recurrent class(es) — unique "
               "recurrent class, steady state guaranteed: %s\n",
               structure.numSccs, structure.numBottomSccs,
@@ -48,6 +59,6 @@ int main() {
   std::printf("Simulation cross-check (2e6 steps): C1_sim=%.3e "
               "[%.3e, %.3e], model inside: %s\n",
               sim.nonConvergent.estimate(), interval.low, interval.high,
-              interval.contains(rows.back().value) ? "yes" : "NO");
+              interval.contains(response.results.back().value) ? "yes" : "NO");
   return 0;
 }

@@ -8,11 +8,14 @@
 // to R times before being dropped. We ask for the steady-state drop rate
 // (a P2-style metric), the probability of a drop-free window (P1-style),
 // and the expected cycles until the first drop (an R=?[F ...] query).
+//
+// The three designs (single lane, timed variant, 4-lane composition) are
+// three AnalysisRequests answered concurrently by one engine.
+#include <cmath>
 #include <cstdio>
 
-#include "core/analyzer.hpp"
 #include "dtmc/compose.hpp"
-#include "mc/checker.hpp"
+#include "engine/engine.hpp"
 #include "pml/model.hpp"
 
 namespace {
@@ -42,29 +45,8 @@ endrewards
 label "drop" = dropped=1;
 )";
 
-}  // namespace
-
-int main() {
-  using namespace mimostat;
-
-  const pml::PmlModel model(kRetryBuffer);
-  const core::PerformanceAnalyzer analyzer(model);
-
-  std::printf("Retry-buffer model from PML source: %u states, RI=%u\n\n",
-              analyzer.dtmc().numStates(), analyzer.reachabilityIterations());
-
-  const auto dropRate = analyzer.check("R=? [ I=200 ]");
-  const auto window = analyzer.check("P=? [ G<=100 !\"drop\" ]");
-  std::printf("Steady-state drop rate (P2-style):        %.6g\n",
-              dropRate.value);
-  std::printf("P(no drop in a 100-cycle window):         %.6g\n",
-              window.value);
-
-  // Expected cycles until the first drop, as a reachability reward with a
-  // unit-per-cycle reward structure added on the C++ side via a tiny
-  // wrapper model? No need — reuse the default reward trick: count cycles
-  // by rewarding every state and stopping at the first drop.
-  const pml::PmlModel timed(R"(
+// Same design with a unit-per-cycle reward, for "cycles until first drop".
+constexpr const char* kTimedRetryBuffer = R"(
 dtmc
 const double pErr = 0.2;
 const int R = 3;
@@ -80,26 +62,48 @@ rewards
   true : 1;
 endrewards
 label "drop" = dropped=1;
-)");
-  const core::PerformanceAnalyzer timedAnalyzer(timed);
-  const auto meanTime = timedAnalyzer.check("R=? [ F \"drop\" ]");
+)";
+
+}  // namespace
+
+int main() {
+  using namespace mimostat;
+
+  const pml::PmlModel model(kRetryBuffer);
+  const pml::PmlModel timed(kTimedRetryBuffer);
+  const pml::PmlModel lane(kRetryBuffer);
+  const dtmc::SynchronousProduct fourLanes({&lane, &lane, &lane, &lane});
+
+  engine::AnalysisEngine engine;
+  std::vector<engine::AnalysisRequest> requests(3);
+  requests[0].model = &model;
+  requests[0].properties = {"R=? [ I=200 ]", "P=? [ G<=100 !\"drop\" ]"};
+  requests[1].model = &timed;
+  requests[1].properties = {"R=? [ F \"drop\" ]"};
+  requests[2].model = &fourLanes;
+  requests[2].properties = {"R=? [ I=200 ]"};
+  const auto responses = engine.analyzeAll(requests);
+
+  std::printf("Retry-buffer model from PML source: %llu states, RI=%u\n\n",
+              static_cast<unsigned long long>(responses[0].states),
+              responses[0].reachabilityIterations);
+
+  const double dropRate = responses[0].results[0].value;
+  std::printf("Steady-state drop rate (P2-style):        %.6g\n", dropRate);
+  std::printf("P(no drop in a 100-cycle window):         %.6g\n",
+              responses[0].results[1].value);
   std::printf("Expected cycles until the first drop:     %.4g\n\n",
-              meanTime.value);
+              responses[1].results[0].value);
 
   // Scale out: four independent lanes clocked together; the aggregate
   // reward is the expected number of lanes dropping per cycle.
-  const pml::PmlModel lane(kRetryBuffer);
-  const dtmc::SynchronousProduct fourLanes({&lane, &lane, &lane, &lane});
-  const core::PerformanceAnalyzer laneAnalyzer(fourLanes);
-  const auto aggregate = laneAnalyzer.check("R=? [ I=200 ]");
-  std::printf("4-lane composition: %u states; expected drops/cycle %.6g "
+  const double aggregate = responses[2].results[0].value;
+  std::printf("4-lane composition: %llu states; expected drops/cycle %.6g "
               "(= 4x single lane: %s)\n",
-              laneAnalyzer.dtmc().numStates(), aggregate.value,
-              std::abs(aggregate.value - 4.0 * dropRate.value) < 1e-9
-                  ? "yes"
-                  : "NO");
+              static_cast<unsigned long long>(responses[2].states), aggregate,
+              std::abs(aggregate - 4.0 * dropRate) < 1e-9 ? "yes" : "NO");
   std::printf("\nThe whole pipeline — parser, builder, reductions, pCTL "
-              "checker — ran on a design\ndefined entirely in this file's "
-              "string literal.\n");
+              "checker, engine — ran on a design\ndefined entirely in this "
+              "file's string literals.\n");
   return 0;
 }

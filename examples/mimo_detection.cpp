@@ -3,8 +3,8 @@
 // read the BER off the quotient.
 #include <cstdio>
 
-#include "core/analyzer.hpp"
 #include "dtmc/builder.hpp"
+#include "engine/engine.hpp"
 #include "lump/symmetry.hpp"
 #include "mimo/model.hpp"
 #include "mimo/sim.hpp"
@@ -33,8 +33,11 @@ int main() {
   std::printf("Block-permutation symmetry verified: %s\n",
               reduced.verifySymmetry({"error"}, 500, 9) ? "yes" : "NO");
 
-  const core::PerformanceAnalyzer analyzer(reduced);
-  const double ber = analyzer.check("R=? [ I=10 ]").value;
+  engine::AnalysisRequest request;
+  request.model = &reduced;
+  request.properties = {"R=? [ I=10 ]"};
+  const double ber =
+      engine::defaultEngine().analyze(request).results[0].value;
   std::printf("\nModel-checked BER: %.6g\n", ber);
 
   const auto analog = mimo::simulateAnalog(params, 500'000, 3);

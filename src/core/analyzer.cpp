@@ -1,50 +1,75 @@
 #include "core/analyzer.hpp"
 
+#include <stdexcept>
+
 #include "mc/transient.hpp"
-#include "pctl/parser.hpp"
 
 namespace mimostat::core {
 
 PerformanceAnalyzer::PerformanceAnalyzer(const dtmc::Model& model,
                                          dtmc::BuildOptions buildOptions)
-    : model_(model), build_(dtmc::buildExplicit(model, buildOptions)) {
-  checker_ = std::make_unique<mc::Checker>(build_.dtmc, model_);
+    : model_(model),
+      buildOptions_(buildOptions),
+      built_(engine::defaultEngine().ensureBuilt(model, buildOptions)) {}
+
+GuaranteeReport PerformanceAnalyzer::toReport(
+    const engine::AnalysisResult& result) const {
+  if (!result.ok()) throw std::runtime_error(result.error);
+  GuaranteeReport report;
+  report.property = result.property;
+  report.value = result.value;
+  report.satisfied = result.satisfied;
+  report.states = built_->dtmc.numStates();
+  report.transitions = built_->dtmc.numTransitions();
+  report.reachabilityIterations = built_->reachabilityIterations;
+  report.buildSeconds = built_->buildSeconds;
+  report.checkSeconds = result.checkSeconds;
+  return report;
 }
 
 GuaranteeReport PerformanceAnalyzer::check(std::string_view property) const {
-  const mc::CheckResult result = checker_->check(property);
-  GuaranteeReport report;
-  report.property = std::string(property);
-  report.value = result.value;
-  report.satisfied = result.satisfied;
-  report.states = build_.dtmc.numStates();
-  report.transitions = build_.dtmc.numTransitions();
-  report.reachabilityIterations = build_.reachabilityIterations;
-  report.buildSeconds = build_.buildSeconds;
-  report.checkSeconds = result.checkSeconds;
-  return report;
+  return checkAll({std::string(property)}).front();
+}
+
+std::vector<GuaranteeReport> PerformanceAnalyzer::checkAll(
+    const std::vector<std::string>& properties) const {
+  engine::AnalysisRequest request;
+  request.model = &model_;
+  request.properties = properties;
+  request.options.backend = engine::Backend::kExact;
+  request.options.modelKey = built_->signature;
+  request.options.build = buildOptions_;
+  const engine::AnalysisResponse response =
+      engine::defaultEngine().analyze(request);
+
+  std::vector<GuaranteeReport> reports;
+  reports.reserve(response.results.size());
+  for (const engine::AnalysisResult& result : response.results) {
+    reports.push_back(toReport(result));
+  }
+  return reports;
 }
 
 std::vector<GuaranteeReport> PerformanceAnalyzer::sweepInstantaneous(
     const std::vector<std::uint64_t>& horizons,
     const std::string& rewardName) const {
-  std::vector<GuaranteeReport> reports;
-  reports.reserve(horizons.size());
+  std::vector<std::string> properties;
+  properties.reserve(horizons.size());
   for (const std::uint64_t horizon : horizons) {
     std::string property = "R=? [ I=" + std::to_string(horizon) + " ]";
     if (!rewardName.empty()) {
       property = "R{\"" + rewardName + "\"}=? [ I=" + std::to_string(horizon) +
                  " ]";
     }
-    reports.push_back(check(property));
+    properties.push_back(std::move(property));
   }
-  return reports;
+  return checkAll(properties);
 }
 
 mc::SteadyDetection PerformanceAnalyzer::detectSteadyState(
     double tolerance, std::uint64_t window, std::uint64_t maxSteps) const {
-  const std::vector<double> reward = build_.dtmc.evalReward(model_, "");
-  return mc::detectRewardSteadyState(build_.dtmc, reward, tolerance, window,
+  const std::vector<double> reward = built_->dtmc.evalReward(model_, "");
+  return mc::detectRewardSteadyState(built_->dtmc, reward, tolerance, window,
                                      maxSteps);
 }
 
@@ -52,7 +77,7 @@ PerformanceAnalyzer::CrossCheck PerformanceAnalyzer::crossCheck(
     std::string_view property, const sim::ErrorSource& source,
     std::uint64_t steps) const {
   CrossCheck result;
-  result.modelChecked = checker_->check(property).value;
+  result.modelChecked = check(property).value;
   sim::BerRunOptions options;
   options.maxSteps = steps;
   result.simulation = sim::runBer(source, options);

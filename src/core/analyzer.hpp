@@ -1,10 +1,11 @@
-// PerformanceAnalyzer — the paper's methodology as a facade.
+// PerformanceAnalyzer — compatibility shim over engine::AnalysisEngine.
 //
-// Given any dtmc::Model it (1) builds the reachable DTMC once, (2) checks
-// pCTL performance properties against it, (3) reports the model statistics
-// the paper tabulates, (4) can sweep R=?[I=T] over T to exhibit steady
-// state, and (5) can cross-check a model-checked value against a
-// Monte-Carlo error source with confidence intervals.
+// The original facade API (one model, eager build, per-call property checks)
+// is preserved, but every call now routes through the process-wide analysis
+// engine: the DTMC build is cached under the model's structural signature,
+// property parses are memoized, and sweepInstantaneous() submits one batched
+// request whose horizons share a single transient sweep. New code should use
+// engine::AnalysisEngine directly.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +16,7 @@
 
 #include "core/report.hpp"
 #include "dtmc/builder.hpp"
+#include "engine/engine.hpp"
 #include "mc/checker.hpp"
 #include "mc/transient.hpp"
 #include "sim/ber_simulator.hpp"
@@ -23,20 +25,30 @@ namespace mimostat::core {
 
 class PerformanceAnalyzer {
  public:
-  /// Builds the explicit DTMC eagerly. The model must outlive the analyzer.
+  /// Builds the explicit DTMC eagerly (served from the engine's model cache
+  /// when a structurally identical design was analyzed before). The model
+  /// must outlive the analyzer.
   explicit PerformanceAnalyzer(const dtmc::Model& model,
                                dtmc::BuildOptions buildOptions = {});
 
-  [[nodiscard]] const dtmc::ExplicitDtmc& dtmc() const { return build_.dtmc; }
+  [[nodiscard]] const dtmc::ExplicitDtmc& dtmc() const { return built_->dtmc; }
   [[nodiscard]] std::uint32_t reachabilityIterations() const {
-    return build_.reachabilityIterations;
+    return built_->reachabilityIterations;
   }
-  [[nodiscard]] double buildSeconds() const { return build_.buildSeconds; }
+  [[nodiscard]] double buildSeconds() const { return built_->buildSeconds; }
+  /// The engine cache key of the underlying model (RequestOptions::modelKey).
+  [[nodiscard]] std::uint64_t modelKey() const { return built_->signature; }
 
   /// Check a property and package the paper-style report row.
   [[nodiscard]] GuaranteeReport check(std::string_view property) const;
 
-  /// R=?[I=T] for each requested horizon (Tables III/IV/V rows).
+  /// Check many properties as one engine request (horizon-bounded reward
+  /// queries share a single sweep).
+  [[nodiscard]] std::vector<GuaranteeReport> checkAll(
+      const std::vector<std::string>& properties) const;
+
+  /// R=?[I=T] for each requested horizon (Tables III/IV/V rows), batched
+  /// into one transient sweep.
   [[nodiscard]] std::vector<GuaranteeReport> sweepInstantaneous(
       const std::vector<std::uint64_t>& horizons,
       const std::string& rewardName = {}) const;
@@ -59,9 +71,14 @@ class PerformanceAnalyzer {
                                       std::uint64_t steps) const;
 
  private:
+  [[nodiscard]] GuaranteeReport toReport(
+      const engine::AnalysisResult& result) const;
+
   const dtmc::Model& model_;
-  dtmc::BuildResult build_;
-  std::unique_ptr<mc::Checker> checker_;
+  /// Kept so engine requests (and any post-eviction rebuild) use the same
+  /// options the constructor built with.
+  dtmc::BuildOptions buildOptions_;
+  std::shared_ptr<const engine::BuiltModel> built_;
 };
 
 }  // namespace mimostat::core

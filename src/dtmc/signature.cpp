@@ -1,0 +1,81 @@
+#include "dtmc/signature.hpp"
+
+#include <cstring>
+#include <deque>
+#include <unordered_set>
+
+#include "dtmc/state.hpp"
+#include "util/hash.hpp"
+
+namespace mimostat::dtmc {
+
+namespace {
+
+std::uint64_t hashBits(std::uint64_t h, double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return util::hashCombine(h, util::mix64(bits));
+}
+
+std::uint64_t hashState(std::uint64_t h, const State& s) {
+  return util::hashCombine(
+      h, util::fnv1a(s.data(), s.size() * sizeof(std::int32_t)));
+}
+
+}  // namespace
+
+ModelSignature modelSignature(const Model& model,
+                              const SignatureOptions& options) {
+  ModelSignature sig;
+  std::uint64_t h = 0xA11A5E5ULL;
+
+  const VarLayout layout = model.layout();
+  for (const VarSpec& var : layout.vars()) {
+    h = util::hashCombine(h, util::fnv1a(var.name.data(), var.name.size()));
+    h = util::hashCombine(h, util::mix64(static_cast<std::uint64_t>(
+                                 static_cast<std::uint32_t>(var.lo)) |
+                             (static_cast<std::uint64_t>(
+                                  static_cast<std::uint32_t>(var.hi))
+                              << 32)));
+  }
+
+  // BFS in discovery order; the hash stream is a function of the model
+  // alone (no pointers, no container iteration order), so the signature is
+  // stable across runs and processes.
+  std::unordered_set<State, util::VecI32Hash> visited;
+  std::deque<State> frontier;
+  for (const State& init : model.initialStates()) {
+    h = hashState(h, init);
+    if (visited.insert(init).second) frontier.push_back(init);
+  }
+
+  std::vector<Transition> out;
+  while (!frontier.empty()) {
+    const State current = std::move(frontier.front());
+    frontier.pop_front();
+    out.clear();
+    model.transitions(current, out);
+    for (const Transition& t : out) {
+      h = hashBits(h, t.prob);
+      h = hashState(h, t.target);
+      ++sig.transitions;
+      if (visited.insert(t.target).second) {
+        if (visited.size() > options.maxStates) {
+          // Truncated probe: fold the visit cap in so a truncated signature
+          // can never alias an exact one with the same prefix.
+          sig.states = visited.size();
+          sig.hash = util::hashCombine(h, util::mix64(~options.maxStates));
+          return sig;
+        }
+        frontier.push_back(t.target);
+      }
+    }
+  }
+
+  sig.exact = true;
+  sig.states = visited.size();
+  sig.hash = h;
+  return sig;
+}
+
+}  // namespace mimostat::dtmc

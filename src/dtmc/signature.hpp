@@ -1,0 +1,42 @@
+// Structural model signatures for build caching.
+//
+// A signature identifies a dtmc::Model's *transition structure* (variable
+// layout, initial states, reachable transition relation) by a deterministic
+// BFS probe, so an engine can reuse an already-built ExplicitDtmc for a
+// structurally identical model. Atoms and rewards are deliberately NOT part
+// of the signature: the explicit DTMC stores only structure, and label /
+// reward vectors are always re-evaluated through the requesting model.
+//
+// The probe doubles as a capped reachable-state count (the paper's
+// "original model" columns count states the same way): when `exact` is
+// true the probe visited the whole reachable set and `states` is its size.
+#pragma once
+
+#include <cstdint>
+
+#include "dtmc/model.hpp"
+
+namespace mimostat::dtmc {
+
+struct SignatureOptions {
+  /// Abort the probe (exact=false) past this many visited states.
+  std::uint64_t maxStates = 1'000'000;
+};
+
+struct ModelSignature {
+  /// Hash over layout + initial states + probed transition relation.
+  std::uint64_t hash = 0;
+  /// The probe covered the entire reachable set.
+  bool exact = false;
+  /// States visited (the reachable count when exact).
+  std::uint64_t states = 0;
+  /// Transitions hashed during the probe.
+  std::uint64_t transitions = 0;
+};
+
+/// Deterministic structural signature of a model. Never throws on large
+/// models — the probe truncates and reports exact=false instead.
+[[nodiscard]] ModelSignature modelSignature(const Model& model,
+                                            const SignatureOptions& options = {});
+
+}  // namespace mimostat::dtmc

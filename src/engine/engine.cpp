@@ -1,0 +1,463 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+#include <utility>
+
+#include <cstring>
+
+#include "dtmc/signature.hpp"
+#include "mc/checker.hpp"
+#include "mc/transient.hpp"
+#include "pctl/parser.hpp"
+#include "smc/smc.hpp"
+#include "stats/gaussian.hpp"
+#include "util/hash.hpp"
+#include "util/timer.hpp"
+
+namespace mimostat::engine {
+
+namespace {
+
+/// One parsed property slot of a request.
+struct ParsedSlot {
+  std::optional<pctl::Property> property;
+  std::string parseError;
+};
+
+bool isHorizonBatchable(const pctl::Property& p) {
+  if (p.kind != pctl::Property::Kind::kReward) return false;
+  return p.reward.kind == pctl::RewardQuery::Kind::kInstantaneous ||
+         p.reward.kind == pctl::RewardQuery::Kind::kCumulative;
+}
+
+void applyRewardBound(const pctl::RewardQuery& rq, AnalysisResult& result) {
+  if (!rq.isQuery) {
+    result.satisfied = pctl::evalCmp(rq.boundOp, result.value, rq.boundValue);
+  }
+}
+
+stats::Interval meanInterval95(const stats::RunningStats& stats) {
+  const double z = stats::normalInvCdf(0.975);
+  const double half = z * stats.standardError();
+  return {stats.mean() - half, stats.mean() + half};
+}
+
+/// Cache keys fold build options that change the built matrix (probFloor
+/// drops and renormalizes transitions) into the structural signature, so
+/// requests with different build options never share an entry.
+std::uint64_t cacheKeyFor(std::uint64_t signatureHash,
+                          const dtmc::BuildOptions& buildOptions) {
+  if (buildOptions.probFloor == 0.0) return signatureHash;
+  std::uint64_t floorBits = 0;
+  std::memcpy(&floorBits, &buildOptions.probFloor, sizeof(floorBits));
+  return util::hashCombine(signatureHash, util::mix64(floorBits));
+}
+
+}  // namespace
+
+const char* backendName(Backend backend) {
+  switch (backend) {
+    case Backend::kAuto:
+      return "auto";
+    case Backend::kExact:
+      return "exact";
+    case Backend::kSampling:
+      return "sampling";
+  }
+  return "?";
+}
+
+AnalysisEngine::AnalysisEngine(EngineOptions options)
+    : options_(options), pool_(options.threads) {}
+
+AnalysisEngine::~AnalysisEngine() = default;
+
+pctl::Property AnalysisEngine::parsedProperty(const std::string& text) {
+  {
+    const std::lock_guard<std::mutex> lock(parseMutex_);
+    const auto it = parseCache_.find(text);
+    if (it != parseCache_.end()) return it->second;
+  }
+  pctl::Property property = pctl::parseProperty(text);
+  const std::lock_guard<std::mutex> lock(parseMutex_);
+  return parseCache_.emplace(text, std::move(property)).first->second;
+}
+
+std::uint64_t AnalysisEngine::buildCount() const {
+  const std::lock_guard<std::mutex> lock(cacheMutex_);
+  return buildCount_;
+}
+
+std::uint64_t AnalysisEngine::cacheHitCount() const {
+  const std::lock_guard<std::mutex> lock(cacheMutex_);
+  return cacheHits_;
+}
+
+std::size_t AnalysisEngine::cachedModelCount() const {
+  const std::lock_guard<std::mutex> lock(cacheMutex_);
+  return modelCache_.size();
+}
+
+void AnalysisEngine::clearModelCache() {
+  const std::lock_guard<std::mutex> lock(cacheMutex_);
+  modelCache_.clear();
+}
+
+void AnalysisEngine::evictLocked() {
+  while (modelCache_.size() > options_.maxCachedModels) {
+    auto victim = modelCache_.end();
+    for (auto it = modelCache_.begin(); it != modelCache_.end(); ++it) {
+      const bool ready = it->second.future.wait_for(std::chrono::seconds(0)) ==
+                         std::future_status::ready;
+      if (!ready) continue;  // never evict an in-flight build
+      if (victim == modelCache_.end() ||
+          it->second.lastUsed < victim->second.lastUsed) {
+        victim = it;
+      }
+    }
+    if (victim == modelCache_.end()) return;
+    modelCache_.erase(victim);
+  }
+}
+
+std::shared_ptr<const BuiltModel> AnalysisEngine::ensureBuilt(
+    const dtmc::Model& model, const dtmc::BuildOptions& buildOptions,
+    std::optional<std::uint64_t> key, bool* cacheHit) {
+  if (cacheHit != nullptr) *cacheHit = false;
+  if (!key) {
+    dtmc::SignatureOptions sigOptions;
+    sigOptions.maxStates = buildOptions.maxStates;
+    key = cacheKeyFor(dtmc::modelSignature(model, sigOptions).hash,
+                      buildOptions);
+  }
+
+  std::promise<std::shared_ptr<const BuiltModel>> promise;
+  {
+    std::unique_lock<std::mutex> lock(cacheMutex_);
+    const auto it = modelCache_.find(*key);
+    if (it != modelCache_.end()) {
+      ++cacheHits_;
+      it->second.lastUsed = ++useCounter_;
+      auto future = it->second.future;
+      lock.unlock();
+      if (cacheHit != nullptr) *cacheHit = true;
+      return future.get();  // waits for an in-flight build; rethrows failures
+    }
+    ++buildCount_;
+    CacheSlot slot;
+    slot.future = promise.get_future().share();
+    slot.lastUsed = ++useCounter_;
+    modelCache_.emplace(*key, std::move(slot));
+  }
+
+  try {
+    dtmc::BuildResult build = dtmc::buildExplicit(model, buildOptions);
+    auto built = std::make_shared<BuiltModel>();
+    built->dtmc = std::move(build.dtmc);
+    built->reachabilityIterations = build.reachabilityIterations;
+    built->buildSeconds = build.buildSeconds;
+    built->signature = *key;
+    promise.set_value(built);
+    const std::lock_guard<std::mutex> lock(cacheMutex_);
+    evictLocked();
+    return built;
+  } catch (...) {
+    // Drop the failed slot so a later request can retry, then propagate to
+    // this caller and to any waiter blocked on the shared future.
+    {
+      const std::lock_guard<std::mutex> lock(cacheMutex_);
+      modelCache_.erase(*key);
+    }
+    promise.set_exception(std::current_exception());
+    throw;
+  }
+}
+
+AnalysisResponse AnalysisEngine::analyze(const AnalysisRequest& request) {
+  if (request.model == nullptr) {
+    throw std::invalid_argument("AnalysisRequest: model is null");
+  }
+  const RequestOptions& options = request.options;
+
+  // Resolve the cache key and the backend.
+  std::uint64_t key = 0;
+  Backend backend = options.backend;
+  if (options.modelKey) {
+    key = *options.modelKey;
+    if (backend == Backend::kAuto) {
+      // A caller-supplied key implies a model the caller expects to be
+      // buildable (typically a key echoed from a previous exact response).
+      backend = Backend::kExact;
+    }
+  } else {
+    // The sampling backend needs the key only as a response label, so its
+    // probe is capped at the (small) state budget rather than the build
+    // limit — explicitly sampled models are typically huge.
+    dtmc::SignatureOptions sigOptions;
+    sigOptions.maxStates = backend == Backend::kExact
+                               ? options.build.maxStates
+                               : options.stateBudget + 1;
+    const dtmc::ModelSignature sig =
+        dtmc::modelSignature(*request.model, sigOptions);
+    key = cacheKeyFor(sig.hash, options.build);
+    if (backend == Backend::kAuto) {
+      bool cached = false;
+      {
+        const std::lock_guard<std::mutex> lock(cacheMutex_);
+        cached = modelCache_.find(key) != modelCache_.end();
+      }
+      backend = (cached || (sig.exact && sig.states <= options.stateBudget))
+                    ? Backend::kExact
+                    : Backend::kSampling;
+    }
+  }
+
+  return backend == Backend::kExact ? analyzeExact(request, key)
+                                    : analyzeSampling(request, key);
+}
+
+AnalysisResponse AnalysisEngine::analyzeExact(const AnalysisRequest& request,
+                                              std::uint64_t key) {
+  const util::Stopwatch total;
+  AnalysisResponse response;
+  response.backend = Backend::kExact;
+  response.modelKey = key;
+  response.results.resize(request.properties.size());
+
+  // Parse every property up front (memoized); parse failures become
+  // per-property errors, not request failures.
+  std::vector<ParsedSlot> parsed(request.properties.size());
+  for (std::size_t i = 0; i < request.properties.size(); ++i) {
+    response.results[i].property = request.properties[i];
+    try {
+      parsed[i].property = parsedProperty(request.properties[i]);
+    } catch (const std::exception& e) {
+      parsed[i].parseError = e.what();
+      response.results[i].error = e.what();
+    }
+  }
+
+  bool cacheHit = false;
+  const std::shared_ptr<const BuiltModel> built =
+      ensureBuilt(*request.model, request.options.build, key, &cacheHit);
+  response.cacheHit = cacheHit;
+  response.states = built->dtmc.numStates();
+  response.transitions = built->dtmc.numTransitions();
+  response.reachabilityIterations = built->reachabilityIterations;
+  response.buildSeconds = built->buildSeconds;
+
+  const mc::Checker checker(built->dtmc, *request.model,
+                            request.options.check);
+
+  // Partition into the batched horizon group and the singles.
+  std::vector<std::size_t> batchGroup;
+  std::vector<std::size_t> singles;
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    if (!parsed[i].property) continue;
+    if (request.options.batchHorizons && isHorizonBatchable(*parsed[i].property)) {
+      batchGroup.push_back(i);
+    } else {
+      singles.push_back(i);
+    }
+  }
+
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(singles.size() + 1);
+  for (const std::size_t i : singles) {
+    tasks.push_back([&, i] {
+      AnalysisResult& result = response.results[i];
+      try {
+        const mc::CheckResult check = checker.check(*parsed[i].property);
+        result.value = check.value;
+        result.satisfied = check.satisfied;
+        result.checkSeconds = check.checkSeconds;
+      } catch (const std::exception& e) {
+        result.error = e.what();
+      }
+    });
+  }
+
+  if (!batchGroup.empty()) {
+    tasks.push_back([&] {
+      const util::Stopwatch sweepTimer;
+      try {
+        // One forward sweep serves every I=/C<= property: reward vectors are
+        // evaluated once per distinct reward structure, instantaneous values
+        // are sampled when the sweep passes their horizon, and cumulative
+        // accumulators add the per-step contribution in the same t-ascending
+        // order as a dedicated per-call sweep — so values are bit-identical.
+        std::vector<std::string> rewardNames;
+        std::vector<std::vector<double>> rewards;
+        std::vector<std::size_t> rewardIndex(batchGroup.size());
+        for (std::size_t g = 0; g < batchGroup.size(); ++g) {
+          const auto& rq = parsed[batchGroup[g]].property->reward;
+          const auto found = std::find(rewardNames.begin(), rewardNames.end(),
+                                       rq.rewardName);
+          if (found == rewardNames.end()) {
+            rewardNames.push_back(rq.rewardName);
+            rewards.push_back(
+                built->dtmc.evalReward(*request.model, rq.rewardName));
+            rewardIndex[g] = rewardNames.size() - 1;
+          } else {
+            rewardIndex[g] =
+                static_cast<std::size_t>(found - rewardNames.begin());
+          }
+        }
+
+        std::uint64_t lastStep = 0;
+        std::vector<double> cumulative(batchGroup.size(), 0.0);
+        for (std::size_t g = 0; g < batchGroup.size(); ++g) {
+          const auto& rq = parsed[batchGroup[g]].property->reward;
+          if (rq.kind == pctl::RewardQuery::Kind::kInstantaneous) {
+            lastStep = std::max(lastStep, rq.bound);
+          } else if (rq.bound > 0) {
+            lastStep = std::max(lastStep, rq.bound - 1);
+          }
+        }
+
+        mc::TransientSweep sweep(built->dtmc);
+        // pi_t . r is computed at most once per distinct reward structure
+        // per step, shared by every property that needs it at that step.
+        std::vector<double> stepDot(rewards.size(), 0.0);
+        std::vector<char> stepDotValid(rewards.size(), 0);
+        const auto dotFor = [&](std::size_t r) {
+          if (!stepDotValid[r]) {
+            stepDot[r] = sweep.expectedReward(rewards[r]);
+            stepDotValid[r] = 1;
+          }
+          return stepDot[r];
+        };
+        for (std::uint64_t t = 0;; ++t) {
+          std::fill(stepDotValid.begin(), stepDotValid.end(), 0);
+          for (std::size_t g = 0; g < batchGroup.size(); ++g) {
+            const auto& rq = parsed[batchGroup[g]].property->reward;
+            if (rq.kind == pctl::RewardQuery::Kind::kInstantaneous) {
+              if (rq.bound == t) {
+                response.results[batchGroup[g]].value = dotFor(rewardIndex[g]);
+              }
+            } else if (t < rq.bound) {
+              cumulative[g] += dotFor(rewardIndex[g]);
+            }
+          }
+          if (t == lastStep) break;
+          sweep.advance();
+        }
+
+        const double seconds = sweepTimer.elapsedSeconds();
+        for (std::size_t g = 0; g < batchGroup.size(); ++g) {
+          AnalysisResult& result = response.results[batchGroup[g]];
+          const auto& rq = parsed[batchGroup[g]].property->reward;
+          if (rq.kind == pctl::RewardQuery::Kind::kCumulative) {
+            result.value = cumulative[g];
+          }
+          applyRewardBound(rq, result);
+          result.batched = true;
+          result.checkSeconds = seconds;
+        }
+      } catch (const std::exception& e) {
+        for (const std::size_t i : batchGroup) {
+          if (response.results[i].error.empty()) {
+            response.results[i].error = e.what();
+          }
+        }
+      }
+    });
+  }
+
+  pool_.run(std::move(tasks));
+  response.totalSeconds = total.elapsedSeconds();
+  return response;
+}
+
+AnalysisResponse AnalysisEngine::analyzeSampling(const AnalysisRequest& request,
+                                                 std::uint64_t key) {
+  const util::Stopwatch total;
+  AnalysisResponse response;
+  response.backend = Backend::kSampling;
+  response.modelKey = key;
+  response.results.resize(request.properties.size());
+
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(request.properties.size());
+  for (std::size_t i = 0; i < request.properties.size(); ++i) {
+    response.results[i].property = request.properties[i];
+    tasks.push_back([&, i] {
+      AnalysisResult& result = response.results[i];
+      const util::Stopwatch timer;
+      try {
+        const pctl::Property property =
+            parsedProperty(request.properties[i]);
+        if (property.kind == pctl::Property::Kind::kProb) {
+          const smc::SmcEstimate estimate = smc::estimatePathProbability(
+              *request.model, property.prob.path, request.options.smc);
+          result.value = estimate.estimate();
+          result.interval95 = estimate.satisfied.wilson(0.95);
+          result.samples = estimate.satisfied.trials();
+          if (!property.prob.isQuery) {
+            result.satisfied = pctl::evalCmp(
+                property.prob.boundOp, result.value, property.prob.boundValue);
+          }
+        } else if (property.reward.kind ==
+                   pctl::RewardQuery::Kind::kInstantaneous) {
+          const stats::RunningStats stats = smc::estimateInstantaneousReward(
+              *request.model, property.reward.bound,
+              property.reward.rewardName, request.options.smc);
+          result.value = stats.mean();
+          result.interval95 = meanInterval95(stats);
+          result.samples = stats.count();
+          applyRewardBound(property.reward, result);
+        } else {
+          result.error =
+              "property requires the exact backend (only bounded P-formulas "
+              "and R=?[I=T] are estimable by sampling)";
+        }
+      } catch (const std::exception& e) {
+        result.error = e.what();
+      }
+      result.checkSeconds = timer.elapsedSeconds();
+    });
+  }
+
+  pool_.run(std::move(tasks));
+  response.totalSeconds = total.elapsedSeconds();
+  return response;
+}
+
+std::vector<AnalysisResponse> AnalysisEngine::analyzeAll(
+    const std::vector<AnalysisRequest>& requests) {
+  std::vector<AnalysisResponse> responses(requests.size());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    tasks.push_back([&, i] {
+      // A failing request must not take its siblings' responses down with
+      // it: capture the failure per-response instead of rethrowing.
+      try {
+        responses[i] = analyze(requests[i]);
+      } catch (const std::exception& e) {
+        responses[i] = AnalysisResponse{};
+        responses[i].backend = requests[i].options.backend;
+        responses[i].error = e.what();
+      }
+    });
+  }
+  pool_.run(std::move(tasks));
+  return responses;
+}
+
+std::future<AnalysisResponse> AnalysisEngine::submit(AnalysisRequest request) {
+  auto task = std::make_shared<std::packaged_task<AnalysisResponse()>>(
+      [this, request = std::move(request)] { return analyze(request); });
+  std::future<AnalysisResponse> future = task->get_future();
+  pool_.post([task] { (*task)(); });
+  return future;
+}
+
+AnalysisEngine& defaultEngine() {
+  static AnalysisEngine engine;
+  return engine;
+}
+
+}  // namespace mimostat::engine

@@ -1,0 +1,136 @@
+// AnalysisEngine — batched, cached, multi-backend guarantee checking.
+//
+// The paper's workflow is "build a DTMC once, then check many pCTL
+// properties against it" (Tables I-V each sweep properties and horizons over
+// one design). The engine makes that workflow first-class:
+//
+//   1. Model cache: built ExplicitDtmcs are keyed by a structural model
+//      signature (dtmc::modelSignature), so repeated requests against the
+//      same design skip the BFS build. Cached DTMCs store transition
+//      structure only; atoms/rewards always re-resolve through the
+//      requesting model.
+//   2. Horizon batching: all R=?[I=T] / R=?[C<=T] properties of a request
+//      share ONE forward transient sweep to the maximum horizon
+//      (mc::TransientSweep) instead of one sweep each. Batched values are
+//      bit-identical to per-call checking.
+//   3. Concurrency: independent requests (analyzeAll/submit) and the
+//      property groups within a request run on a shared thread pool;
+//      results keep deterministic request/property order.
+//   4. Backend selection: exact mc::Checker, or smc:: sampling — chosen per
+//      request, automatically falling back to sampling when the reachable
+//      state count exceeds the request's state budget (the
+//      rate-reliability-complexity trade-off made explicit).
+//
+// core::PerformanceAnalyzer is a thin compatibility shim over this engine.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dtmc/builder.hpp"
+#include "dtmc/explicit_dtmc.hpp"
+#include "dtmc/model.hpp"
+#include "engine/request.hpp"
+#include "engine/result.hpp"
+#include "engine/thread_pool.hpp"
+#include "pctl/ast.hpp"
+
+namespace mimostat::engine {
+
+struct EngineOptions {
+  /// Worker threads; 0 = hardware concurrency.
+  std::size_t threads = 0;
+  /// Model-cache capacity (completed builds; evicted least-recently-used).
+  std::size_t maxCachedModels = 8;
+};
+
+/// A built model as held by the engine's cache.
+struct BuiltModel {
+  dtmc::ExplicitDtmc dtmc;
+  std::uint32_t reachabilityIterations = 0;
+  double buildSeconds = 0.0;
+  /// The structural signature this entry is cached under.
+  std::uint64_t signature = 0;
+};
+
+class AnalysisEngine {
+ public:
+  explicit AnalysisEngine(EngineOptions options = {});
+  ~AnalysisEngine();
+
+  AnalysisEngine(const AnalysisEngine&) = delete;
+  AnalysisEngine& operator=(const AnalysisEngine&) = delete;
+
+  /// Answer one request (blocking). Property groups run on the pool.
+  [[nodiscard]] AnalysisResponse analyze(const AnalysisRequest& request);
+
+  /// Answer independent requests concurrently; responses come back in
+  /// request order regardless of scheduling.
+  [[nodiscard]] std::vector<AnalysisResponse> analyzeAll(
+      const std::vector<AnalysisRequest>& requests);
+
+  /// Asynchronous analyze. The request's model must stay alive until the
+  /// future resolves.
+  [[nodiscard]] std::future<AnalysisResponse> submit(AnalysisRequest request);
+
+  /// Build (or fetch from cache) the explicit DTMC for a model. Concurrent
+  /// calls for the same signature share one build. `key` overrides the
+  /// structural probe as the cache key. When `cacheHit` is non-null it is
+  /// set to whether the entry was served from cache (joining an in-flight
+  /// build counts as a hit).
+  [[nodiscard]] std::shared_ptr<const BuiltModel> ensureBuilt(
+      const dtmc::Model& model, const dtmc::BuildOptions& buildOptions = {},
+      std::optional<std::uint64_t> key = std::nullopt,
+      bool* cacheHit = nullptr);
+
+  /// Memoized property parse shared by every request.
+  [[nodiscard]] pctl::Property parsedProperty(const std::string& text);
+
+  // --- instrumentation (tests, ops) ---
+  /// DTMC builds actually performed (cache misses).
+  [[nodiscard]] std::uint64_t buildCount() const;
+  /// ensureBuilt calls served from cache.
+  [[nodiscard]] std::uint64_t cacheHitCount() const;
+  [[nodiscard]] std::size_t cachedModelCount() const;
+  void clearModelCache();
+
+  [[nodiscard]] std::size_t threadCount() const { return pool_.threadCount(); }
+
+ private:
+  struct CacheSlot {
+    std::shared_future<std::shared_ptr<const BuiltModel>> future;
+    std::uint64_t lastUsed = 0;
+  };
+
+  /// Evict ready LRU entries down to capacity. Caller holds cacheMutex_.
+  void evictLocked();
+
+  AnalysisResponse analyzeExact(const AnalysisRequest& request,
+                                std::uint64_t key);
+  AnalysisResponse analyzeSampling(const AnalysisRequest& request,
+                                   std::uint64_t key);
+
+  EngineOptions options_;
+  ThreadPool pool_;
+
+  mutable std::mutex cacheMutex_;
+  std::unordered_map<std::uint64_t, CacheSlot> modelCache_;
+  std::uint64_t useCounter_ = 0;
+  std::uint64_t buildCount_ = 0;
+  std::uint64_t cacheHits_ = 0;
+
+  std::mutex parseMutex_;
+  std::unordered_map<std::string, pctl::Property> parseCache_;
+};
+
+/// Lazily constructed process-wide engine (used by the
+/// core::PerformanceAnalyzer compatibility shim).
+[[nodiscard]] AnalysisEngine& defaultEngine();
+
+}  // namespace mimostat::engine

@@ -1,0 +1,59 @@
+// Analysis requests: the engine's input vocabulary.
+//
+// A request names a model, a list of pCTL property strings, and options
+// controlling backend selection, caching and batching. The paper's workflow
+// — build one DTMC, sweep many properties over it (Tables I-V) — is exactly
+// one request.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dtmc/builder.hpp"
+#include "dtmc/model.hpp"
+#include "mc/checker.hpp"
+#include "smc/smc.hpp"
+
+namespace mimostat::engine {
+
+/// Which checking backend serves a request.
+enum class Backend {
+  /// Exact when the reachable state space fits the state budget, sampling
+  /// otherwise (the paper's exact-vs-statistical complexity trade-off).
+  kAuto,
+  /// Exact probabilistic model checking (mc::Checker on the built DTMC).
+  kExact,
+  /// Statistical model checking (smc:: path sampling; bounded properties
+  /// only, results carry confidence intervals).
+  kSampling,
+};
+
+[[nodiscard]] const char* backendName(Backend backend);
+
+struct RequestOptions {
+  Backend backend = Backend::kAuto;
+  /// kAuto falls back to sampling when the reachable state count exceeds
+  /// this budget.
+  std::uint64_t stateBudget = 2'000'000;
+  /// Group R=?[I=T] / R=?[C<=T] properties into one transient sweep to the
+  /// maximum horizon instead of one sweep per property.
+  bool batchHorizons = true;
+  /// Precomputed model signature (e.g. from a previous response). When set,
+  /// the engine skips the structural probe and uses this as the cache key;
+  /// the caller asserts it identifies the model's transition structure.
+  std::optional<std::uint64_t> modelKey;
+  dtmc::BuildOptions build;
+  mc::CheckOptions check;
+  smc::SmcOptions smc;
+};
+
+struct AnalysisRequest {
+  /// Must stay alive until the response is produced. Not owned.
+  const dtmc::Model* model = nullptr;
+  std::vector<std::string> properties;
+  RequestOptions options;
+};
+
+}  // namespace mimostat::engine

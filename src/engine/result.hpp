@@ -1,0 +1,71 @@
+// Analysis results: one uniform answer shape across backends.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stats/intervals.hpp"
+
+namespace mimostat::engine {
+
+enum class Backend;  // request.hpp
+
+/// Outcome of one property from an AnalysisRequest.
+struct AnalysisResult {
+  std::string property;
+  /// Numeric answer weighted by the initial distribution (exact backend) or
+  /// the point estimate (sampling backend).
+  double value = 0.0;
+  /// For bounded properties (P>=p [...], R<=r [...]): whether the bound
+  /// holds. Always true for =? queries.
+  bool satisfied = true;
+  /// 95% confidence interval; only present when sampled.
+  std::optional<stats::Interval> interval95;
+  /// Sample paths drawn; 0 for the exact backend.
+  std::uint64_t samples = 0;
+  /// This property was answered from a shared batched horizon sweep.
+  bool batched = false;
+  /// Seconds spent checking this property (for batched properties: the
+  /// shared sweep's total, attributed to every member of the group).
+  double checkSeconds = 0.0;
+  /// Non-empty when this property failed (parse error, unsupported by the
+  /// selected backend, ...). The other properties of the request still
+  /// produce values.
+  std::string error;
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+/// Outcome of a whole request, in request property order.
+struct AnalysisResponse {
+  std::vector<AnalysisResult> results;
+  Backend backend{};
+  /// The structural model signature used as the cache key (reusable as
+  /// RequestOptions::modelKey).
+  std::uint64_t modelKey = 0;
+  /// The built DTMC was served from the engine's model cache.
+  bool cacheHit = false;
+  /// Model statistics (exact backend; zero when sampled).
+  std::uint64_t states = 0;
+  std::uint64_t transitions = 0;
+  std::uint32_t reachabilityIterations = 0;
+  double buildSeconds = 0.0;
+  /// Wall-clock for the whole request.
+  double totalSeconds = 0.0;
+  /// Request-level failure (null model, state-space overflow, ...). Set by
+  /// analyzeAll/submit instead of losing sibling responses to a rethrow;
+  /// when non-empty, `results` is empty.
+  std::string error;
+
+  [[nodiscard]] bool ok() const {
+    if (!error.empty()) return false;
+    for (const auto& r : results) {
+      if (!r.ok()) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace mimostat::engine

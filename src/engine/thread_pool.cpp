@@ -1,0 +1,89 @@
+#include "engine/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace mimostat::engine {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+bool ThreadPool::runOneTask(std::unique_lock<std::mutex>& lock, Batch* batch) {
+  std::shared_ptr<Batch> owner;
+  if (batch == nullptr) {
+    // Drop exhausted batches, then pick the oldest one with pending tasks.
+    while (!queue_.empty() && queue_.front()->next >= queue_.front()->tasks.size()) {
+      queue_.pop_front();
+    }
+    if (queue_.empty()) return false;
+    owner = queue_.front();
+    batch = owner.get();
+  }
+  if (batch->next >= batch->tasks.size()) return false;
+
+  const std::size_t idx = batch->next++;
+  lock.unlock();
+  try {
+    batch->tasks[idx]();
+  } catch (...) {
+    lock.lock();
+    if (!batch->error) batch->error = std::current_exception();
+    lock.unlock();
+  }
+  lock.lock();
+  if (++batch->done == batch->tasks.size()) batch->finished.notify_all();
+  return true;
+}
+
+void ThreadPool::workerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    if (runOneTask(lock, nullptr)) continue;
+    if (stop_) return;
+    wake_.wait(lock);
+  }
+}
+
+void ThreadPool::run(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  auto batch = std::make_shared<Batch>();
+  batch->tasks = std::move(tasks);
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  queue_.push_back(batch);
+  wake_.notify_all();
+
+  // Help drain our own batch, then wait for in-flight stragglers.
+  while (runOneTask(lock, batch.get())) {
+  }
+  batch->finished.wait(lock,
+                       [&] { return batch->done == batch->tasks.size(); });
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+void ThreadPool::post(std::function<void()> task) {
+  auto batch = std::make_shared<Batch>();
+  batch->tasks.push_back(std::move(task));
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(batch));
+  }
+  wake_.notify_one();
+}
+
+}  // namespace mimostat::engine

@@ -1,0 +1,65 @@
+// Batch-oriented thread pool for the analysis engine.
+//
+// Two entry points: run() executes a batch of tasks and blocks until all
+// complete — crucially, the *calling* thread also drains tasks from its own
+// batch, so a pooled task may itself call run() for sub-tasks (request-level
+// parallelism nesting property-group parallelism) without any risk of
+// pool-exhaustion deadlock. post() enqueues a single fire-and-forget task.
+//
+// Determinism contract: the pool never reorders results because callers
+// write into pre-assigned slots; scheduling order is irrelevant.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mimostat::engine {
+
+class ThreadPool {
+ public:
+  /// threads == 0 picks std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t threadCount() const { return workers_.size(); }
+
+  /// Run every task, blocking until all are done. The caller participates in
+  /// executing its own batch. The first exception thrown by a task is
+  /// rethrown here after the batch completes.
+  void run(std::vector<std::function<void()>> tasks);
+
+  /// Enqueue one task without waiting for it.
+  void post(std::function<void()> task);
+
+ private:
+  struct Batch {
+    std::vector<std::function<void()>> tasks;
+    std::size_t next = 0;  // guarded by the pool mutex
+    std::size_t done = 0;
+    std::exception_ptr error;
+    std::condition_variable finished;
+  };
+
+  void workerLoop();
+  /// Pop-and-run one task from `batch` (or any queued batch when null).
+  /// Returns false when there was nothing to run.
+  bool runOneTask(std::unique_lock<std::mutex>& lock, Batch* batch);
+
+  std::vector<std::thread> workers_;
+  std::deque<std::shared_ptr<Batch>> queue_;
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stop_ = false;
+};
+
+}  // namespace mimostat::engine

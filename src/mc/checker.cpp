@@ -11,26 +11,6 @@
 
 namespace mimostat::mc {
 
-namespace {
-bool evalCmpDouble(pctl::CmpOp op, double lhs, double rhs) {
-  switch (op) {
-    case pctl::CmpOp::kEq:
-      return lhs == rhs;
-    case pctl::CmpOp::kNe:
-      return lhs != rhs;
-    case pctl::CmpOp::kLt:
-      return lhs < rhs;
-    case pctl::CmpOp::kLe:
-      return lhs <= rhs;
-    case pctl::CmpOp::kGt:
-      return lhs > rhs;
-    case pctl::CmpOp::kGe:
-      return lhs >= rhs;
-  }
-  return false;
-}
-}  // namespace
-
 Checker::Checker(const dtmc::ExplicitDtmc& dtmc, const dtmc::Model& model,
                  CheckOptions options)
     : dtmc_(dtmc), model_(model), options_(options) {}
@@ -142,7 +122,7 @@ CheckResult Checker::check(const pctl::Property& property) const {
     result.value = fromInitial(dtmc_, values);
     result.stateValues = std::move(values);
     if (!property.prob.isQuery) {
-      result.satisfied = evalCmpDouble(property.prob.boundOp, result.value,
+      result.satisfied = pctl::evalCmp(property.prob.boundOp, result.value,
                                        property.prob.boundValue);
     }
   } else {
@@ -172,7 +152,7 @@ CheckResult Checker::check(const pctl::Property& property) const {
     }
     if (!rq.isQuery) {
       result.satisfied =
-          evalCmpDouble(rq.boundOp, result.value, rq.boundValue);
+          pctl::evalCmp(rq.boundOp, result.value, rq.boundValue);
     }
   }
 
@@ -180,8 +160,21 @@ CheckResult Checker::check(const pctl::Property& property) const {
   return result;
 }
 
+pctl::Property Checker::parsedProperty(std::string_view propertyText) const {
+  std::string key(propertyText);
+  {
+    const std::lock_guard<std::mutex> lock(parseCacheMutex_);
+    const auto it = parseCache_.find(key);
+    if (it != parseCache_.end()) return it->second;
+  }
+  pctl::Property property = pctl::parseProperty(propertyText);
+  const std::lock_guard<std::mutex> lock(parseCacheMutex_);
+  return parseCache_.emplace(std::move(key), std::move(property))
+      .first->second;
+}
+
 CheckResult Checker::check(std::string_view propertyText) const {
-  return check(pctl::parseProperty(propertyText));
+  return check(parsedProperty(propertyText));
 }
 
 }  // namespace mimostat::mc

@@ -8,8 +8,10 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "dtmc/explicit_dtmc.hpp"
@@ -50,8 +52,12 @@ class Checker {
   /// Evaluate a parsed property.
   [[nodiscard]] CheckResult check(const pctl::Property& property) const;
 
-  /// Parse and evaluate.
+  /// Parse and evaluate. Parses are memoized (thread-safe), so repeated
+  /// checks of the same property text skip the parser.
   [[nodiscard]] CheckResult check(std::string_view propertyText) const;
+
+  /// Memoized parse of a property text (shared with check(string_view)).
+  [[nodiscard]] pctl::Property parsedProperty(std::string_view propertyText) const;
 
   /// Per-state truth vector of a state formula (exposed for tests and for
   /// the reduction verifier).
@@ -62,6 +68,8 @@ class Checker {
   const dtmc::ExplicitDtmc& dtmc_;
   const dtmc::Model& model_;
   CheckOptions options_;
+  mutable std::mutex parseCacheMutex_;
+  mutable std::unordered_map<std::string, pctl::Property> parseCache_;
 };
 
 }  // namespace mimostat::mc

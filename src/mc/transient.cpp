@@ -1,7 +1,10 @@
 #include "mc/transient.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <numeric>
+#include <stdexcept>
 
 namespace mimostat::mc {
 
@@ -14,15 +17,51 @@ double dot(const std::vector<double>& a, const std::vector<double>& b) {
 }
 }  // namespace
 
+TransientSweep::TransientSweep(const dtmc::ExplicitDtmc& dtmc)
+    : dtmc_(dtmc), pi_(dtmc.initialDistribution()), scratch_(pi_.size()) {}
+
+void TransientSweep::advance() {
+  dtmc_.multiplyLeft(pi_, scratch_);
+  pi_.swap(scratch_);
+  ++step_;
+}
+
+void TransientSweep::advanceTo(std::uint64_t step) {
+  if (step < step_) {
+    throw std::invalid_argument("TransientSweep: cannot rewind from step " +
+                                std::to_string(step_) + " to " +
+                                std::to_string(step));
+  }
+  while (step_ < step) advance();
+}
+
+double TransientSweep::expectedReward(const std::vector<double>& reward) const {
+  return dot(pi_, reward);
+}
+
+std::vector<double> instantaneousRewardAtHorizons(
+    const dtmc::ExplicitDtmc& dtmc, const std::vector<double>& reward,
+    const std::vector<std::uint64_t>& horizons) {
+  std::vector<std::size_t> order(horizons.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return horizons[a] < horizons[b];
+  });
+
+  std::vector<double> values(horizons.size());
+  TransientSweep sweep(dtmc);
+  for (const std::size_t idx : order) {
+    sweep.advanceTo(horizons[idx]);
+    values[idx] = sweep.expectedReward(reward);
+  }
+  return values;
+}
+
 std::vector<double> transientDistribution(const dtmc::ExplicitDtmc& dtmc,
                                           std::uint64_t steps) {
-  std::vector<double> pi = dtmc.initialDistribution();
-  std::vector<double> next(pi.size());
-  for (std::uint64_t t = 0; t < steps; ++t) {
-    dtmc.multiplyLeft(pi, next);
-    pi.swap(next);
-  }
-  return pi;
+  TransientSweep sweep(dtmc);
+  sweep.advanceTo(steps);
+  return sweep.distribution();
 }
 
 double instantaneousReward(const dtmc::ExplicitDtmc& dtmc,

@@ -12,6 +12,45 @@
 
 namespace mimostat::mc {
 
+/// Resumable forward iteration of the state distribution: pi_0 = initial,
+/// pi_{t+1} = pi_t P. One sweep serves every horizon-bounded query against
+/// the same model — the engine's batcher advances a single sweep to the
+/// largest requested horizon and samples rewards along the way, instead of
+/// re-propagating from pi_0 once per property. Advancing t steps performs
+/// exactly the same multiply sequence as a fresh t-step propagation, so
+/// sampled values match per-call results bit for bit.
+class TransientSweep {
+ public:
+  explicit TransientSweep(const dtmc::ExplicitDtmc& dtmc);
+
+  /// Steps taken so far (the t of the current distribution).
+  [[nodiscard]] std::uint64_t step() const { return step_; }
+  /// The current distribution pi_t.
+  [[nodiscard]] const std::vector<double>& distribution() const { return pi_; }
+
+  /// Advance one transition.
+  void advance();
+  /// Advance to an absolute step (forward only; throws std::invalid_argument
+  /// on an earlier step).
+  void advanceTo(std::uint64_t step);
+
+  /// Expected reward under the current distribution: pi_t . r.
+  [[nodiscard]] double expectedReward(const std::vector<double>& reward) const;
+
+ private:
+  const dtmc::ExplicitDtmc& dtmc_;
+  std::vector<double> pi_;
+  std::vector<double> scratch_;
+  std::uint64_t step_ = 0;
+};
+
+/// R=?[I=T] for each horizon in one sweep to max(horizons). Horizons may be
+/// unsorted and may repeat; results are returned in input order and are bit
+/// identical to per-horizon instantaneousReward calls.
+[[nodiscard]] std::vector<double> instantaneousRewardAtHorizons(
+    const dtmc::ExplicitDtmc& dtmc, const std::vector<double>& reward,
+    const std::vector<std::uint64_t>& horizons);
+
 /// Distribution after exactly `steps` transitions from the initial
 /// distribution.
 [[nodiscard]] std::vector<double> transientDistribution(

@@ -23,6 +23,24 @@ const char* cmpOpName(CmpOp op) {
   return "?";
 }
 
+bool evalCmp(CmpOp op, double lhs, double rhs) {
+  switch (op) {
+    case CmpOp::kEq:
+      return lhs == rhs;
+    case CmpOp::kNe:
+      return lhs != rhs;
+    case CmpOp::kLt:
+      return lhs < rhs;
+    case CmpOp::kLe:
+      return lhs <= rhs;
+    case CmpOp::kGt:
+      return lhs > rhs;
+    case CmpOp::kGe:
+      return lhs >= rhs;
+  }
+  return false;
+}
+
 bool evalCmp(CmpOp op, std::int64_t lhs, std::int64_t rhs) {
   switch (op) {
     case CmpOp::kEq:

@@ -21,6 +21,7 @@ enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
 
 [[nodiscard]] const char* cmpOpName(CmpOp op);
 [[nodiscard]] bool evalCmp(CmpOp op, std::int64_t lhs, std::int64_t rhs);
+[[nodiscard]] bool evalCmp(CmpOp op, double lhs, double rhs);
 
 struct StateFormula;
 using StateFormulaPtr = std::shared_ptr<const StateFormula>;

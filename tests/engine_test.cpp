@@ -1,0 +1,430 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/analyzer.hpp"
+#include "dtmc/builder.hpp"
+#include "dtmc/signature.hpp"
+#include "engine/engine.hpp"
+#include "engine/thread_pool.hpp"
+#include "mc/checker.hpp"
+#include "mc/transient.hpp"
+#include "test_models.hpp"
+#include "viterbi/model_reduced.hpp"
+
+namespace mimostat {
+namespace {
+
+viterbi::ReducedViterbiModel smallViterbi() {
+  viterbi::ViterbiParams params;
+  params.tracebackLength = 3;
+  return viterbi::ReducedViterbiModel(params);
+}
+
+/// Seed-style reference: fresh build, one independent check per property
+/// (each R=?[I=T] re-propagates from pi_0).
+std::vector<double> perCallReference(const dtmc::Model& model,
+                                     const std::vector<std::string>& props) {
+  const auto build = dtmc::buildExplicit(model);
+  const mc::Checker checker(build.dtmc, model);
+  std::vector<double> values;
+  values.reserve(props.size());
+  for (const auto& p : props) values.push_back(checker.check(p).value);
+  return values;
+}
+
+TEST(ModelSignature, StableAndStructural) {
+  const auto model = smallViterbi();
+  const auto a = dtmc::modelSignature(model);
+  const auto b = dtmc::modelSignature(model);
+  EXPECT_EQ(a.hash, b.hash);
+  EXPECT_TRUE(a.exact);
+  EXPECT_GT(a.states, 0u);
+
+  const auto build = dtmc::buildExplicit(model);
+  EXPECT_EQ(a.states, build.dtmc.numStates());
+
+  // A different design must hash differently.
+  viterbi::ViterbiParams other;
+  other.tracebackLength = 4;
+  const viterbi::ReducedViterbiModel otherModel(other);
+  EXPECT_NE(dtmc::modelSignature(otherModel).hash, a.hash);
+}
+
+TEST(ModelSignature, RewardsDoNotAffectStructure) {
+  // The cache stores transition structure only; rewards re-resolve through
+  // the requesting model, so two models differing only in rewards share a
+  // signature by design.
+  auto plain = test::twoStateChain(0.3, 0.4);
+  auto rewarded = test::twoStateChain(0.3, 0.4);
+  rewarded.withRewards({0.0, 1.0});
+  EXPECT_EQ(dtmc::modelSignature(plain).hash,
+            dtmc::modelSignature(rewarded).hash);
+}
+
+TEST(ModelSignature, TruncatedProbeNeverAliasesExact) {
+  const auto model = test::gamblersRuin(50, 0.5, 25);
+  const auto exact = dtmc::modelSignature(model);
+  dtmc::SignatureOptions tiny;
+  tiny.maxStates = 5;
+  const auto truncated = dtmc::modelSignature(model, tiny);
+  EXPECT_TRUE(exact.exact);
+  EXPECT_FALSE(truncated.exact);
+  EXPECT_NE(exact.hash, truncated.hash);
+}
+
+TEST(TransientSweep, MatchesPerCallBitForBit) {
+  auto model = test::twoStateChain(0.3, 0.4);
+  model.withRewards({0.0, 1.0});
+  const auto build = dtmc::buildExplicit(model);
+  const auto reward = build.dtmc.evalReward(model, "");
+
+  const std::vector<std::uint64_t> horizons{50, 1, 7, 7, 0, 23};
+  const auto batched =
+      mc::instantaneousRewardAtHorizons(build.dtmc, reward, horizons);
+  ASSERT_EQ(batched.size(), horizons.size());
+  for (std::size_t i = 0; i < horizons.size(); ++i) {
+    EXPECT_EQ(batched[i],
+              mc::instantaneousReward(build.dtmc, reward, horizons[i]))
+        << "horizon " << horizons[i];
+  }
+}
+
+TEST(TransientSweep, RefusesToRewind) {
+  const auto model = test::twoStateChain(0.3, 0.4);
+  const auto build = dtmc::buildExplicit(model);
+  mc::TransientSweep sweep(build.dtmc);
+  sweep.advanceTo(5);
+  EXPECT_EQ(sweep.step(), 5u);
+  EXPECT_THROW(sweep.advanceTo(4), std::invalid_argument);
+}
+
+TEST(Engine, BatchedSweepMatchesPerCallBitForBit) {
+  const auto model = smallViterbi();
+  std::vector<std::string> props;
+  for (const std::uint64_t horizon : {1, 5, 10, 50, 100, 300}) {
+    props.push_back("R=? [ I=" + std::to_string(horizon) + " ]");
+  }
+  props.push_back("R=? [ C<=100 ]");
+  props.push_back("P=? [ G<=50 !flag ]");
+  const auto reference = perCallReference(model, props);
+
+  engine::AnalysisEngine eng;
+  engine::AnalysisRequest request;
+  request.model = &model;
+  request.properties = props;
+  const auto response = eng.analyze(request);
+
+  ASSERT_EQ(response.results.size(), props.size());
+  EXPECT_EQ(response.backend, engine::Backend::kExact);
+  for (std::size_t i = 0; i < props.size(); ++i) {
+    ASSERT_TRUE(response.results[i].ok()) << response.results[i].error;
+    EXPECT_EQ(response.results[i].property, props[i]);
+    EXPECT_EQ(response.results[i].value, reference[i]) << props[i];
+  }
+  // The reward-horizon properties came from one shared sweep.
+  EXPECT_TRUE(response.results[0].batched);
+  EXPECT_TRUE(response.results[6].batched);
+  EXPECT_FALSE(response.results[7].batched);
+}
+
+TEST(Engine, AnalyzerShimMatchesPerCallBitForBit) {
+  const auto model = smallViterbi();
+  const std::vector<std::uint64_t> horizons{1, 5, 25, 100, 300};
+  std::vector<std::string> props;
+  for (const auto h : horizons) {
+    props.push_back("R=? [ I=" + std::to_string(h) + " ]");
+  }
+  const auto reference = perCallReference(model, props);
+
+  const core::PerformanceAnalyzer analyzer(model);
+  const auto reports = analyzer.sweepInstantaneous(horizons);
+  ASSERT_EQ(reports.size(), horizons.size());
+  for (std::size_t i = 0; i < horizons.size(); ++i) {
+    EXPECT_EQ(reports[i].value, reference[i]) << props[i];
+  }
+}
+
+TEST(Engine, SecondRequestSkipsBuild) {
+  const auto model = smallViterbi();
+  engine::AnalysisEngine eng;
+  engine::AnalysisRequest request;
+  request.model = &model;
+  request.properties = {"R=? [ I=10 ]"};
+
+  const auto first = eng.analyze(request);
+  EXPECT_FALSE(first.cacheHit);
+  EXPECT_EQ(eng.buildCount(), 1u);
+
+  const auto second = eng.analyze(request);
+  EXPECT_TRUE(second.cacheHit);
+  EXPECT_EQ(eng.buildCount(), 1u);
+  EXPECT_EQ(eng.cacheHitCount(), 1u);
+  EXPECT_EQ(second.results[0].value, first.results[0].value);
+
+  // A structurally identical but distinct model object also hits.
+  const auto clone = smallViterbi();
+  engine::AnalysisRequest cloneRequest = request;
+  cloneRequest.model = &clone;
+  const auto third = eng.analyze(cloneRequest);
+  EXPECT_TRUE(third.cacheHit);
+  EXPECT_EQ(eng.buildCount(), 1u);
+}
+
+TEST(Engine, BuildOptionsArePartOfTheCacheKey) {
+  // probFloor changes the built matrix, so floored and unfloored builds of
+  // the same model must not share a cache entry.
+  const auto model = smallViterbi();
+  engine::AnalysisEngine eng;
+  const auto plain = eng.ensureBuilt(model);
+  dtmc::BuildOptions floored;
+  floored.probFloor = 1e-3;
+  bool hit = true;
+  const auto flooredBuild = eng.ensureBuilt(model, floored, std::nullopt, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_NE(plain->signature, flooredBuild->signature);
+  EXPECT_EQ(eng.buildCount(), 2u);
+}
+
+TEST(Engine, AnalyzeAllIsolatesFailingRequests) {
+  auto model = test::twoStateChain(0.3, 0.4);
+  model.withRewards({0.0, 1.0});
+  engine::AnalysisEngine eng;
+  std::vector<engine::AnalysisRequest> requests(2);
+  requests[0].model = nullptr;  // request-level failure
+  requests[0].properties = {"R=? [ I=5 ]"};
+  requests[1].model = &model;
+  requests[1].properties = {"R=? [ I=5 ]"};
+  const auto responses = eng.analyzeAll(requests);
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_FALSE(responses[0].ok());
+  EXPECT_FALSE(responses[0].error.empty());
+  ASSERT_TRUE(responses[1].ok());
+  EXPECT_GT(responses[1].results[0].value, 0.0);
+}
+
+TEST(Engine, ModelKeySkipsProbe) {
+  const auto model = smallViterbi();
+  engine::AnalysisEngine eng;
+  bool hit = true;
+  const auto built = eng.ensureBuilt(model, {}, std::nullopt, &hit);
+  EXPECT_FALSE(hit);
+
+  engine::AnalysisRequest request;
+  request.model = &model;
+  request.properties = {"R=? [ I=10 ]"};
+  request.options.modelKey = built->signature;
+  const auto response = eng.analyze(request);
+  EXPECT_TRUE(response.cacheHit);
+  EXPECT_EQ(response.modelKey, built->signature);
+  EXPECT_EQ(eng.buildCount(), 1u);
+}
+
+TEST(Engine, ConcurrentIdenticalRequestsAgree) {
+  const auto model = smallViterbi();
+  engine::AnalysisEngine eng(engine::EngineOptions{4, 8});
+  engine::AnalysisRequest request;
+  request.model = &model;
+  request.properties = {"R=? [ I=100 ]", "R=? [ I=10 ]", "P=? [ G<=20 !flag ]",
+                        "R=? [ C<=30 ]"};
+
+  constexpr int kThreads = 8;
+  std::vector<engine::AnalysisResponse> responses(kThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int i = 0; i < kThreads; ++i) {
+      threads.emplace_back(
+          [&, i] { responses[i] = eng.analyze(request); });
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  EXPECT_EQ(eng.buildCount(), 1u);  // concurrent requests share one build
+  for (int i = 0; i < kThreads; ++i) {
+    ASSERT_EQ(responses[i].results.size(), request.properties.size());
+    for (std::size_t p = 0; p < request.properties.size(); ++p) {
+      ASSERT_TRUE(responses[i].results[p].ok());
+      EXPECT_EQ(responses[i].results[p].value, responses[0].results[p].value)
+          << "thread " << i << " property " << p;
+      EXPECT_EQ(responses[i].results[p].property, request.properties[p]);
+    }
+  }
+}
+
+TEST(Engine, AnalyzeAllKeepsRequestOrder) {
+  const auto chainA = test::gamblersRuin(20, 0.5, 10);
+  auto chainB = test::twoStateChain(0.3, 0.4);
+  chainB.withRewards({0.0, 1.0});
+
+  engine::AnalysisEngine eng(engine::EngineOptions{2, 8});
+  std::vector<engine::AnalysisRequest> requests(4);
+  requests[0].model = &chainA;
+  requests[0].properties = {"P=? [ F<=200 s=0 ]"};
+  requests[1].model = &chainB;
+  requests[1].properties = {"R=? [ I=50 ]"};
+  requests[2].model = &chainA;
+  requests[2].properties = {"P=? [ F<=200 s=20 ]"};
+  requests[3].model = &chainB;
+  requests[3].properties = {"R=? [ I=5 ]", "R=? [ I=500 ]"};
+
+  const auto responses = eng.analyzeAll(requests);
+  ASSERT_EQ(responses.size(), 4u);
+  // Ruin vs win probabilities from the middle are symmetric for p=1/2.
+  EXPECT_NEAR(responses[0].results[0].value, responses[2].results[0].value,
+              1e-12);
+  EXPECT_NEAR(responses[3].results[1].value, 0.3 / 0.7, 1e-9);
+  EXPECT_LT(responses[3].results[0].value, responses[3].results[1].value);
+  // chainA was built once, chainB once.
+  EXPECT_EQ(eng.buildCount(), 2u);
+}
+
+TEST(Engine, SubmitResolvesAsynchronously) {
+  const auto model = smallViterbi();
+  engine::AnalysisEngine eng(engine::EngineOptions{2, 8});
+  engine::AnalysisRequest request;
+  request.model = &model;
+  request.properties = {"R=? [ I=20 ]"};
+  auto future = eng.submit(request);
+  const auto response = future.get();
+  ASSERT_EQ(response.results.size(), 1u);
+  EXPECT_TRUE(response.results[0].ok());
+  EXPECT_GT(response.results[0].value, 0.0);
+}
+
+TEST(Engine, AutoFallsBackToSamplingPastStateBudget) {
+  const auto model = test::gamblersRuin(200, 0.5, 100);
+  engine::AnalysisEngine eng;
+  engine::AnalysisRequest request;
+  request.model = &model;
+  request.properties = {"P=? [ F<=50 s=0 ]", "R=? [ I=10 ]", "R=? [ S ]"};
+  request.options.stateBudget = 16;  // force the sampling backend
+  request.options.smc.paths = 2000;
+
+  const auto response = eng.analyze(request);
+  EXPECT_EQ(response.backend, engine::Backend::kSampling);
+  EXPECT_EQ(eng.buildCount(), 0u);  // sampling never materializes the DTMC
+
+  ASSERT_TRUE(response.results[0].ok());
+  EXPECT_TRUE(response.results[0].interval95.has_value());
+  EXPECT_EQ(response.results[0].samples, 2000u);
+  ASSERT_TRUE(response.results[1].ok());
+  EXPECT_TRUE(response.results[1].interval95.has_value());
+  // Steady-state rewards are not estimable by finite sampling.
+  EXPECT_FALSE(response.results[2].ok());
+
+  // The sampled estimate must agree with the exact value within the CI-ish
+  // tolerance (F<=50 from the middle of a 200-rung ladder is ~0, so use the
+  // instantaneous reward which is exactly 0 under the default reward).
+  EXPECT_EQ(response.results[1].value, 0.0);
+}
+
+TEST(Engine, SamplingEstimateTracksExactValue) {
+  auto model = test::twoStateChain(0.3, 0.4);
+  model.withRewards({0.0, 1.0});
+
+  engine::AnalysisEngine eng;
+  engine::AnalysisRequest sampled;
+  sampled.model = &model;
+  sampled.properties = {"R=? [ I=40 ]"};
+  sampled.options.backend = engine::Backend::kSampling;
+  sampled.options.smc.paths = 20000;
+
+  engine::AnalysisRequest exact = sampled;
+  exact.options.backend = engine::Backend::kExact;
+
+  const auto sampledResponse = eng.analyze(sampled);
+  const auto exactResponse = eng.analyze(exact);
+  ASSERT_TRUE(sampledResponse.results[0].ok());
+  ASSERT_TRUE(exactResponse.results[0].ok());
+  ASSERT_TRUE(sampledResponse.results[0].interval95.has_value());
+  EXPECT_TRUE(sampledResponse.results[0].interval95->contains(
+      exactResponse.results[0].value));
+  EXPECT_NEAR(sampledResponse.results[0].value,
+              exactResponse.results[0].value, 0.02);
+}
+
+TEST(Engine, ParseErrorIsPerProperty) {
+  const auto model = smallViterbi();
+  engine::AnalysisEngine eng;
+  engine::AnalysisRequest request;
+  request.model = &model;
+  request.properties = {"R=? [ I=10 ]", "this is not pctl", "R=? [ I=20 ]"};
+  const auto response = eng.analyze(request);
+  EXPECT_TRUE(response.results[0].ok());
+  EXPECT_FALSE(response.results[1].ok());
+  EXPECT_TRUE(response.results[2].ok());
+  EXPECT_FALSE(response.ok());
+}
+
+TEST(Engine, CacheEvictsLeastRecentlyUsed) {
+  engine::AnalysisEngine eng(engine::EngineOptions{1, 2});
+  std::vector<test::MatrixModel> models;
+  models.reserve(4);
+  for (int i = 0; i < 4; ++i) {
+    models.push_back(test::gamblersRuin(10 + i, 0.5, 5));
+  }
+  for (auto& model : models) {
+    (void)eng.ensureBuilt(model);
+  }
+  EXPECT_EQ(eng.buildCount(), 4u);
+  EXPECT_LE(eng.cachedModelCount(), 2u);
+
+  // The most recent entry is still cached; the oldest is gone.
+  bool hit = false;
+  (void)eng.ensureBuilt(models[3], {}, std::nullopt, &hit);
+  EXPECT_TRUE(hit);
+  (void)eng.ensureBuilt(models[0], {}, std::nullopt, &hit);
+  EXPECT_FALSE(hit);
+}
+
+TEST(Checker, ParseCacheReturnsConsistentResults) {
+  const auto model = smallViterbi();
+  const auto build = dtmc::buildExplicit(model);
+  const mc::Checker checker(build.dtmc, model);
+  const auto first = checker.check("R=? [ I=25 ]");
+  const auto second = checker.check("R=? [ I=25 ]");
+  EXPECT_EQ(first.value, second.value);
+  const auto parsed = checker.parsedProperty("R=? [ I=25 ]");
+  EXPECT_EQ(parsed.reward.bound, 25u);
+}
+
+TEST(ThreadPool, RunsAllTasksAndPropagatesExceptions) {
+  engine::ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 64; ++i) {
+    tasks.push_back([&counter] { ++counter; });
+  }
+  pool.run(std::move(tasks));
+  EXPECT_EQ(counter.load(), 64);
+
+  std::vector<std::function<void()>> failing;
+  failing.push_back([] { throw std::runtime_error("boom"); });
+  failing.push_back([&counter] { ++counter; });
+  EXPECT_THROW(pool.run(std::move(failing)), std::runtime_error);
+}
+
+TEST(ThreadPool, NestedRunDoesNotDeadlock) {
+  engine::ThreadPool pool(1);  // worst case: a single worker
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> outer;
+  for (int i = 0; i < 4; ++i) {
+    outer.push_back([&] {
+      std::vector<std::function<void()>> inner;
+      for (int j = 0; j < 8; ++j) {
+        inner.push_back([&counter] { ++counter; });
+      }
+      pool.run(std::move(inner));
+    });
+  }
+  pool.run(std::move(outer));
+  EXPECT_EQ(counter.load(), 32);
+}
+
+}  // namespace
+}  // namespace mimostat
