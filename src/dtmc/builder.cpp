@@ -59,6 +59,12 @@ BuildResult buildExplicit(const Model& model, const BuildOptions& options) {
     for (std::uint32_t s = frontierBegin; s < frontierEnd; ++s) {
       scratch.clear();
       model.transitions(states[s], scratch);
+      if (scratch.empty()) {
+        // Transition-less states are absorbing (self-loop) — one convention
+        // shared with smc::PathSampler, so the exact and sampling backends
+        // answer the same chain for models with dead-end states.
+        scratch.push_back({1.0, states[s]});
+      }
       const double mass = normalizeTransitions(scratch, options.probFloor);
       worstMass = std::max(worstMass, std::fabs(mass - 1.0));
       std::vector<Transition> row;
@@ -138,6 +144,10 @@ CountResult countReachable(const Model& model, std::uint64_t maxStates) {
       frontier.pop_front();
       scratch.clear();
       model.transitions(layout.unpack(packed), scratch);
+      if (scratch.empty()) {
+        ++result.numTransitions;  // implicit absorbing self-loop
+        continue;
+      }
       normalizeTransitions(scratch, 0.0);
       result.numTransitions += scratch.size();
       for (const auto& t : scratch) {

@@ -34,7 +34,9 @@ class Model {
 
   /// Append the successor distribution of `s` to `out`. Implementations may
   /// emit duplicate targets; the builder merges them. Probabilities must sum
-  /// to 1 within 1e-9.
+  /// to 1 within 1e-9. Emitting nothing declares `s` absorbing: the builder
+  /// and the path sampler both materialize a self-loop, so every consumer
+  /// sees the same chain.
   virtual void transitions(const State& s, std::vector<Transition>& out) const = 0;
 
   /// Truth of the named atomic proposition in state `s`.

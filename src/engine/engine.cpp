@@ -379,6 +379,13 @@ AnalysisResponse AnalysisEngine::analyzeSampling(const AnalysisRequest& request,
   response.modelKey = key;
   response.results.resize(request.properties.size());
 
+  // Path chunks of one property fan out over the pool; nested run() is safe
+  // (the property task drains its own chunk batch).
+  const smc::TaskRunner runner =
+      [this](std::vector<std::function<void()>> chunks) {
+        pool_.run(std::move(chunks));
+      };
+
   std::vector<std::function<void()>> tasks;
   tasks.reserve(request.properties.size());
   for (std::size_t i = 0; i < request.properties.size(); ++i) {
@@ -389,29 +396,80 @@ AnalysisResponse AnalysisEngine::analyzeSampling(const AnalysisRequest& request,
       try {
         const pctl::Property property =
             parsedProperty(request.properties[i]);
+        // Every property samples its own derived stream: identical
+        // properties in one request stay statistically independent, and a
+        // fixed request seed reproduces every estimate bit for bit.
+        smc::SmcOptions smcOptions = request.options.smc;
+        smcOptions.seed = smc::deriveSeed(request.options.smc.seed, i);
         if (property.kind == pctl::Property::Kind::kProb) {
-          const smc::SmcEstimate estimate = smc::estimatePathProbability(
-              *request.model, property.prob.path, request.options.smc);
-          result.value = estimate.estimate();
-          result.interval95 = estimate.satisfied.wilson(0.95);
-          result.samples = estimate.satisfied.trials();
-          if (!property.prob.isQuery) {
-            result.satisfied = pctl::evalCmp(
-                property.prob.boundOp, result.value, property.prob.boundValue);
+          const pctl::ProbQuery& pq = property.prob;
+          const bool inequalityBound =
+              !pq.isQuery && (pq.boundOp == pctl::CmpOp::kGe ||
+                              pq.boundOp == pctl::CmpOp::kGt ||
+                              pq.boundOp == pctl::CmpOp::kLe ||
+                              pq.boundOp == pctl::CmpOp::kLt);
+          if (inequalityBound && pq.boundValue > 0.0 && pq.boundValue < 1.0) {
+            // Bounded-probability property: decide via SPRT so `satisfied`
+            // carries the requested alpha/beta error guarantee.
+            smc::SprtOptions sprtOptions = request.options.sprt;
+            sprtOptions.seed = smcOptions.seed;
+            const smc::SprtOutcome outcome = smc::testPathProbability(
+                *request.model, pq.path, pq.boundOp, pq.boundValue,
+                sprtOptions);
+            // No interval95 here: the SPRT stops adaptively, and a Wilson
+            // interval on an optionally-stopped sample does not have its
+            // nominal coverage. The guarantee lives in alpha/beta instead.
+            result.value = outcome.observed.estimate();
+            result.samples = outcome.pathsUsed;
+            SprtVerdict verdict;
+            verdict.decided =
+                outcome.decision != stats::SprtDecision::kContinue;
+            verdict.pathsUsed = outcome.pathsUsed;
+            verdict.alpha = sprtOptions.alpha;
+            verdict.beta = sprtOptions.beta;
+            verdict.indifference = outcome.indifference;
+            // Undecided within maxPaths: fall back to the point estimate
+            // (decided=false flags the missing guarantee).
+            result.satisfied =
+                verdict.decided
+                    ? outcome.holds
+                    : pctl::evalCmp(pq.boundOp, result.value, pq.boundValue);
+            result.sprt = verdict;
+          } else {
+            const smc::SmcEstimate estimate = smc::estimatePathProbability(
+                *request.model, pq.path, smcOptions, runner);
+            result.value = estimate.estimate();
+            result.interval95 = estimate.satisfied.wilson(0.95);
+            result.samples = estimate.satisfied.trials();
+            if (!pq.isQuery) {
+              // Degenerate or equality bounds: point-estimate comparison
+              // (no SPRT hypotheses exist outside (0, 1)).
+              result.satisfied =
+                  pctl::evalCmp(pq.boundOp, result.value, pq.boundValue);
+            }
           }
         } else if (property.reward.kind ==
                    pctl::RewardQuery::Kind::kInstantaneous) {
           const stats::RunningStats stats = smc::estimateInstantaneousReward(
               *request.model, property.reward.bound,
-              property.reward.rewardName, request.options.smc);
+              property.reward.rewardName, smcOptions, runner);
+          result.value = stats.mean();
+          result.interval95 = meanInterval95(stats);
+          result.samples = stats.count();
+          applyRewardBound(property.reward, result);
+        } else if (property.reward.kind ==
+                   pctl::RewardQuery::Kind::kCumulative) {
+          const stats::RunningStats stats = smc::estimateCumulativeReward(
+              *request.model, property.reward.bound,
+              property.reward.rewardName, smcOptions, runner);
           result.value = stats.mean();
           result.interval95 = meanInterval95(stats);
           result.samples = stats.count();
           applyRewardBound(property.reward, result);
         } else {
           result.error =
-              "property requires the exact backend (only bounded P-formulas "
-              "and R=?[I=T] are estimable by sampling)";
+              "property requires the exact backend (bounded P-formulas, "
+              "R=?[I=T] and R=?[C<=T] are estimable by sampling)";
         }
       } catch (const std::exception& e) {
         result.error = e.what();

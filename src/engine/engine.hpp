@@ -19,7 +19,13 @@
 //   4. Backend selection: exact mc::Checker, or smc:: sampling — chosen per
 //      request, automatically falling back to sampling when the reachable
 //      state count exceeds the request's state budget (the
-//      rate-reliability-complexity trade-off made explicit).
+//      rate-reliability-complexity trade-off made explicit). The sampling
+//      backend estimates bounded P-formulas, R=?[I=T] and R=?[C<=T], and
+//      decides bounded-probability properties (P>=theta [...]) with Wald's
+//      SPRT at the request's alpha/beta error levels. Every property draws
+//      from its own seed (derived from the request seed and the property
+//      index) in counter-derived path chunks, so sampled results are
+//      bit-identical for a fixed seed at any pool size.
 //
 // core::PerformanceAnalyzer is a thin compatibility shim over this engine.
 #pragma once

@@ -46,7 +46,14 @@ struct RequestOptions {
   std::optional<std::uint64_t> modelKey;
   dtmc::BuildOptions build;
   mc::CheckOptions check;
+  /// Sampling backend: path counts and the request's base seed. Each
+  /// property of a request samples from its own seed derived from
+  /// (smc.seed, property index), so sibling estimates are independent;
+  /// results are bit-identical for a fixed seed at any thread count.
   smc::SmcOptions smc;
+  /// Sampling backend: SPRT error levels for bounded-probability properties
+  /// (P>=theta [...]). The per-property seed overrides sprt.seed.
+  smc::SprtOptions sprt;
 };
 
 struct AnalysisRequest {

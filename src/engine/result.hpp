@@ -12,6 +12,23 @@ namespace mimostat::engine {
 
 enum class Backend;  // request.hpp
 
+/// How the sampling backend decided a bounded-probability property
+/// (P>=theta [...]) with Wald's SPRT.
+struct SprtVerdict {
+  /// The test reached a decision within maxPaths. When false, `satisfied`
+  /// fell back to comparing the point estimate against the bound and
+  /// carries no error guarantee.
+  bool decided = false;
+  /// Paths drawn before stopping.
+  std::uint64_t pathsUsed = 0;
+  /// Requested error levels: P(report holds | claim off by >= indifference
+  /// in the false direction) <= alpha, and symmetrically beta.
+  double alpha = 0.0;
+  double beta = 0.0;
+  /// Effective indifference half-width (shrunk near theta = 0 or 1).
+  double indifference = 0.0;
+};
+
 /// Outcome of one property from an AnalysisRequest.
 struct AnalysisResult {
   std::string property;
@@ -19,9 +36,18 @@ struct AnalysisResult {
   /// the point estimate (sampling backend).
   double value = 0.0;
   /// For bounded properties (P>=p [...], R<=r [...]): whether the bound
-  /// holds. Always true for =? queries.
+  /// holds. Always true for =? queries. On the sampling backend,
+  /// bounded-probability properties are decided by SPRT (see `sprt`), so
+  /// this carries the requested alpha/beta error guarantee rather than
+  /// being a point-estimate comparison.
   bool satisfied = true;
-  /// 95% confidence interval; only present when sampled.
+  /// Present when `satisfied` came from an SPRT run (sampling backend,
+  /// bounded-probability property).
+  std::optional<SprtVerdict> sprt;
+  /// 95% confidence interval; only present for fixed-sample-size estimates
+  /// (sampling backend). Absent for SPRT-decided properties: their sample
+  /// size is chosen adaptively, which voids fixed-sample interval coverage
+  /// — the error guarantee is the verdict's alpha/beta instead.
   std::optional<stats::Interval> interval95;
   /// Sample paths drawn; 0 for the exact backend.
   std::uint64_t samples = 0;

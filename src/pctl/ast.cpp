@@ -173,6 +173,10 @@ std::string toString(const StateFormula& f) {
   return os.str();
 }
 
+bool isTimeBounded(const PathFormula& f) {
+  return f.kind == PathFormula::Kind::kNext || f.bound.has_value();
+}
+
 std::string toString(const PathFormula& f) {
   std::ostringstream os;
   switch (f.kind) {

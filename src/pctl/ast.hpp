@@ -56,6 +56,12 @@ struct PathFormula {
   std::optional<std::uint64_t> bound;  // step bound (<=k); nullopt = unbounded
 };
 
+/// A path formula is time-bounded when every sampled path decides it after a
+/// fixed number of steps: X always, F/G/U only with an explicit step bound.
+/// This is exactly the class a statistical backend can estimate from finite
+/// paths.
+[[nodiscard]] bool isTimeBounded(const PathFormula& f);
+
 // ---------------------------------------------------------------- properties
 
 /// P-operator query: either a value query (P=?) or a bound (P >= 0.99 etc.).

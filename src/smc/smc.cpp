@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "pctl/parser.hpp"
+#include "util/hash.hpp"
 #include "util/timer.hpp"
 
 namespace mimostat::smc {
@@ -43,6 +44,11 @@ bool evalStateFormula(const dtmc::Model& model, const dtmc::VarLayout& layout,
   throw std::logic_error("unreachable state-formula kind");
 }
 
+std::uint64_t deriveSeed(std::uint64_t seed, std::uint64_t stream) {
+  std::uint64_t state = seed ^ util::mix64(stream + 0x9E3779B97F4A7C15ULL);
+  return util::splitmix64(state);
+}
+
 PathSampler::PathSampler(const dtmc::Model& model, std::uint64_t seed)
     : model_(model), layout_(model.layout()), rng_(seed) {
   reset();
@@ -58,6 +64,7 @@ const dtmc::State& PathSampler::reset() {
 const dtmc::State& PathSampler::step() {
   scratch_.clear();
   model_.transitions(state_, scratch_);
+  if (scratch_.empty()) return state_;  // transition-less state: absorbing
   const double mass = dtmc::normalizeTransitions(scratch_, 0.0);
   double u = rng_.nextDouble() * mass;
   for (const auto& t : scratch_) {
@@ -128,50 +135,160 @@ bool samplePathSatisfies(PathSampler& sampler, const dtmc::Model& model,
 }
 
 void requireBounded(const pctl::PathFormula& path) {
-  if (path.kind != pctl::PathFormula::Kind::kNext && !path.bound) {
+  if (!pctl::isTimeBounded(path)) {
     throw std::invalid_argument(
         "SMC can only estimate bounded path formulas");
   }
+}
+
+/// Draw `options.paths` paths in chunks, each chunk from its own
+/// counter-derived RNG stream, merging per-chunk accumulators in chunk-index
+/// order. `perPath(sampler, acc)` evaluates one path. The accumulator needs
+/// a default constructor and merge(); results are bit-identical for a fixed
+/// seed regardless of how `runner` schedules the chunks.
+template <typename Accumulator, typename PerPath>
+Accumulator sampleChunked(const dtmc::Model& model, const SmcOptions& options,
+                          const TaskRunner& runner, const PerPath& perPath) {
+  const std::uint64_t chunkSize = std::max<std::uint64_t>(1, options.chunkPaths);
+  const std::uint64_t numChunks = (options.paths + chunkSize - 1) / chunkSize;
+  std::vector<Accumulator> partial(numChunks);
+
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(numChunks);
+  for (std::uint64_t c = 0; c < numChunks; ++c) {
+    const std::uint64_t count =
+        std::min(chunkSize, options.paths - c * chunkSize);
+    tasks.push_back([&model, &options, &partial, &perPath, c, count] {
+      PathSampler sampler(model, deriveSeed(options.seed, c));
+      // Accumulate locally and publish once: adjacent partial[] slots share
+      // cache lines, and per-path writes from different workers would
+      // ping-pong them.
+      Accumulator acc;
+      for (std::uint64_t i = 0; i < count; ++i) {
+        perPath(sampler, acc);
+      }
+      partial[c] = acc;
+    });
+  }
+  if (runner) {
+    runner(std::move(tasks));
+  } else {
+    for (auto& task : tasks) task();
+  }
+
+  Accumulator merged;
+  for (const Accumulator& p : partial) merged.merge(p);
+  return merged;
 }
 
 }  // namespace
 
 SmcEstimate estimatePathProbability(const dtmc::Model& model,
                                     const pctl::PathFormula& path,
-                                    const SmcOptions& options) {
+                                    const SmcOptions& options,
+                                    const TaskRunner& runner) {
   requireBounded(path);
   util::Stopwatch timer;
-  PathSampler sampler(model, options.seed);
   SmcEstimate result;
-  for (std::uint64_t i = 0; i < options.paths; ++i) {
-    result.satisfied.add(samplePathSatisfies(sampler, model, path));
-  }
+  result.satisfied = sampleChunked<stats::BernoulliEstimator>(
+      model, options, runner,
+      [&model, &path](PathSampler& sampler, stats::BernoulliEstimator& acc) {
+        acc.add(samplePathSatisfies(sampler, model, path));
+      });
   result.seconds = timer.elapsedSeconds();
   return result;
 }
 
 SmcEstimate estimateProperty(const dtmc::Model& model,
                              std::string_view propertyText,
-                             const SmcOptions& options) {
+                             const SmcOptions& options,
+                             const TaskRunner& runner) {
   const pctl::Property property = pctl::parseProperty(propertyText);
   if (property.kind != pctl::Property::Kind::kProb) {
     throw std::invalid_argument("estimateProperty takes a P-property");
   }
-  return estimatePathProbability(model, property.prob.path, options);
+  return estimatePathProbability(model, property.prob.path, options, runner);
 }
 
 stats::RunningStats estimateInstantaneousReward(const dtmc::Model& model,
                                                 std::uint64_t horizon,
                                                 std::string_view rewardName,
-                                                const SmcOptions& options) {
-  PathSampler sampler(model, options.seed);
-  stats::RunningStats stats;
-  for (std::uint64_t i = 0; i < options.paths; ++i) {
-    sampler.reset();
-    for (std::uint64_t t = 0; t < horizon; ++t) sampler.step();
-    stats.add(model.stateReward(sampler.state(), rewardName));
+                                                const SmcOptions& options,
+                                                const TaskRunner& runner) {
+  return sampleChunked<stats::RunningStats>(
+      model, options, runner,
+      [&model, horizon, rewardName](PathSampler& sampler,
+                                    stats::RunningStats& acc) {
+        sampler.reset();
+        for (std::uint64_t t = 0; t < horizon; ++t) sampler.step();
+        acc.add(model.stateReward(sampler.state(), rewardName));
+      });
+}
+
+stats::RunningStats estimateCumulativeReward(const dtmc::Model& model,
+                                             std::uint64_t horizon,
+                                             std::string_view rewardName,
+                                             const SmcOptions& options,
+                                             const TaskRunner& runner) {
+  return sampleChunked<stats::RunningStats>(
+      model, options, runner,
+      [&model, horizon, rewardName](PathSampler& sampler,
+                                    stats::RunningStats& acc) {
+        sampler.reset();
+        double total = 0.0;
+        // Rewards are collected in states s_0 .. s_{T-1}, mirroring the
+        // exact checker's sum_{t=0}^{T-1} pi_t . r.
+        for (std::uint64_t t = 0; t < horizon; ++t) {
+          total += model.stateReward(sampler.state(), rewardName);
+          sampler.step();
+        }
+        acc.add(total);
+      });
+}
+
+SprtOutcome testPathProbability(const dtmc::Model& model,
+                                const pctl::PathFormula& path, pctl::CmpOp op,
+                                double theta, const SprtOptions& options) {
+  if (op != pctl::CmpOp::kGe && op != pctl::CmpOp::kGt &&
+      op != pctl::CmpOp::kLe && op != pctl::CmpOp::kLt) {
+    throw std::invalid_argument("SPRT needs an inequality bound");
   }
-  return stats;
+  requireBounded(path);
+  if (theta <= 0.0 || theta >= 1.0) {
+    throw std::invalid_argument("SPRT needs 0 < theta < 1");
+  }
+
+  // Shrink the indifference region when theta sits near a boundary so the
+  // SPRT hypotheses stay inside (0, 1).
+  const double delta =
+      std::min({options.indifference, theta / 2.0, (1.0 - theta) / 2.0});
+  stats::Sprt sprt(theta, delta, options.alpha, options.beta);
+  SprtOutcome outcome;
+  outcome.indifference = delta;
+
+  const std::uint64_t chunkSize = std::max<std::uint64_t>(1, options.chunkPaths);
+  for (std::uint64_t c = 0; outcome.pathsUsed < options.maxPaths; ++c) {
+    // One counter-derived stream per chunk: the observation sequence (and
+    // hence the decision) is a pure function of the seed.
+    PathSampler sampler(model, deriveSeed(options.seed, c));
+    for (std::uint64_t i = 0;
+         i < chunkSize && outcome.pathsUsed < options.maxPaths; ++i) {
+      const bool sat = samplePathSatisfies(sampler, model, path);
+      ++outcome.pathsUsed;
+      outcome.observed.add(sat);
+      outcome.decision = sprt.add(sat);
+      if (outcome.decision != stats::SprtDecision::kContinue) break;
+    }
+    if (outcome.decision != stats::SprtDecision::kContinue) break;
+  }
+
+  const bool lowerBound = op == pctl::CmpOp::kGe || op == pctl::CmpOp::kGt;
+  if (outcome.decision == stats::SprtDecision::kAcceptH1) {
+    outcome.holds = lowerBound;  // P >= theta+delta accepted
+  } else if (outcome.decision == stats::SprtDecision::kAcceptH0) {
+    outcome.holds = !lowerBound;  // P <= theta-delta accepted
+  }
+  return outcome;
 }
 
 SprtOutcome testProperty(const dtmc::Model& model,
@@ -184,38 +301,9 @@ SprtOutcome testProperty(const dtmc::Model& model,
         "testProperty needs a bounded-probability P-property (e.g. "
         "P>=0.9 [...])");
   }
-  const double theta = property.prob.boundValue;
-  const pctl::CmpOp op = property.prob.boundOp;
-  if (op != pctl::CmpOp::kGe && op != pctl::CmpOp::kGt &&
-      op != pctl::CmpOp::kLe && op != pctl::CmpOp::kLt) {
-    throw std::invalid_argument("testProperty needs an inequality bound");
-  }
-  requireBounded(property.prob.path);
-
-  if (theta <= 0.0 || theta >= 1.0) {
-    throw std::invalid_argument("testProperty needs 0 < theta < 1");
-  }
-  // Shrink the indifference region when theta sits near a boundary so the
-  // SPRT hypotheses stay inside (0, 1).
-  const double delta =
-      std::min({options.indifference, theta / 2.0, (1.0 - theta) / 2.0});
-  stats::Sprt sprt(theta, delta, options.alpha, options.beta);
-  PathSampler sampler(model, options.seed);
-  SprtOutcome outcome;
-  while (outcome.pathsUsed < options.maxPaths) {
-    const bool sat =
-        samplePathSatisfies(sampler, model, property.prob.path);
-    ++outcome.pathsUsed;
-    outcome.decision = sprt.add(sat);
-    if (outcome.decision != stats::SprtDecision::kContinue) break;
-  }
-  const bool lowerBound = op == pctl::CmpOp::kGe || op == pctl::CmpOp::kGt;
-  if (outcome.decision == stats::SprtDecision::kAcceptH1) {
-    outcome.holds = lowerBound;  // P >= theta+delta accepted
-  } else if (outcome.decision == stats::SprtDecision::kAcceptH0) {
-    outcome.holds = !lowerBound;  // P <= theta-delta accepted
-  }
-  return outcome;
+  return testPathProbability(model, property.prob.path,
+                             property.prob.boundOp, property.prob.boundValue,
+                             options);
 }
 
 }  // namespace mimostat::smc

@@ -89,6 +89,12 @@ class BernoulliEstimator {
     return hoeffdingInterval(successes_, trials_, confidence);
   }
 
+  /// Merge another counter (exact: order-independent sums).
+  void merge(const BernoulliEstimator& other) {
+    trials_ += other.trials_;
+    successes_ += other.successes_;
+  }
+
  private:
   std::uint64_t trials_ = 0;
   std::uint64_t successes_ = 0;

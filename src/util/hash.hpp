@@ -47,7 +47,8 @@ struct VecI32Hash {
 /// reachable state space of models too large to store as full CSR matrices
 /// (the paper's "original model" columns). Linear probing, power-of-two
 /// capacity, grows at 60% load. Value 0 is reserved as the empty marker, so
-/// keys are stored with +1 bias.
+/// keys are stored with +1 bias; the one key whose bias wraps to the marker
+/// (~0) is tracked out of band so every 64-bit key is storable.
 class PackedStateSet {
  public:
   explicit PackedStateSet(std::size_t initialCapacity = 1 << 16);
@@ -64,6 +65,7 @@ class PackedStateSet {
   std::vector<std::uint64_t> table_;
   std::size_t size_ = 0;
   std::size_t mask_ = 0;
+  bool hasMaxKey_ = false;
 };
 
 inline PackedStateSet::PackedStateSet(std::size_t initialCapacity) {
@@ -74,6 +76,12 @@ inline PackedStateSet::PackedStateSet(std::size_t initialCapacity) {
 }
 
 inline bool PackedStateSet::insert(std::uint64_t key) {
+  if (key == ~0ULL) {  // its bias would wrap to the empty marker
+    if (hasMaxKey_) return false;
+    hasMaxKey_ = true;
+    ++size_;
+    return true;
+  }
   const std::uint64_t stored = key + 1;  // bias away from the empty marker
   std::size_t idx = static_cast<std::size_t>(mix64(stored)) & mask_;
   while (true) {
@@ -90,6 +98,7 @@ inline bool PackedStateSet::insert(std::uint64_t key) {
 }
 
 inline bool PackedStateSet::contains(std::uint64_t key) const {
+  if (key == ~0ULL) return hasMaxKey_;
   const std::uint64_t stored = key + 1;
   std::size_t idx = static_cast<std::size_t>(mix64(stored)) & mask_;
   while (true) {
@@ -105,7 +114,7 @@ inline void PackedStateSet::grow() {
   old.swap(table_);
   table_.assign(old.size() * 2, 0);
   mask_ = table_.size() - 1;
-  size_ = 0;
+  size_ = hasMaxKey_ ? 1 : 0;  // the out-of-band key survives the rehash
   for (std::uint64_t slot : old) {
     if (slot != 0) insert(slot - 1);
   }

@@ -13,6 +13,8 @@
 #include "engine/thread_pool.hpp"
 #include "mc/checker.hpp"
 #include "mc/transient.hpp"
+#include "pctl/parser.hpp"
+#include "smc/smc.hpp"
 #include "test_models.hpp"
 #include "viterbi/model_reduced.hpp"
 
@@ -346,6 +348,233 @@ TEST(Engine, SamplingEstimateTracksExactValue) {
       exactResponse.results[0].value));
   EXPECT_NEAR(sampledResponse.results[0].value,
               exactResponse.results[0].value, 0.02);
+}
+
+TEST(Engine, SamplingSeedsArePerProperty) {
+  // Each property samples its own derived stream: the engine's result for
+  // property i must equal a standalone estimate seeded deriveSeed(seed, i),
+  // so identical sibling properties see independent (different) streams.
+  auto model = test::twoStateChain(0.3, 0.4);
+  model.withLabel("one", {0, 1});
+
+  engine::AnalysisEngine eng;
+  engine::AnalysisRequest request;
+  request.model = &model;
+  request.properties = {"P=? [ F<=5 \"one\" ]", "P=? [ F<=5 \"one\" ]"};
+  request.options.backend = engine::Backend::kSampling;
+  request.options.smc.paths = 4000;
+  request.options.smc.seed = 17;
+
+  const auto response = eng.analyze(request);
+  ASSERT_TRUE(response.ok());
+  const auto parsed = pctl::parseProperty("P=? [ F<=5 \"one\" ]");
+  for (std::size_t i = 0; i < 2; ++i) {
+    smc::SmcOptions expected = request.options.smc;
+    expected.seed = smc::deriveSeed(request.options.smc.seed, i);
+    const auto reference =
+        smc::estimatePathProbability(model, parsed.prob.path, expected);
+    EXPECT_EQ(response.results[i].value, reference.estimate())
+        << "property " << i;
+    EXPECT_EQ(response.results[i].samples, reference.satisfied.trials());
+  }
+  // The derived streams are distinct, so the sibling raw counts differ
+  // (deterministic given the fixed seed — not a statistical assertion).
+  EXPECT_NE(smc::deriveSeed(17, 0), smc::deriveSeed(17, 1));
+}
+
+TEST(Engine, SamplingIsDeterministicAcrossThreadCounts) {
+  // Acceptance criterion: bit-identical sampling results for a fixed seed
+  // at 1, 2 and 8 worker threads, across every estimable property form.
+  auto model = test::twoStateChain(0.3, 0.4);
+  model.withLabel("one", {0, 1}).withRewards({0.0, 1.0});
+
+  engine::AnalysisRequest request;
+  request.model = &model;
+  request.properties = {"P=? [ F<=5 \"one\" ]", "R=? [ I=12 ]",
+                        "R=? [ C<=12 ]", "P>=0.6 [ F<=5 \"one\" ]"};
+  request.options.backend = engine::Backend::kSampling;
+  request.options.smc.paths = 6000;
+  request.options.smc.seed = 29;
+  request.options.smc.chunkPaths = 512;
+
+  std::vector<engine::AnalysisResponse> responses;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    engine::AnalysisEngine eng(engine::EngineOptions{threads, 8});
+    responses.push_back(eng.analyze(request));
+  }
+  for (std::size_t r = 1; r < responses.size(); ++r) {
+    ASSERT_EQ(responses[r].results.size(), responses[0].results.size());
+    for (std::size_t p = 0; p < responses[0].results.size(); ++p) {
+      const auto& a = responses[0].results[p];
+      const auto& b = responses[r].results[p];
+      ASSERT_TRUE(a.ok()) << a.error;
+      ASSERT_TRUE(b.ok()) << b.error;
+      EXPECT_EQ(a.value, b.value) << "property " << p;
+      EXPECT_EQ(a.samples, b.samples) << "property " << p;
+      EXPECT_EQ(a.satisfied, b.satisfied) << "property " << p;
+      ASSERT_EQ(a.interval95.has_value(), b.interval95.has_value());
+      if (a.interval95 && b.interval95) {
+        EXPECT_EQ(a.interval95->low, b.interval95->low);
+        EXPECT_EQ(a.interval95->high, b.interval95->high);
+      }
+      EXPECT_EQ(a.sprt.has_value(), b.sprt.has_value());
+      if (a.sprt && b.sprt) {
+        EXPECT_EQ(a.sprt->pathsUsed, b.sprt->pathsUsed);
+        EXPECT_EQ(a.sprt->decided, b.sprt->decided);
+      }
+    }
+  }
+}
+
+TEST(Engine, SprtDecidesBoundedProbabilityWithGuarantees) {
+  // P(F<=5 "one") ~ 0.832: thresholds straddling the truth must accept and
+  // reject with the requested alpha/beta attached to the verdict.
+  auto model = test::twoStateChain(0.3, 0.4);
+  model.withLabel("one", {0, 1});
+
+  engine::AnalysisEngine eng;
+  engine::AnalysisRequest request;
+  request.model = &model;
+  request.properties = {"P>=0.6 [ F<=5 \"one\" ]", "P>=0.95 [ F<=5 \"one\" ]",
+                        "P<=0.95 [ F<=5 \"one\" ]"};
+  request.options.backend = engine::Backend::kSampling;
+  request.options.smc.seed = 5;
+  request.options.sprt.alpha = 0.001;
+  request.options.sprt.beta = 0.002;
+  request.options.sprt.indifference = 0.05;
+
+  const auto response = eng.analyze(request);
+  ASSERT_TRUE(response.ok());
+  for (const auto& result : response.results) {
+    ASSERT_TRUE(result.sprt.has_value()) << result.property;
+    EXPECT_TRUE(result.sprt->decided) << result.property;
+    EXPECT_GT(result.sprt->pathsUsed, 0u);
+    EXPECT_EQ(result.sprt->alpha, 0.001);
+    EXPECT_EQ(result.sprt->beta, 0.002);
+    EXPECT_GT(result.sprt->indifference, 0.0);
+    EXPECT_EQ(result.samples, result.sprt->pathsUsed);
+    // The SPRT stops early — far fewer paths than a fixed-n estimate, and
+    // its free point estimate rides along. No interval95: adaptive stopping
+    // voids fixed-sample coverage, the guarantee is alpha/beta.
+    EXPECT_GT(result.value, 0.0);
+    EXPECT_FALSE(result.interval95.has_value());
+  }
+  EXPECT_TRUE(response.results[0].satisfied);   // 0.6 < 0.832
+  EXPECT_FALSE(response.results[1].satisfied);  // 0.95 > 0.832
+  EXPECT_TRUE(response.results[2].satisfied);   // upper-bound claim holds
+}
+
+TEST(Engine, SamplingHandlesEveryExactRewardForm) {
+  // No listed property form may fall through to the "requires the exact
+  // backend" error; unbounded/steady-state forms still must.
+  auto model = test::twoStateChain(0.3, 0.4);
+  model.withLabel("one", {0, 1}).withRewards({0.0, 1.0});
+
+  engine::AnalysisEngine eng;
+  engine::AnalysisRequest request;
+  request.model = &model;
+  request.properties = {"P=? [ F<=5 \"one\" ]", "P>=0.5 [ F<=5 \"one\" ]",
+                        "R=? [ I=10 ]", "R=? [ C<=10 ]", "R=? [ S ]",
+                        "P=? [ F \"one\" ]"};
+  request.options.backend = engine::Backend::kSampling;
+  request.options.smc.paths = 2000;
+
+  const auto response = eng.analyze(request);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(response.results[i].ok()) << response.results[i].error;
+  }
+  EXPECT_FALSE(response.results[4].ok());  // steady state: exact only
+  EXPECT_FALSE(response.results[5].ok());  // unbounded F: exact only
+
+  // The sampled cumulative reward brackets the exact value.
+  engine::AnalysisRequest exact = request;
+  exact.properties = {"R=? [ C<=10 ]"};
+  exact.options.backend = engine::Backend::kExact;
+  const auto exactResponse = eng.analyze(exact);
+  ASSERT_TRUE(exactResponse.ok());
+  ASSERT_TRUE(response.results[3].interval95.has_value());
+  EXPECT_TRUE(response.results[3].interval95->contains(
+      exactResponse.results[0].value))
+      << "exact " << exactResponse.results[0].value << " sampled "
+      << response.results[3].value;
+}
+
+TEST(Engine, BackendsAgreeOnTransitionlessStates) {
+  // The absorbing convention for dead-end states is shared: the builder
+  // materializes the self-loop the sampler assumes, so exact and sampling
+  // answers agree on models with transition-less states.
+  test::MatrixModel model({{0.0, 1.0}, {0.0, 0.0}});  // state 1 is a dead end
+  model.withRewards({0.0, 1.0});
+
+  engine::AnalysisEngine eng;
+  engine::AnalysisRequest request;
+  request.model = &model;
+  request.properties = {"P=? [ F<=3 s=1 ]", "R=? [ I=5 ]", "R=? [ C<=5 ]"};
+  request.options.smc.paths = 500;
+
+  engine::AnalysisRequest sampled = request;
+  sampled.options.backend = engine::Backend::kSampling;
+  request.options.backend = engine::Backend::kExact;
+
+  const auto exact = eng.analyze(request);
+  const auto estimate = eng.analyze(sampled);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(estimate.ok());
+  // The chain is deterministic, so even the sampled values are exact.
+  EXPECT_EQ(exact.results[0].value, 1.0);  // reaches the dead end
+  EXPECT_EQ(exact.results[1].value, 1.0);  // absorbed, reward 1 at T=5
+  EXPECT_EQ(exact.results[2].value, 4.0);  // rewards at t=1..4
+  for (std::size_t p = 0; p < request.properties.size(); ++p) {
+    EXPECT_EQ(exact.results[p].value, estimate.results[p].value)
+        << request.properties[p];
+  }
+
+  // The signature probe applies the same convention: its transition count
+  // includes the implicit self-loop, and a model spelling the self-loop out
+  // explicitly shares the cache key.
+  const auto sig = dtmc::modelSignature(model);
+  EXPECT_EQ(sig.transitions, dtmc::buildExplicit(model).dtmc.numTransitions());
+  test::MatrixModel explicitLoop({{0.0, 1.0}, {0.0, 1.0}});
+  EXPECT_EQ(sig.hash, dtmc::modelSignature(explicitLoop).hash);
+}
+
+TEST(ModelSignature, WideLayoutFallsBackToVectorProbe) {
+  // A layout wider than 64 bits cannot pack; the probe must still work via
+  // the vector-state path.
+  class WideModel : public dtmc::Model {
+   public:
+    [[nodiscard]] std::vector<dtmc::VarSpec> variables() const override {
+      return {{"a", 0, 0x7FFFFFFF}, {"b", 0, 0x7FFFFFFF},
+              {"c", 0, 0x7FFFFFFF}};
+    }
+    [[nodiscard]] std::vector<dtmc::State> initialStates() const override {
+      return {{0, 0, 0}};
+    }
+    void transitions(const dtmc::State& s,
+                     std::vector<dtmc::Transition>& out) const override {
+      dtmc::State next = s;
+      next[0] = (s[0] + 1) % 3;
+      out.push_back({1.0, next});
+    }
+  };
+  WideModel model;
+  EXPECT_FALSE(model.layout().fitsInU64());
+  const auto sig = dtmc::modelSignature(model);
+  EXPECT_TRUE(sig.exact);
+  EXPECT_EQ(sig.states, 3u);
+  EXPECT_EQ(sig.hash, dtmc::modelSignature(model).hash);
+}
+
+TEST(ModelSignature, PackedProbeMatchesBuildCounts) {
+  // gamblersRuin packs into u64, so the probe takes the PackedStateSet
+  // path; its state/transition counts must match the explicit build.
+  const auto model = test::gamblersRuin(64, 0.4, 32);
+  ASSERT_TRUE(model.layout().fitsInU64());
+  const auto sig = dtmc::modelSignature(model);
+  const auto build = dtmc::buildExplicit(model);
+  EXPECT_TRUE(sig.exact);
+  EXPECT_EQ(sig.states, build.dtmc.numStates());
+  EXPECT_EQ(sig.transitions, build.dtmc.numTransitions());
 }
 
 TEST(Engine, ParseErrorIsPerProperty) {

@@ -1,13 +1,30 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <thread>
+
 #include "dtmc/builder.hpp"
 #include "mc/checker.hpp"
+#include "mc/transient.hpp"
 #include "smc/smc.hpp"
 #include "test_models.hpp"
+#include "viterbi/model_convergence.hpp"
 #include "viterbi/model_reduced.hpp"
 
 namespace mimostat {
 namespace {
+
+/// Runs chunk tasks in reverse order on ad-hoc threads — an adversarial
+/// TaskRunner for the determinism contract (merge order must not depend on
+/// execution order).
+void reverseThreadedRunner(std::vector<std::function<void()>> tasks) {
+  std::vector<std::thread> threads;
+  threads.reserve(tasks.size());
+  for (auto it = tasks.rbegin(); it != tasks.rend(); ++it) {
+    threads.emplace_back(std::move(*it));
+  }
+  for (auto& t : threads) t.join();
+}
 
 TEST(Smc, StateFormulaEvaluation) {
   auto model = test::twoStateChain(0.3, 0.4);
@@ -70,6 +87,141 @@ TEST(Smc, UnboundedFormulaRejected) {
                std::invalid_argument);
   EXPECT_THROW(smc::estimateProperty(model, "R=? [ I=5 ]", options),
                std::invalid_argument);
+}
+
+TEST(Smc, TransitionlessStateIsAbsorbing) {
+  // Regression: a state without outgoing transitions used to read
+  // scratch_.back() on an empty vector (UB). It must act as a self-loop.
+  test::MatrixModel model({{0.0, 1.0}, {0.0, 0.0}});  // state 1 is a dead end
+  smc::PathSampler sampler(model, 3);
+  sampler.reset();
+  EXPECT_EQ(sampler.state()[0], 0);
+  EXPECT_EQ(sampler.step()[0], 1);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(sampler.step()[0], 1);  // absorbed
+  }
+
+  smc::SmcOptions options;
+  options.paths = 200;
+  const auto estimate =
+      smc::estimateProperty(model, "P=? [ F<=4 s=1 ]", options);
+  EXPECT_EQ(estimate.estimate(), 1.0);
+  const auto globally =
+      smc::estimateProperty(model, "P=? [ G<=10 s<=1 ]", options);
+  EXPECT_EQ(globally.estimate(), 1.0);
+}
+
+TEST(Smc, DeriveSeedSeparatesStreams) {
+  // Derived seeds must differ across streams and across base seeds, and be
+  // a pure function of both.
+  EXPECT_EQ(smc::deriveSeed(1, 0), smc::deriveSeed(1, 0));
+  EXPECT_NE(smc::deriveSeed(1, 0), smc::deriveSeed(1, 1));
+  EXPECT_NE(smc::deriveSeed(1, 0), smc::deriveSeed(2, 0));
+  // Streams derived from consecutive seeds should not collide either.
+  EXPECT_NE(smc::deriveSeed(1, 1), smc::deriveSeed(2, 0));
+
+  // Samplers on distinct derived streams decorrelate: their state sequences
+  // diverge (deterministically, so this cannot flake).
+  const auto model = test::randomModel(20, 3, 9);
+  smc::PathSampler a(model, smc::deriveSeed(7, 0));
+  smc::PathSampler b(model, smc::deriveSeed(7, 1));
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.step() != b.step()) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(Smc, CumulativeRewardMatchesExact) {
+  auto model = test::twoStateChain(0.25, 0.4);
+  model.withRewards({0.0, 1.0});
+  const auto d = dtmc::buildExplicit(model).dtmc;
+  const mc::Checker checker(d, model);
+  const double exact = checker.check("R=? [ C<=25 ]").value;
+
+  smc::SmcOptions options;
+  options.paths = 40'000;
+  options.seed = 9;
+  const auto stats = smc::estimateCumulativeReward(model, 25, "", options);
+  EXPECT_EQ(stats.count(), options.paths);
+  EXPECT_NEAR(stats.mean(), exact, 4.0 * stats.standardError() + 1e-6);
+}
+
+TEST(Smc, CumulativeRewardZeroHorizonIsZero) {
+  auto model = test::twoStateChain(0.25, 0.4);
+  model.withRewards({1.0, 1.0});
+  smc::SmcOptions options;
+  options.paths = 100;
+  const auto stats = smc::estimateCumulativeReward(model, 0, "", options);
+  EXPECT_EQ(stats.mean(), 0.0);
+  const auto one = smc::estimateCumulativeReward(model, 1, "", options);
+  EXPECT_EQ(one.mean(), 1.0);  // reward collected in s_0 only
+}
+
+TEST(Smc, CumulativeRewardWithinCiOnViterbiModels) {
+  // Table III model (reduced Viterbi) and Table IV model (convergence):
+  // sampled R=?[C<=T] must bracket the exact transient sum.
+  viterbi::ViterbiParams params;
+  params.tracebackLength = 3;
+  const viterbi::ReducedViterbiModel table3(params);
+  const viterbi::ConvergenceViterbiModel table4(params, /*maxCount=*/4);
+  const dtmc::Model* models[] = {&table3, &table4};
+  for (const dtmc::Model* model : models) {
+    const auto d = dtmc::buildExplicit(*model).dtmc;
+    const mc::Checker checker(d, *model);
+    const double exact = checker.check("R=? [ C<=30 ]").value;
+    smc::SmcOptions options;
+    options.paths = 20'000;
+    options.seed = 21;
+    const auto stats = smc::estimateCumulativeReward(*model, 30, "", options);
+    EXPECT_NEAR(stats.mean(), exact, 4.0 * stats.standardError() + 1e-9)
+        << "exact " << exact << " mean " << stats.mean();
+  }
+}
+
+TEST(Smc, ChunkedEstimatesAreRunnerInvariant) {
+  // The determinism contract: for a fixed seed the result is bit-identical
+  // whether chunks run serially, or threaded in reverse order.
+  auto model = test::twoStateChain(0.3, 0.4);
+  model.withLabel("one", {0, 1}).withRewards({0.0, 1.0});
+  smc::SmcOptions options;
+  options.paths = 5'000;
+  options.seed = 13;
+  options.chunkPaths = 512;  // 10 chunks
+
+  const auto serialP =
+      smc::estimateProperty(model, "P=? [ F<=5 \"one\" ]", options);
+  const auto threadedP = smc::estimateProperty(
+      model, "P=? [ F<=5 \"one\" ]", options, reverseThreadedRunner);
+  EXPECT_EQ(serialP.satisfied.trials(), threadedP.satisfied.trials());
+  EXPECT_EQ(serialP.satisfied.successes(), threadedP.satisfied.successes());
+
+  const auto serialI = smc::estimateInstantaneousReward(model, 12, "", options);
+  const auto threadedI = smc::estimateInstantaneousReward(
+      model, 12, "", options, reverseThreadedRunner);
+  EXPECT_EQ(serialI.mean(), threadedI.mean());
+  EXPECT_EQ(serialI.variance(), threadedI.variance());
+
+  const auto serialC = smc::estimateCumulativeReward(model, 12, "", options);
+  const auto threadedC = smc::estimateCumulativeReward(
+      model, 12, "", options, reverseThreadedRunner);
+  EXPECT_EQ(serialC.mean(), threadedC.mean());
+  EXPECT_EQ(serialC.variance(), threadedC.variance());
+}
+
+TEST(Smc, SprtIsDeterministicPerSeed) {
+  auto model = test::twoStateChain(0.3, 0.4);
+  model.withLabel("one", {0, 1});
+  smc::SprtOptions options;
+  options.indifference = 0.02;
+  options.seed = 31;
+  const auto a = smc::testProperty(model, "P>=0.8 [ F<=5 \"one\" ]", options);
+  const auto b = smc::testProperty(model, "P>=0.8 [ F<=5 \"one\" ]", options);
+  EXPECT_EQ(a.decision, b.decision);
+  EXPECT_EQ(a.pathsUsed, b.pathsUsed);
+  EXPECT_EQ(a.observed.successes(), b.observed.successes());
+  EXPECT_EQ(a.observed.trials(), a.pathsUsed);
+  EXPECT_GT(a.indifference, 0.0);
 }
 
 TEST(Smc, SprtAcceptsTrueClaim) {
