@@ -3,12 +3,20 @@
 // C1 decreases with L and stabilises past L = 5m (m=1 here), empirically
 // justifying the folklore L = 4m..5m traceback-depth rule.
 //
-// One model with a deep saturating counter answers every L through the
-// "nc<k>" reward structures — a single transient pass per horizon.
+// The L study is a declarative sweep::SweepSpec: one axis L, one shared
+// deep-counter model whose "nc<k>" reward structures answer every L, one
+// property per point. The runner coalesces all points into one engine
+// request — a single transient pass to the common horizon — asserted
+// bit-identical to the hand-rolled per-L checker loop this bench used to
+// be.
 #include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "dtmc/builder.hpp"
-#include "mc/checker.hpp"
+#include "sweep/runner.hpp"
+#include "sweep_reference.hpp"
 #include "viterbi/model_convergence.hpp"
 
 int main() {
@@ -21,19 +29,31 @@ int main() {
   params.snrDb = 8.0;
   params.tracebackLength = 8;  // default reward's L; nc<k> covers the sweep
   const int maxL = 14;
-  const viterbi::ConvergenceViterbiModel model(params, maxL + 2);
-  const auto build = dtmc::buildExplicit(model);
-  const mc::Checker checker(build.dtmc, model);
+  const auto model = std::make_shared<viterbi::ConvergenceViterbiModel>(
+      params, maxL + 2);
 
-  std::printf("Model: %u states, RI=%u\n\n", build.dtmc.numStates(),
-              build.reachabilityIterations);
+  sweep::SweepSpec spec("fig2");
+  spec.space.cross(sweep::Axis::ints("L", 2, maxL));
+  spec.share(model);
+  spec.properties = [](const sweep::Params& p) {
+    return std::vector<std::string>{
+        "R{\"nc" + std::to_string(p.getInt("L")) + "\"}=? [ I=400 ]"};
+  };
+
+  engine::AnalysisEngine engine;
+  const sweep::Runner runner(engine);
+  const sweep::ResultTable table = runner.run(spec);
+  const auto& rows = table.rows();
+
+  std::printf("Model: %llu states, built once for %zu points (one batched "
+              "sweep: %s)\n\n",
+              static_cast<unsigned long long>(rows.front().states),
+              rows.size(), rows.front().batched ? "yes" : "no");
   std::printf("%-6s %-14s %-14s\n", "L", "C1", "C1(L)/C1(L+1)");
 
   std::vector<double> series;
-  for (int L = 2; L <= maxL; ++L) {
-    const std::string prop = "R{\"nc" + std::to_string(L) + "\"}=? [ I=400 ]";
-    series.push_back(checker.check(prop).value);
-  }
+  series.reserve(rows.size());
+  for (const auto& row : rows) series.push_back(row.value);
   for (int L = 2; L <= maxL; ++L) {
     const double c1 = series[static_cast<std::size_t>(L - 2)];
     const double ratio = (L < maxL && series[static_cast<std::size_t>(L - 1)] > 0)
@@ -42,16 +62,26 @@ int main() {
     std::printf("%-6d %-14.6e %-14.3f\n", L, c1, ratio);
   }
 
+  // Bit-identical cross-check against the hand-rolled loop this sweep
+  // replaces: fresh build, one independent checker call per L.
+  const auto build = dtmc::buildExplicit(*model);
+  const mc::Checker checker(build.dtmc, *model);
+  const double maxDiff = bench::sweepVsHandRolledMaxDiff(table, checker);
+  const bool identical = maxDiff == 0.0;
+  std::printf("\nSweep vs hand-rolled loop: max|diff| = %.3g "
+              "(bit-identical: %s)\n",
+              maxDiff, identical ? "yes" : "NO");
+
   bool monotone = true;
   for (std::size_t i = 1; i < series.size(); ++i) {
     if (series[i] > series[i - 1] + 1e-15) monotone = false;
   }
-  std::printf("\nShape check: monotone decreasing in L: %s\n",
+  std::printf("Shape check: monotone decreasing in L: %s\n",
               monotone ? "yes" : "NO");
   // "Stabilises" in the paper's sense: the *decision* cost of raising L past
   // 5m is marginal because C1 is already tiny (geometric decay).
   const double atFiveM = series[3];  // L=5 (m=1)
   std::printf("C1 at L=5m is already %.2e (< 1e-2: %s)\n", atFiveM,
               atFiveM < 1e-2 ? "yes" : "NO");
-  return 0;
+  return identical && table.ok() ? 0 : 1;
 }

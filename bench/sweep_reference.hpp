@@ -1,0 +1,30 @@
+// Shared by the SweepSpec-ported bench drivers: re-answer every sweep row
+// with the hand-rolled per-call checker loop the sweep replaced and report
+// the largest absolute difference. 0.0 means bit-identical; NaN (e.g. a
+// failed row exported as NaN) propagates so it can never read as a pass.
+#pragma once
+
+#include <cmath>
+#include <limits>
+
+#include "mc/checker.hpp"
+#include "sweep/result_table.hpp"
+
+namespace mimostat::bench {
+
+inline double sweepVsHandRolledMaxDiff(const sweep::ResultTable& table,
+                                       const mc::Checker& checker) {
+  double maxDiff = 0.0;
+  for (const auto& row : table.rows()) {
+    // A failed row has no reference to compare against (its property may be
+    // empty or unparsable) — report NaN rather than re-checking it.
+    if (!row.ok()) return std::numeric_limits<double>::quiet_NaN();
+    const double diff =
+        std::fabs(row.value - checker.check(row.property).value);
+    if (std::isnan(diff)) return std::numeric_limits<double>::quiet_NaN();
+    if (diff > maxDiff) maxDiff = diff;
+  }
+  return maxDiff;
+}
+
+}  // namespace mimostat::bench

@@ -4,64 +4,111 @@
 // The shape to verify: the value stabilises for T >> RI, so the
 // steady-state P2 can be read off as the BER.
 //
-// All horizons are one engine request: they share a single 1000-step
-// transient sweep instead of one propagation per row.
+// The horizon study is a declarative sweep::SweepSpec: one axis T, one
+// shared model, one property per point. The runner coalesces every point
+// into a single engine request, so all horizons ride one 1000-step
+// transient sweep — and the numbers are asserted bit-identical to the
+// hand-rolled per-horizon checker loop this bench used to be.
+//
+// `--csv <path>` additionally writes the sweep's long-format CSV (used by
+// the CI sweep-smoke job as a workflow artifact).
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "engine/engine.hpp"
+#include "dtmc/builder.hpp"
 #include "mc/transient.hpp"
+#include "sweep/runner.hpp"
+#include "sweep_reference.hpp"
 #include "viterbi/model_reduced.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mimostat;
+
+  const char* csvPath = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--csv requires a path argument\n");
+        return 2;
+      }
+      csvPath = argv[++i];
+    }
+  }
 
   std::printf("=== Table III: P2 for the Viterbi decoder vs T ===\n");
   std::printf("(paper: 0.2373 / 0.2394 / 0.2397 / 0.2398, RI=263)\n\n");
 
   viterbi::ViterbiParams params;  // L=6, SNR 5 dB
-  const viterbi::ReducedViterbiModel model(params);
+  const auto model = std::make_shared<viterbi::ReducedViterbiModel>(params);
 
   // Our documented quantizer widths give a much shorter mixing time than
   // the authors' (steady by T~60 vs their T~300); the small-T rows expose
   // the same transient shape their Table III shows between T=100 and 1000.
-  const std::vector<std::uint64_t> horizons{5, 10, 25, 50, 100, 300, 600, 1000};
+  sweep::SweepSpec spec("table3");
+  spec.space.cross(sweep::Axis::values(
+      "T", {std::int64_t{5}, std::int64_t{10}, std::int64_t{25},
+            std::int64_t{50}, std::int64_t{100}, std::int64_t{300},
+            std::int64_t{600}, std::int64_t{1000}}));
+  spec.share(model);
+  spec.properties = [](const sweep::Params& p) {
+    return std::vector<std::string>{"R=? [ I=" + std::to_string(p.getInt("T")) +
+                                    " ]"};
+  };
 
   engine::AnalysisEngine engine;
-  engine::AnalysisRequest request;
-  request.model = &model;
-  for (const auto horizon : horizons) {
-    request.properties.push_back("R=? [ I=" + std::to_string(horizon) + " ]");
-  }
-  const engine::AnalysisResponse response = engine.analyze(request);
+  const sweep::Runner runner(engine);
+  const sweep::ResultTable table = runner.run(spec);
 
-  std::printf("Model: %llu states, %llu transitions, RI=%u, built in %.2fs "
-              "(batched sweep: %.3fs total)\n\n",
-              static_cast<unsigned long long>(response.states),
-              static_cast<unsigned long long>(response.transitions),
-              response.reachabilityIterations, response.buildSeconds,
-              response.results.back().checkSeconds);
+  const auto& rows = table.rows();
+  std::printf("Model: %llu states, %llu transitions, built once for %zu "
+              "points (batched sweep: %.3fs total)\n\n",
+              static_cast<unsigned long long>(rows.front().states),
+              static_cast<unsigned long long>(rows.front().transitions),
+              rows.size(), rows.back().checkSeconds);
 
   std::printf("%-8s %-14s %-10s\n", "T", "P2", "batched");
-  for (std::size_t i = 0; i < response.results.size(); ++i) {
-    std::printf("%-8llu %-14.6g %-10s\n",
-                static_cast<unsigned long long>(horizons[i]),
-                response.results[i].value,
-                response.results[i].batched ? "yes" : "no");
+  for (const auto& row : rows) {
+    std::printf("%-8s %-14.6g %-10s\n",
+                sweep::formatParamValue(row.params[0]).c_str(), row.value,
+                row.batched ? "yes" : "no");
   }
 
-  const auto built = engine.ensureBuilt(model);
-  const auto reward = built->dtmc.evalReward(model, "");
+  // Bit-identical cross-check against the hand-rolled loop this sweep
+  // replaces: fresh build, one independent transient propagation per T.
+  const auto build = dtmc::buildExplicit(*model);
+  const mc::Checker checker(build.dtmc, *model);
+  const double maxDiff = bench::sweepVsHandRolledMaxDiff(table, checker);
+  const bool identical = maxDiff == 0.0;
+  std::printf("\nSweep vs hand-rolled loop: max|diff| = %.3g "
+              "(bit-identical: %s)\n",
+              maxDiff, identical ? "yes" : "NO");
+
+  const auto built = engine.ensureBuilt(*model);
+  const auto reward = built->dtmc.evalReward(*model, "");
   const auto detection =
       mc::detectRewardSteadyState(built->dtmc, reward, 1e-10, 16, 5000);
-  std::printf("\nSteady state detected at T=%llu (P2 -> %.6g): %s\n",
+  std::printf("Steady state detected at T=%llu (P2 -> %.6g): %s\n",
               static_cast<unsigned long long>(detection.step),
               detection.value, detection.converged ? "yes" : "NO");
-  const double drift =
-      response.results.back().value - response.results[5].value;
+  const double drift = rows.back().value - rows[5].value;
   std::printf("Shape check: |P2(1000) - P2(300)| = %.2e (< 1e-2: %s)\n",
               drift < 0 ? -drift : drift,
               (drift < 1e-2 && drift > -1e-2) ? "yes" : "NO");
-  return 0;
+
+  if (csvPath != nullptr) {
+    std::ofstream out(csvPath);
+    table.writeCsv(out);
+    out.flush();
+    if (!out.good()) {
+      std::fprintf(stderr, "failed to write sweep CSV to %s\n", csvPath);
+      return 3;
+    }
+    std::printf("\nSweep CSV written to %s (%zu rows)\n", csvPath,
+                table.size());
+  }
+  return identical && table.ok() ? 0 : 1;
 }

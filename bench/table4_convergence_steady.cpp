@@ -4,13 +4,19 @@
 // plus the paper's claim that C1 is checkable within ~120 s on a model of
 // only ~61,000 states thanks to the projection onto (pm0, pm1, x0, count).
 //
-// The three horizons are one engine request sharing one transient sweep.
+// The horizon study is a declarative sweep::SweepSpec sharing one model:
+// the runner coalesces the three horizons into a single engine request
+// (one transient sweep), asserted bit-identical to the hand-rolled
+// per-horizon checker loop.
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "engine/engine.hpp"
+#include "dtmc/builder.hpp"
 #include "mc/steady.hpp"
+#include "sweep/runner.hpp"
+#include "sweep_reference.hpp"
 #include "viterbi/model_convergence.hpp"
 #include "viterbi/sim.hpp"
 
@@ -23,30 +29,56 @@ int main() {
   viterbi::ViterbiParams params;
   params.tracebackLength = 8;
   params.snrDb = 8.0;
-  const viterbi::ConvergenceViterbiModel model(params, /*maxCount=*/12);
+  const auto model = std::make_shared<viterbi::ConvergenceViterbiModel>(
+      params, /*maxCount=*/12);
 
-  const std::vector<std::uint64_t> horizons{100, 400, 1000};
+  sweep::SweepSpec spec("table4");
+  spec.space.cross(sweep::Axis::values(
+      "T", {std::int64_t{100}, std::int64_t{400}, std::int64_t{1000}}));
+  spec.share(model);
+  spec.properties = [](const sweep::Params& p) {
+    return std::vector<std::string>{"R=? [ I=" + std::to_string(p.getInt("T")) +
+                                    " ]"};
+  };
+
   engine::AnalysisEngine engine;
-  engine::AnalysisRequest request;
-  request.model = &model;
-  for (const auto horizon : horizons) {
-    request.properties.push_back("R=? [ I=" + std::to_string(horizon) + " ]");
-  }
-  const engine::AnalysisResponse response = engine.analyze(request);
+  const sweep::Runner runner(engine);
+  const sweep::ResultTable table = runner.run(spec);
+  const auto& rows = table.rows();
 
-  std::printf("Model: %llu states, %llu transitions, RI=%u, built in %.2fs\n\n",
-              static_cast<unsigned long long>(response.states),
-              static_cast<unsigned long long>(response.transitions),
-              response.reachabilityIterations, response.buildSeconds);
+  std::printf("Model: %llu states, %llu transitions, built once for %zu "
+              "points\n\n",
+              static_cast<unsigned long long>(rows.front().states),
+              static_cast<unsigned long long>(rows.front().transitions),
+              rows.size());
 
-  std::printf("%-8s %-14s %-10s\n", "T", "C1", "time(s)");
-  for (std::size_t i = 0; i < response.results.size(); ++i) {
-    std::printf("%-8llu %-14.6g %-10.3f\n",
-                static_cast<unsigned long long>(horizons[i]),
-                response.results[i].value, response.results[i].checkSeconds);
+  std::printf("%-8s %-14s %-10s\n", "T", "C1", "batched");
+  for (const auto& row : rows) {
+    std::printf("%-8s %-14.6g %-10s\n",
+                sweep::formatParamValue(row.params[0]).c_str(), row.value,
+                row.batched ? "yes" : "no");
   }
 
-  const auto built = engine.ensureBuilt(model);
+  // KNOWN GAP: our C1 magnitude (~2.1e-4) sits below the paper's ~1.0e-3.
+  // The authors' quantizer wordlengths are not fully specified; ours (see
+  // comm/quantizer.cpp) quantize the path metrics more finely, which makes
+  // metric ties — the non-convergence trigger — rarer. The reproduced claim
+  // is the *shape*: C1 is flat in T (steady state) on a ~61k-state
+  // projection. Not a sweep bug; see README "Reproducing the paper".
+  std::printf("\nNOTE: C1 magnitude here is ~2.1e-4 vs the paper's ~1.0e-3 "
+              "(quantizer-width provenance; see README).\n");
+
+  // Bit-identical cross-check against the hand-rolled loop this sweep
+  // replaces: fresh build, one independent propagation per horizon.
+  const auto build = dtmc::buildExplicit(*model);
+  const mc::Checker checker(build.dtmc, *model);
+  const double maxDiff = bench::sweepVsHandRolledMaxDiff(table, checker);
+  const bool identical = maxDiff == 0.0;
+  std::printf("Sweep vs hand-rolled loop: max|diff| = %.3g "
+              "(bit-identical: %s)\n",
+              maxDiff, identical ? "yes" : "NO");
+
+  const auto built = engine.ensureBuilt(*model);
   const auto structure = mc::analyzeStructure(built->dtmc);
   std::printf("\nChain structure: %u SCCs, %u recurrent class(es) — unique "
               "recurrent class, steady state guaranteed: %s\n",
@@ -59,6 +91,6 @@ int main() {
   std::printf("Simulation cross-check (2e6 steps): C1_sim=%.3e "
               "[%.3e, %.3e], model inside: %s\n",
               sim.nonConvergent.estimate(), interval.low, interval.high,
-              interval.contains(response.results.back().value) ? "yes" : "NO");
-  return 0;
+              interval.contains(rows.back().value) ? "yes" : "NO");
+  return identical && table.ok() ? 0 : 1;
 }

@@ -3,13 +3,17 @@
 // probability (C1) is below a target, using one convergence model and the
 // nc<k> reward family (Figure 2's data, used as a design procedure).
 //
-// All fifteen R{"ncL"}=?[I=500] queries go into ONE engine request: they
-// share a single 500-step transient sweep (one matrix-vector pass instead
-// of fifteen), the paper's Table-style sweep made cheap by design.
+// The L study is written as a declarative sweep::SweepSpec — the whole
+// design space is the ParamSpace, each point binds one R{"ncL"}=?[I=500]
+// property. The runner coalesces all fifteen points into ONE engine
+// request sharing a single 500-step transient sweep (one matrix-vector
+// pass instead of fifteen), and the result comes back as a tidy table
+// ready for CSV/JSON export.
 #include <cstdio>
+#include <memory>
 #include <string>
 
-#include "engine/engine.hpp"
+#include "sweep/runner.hpp"
 #include "viterbi/model_convergence.hpp"
 
 int main() {
@@ -21,29 +25,31 @@ int main() {
   viterbi::ViterbiParams params;
   params.snrDb = 8.0;
   const int maxL = 16;
-  const viterbi::ConvergenceViterbiModel model(params, maxL + 2);
+  const auto model = std::make_shared<viterbi::ConvergenceViterbiModel>(
+      params, maxL + 2);
+
+  sweep::SweepSpec spec("traceback_depth");
+  spec.space.cross(sweep::Axis::ints("L", 2, maxL));
+  spec.share(model);
+  spec.properties = [](const sweep::Params& p) {
+    return std::vector<std::string>{
+        "R{\"nc" + std::to_string(p.getInt("L")) + "\"}=? [ I=500 ]"};
+  };
 
   engine::AnalysisEngine engine;
-  engine::AnalysisRequest request;
-  request.model = &model;
-  for (int L = 2; L <= maxL; ++L) {
-    request.properties.push_back("R{\"nc" + std::to_string(L) +
-                                 "\"}=? [ I=500 ]");
-  }
-  const engine::AnalysisResponse response = engine.analyze(request);
+  const sweep::Runner runner(engine);
+  const sweep::ResultTable table = runner.run(spec);
 
   std::printf("%-6s %-14s %-10s\n", "L", "C1", "meets goal");
   int chosen = -1;
-  for (int L = 2; L <= maxL; ++L) {
-    const auto& result = response.results[static_cast<std::size_t>(L - 2)];
-    const bool ok = result.value <= target;
-    std::printf("%-6d %-14.6e %-10s\n", L, result.value, ok ? "yes" : "no");
+  for (const auto& row : table.rows()) {
+    const auto L = static_cast<int>(std::get<std::int64_t>(row.params[0]));
+    const bool ok = row.value <= target;
+    std::printf("%-6d %-14.6e %-10s\n", L, row.value, ok ? "yes" : "no");
     if (ok && chosen < 0) chosen = L;
   }
-  std::printf("(%zu properties answered from %s sweep in %.3fs)\n",
-              response.results.size(),
-              response.results[0].batched ? "one batched" : "per-call",
-              response.totalSeconds);
+  std::printf("(%zu sweep points answered from %s sweep)\n", table.size(),
+              table.rows().front().batched ? "one batched" : "per-call");
 
   if (chosen >= 0) {
     std::printf("\nSmallest L meeting the goal: %d (heuristic would say "

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <sstream>
+#include <stdexcept>
 
 namespace mimostat::core {
 
@@ -14,6 +15,44 @@ std::string formatValue(double value) {
     std::snprintf(buffer, sizeof(buffer), "%.6f", value);
   }
   return buffer;
+}
+
+std::string formatValueGrid(const std::string& title,
+                            const std::string& corner,
+                            const std::vector<std::string>& rowLabels,
+                            const std::vector<std::string>& colLabels,
+                            const std::vector<std::vector<double>>& cells) {
+  if (cells.size() != rowLabels.size()) {
+    throw std::invalid_argument("formatValueGrid: cells/rowLabels mismatch");
+  }
+  for (const auto& row : cells) {
+    if (row.size() != colLabels.size()) {
+      throw std::invalid_argument(
+          "formatValueGrid: ragged cells row vs colLabels");
+    }
+  }
+  std::ostringstream os;
+  os << title << '\n';
+  char cell[64];
+  std::snprintf(cell, sizeof(cell), "%-14s", corner.c_str());
+  os << cell;
+  for (const auto& label : colLabels) {
+    std::snprintf(cell, sizeof(cell), " %12s", label.c_str());
+    os << cell;
+  }
+  os << '\n';
+  for (std::size_t r = 0; r < rowLabels.size(); ++r) {
+    std::snprintf(cell, sizeof(cell), "%-14s", rowLabels[r].c_str());
+    os << cell;
+    for (std::size_t c = 0; c < colLabels.size(); ++c) {
+      const double v = cells[r][c];
+      std::snprintf(cell, sizeof(cell), " %12s",
+                    std::isnan(v) ? "-" : formatValue(v).c_str());
+      os << cell;
+    }
+    os << '\n';
+  }
+  return os.str();
 }
 
 std::string formatReportTable(const std::string& title,

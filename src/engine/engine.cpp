@@ -69,44 +69,67 @@ const char* backendName(Backend backend) {
   return "?";
 }
 
+std::uint64_t approxDtmcBytes(const dtmc::ExplicitDtmc& dtmc) {
+  const std::uint64_t states = dtmc.numStates();
+  const std::uint64_t transitions = dtmc.numTransitions();
+  const std::uint64_t vars = dtmc.varLayout().numVars();
+  // CSR: rowPtr (u64) + col (u32) + val (double); initial distribution; one
+  // heap-allocated int32 vector per decoded state.
+  return (states + 1) * sizeof(std::uint64_t) +
+         transitions * (sizeof(std::uint32_t) + sizeof(double)) +
+         states * sizeof(double) +
+         states * (sizeof(dtmc::State) + vars * sizeof(std::int32_t));
+}
+
 AnalysisEngine::AnalysisEngine(EngineOptions options)
-    : options_(options), pool_(options.threads) {}
+    : options_(options),
+      propertyCache_(options.propertyCache != nullptr
+                         ? options.propertyCache
+                         : &pctl::PropertyCache::global()),
+      pool_(options.threads) {}
 
 AnalysisEngine::~AnalysisEngine() = default;
 
 pctl::Property AnalysisEngine::parsedProperty(const std::string& text) {
-  {
-    const std::lock_guard<std::mutex> lock(parseMutex_);
-    const auto it = parseCache_.find(text);
-    if (it != parseCache_.end()) return it->second;
-  }
-  pctl::Property property = pctl::parseProperty(text);
-  const std::lock_guard<std::mutex> lock(parseMutex_);
-  return parseCache_.emplace(text, std::move(property)).first->second;
+  return propertyCache_->get(text);
 }
 
-std::uint64_t AnalysisEngine::buildCount() const {
-  const std::lock_guard<std::mutex> lock(cacheMutex_);
-  return buildCount_;
-}
+std::uint64_t AnalysisEngine::buildCount() const { return stats().builds; }
 
 std::uint64_t AnalysisEngine::cacheHitCount() const {
-  const std::lock_guard<std::mutex> lock(cacheMutex_);
-  return cacheHits_;
+  return stats().cacheHits;
 }
 
 std::size_t AnalysisEngine::cachedModelCount() const {
+  return stats().cachedModels;
+}
+
+EngineStats AnalysisEngine::stats() const {
   const std::lock_guard<std::mutex> lock(cacheMutex_);
-  return modelCache_.size();
+  EngineStats stats;
+  stats.builds = buildCount_;
+  stats.cacheHits = cacheHits_;
+  stats.cachedModels = modelCache_.size();
+  stats.cacheBytes = cacheBytes_;
+  return stats;
 }
 
 void AnalysisEngine::clearModelCache() {
   const std::lock_guard<std::mutex> lock(cacheMutex_);
   modelCache_.clear();
+  cacheBytes_ = 0;
 }
 
 void AnalysisEngine::evictLocked() {
-  while (modelCache_.size() > options_.maxCachedModels) {
+  const auto overBudget = [&] {
+    if (modelCache_.size() > options_.maxCachedModels) return true;
+    // The byte budget never evicts the last entry: a single model larger
+    // than the budget stays resident (it will be LRU next time) instead of
+    // thrashing — rebuild-per-request would be strictly worse.
+    return options_.maxCacheBytes > 0 &&
+           cacheBytes_ > options_.maxCacheBytes && modelCache_.size() > 1;
+  };
+  while (overBudget()) {
     auto victim = modelCache_.end();
     for (auto it = modelCache_.begin(); it != modelCache_.end(); ++it) {
       const bool ready = it->second.future.wait_for(std::chrono::seconds(0)) ==
@@ -118,6 +141,7 @@ void AnalysisEngine::evictLocked() {
       }
     }
     if (victim == modelCache_.end()) return;
+    cacheBytes_ -= victim->second.bytes;
     modelCache_.erase(victim);
   }
 }
@@ -159,16 +183,31 @@ std::shared_ptr<const BuiltModel> AnalysisEngine::ensureBuilt(
     built->reachabilityIterations = build.reachabilityIterations;
     built->buildSeconds = build.buildSeconds;
     built->signature = *key;
+    built->approxBytes = approxDtmcBytes(built->dtmc);
     promise.set_value(built);
     const std::lock_guard<std::mutex> lock(cacheMutex_);
+    // The slot may already be gone if a concurrent eviction pass raced past
+    // this build's completion; account its bytes only while resident.
+    const auto slot = modelCache_.find(*key);
+    if (slot != modelCache_.end() && slot->second.bytes == 0) {
+      slot->second.bytes = built->approxBytes;
+      cacheBytes_ += built->approxBytes;
+    }
     evictLocked();
     return built;
   } catch (...) {
     // Drop the failed slot so a later request can retry, then propagate to
-    // this caller and to any waiter blocked on the shared future.
+    // this caller and to any waiter blocked on the shared future. The slot
+    // normally carries bytes == 0 (in-flight), but a racing completed build
+    // of the same key may have recorded its size here — keep cacheBytes_
+    // consistent either way.
     {
       const std::lock_guard<std::mutex> lock(cacheMutex_);
-      modelCache_.erase(*key);
+      const auto it = modelCache_.find(*key);
+      if (it != modelCache_.end()) {
+        cacheBytes_ -= it->second.bytes;
+        modelCache_.erase(it);
+      }
     }
     promise.set_exception(std::current_exception());
     throw;
@@ -249,7 +288,7 @@ AnalysisResponse AnalysisEngine::analyzeExact(const AnalysisRequest& request,
   response.buildSeconds = built->buildSeconds;
 
   const mc::Checker checker(built->dtmc, *request.model,
-                            request.options.check);
+                            request.options.check, propertyCache_);
 
   // Partition into the batched horizon group and the singles.
   std::vector<std::size_t> batchGroup;

@@ -46,6 +46,7 @@
 #include "engine/result.hpp"
 #include "engine/thread_pool.hpp"
 #include "pctl/ast.hpp"
+#include "pctl/property_cache.hpp"
 
 namespace mimostat::engine {
 
@@ -54,6 +55,27 @@ struct EngineOptions {
   std::size_t threads = 0;
   /// Model-cache capacity (completed builds; evicted least-recently-used).
   std::size_t maxCachedModels = 8;
+  /// Model-cache byte budget over the resident DTMCs (states + transitions
+  /// accounting, see BuiltModel::approxBytes). LRU entries are evicted while
+  /// the total exceeds this, so one huge model cannot pin the cache.
+  /// 0 = unlimited.
+  std::uint64_t maxCacheBytes = 1ull << 30;
+  /// Shared property-parse cache; nullptr uses the process-wide
+  /// pctl::PropertyCache::global() (shared with every mc::Checker).
+  pctl::PropertyCache* propertyCache = nullptr;
+};
+
+/// Counters exposed for tests, sweeps and ops dashboards.
+struct EngineStats {
+  /// DTMC builds actually performed (cache misses).
+  std::uint64_t builds = 0;
+  /// ensureBuilt calls served from cache (joining an in-flight build
+  /// counts).
+  std::uint64_t cacheHits = 0;
+  /// Entries currently resident (including in-flight builds).
+  std::size_t cachedModels = 0;
+  /// Approximate bytes held by completed cached builds.
+  std::uint64_t cacheBytes = 0;
 };
 
 /// A built model as held by the engine's cache.
@@ -63,7 +85,14 @@ struct BuiltModel {
   double buildSeconds = 0.0;
   /// The structural signature this entry is cached under.
   std::uint64_t signature = 0;
+  /// Approximate resident size of `dtmc` (CSR arrays + decoded state table
+  /// + initial distribution) used for the cache's byte accounting.
+  std::uint64_t approxBytes = 0;
 };
+
+/// Approximate resident bytes of an explicit DTMC (the BuiltModel/cache
+/// accounting unit).
+[[nodiscard]] std::uint64_t approxDtmcBytes(const dtmc::ExplicitDtmc& dtmc);
 
 class AnalysisEngine {
  public:
@@ -95,10 +124,13 @@ class AnalysisEngine {
       std::optional<std::uint64_t> key = std::nullopt,
       bool* cacheHit = nullptr);
 
-  /// Memoized property parse shared by every request.
+  /// Memoized property parse shared by every request (delegates to the
+  /// engine's pctl::PropertyCache — by default the process-wide one).
   [[nodiscard]] pctl::Property parsedProperty(const std::string& text);
+  [[nodiscard]] pctl::PropertyCache& propertyCache() { return *propertyCache_; }
 
   // --- instrumentation (tests, ops) ---
+  [[nodiscard]] EngineStats stats() const;
   /// DTMC builds actually performed (cache misses).
   [[nodiscard]] std::uint64_t buildCount() const;
   /// ensureBuilt calls served from cache.
@@ -112,9 +144,12 @@ class AnalysisEngine {
   struct CacheSlot {
     std::shared_future<std::shared_ptr<const BuiltModel>> future;
     std::uint64_t lastUsed = 0;
+    /// Approximate bytes of the completed build; 0 while in flight.
+    std::uint64_t bytes = 0;
   };
 
-  /// Evict ready LRU entries down to capacity. Caller holds cacheMutex_.
+  /// Evict ready LRU entries down to the entry-count and byte budgets.
+  /// Caller holds cacheMutex_.
   void evictLocked();
 
   AnalysisResponse analyzeExact(const AnalysisRequest& request,
@@ -123,6 +158,7 @@ class AnalysisEngine {
                                    std::uint64_t key);
 
   EngineOptions options_;
+  pctl::PropertyCache* propertyCache_;
   ThreadPool pool_;
 
   mutable std::mutex cacheMutex_;
@@ -130,9 +166,7 @@ class AnalysisEngine {
   std::uint64_t useCounter_ = 0;
   std::uint64_t buildCount_ = 0;
   std::uint64_t cacheHits_ = 0;
-
-  std::mutex parseMutex_;
-  std::unordered_map<std::string, pctl::Property> parseCache_;
+  std::uint64_t cacheBytes_ = 0;
 };
 
 /// Lazily constructed process-wide engine (used by the

@@ -12,8 +12,12 @@
 namespace mimostat::mc {
 
 Checker::Checker(const dtmc::ExplicitDtmc& dtmc, const dtmc::Model& model,
-                 CheckOptions options)
-    : dtmc_(dtmc), model_(model), options_(options) {}
+                 CheckOptions options, pctl::PropertyCache* parseCache)
+    : dtmc_(dtmc),
+      model_(model),
+      options_(options),
+      parseCache_(parseCache != nullptr ? parseCache
+                                        : &pctl::PropertyCache::global()) {}
 
 std::vector<std::uint8_t> Checker::evalStateFormula(
     const pctl::StateFormula& f) const {
@@ -161,16 +165,7 @@ CheckResult Checker::check(const pctl::Property& property) const {
 }
 
 pctl::Property Checker::parsedProperty(std::string_view propertyText) const {
-  std::string key(propertyText);
-  {
-    const std::lock_guard<std::mutex> lock(parseCacheMutex_);
-    const auto it = parseCache_.find(key);
-    if (it != parseCache_.end()) return it->second;
-  }
-  pctl::Property property = pctl::parseProperty(propertyText);
-  const std::lock_guard<std::mutex> lock(parseCacheMutex_);
-  return parseCache_.emplace(std::move(key), std::move(property))
-      .first->second;
+  return parseCache_->get(propertyText);
 }
 
 CheckResult Checker::check(std::string_view propertyText) const {

@@ -8,16 +8,15 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "dtmc/explicit_dtmc.hpp"
 #include "dtmc/model.hpp"
 #include "pctl/ast.hpp"
 #include "pctl/parser.hpp"
+#include "pctl/property_cache.hpp"
 
 namespace mimostat::mc {
 
@@ -45,9 +44,12 @@ struct CheckResult {
 class Checker {
  public:
   /// The model reference supplies atoms/rewards; both must outlive the
-  /// checker.
+  /// checker. Parses are memoized in `parseCache` — by default the
+  /// process-wide pctl::PropertyCache::global(), shared with the
+  /// AnalysisEngine, so a property parsed anywhere is parsed once.
   Checker(const dtmc::ExplicitDtmc& dtmc, const dtmc::Model& model,
-          CheckOptions options = {});
+          CheckOptions options = {},
+          pctl::PropertyCache* parseCache = nullptr);
 
   /// Evaluate a parsed property.
   [[nodiscard]] CheckResult check(const pctl::Property& property) const;
@@ -68,8 +70,7 @@ class Checker {
   const dtmc::ExplicitDtmc& dtmc_;
   const dtmc::Model& model_;
   CheckOptions options_;
-  mutable std::mutex parseCacheMutex_;
-  mutable std::unordered_map<std::string, pctl::Property> parseCache_;
+  pctl::PropertyCache* parseCache_;
 };
 
 }  // namespace mimostat::mc

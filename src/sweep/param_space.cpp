@@ -1,0 +1,241 @@
+#include "sweep/param_space.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+
+namespace mimostat::sweep {
+
+std::string formatRoundTripDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+std::string formatParamValue(const ParamValue& value) {
+  if (const auto* i = std::get_if<std::int64_t>(&value)) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%lld",
+                  static_cast<long long>(*i));
+    return buffer;
+  }
+  if (const auto* d = std::get_if<double>(&value)) {
+    return formatRoundTripDouble(*d);
+  }
+  return std::get<std::string>(value);
+}
+
+Params::Params(std::shared_ptr<const std::vector<std::string>> names,
+               std::vector<ParamValue> values)
+    : names_(std::move(names)), values_(std::move(values)) {
+  if (names_ == nullptr || names_->size() != values_.size()) {
+    throw std::invalid_argument("Params: names/values size mismatch");
+  }
+}
+
+Params::Params(std::vector<std::string> names, std::vector<ParamValue> values)
+    : Params(std::make_shared<const std::vector<std::string>>(
+                 std::move(names)),
+             std::move(values)) {}
+
+const std::vector<std::string>& Params::names() const {
+  static const std::vector<std::string> kEmpty;
+  return names_ != nullptr ? *names_ : kEmpty;
+}
+
+bool Params::has(const std::string& name) const {
+  for (const auto& n : names()) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+const ParamValue& Params::at(const std::string& name) const {
+  const std::vector<std::string>& names = this->names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return values_[i];
+  }
+  throw std::out_of_range("Params: unknown parameter '" + name + "'");
+}
+
+std::int64_t Params::getInt(const std::string& name) const {
+  return std::get<std::int64_t>(at(name));
+}
+
+double Params::getDouble(const std::string& name) const {
+  const ParamValue& value = at(name);
+  if (const auto* i = std::get_if<std::int64_t>(&value)) {
+    return static_cast<double>(*i);
+  }
+  return std::get<double>(value);
+}
+
+const std::string& Params::getString(const std::string& name) const {
+  return std::get<std::string>(at(name));
+}
+
+std::string Params::format() const {
+  std::string out;
+  const std::vector<std::string>& names = this->names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += names[i];
+    out += '=';
+    out += formatParamValue(values_[i]);
+  }
+  return out;
+}
+
+Axis::Axis(std::string name, std::vector<ParamValue> values)
+    : name_(std::move(name)), values_(std::move(values)) {
+  if (name_.empty()) throw std::invalid_argument("Axis: empty name");
+  if (values_.empty()) {
+    throw std::invalid_argument("Axis '" + name_ + "': no values");
+  }
+}
+
+Axis Axis::values(std::string name, std::vector<ParamValue> values) {
+  return Axis(std::move(name), std::move(values));
+}
+
+Axis Axis::ints(std::string name, std::int64_t lo, std::int64_t hi,
+                std::int64_t step) {
+  if (step <= 0) {
+    throw std::invalid_argument("Axis '" + name + "': step must be > 0");
+  }
+  std::vector<ParamValue> values;
+  for (std::int64_t v = lo; v <= hi; v += step) values.emplace_back(v);
+  return Axis(std::move(name), std::move(values));
+}
+
+Axis Axis::doubles(std::string name, std::vector<double> values) {
+  std::vector<ParamValue> converted;
+  converted.reserve(values.size());
+  for (const double v : values) converted.emplace_back(v);
+  return Axis(std::move(name), std::move(converted));
+}
+
+Axis Axis::strings(std::string name, std::vector<std::string> values) {
+  std::vector<ParamValue> converted;
+  converted.reserve(values.size());
+  for (auto& v : values) converted.emplace_back(std::move(v));
+  return Axis(std::move(name), std::move(converted));
+}
+
+Axis Axis::logspace(std::string name, double lo, double hi,
+                    std::size_t count) {
+  if (!(lo > 0.0) || !(hi > 0.0)) {
+    throw std::invalid_argument("Axis '" + name +
+                                "': logspace endpoints must be > 0");
+  }
+  if (count == 0) {
+    throw std::invalid_argument("Axis '" + name + "': no values");
+  }
+  std::vector<ParamValue> values;
+  values.reserve(count);
+  if (count == 1) {
+    values.emplace_back(lo);
+  } else {
+    const double logLo = std::log(lo);
+    const double logHi = std::log(hi);
+    for (std::size_t i = 0; i < count; ++i) {
+      const double t =
+          static_cast<double>(i) / static_cast<double>(count - 1);
+      values.emplace_back(std::exp(logLo + t * (logHi - logLo)));
+    }
+  }
+  return Axis(std::move(name), std::move(values));
+}
+
+ParamSpace& ParamSpace::cross(Axis axis) {
+  return zip({std::move(axis)});
+}
+
+ParamSpace& ParamSpace::zip(std::vector<Axis> axes) {
+  if (axes.empty()) {
+    throw std::invalid_argument("ParamSpace::zip: no axes");
+  }
+  for (const auto& axis : axes) {
+    if (axis.size() != axes.front().size()) {
+      throw std::invalid_argument(
+          "ParamSpace::zip: axes '" + axes.front().name() + "' and '" +
+          axis.name() + "' have different lengths");
+    }
+  }
+  std::unordered_set<std::string> seen;
+  for (const auto& block : blocks_) {
+    for (const auto& axis : block.axes) seen.insert(axis.name());
+  }
+  for (const auto& axis : axes) {
+    if (!seen.insert(axis.name()).second) {
+      throw std::invalid_argument("ParamSpace: duplicate axis '" +
+                                  axis.name() + "'");
+    }
+  }
+  blocks_.push_back(Block{std::move(axes)});
+  return *this;
+}
+
+ParamSpace& ParamSpace::filter(ParamFilter predicate) {
+  if (!predicate) {
+    throw std::invalid_argument("ParamSpace::filter: empty predicate");
+  }
+  filters_.push_back(std::move(predicate));
+  return *this;
+}
+
+std::vector<std::string> ParamSpace::axisNames() const {
+  std::vector<std::string> names;
+  for (const auto& block : blocks_) {
+    for (const auto& axis : block.axes) names.push_back(axis.name());
+  }
+  return names;
+}
+
+std::size_t ParamSpace::gridSize() const {
+  if (blocks_.empty()) return 0;
+  std::size_t total = 1;
+  for (const auto& block : blocks_) total *= block.size();
+  return total;
+}
+
+std::vector<Params> ParamSpace::points() const {
+  std::vector<Params> out;
+  if (blocks_.empty()) return out;
+  // One shared name list for every point of the enumeration.
+  const auto names =
+      std::make_shared<const std::vector<std::string>>(axisNames());
+
+  // Odometer over the blocks, last block fastest (row-major nested loops).
+  std::vector<std::size_t> index(blocks_.size(), 0);
+  for (;;) {
+    std::vector<ParamValue> values;
+    values.reserve(names->size());
+    for (std::size_t b = 0; b < blocks_.size(); ++b) {
+      for (const auto& axis : blocks_[b].axes) {
+        values.push_back(axis.value(index[b]));
+      }
+    }
+    Params point(names, std::move(values));
+    bool keep = true;
+    for (const auto& f : filters_) {
+      if (!f(point)) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) out.push_back(std::move(point));
+
+    std::size_t b = blocks_.size();
+    while (b > 0) {
+      --b;
+      if (++index[b] < blocks_[b].size()) break;
+      index[b] = 0;
+      if (b == 0) return out;
+    }
+  }
+}
+
+}  // namespace mimostat::sweep

@@ -1,0 +1,144 @@
+// Declarative parameter spaces for scenario sweeps.
+//
+// The paper's results are parameter studies: Tables I-V and Figure 2 all
+// sweep a handful of named quantities (horizon T, traceback depth L, SNR,
+// quantizer wordlengths) over grids. A ParamSpace names those axes once and
+// enumerates the points; the sweep runner turns each point into an engine
+// request.
+//
+//   sweep::ParamSpace space;
+//   space.cross(sweep::Axis::ints("T", 100, 1000, 100))
+//        .cross(sweep::Axis::logspace("snr", 1.0, 100.0, 5))
+//        .filter([](const sweep::Params& p) {
+//          return p.getInt("T") > 100 || p.getDouble("snr") < 50.0;
+//        });
+//
+// Composition rules: cross() adds a block varying independently (cartesian
+// product); zip() adds a block of equal-length axes advancing together
+// (paired values, not a product). Enumeration order is deterministic:
+// blocks nest in declaration order with the last-declared block varying
+// fastest, like the equivalent hand-written nested loops.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace mimostat::sweep {
+
+/// One coordinate of a sweep point. Integers and doubles are kept distinct
+/// so exports round-trip (an int axis never prints as 3.0).
+using ParamValue = std::variant<std::int64_t, double, std::string>;
+
+/// %.17g — the shared round-trip double rendering every sweep export uses
+/// (param columns and value columns must never diverge).
+[[nodiscard]] std::string formatRoundTripDouble(double value);
+
+/// Render for CSV/JSON/pivot headers: decimal ints, round-trip (%.17g)
+/// doubles, strings verbatim.
+[[nodiscard]] std::string formatParamValue(const ParamValue& value);
+
+/// One sweep point: an ordered assignment of values to the space's axes.
+/// The axis-name list is shared between every point of an enumeration, so
+/// copying a Params copies values only.
+class Params {
+ public:
+  Params() = default;
+  Params(std::shared_ptr<const std::vector<std::string>> names,
+         std::vector<ParamValue> values);
+  /// Convenience for hand-built points (tests, ad-hoc tables).
+  Params(std::vector<std::string> names, std::vector<ParamValue> values);
+
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+  [[nodiscard]] const std::vector<std::string>& names() const;
+  [[nodiscard]] const std::vector<ParamValue>& values() const { return values_; }
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  /// Typed accessors; throw std::out_of_range on unknown names and
+  /// std::bad_variant_access on type mismatches. getDouble widens an
+  /// integer axis value.
+  [[nodiscard]] std::int64_t getInt(const std::string& name) const;
+  [[nodiscard]] double getDouble(const std::string& name) const;
+  [[nodiscard]] const std::string& getString(const std::string& name) const;
+
+  /// "name=value, ..." for logs and error messages.
+  [[nodiscard]] std::string format() const;
+
+ private:
+  [[nodiscard]] const ParamValue& at(const std::string& name) const;
+
+  std::shared_ptr<const std::vector<std::string>> names_;
+  std::vector<ParamValue> values_;
+};
+
+/// A named axis: an ordered list of values for one parameter.
+class Axis {
+ public:
+  /// Explicit value list (any mix is NOT allowed — one alternative per axis
+  /// keeps exports typed; use the factory matching the payload).
+  static Axis values(std::string name, std::vector<ParamValue> values);
+  /// Integers lo, lo+step, ... while <= hi (step > 0 required).
+  static Axis ints(std::string name, std::int64_t lo, std::int64_t hi,
+                   std::int64_t step = 1);
+  static Axis doubles(std::string name, std::vector<double> values);
+  static Axis strings(std::string name, std::vector<std::string> values);
+  /// `count` log-spaced doubles from lo to hi inclusive (lo, hi > 0).
+  static Axis logspace(std::string name, double lo, double hi,
+                       std::size_t count);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+  [[nodiscard]] const ParamValue& value(std::size_t i) const {
+    return values_[i];
+  }
+
+ private:
+  Axis(std::string name, std::vector<ParamValue> values);
+
+  std::string name_;
+  std::vector<ParamValue> values_;
+};
+
+/// Predicate over a point; false drops the point from the enumeration.
+using ParamFilter = std::function<bool(const Params&)>;
+
+class ParamSpace {
+ public:
+  ParamSpace() = default;
+
+  /// Add one independently varying axis (cartesian product with the
+  /// existing blocks).
+  ParamSpace& cross(Axis axis);
+  /// Add a block of axes advancing together: point i of the block takes
+  /// value i of every axis. All axes must have equal length.
+  ParamSpace& zip(std::vector<Axis> axes);
+  /// Add a filter; points failing any filter are dropped. Filters see fully
+  /// assembled points (all axes).
+  ParamSpace& filter(ParamFilter predicate);
+
+  /// Axis names in declaration order (zip blocks contribute each member).
+  [[nodiscard]] std::vector<std::string> axisNames() const;
+  /// Enumerate every point after filtering, in deterministic nested-loop
+  /// order (last block fastest).
+  [[nodiscard]] std::vector<Params> points() const;
+  /// Point count before filtering.
+  [[nodiscard]] std::size_t gridSize() const;
+
+ private:
+  /// A block is one unit of the outer cartesian product: a single axis, or
+  /// several zipped axes advancing together.
+  struct Block {
+    std::vector<Axis> axes;
+    [[nodiscard]] std::size_t size() const {
+      return axes.empty() ? 0 : axes.front().size();
+    }
+  };
+
+  std::vector<Block> blocks_;
+  std::vector<ParamFilter> filters_;
+};
+
+}  // namespace mimostat::sweep

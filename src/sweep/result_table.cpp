@@ -1,0 +1,270 @@
+#include "sweep/result_table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+
+namespace mimostat::sweep {
+
+namespace {
+
+/// Alias for the subsystem-wide round-trip formatter: value columns render
+/// through the exact same code path as double param columns.
+std::string formatDouble(double value) { return formatRoundTripDouble(value); }
+
+/// CSV field: quoted (with doubled quotes) only when it contains a
+/// delimiter, so numeric columns stay bare.
+std::string csvEscape(const std::string& field) {
+  if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string jsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// JSON number; non-finite doubles have no JSON spelling and become null.
+std::string jsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  return formatDouble(value);
+}
+
+std::string jsonParamValue(const ParamValue& value) {
+  if (const auto* s = std::get_if<std::string>(&value)) {
+    return "\"" + jsonEscape(*s) + "\"";
+  }
+  if (const auto* d = std::get_if<double>(&value)) return jsonNumber(*d);
+  return formatParamValue(value);
+}
+
+}  // namespace
+
+std::string PivotTable::format(const std::string& title) const {
+  std::vector<std::string> rowLabels;
+  rowLabels.reserve(rowKeys.size());
+  for (const auto& key : rowKeys) rowLabels.push_back(formatParamValue(key));
+  std::vector<std::string> colLabels;
+  colLabels.reserve(colKeys.size());
+  for (const auto& key : colKeys) colLabels.push_back(formatParamValue(key));
+  return core::formatValueGrid(title, rowAxis + " \\ " + colAxis, rowLabels,
+                               colLabels, values);
+}
+
+ResultTable::ResultTable(std::string sweepName,
+                         std::vector<std::string> paramNames,
+                         std::vector<ResultRow> rows)
+    : name_(std::move(sweepName)),
+      paramNames_(std::move(paramNames)),
+      rows_(std::move(rows)) {}
+
+std::size_t ResultTable::errorCount() const {
+  std::size_t count = 0;
+  for (const auto& row : rows_) {
+    if (!row.ok()) ++count;
+  }
+  return count;
+}
+
+PivotTable ResultTable::pivot(const std::string& rowAxis,
+                              const std::string& colAxis,
+                              const std::string& property) const {
+  const auto axisIndex = [&](const std::string& axis) {
+    const auto it = std::find(paramNames_.begin(), paramNames_.end(), axis);
+    if (it == paramNames_.end()) {
+      throw std::invalid_argument("ResultTable::pivot: unknown axis '" +
+                                  axis + "'");
+    }
+    return static_cast<std::size_t>(it - paramNames_.begin());
+  };
+  const std::size_t rowIdx = axisIndex(rowAxis);
+  const std::size_t colIdx = axisIndex(colAxis);
+
+  PivotTable table;
+  table.rowAxis = rowAxis;
+  table.colAxis = colAxis;
+  const auto keyIndex = [](std::vector<ParamValue>& keys,
+                           const ParamValue& key) {
+    const auto it = std::find(keys.begin(), keys.end(), key);
+    if (it != keys.end()) return static_cast<std::size_t>(it - keys.begin());
+    keys.push_back(key);
+    return keys.size() - 1;
+  };
+
+  std::vector<std::pair<std::size_t, std::size_t>> cells;
+  std::vector<double> cellValues;
+  std::unordered_set<std::uint64_t> occupied;
+  for (const auto& row : rows_) {
+    if (!property.empty() && row.property != property) continue;
+    const std::size_t r = keyIndex(table.rowKeys, row.params[rowIdx]);
+    const std::size_t c = keyIndex(table.colKeys, row.params[colIdx]);
+    const std::uint64_t cellId =
+        (static_cast<std::uint64_t>(r) << 32) | static_cast<std::uint32_t>(c);
+    if (!occupied.insert(cellId).second) {
+      throw std::invalid_argument(
+          "ResultTable::pivot: several rows map to (" + rowAxis + "=" +
+          formatParamValue(row.params[rowIdx]) + ", " + colAxis + "=" +
+          formatParamValue(row.params[colIdx]) +
+          "); disambiguate with the property filter");
+    }
+    cells.emplace_back(r, c);
+    cellValues.push_back(row.value);
+  }
+
+  table.values.assign(
+      table.rowKeys.size(),
+      std::vector<double>(table.colKeys.size(),
+                          std::numeric_limits<double>::quiet_NaN()));
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    table.values[cells[i].first][cells[i].second] = cellValues[i];
+  }
+  return table;
+}
+
+std::vector<core::GuaranteeReport> ResultTable::guaranteeReports() const {
+  std::vector<core::GuaranteeReport> reports;
+  reports.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    if (!row.ok()) continue;
+    core::GuaranteeReport report;
+    std::string prefix;
+    for (std::size_t i = 0; i < paramNames_.size(); ++i) {
+      prefix += paramNames_[i] + "=" + formatParamValue(row.params[i]) + " ";
+    }
+    report.property = prefix + row.property;
+    report.value = row.value;
+    report.satisfied = row.satisfied;
+    report.states = row.states;
+    report.transitions = row.transitions;
+    report.buildSeconds = row.buildSeconds;
+    report.checkSeconds = row.checkSeconds;
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
+void ResultTable::writeCsv(std::ostream& os,
+                           const ExportOptions& options) const {
+  os << "point";
+  for (const auto& name : paramNames_) os << ',' << csvEscape(name);
+  os << ",property,value,satisfied,backend,states,transitions,samples,"
+        "batched,ci_low,ci_high,error";
+  if (options.diagnostics) os << ",cache_hit,build_seconds,check_seconds";
+  os << '\n';
+  for (const auto& row : rows_) {
+    os << row.point;
+    for (const auto& value : row.params) {
+      os << ',' << csvEscape(formatParamValue(value));
+    }
+    os << ',' << csvEscape(row.property);
+    os << ',' << formatDouble(row.value);
+    os << ',' << (row.satisfied ? "true" : "false");
+    os << ',' << engine::backendName(row.backend);
+    os << ',' << row.states << ',' << row.transitions << ',' << row.samples;
+    os << ',' << (row.batched ? "true" : "false");
+    if (row.interval95) {
+      os << ',' << formatDouble(row.interval95->low) << ','
+         << formatDouble(row.interval95->high);
+    } else {
+      os << ",,";
+    }
+    os << ',' << csvEscape(row.error);
+    if (options.diagnostics) {
+      os << ',' << (row.cacheHit ? "true" : "false") << ','
+         << formatDouble(row.buildSeconds) << ','
+         << formatDouble(row.checkSeconds);
+    }
+    os << '\n';
+  }
+}
+
+void ResultTable::writeJson(std::ostream& os,
+                            const ExportOptions& options) const {
+  os << "{\"sweep\":\"" << jsonEscape(name_) << "\",\"rows\":[";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const auto& row = rows_[i];
+    if (i > 0) os << ',';
+    os << "{\"point\":" << row.point << ",\"params\":{";
+    for (std::size_t p = 0; p < paramNames_.size(); ++p) {
+      if (p > 0) os << ',';
+      os << '"' << jsonEscape(paramNames_[p])
+         << "\":" << jsonParamValue(row.params[p]);
+    }
+    os << "},\"property\":\"" << jsonEscape(row.property) << '"';
+    os << ",\"value\":" << jsonNumber(row.value);
+    os << ",\"satisfied\":" << (row.satisfied ? "true" : "false");
+    os << ",\"backend\":\"" << engine::backendName(row.backend) << '"';
+    os << ",\"states\":" << row.states;
+    os << ",\"transitions\":" << row.transitions;
+    os << ",\"samples\":" << row.samples;
+    os << ",\"batched\":" << (row.batched ? "true" : "false");
+    os << ",\"interval95\":";
+    if (row.interval95) {
+      os << '[' << jsonNumber(row.interval95->low) << ','
+         << jsonNumber(row.interval95->high) << ']';
+    } else {
+      os << "null";
+    }
+    if (options.diagnostics) {
+      os << ",\"cacheHit\":" << (row.cacheHit ? "true" : "false")
+         << ",\"buildSeconds\":" << jsonNumber(row.buildSeconds)
+         << ",\"checkSeconds\":" << jsonNumber(row.checkSeconds);
+    }
+    os << ",\"error\":\"" << jsonEscape(row.error) << "\"}";
+  }
+  os << "]}";
+}
+
+std::string ResultTable::toCsv(const ExportOptions& options) const {
+  std::ostringstream os;
+  writeCsv(os, options);
+  return os.str();
+}
+
+std::string ResultTable::toJson(const ExportOptions& options) const {
+  std::ostringstream os;
+  writeJson(os, options);
+  return os.str();
+}
+
+}  // namespace mimostat::sweep

@@ -1,0 +1,121 @@
+// Tidy long-format sweep results.
+//
+// One row per (point, property): the point's parameter values as leading
+// columns, then the property and its AnalysisResult fields. Long format
+// exports directly to CSV/JSON for plotting pipelines; pivot() reshapes a
+// one-number-per-point sweep into the paper's row-by-column tables, and
+// guaranteeReports() feeds core::formatReportTable.
+//
+// Export determinism: toCsv()/toJson() default to the value columns only —
+// every byte is reproducible for a fixed spec and seed at any runner thread
+// count. Run-dependent diagnostics (cache hits, build/check seconds) are
+// opt-in via ExportOptions::diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+#include "engine/request.hpp"
+#include "stats/intervals.hpp"
+#include "sweep/param_space.hpp"
+
+namespace mimostat::sweep {
+
+/// One (point, property) outcome.
+struct ResultRow {
+  /// Index of the point in sweep enumeration order.
+  std::size_t point = 0;
+  /// Parameter values, parallel to ResultTable::paramNames().
+  std::vector<ParamValue> params;
+  std::string property;
+  double value = 0.0;
+  bool satisfied = true;
+  engine::Backend backend{};
+  std::uint64_t states = 0;
+  std::uint64_t transitions = 0;
+  /// Sample paths drawn (sampling backend; 0 when exact).
+  std::uint64_t samples = 0;
+  /// Present for fixed-sample-size sampled estimates.
+  std::optional<stats::Interval> interval95;
+  /// Answered from a shared batched horizon sweep.
+  bool batched = false;
+  /// The point's DTMC came from the engine's model cache.
+  bool cacheHit = false;
+  double buildSeconds = 0.0;
+  double checkSeconds = 0.0;
+  /// Non-empty when this row failed (factory error, parse error, request
+  /// failure...). Sibling rows are unaffected. Failed rows carry
+  /// value = NaN (exported as "nan"/null, a gap — never a passing zero)
+  /// and satisfied = false.
+  std::string error;
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+struct ExportOptions {
+  /// Include run-dependent diagnostic columns: cache_hit and the
+  /// build/check wall-clock columns. Off by default so exports are
+  /// byte-deterministic (cache-hit attribution races between concurrent
+  /// requests that share a build; timings always vary).
+  bool diagnostics = false;
+};
+
+/// A pivoted value grid: rows/cols keyed by two axes' values.
+struct PivotTable {
+  std::string rowAxis;
+  std::string colAxis;
+  std::vector<ParamValue> rowKeys;
+  std::vector<ParamValue> colKeys;
+  /// values[r][c]; NaN for cells no row mapped to.
+  std::vector<std::vector<double>> values;
+
+  /// Render in the paper's table style (core::formatValue cells).
+  [[nodiscard]] std::string format(const std::string& title) const;
+};
+
+class ResultTable {
+ public:
+  ResultTable() = default;
+  ResultTable(std::string sweepName, std::vector<std::string> paramNames,
+              std::vector<ResultRow> rows);
+
+  [[nodiscard]] const std::string& sweepName() const { return name_; }
+  [[nodiscard]] const std::vector<std::string>& paramNames() const {
+    return paramNames_;
+  }
+  [[nodiscard]] const std::vector<ResultRow>& rows() const { return rows_; }
+  [[nodiscard]] std::size_t size() const { return rows_.size(); }
+
+  /// Rows whose error is non-empty.
+  [[nodiscard]] std::size_t errorCount() const;
+  [[nodiscard]] bool ok() const { return errorCount() == 0; }
+
+  /// The `value` column of rows selected by `property` (empty = all rows),
+  /// keyed by rowAxis x colAxis. Throws std::invalid_argument on unknown
+  /// axes or when two selected rows land in one cell.
+  [[nodiscard]] PivotTable pivot(const std::string& rowAxis,
+                                 const std::string& colAxis,
+                                 const std::string& property = "") const;
+
+  /// Rows as core::GuaranteeReport entries (for core::formatReportTable);
+  /// failed rows are skipped. The report property is prefixed with the
+  /// point's parameters so table lines stay distinguishable.
+  [[nodiscard]] std::vector<core::GuaranteeReport> guaranteeReports() const;
+
+  // --- exports (long format) ---
+  void writeCsv(std::ostream& os, const ExportOptions& options = {}) const;
+  void writeJson(std::ostream& os, const ExportOptions& options = {}) const;
+  [[nodiscard]] std::string toCsv(const ExportOptions& options = {}) const;
+  [[nodiscard]] std::string toJson(const ExportOptions& options = {}) const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> paramNames_;
+  std::vector<ResultRow> rows_;
+};
+
+}  // namespace mimostat::sweep

@@ -611,6 +611,128 @@ TEST(Engine, CacheEvictsLeastRecentlyUsed) {
   EXPECT_FALSE(hit);
 }
 
+TEST(Engine, StatsTrackCacheBytes) {
+  const auto model = smallViterbi();
+  engine::AnalysisEngine eng;
+  const auto built = eng.ensureBuilt(model);
+  EXPECT_GT(built->approxBytes, 0u);
+  EXPECT_EQ(built->approxBytes, engine::approxDtmcBytes(built->dtmc));
+
+  const auto stats = eng.stats();
+  EXPECT_EQ(stats.builds, 1u);
+  EXPECT_EQ(stats.cacheHits, 0u);
+  EXPECT_EQ(stats.cachedModels, 1u);
+  EXPECT_EQ(stats.cacheBytes, built->approxBytes);
+
+  eng.clearModelCache();
+  EXPECT_EQ(eng.stats().cacheBytes, 0u);
+  EXPECT_EQ(eng.stats().cachedModels, 0u);
+}
+
+TEST(Engine, ByteBudgetEvictsSoOneHugeModelCannotPinTheCache) {
+  // Budget fits either ruin chain alone but not both: building the second
+  // must evict the first even though the entry-count limit (8) is far off.
+  const auto first = test::gamblersRuin(60, 0.5, 30);
+  const auto second = test::gamblersRuin(80, 0.5, 40);
+
+  engine::EngineOptions options;
+  options.threads = 1;
+  {
+    engine::AnalysisEngine probe(options);
+    const auto a = probe.ensureBuilt(first);
+    const auto b = probe.ensureBuilt(second);
+    options.maxCacheBytes = a->approxBytes + b->approxBytes - 1;
+  }
+
+  engine::AnalysisEngine eng(options);
+  (void)eng.ensureBuilt(first);
+  (void)eng.ensureBuilt(second);
+  EXPECT_EQ(eng.buildCount(), 2u);
+  EXPECT_EQ(eng.stats().cachedModels, 1u);
+  EXPECT_LE(eng.stats().cacheBytes, options.maxCacheBytes);
+
+  // The survivor is the most recently used entry.
+  bool hit = false;
+  (void)eng.ensureBuilt(second, {}, std::nullopt, &hit);
+  EXPECT_TRUE(hit);
+  (void)eng.ensureBuilt(first, {}, std::nullopt, &hit);
+  EXPECT_FALSE(hit);
+}
+
+TEST(Engine, SingleOverBudgetModelStaysResident) {
+  // A model bigger than the whole byte budget must not thrash: the byte
+  // budget never evicts the last entry, so repeat requests still hit.
+  engine::EngineOptions options;
+  options.threads = 1;
+  options.maxCacheBytes = 1;
+  engine::AnalysisEngine eng(options);
+  const auto model = test::gamblersRuin(40, 0.5, 20);
+  (void)eng.ensureBuilt(model);
+  EXPECT_EQ(eng.stats().cachedModels, 1u);
+  bool hit = false;
+  (void)eng.ensureBuilt(model, {}, std::nullopt, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(eng.buildCount(), 1u);
+}
+
+TEST(PropertyCache, SharedAcrossEngineAndCheckers) {
+  // One injected cache serves the engine and every checker: the property is
+  // parsed once, every later consumer hits.
+  pctl::PropertyCache cache;
+  const auto model = smallViterbi();
+
+  engine::EngineOptions options;
+  options.threads = 1;
+  options.propertyCache = &cache;
+  engine::AnalysisEngine eng(options);
+  engine::AnalysisRequest request;
+  request.model = &model;
+  request.properties = {"R=? [ I=10 ]"};
+  const auto response = eng.analyze(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  const auto build = dtmc::buildExplicit(model);
+  const mc::Checker checker(build.dtmc, model, {}, &cache);
+  const auto result = checker.check("R=? [ I=10 ]");
+  EXPECT_EQ(result.value, response.results[0].value);
+  EXPECT_EQ(cache.size(), 1u);  // no re-parse, no second entry
+  EXPECT_GE(cache.hits(), 1u);
+
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(PropertyCache, EntryCapBoundsGrowth) {
+  // The cap flushes wholesale: the map can never exceed maxEntries, so the
+  // process-wide cache cannot grow without bound under per-point property
+  // strings.
+  pctl::PropertyCache cache(2);
+  (void)cache.get("R=? [ I=1 ]");
+  (void)cache.get("R=? [ I=2 ]");
+  EXPECT_EQ(cache.size(), 2u);
+  (void)cache.get("R=? [ I=3 ]");  // at the cap: flush, then insert
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.get("R=? [ I=3 ]").reward.bound, 3u);  // still served
+  EXPECT_EQ(cache.misses(), 3u);
+}
+
+TEST(PropertyCache, DefaultsToProcessWideGlobal) {
+  pctl::PropertyCache& global = pctl::PropertyCache::global();
+  const std::string unique = "R=? [ I=987654 ]";
+  const std::uint64_t missesBefore = global.misses();
+  const auto model = smallViterbi();
+  const auto build = dtmc::buildExplicit(model);
+  const mc::Checker checkerA(build.dtmc, model);
+  const mc::Checker checkerB(build.dtmc, model);
+  (void)checkerA.parsedProperty(unique);
+  (void)checkerB.parsedProperty(unique);  // hits A's parse
+  engine::AnalysisEngine eng;
+  (void)eng.parsedProperty(unique);  // engine shares the same cache
+  EXPECT_EQ(global.misses(), missesBefore + 1);
+}
+
 TEST(Checker, ParseCacheReturnsConsistentResults) {
   const auto model = smallViterbi();
   const auto build = dtmc::buildExplicit(model);
