@@ -1,0 +1,280 @@
+// bench_la — the linear-algebra backbone under load.
+//
+//   1. SpMV: the legacy scalar scatter multiplyLeft vs the blocked gather
+//      (la::spmvLeft, sequential) vs the row-partitioned parallel gather at
+//      1/2/8 pool threads, propagating a distribution over a large random
+//      stochastic chain.
+//   2. SpMM: k transient sweeps per-call (k matrix traversals per step) vs
+//      one SpMM-batched mc::TransientSweep (one traversal per step).
+//
+// Every variant is checked against the scalar path with max|diff| asserted
+// EXACTLY 0.0 — the la:: determinism contract is bit-identity, not
+// tolerance — and the process exits 1 on any mismatch (this is the ctest
+// smoke). `--csv <path>` writes the measurements for the CI artifact.
+//
+// Note: the parallel rows only show wall-clock wins on multi-core hosts; on
+// a single hardware thread they measure dispatch overhead (values still
+// must match bitwise, which is the point of the smoke).
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "dtmc/explicit_dtmc.hpp"
+#include "engine/thread_pool.hpp"
+#include "la/csr_matrix.hpp"
+#include "la/exec.hpp"
+#include "la/spmv.hpp"
+#include "mc/transient.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace mimostat;
+
+struct Config {
+  std::uint32_t states = 150'000;
+  std::uint32_t fanout = 8;
+  std::uint64_t steps = 40;
+  std::size_t rhs = 8;
+  const char* csvPath = nullptr;
+};
+
+/// Random stochastic chain as an explicit DTMC (uniform initial
+/// distribution, no decoded variables — this bench only multiplies).
+dtmc::ExplicitDtmc randomChain(const Config& config) {
+  util::Xoshiro256 rng(0x1A2B3C4D5E6Full);
+  dtmc::ExplicitDtmc::Raw raw;
+  raw.rowPtr = {0};
+  std::vector<std::pair<std::uint32_t, double>> row;
+  for (std::uint32_t s = 0; s < config.states; ++s) {
+    row.clear();
+    for (std::uint32_t k = 0; k < config.fanout; ++k) {
+      // A local neighbour plus far jumps: banded structure with shuffles,
+      // roughly what lumped Viterbi/MIMO chains look like.
+      const auto target = static_cast<std::uint32_t>(
+          k == 0 ? (s + 1) % config.states : rng.nextBounded(config.states));
+      row.emplace_back(target, rng.nextDouble() + 0.05);
+    }
+    std::sort(row.begin(), row.end());
+    double total = 0.0;
+    for (const auto& [c, w] : row) total += w;
+    std::uint32_t lastCol = 0;
+    bool first = true;
+    for (const auto& [c, w] : row) {
+      if (!first && c == lastCol) {
+        raw.val.back() += w / total;  // merge duplicate targets
+        continue;
+      }
+      raw.col.push_back(c);
+      raw.val.push_back(w / total);
+      lastCol = c;
+      first = false;
+    }
+    raw.rowPtr.push_back(raw.col.size());
+  }
+  raw.initial.assign(config.states, 1.0 / config.states);
+  raw.states.assign(config.states, dtmc::State{});
+  return dtmc::ExplicitDtmc::fromRaw(std::move(raw));
+}
+
+/// The pre-refactor scalar scatter multiplyLeft, kept verbatim as the
+/// reference the la:: paths must reproduce bit for bit.
+void scalarScatterLeft(const la::CsrMatrix& m, const std::vector<double>& x,
+                       std::vector<double>& y) {
+  y.assign(m.numCols(), 0.0);
+  for (std::uint32_t s = 0; s < m.numRows(); ++s) {
+    const double xs = x[s];
+    if (xs == 0.0) continue;
+    for (std::uint64_t k = m.rowPtr()[s]; k < m.rowPtr()[s + 1]; ++k) {
+      y[m.col()[k]] += xs * m.val()[k];
+    }
+  }
+}
+
+double maxAbsDiff(const std::vector<double>& a, const std::vector<double>& b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double diff = a[i] > b[i] ? a[i] - b[i] : b[i] - a[i];
+    if (diff > worst) worst = diff;
+  }
+  return worst;
+}
+
+la::Exec poolExec(engine::ThreadPool& pool) {
+  la::Exec exec;
+  exec.runner = engine::laRunnerFor(pool);
+  exec.parallelThresholdNnz = 1;  // always fan out: this is the bench
+  return exec;
+}
+
+struct Row {
+  std::string section;
+  std::string kernel;
+  std::size_t threads;  // 0 = no pool
+  double seconds;
+  double speedup;
+  double maxDiff;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    const auto intArg = [&](const char* flag, auto& out) {
+      if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
+        out = static_cast<std::remove_reference_t<decltype(out)>>(
+            std::strtoull(argv[++i], nullptr, 10));
+        return true;
+      }
+      return false;
+    };
+    if (intArg("--states", config.states) || intArg("--fanout", config.fanout) ||
+        intArg("--steps", config.steps) || intArg("--rhs", config.rhs)) {
+      continue;
+    }
+    if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      config.csvPath = argv[++i];
+      continue;
+    }
+    std::fprintf(stderr,
+                 "usage: bench_la [--states N] [--fanout F] [--steps T] "
+                 "[--rhs K] [--csv path]\n");
+    return 2;
+  }
+
+  std::printf("=== bench_la: scalar vs blocked vs parallel SpMV ===\n");
+  const util::Stopwatch buildTimer;
+  const dtmc::ExplicitDtmc chain = randomChain(config);
+  const la::CsrMatrix& P = chain.matrix();
+  std::printf("chain: %u states, %llu transitions, %zu blocks (built in %.2fs)\n\n",
+              P.numRows(), static_cast<unsigned long long>(P.numNonZeros()),
+              P.blockCount(), buildTimer.elapsedSeconds());
+
+  std::vector<Row> rows;
+  bool allExact = true;
+  const auto record = [&](const std::string& section, const std::string& kernel,
+                          std::size_t threads, double seconds, double scalarSec,
+                          double maxDiff) {
+    rows.push_back(
+        {section, kernel, threads, seconds, scalarSec / seconds, maxDiff});
+    allExact = allExact && maxDiff == 0.0;
+    std::printf("  %-22s %8.3fs  speedup %5.2fx  max|diff| %g\n",
+                (kernel + (threads != 0 ? "(" + std::to_string(threads) + "t)"
+                                        : std::string{}))
+                    .c_str(),
+                seconds, scalarSec / seconds, maxDiff);
+  };
+
+  // ---- SpMV: propagate the initial distribution `steps` times.
+  const auto propagate =
+      [&](const std::function<void(const std::vector<double>&,
+                                   std::vector<double>&)>& kernel,
+          double& seconds) {
+        std::vector<double> pi = chain.initialDistribution();
+        std::vector<double> next(pi.size());
+        const util::Stopwatch timer;
+        for (std::uint64_t t = 0; t < config.steps; ++t) {
+          kernel(pi, next);
+          pi.swap(next);
+        }
+        seconds = timer.elapsedSeconds();
+        return pi;
+      };
+
+  double scalarSec = 0.0;
+  const std::vector<double> scalarPi = propagate(
+      [&](const std::vector<double>& x, std::vector<double>& y) {
+        scalarScatterLeft(P, x, y);
+      },
+      scalarSec);
+  record("spmv", "scalar-scatter", 0, scalarSec, scalarSec, 0.0);
+
+  double blockedSec = 0.0;
+  const std::vector<double> blockedPi = propagate(
+      [&](const std::vector<double>& x, std::vector<double>& y) {
+        la::spmvLeft(P, x, y);
+      },
+      blockedSec);
+  record("spmv", "blocked-gather", 0, blockedSec, scalarSec,
+         maxAbsDiff(blockedPi, scalarPi));
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    engine::ThreadPool pool(threads);
+    const la::Exec exec = poolExec(pool);
+    double seconds = 0.0;
+    const std::vector<double> pi = propagate(
+        [&](const std::vector<double>& x, std::vector<double>& y) {
+          la::spmvLeft(P, x, y, exec);
+        },
+        seconds);
+    record("spmv", "parallel-gather", threads, seconds, scalarSec,
+           maxAbsDiff(pi, scalarPi));
+  }
+
+  // ---- SpMM: k transient sweeps, per-call vs batched.
+  std::printf("\n=== per-call vs SpMM-batched transient sweep (k=%zu) ===\n",
+              config.rhs);
+  std::vector<std::vector<double>> starts;
+  for (std::size_t j = 0; j < config.rhs; ++j) {
+    std::vector<double> start(P.numRows(), 0.0);
+    start[(P.numRows() / config.rhs) * j] = 1.0;
+    starts.push_back(std::move(start));
+  }
+
+  double perCallSec = 0.0;
+  std::vector<std::vector<double>> perCall;
+  {
+    const util::Stopwatch timer;
+    for (std::size_t j = 0; j < config.rhs; ++j) {
+      mc::TransientSweep sweep(chain, {starts[j]});
+      sweep.advanceTo(config.steps);
+      perCall.push_back(sweep.distributionAt(0));
+    }
+    perCallSec = timer.elapsedSeconds();
+  }
+  record("spmm", "per-call-sweeps", 0, perCallSec, perCallSec, 0.0);
+
+  {
+    const util::Stopwatch timer;
+    mc::TransientSweep sweep(chain, starts);
+    sweep.advanceTo(config.steps);
+    const double seconds = timer.elapsedSeconds();
+    double worst = 0.0;
+    for (std::size_t j = 0; j < config.rhs; ++j) {
+      const double diff = maxAbsDiff(sweep.distributionAt(j), perCall[j]);
+      if (diff > worst) worst = diff;
+    }
+    record("spmm", "spmm-batched", 0, seconds, perCallSec, worst);
+  }
+
+  if (config.csvPath != nullptr) {
+    std::ofstream csv(config.csvPath);
+    csv << "section,kernel,threads,states,nnz,rhs,steps,seconds,"
+           "speedup,max_abs_diff\n";
+    for (const Row& row : rows) {
+      csv << row.section << ',' << row.kernel << ',' << row.threads << ','
+          << P.numRows() << ',' << P.numNonZeros() << ',' << config.rhs << ','
+          << config.steps << ',' << row.seconds << ',' << row.speedup << ','
+          << row.maxDiff << '\n';
+    }
+    std::printf("\nwrote %s\n", config.csvPath);
+  }
+
+  if (!allExact) {
+    std::printf("\nFAIL: a la:: path diverged from the scalar reference\n");
+    return 1;
+  }
+  std::printf("\nOK: every la:: path bit-identical to the scalar reference\n");
+  return 0;
+}

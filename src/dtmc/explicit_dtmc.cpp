@@ -3,20 +3,21 @@
 #include <cassert>
 #include <cmath>
 
+#include "la/spmv.hpp"
+
 namespace mimostat::dtmc {
 
 ExplicitDtmc ExplicitDtmc::fromRaw(Raw raw) {
   ExplicitDtmc d;
-  d.rowPtr_ = std::move(raw.rowPtr);
-  d.col_ = std::move(raw.col);
-  d.val_ = std::move(raw.val);
+  assert(!raw.rowPtr.empty());
+  assert(raw.initial.size() == raw.rowPtr.size() - 1);
+  const auto numStates = static_cast<std::uint32_t>(raw.rowPtr.size() - 1);
+  d.matrix_ = la::CsrMatrix::fromCsr(std::move(raw.rowPtr), std::move(raw.col),
+                                     std::move(raw.val), numStates,
+                                     /*withTranspose=*/true);
   d.initial_ = std::move(raw.initial);
   d.states_ = std::move(raw.states);
   d.layout_ = std::move(raw.layout);
-  assert(!d.rowPtr_.empty());
-  assert(d.rowPtr_.back() == d.col_.size());
-  assert(d.col_.size() == d.val_.size());
-  assert(d.initial_.size() == d.rowPtr_.size() - 1);
   return d;
 }
 
@@ -39,39 +40,29 @@ std::vector<double> ExplicitDtmc::evalReward(const Model& model,
 }
 
 double ExplicitDtmc::maxRowDeviation() const {
+  const auto& rowPtr = matrix_.rowPtr();
+  const auto& val = matrix_.val();
   double worst = 0.0;
   for (std::uint32_t s = 0; s < numStates(); ++s) {
     double sum = 0.0;
-    for (std::uint64_t k = rowPtr_[s]; k < rowPtr_[s + 1]; ++k) sum += val_[k];
+    for (std::uint64_t k = rowPtr[s]; k < rowPtr[s + 1]; ++k) sum += val[k];
     worst = std::max(worst, std::fabs(sum - 1.0));
   }
   return worst;
 }
 
 void ExplicitDtmc::multiplyLeft(const std::vector<double>& x,
-                                std::vector<double>& y) const {
+                                std::vector<double>& y,
+                                const la::Exec& exec) const {
   assert(x.size() == numStates());
-  y.assign(numStates(), 0.0);
-  for (std::uint32_t s = 0; s < numStates(); ++s) {
-    const double xs = x[s];
-    if (xs == 0.0) continue;
-    for (std::uint64_t k = rowPtr_[s]; k < rowPtr_[s + 1]; ++k) {
-      y[col_[k]] += xs * val_[k];
-    }
-  }
+  la::spmvLeft(matrix_, x, y, exec);
 }
 
 void ExplicitDtmc::multiplyRight(const std::vector<double>& x,
-                                 std::vector<double>& y) const {
+                                 std::vector<double>& y,
+                                 const la::Exec& exec) const {
   assert(x.size() == numStates());
-  y.assign(numStates(), 0.0);
-  for (std::uint32_t s = 0; s < numStates(); ++s) {
-    double acc = 0.0;
-    for (std::uint64_t k = rowPtr_[s]; k < rowPtr_[s + 1]; ++k) {
-      acc += val_[k] * x[col_[k]];
-    }
-    y[s] = acc;
-  }
+  la::spmv(matrix_, x, y, exec);
 }
 
 }  // namespace mimostat::dtmc

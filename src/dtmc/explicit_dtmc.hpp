@@ -1,5 +1,11 @@
-// Explicit-state DTMC: CSR sparse transition matrix plus the decoded state
-// table, initial distribution, and cached label/reward vectors.
+// Explicit-state DTMC: the transition matrix as an owned la::CsrMatrix
+// (blocked layout + stable transpose) plus the decoded state table, initial
+// distribution, and the model-facing atom/reward evaluation hooks.
+//
+// All numeric access goes through the la:: layer: multiplyLeft/multiplyRight
+// are thin forwarders to la::spmvLeft/la::spmv and accept an optional
+// la::Exec to fan the product out over a thread pool (bit-identical results
+// at any pool size — see la/spmv.hpp for the determinism contract).
 #pragma once
 
 #include <cstdint>
@@ -9,22 +15,33 @@
 
 #include "dtmc/model.hpp"
 #include "dtmc/state.hpp"
+#include "la/csr_matrix.hpp"
+#include "la/exec.hpp"
 
 namespace mimostat::dtmc {
 
 class ExplicitDtmc {
  public:
   /// Number of states.
-  [[nodiscard]] std::uint32_t numStates() const {
-    return static_cast<std::uint32_t>(rowPtr_.size() - 1);
-  }
+  [[nodiscard]] std::uint32_t numStates() const { return matrix_.numRows(); }
   /// Number of nonzero transitions.
-  [[nodiscard]] std::uint64_t numTransitions() const { return col_.size(); }
+  [[nodiscard]] std::uint64_t numTransitions() const {
+    return matrix_.numNonZeros();
+  }
 
-  /// CSR accessors.
-  [[nodiscard]] const std::vector<std::uint64_t>& rowPtr() const { return rowPtr_; }
-  [[nodiscard]] const std::vector<std::uint32_t>& col() const { return col_; }
-  [[nodiscard]] const std::vector<double>& val() const { return val_; }
+  /// The transition matrix (CSR with block table and stable transpose).
+  [[nodiscard]] const la::CsrMatrix& matrix() const { return matrix_; }
+
+  /// CSR accessors (forwarders into matrix()).
+  [[nodiscard]] const std::vector<std::uint64_t>& rowPtr() const {
+    return matrix_.rowPtr();
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& col() const {
+    return matrix_.col();
+  }
+  [[nodiscard]] const std::vector<double>& val() const {
+    return matrix_.val();
+  }
 
   /// Initial distribution over states (sums to 1).
   [[nodiscard]] const std::vector<double>& initialDistribution() const {
@@ -36,7 +53,9 @@ class ExplicitDtmc {
 
   /// Decoded state table (index -> variable assignment).
   [[nodiscard]] const std::vector<State>& states() const { return states_; }
-  [[nodiscard]] const State& state(std::uint32_t idx) const { return states_[idx]; }
+  [[nodiscard]] const State& state(std::uint32_t idx) const {
+    return states_[idx];
+  }
 
   /// Value of variable `varIdx` in state `stateIdx`.
   [[nodiscard]] std::int32_t varValue(std::uint32_t stateIdx,
@@ -56,12 +75,15 @@ class ExplicitDtmc {
   /// Verify every row sums to 1 within `tol`; returns the worst deviation.
   [[nodiscard]] double maxRowDeviation() const;
 
-  /// y = x * P (row vector times matrix). x.size()==numStates.
-  void multiplyLeft(const std::vector<double>& x, std::vector<double>& y) const;
+  /// y = x * P (row vector times matrix). x.size()==numStates. Results are
+  /// bit-identical with or without an exec runner.
+  void multiplyLeft(const std::vector<double>& x, std::vector<double>& y,
+                    const la::Exec& exec = {}) const;
 
   /// y = P * x (matrix times column vector) — used by bounded-until backward
   /// iterations.
-  void multiplyRight(const std::vector<double>& x, std::vector<double>& y) const;
+  void multiplyRight(const std::vector<double>& x, std::vector<double>& y,
+                     const la::Exec& exec = {}) const;
 
   // --- construction (used by Builder) ---
   struct Raw {
@@ -75,9 +97,7 @@ class ExplicitDtmc {
   static ExplicitDtmc fromRaw(Raw raw);
 
  private:
-  std::vector<std::uint64_t> rowPtr_{0};
-  std::vector<std::uint32_t> col_;
-  std::vector<double> val_;
+  la::CsrMatrix matrix_;
   std::vector<double> initial_;
   std::vector<State> states_;
   VarLayout layout_;

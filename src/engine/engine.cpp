@@ -71,13 +71,11 @@ const char* backendName(Backend backend) {
 
 std::uint64_t approxDtmcBytes(const dtmc::ExplicitDtmc& dtmc) {
   const std::uint64_t states = dtmc.numStates();
-  const std::uint64_t transitions = dtmc.numTransitions();
   const std::uint64_t vars = dtmc.varLayout().numVars();
-  // CSR: rowPtr (u64) + col (u32) + val (double); initial distribution; one
-  // heap-allocated int32 vector per decoded state.
-  return (states + 1) * sizeof(std::uint64_t) +
-         transitions * (sizeof(std::uint32_t) + sizeof(double)) +
-         states * sizeof(double) +
+  // CSR arrays (including the stable transpose and block tables, via the
+  // matrix's own accounting); initial distribution; one heap-allocated
+  // int32 vector per decoded state.
+  return dtmc.matrix().approxBytes() + states * sizeof(double) +
          states * (sizeof(dtmc::State) + vars * sizeof(std::int32_t));
 }
 
@@ -287,8 +285,22 @@ AnalysisResponse AnalysisEngine::analyzeExact(const AnalysisRequest& request,
   response.reachabilityIterations = built->reachabilityIterations;
   response.buildSeconds = built->buildSeconds;
 
-  const mc::Checker checker(built->dtmc, *request.model,
-                            request.options.check, propertyCache_);
+  // Parallel linear algebra: unless the request brings its own runner, la::
+  // kernels (transient multiplies, power iteration, Jacobi sweeps) fan out
+  // over the engine pool. Nested pool_.run is deadlock-free (the property
+  // task drains its own sub-batch) and every kernel is bit-identical at any
+  // pool size, so this only changes wall-clock.
+  mc::CheckOptions checkOptions = request.options.check;
+  if (checkOptions.exec.runner == nullptr && options_.parallelLinearAlgebra) {
+    checkOptions.exec.runner = laRunnerFor(pool_);
+    // A threshold the request set explicitly (even to the la:: default)
+    // always wins; the engine default only fills the unset case.
+    if (!checkOptions.exec.parallelThresholdNnz) {
+      checkOptions.exec.parallelThresholdNnz = options_.laParallelThresholdNnz;
+    }
+  }
+  const mc::Checker checker(built->dtmc, *request.model, checkOptions,
+                            propertyCache_);
 
   // Partition into the batched horizon group and the singles.
   std::vector<std::size_t> batchGroup;
@@ -312,6 +324,7 @@ AnalysisResponse AnalysisEngine::analyzeExact(const AnalysisRequest& request,
         result.value = check.value;
         result.satisfied = check.satisfied;
         result.checkSeconds = check.checkSeconds;
+        result.solver = check.solver;
       } catch (const std::exception& e) {
         result.error = e.what();
       }
@@ -356,7 +369,7 @@ AnalysisResponse AnalysisEngine::analyzeExact(const AnalysisRequest& request,
           }
         }
 
-        mc::TransientSweep sweep(built->dtmc);
+        mc::TransientSweep sweep(built->dtmc, checkOptions.exec);
         // pi_t . r is computed at most once per distinct reward structure
         // per step, shared by every property that needs it at that step.
         std::vector<double> stepDot(rewards.size(), 0.0);

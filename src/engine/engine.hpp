@@ -43,6 +43,7 @@
 #include "dtmc/explicit_dtmc.hpp"
 #include "dtmc/model.hpp"
 #include "engine/request.hpp"
+#include "la/exec.hpp"
 #include "engine/result.hpp"
 #include "engine/thread_pool.hpp"
 #include "pctl/ast.hpp"
@@ -63,6 +64,17 @@ struct EngineOptions {
   /// Shared property-parse cache; nullptr uses the process-wide
   /// pctl::PropertyCache::global() (shared with every mc::Checker).
   pctl::PropertyCache* propertyCache = nullptr;
+  /// Fan la:: kernels (transient multiplies, power iteration, Jacobi
+  /// sweeps) out over the engine pool on the exact backend. Results are
+  /// bit-identical at any pool size, so this is purely a throughput knob.
+  /// A runner the request brings in RequestOptions::check.exec wins over
+  /// the engine's.
+  bool parallelLinearAlgebra = true;
+  /// Default nnz threshold below which la:: calls stay sequential; applied
+  /// when the engine injects its own pool, i.e. to requests that bring
+  /// neither a runner nor a threshold in RequestOptions::check.exec (a
+  /// request with its own runner owns its whole exec and is never touched).
+  std::uint64_t laParallelThresholdNnz = la::Exec::kDefaultParallelThresholdNnz;
 };
 
 /// Counters exposed for tests, sweeps and ops dashboards.

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "la/solver.hpp"
 #include "stats/intervals.hpp"
 
 namespace mimostat::engine {
@@ -53,6 +54,13 @@ struct AnalysisResult {
   std::uint64_t samples = 0;
   /// This property was answered from a shared batched horizon sweep.
   bool batched = false;
+  /// Iterative-solver report when the exact backend ran one for this
+  /// property (unbounded operators, R=?[F psi], R=?[S]); absent for
+  /// transient/bounded properties and the sampling backend. Carries the
+  /// solver's own name (SolveStats::solver: "gauss-seidel", "jacobi",
+  /// "power", "power+cesaro"). Deterministic for a fixed model and
+  /// property at any thread count.
+  std::optional<la::SolveStats> solver;
   /// Seconds spent checking this property (for batched properties: the
   /// shared sweep's total, attributed to every member of the group).
   double checkSeconds = 0.0;

@@ -18,7 +18,10 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
+
+#include "la/exec.hpp"
 
 namespace mimostat::engine {
 
@@ -61,5 +64,15 @@ class ThreadPool {
   std::condition_variable wake_;
   bool stop_ = false;
 };
+
+/// The canonical ThreadPool -> la::TaskRunner adapter (used by the engine's
+/// injected exec, tests and benches alike, so all of them inherit run()'s
+/// batch/exception semantics from one place). The pool must outlive the
+/// returned runner.
+[[nodiscard]] inline la::TaskRunner laRunnerFor(ThreadPool& pool) {
+  return [&pool](std::vector<std::function<void()>> tasks) {
+    pool.run(std::move(tasks));
+  };
+}
 
 }  // namespace mimostat::engine

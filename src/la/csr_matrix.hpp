@@ -1,0 +1,92 @@
+// la::CsrMatrix — the owned sparse-matrix type every numeric backend runs on.
+//
+// Compressed sparse row storage (rowPtr / colIdx / values) extracted out of
+// dtmc::ExplicitDtmc so transient propagation, steady-state solving and the
+// unbounded-until linear systems all share one matrix layer. Two layout
+// features matter to the kernels in la/spmv.hpp and la/solver.hpp:
+//
+//   1. Block table: rows are partitioned into contiguous blocks of roughly
+//      kBlockNnz nonzeros each. Blocks are the unit of parallel work — the
+//      table depends only on the matrix (never on thread count), so a
+//      row-partitioned kernel assigns every output row to exactly one task
+//      and produces bit-identical results at any pool size.
+//   2. Eager stable transpose: left products (x^T A, the transient hot path)
+//      and backward graph walks (Prob0/Prob1) need column-major access. The
+//      transpose is built once at construction with a stable counting sort,
+//      so each transpose row lists its sources in ascending (row, slot)
+//      order — exactly the accumulation order of the legacy scatter loop,
+//      which is what makes the gather kernel bit-identical to it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace mimostat::la {
+
+class CsrMatrix {
+ public:
+  /// Nonzeros per parallel block (fixed: block boundaries must not depend on
+  /// thread count or results would not be bit-stable across pool sizes).
+  static constexpr std::uint64_t kBlockNnz = 1ull << 14;
+
+  CsrMatrix() = default;
+
+  /// Take ownership of CSR arrays. rowPtr.size() == numRows + 1 and
+  /// rowPtr.back() == col.size() == val.size() are asserted. When
+  /// `withTranspose` the transpose (with its own block table) is built
+  /// eagerly; spmvLeft/spmmLeft and transposed() require it.
+  static CsrMatrix fromCsr(std::vector<std::uint64_t> rowPtr,
+                           std::vector<std::uint32_t> col,
+                           std::vector<double> val, std::uint32_t numCols,
+                           bool withTranspose = true);
+
+  [[nodiscard]] std::uint32_t numRows() const {
+    return static_cast<std::uint32_t>(rowPtr_.size() - 1);
+  }
+  [[nodiscard]] std::uint32_t numCols() const { return numCols_; }
+  [[nodiscard]] std::uint64_t numNonZeros() const { return col_.size(); }
+
+  [[nodiscard]] const std::vector<std::uint64_t>& rowPtr() const {
+    return rowPtr_;
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& col() const { return col_; }
+  [[nodiscard]] const std::vector<double>& val() const { return val_; }
+
+  /// The transpose built at construction; null when withTranspose was false
+  /// (and always null on the transpose itself — it is not recursive).
+  [[nodiscard]] const CsrMatrix* transpose() const { return transpose_.get(); }
+  [[nodiscard]] bool hasTranspose() const { return transpose_ != nullptr; }
+  /// Asserting accessor for kernels that require the transpose.
+  [[nodiscard]] const CsrMatrix& transposed() const;
+
+  // --- block table (parallel row partition) ---
+  [[nodiscard]] std::size_t blockCount() const {
+    return blockStart_.empty() ? 0 : blockStart_.size() - 1;
+  }
+  [[nodiscard]] std::uint32_t blockBegin(std::size_t b) const {
+    return blockStart_[b];
+  }
+  [[nodiscard]] std::uint32_t blockEnd(std::size_t b) const {
+    return blockStart_[b + 1];
+  }
+
+  /// Resident bytes of the CSR arrays, block table and (when present) the
+  /// transpose — the unit the engine's model-cache byte accounting uses.
+  [[nodiscard]] std::uint64_t approxBytes() const;
+
+ private:
+  void buildBlocks();
+  [[nodiscard]] CsrMatrix buildTranspose() const;
+
+  std::vector<std::uint64_t> rowPtr_{0};
+  std::vector<std::uint32_t> col_;
+  std::vector<double> val_;
+  std::uint32_t numCols_ = 0;
+  std::vector<std::uint32_t> blockStart_{0, 0};
+  /// Shared (immutable) so a copy reuses the transpose instead of doubling
+  /// it — note a copy still deep-copies this matrix's own CSR arrays.
+  std::shared_ptr<const CsrMatrix> transpose_;
+};
+
+}  // namespace mimostat::la

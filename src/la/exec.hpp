@@ -1,0 +1,42 @@
+// la::Exec — how a linear-algebra call runs: sequentially, or fanned out
+// over a caller-supplied task runner (typically engine::ThreadPool::run).
+//
+// The runner only changes *where* block tasks execute, never *what* they
+// compute: kernels partition work by the matrix's fixed block table and each
+// output element is written by exactly one task, so results are bit-identical
+// with no runner, a 1-thread pool, or an 8-thread pool.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace mimostat::la {
+
+/// Executes a batch of independent tasks and returns when all are done.
+/// Same shape as smc::TaskRunner; bind engine::ThreadPool with
+///   la::Exec exec{[&pool](auto tasks) { pool.run(std::move(tasks)); }};
+using TaskRunner = std::function<void(std::vector<std::function<void()>>)>;
+
+struct Exec {
+  /// Threshold used when parallelThresholdNnz is unset.
+  static constexpr std::uint64_t kDefaultParallelThresholdNnz = 1ull << 15;
+
+  /// Empty = run sequentially on the calling thread.
+  TaskRunner runner;
+  /// Work with fewer nonzeros than this stays sequential even when a
+  /// runner is present — below it, task dispatch costs more than the spin
+  /// over the nonzeros. nullopt = kDefaultParallelThresholdNnz; optional so
+  /// an injector (the engine) can distinguish "unset" from an explicitly
+  /// chosen value, including one equal to the default.
+  std::optional<std::uint64_t> parallelThresholdNnz;
+
+  /// Should a kernel over `nnz` nonzeros fan out?
+  [[nodiscard]] bool parallelFor(std::uint64_t nnz) const {
+    return runner != nullptr &&
+           nnz >= parallelThresholdNnz.value_or(kDefaultParallelThresholdNnz);
+  }
+};
+
+}  // namespace mimostat::la

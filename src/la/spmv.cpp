@@ -1,0 +1,151 @@
+#include "la/spmv.hpp"
+
+#include <cassert>
+
+namespace mimostat::la {
+
+namespace {
+
+// Bit-compatibility note: the legacy ExplicitDtmc::multiplyLeft scatter
+// skipped whole zero-valued source rows. These kernels do NOT branch on
+// zero and are still bit-identical to it: a skipped term is v * (+-0.0)
+// which is +-0.0, and acc + (+-0.0) can only change acc's bits when acc is
+// -0.0 and the term +0.0. An accumulator can become -0.0 only from
+// negative-zero terms (exact cancellation of finite terms rounds to +0.0),
+// i.e. only when the matrix carries negative values or x carries -0.0 —
+// neither occurs for the engine's stochastic matrices, distributions and
+// value vectors. Dropping the branch keeps the gather loop a pure
+// multiply-add stream the compiler can pipeline (tests assert bitwise
+// equality against the legacy scatter, zeros included).
+
+/// y[r] = sum_k M.val[k] * x[M.col[k]] over rows [rowBegin, rowEnd).
+void gatherRows(const CsrMatrix& M, const double* x, double* y,
+                std::uint32_t rowBegin, std::uint32_t rowEnd) {
+  const std::uint64_t* rowPtr = M.rowPtr().data();
+  const std::uint32_t* col = M.col().data();
+  const double* val = M.val().data();
+  for (std::uint32_t r = rowBegin; r < rowEnd; ++r) {
+    double acc = 0.0;
+    for (std::uint64_t k = rowPtr[r]; k < rowPtr[r + 1]; ++k) {
+      acc += val[k] * x[col[k]];
+    }
+    y[r] = acc;
+  }
+}
+
+/// Multi-vector gather in strips of up to kStrip vectors: each strip
+/// traverses the rows once with stack accumulators (one cache line of
+/// doubles), so k <= kStrip right-hand sides cost a single pass. Per
+/// vector the add sequence is identical to gatherRows, so SpMM output j is
+/// bitwise equal to the j-th SpMV.
+constexpr std::size_t kStrip = 8;
+
+void gatherRowsMulti(const CsrMatrix& M, const double* X, std::size_t k,
+                     double* Y, std::uint32_t rowBegin, std::uint32_t rowEnd) {
+  const std::uint64_t* rowPtr = M.rowPtr().data();
+  const std::uint32_t* col = M.col().data();
+  const double* val = M.val().data();
+  for (std::size_t j0 = 0; j0 < k; j0 += kStrip) {
+    const std::size_t width = k - j0 < kStrip ? k - j0 : kStrip;
+    for (std::uint32_t r = rowBegin; r < rowEnd; ++r) {
+      double acc[kStrip] = {0.0};
+      for (std::uint64_t e = rowPtr[r]; e < rowPtr[r + 1]; ++e) {
+        const double* xs = X + static_cast<std::size_t>(col[e]) * k + j0;
+        const double v = val[e];
+        for (std::size_t j = 0; j < width; ++j) acc[j] += v * xs[j];
+      }
+      double* out = Y + static_cast<std::size_t>(r) * k + j0;
+      for (std::size_t j = 0; j < width; ++j) out[j] = acc[j];
+    }
+  }
+}
+
+/// Run `body` over the matrix's block row-partition: sequentially, or one
+/// task per block on exec's runner. Each output row belongs to exactly one
+/// block, so the fan-out is race-free and scheduling-order independent.
+template <typename Body>
+void forEachBlock(const CsrMatrix& M, const Exec& exec, const Body& body) {
+  if (!exec.parallelFor(M.numNonZeros()) || M.blockCount() <= 1) {
+    body(0, M.numRows());
+    return;
+  }
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(M.blockCount());
+  for (std::size_t b = 0; b < M.blockCount(); ++b) {
+    tasks.push_back(
+        [&M, &body, b] { body(M.blockBegin(b), M.blockEnd(b)); });
+  }
+  exec.runner(std::move(tasks));
+}
+
+}  // namespace
+
+void spmv(const CsrMatrix& A, const std::vector<double>& x,
+          std::vector<double>& y, const Exec& exec) {
+  assert(x.size() == A.numCols());
+  y.resize(A.numRows());
+  forEachBlock(A, exec, [&](std::uint32_t begin, std::uint32_t end) {
+    gatherRows(A, x.data(), y.data(), begin, end);
+  });
+}
+
+void spmvLeft(const CsrMatrix& A, const std::vector<double>& x,
+              std::vector<double>& y, const Exec& exec) {
+  const CsrMatrix& T = A.transposed();
+  assert(x.size() == T.numCols());
+
+  // Near-point-mass x (a single initial state, the first transient steps):
+  // the legacy source-major scatter costs only the support's nonzeros,
+  // while the target-major gather always traverses every nonzero. Scatter
+  // and gather are bitwise-equal (kernel note above), so picking by
+  // sparsity is invisible to results. The support scan exits as soon as x
+  // is provably dense, so dense steps pay O(cap), not O(n).
+  const std::uint32_t n = A.numRows();
+  const std::uint32_t sparseCap = n / 64 + 1;
+  std::uint32_t support = 0;
+  for (std::uint32_t s = 0; s < n && support <= sparseCap; ++s) {
+    support += x[s] != 0.0 ? 1 : 0;
+  }
+  if (support <= sparseCap) {
+    const std::uint64_t* rowPtr = A.rowPtr().data();
+    const std::uint32_t* col = A.col().data();
+    const double* val = A.val().data();
+    y.assign(T.numRows(), 0.0);
+    for (std::uint32_t s = 0; s < n; ++s) {
+      const double xs = x[s];
+      if (xs == 0.0) continue;
+      for (std::uint64_t k = rowPtr[s]; k < rowPtr[s + 1]; ++k) {
+        y[col[k]] += xs * val[k];
+      }
+    }
+    return;
+  }
+
+  y.resize(T.numRows());
+  forEachBlock(T, exec, [&](std::uint32_t begin, std::uint32_t end) {
+    gatherRows(T, x.data(), y.data(), begin, end);
+  });
+}
+
+void spmm(const CsrMatrix& A, const std::vector<double>& X, std::size_t k,
+          std::vector<double>& Y, const Exec& exec) {
+  assert(k > 0);
+  assert(X.size() == static_cast<std::size_t>(A.numCols()) * k);
+  Y.resize(static_cast<std::size_t>(A.numRows()) * k);
+  forEachBlock(A, exec, [&](std::uint32_t begin, std::uint32_t end) {
+    gatherRowsMulti(A, X.data(), k, Y.data(), begin, end);
+  });
+}
+
+void spmmLeft(const CsrMatrix& A, const std::vector<double>& X, std::size_t k,
+              std::vector<double>& Y, const Exec& exec) {
+  assert(k > 0);
+  const CsrMatrix& T = A.transposed();
+  assert(X.size() == static_cast<std::size_t>(T.numCols()) * k);
+  Y.resize(static_cast<std::size_t>(T.numRows()) * k);
+  forEachBlock(T, exec, [&](std::uint32_t begin, std::uint32_t end) {
+    gatherRowsMulti(T, X.data(), k, Y.data(), begin, end);
+  });
+}
+
+}  // namespace mimostat::la

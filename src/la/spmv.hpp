@@ -1,0 +1,49 @@
+// Sparse matrix-vector and matrix-multivector products.
+//
+// All four entry points are row-partitioned gathers over the matrix's fixed
+// block table: each output row is produced by exactly one task with a fixed
+// accumulation order, so results are bit-identical sequentially and at any
+// thread count.
+//
+// Bit-compatibility with the legacy dtmc::ExplicitDtmc loops:
+//   - spmv reproduces multiplyRight exactly (same per-row accumulation);
+//   - spmvLeft gathers over the stable transpose, whose row order is
+//     precisely the ascending-source order the legacy scatter multiplyLeft
+//     accumulated in — so it reproduces the scatter bit for bit (including
+//     across the scatter's zero-source skip; see the kernel note in
+//     spmv.cpp for why the skipped +-0.0 terms are bitwise-neutral here).
+//
+// The SpMM variants push k right-hand sides through one matrix traversal per
+// call — X and Y are row-major n x k (vector j of state s at X[s*k + j]) —
+// and compute, per vector, the identical floating-point sequence as k
+// separate SpMV calls.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "la/csr_matrix.hpp"
+#include "la/exec.hpp"
+
+namespace mimostat::la {
+
+/// y = A x (row gather). x.size() == numCols, y resized to numRows.
+void spmv(const CsrMatrix& A, const std::vector<double>& x,
+          std::vector<double>& y, const Exec& exec = {});
+
+/// y = x^T A (left product via the transpose). x.size() == numRows, y
+/// resized to numCols. Requires A.hasTranspose().
+void spmvLeft(const CsrMatrix& A, const std::vector<double>& x,
+              std::vector<double>& y, const Exec& exec = {});
+
+/// Y = A X for k column vectors stored row-major (n x k).
+/// X.size() == numCols * k, Y resized to numRows * k.
+void spmm(const CsrMatrix& A, const std::vector<double>& X, std::size_t k,
+          std::vector<double>& Y, const Exec& exec = {});
+
+/// Y = X^T A for k row vectors stored row-major (n x k). Requires
+/// A.hasTranspose(). X.size() == numRows * k, Y resized to numCols * k.
+void spmmLeft(const CsrMatrix& A, const std::vector<double>& X, std::size_t k,
+              std::vector<double>& Y, const Exec& exec = {});
+
+}  // namespace mimostat::la

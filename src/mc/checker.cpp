@@ -80,6 +80,23 @@ CheckResult Checker::check(const pctl::Property& property) const {
   util::Stopwatch timer;
   CheckResult result;
 
+  const auto reachOptions = [&] {
+    ReachOptions ro;
+    ro.epsilon = options_.epsilon;
+    ro.maxIterations = options_.maxIterations;
+    ro.solver = options_.linearSolver;
+    ro.exec = options_.exec;
+    return ro;
+  };
+  const auto recordReach = [&](const ReachResult& reach) {
+    // Prob0/Prob1 may classify every state, in which case no linear solver
+    // ran — the report stays absent rather than claiming a 0-iteration
+    // convergence.
+    if (reach.solver.empty()) return;
+    result.solver = la::SolveStats{reach.iterations, reach.residual,
+                                   reach.converged, reach.solver};
+  };
+
   if (property.kind == pctl::Property::Kind::kProb) {
     const pctl::PathFormula& path = property.prob.path;
     std::vector<double> values;
@@ -92,8 +109,9 @@ CheckResult Checker::check(const pctl::Property& property) const {
         if (path.bound) {
           values = boundedFinally(dtmc_, psi, *path.bound);
         } else {
-          ReachOptions ro{options_.epsilon, options_.maxIterations};
-          values = reachProb(dtmc_, psi, ro).stateValues;
+          ReachResult reach = reachProb(dtmc_, psi, reachOptions());
+          recordReach(reach);
+          values = std::move(reach.stateValues);
         }
         break;
       }
@@ -105,8 +123,9 @@ CheckResult Checker::check(const pctl::Property& property) const {
           // G phi = !F !phi
           std::vector<std::uint8_t> notPhi(phi.size());
           for (std::size_t s = 0; s < phi.size(); ++s) notPhi[s] = !phi[s];
-          ReachOptions ro{options_.epsilon, options_.maxIterations};
-          values = reachProb(dtmc_, notPhi, ro).stateValues;
+          ReachResult reach = reachProb(dtmc_, notPhi, reachOptions());
+          recordReach(reach);
+          values = std::move(reach.stateValues);
           for (double& v : values) v = 1.0 - v;
         }
         break;
@@ -117,8 +136,9 @@ CheckResult Checker::check(const pctl::Property& property) const {
         if (path.bound) {
           values = boundedUntil(dtmc_, phi, psi, *path.bound);
         } else {
-          ReachOptions ro{options_.epsilon, options_.maxIterations};
-          values = untilProb(dtmc_, phi, psi, ro).stateValues;
+          ReachResult reach = untilProb(dtmc_, phi, psi, reachOptions());
+          recordReach(reach);
+          values = std::move(reach.stateValues);
         }
         break;
       }
@@ -134,23 +154,31 @@ CheckResult Checker::check(const pctl::Property& property) const {
     const std::vector<double> reward = dtmc_.evalReward(model_, rq.rewardName);
     switch (rq.kind) {
       case pctl::RewardQuery::Kind::kInstantaneous:
-        result.value = instantaneousReward(dtmc_, reward, rq.bound);
+        result.value = instantaneousReward(dtmc_, reward, rq.bound,
+                                           options_.exec);
         break;
       case pctl::RewardQuery::Kind::kCumulative:
-        result.value = cumulativeReward(dtmc_, reward, rq.bound);
+        result.value = cumulativeReward(dtmc_, reward, rq.bound,
+                                        options_.exec);
         break;
       case pctl::RewardQuery::Kind::kSteadyState: {
         SteadyOptions so;
         so.cesaroAveraging = options_.cesaroSteadyState;
-        result.value = steadyStateReward(dtmc_, reward, so);
+        so.exec = options_.exec;
+        const SteadyResult ss = steadyStateDistribution(dtmc_, so);
+        result.value = steadyStateReward(ss, reward);
+        result.solver =
+            la::SolveStats{ss.iterations, ss.residual, ss.converged,
+                           ss.solver};
         break;
       }
       case pctl::RewardQuery::Kind::kReachability: {
         const auto psi = evalStateFormula(*rq.target);
-        ReachOptions ro{options_.epsilon, options_.maxIterations};
-        auto values = expectedReachReward(dtmc_, reward, psi, ro).stateValues;
-        result.value = fromInitial(dtmc_, values);
-        result.stateValues = std::move(values);
+        ReachResult reach =
+            expectedReachReward(dtmc_, reward, psi, reachOptions());
+        recordReach(reach);
+        result.value = fromInitial(dtmc_, reach.stateValues);
+        result.stateValues = std::move(reach.stateValues);
         break;
       }
     }

@@ -12,8 +12,12 @@
 #include <string_view>
 #include <vector>
 
+#include <optional>
+
 #include "dtmc/explicit_dtmc.hpp"
 #include "dtmc/model.hpp"
+#include "la/exec.hpp"
+#include "la/solver.hpp"
 #include "pctl/ast.hpp"
 #include "pctl/parser.hpp"
 #include "pctl/property_cache.hpp"
@@ -26,6 +30,14 @@ struct CheckOptions {
   std::uint64_t maxIterations = 1'000'000;
   /// Use Cesàro averaging for R=?[S] on periodic chains.
   bool cesaroSteadyState = false;
+  /// Which la::LinearSolver runs unbounded-until value iteration. The
+  /// Gauss-Seidel default is bit-identical to the legacy loop; Jacobi
+  /// converges to the same fixed point on parallelizable sweeps.
+  la::SolverKind linearSolver = la::SolverKind::kGaussSeidel;
+  /// Parallel execution for la:: kernels (transient multiplies, power
+  /// iteration, Jacobi sweeps). Results are bit-identical with or without a
+  /// runner; the AnalysisEngine injects its pool here by default.
+  la::Exec exec;
 };
 
 struct CheckResult {
@@ -39,6 +51,11 @@ struct CheckResult {
   std::vector<double> stateValues;
   /// Seconds spent checking (excludes model construction).
   double checkSeconds = 0.0;
+  /// Iterative-solver report when the property ran one (unbounded
+  /// operators, R=?[F psi], R=?[S]); absent for transient/bounded
+  /// properties (direct propagations) and when Prob0/Prob1 classified
+  /// every state. The solver stamps its own name in SolveStats::solver.
+  std::optional<la::SolveStats> solver;
 };
 
 class Checker {

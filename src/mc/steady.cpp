@@ -1,7 +1,7 @@
 #include "mc/steady.hpp"
 
 #include <cassert>
-#include <cmath>
+#include <utility>
 
 #include "dtmc/graph.hpp"
 
@@ -19,48 +19,33 @@ ChainStructure analyzeStructure(const dtmc::ExplicitDtmc& dtmc) {
 
 SteadyResult steadyStateDistribution(const dtmc::ExplicitDtmc& dtmc,
                                      const SteadyOptions& options) {
+  la::PowerOptions po;
+  po.epsilon = options.epsilon;
+  po.maxIterations = options.maxIterations;
+  po.cesaroAveraging = options.cesaroAveraging;
+  la::PowerResult pr = la::PowerIteration{}.run(
+      dtmc.matrix(), dtmc.initialDistribution(), po, options.exec);
   SteadyResult result;
-  std::vector<double> pi = dtmc.initialDistribution();
-  std::vector<double> next(pi.size());
-  std::vector<double> average;
-  if (options.cesaroAveraging) average.assign(pi.size(), 0.0);
-
-  for (std::uint64_t iter = 1; iter <= options.maxIterations; ++iter) {
-    dtmc.multiplyLeft(pi, next);
-    double delta = 0.0;
-    for (std::size_t s = 0; s < pi.size(); ++s) {
-      delta += std::fabs(next[s] - pi[s]);
-    }
-    pi.swap(next);
-    result.iterations = iter;
-    if (options.cesaroAveraging) {
-      for (std::size_t s = 0; s < pi.size(); ++s) average[s] += pi[s];
-    }
-    if (!options.cesaroAveraging && delta < options.epsilon) {
-      result.converged = true;
-      break;
-    }
-  }
-
-  if (options.cesaroAveraging) {
-    const double scale = 1.0 / static_cast<double>(result.iterations);
-    for (double& v : average) v *= scale;
-    result.distribution = std::move(average);
-    result.converged = true;  // Cesàro limit always exists for finite chains
-  } else {
-    result.distribution = std::move(pi);
-  }
+  result.distribution = std::move(pr.distribution);
+  result.iterations = pr.stats.iterations;
+  result.converged = pr.stats.converged;
+  result.residual = pr.stats.residual;
+  result.solver = std::move(pr.stats.solver);
   return result;
 }
 
 double steadyStateReward(const dtmc::ExplicitDtmc& dtmc,
                          const std::vector<double>& reward,
                          const SteadyOptions& options) {
-  const SteadyResult ss = steadyStateDistribution(dtmc, options);
-  assert(reward.size() == ss.distribution.size());
+  return steadyStateReward(steadyStateDistribution(dtmc, options), reward);
+}
+
+double steadyStateReward(const SteadyResult& steady,
+                         const std::vector<double>& reward) {
+  assert(reward.size() == steady.distribution.size());
   double acc = 0.0;
   for (std::size_t s = 0; s < reward.size(); ++s) {
-    acc += ss.distribution[s] * reward[s];
+    acc += steady.distribution[s] * reward[s];
   }
   return acc;
 }

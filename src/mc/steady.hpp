@@ -2,14 +2,18 @@
 //
 // The paper argues its DTMCs are finite, irreducible and aperiodic and hence
 // possess a unique stationary distribution; P2 evaluated past the mixing
-// point is the BER. We provide a power-method solver (with Cesàro averaging
-// as a fallback for periodic chains) and structural checks.
+// point is the BER. The solve itself lives in la::PowerIteration (with
+// Cesaro averaging as a fallback for periodic chains); this layer binds it
+// to the DTMC's initial distribution and adds structural checks.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "dtmc/explicit_dtmc.hpp"
+#include "la/exec.hpp"
+#include "la/solver.hpp"
 
 namespace mimostat::mc {
 
@@ -17,12 +21,17 @@ struct SteadyOptions {
   double epsilon = 1e-13;          ///< L1 convergence threshold
   std::uint64_t maxIterations = 200'000;
   bool cesaroAveraging = false;    ///< average iterates (periodic chains)
+  la::Exec exec;                   ///< parallel multiply (bit-stable)
 };
 
 struct SteadyResult {
   std::vector<double> distribution;
   std::uint64_t iterations = 0;
   bool converged = false;
+  /// L1 delta of the last iterate (the power solver's residual).
+  double residual = 0.0;
+  /// Solver that produced the distribution ("power" / "power+cesaro").
+  std::string solver;
 };
 
 /// Structural summary used to justify steady-state existence.
@@ -35,7 +44,8 @@ struct ChainStructure {
 
 [[nodiscard]] ChainStructure analyzeStructure(const dtmc::ExplicitDtmc& dtmc);
 
-/// Stationary distribution by power iteration from the initial distribution.
+/// Stationary distribution by la::PowerIteration from the initial
+/// distribution.
 [[nodiscard]] SteadyResult steadyStateDistribution(
     const dtmc::ExplicitDtmc& dtmc, const SteadyOptions& options = {});
 
@@ -43,5 +53,10 @@ struct ChainStructure {
 [[nodiscard]] double steadyStateReward(const dtmc::ExplicitDtmc& dtmc,
                                        const std::vector<double>& reward,
                                        const SteadyOptions& options = {});
+
+/// pi . r against an already-solved distribution — for callers that also
+/// need the SteadyResult's solver report.
+[[nodiscard]] double steadyStateReward(const SteadyResult& steady,
+                                       const std::vector<double>& reward);
 
 }  // namespace mimostat::mc

@@ -6,6 +6,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "la/spmv.hpp"
+
 namespace mimostat::mc {
 
 namespace {
@@ -17,12 +19,59 @@ double dot(const std::vector<double>& a, const std::vector<double>& b) {
 }
 }  // namespace
 
-TransientSweep::TransientSweep(const dtmc::ExplicitDtmc& dtmc)
-    : dtmc_(dtmc), pi_(dtmc.initialDistribution()), scratch_(pi_.size()) {}
+TransientSweep::TransientSweep(const dtmc::ExplicitDtmc& dtmc, la::Exec exec)
+    : dtmc_(dtmc),
+      exec_(std::move(exec)),
+      x_(dtmc.initialDistribution()),
+      scratch_(x_.size()) {}
+
+TransientSweep::TransientSweep(const dtmc::ExplicitDtmc& dtmc,
+                               std::vector<std::vector<double>> starts,
+                               la::Exec exec)
+    : dtmc_(dtmc), exec_(std::move(exec)), vectors_(starts.size()) {
+  if (starts.empty()) {
+    throw std::invalid_argument("TransientSweep: no start distributions");
+  }
+  const std::size_t n = dtmc.numStates();
+  x_.resize(n * vectors_);
+  for (std::size_t j = 0; j < vectors_; ++j) {
+    if (starts[j].size() != n) {
+      throw std::invalid_argument(
+          "TransientSweep: start distribution size mismatch");
+    }
+    for (std::size_t s = 0; s < n; ++s) x_[s * vectors_ + j] = starts[j][s];
+  }
+  scratch_.resize(x_.size());
+}
+
+const std::vector<double>& TransientSweep::distribution() const {
+  if (vectors_ != 1) {
+    throw std::logic_error(
+        "TransientSweep::distribution(): multi-vector sweep; use "
+        "distributionAt(i)");
+  }
+  return x_;
+}
+
+std::vector<double> TransientSweep::distributionAt(std::size_t i) const {
+  if (i >= vectors_) {
+    throw std::out_of_range("TransientSweep::distributionAt: vector index " +
+                            std::to_string(i) + " of " +
+                            std::to_string(vectors_));
+  }
+  const std::size_t n = dtmc_.numStates();
+  std::vector<double> out(n);
+  for (std::size_t s = 0; s < n; ++s) out[s] = x_[s * vectors_ + i];
+  return out;
+}
 
 void TransientSweep::advance() {
-  dtmc_.multiplyLeft(pi_, scratch_);
-  pi_.swap(scratch_);
+  if (vectors_ == 1) {
+    la::spmvLeft(dtmc_.matrix(), x_, scratch_, exec_);
+  } else {
+    la::spmmLeft(dtmc_.matrix(), x_, vectors_, scratch_, exec_);
+  }
+  x_.swap(scratch_);
   ++step_;
 }
 
@@ -36,12 +85,32 @@ void TransientSweep::advanceTo(std::uint64_t step) {
 }
 
 double TransientSweep::expectedReward(const std::vector<double>& reward) const {
-  return dot(pi_, reward);
+  if (vectors_ != 1) {
+    throw std::logic_error(
+        "TransientSweep::expectedReward(): multi-vector sweep; use "
+        "expectedRewardAt(i, reward)");
+  }
+  return dot(x_, reward);
+}
+
+double TransientSweep::expectedRewardAt(std::size_t i,
+                                        const std::vector<double>& reward) const {
+  if (i >= vectors_) {
+    throw std::out_of_range("TransientSweep::expectedRewardAt: vector index " +
+                            std::to_string(i) + " of " +
+                            std::to_string(vectors_));
+  }
+  assert(reward.size() * vectors_ == x_.size());
+  double acc = 0.0;
+  for (std::size_t s = 0; s < reward.size(); ++s) {
+    acc += x_[s * vectors_ + i] * reward[s];
+  }
+  return acc;
 }
 
 std::vector<double> instantaneousRewardAtHorizons(
     const dtmc::ExplicitDtmc& dtmc, const std::vector<double>& reward,
-    const std::vector<std::uint64_t>& horizons) {
+    const std::vector<std::uint64_t>& horizons, const la::Exec& exec) {
   std::vector<std::size_t> order(horizons.size());
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
@@ -49,7 +118,7 @@ std::vector<double> instantaneousRewardAtHorizons(
   });
 
   std::vector<double> values(horizons.size());
-  TransientSweep sweep(dtmc);
+  TransientSweep sweep(dtmc, exec);
   for (const std::size_t idx : order) {
     sweep.advanceTo(horizons[idx]);
     values[idx] = sweep.expectedReward(reward);
@@ -58,27 +127,28 @@ std::vector<double> instantaneousRewardAtHorizons(
 }
 
 std::vector<double> transientDistribution(const dtmc::ExplicitDtmc& dtmc,
-                                          std::uint64_t steps) {
-  TransientSweep sweep(dtmc);
+                                          std::uint64_t steps,
+                                          const la::Exec& exec) {
+  TransientSweep sweep(dtmc, exec);
   sweep.advanceTo(steps);
   return sweep.distribution();
 }
 
 double instantaneousReward(const dtmc::ExplicitDtmc& dtmc,
                            const std::vector<double>& reward,
-                           std::uint64_t steps) {
-  return dot(transientDistribution(dtmc, steps), reward);
+                           std::uint64_t steps, const la::Exec& exec) {
+  return dot(transientDistribution(dtmc, steps, exec), reward);
 }
 
 double cumulativeReward(const dtmc::ExplicitDtmc& dtmc,
                         const std::vector<double>& reward,
-                        std::uint64_t steps) {
+                        std::uint64_t steps, const la::Exec& exec) {
   std::vector<double> pi = dtmc.initialDistribution();
   std::vector<double> next(pi.size());
   double total = 0.0;
   for (std::uint64_t t = 0; t < steps; ++t) {
     total += dot(pi, reward);
-    dtmc.multiplyLeft(pi, next);
+    dtmc.multiplyLeft(pi, next, exec);
     pi.swap(next);
   }
   return total;
@@ -86,14 +156,15 @@ double cumulativeReward(const dtmc::ExplicitDtmc& dtmc,
 
 std::vector<double> instantaneousRewardSeries(const dtmc::ExplicitDtmc& dtmc,
                                               const std::vector<double>& reward,
-                                              std::uint64_t steps) {
+                                              std::uint64_t steps,
+                                              const la::Exec& exec) {
   std::vector<double> series;
   series.reserve(steps + 1);
   std::vector<double> pi = dtmc.initialDistribution();
   std::vector<double> next(pi.size());
   series.push_back(dot(pi, reward));
   for (std::uint64_t t = 0; t < steps; ++t) {
-    dtmc.multiplyLeft(pi, next);
+    dtmc.multiplyLeft(pi, next, exec);
     pi.swap(next);
     series.push_back(dot(pi, reward));
   }
@@ -103,7 +174,8 @@ std::vector<double> instantaneousRewardSeries(const dtmc::ExplicitDtmc& dtmc,
 SteadyDetection detectRewardSteadyState(const dtmc::ExplicitDtmc& dtmc,
                                         const std::vector<double>& reward,
                                         double tolerance, std::uint64_t window,
-                                        std::uint64_t maxSteps) {
+                                        std::uint64_t maxSteps,
+                                        const la::Exec& exec) {
   assert(window >= 1);
   SteadyDetection result;
   std::vector<double> pi = dtmc.initialDistribution();
@@ -112,7 +184,7 @@ SteadyDetection detectRewardSteadyState(const dtmc::ExplicitDtmc& dtmc,
   double windowMax = windowMin;
   std::uint64_t stable = 0;
   for (std::uint64_t t = 1; t <= maxSteps; ++t) {
-    dtmc.multiplyLeft(pi, next);
+    dtmc.multiplyLeft(pi, next, exec);
     pi.swap(next);
     const double value = dot(pi, reward);
     if (std::fabs(value - windowMin) <= tolerance &&

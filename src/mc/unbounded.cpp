@@ -4,109 +4,75 @@
 #include <cmath>
 #include <limits>
 
-#include "dtmc/graph.hpp"
-
 namespace mimostat::mc {
+
+namespace {
+
+/// Backward closure: all states reaching a seed state through edges whose
+/// source satisfies `allowed` (seeds count regardless). Walks the matrix's
+/// cached stable transpose — row j lists j's predecessors in ascending
+/// order, so the BFS queue order matches the legacy hand-built transpose.
+std::vector<std::uint8_t> backwardClosure(const dtmc::ExplicitDtmc& dtmc,
+                                          std::vector<std::uint8_t> seeds,
+                                          const std::vector<std::uint8_t>& allowed) {
+  const la::CsrMatrix& back = dtmc.matrix().transposed();
+  std::vector<std::uint32_t> queue;
+  for (std::uint32_t s = 0; s < dtmc.numStates(); ++s) {
+    if (seeds[s]) queue.push_back(s);
+  }
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const std::uint32_t v = queue[head];
+    for (std::uint64_t k = back.rowPtr()[v]; k < back.rowPtr()[v + 1]; ++k) {
+      const std::uint32_t u = back.col()[k];
+      if (!seeds[u] && allowed[u]) {
+        seeds[u] = 1;
+        queue.push_back(u);
+      }
+    }
+  }
+  return seeds;
+}
+
+}  // namespace
 
 std::vector<std::uint8_t> prob0States(const dtmc::ExplicitDtmc& dtmc,
                                       const std::vector<std::uint8_t>& phi,
                                       const std::vector<std::uint8_t>& psi) {
   const std::uint32_t n = dtmc.numStates();
-  // Backward closure of psi through phi-states, computed on the fly:
-  // canReach[s] = s can reach psi via phi-states.
-  std::vector<std::uint8_t> canReach(psi);
-  // Build transpose walk: repeat relaxation until fixpoint (worklist on the
-  // reverse graph via repeated forward sweeps is O(n*m) worst case; use the
-  // dedicated backward reachability with a phi-restricted graph instead).
-  //
-  // We restrict to phi by masking sources: an edge u->v counts only when
-  // phi[u] (u may be traversed) — psi states themselves count regardless.
-  std::vector<std::uint32_t> queue;
-  for (std::uint32_t s = 0; s < n; ++s) {
-    if (canReach[s]) queue.push_back(s);
-  }
-  // Transposed adjacency built once.
-  std::vector<std::uint64_t> inPtr(n + 1, 0);
-  for (std::uint64_t k = 0; k < dtmc.numTransitions(); ++k) {
-    ++inPtr[dtmc.col()[k] + 1];
-  }
-  for (std::uint32_t i = 0; i < n; ++i) inPtr[i + 1] += inPtr[i];
-  std::vector<std::uint32_t> inCol(dtmc.numTransitions());
-  {
-    std::vector<std::uint64_t> cursor(inPtr.begin(), inPtr.end() - 1);
-    for (std::uint32_t s = 0; s < n; ++s) {
-      for (std::uint64_t k = dtmc.rowPtr()[s]; k < dtmc.rowPtr()[s + 1]; ++k) {
-        inCol[cursor[dtmc.col()[k]]++] = s;
-      }
-    }
-  }
-  for (std::size_t head = 0; head < queue.size(); ++head) {
-    const std::uint32_t v = queue[head];
-    for (std::uint64_t k = inPtr[v]; k < inPtr[v + 1]; ++k) {
-      const std::uint32_t u = inCol[k];
-      if (!canReach[u] && phi[u]) {
-        canReach[u] = 1;
-        queue.push_back(u);
-      }
-    }
-  }
+  // canReach[s] = s can reach psi via phi-states; prob0 is the complement.
+  const std::vector<std::uint8_t> canReach = backwardClosure(dtmc, psi, phi);
   std::vector<std::uint8_t> prob0(n);
   for (std::uint32_t s = 0; s < n; ++s) prob0[s] = canReach[s] ? 0 : 1;
   return prob0;
 }
 
-std::vector<std::uint8_t> prob1States(const dtmc::ExplicitDtmc& dtmc,
-                                      const std::vector<std::uint8_t>& phi,
-                                      const std::vector<std::uint8_t>& psi) {
-  // Standard algorithm: start from candidate set C = all states; repeatedly
-  // remove states that can escape to (prob0 OR removed) before reaching psi.
-  // Equivalent fixpoint formulation (Baier & Katoen Alg. 46):
-  //   prob1 = nu Z. psi OR (phi AND all... ) computed via complement:
-  // We compute the complement: states with P < 1 = backward closure of prob0
-  // through "phi and not psi" edges, iterated to fixpoint... The simple and
-  // correct version: iterate
-  //   bad_0 = prob0
-  //   bad_{i+1} = bad_i U { s in phi\psi : exists edge s->t with t in bad_i }
-  //     restricted so that s is added only if it can reach bad while avoiding
-  //     psi — which is exactly backward reachability of bad through phi\psi.
-  const std::uint32_t n = dtmc.numStates();
-  const std::vector<std::uint8_t> prob0 = prob0States(dtmc, phi, psi);
+namespace {
 
-  // Backward reachability of prob0 through states in phi and not psi
-  // (psi states never leave psi-satisfaction; non-phi non-psi states are
-  // already prob0).
-  std::vector<std::uint64_t> inPtr(n + 1, 0);
-  for (std::uint64_t k = 0; k < dtmc.numTransitions(); ++k) {
-    ++inPtr[dtmc.col()[k] + 1];
-  }
-  for (std::uint32_t i = 0; i < n; ++i) inPtr[i + 1] += inPtr[i];
-  std::vector<std::uint32_t> inCol(dtmc.numTransitions());
-  {
-    std::vector<std::uint64_t> cursor(inPtr.begin(), inPtr.end() - 1);
-    for (std::uint32_t s = 0; s < n; ++s) {
-      for (std::uint64_t k = dtmc.rowPtr()[s]; k < dtmc.rowPtr()[s + 1]; ++k) {
-        inCol[cursor[dtmc.col()[k]]++] = s;
-      }
-    }
-  }
-  std::vector<std::uint8_t> lessThanOne(prob0);
-  std::vector<std::uint32_t> queue;
-  for (std::uint32_t s = 0; s < n; ++s) {
-    if (lessThanOne[s]) queue.push_back(s);
-  }
-  for (std::size_t head = 0; head < queue.size(); ++head) {
-    const std::uint32_t v = queue[head];
-    for (std::uint64_t k = inPtr[v]; k < inPtr[v + 1]; ++k) {
-      const std::uint32_t u = inCol[k];
-      if (!lessThanOne[u] && phi[u] && !psi[u]) {
-        lessThanOne[u] = 1;
-        queue.push_back(u);
-      }
-    }
-  }
+/// prob1States against an already-computed prob0 set — callers that need
+/// both sets (untilProb) pay the prob0 backward walk once, not twice.
+std::vector<std::uint8_t> prob1FromProb0(const dtmc::ExplicitDtmc& dtmc,
+                                         const std::vector<std::uint8_t>& phi,
+                                         const std::vector<std::uint8_t>& psi,
+                                         std::vector<std::uint8_t> prob0) {
+  // Complement fixpoint (Baier & Katoen Alg. 46): states with P < 1 are the
+  // backward closure of prob0 through "phi and not psi" states (psi states
+  // never leave psi-satisfaction; non-phi non-psi states are already prob0).
+  const std::uint32_t n = dtmc.numStates();
+  std::vector<std::uint8_t> phiNotPsi(n);
+  for (std::uint32_t s = 0; s < n; ++s) phiNotPsi[s] = phi[s] && !psi[s];
+  const std::vector<std::uint8_t> lessThanOne =
+      backwardClosure(dtmc, std::move(prob0), phiNotPsi);
   std::vector<std::uint8_t> prob1(n);
   for (std::uint32_t s = 0; s < n; ++s) prob1[s] = lessThanOne[s] ? 0 : 1;
   return prob1;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> prob1States(const dtmc::ExplicitDtmc& dtmc,
+                                      const std::vector<std::uint8_t>& phi,
+                                      const std::vector<std::uint8_t>& psi) {
+  return prob1FromProb0(dtmc, phi, psi, prob0States(dtmc, phi, psi));
 }
 
 ReachResult untilProb(const dtmc::ExplicitDtmc& dtmc,
@@ -117,7 +83,7 @@ ReachResult untilProb(const dtmc::ExplicitDtmc& dtmc,
   assert(phi.size() == n && psi.size() == n);
 
   const std::vector<std::uint8_t> prob0 = prob0States(dtmc, phi, psi);
-  const std::vector<std::uint8_t> prob1 = prob1States(dtmc, phi, psi);
+  const std::vector<std::uint8_t> prob1 = prob1FromProb0(dtmc, phi, psi, prob0);
 
   ReachResult result;
   result.stateValues.assign(n, 0.0);
@@ -125,28 +91,22 @@ ReachResult untilProb(const dtmc::ExplicitDtmc& dtmc,
     if (prob1[s]) result.stateValues[s] = 1.0;
   }
 
-  // Gauss–Seidel value iteration on the undetermined states.
+  // x = P x on the undetermined states (prob0/prob1 rows fixed).
   std::vector<std::uint32_t> undetermined;
   for (std::uint32_t s = 0; s < n; ++s) {
     if (!prob0[s] && !prob1[s]) undetermined.push_back(s);
   }
   if (undetermined.empty()) return result;
 
-  std::vector<double>& x = result.stateValues;
-  for (std::uint64_t iter = 0; iter < options.maxIterations; ++iter) {
-    ++result.iterations;
-    double maxDelta = 0.0;
-    for (const std::uint32_t s : undetermined) {
-      double acc = 0.0;
-      for (std::uint64_t k = dtmc.rowPtr()[s]; k < dtmc.rowPtr()[s + 1]; ++k) {
-        acc += dtmc.val()[k] * x[dtmc.col()[k]];
-      }
-      maxDelta = std::max(maxDelta, std::fabs(acc - x[s]));
-      x[s] = acc;
-    }
-    if (maxDelta < options.epsilon) return result;
-  }
-  result.converged = false;
+  const la::SolverOptions so{options.epsilon, options.maxIterations};
+  la::SolveStats stats =
+      makeLinearSolver(options.solver)
+          ->solve(dtmc.matrix(), undetermined, nullptr, result.stateValues,
+                  so, options.exec);
+  result.iterations = stats.iterations;
+  result.converged = stats.converged;
+  result.residual = stats.residual;
+  result.solver = std::move(stats.solver);
   return result;
 }
 
@@ -181,23 +141,17 @@ ReachResult expectedReachReward(const dtmc::ExplicitDtmc& dtmc,
   }
   if (active.empty()) return result;
 
-  // Gauss–Seidel: x(s) = r(s) + sum_t P(s,t) x(t), target states fixed at 0.
-  // Infinite neighbours propagate naturally through the sum.
-  std::vector<double>& x = result.stateValues;
-  for (std::uint64_t iter = 0; iter < options.maxIterations; ++iter) {
-    ++result.iterations;
-    double maxDelta = 0.0;
-    for (const std::uint32_t s : active) {
-      double acc = reward[s];
-      for (std::uint64_t k = dtmc.rowPtr()[s]; k < dtmc.rowPtr()[s + 1]; ++k) {
-        acc += dtmc.val()[k] * x[dtmc.col()[k]];
-      }
-      maxDelta = std::max(maxDelta, std::fabs(acc - x[s]));
-      x[s] = acc;
-    }
-    if (maxDelta < options.epsilon) return result;
-  }
-  result.converged = false;
+  // x(s) = r(s) + sum_t P(s,t) x(t), target states fixed at 0. Infinite
+  // neighbours propagate naturally through the sum.
+  const la::SolverOptions so{options.epsilon, options.maxIterations};
+  la::SolveStats stats =
+      makeLinearSolver(options.solver)
+          ->solve(dtmc.matrix(), active, reward.data(), result.stateValues,
+                  so, options.exec);
+  result.iterations = stats.iterations;
+  result.converged = stats.converged;
+  result.residual = stats.residual;
+  result.solver = std::move(stats.solver);
   return result;
 }
 

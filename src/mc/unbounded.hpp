@@ -1,24 +1,39 @@
 // Unbounded reachability: P(phi U psi) via the classic PRISM pipeline —
-// Prob0 / Prob1 graph precomputation followed by value iteration on the
-// remaining states.
+// Prob0 / Prob1 graph precomputation (on the matrix's cached stable
+// transpose) followed by a la::LinearSolver on the remaining states.
+//
+// The default Gauss-Seidel solver is bit-identical to the legacy in-place
+// value iteration; Jacobi converges to the same fixed point with different
+// iterates and fans each sweep out over a thread pool deterministically.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "dtmc/explicit_dtmc.hpp"
+#include "la/exec.hpp"
+#include "la/solver.hpp"
 
 namespace mimostat::mc {
 
 struct ReachOptions {
   double epsilon = 1e-12;       ///< value-iteration convergence threshold
   std::uint64_t maxIterations = 1'000'000;
+  /// Which la::LinearSolver runs the value iteration.
+  la::SolverKind solver = la::SolverKind::kGaussSeidel;
+  la::Exec exec;
 };
 
 struct ReachResult {
   std::vector<double> stateValues;
   std::uint64_t iterations = 0;
   bool converged = true;
+  /// Max-norm update delta of the last iteration.
+  double residual = 0.0;
+  /// Name of the la:: solver that ran the value iteration; empty when
+  /// Prob0/Prob1 classified every state and no solver was needed.
+  std::string solver;
 };
 
 /// States with P(phi U psi) = 0: complement of backward reachability of psi

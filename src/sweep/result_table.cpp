@@ -189,7 +189,10 @@ void ResultTable::writeCsv(std::ostream& os,
   for (const auto& name : paramNames_) os << ',' << csvEscape(name);
   os << ",property,value,satisfied,backend,states,transitions,samples,"
         "batched,ci_low,ci_high,error";
-  if (options.diagnostics) os << ",cache_hit,build_seconds,check_seconds";
+  if (options.diagnostics) {
+    os << ",cache_hit,build_seconds,check_seconds,solver,solver_iterations,"
+          "solver_residual,solver_converged";
+  }
   os << '\n';
   for (const auto& row : rows_) {
     os << row.point;
@@ -213,6 +216,14 @@ void ResultTable::writeCsv(std::ostream& os,
       os << ',' << (row.cacheHit ? "true" : "false") << ','
          << formatDouble(row.buildSeconds) << ','
          << formatDouble(row.checkSeconds);
+      if (row.solver) {
+        os << ',' << csvEscape(row.solver->solver) << ','
+           << row.solver->iterations << ','
+           << formatDouble(row.solver->residual) << ','
+           << (row.solver->converged ? "true" : "false");
+      } else {
+        os << ",,,,";
+      }
     }
     os << '\n';
   }
@@ -249,6 +260,16 @@ void ResultTable::writeJson(std::ostream& os,
       os << ",\"cacheHit\":" << (row.cacheHit ? "true" : "false")
          << ",\"buildSeconds\":" << jsonNumber(row.buildSeconds)
          << ",\"checkSeconds\":" << jsonNumber(row.checkSeconds);
+      os << ",\"solver\":";
+      if (row.solver) {
+        os << "{\"name\":\"" << jsonEscape(row.solver->solver)
+           << "\",\"iterations\":" << row.solver->iterations
+           << ",\"residual\":" << jsonNumber(row.solver->residual)
+           << ",\"converged\":" << (row.solver->converged ? "true" : "false")
+           << '}';
+      } else {
+        os << "null";
+      }
     }
     os << ",\"error\":\"" << jsonEscape(row.error) << "\"}";
   }

@@ -20,6 +20,7 @@
 
 #include "core/report.hpp"
 #include "engine/request.hpp"
+#include "la/solver.hpp"
 #include "stats/intervals.hpp"
 #include "sweep/param_space.hpp"
 
@@ -43,6 +44,10 @@ struct ResultRow {
   std::optional<stats::Interval> interval95;
   /// Answered from a shared batched horizon sweep.
   bool batched = false;
+  /// Iterative-solver report when the exact backend ran one for this row
+  /// (unbounded operators, R=?[F psi], R=?[S]); absent otherwise. The
+  /// solver's name travels inside (SolveStats::solver).
+  std::optional<la::SolveStats> solver;
   /// The point's DTMC came from the engine's model cache.
   bool cacheHit = false;
   double buildSeconds = 0.0;
@@ -57,10 +62,12 @@ struct ResultRow {
 };
 
 struct ExportOptions {
-  /// Include run-dependent diagnostic columns: cache_hit and the
-  /// build/check wall-clock columns. Off by default so exports are
+  /// Include diagnostic columns: cache_hit, the build/check wall-clock
+  /// columns, and the iterative-solver report (solver, solver_iterations,
+  /// solver_residual, solver_converged). Off by default so exports are
   /// byte-deterministic (cache-hit attribution races between concurrent
-  /// requests that share a build; timings always vary).
+  /// requests that share a build; timings always vary — solver columns are
+  /// themselves deterministic, but they ride the same opt-in).
   bool diagnostics = false;
 };
 

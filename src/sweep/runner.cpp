@@ -13,6 +13,9 @@ namespace {
 struct PointPlan {
   std::shared_ptr<const dtmc::Model> model;
   std::vector<std::string> properties;
+  /// This point's engine options (the spec's, unless an OptionsHook
+  /// overrode them).
+  engine::RequestOptions options;
   std::string error;
   /// Which request serves this point, and where its properties start in
   /// that request's property list.
@@ -42,7 +45,13 @@ ResultTable Runner::run(const SweepSpec& spec) const {
       plan.properties = spec.properties(points[p]);
       if (plan.properties.empty()) continue;
       plan.model = spec.factory(points[p]);
-      if (plan.model == nullptr) plan.error = "model factory returned null";
+      if (plan.model == nullptr) {
+        plan.error = "model factory returned null";
+        continue;  // the hook must not run (or mask the error) for a dead point
+      }
+      plan.options = spec.optionsFor
+                         ? spec.optionsFor(points[p], spec.options)
+                         : spec.options;
     } catch (const std::exception& e) {
       plan.error = e.what();
     }
@@ -50,7 +59,10 @@ ResultTable Runner::run(const SweepSpec& spec) const {
 
   // Group points into engine requests: every point whose factory returned
   // the same model object joins one request (in point order), so sibling
-  // horizons batch into one transient sweep.
+  // horizons batch into one transient sweep. An options hook opts out:
+  // sibling points may carry different backend/solver/seed configuration,
+  // so each point issues its own request.
+  const bool coalesce = options_.coalesce && !spec.optionsFor;
   std::vector<engine::AnalysisRequest> requests;
   std::unordered_map<const dtmc::Model*, std::size_t> groupOf;
   for (std::size_t p = 0; p < points.size(); ++p) {
@@ -59,7 +71,7 @@ ResultTable Runner::run(const SweepSpec& spec) const {
     // no rows — and must not cost a model build either.
     if (!plan.error.empty() || plan.properties.empty()) continue;
     std::size_t group = requests.size();
-    if (options_.coalesce) {
+    if (coalesce) {
       const auto [it, inserted] = groupOf.emplace(plan.model.get(), group);
       group = it->second;
       if (inserted) requests.emplace_back();
@@ -69,7 +81,7 @@ ResultTable Runner::run(const SweepSpec& spec) const {
     engine::AnalysisRequest& request = requests[group];
     if (request.model == nullptr) {
       request.model = plan.model.get();
-      request.options = spec.options;
+      request.options = plan.options;
     }
     plan.group = group;
     plan.offset = request.properties.size();
@@ -124,6 +136,7 @@ ResultTable Runner::run(const SweepSpec& spec) const {
         row.samples = result.samples;
         row.interval95 = result.interval95;
         row.batched = result.batched;
+        row.solver = result.solver;
         row.checkSeconds = result.checkSeconds;
         row.error = result.error;
         if (!row.ok()) {

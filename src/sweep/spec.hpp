@@ -41,6 +41,14 @@ using ModelFactory =
 using PropertyGenerator =
     std::function<std::vector<std::string>(const Params&)>;
 
+/// Produces the engine options for one point from the point and the spec's
+/// shared base options — e.g. scale `smc.paths` with the horizon, or pick
+/// the solver by expected state count. When set, points never coalesce
+/// across each other (sibling points may disagree on backend/solver/seed
+/// configuration), so each point issues its own engine request.
+using OptionsHook = std::function<engine::RequestOptions(
+    const Params&, const engine::RequestOptions&)>;
+
 struct SweepSpec {
   SweepSpec() = default;
   explicit SweepSpec(std::string specName) : name(std::move(specName)) {}
@@ -53,6 +61,9 @@ struct SweepSpec {
   /// Engine options applied to every point (backend, state budget, build
   /// and check options, sampling seeds...).
   engine::RequestOptions options;
+  /// Optional per-point override of `options` (see OptionsHook). Runs after
+  /// the property generator, so skipped points never invoke it.
+  OptionsHook optionsFor;
 
   /// Bind every point to one shared model instance (the common case for
   /// horizon/reward-family sweeps; enables cross-point coalescing).
@@ -64,6 +75,12 @@ struct SweepSpec {
   /// Bind a fixed property list to every point.
   SweepSpec& withProperties(std::vector<std::string> fixed) {
     properties = [fixed = std::move(fixed)](const Params&) { return fixed; };
+    return *this;
+  }
+
+  /// Set the per-point options hook (disables cross-point coalescing).
+  SweepSpec& withOptionsHook(OptionsHook hook) {
+    optionsFor = std::move(hook);
     return *this;
   }
 };

@@ -1,0 +1,677 @@
+// la:: subsystem tests: SpMV/SpMM against dense references and the legacy
+// ExplicitDtmc loops (bitwise), solver convergence on known chains,
+// bit-identical determinism at 1/2/8 pool threads, and empty-row /
+// absorbing-state edge cases.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "dtmc/builder.hpp"
+#include "engine/engine.hpp"
+#include "engine/thread_pool.hpp"
+#include "la/csr_matrix.hpp"
+#include "la/exec.hpp"
+#include "la/solver.hpp"
+#include "la/spmv.hpp"
+#include "mc/checker.hpp"
+#include "mc/steady.hpp"
+#include "mc/transient.hpp"
+#include "mc/unbounded.hpp"
+#include "test_models.hpp"
+#include "util/rng.hpp"
+
+namespace mimostat {
+namespace {
+
+la::Exec poolExec(engine::ThreadPool& pool,
+                  std::uint64_t thresholdNnz = 1) {
+  la::Exec exec;
+  exec.runner = engine::laRunnerFor(pool);
+  exec.parallelThresholdNnz = thresholdNnz;
+  return exec;
+}
+
+bool bitEqual(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  return a.empty() ||
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+struct DenseCsr {
+  std::vector<std::vector<double>> dense;
+  la::CsrMatrix csr;
+};
+
+/// Random matrix with `fanout` draws per row; rows whose index is in
+/// `emptyRows` get no entries at all. Not normalized (kernels don't care).
+DenseCsr randomMatrix(std::uint32_t n, std::uint32_t fanout,
+                      std::uint64_t seed,
+                      const std::vector<std::uint32_t>& emptyRows = {}) {
+  util::Xoshiro256 rng(seed);
+  DenseCsr out;
+  out.dense.assign(n, std::vector<double>(n, 0.0));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    bool skip = false;
+    for (const auto e : emptyRows) skip = skip || e == i;
+    if (skip) continue;
+    for (std::uint32_t k = 0; k < fanout; ++k) {
+      const auto j = static_cast<std::uint32_t>(rng.nextBounded(n));
+      out.dense[i][j] += rng.nextDouble() + 0.05;
+    }
+  }
+  std::vector<std::uint64_t> rowPtr{0};
+  std::vector<std::uint32_t> col;
+  std::vector<double> val;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      if (out.dense[i][j] != 0.0) {
+        col.push_back(j);
+        val.push_back(out.dense[i][j]);
+      }
+    }
+    rowPtr.push_back(col.size());
+  }
+  out.csr = la::CsrMatrix::fromCsr(std::move(rowPtr), std::move(col),
+                                   std::move(val), n);
+  return out;
+}
+
+std::vector<double> randomVector(std::uint32_t n, std::uint64_t seed,
+                                 double zeroFraction = 0.0) {
+  util::Xoshiro256 rng(seed);
+  std::vector<double> x(n);
+  for (auto& v : x) {
+    v = rng.nextDouble() < zeroFraction ? 0.0 : rng.nextDouble() - 0.25;
+  }
+  return x;
+}
+
+/// The pre-refactor ExplicitDtmc::multiplyLeft scatter loop, verbatim.
+std::vector<double> legacyScatterLeft(const la::CsrMatrix& m,
+                                      const std::vector<double>& x) {
+  std::vector<double> y(m.numCols(), 0.0);
+  for (std::uint32_t s = 0; s < m.numRows(); ++s) {
+    const double xs = x[s];
+    if (xs == 0.0) continue;
+    for (std::uint64_t k = m.rowPtr()[s]; k < m.rowPtr()[s + 1]; ++k) {
+      y[m.col()[k]] += xs * m.val()[k];
+    }
+  }
+  return y;
+}
+
+/// The pre-refactor ExplicitDtmc::multiplyRight gather loop, verbatim.
+std::vector<double> legacyGatherRight(const la::CsrMatrix& m,
+                                      const std::vector<double>& x) {
+  std::vector<double> y(m.numRows(), 0.0);
+  for (std::uint32_t s = 0; s < m.numRows(); ++s) {
+    double acc = 0.0;
+    for (std::uint64_t k = m.rowPtr()[s]; k < m.rowPtr()[s + 1]; ++k) {
+      acc += m.val()[k] * x[m.col()[k]];
+    }
+    y[s] = acc;
+  }
+  return y;
+}
+
+// ------------------------------------------------------------- CsrMatrix
+
+TEST(CsrMatrix, BlocksPartitionRowsInOrder) {
+  // 3000 rows x 8 nnz = 24000 nnz > kBlockNnz -> several blocks.
+  const DenseCsr m = randomMatrix(3000, 8, 11);
+  const la::CsrMatrix& csr = m.csr;
+  ASSERT_GE(csr.blockCount(), 2u);
+  EXPECT_EQ(csr.blockBegin(0), 0u);
+  for (std::size_t b = 0; b + 1 < csr.blockCount(); ++b) {
+    EXPECT_EQ(csr.blockEnd(b), csr.blockBegin(b + 1));
+    EXPECT_LT(csr.blockBegin(b), csr.blockEnd(b));
+  }
+  EXPECT_EQ(csr.blockEnd(csr.blockCount() - 1), csr.numRows());
+}
+
+TEST(CsrMatrix, TransposeRoundTripsEntries) {
+  const DenseCsr m = randomMatrix(40, 4, 17);
+  const la::CsrMatrix& t = m.csr.transposed();
+  EXPECT_EQ(t.numRows(), m.csr.numCols());
+  EXPECT_EQ(t.numCols(), m.csr.numRows());
+  EXPECT_EQ(t.numNonZeros(), m.csr.numNonZeros());
+  // Every dense entry appears exactly once in the transpose, and transpose
+  // rows list sources in ascending order (the stable-sort contract).
+  for (std::uint32_t c = 0; c < t.numRows(); ++c) {
+    std::int64_t lastSource = -1;
+    for (std::uint64_t k = t.rowPtr()[c]; k < t.rowPtr()[c + 1]; ++k) {
+      const std::uint32_t r = t.col()[k];
+      EXPECT_GT(static_cast<std::int64_t>(r), lastSource);
+      lastSource = r;
+      EXPECT_EQ(t.val()[k], m.dense[r][c]);
+    }
+  }
+  EXPECT_FALSE(t.hasTranspose());  // not recursive
+}
+
+TEST(CsrMatrix, ApproxBytesCountsTranspose) {
+  const DenseCsr m = randomMatrix(100, 4, 3);
+  const std::uint64_t withT = m.csr.approxBytes();
+  la::CsrMatrix noT = la::CsrMatrix::fromCsr(
+      m.csr.rowPtr(), m.csr.col(), m.csr.val(), m.csr.numCols(),
+      /*withTranspose=*/false);
+  EXPECT_GT(withT, noT.approxBytes());
+  EXPECT_GT(noT.approxBytes(), 0u);
+}
+
+TEST(CsrMatrix, EmptyMatrix) {
+  const la::CsrMatrix empty;
+  EXPECT_EQ(empty.numRows(), 0u);
+  EXPECT_EQ(empty.numNonZeros(), 0u);
+  EXPECT_EQ(empty.blockCount(), 1u);
+}
+
+// ------------------------------------------------------------------ SpMV
+
+TEST(Spmv, MatchesDenseReference) {
+  const std::uint32_t n = 60;
+  const DenseCsr m = randomMatrix(n, 5, 23);
+  const std::vector<double> x = randomVector(n, 5);
+  std::vector<double> y;
+  la::spmv(m.csr, x, y);
+  for (std::uint32_t r = 0; r < n; ++r) {
+    double expect = 0.0;
+    for (std::uint32_t c = 0; c < n; ++c) expect += m.dense[r][c] * x[c];
+    EXPECT_NEAR(y[r], expect, 1e-12) << r;
+  }
+}
+
+TEST(Spmv, RightMatchesLegacyLoopBitwise) {
+  const DenseCsr m = randomMatrix(500, 6, 29);
+  const std::vector<double> x = randomVector(500, 7, 0.3);
+  std::vector<double> y;
+  la::spmv(m.csr, x, y);
+  EXPECT_TRUE(bitEqual(y, legacyGatherRight(m.csr, x)));
+}
+
+TEST(SpmvLeft, MatchesLegacyScatterBitwise) {
+  // Zeros in x exercise the skip-zero contract; the scatter loop skipped
+  // whole source rows, the transpose gather must skip the same terms.
+  const DenseCsr m = randomMatrix(500, 6, 31);
+  const std::vector<double> x = randomVector(500, 9, 0.4);
+  std::vector<double> y;
+  la::spmvLeft(m.csr, x, y);
+  EXPECT_TRUE(bitEqual(y, legacyScatterLeft(m.csr, x)));
+}
+
+TEST(SpmvLeft, MatchesDenseReference) {
+  const std::uint32_t n = 60;
+  const DenseCsr m = randomMatrix(n, 5, 37);
+  const std::vector<double> x = randomVector(n, 11);
+  std::vector<double> y;
+  la::spmvLeft(m.csr, x, y);
+  for (std::uint32_t c = 0; c < n; ++c) {
+    double expect = 0.0;
+    for (std::uint32_t r = 0; r < n; ++r) expect += x[r] * m.dense[r][c];
+    EXPECT_NEAR(y[c], expect, 1e-12) << c;
+  }
+}
+
+TEST(Spmv, EmptyRowsProduceZeros) {
+  const DenseCsr m = randomMatrix(50, 4, 41, /*emptyRows=*/{0, 17, 49});
+  const std::vector<double> x = randomVector(50, 13);
+  std::vector<double> y;
+  la::spmv(m.csr, x, y);
+  EXPECT_EQ(y[0], 0.0);
+  EXPECT_EQ(y[17], 0.0);
+  EXPECT_EQ(y[49], 0.0);
+  // Left products through empty rows contribute nothing; states nobody
+  // points at (empty transpose rows) come out zero.
+  std::vector<double> yl;
+  la::spmvLeft(m.csr, x, yl);
+  EXPECT_TRUE(bitEqual(yl, legacyScatterLeft(m.csr, x)));
+}
+
+TEST(SpmvLeft, SparseFastPathMatchesGatherBitwise) {
+  // A near-point-mass x takes the source-major scatter fast path; it must
+  // agree bitwise with the dense gather (forced here by a dense x sharing
+  // the same support values) and with the legacy reference.
+  const std::uint32_t n = 800;
+  const DenseCsr m = randomMatrix(n, 5, 131);
+  std::vector<double> pointMass(n, 0.0);
+  pointMass[3] = 0.7;
+  pointMass[n - 2] = 0.3;
+  std::vector<double> y;
+  la::spmvLeft(m.csr, pointMass, y);
+  EXPECT_TRUE(bitEqual(y, legacyScatterLeft(m.csr, pointMass)));
+  for (std::uint32_t c = 0; c < n; ++c) {
+    const double expect =
+        0.7 * m.dense[3][c] + 0.3 * m.dense[n - 2][c];
+    EXPECT_NEAR(y[c], expect, 1e-12) << c;
+  }
+}
+
+// ------------------------------------------------------------------ SpMM
+
+TEST(Spmm, MatchesPerVectorSpmvBitwise) {
+  const std::uint32_t n = 300;
+  const std::size_t k = 5;
+  const DenseCsr m = randomMatrix(n, 6, 43);
+  std::vector<double> X(static_cast<std::size_t>(n) * k);
+  for (std::size_t j = 0; j < k; ++j) {
+    const std::vector<double> x = randomVector(n, 100 + j, 0.2);
+    for (std::uint32_t s = 0; s < n; ++s) X[s * k + j] = x[s];
+  }
+  std::vector<double> Y;
+  la::spmm(m.csr, X, k, Y);
+  std::vector<double> Yl;
+  la::spmmLeft(m.csr, X, k, Yl);
+  for (std::size_t j = 0; j < k; ++j) {
+    std::vector<double> x(n);
+    for (std::uint32_t s = 0; s < n; ++s) x[s] = X[s * k + j];
+    std::vector<double> y;
+    la::spmv(m.csr, x, y);
+    std::vector<double> yl;
+    la::spmvLeft(m.csr, x, yl);
+    for (std::uint32_t s = 0; s < n; ++s) {
+      EXPECT_EQ(Y[s * k + j], y[s]) << "spmm vector " << j << " state " << s;
+      EXPECT_EQ(Yl[s * k + j], yl[s])
+          << "spmmLeft vector " << j << " state " << s;
+    }
+  }
+}
+
+// ---------------------------------------------------------- determinism
+
+TEST(Spmv, BitIdenticalAcrossPoolSizes) {
+  const DenseCsr m = randomMatrix(5000, 8, 47);  // ~40k nnz -> >1 block
+  ASSERT_GE(m.csr.blockCount(), 2u);
+  const std::vector<double> x = randomVector(5000, 15, 0.2);
+  std::vector<double> seq;
+  la::spmv(m.csr, x, seq);
+  std::vector<double> seqLeft;
+  la::spmvLeft(m.csr, x, seqLeft);
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    engine::ThreadPool pool(threads);
+    const la::Exec exec = poolExec(pool);
+    std::vector<double> y;
+    la::spmv(m.csr, x, y, exec);
+    EXPECT_TRUE(bitEqual(y, seq)) << threads << " threads (right)";
+    std::vector<double> yl;
+    la::spmvLeft(m.csr, x, yl, exec);
+    EXPECT_TRUE(bitEqual(yl, seqLeft)) << threads << " threads (left)";
+  }
+}
+
+TEST(Spmm, BitIdenticalAcrossPoolSizes) {
+  const std::uint32_t n = 5000;
+  const std::size_t k = 3;
+  const DenseCsr m = randomMatrix(n, 8, 53);
+  std::vector<double> X(static_cast<std::size_t>(n) * k);
+  for (std::size_t i = 0; i < X.size(); ++i) {
+    X[i] = static_cast<double>((i * 2654435761u) % 1000) / 997.0;
+  }
+  std::vector<double> seq;
+  la::spmmLeft(m.csr, X, k, seq);
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    engine::ThreadPool pool(threads);
+    std::vector<double> Y;
+    la::spmmLeft(m.csr, X, k, Y, poolExec(pool));
+    EXPECT_TRUE(bitEqual(Y, seq)) << threads << " threads";
+  }
+}
+
+TEST(Exec, ThresholdKeepsSmallMatricesSequential) {
+  const DenseCsr m = randomMatrix(50, 4, 59);
+  bool ran = false;
+  la::Exec exec;
+  exec.runner = [&ran](std::vector<std::function<void()>> tasks) {
+    ran = true;
+    for (auto& t : tasks) t();
+  };
+  exec.parallelThresholdNnz = 1u << 20;  // far above this matrix
+  const std::vector<double> x = randomVector(50, 17);
+  std::vector<double> y;
+  la::spmv(m.csr, x, y, exec);
+  EXPECT_FALSE(ran);
+  exec.parallelThresholdNnz = 1;
+  la::spmv(m.csr, x, y, exec);
+  // A single block also stays sequential; only multi-block matrices fan out.
+  EXPECT_EQ(ran, m.csr.blockCount() > 1);
+}
+
+// --------------------------------------------------------------- solvers
+
+/// Birth-death chain CSR (absorbing ends): up-probability p from the
+/// interior, states 0 and n-1 self-loop. Sparse by construction, so solver
+/// tests can use chains far beyond what a dense MatrixModel affords.
+la::CsrMatrix birthDeathCsr(std::uint32_t n, double p) {
+  std::vector<std::uint64_t> rowPtr{0};
+  std::vector<std::uint32_t> col;
+  std::vector<double> val;
+  for (std::uint32_t s = 0; s < n; ++s) {
+    if (s == 0 || s == n - 1) {
+      col.push_back(s);
+      val.push_back(1.0);
+    } else {
+      col.push_back(s - 1);
+      val.push_back(1.0 - p);
+      col.push_back(s + 1);
+      val.push_back(p);
+    }
+    rowPtr.push_back(col.size());
+  }
+  return la::CsrMatrix::fromCsr(std::move(rowPtr), std::move(col),
+                                std::move(val), n);
+}
+
+TEST(GaussSeidel, MatchesLegacyValueIterationBitwise) {
+  // The legacy mc::unbounded loop, inlined: Gauss-Seidel over undetermined
+  // states of P(F top) on a gambler's-ruin chain (interior states hit the
+  // top with probability strictly between 0 and 1, so the solver really
+  // iterates).
+  auto model = test::gamblersRuin(60, 0.45, 30);
+  const auto d = dtmc::buildExplicit(model).dtmc;
+  const auto varIdx = d.varLayout().indexOf("s");
+  std::vector<std::uint8_t> psi(d.numStates(), 0);
+  for (std::uint32_t s = 0; s < d.numStates(); ++s) {
+    psi[s] = d.varValue(s, varIdx) == 60;
+  }
+
+  const auto prob0 = mc::prob0States(d, std::vector<std::uint8_t>(d.numStates(), 1), psi);
+  const auto prob1 = mc::prob1States(d, std::vector<std::uint8_t>(d.numStates(), 1), psi);
+  std::vector<double> legacy(d.numStates(), 0.0);
+  std::vector<std::uint32_t> undetermined;
+  for (std::uint32_t s = 0; s < d.numStates(); ++s) {
+    if (prob1[s]) legacy[s] = 1.0;
+    if (!prob0[s] && !prob1[s]) undetermined.push_back(s);
+  }
+  for (std::uint64_t iter = 0; iter < 1'000'000; ++iter) {
+    double maxDelta = 0.0;
+    for (const std::uint32_t s : undetermined) {
+      double acc = 0.0;
+      for (std::uint64_t k = d.rowPtr()[s]; k < d.rowPtr()[s + 1]; ++k) {
+        acc += d.val()[k] * legacy[d.col()[k]];
+      }
+      maxDelta = std::max(maxDelta, std::fabs(acc - legacy[s]));
+      legacy[s] = acc;
+    }
+    if (maxDelta < 1e-12) break;
+  }
+
+  const mc::ReachResult reach = mc::reachProb(d, psi);
+  EXPECT_TRUE(reach.converged);
+  EXPECT_GT(reach.iterations, 0u);
+  EXPECT_LT(reach.residual, 1e-12);
+  EXPECT_TRUE(bitEqual(reach.stateValues, legacy));
+}
+
+TEST(Jacobi, ConvergesToSameFixedPointAsGaussSeidel) {
+  auto model = test::gamblersRuin(80, 0.45, 40);
+  const auto d = dtmc::buildExplicit(model).dtmc;
+  const auto varIdx = d.varLayout().indexOf("s");
+  std::vector<std::uint8_t> psi(d.numStates(), 0);
+  for (std::uint32_t s = 0; s < d.numStates(); ++s) {
+    psi[s] = d.varValue(s, varIdx) == 80;
+  }
+  mc::ReachOptions jacobi;
+  jacobi.solver = la::SolverKind::kJacobi;
+  const mc::ReachResult viaJacobi = mc::reachProb(d, psi, jacobi);
+  const mc::ReachResult viaGs = mc::reachProb(d, psi);
+  ASSERT_TRUE(viaJacobi.converged);
+  ASSERT_TRUE(viaGs.converged);
+  // Jacobi reads only the previous iterate, so it typically needs at least
+  // as many sweeps as Gauss-Seidel to pass the same threshold.
+  EXPECT_GE(viaJacobi.iterations, viaGs.iterations);
+  ASSERT_EQ(viaJacobi.stateValues.size(), viaGs.stateValues.size());
+  for (std::size_t s = 0; s < viaGs.stateValues.size(); ++s) {
+    EXPECT_NEAR(viaJacobi.stateValues[s], viaGs.stateValues[s], 1e-9) << s;
+  }
+}
+
+TEST(Jacobi, BitIdenticalAcrossPoolSizes) {
+  // 30k active rows -> several 8192-row Jacobi chunks; a bounded iteration
+  // budget keeps the test fast (determinism, not convergence, is asserted).
+  const std::uint32_t n = 30'000;
+  const la::CsrMatrix P = birthDeathCsr(n, 0.45);
+  std::vector<std::uint32_t> active;
+  for (std::uint32_t s = 1; s + 1 < n; ++s) active.push_back(s);
+  la::SolverOptions options;
+  options.epsilon = 1e-12;
+  options.maxIterations = 300;
+  const la::Jacobi jacobi;
+
+  std::vector<double> seq(n, 0.0);
+  seq[n - 1] = 1.0;
+  const la::SolveStats seqStats = jacobi.solve(P, active, nullptr, seq, options);
+  EXPECT_EQ(seqStats.iterations, 300u);  // diffusion is slow: budget-bound
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    engine::ThreadPool pool(threads);
+    std::vector<double> x(n, 0.0);
+    x[n - 1] = 1.0;
+    const la::SolveStats stats =
+        jacobi.solve(P, active, nullptr, x, options, poolExec(pool));
+    EXPECT_EQ(stats.iterations, seqStats.iterations) << threads;
+    EXPECT_EQ(stats.residual, seqStats.residual) << threads;
+    EXPECT_TRUE(bitEqual(x, seq)) << threads;
+  }
+}
+
+TEST(GaussSeidel, KnownChainGamblersRuin) {
+  // p = 1/2 gambler's ruin on 0..10 from 4: P(hit 10 before 0) = 4/10.
+  auto model = test::gamblersRuin(10, 0.5, 4);
+  const auto d = dtmc::buildExplicit(model).dtmc;
+  std::vector<std::uint8_t> psi(d.numStates(), 0);
+  const auto varIdx = d.varLayout().indexOf("s");
+  for (std::uint32_t s = 0; s < d.numStates(); ++s) {
+    psi[s] = d.varValue(s, varIdx) == 10;
+  }
+  for (const la::SolverKind kind :
+       {la::SolverKind::kGaussSeidel, la::SolverKind::kJacobi}) {
+    mc::ReachOptions options;
+    options.solver = kind;
+    const mc::ReachResult reach = mc::reachProb(d, psi, options);
+    ASSERT_TRUE(reach.converged) << la::solverKindName(kind);
+    double fromInit = 0.0;
+    for (std::uint32_t s = 0; s < d.numStates(); ++s) {
+      fromInit += d.initialDistribution()[s] * reach.stateValues[s];
+    }
+    EXPECT_NEAR(fromInit, 0.4, 1e-9) << la::solverKindName(kind);
+  }
+}
+
+TEST(Power, MatchesLegacySteadyLoopBitwise) {
+  const auto model = test::randomModel(120, 4, 73);
+  const auto d = dtmc::buildExplicit(model).dtmc;
+
+  // The pre-refactor mc::steady loop, inlined.
+  std::vector<double> pi = d.initialDistribution();
+  std::vector<double> next(pi.size());
+  std::uint64_t iterations = 0;
+  for (std::uint64_t iter = 1; iter <= 200'000; ++iter) {
+    const std::vector<double> legacy = legacyScatterLeft(d.matrix(), pi);
+    next = legacy;
+    double delta = 0.0;
+    for (std::size_t s = 0; s < pi.size(); ++s) {
+      delta += std::fabs(next[s] - pi[s]);
+    }
+    pi.swap(next);
+    iterations = iter;
+    if (delta < 1e-13) break;
+  }
+
+  const mc::SteadyResult ss = mc::steadyStateDistribution(d);
+  EXPECT_TRUE(ss.converged);
+  EXPECT_EQ(ss.iterations, iterations);
+  EXPECT_LT(ss.residual, 1e-13);
+  EXPECT_TRUE(bitEqual(ss.distribution, pi));
+}
+
+TEST(Power, ParallelBitIdentical) {
+  const auto model = test::randomModel(2500, 10, 79);
+  const auto d = dtmc::buildExplicit(model).dtmc;
+  const mc::SteadyResult seq = mc::steadyStateDistribution(d);
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    engine::ThreadPool pool(threads);
+    mc::SteadyOptions options;
+    options.exec = poolExec(pool);
+    const mc::SteadyResult parallel = mc::steadyStateDistribution(d, options);
+    EXPECT_EQ(parallel.iterations, seq.iterations) << threads;
+    EXPECT_EQ(parallel.residual, seq.residual) << threads;
+    EXPECT_TRUE(bitEqual(parallel.distribution, seq.distribution)) << threads;
+  }
+}
+
+TEST(Power, CesaroReportsConvergedOnPeriodicChain) {
+  const auto model = test::cycleModel(4);
+  const auto d = dtmc::buildExplicit(model).dtmc;
+  mc::SteadyOptions options;
+  options.cesaroAveraging = true;
+  options.maxIterations = 4000;
+  const mc::SteadyResult ss = mc::steadyStateDistribution(d, options);
+  EXPECT_TRUE(ss.converged);
+  EXPECT_EQ(ss.iterations, 4000u);
+  for (const double p : ss.distribution) EXPECT_NEAR(p, 0.25, 1e-3);
+}
+
+// ------------------------------------------------- TransientSweep (SpMM)
+
+TEST(TransientSweep, MultiVectorMatchesSoloSweepsBitwise) {
+  const auto model = test::randomModel(90, 3, 83);
+  const auto d = dtmc::buildExplicit(model).dtmc;
+  const std::uint32_t n = d.numStates();
+  // Three start distributions: the initial one and two unit vectors.
+  std::vector<std::vector<double>> starts{d.initialDistribution()};
+  std::vector<double> unit(n, 0.0);
+  unit[n / 2] = 1.0;
+  starts.push_back(unit);
+  std::fill(unit.begin(), unit.end(), 0.0);
+  unit[n - 1] = 1.0;
+  starts.push_back(unit);
+
+  mc::TransientSweep batched(d, starts);
+  batched.advanceTo(9);
+  const auto reward = d.evalReward(model, "");
+  for (std::size_t j = 0; j < starts.size(); ++j) {
+    mc::TransientSweep solo(d, {starts[j]});
+    solo.advanceTo(9);
+    EXPECT_TRUE(bitEqual(batched.distributionAt(j), solo.distributionAt(0)))
+        << j;
+    EXPECT_EQ(batched.expectedRewardAt(j, reward),
+              solo.expectedRewardAt(0, reward))
+        << j;
+  }
+  // The single-vector constructor is the k = 1 batch from the initial
+  // distribution.
+  mc::TransientSweep plain(d);
+  plain.advanceTo(9);
+  EXPECT_TRUE(bitEqual(plain.distribution(), batched.distributionAt(0)));
+  EXPECT_EQ(plain.expectedReward(reward), batched.expectedRewardAt(0, reward));
+
+  // Single-vector accessors refuse multi-vector sweeps instead of silently
+  // returning interleaved data.
+  EXPECT_THROW(batched.distribution(), std::logic_error);
+  EXPECT_THROW(batched.expectedReward(reward), std::logic_error);
+}
+
+TEST(TransientSweep, ParallelExecMatchesSequentialBitwise) {
+  const auto model = test::randomModel(2500, 10, 89);
+  const auto d = dtmc::buildExplicit(model).dtmc;
+  const auto reward = d.evalReward(model, "");
+  const double seq = mc::instantaneousReward(d, reward, 25);
+  for (const std::size_t threads : {2u, 8u}) {
+    engine::ThreadPool pool(threads);
+    const double parallel =
+        mc::instantaneousReward(d, reward, 25, poolExec(pool));
+    EXPECT_EQ(parallel, seq) << threads;
+  }
+}
+
+// -------------------------------------------------- checker diagnostics
+
+TEST(Checker, SurfacesSolverDiagnostics) {
+  const auto model = test::gamblersRuin(10, 0.5, 4);
+  const auto d = dtmc::buildExplicit(model).dtmc;
+  const mc::Checker checker(d, model);
+
+  const mc::CheckResult reach = checker.check("P=? [ F s=10 ]");
+  EXPECT_NEAR(reach.value, 0.4, 1e-9);
+  ASSERT_TRUE(reach.solver.has_value());
+  EXPECT_EQ(reach.solver->solver, "gauss-seidel");
+  EXPECT_TRUE(reach.solver->converged);
+  EXPECT_GT(reach.solver->iterations, 0u);
+
+  const mc::CheckResult steady = checker.check("R=? [ S ]");
+  ASSERT_TRUE(steady.solver.has_value());
+  EXPECT_EQ(steady.solver->solver, "power");
+
+  const mc::CheckResult transient = checker.check("R=? [ I=5 ]");
+  EXPECT_FALSE(transient.solver.has_value());
+
+  // When Prob0/Prob1 classify every state the linear solver never runs, so
+  // no solver report is claimed.
+  const auto trivial = test::twoStateChain(0.3, 0.4);
+  const auto dTrivial = dtmc::buildExplicit(trivial).dtmc;
+  const mc::Checker trivialChecker(dTrivial, trivial);
+  const mc::CheckResult noSolve = trivialChecker.check("P=? [ F s=1 ]");
+  EXPECT_NEAR(noSolve.value, 1.0, 1e-12);
+  EXPECT_FALSE(noSolve.solver.has_value());
+}
+
+TEST(Checker, JacobiOptionMatchesGaussSeidelValues) {
+  const auto model = test::gamblersRuin(40, 0.45, 20);
+  const auto d = dtmc::buildExplicit(model).dtmc;
+  mc::CheckOptions jacobi;
+  jacobi.linearSolver = la::SolverKind::kJacobi;
+  const mc::Checker gsChecker(d, model);
+  const mc::Checker jChecker(d, model, jacobi);
+  const mc::CheckResult gs = gsChecker.check("P=? [ F s=40 ]");
+  const mc::CheckResult j = jChecker.check("P=? [ F s=40 ]");
+  EXPECT_EQ(gs.solver->solver, "gauss-seidel");
+  EXPECT_EQ(j.solver->solver, "jacobi");
+  EXPECT_NEAR(j.value, gs.value, 1e-9);
+}
+
+TEST(Engine, SolverDiagnosticsReachResults) {
+  engine::AnalysisEngine engine(engine::EngineOptions{.threads = 2});
+  const auto model = test::gamblersRuin(10, 0.5, 4);
+  engine::AnalysisRequest request;
+  request.model = &model;
+  request.properties = {"P=? [ F s=10 ]", "R=? [ I=7 ]"};
+  const engine::AnalysisResponse response = engine.analyze(request);
+  ASSERT_TRUE(response.ok()) << response.error;
+  ASSERT_TRUE(response.results[0].solver.has_value());
+  EXPECT_EQ(response.results[0].solver->solver, "gauss-seidel");
+  EXPECT_TRUE(response.results[0].solver->converged);
+  EXPECT_GT(response.results[0].solver->iterations, 0u);
+  EXPECT_NEAR(response.results[0].value, 0.4, 1e-9);
+  EXPECT_FALSE(response.results[1].solver.has_value());
+}
+
+TEST(Engine, ExactResultsBitIdenticalAcrossPoolSizes) {
+  // The full exact pipeline (build, batched sweep, unbounded solve) with
+  // parallel linear algebra forced on: bytes must match at 1/2/8 threads.
+  const auto model = test::randomModel(600, 6, 107);
+  const std::vector<std::string> properties{
+      "R=? [ I=40 ]", "R=? [ C<=25 ]", "P=? [ F target ]", "R=? [ S ]"};
+  std::vector<std::vector<double>> values;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    engine::EngineOptions options;
+    options.threads = threads;
+    options.laParallelThresholdNnz = 1;  // force the parallel path
+    engine::AnalysisEngine engine(options);
+    engine::AnalysisRequest request;
+    request.model = &model;
+    request.properties = properties;
+    const engine::AnalysisResponse response = engine.analyze(request);
+    ASSERT_TRUE(response.ok()) << response.error;
+    std::vector<double> row;
+    for (const auto& result : response.results) row.push_back(result.value);
+    values.push_back(std::move(row));
+  }
+  EXPECT_TRUE(bitEqual(values[1], values[0]));
+  EXPECT_TRUE(bitEqual(values[2], values[0]));
+}
+
+}  // namespace
+}  // namespace mimostat

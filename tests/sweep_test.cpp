@@ -455,5 +455,134 @@ TEST(ResultTable, GuaranteeReportsFeedCoreReport) {
   EXPECT_NE(formatted.find("a=1 b=1 R=? [ I=5 ]"), std::string::npos);
 }
 
+// ---------------------------------------------- per-point options hook
+
+TEST(SweepRunner, OptionsHookScalesSamplingPerPoint) {
+  // The ROADMAP follow-up scenario: scale smc.paths with the point. One
+  // shared model would normally coalesce both points into a single request
+  // (one shared RequestOptions); the hook forces per-point requests, so
+  // each point's path budget sticks.
+  const auto model = std::make_shared<test::MatrixModel>(
+      test::twoStateChain(0.3, 0.4));
+  model->withLabel("one", {0, 1});
+
+  sweep::SweepSpec spec("hooked");
+  spec.space.cross(Axis::ints("T", 4, 8, 4));
+  spec.share(model);
+  spec.properties = [](const Params& p) {
+    return std::vector<std::string>{
+        "P=? [ F<=" + std::to_string(p.getInt("T")) + " \"one\" ]"};
+  };
+  spec.options.backend = engine::Backend::kSampling;
+  spec.options.smc.paths = 100;
+  spec.options.smc.seed = 7;
+  spec.withOptionsHook([](const Params& p, const engine::RequestOptions& base) {
+    engine::RequestOptions options = base;
+    options.smc.paths =
+        base.smc.paths * static_cast<std::uint64_t>(p.getInt("T"));
+    return options;
+  });
+
+  engine::AnalysisEngine eng;
+  const sweep::Runner runner(eng);
+  const auto table = runner.run(spec);
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.rows()[0].samples, 400u);  // T=4: base 100 x 4
+  EXPECT_EQ(table.rows()[1].samples, 800u);  // T=8: base 100 x 8
+}
+
+TEST(SweepRunner, OptionsHookPicksSolverPerPoint) {
+  const auto model = std::make_shared<test::MatrixModel>(
+      test::gamblersRuin(20, 0.45, 10));
+
+  sweep::SweepSpec spec("solver-choice");
+  spec.space.cross(Axis::strings("solver", {"gauss-seidel", "jacobi"}));
+  spec.share(model);
+  spec.withProperties({"P=? [ F s=20 ]"});
+  spec.withOptionsHook([](const Params& p, const engine::RequestOptions& base) {
+    engine::RequestOptions options = base;
+    options.check.linearSolver = p.getString("solver") == "jacobi"
+                                     ? la::SolverKind::kJacobi
+                                     : la::SolverKind::kGaussSeidel;
+    return options;
+  });
+
+  engine::AnalysisEngine eng;
+  const sweep::Runner runner(eng);
+  const auto table = runner.run(spec);
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table.size(), 2u);
+  ASSERT_TRUE(table.rows()[0].solver.has_value());
+  ASSERT_TRUE(table.rows()[1].solver.has_value());
+  EXPECT_EQ(table.rows()[0].solver->solver, "gauss-seidel");
+  EXPECT_EQ(table.rows()[1].solver->solver, "jacobi");
+  EXPECT_TRUE(table.rows()[0].solver->converged);
+  EXPECT_TRUE(table.rows()[1].solver->converged);
+  EXPECT_NEAR(table.rows()[0].value, table.rows()[1].value, 1e-9);
+  // Both points ran against one cached build despite separate requests.
+  EXPECT_EQ(eng.buildCount(), 1u);
+}
+
+TEST(SweepRunner, OptionsHookFailureIsIsolatedPerPoint) {
+  const auto model = std::make_shared<test::MatrixModel>(
+      test::twoStateChain(0.3, 0.4));
+  sweep::SweepSpec spec("hook-throws");
+  spec.space.cross(Axis::ints("T", 1, 3));
+  spec.factory = [&model](const Params& p)
+      -> std::shared_ptr<const dtmc::Model> {
+    // Point T=3 has no model: its row must report the factory failure, not
+    // whatever the hook would have done.
+    if (p.getInt("T") == 3) return nullptr;
+    return model;
+  };
+  spec.withProperties({"P=? [ F \"one\" ]"});
+  spec.withOptionsHook([](const Params& p, const engine::RequestOptions& base) {
+    if (p.getInt("T") >= 2) throw std::runtime_error("bad point");
+    return base;
+  });
+  engine::AnalysisEngine eng;
+  const sweep::Runner runner(eng);
+  const auto table = runner.run(spec);
+  ASSERT_EQ(table.size(), 3u);
+  EXPECT_TRUE(table.rows()[0].ok());
+  EXPECT_EQ(table.rows()[1].error, "bad point");
+  EXPECT_EQ(table.rows()[2].error, "model factory returned null");
+}
+
+// ------------------------------------------- solver diagnostic columns
+
+TEST(ResultTable, DiagnosticsIncludeSolverColumns) {
+  const auto model = std::make_shared<test::MatrixModel>(
+      test::gamblersRuin(10, 0.5, 4));
+  sweep::SweepSpec spec("diag");
+  spec.space.cross(Axis::ints("run", 1, 1));
+  spec.share(model);
+  spec.withProperties({"P=? [ F s=10 ]", "R=? [ I=3 ]"});
+
+  engine::AnalysisEngine eng;
+  const sweep::Runner runner(eng);
+  const auto table = runner.run(spec);
+  ASSERT_TRUE(table.ok());
+
+  const std::string plain = table.toCsv();
+  EXPECT_EQ(plain.find("solver_iterations"), std::string::npos);
+
+  sweep::ExportOptions diagnostics;
+  diagnostics.diagnostics = true;
+  const std::string csv = table.toCsv(diagnostics);
+  EXPECT_NE(csv.find(",solver,solver_iterations,solver_residual,"
+                     "solver_converged"),
+            std::string::npos);
+  EXPECT_NE(csv.find(",gauss-seidel,"), std::string::npos);
+
+  const std::string json = table.toJson(diagnostics);
+  EXPECT_NE(json.find("\"solver\":{\"name\":\"gauss-seidel\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"converged\":true"), std::string::npos);
+  // The transient row carries no solver report.
+  EXPECT_NE(json.find("\"solver\":null"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace mimostat
