@@ -87,6 +87,18 @@ int main(int argc, char** argv) {
               "(bit-identical: %s)\n",
               maxDiff, identical ? "yes" : "NO");
 
+  // Plan-stat guard: the 8 coalesced horizons must ride one shared sweep.
+  // A silent regression to per-horizon cost would keep the values correct
+  // but zero these counters — fail loudly instead.
+  const bool planOk = rows.size() < 2 || rows.front().plan.traversalsSaved > 0;
+  std::printf("Plan stats: tasks=%llu deduped=%llu traversals_saved=%llu "
+              "(batching active: %s)\n",
+              static_cast<unsigned long long>(rows.front().plan.tasksPlanned),
+              static_cast<unsigned long long>(rows.front().plan.tasksDeduped),
+              static_cast<unsigned long long>(
+                  rows.front().plan.traversalsSaved),
+              planOk ? "yes" : "NO");
+
   const auto built = engine.ensureBuilt(*model);
   const auto reward = built->dtmc.evalReward(*model, "");
   const auto detection =
@@ -110,5 +122,5 @@ int main(int argc, char** argv) {
     std::printf("\nSweep CSV written to %s (%zu rows)\n", csvPath,
                 table.size());
   }
-  return identical && table.ok() ? 0 : 1;
+  return identical && planOk && table.ok() ? 0 : 1;
 }

@@ -78,6 +78,18 @@ int main() {
               "(bit-identical: %s)\n",
               maxDiff, identical ? "yes" : "NO");
 
+  // Plan-stat guard: the 3 coalesced horizons share one transient sweep;
+  // traversals_saved == 0 would mean batching silently reverted to
+  // per-formula cost — fail loudly.
+  const bool planOk = rows.size() < 2 || rows.front().plan.traversalsSaved > 0;
+  std::printf("Plan stats: tasks=%llu deduped=%llu traversals_saved=%llu "
+              "(batching active: %s)\n",
+              static_cast<unsigned long long>(rows.front().plan.tasksPlanned),
+              static_cast<unsigned long long>(rows.front().plan.tasksDeduped),
+              static_cast<unsigned long long>(
+                  rows.front().plan.traversalsSaved),
+              planOk ? "yes" : "NO");
+
   const auto built = engine.ensureBuilt(*model);
   const auto structure = mc::analyzeStructure(built->dtmc);
   std::printf("\nChain structure: %u SCCs, %u recurrent class(es) — unique "
@@ -92,5 +104,5 @@ int main() {
               "[%.3e, %.3e], model inside: %s\n",
               sim.nonConvergent.estimate(), interval.low, interval.high,
               interval.contains(rows.back().value) ? "yes" : "NO");
-  return identical && table.ok() ? 0 : 1;
+  return identical && planOk && table.ok() ? 0 : 1;
 }

@@ -26,12 +26,6 @@ struct ParsedSlot {
   std::string parseError;
 };
 
-bool isHorizonBatchable(const pctl::Property& p) {
-  if (p.kind != pctl::Property::Kind::kReward) return false;
-  return p.reward.kind == pctl::RewardQuery::Kind::kInstantaneous ||
-         p.reward.kind == pctl::RewardQuery::Kind::kCumulative;
-}
-
 void applyRewardBound(const pctl::RewardQuery& rq, AnalysisResult& result) {
   if (!rq.isQuery) {
     result.satisfied = pctl::evalCmp(rq.boundOp, result.value, rq.boundValue);
@@ -302,123 +296,44 @@ AnalysisResponse AnalysisEngine::analyzeExact(const AnalysisRequest& request,
   const mc::Checker checker(built->dtmc, *request.model, checkOptions,
                             propertyCache_);
 
-  // Partition into the batched horizon group and the singles.
-  std::vector<std::size_t> batchGroup;
-  std::vector<std::size_t> singles;
+  // Plan across every parsed property of the request: bounded path
+  // formulas advance as columns of one masked SpMM traversal, transient
+  // horizons share one forward sweep, singles fan out over the pool — the
+  // checker compiles and executes the plan (mc::Checker::checkAll), the
+  // engine only maps indices around parse failures and surfaces the plan
+  // counters on the response.
+  std::vector<pctl::Property> planned;
+  std::vector<std::size_t> slotOf;
+  planned.reserve(parsed.size());
   for (std::size_t i = 0; i < parsed.size(); ++i) {
     if (!parsed[i].property) continue;
-    if (request.options.batchHorizons && isHorizonBatchable(*parsed[i].property)) {
-      batchGroup.push_back(i);
-    } else {
-      singles.push_back(i);
+    planned.push_back(*parsed[i].property);
+    slotOf.push_back(i);
+  }
+
+  pctl::PlanOptions planOptions;
+  planOptions.batchBounded = request.options.batchBounded;
+  planOptions.batchTransients = request.options.batchHorizons;
+  const std::vector<mc::CheckResult> checks = checker.checkAll(
+      planned, planOptions, &response.plan,
+      [this](std::vector<std::function<void()>> tasks) {
+        pool_.run(std::move(tasks));
+      });
+
+  for (std::size_t j = 0; j < checks.size(); ++j) {
+    AnalysisResult& result = response.results[slotOf[j]];
+    const mc::CheckResult& check = checks[j];
+    if (!check.ok()) {
+      result.error = check.error;
+      continue;
     }
+    result.value = check.value;
+    result.satisfied = check.satisfied;
+    result.batched = check.batched;
+    result.checkSeconds = check.checkSeconds;
+    result.solver = check.solver;
   }
 
-  std::vector<std::function<void()>> tasks;
-  tasks.reserve(singles.size() + 1);
-  for (const std::size_t i : singles) {
-    tasks.push_back([&, i] {
-      AnalysisResult& result = response.results[i];
-      try {
-        const mc::CheckResult check = checker.check(*parsed[i].property);
-        result.value = check.value;
-        result.satisfied = check.satisfied;
-        result.checkSeconds = check.checkSeconds;
-        result.solver = check.solver;
-      } catch (const std::exception& e) {
-        result.error = e.what();
-      }
-    });
-  }
-
-  if (!batchGroup.empty()) {
-    tasks.push_back([&] {
-      const util::Stopwatch sweepTimer;
-      try {
-        // One forward sweep serves every I=/C<= property: reward vectors are
-        // evaluated once per distinct reward structure, instantaneous values
-        // are sampled when the sweep passes their horizon, and cumulative
-        // accumulators add the per-step contribution in the same t-ascending
-        // order as a dedicated per-call sweep — so values are bit-identical.
-        std::vector<std::string> rewardNames;
-        std::vector<std::vector<double>> rewards;
-        std::vector<std::size_t> rewardIndex(batchGroup.size());
-        for (std::size_t g = 0; g < batchGroup.size(); ++g) {
-          const auto& rq = parsed[batchGroup[g]].property->reward;
-          const auto found = std::find(rewardNames.begin(), rewardNames.end(),
-                                       rq.rewardName);
-          if (found == rewardNames.end()) {
-            rewardNames.push_back(rq.rewardName);
-            rewards.push_back(
-                built->dtmc.evalReward(*request.model, rq.rewardName));
-            rewardIndex[g] = rewardNames.size() - 1;
-          } else {
-            rewardIndex[g] =
-                static_cast<std::size_t>(found - rewardNames.begin());
-          }
-        }
-
-        std::uint64_t lastStep = 0;
-        std::vector<double> cumulative(batchGroup.size(), 0.0);
-        for (std::size_t g = 0; g < batchGroup.size(); ++g) {
-          const auto& rq = parsed[batchGroup[g]].property->reward;
-          if (rq.kind == pctl::RewardQuery::Kind::kInstantaneous) {
-            lastStep = std::max(lastStep, rq.bound);
-          } else if (rq.bound > 0) {
-            lastStep = std::max(lastStep, rq.bound - 1);
-          }
-        }
-
-        mc::TransientSweep sweep(built->dtmc, checkOptions.exec);
-        // pi_t . r is computed at most once per distinct reward structure
-        // per step, shared by every property that needs it at that step.
-        std::vector<double> stepDot(rewards.size(), 0.0);
-        std::vector<char> stepDotValid(rewards.size(), 0);
-        const auto dotFor = [&](std::size_t r) {
-          if (!stepDotValid[r]) {
-            stepDot[r] = sweep.expectedReward(rewards[r]);
-            stepDotValid[r] = 1;
-          }
-          return stepDot[r];
-        };
-        for (std::uint64_t t = 0;; ++t) {
-          std::fill(stepDotValid.begin(), stepDotValid.end(), 0);
-          for (std::size_t g = 0; g < batchGroup.size(); ++g) {
-            const auto& rq = parsed[batchGroup[g]].property->reward;
-            if (rq.kind == pctl::RewardQuery::Kind::kInstantaneous) {
-              if (rq.bound == t) {
-                response.results[batchGroup[g]].value = dotFor(rewardIndex[g]);
-              }
-            } else if (t < rq.bound) {
-              cumulative[g] += dotFor(rewardIndex[g]);
-            }
-          }
-          if (t == lastStep) break;
-          sweep.advance();
-        }
-
-        const double seconds = sweepTimer.elapsedSeconds();
-        for (std::size_t g = 0; g < batchGroup.size(); ++g) {
-          AnalysisResult& result = response.results[batchGroup[g]];
-          const auto& rq = parsed[batchGroup[g]].property->reward;
-          if (rq.kind == pctl::RewardQuery::Kind::kCumulative) {
-            result.value = cumulative[g];
-          }
-          applyRewardBound(rq, result);
-          result.batched = true;
-          result.checkSeconds = seconds;
-        }
-      } catch (const std::exception& e) {
-        for (const std::size_t i : batchGroup) {
-          if (response.results[i].error.empty()) {
-            response.results[i].error = e.what();
-          }
-        }
-      }
-    });
-  }
-
-  pool_.run(std::move(tasks));
   response.totalSeconds = total.elapsedSeconds();
   return response;
 }

@@ -9,10 +9,15 @@
 //      same design skip the BFS build. Cached DTMCs store transition
 //      structure only; atoms/rewards always re-resolve through the
 //      requesting model.
-//   2. Horizon batching: all R=?[I=T] / R=?[C<=T] properties of a request
-//      share ONE forward transient sweep to the maximum horizon
-//      (mc::TransientSweep) instead of one sweep each. Batched values are
-//      bit-identical to per-call checking.
+//   2. Evaluation planning: the request's property set is compiled by
+//      pctl::buildPlan into a deduplicated task DAG (mc::Checker::checkAll
+//      executes it). All bounded path formulas (U<=k / F<=k / G<=k / X)
+//      advance as columns of ONE masked SpMM traversal per step, all
+//      R=?[I=T] / R=?[C<=T] properties share ONE forward transient sweep
+//      to the maximum horizon, and structurally equal subformulas are
+//      evaluated once. Batched values are bit-identical to per-call
+//      checking; AnalysisResponse::plan reports tasksPlanned /
+//      tasksDeduped / traversalsSaved.
 //   3. Concurrency: independent requests (analyzeAll/submit) and the
 //      property groups within a request run on a shared thread pool;
 //      results keep deterministic request/property order.

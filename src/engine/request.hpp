@@ -40,6 +40,10 @@ struct RequestOptions {
   /// Group R=?[I=T] / R=?[C<=T] properties into one transient sweep to the
   /// maximum horizon instead of one sweep per property.
   bool batchHorizons = true;
+  /// Group bounded path formulas (U<=k / F<=k / G<=k / X) into one masked
+  /// SpMM traversal per request instead of one backward iteration per
+  /// formula. Values are bit-identical either way; off = per-formula.
+  bool batchBounded = true;
   /// Precomputed model signature (e.g. from a previous response). When set,
   /// the engine skips the structural probe and uses this as the cache key;
   /// the caller asserts it identifies the model's transition structure.

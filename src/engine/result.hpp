@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "la/solver.hpp"
+#include "pctl/plan.hpp"
 #include "stats/intervals.hpp"
 
 namespace mimostat::engine {
@@ -52,7 +53,9 @@ struct AnalysisResult {
   std::optional<stats::Interval> interval95;
   /// Sample paths drawn; 0 for the exact backend.
   std::uint64_t samples = 0;
-  /// This property was answered from a shared batched horizon sweep.
+  /// This property was answered from an evaluation-plan task shared with
+  /// at least one sibling: a multi-horizon transient sweep or a
+  /// multi-column masked bounded traversal.
   bool batched = false;
   /// Iterative-solver report when the exact backend ran one for this
   /// property (unbounded operators, R=?[F psi], R=?[S]); absent for
@@ -86,6 +89,12 @@ struct AnalysisResponse {
   std::uint64_t transitions = 0;
   std::uint32_t reachabilityIterations = 0;
   double buildSeconds = 0.0;
+  /// Evaluation-plan counters for the exact backend (zeros when sampled):
+  /// how many tasks the request's property set compiled into, how many
+  /// were deduplicated away, and how many per-step matrix traversals the
+  /// shared bounded/transient groups saved versus per-formula evaluation.
+  /// Deterministic for a fixed property set.
+  pctl::PlanStats plan;
   /// Wall-clock for the whole request.
   double totalSeconds = 0.0;
   /// Request-level failure (null model, state-space overflow, ...). Set by

@@ -1,6 +1,7 @@
 #include "la/csr_matrix.hpp"
 
 #include <cassert>
+#include <stdexcept>
 #include <utility>
 
 namespace mimostat::la {
@@ -9,6 +10,15 @@ CsrMatrix CsrMatrix::fromCsr(std::vector<std::uint64_t> rowPtr,
                              std::vector<std::uint32_t> col,
                              std::vector<double> val, std::uint32_t numCols,
                              bool withTranspose) {
+  return fromCsr(std::move(rowPtr), std::move(col), std::move(val), numCols,
+                 withTranspose ? KeepOrientation::kBoth
+                               : KeepOrientation::kOriginalOnly);
+}
+
+CsrMatrix CsrMatrix::fromCsr(std::vector<std::uint64_t> rowPtr,
+                             std::vector<std::uint32_t> col,
+                             std::vector<double> val, std::uint32_t numCols,
+                             KeepOrientation keep) {
   assert(!rowPtr.empty());
   assert(rowPtr.back() == col.size());
   assert(col.size() == val.size());
@@ -18,15 +28,43 @@ CsrMatrix CsrMatrix::fromCsr(std::vector<std::uint64_t> rowPtr,
   m.val_ = std::move(val);
   m.numCols_ = numCols;
   m.buildBlocks();
-  if (withTranspose) {
+  if (keep != KeepOrientation::kOriginalOnly) {
     m.transpose_ = std::make_shared<const CsrMatrix>(m.buildTranspose());
+  }
+  if (keep == KeepOrientation::kTransposeOnly) {
+    // rowPtr stays resident: it carries numRows and numNonZeros, and costs
+    // 8 bytes/row against the ~12 bytes/nonzero col+val release.
+    m.col_ = {};
+    m.val_ = {};
+    m.blockStart_ = {0, 0};
+    m.hasOriginal_ = false;
   }
   return m;
 }
 
+void CsrMatrix::throwOriginalDropped() {
+  throw std::logic_error(
+      "la::CsrMatrix: original orientation was dropped at build time "
+      "(KeepOrientation::kTransposeOnly); right products, value iteration "
+      "and direct col()/val() access need KeepOrientation::kBoth or "
+      "kOriginalOnly");
+}
+
+void CsrMatrix::requireOriginal(const char* who) const {
+  if (hasOriginal_) return;
+  throw std::logic_error(
+      std::string(who) +
+      ": matrix was built with KeepOrientation::kTransposeOnly; the "
+      "original-orientation CSR arrays this kernel reads were dropped");
+}
+
 const CsrMatrix& CsrMatrix::transposed() const {
-  assert(transpose_ != nullptr &&
-         "CsrMatrix: built without transpose; left products need one");
+  if (transpose_ == nullptr) {
+    throw std::logic_error(
+        "la::CsrMatrix: built without a transpose "
+        "(KeepOrientation::kOriginalOnly); left products and backward "
+        "walks need KeepOrientation::kBoth or kTransposeOnly");
+  }
   return *transpose_;
 }
 

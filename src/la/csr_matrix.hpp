@@ -16,6 +16,14 @@
 //      so each transpose row lists its sources in ascending (row, slot)
 //      order — exactly the accumulation order of the legacy scatter loop,
 //      which is what makes the gather kernel bit-identical to it.
+//
+// Orientation residency: both orientations resident doubles matrix bytes.
+// Workloads that only ever propagate forward (left products / transient
+// sweeps read the transpose) or only backward (right products / value
+// iteration read the original) can drop the unused orientation at build
+// time via KeepOrientation; a dropped orientation's accessors throw
+// std::logic_error instead of returning stale data, and approxBytes — the
+// engine cache's accounting unit — reflects what is actually resident.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +31,13 @@
 #include <vector>
 
 namespace mimostat::la {
+
+/// Which CSR orientations a matrix keeps resident after construction.
+enum class KeepOrientation {
+  kBoth,          ///< original + eager stable transpose (the default)
+  kOriginalOnly,  ///< no transpose: left products/backward walks unavailable
+  kTransposeOnly, ///< original col/val dropped: right products unavailable
+};
 
 class CsrMatrix {
  public:
@@ -41,26 +56,50 @@ class CsrMatrix {
                            std::vector<double> val, std::uint32_t numCols,
                            bool withTranspose = true);
 
+  /// As above with explicit orientation control. kTransposeOnly builds the
+  /// stable transpose and then releases the original col/val arrays and
+  /// block table (rowPtr stays: it carries the row count and nonzero
+  /// count); kOriginalOnly never builds the transpose. The bool overload
+  /// maps true -> kBoth, false -> kOriginalOnly.
+  static CsrMatrix fromCsr(std::vector<std::uint64_t> rowPtr,
+                           std::vector<std::uint32_t> col,
+                           std::vector<double> val, std::uint32_t numCols,
+                           KeepOrientation keep);
+
   [[nodiscard]] std::uint32_t numRows() const {
     return static_cast<std::uint32_t>(rowPtr_.size() - 1);
   }
   [[nodiscard]] std::uint32_t numCols() const { return numCols_; }
-  [[nodiscard]] std::uint64_t numNonZeros() const { return col_.size(); }
+  [[nodiscard]] std::uint64_t numNonZeros() const { return rowPtr_.back(); }
 
   [[nodiscard]] const std::vector<std::uint64_t>& rowPtr() const {
     return rowPtr_;
   }
-  [[nodiscard]] const std::vector<std::uint32_t>& col() const { return col_; }
-  [[nodiscard]] const std::vector<double>& val() const { return val_; }
+  [[nodiscard]] const std::vector<std::uint32_t>& col() const {
+    if (!hasOriginal_) throwOriginalDropped();
+    return col_;
+  }
+  [[nodiscard]] const std::vector<double>& val() const {
+    if (!hasOriginal_) throwOriginalDropped();
+    return val_;
+  }
 
-  /// The transpose built at construction; null when withTranspose was false
+  /// The original orientation's col/val arrays are resident (false only
+  /// after a kTransposeOnly build).
+  [[nodiscard]] bool hasOriginal() const { return hasOriginal_; }
+  /// Throws std::logic_error naming `who` when the original orientation was
+  /// dropped — called once at kernel entry, not per element.
+  void requireOriginal(const char* who) const;
+
+  /// The transpose built at construction; null when it was not requested
   /// (and always null on the transpose itself — it is not recursive).
   [[nodiscard]] const CsrMatrix* transpose() const { return transpose_.get(); }
   [[nodiscard]] bool hasTranspose() const { return transpose_ != nullptr; }
-  /// Asserting accessor for kernels that require the transpose.
+  /// Accessor for kernels that require the transpose; throws
+  /// std::logic_error when the matrix was built without one.
   [[nodiscard]] const CsrMatrix& transposed() const;
 
-  // --- block table (parallel row partition) ---
+  // --- block table (parallel row partition; original orientation only) ---
   [[nodiscard]] std::size_t blockCount() const {
     return blockStart_.empty() ? 0 : blockStart_.size() - 1;
   }
@@ -73,9 +112,12 @@ class CsrMatrix {
 
   /// Resident bytes of the CSR arrays, block table and (when present) the
   /// transpose — the unit the engine's model-cache byte accounting uses.
+  /// Dropped orientations contribute nothing.
   [[nodiscard]] std::uint64_t approxBytes() const;
 
  private:
+  [[noreturn]] static void throwOriginalDropped();
+
   void buildBlocks();
   [[nodiscard]] CsrMatrix buildTranspose() const;
 
@@ -83,6 +125,7 @@ class CsrMatrix {
   std::vector<std::uint32_t> col_;
   std::vector<double> val_;
   std::uint32_t numCols_ = 0;
+  bool hasOriginal_ = true;
   std::vector<std::uint32_t> blockStart_{0, 0};
   /// Shared (immutable) so a copy reuses the transpose instead of doubling
   /// it — note a copy still deep-copies this matrix's own CSR arrays.

@@ -4,9 +4,11 @@
 //   1. Fixed-point linear systems  x = P x + b  restricted to an active row
 //      set (unbounded-until probabilities, expected reachability rewards):
 //      LinearSolver with GaussSeidel (in-place sweeps, the legacy default —
-//      bit-identical to the pre-refactor value iteration) and Jacobi
+//      bit-identical to the pre-refactor value iteration), Jacobi
 //      (two-buffer, deterministic parallel over the block table; different
-//      iterates than Gauss-Seidel but the same fixed point).
+//      iterates than Gauss-Seidel but the same fixed point) and
+//      GaussSeidelRB (red-black block coloring: parallel like Jacobi,
+//      GS-like coupling between the two colors).
 //   2. Stationary distributions  pi = pi P  (steady-state rewards):
 //      PowerIteration, absorbing the legacy mc::steady loop including its
 //      Cesaro-averaging option for periodic chains.
@@ -26,6 +28,7 @@ namespace mimostat::la {
 enum class SolverKind {
   kGaussSeidel,
   kJacobi,
+  kGaussSeidelRB,
 };
 
 [[nodiscard]] const char* solverKindName(SolverKind kind);
@@ -77,6 +80,23 @@ class GaussSeidel final : public LinearSolver {
 /// (per-chunk max-deltas combine exactly). Typically needs more iterations
 /// than Gauss-Seidel but each one fans out.
 class Jacobi final : public LinearSolver {
+ public:
+  SolveStats solve(const CsrMatrix& P,
+                   const std::vector<std::uint32_t>& active, const double* b,
+                   std::vector<double>& x, const SolverOptions& options,
+                   const Exec& exec = {}) const override;
+};
+
+/// Red-black (block-colored) Gauss-Seidel: the active rows are chunked by
+/// the same fixed nnz balance as the block table and the chunks colored by
+/// parity. A sweep runs two phases — all red chunks, commit, then all
+/// black chunks — so black updates read the red values of the SAME sweep
+/// (Gauss-Seidel coupling across colors) while chunks within a phase read
+/// only pre-phase state (Jacobi within a color). Phases fan out over the
+/// pool and, because nothing commits until a phase completes, results are
+/// bit-identical at any thread count. Convergence sits between Jacobi and
+/// sequential Gauss-Seidel; the fixed point is the same.
+class GaussSeidelRB final : public LinearSolver {
  public:
   SolveStats solve(const CsrMatrix& P,
                    const std::vector<std::uint32_t>& active, const double* b,

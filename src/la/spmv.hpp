@@ -1,6 +1,6 @@
 // Sparse matrix-vector and matrix-multivector products.
 //
-// All four entry points are row-partitioned gathers over the matrix's fixed
+// All entry points are row-partitioned gathers over the matrix's fixed
 // block table: each output row is produced by exactly one task with a fixed
 // accumulation order, so results are bit-identical sequentially and at any
 // thread count.
@@ -17,9 +17,19 @@
 // call — X and Y are row-major n x k (vector j of state s at X[s*k + j]) —
 // and compute, per vector, the identical floating-point sequence as k
 // separate SpMV calls.
+//
+// The masked SpMM variants additionally take a row-major n x k byte mask
+// parallel to X: wherever mask[s*k + j] != 0, output (s, j) keeps X's value
+// instead of the gathered product — per-column frozen/absorbing entries.
+// This is exactly the update shape of bounded-until value iteration
+// (x_{t+1}(s) = psi(s) ? 1 : (!phi(s) ? 0 : sum P(s,.) x_t), with psi/!phi
+// states frozen at their initial 1/0), so k bounded-path formulas advance
+// as k columns of ONE masked traversal per step, each column bit-identical
+// to its own per-formula loop.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "la/csr_matrix.hpp"
@@ -45,5 +55,20 @@ void spmm(const CsrMatrix& A, const std::vector<double>& X, std::size_t k,
 /// A.hasTranspose(). X.size() == numRows * k, Y resized to numCols * k.
 void spmmLeft(const CsrMatrix& A, const std::vector<double>& X, std::size_t k,
               std::vector<double>& Y, const Exec& exec = {});
+
+/// Y = A X with per-entry freezing: Y[s*k+j] = mask[s*k+j] ? X[s*k+j]
+/// : (A X)[s*k+j]. Requires a square-shaped use (X rows must line up with
+/// output rows, i.e. numRows == numCols), which the DTMC transition
+/// matrices always satisfy. mask.size() == X.size() == numRows * k.
+void spmmMasked(const CsrMatrix& A, const std::vector<double>& X,
+                std::size_t k, const std::vector<std::uint8_t>& mask,
+                std::vector<double>& Y, const Exec& exec = {});
+
+/// Y = X^T A with per-entry freezing over the output rows (same contract
+/// as spmmMasked, via the stable transpose). Requires A.hasTranspose() and
+/// numRows == numCols.
+void spmmLeftMasked(const CsrMatrix& A, const std::vector<double>& X,
+                    std::size_t k, const std::vector<std::uint8_t>& mask,
+                    std::vector<double>& Y, const Exec& exec = {});
 
 }  // namespace mimostat::la

@@ -2,33 +2,30 @@
 
 #include <cassert>
 
+#include "la/spmv.hpp"
+
 namespace mimostat::mc {
 
 std::vector<double> boundedUntil(const dtmc::ExplicitDtmc& dtmc,
                                  const std::vector<std::uint8_t>& phi,
                                  const std::vector<std::uint8_t>& psi,
-                                 std::uint64_t bound) {
+                                 std::uint64_t bound, const la::Exec& exec) {
   const std::uint32_t n = dtmc.numStates();
   assert(phi.size() == n && psi.size() == n);
 
+  // psi states are frozen at 1.0 and !phi states at 0.0 — their initial
+  // values — so the masked product reproduces the classic update
+  //   x_{j+1}(s) = psi(s) ? 1 : (phi(s) ? sum P(s,.) x_j : 0)
+  // with the identical per-row accumulation order, bit for bit.
   std::vector<double> x(n);
-  for (std::uint32_t s = 0; s < n; ++s) x[s] = psi[s] ? 1.0 : 0.0;
-
+  std::vector<std::uint8_t> frozen(n);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    x[s] = psi[s] ? 1.0 : 0.0;
+    frozen[s] = (psi[s] || !phi[s]) ? 1 : 0;
+  }
   std::vector<double> next(n);
   for (std::uint64_t j = 0; j < bound; ++j) {
-    for (std::uint32_t s = 0; s < n; ++s) {
-      if (psi[s]) {
-        next[s] = 1.0;
-      } else if (!phi[s]) {
-        next[s] = 0.0;
-      } else {
-        double acc = 0.0;
-        for (std::uint64_t k = dtmc.rowPtr()[s]; k < dtmc.rowPtr()[s + 1]; ++k) {
-          acc += dtmc.val()[k] * x[dtmc.col()[k]];
-        }
-        next[s] = acc;
-      }
-    }
+    la::spmmMasked(dtmc.matrix(), x, 1, frozen, next, exec);
     x.swap(next);
   }
   return x;
@@ -36,34 +33,35 @@ std::vector<double> boundedUntil(const dtmc::ExplicitDtmc& dtmc,
 
 std::vector<double> boundedFinally(const dtmc::ExplicitDtmc& dtmc,
                                    const std::vector<std::uint8_t>& psi,
-                                   std::uint64_t bound) {
+                                   std::uint64_t bound, const la::Exec& exec) {
   const std::vector<std::uint8_t> phi(dtmc.numStates(), 1);
-  return boundedUntil(dtmc, phi, psi, bound);
+  return boundedUntil(dtmc, phi, psi, bound, exec);
 }
 
 std::vector<double> boundedGlobally(const dtmc::ExplicitDtmc& dtmc,
                                     const std::vector<std::uint8_t>& phi,
-                                    std::uint64_t bound) {
+                                    std::uint64_t bound, const la::Exec& exec) {
   std::vector<std::uint8_t> notPhi(dtmc.numStates());
   for (std::uint32_t s = 0; s < dtmc.numStates(); ++s) notPhi[s] = phi[s] ? 0 : 1;
-  std::vector<double> reach = boundedFinally(dtmc, notPhi, bound);
+  std::vector<double> reach = boundedFinally(dtmc, notPhi, bound, exec);
   for (double& v : reach) v = 1.0 - v;
   return reach;
 }
 
 std::vector<double> nextProb(const dtmc::ExplicitDtmc& dtmc,
-                             const std::vector<std::uint8_t>& psi) {
+                             const std::vector<std::uint8_t>& psi,
+                             const la::Exec& exec) {
   const std::uint32_t n = dtmc.numStates();
   assert(psi.size() == n);
+  // One unmasked propagation of the psi indicator. The legacy loop summed
+  // val[k] over psi columns only; val * 1.0 is exact and the interleaved
+  // val * 0.0 terms are bitwise-neutral (+0.0 into a non-negative
+  // accumulator), so the gather is bit-identical to the skip loop.
   std::vector<double> x(n);
-  for (std::uint32_t s = 0; s < n; ++s) {
-    double acc = 0.0;
-    for (std::uint64_t k = dtmc.rowPtr()[s]; k < dtmc.rowPtr()[s + 1]; ++k) {
-      if (psi[dtmc.col()[k]]) acc += dtmc.val()[k];
-    }
-    x[s] = acc;
-  }
-  return x;
+  for (std::uint32_t s = 0; s < n; ++s) x[s] = psi[s] ? 1.0 : 0.0;
+  std::vector<double> y;
+  la::spmv(dtmc.matrix(), x, y, exec);
+  return y;
 }
 
 double fromInitial(const dtmc::ExplicitDtmc& dtmc,

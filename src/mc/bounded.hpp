@@ -4,33 +4,44 @@
 //     x_0 = [psi];  x_{j+1}(s) = psi(s) ? 1 : (phi(s) ? sum P(s,.) x_j : 0)
 //   P(F<=k psi) = P(true U<=k psi)
 //   P(G<=k phi) = 1 - P(F<=k !phi)
+//
+// Since the evaluation-plan refactor these are single-column wrappers over
+// la::spmmMasked: psi states are frozen at 1.0 and !phi states at 0.0 —
+// exactly their initial values — so every step is one masked traversal with
+// the same per-row accumulation order as the pre-refactor private loop
+// (bit-identical; tests keep the legacy loop inline as the reference). The
+// batched path — k bounded formulas as k columns of ONE traversal per step
+// — lives in mc::Checker::checkAll via pctl::buildPlan.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "dtmc/explicit_dtmc.hpp"
+#include "la/exec.hpp"
 
 namespace mimostat::mc {
 
 /// Per-state probability of (phi U<=bound psi). phi/psi are 0/1 vectors.
 [[nodiscard]] std::vector<double> boundedUntil(
     const dtmc::ExplicitDtmc& dtmc, const std::vector<std::uint8_t>& phi,
-    const std::vector<std::uint8_t>& psi, std::uint64_t bound);
+    const std::vector<std::uint8_t>& psi, std::uint64_t bound,
+    const la::Exec& exec = {});
 
 /// Per-state probability of F<=bound psi.
 [[nodiscard]] std::vector<double> boundedFinally(
     const dtmc::ExplicitDtmc& dtmc, const std::vector<std::uint8_t>& psi,
-    std::uint64_t bound);
+    std::uint64_t bound, const la::Exec& exec = {});
 
 /// Per-state probability of G<=bound phi.
 [[nodiscard]] std::vector<double> boundedGlobally(
     const dtmc::ExplicitDtmc& dtmc, const std::vector<std::uint8_t>& phi,
-    std::uint64_t bound);
+    std::uint64_t bound, const la::Exec& exec = {});
 
 /// Per-state probability of X psi.
 [[nodiscard]] std::vector<double> nextProb(const dtmc::ExplicitDtmc& dtmc,
-                                           const std::vector<std::uint8_t>& psi);
+                                           const std::vector<std::uint8_t>& psi,
+                                           const la::Exec& exec = {});
 
 /// Weigh per-state values by the initial distribution.
 [[nodiscard]] double fromInitial(const dtmc::ExplicitDtmc& dtmc,

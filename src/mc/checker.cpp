@@ -1,8 +1,10 @@
 #include "mc/checker.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
+#include "la/spmv.hpp"
 #include "mc/bounded.hpp"
 #include "mc/steady.hpp"
 #include "mc/transient.hpp"
@@ -76,7 +78,7 @@ std::vector<std::uint8_t> Checker::evalStateFormula(
   throw std::logic_error("unreachable state-formula kind");
 }
 
-CheckResult Checker::check(const pctl::Property& property) const {
+CheckResult Checker::checkSingle(const pctl::Property& property) const {
   util::Stopwatch timer;
   CheckResult result;
 
@@ -102,12 +104,12 @@ CheckResult Checker::check(const pctl::Property& property) const {
     std::vector<double> values;
     switch (path.kind) {
       case pctl::PathFormula::Kind::kNext:
-        values = nextProb(dtmc_, evalStateFormula(*path.lhs));
+        values = nextProb(dtmc_, evalStateFormula(*path.lhs), options_.exec);
         break;
       case pctl::PathFormula::Kind::kFinally: {
         const auto psi = evalStateFormula(*path.lhs);
         if (path.bound) {
-          values = boundedFinally(dtmc_, psi, *path.bound);
+          values = boundedFinally(dtmc_, psi, *path.bound, options_.exec);
         } else {
           ReachResult reach = reachProb(dtmc_, psi, reachOptions());
           recordReach(reach);
@@ -118,7 +120,7 @@ CheckResult Checker::check(const pctl::Property& property) const {
       case pctl::PathFormula::Kind::kGlobally: {
         const auto phi = evalStateFormula(*path.lhs);
         if (path.bound) {
-          values = boundedGlobally(dtmc_, phi, *path.bound);
+          values = boundedGlobally(dtmc_, phi, *path.bound, options_.exec);
         } else {
           // G phi = !F !phi
           std::vector<std::uint8_t> notPhi(phi.size());
@@ -134,7 +136,7 @@ CheckResult Checker::check(const pctl::Property& property) const {
         const auto phi = evalStateFormula(*path.lhs);
         const auto psi = evalStateFormula(*path.rhs);
         if (path.bound) {
-          values = boundedUntil(dtmc_, phi, psi, *path.bound);
+          values = boundedUntil(dtmc_, phi, psi, *path.bound, options_.exec);
         } else {
           ReachResult reach = untilProb(dtmc_, phi, psi, reachOptions());
           recordReach(reach);
@@ -189,6 +191,311 @@ CheckResult Checker::check(const pctl::Property& property) const {
   }
 
   result.checkSeconds = timer.elapsedSeconds();
+  return result;
+}
+
+void Checker::runBoundedGroup(
+    const pctl::EvalPlan& plan, const std::vector<pctl::Property>& properties,
+    const std::vector<std::vector<std::uint8_t>>& maskValues,
+    const std::vector<std::string>& maskErrors,
+    std::vector<CheckResult>& results) const {
+  util::Stopwatch timer;
+  const std::uint32_t n = dtmc_.numStates();
+  constexpr std::size_t kNoPos = static_cast<std::size_t>(-1);
+
+  // Columns whose masks failed to evaluate never join the traversal;
+  // their readouts inherit the error.
+  std::vector<std::string> columnError(plan.columns.size());
+  std::vector<std::size_t> live;  // plan column ids currently traversing
+  std::vector<std::size_t> pos(plan.columns.size(), kNoPos);
+  std::uint64_t maxSteps = 0;
+  for (std::size_t c = 0; c < plan.columns.size(); ++c) {
+    const pctl::EvalPlan::Column& column = plan.columns[c];
+    for (const std::size_t m : {column.psiMask, column.phiMask}) {
+      if (m != pctl::EvalPlan::kNoMask && !maskErrors[m].empty() &&
+          columnError[c].empty()) {
+        columnError[c] = maskErrors[m];
+      }
+    }
+    if (!columnError[c].empty()) continue;
+    pos[c] = live.size();
+    live.push_back(c);
+    maxSteps = std::max(maxSteps, column.steps);
+  }
+
+  // Lay out the traversal state: each live column of the row-major
+  // n x width X buffer starts at the psi indicator; the mask freezes psi
+  // states at 1.0 and !phi states at 0.0 (their initial values), which
+  // reproduces the per-formula bounded-until update bit for bit.
+  std::size_t width = live.size();
+  std::vector<double> X(static_cast<std::size_t>(n) * width, 0.0);
+  std::vector<std::uint8_t> mask(X.size(), 0);
+  for (std::size_t j = 0; j < width; ++j) {
+    const pctl::EvalPlan::Column& column = plan.columns[live[j]];
+    const std::vector<std::uint8_t>& psi = maskValues[column.psiMask];
+    const std::vector<std::uint8_t>* phi =
+        column.phiMask == pctl::EvalPlan::kNoMask
+            ? nullptr
+            : &maskValues[column.phiMask];
+    for (std::uint32_t s = 0; s < n; ++s) {
+      X[s * width + j] = psi[s] ? 1.0 : 0.0;
+      if (column.masked) {
+        mask[s * width + j] =
+            (psi[s] || (phi != nullptr && !(*phi)[s])) ? 1 : 0;
+      }
+    }
+  }
+
+  const auto record = [&](const pctl::EvalPlan::BoundedReadout& readout) {
+    const std::size_t j = pos[readout.column];
+    std::vector<double> values(n);
+    for (std::uint32_t s = 0; s < n; ++s) {
+      values[s] = X[s * width + j];
+    }
+    if (readout.complement) {
+      for (double& v : values) v = 1.0 - v;
+    }
+    CheckResult& out = results[readout.property];
+    out.value = fromInitial(dtmc_, values);
+    out.stateValues = std::move(values);
+    const pctl::ProbQuery& pq = properties[readout.property].prob;
+    if (!pq.isQuery) {
+      out.satisfied = pctl::evalCmp(pq.boundOp, out.value, pq.boundValue);
+    }
+  };
+
+  // Surface column errors first so the traversal only serves live readouts
+  // (an error column never extends maxSteps above).
+  for (const pctl::EvalPlan::BoundedReadout& readout : plan.bounded) {
+    if (!columnError[readout.column].empty()) {
+      results[readout.property].error = columnError[readout.column];
+    }
+  }
+
+  // One masked traversal for the live columns; readouts sample their
+  // column when the traversal passes their bound. A column past its last
+  // readout is compacted out instead of advancing to the group maximum —
+  // repacking never changes a surviving column's values (each column's
+  // accumulation sequence depends only on its own entries), so the total
+  // matrix work is sum of per-column bounds while the traversal count
+  // stays ~1 per step.
+  std::vector<double> scratch;
+  std::vector<std::uint8_t> maskScratch;
+  for (std::uint64_t t = 0;; ++t) {
+    for (const pctl::EvalPlan::BoundedReadout& readout : plan.bounded) {
+      if (readout.bound == t && columnError[readout.column].empty()) {
+        record(readout);
+      }
+    }
+    if (t >= maxSteps) break;
+    bool anyDone = false;
+    for (const std::size_t c : live) {
+      anyDone = anyDone || plan.columns[c].steps <= t;
+    }
+    if (anyDone) {
+      std::vector<std::size_t> keep;
+      for (const std::size_t c : live) {
+        if (plan.columns[c].steps > t) keep.push_back(c);
+      }
+      const std::size_t newWidth = keep.size();
+      scratch.resize(static_cast<std::size_t>(n) * newWidth);
+      maskScratch.resize(scratch.size());
+      for (std::uint32_t s = 0; s < n; ++s) {
+        for (std::size_t j = 0; j < newWidth; ++j) {
+          scratch[s * newWidth + j] = X[s * width + pos[keep[j]]];
+          maskScratch[s * newWidth + j] = mask[s * width + pos[keep[j]]];
+        }
+      }
+      for (const std::size_t c : live) pos[c] = kNoPos;
+      for (std::size_t j = 0; j < newWidth; ++j) pos[keep[j]] = j;
+      live = std::move(keep);
+      width = newWidth;
+      X.swap(scratch);
+      mask.swap(maskScratch);
+    }
+    la::spmmMasked(dtmc_.matrix(), X, width, mask, scratch, options_.exec);
+    X.swap(scratch);
+  }
+
+  const double seconds = timer.elapsedSeconds();
+  const bool shared = plan.bounded.size() > 1;
+  for (const pctl::EvalPlan::BoundedReadout& readout : plan.bounded) {
+    // Errored readouts never joined the traversal: no shared-task
+    // attribution for them.
+    if (!columnError[readout.column].empty()) continue;
+    results[readout.property].checkSeconds = seconds;
+    results[readout.property].batched = shared;
+  }
+}
+
+void Checker::runTransientGroup(const pctl::EvalPlan& plan,
+                                const std::vector<pctl::Property>& properties,
+                                std::vector<CheckResult>& results) const {
+  util::Stopwatch timer;
+  // One forward sweep serves every I=/C<= property: reward vectors are
+  // evaluated once per distinct reward structure, instantaneous values
+  // are sampled when the sweep passes their horizon, and cumulative
+  // accumulators add the per-step contribution in the same t-ascending
+  // order as a dedicated per-call sweep — so values are bit-identical.
+  // A reward structure that fails to evaluate errors only the entries
+  // that reference it (same isolation as the bounded group's masks).
+  std::vector<std::vector<double>> rewards(plan.rewardNames.size());
+  std::vector<std::string> rewardErrors(plan.rewardNames.size());
+  for (std::size_t r = 0; r < plan.rewardNames.size(); ++r) {
+    try {
+      rewards[r] = dtmc_.evalReward(model_, plan.rewardNames[r]);
+    } catch (const std::exception& e) {
+      rewardErrors[r] = e.what();
+    }
+  }
+  const auto live = [&](const pctl::EvalPlan::TransientEntry& entry) {
+    return rewardErrors[entry.reward].empty();
+  };
+  std::uint64_t lastStep = 0;
+  std::size_t liveCount = 0;
+  for (const pctl::EvalPlan::TransientEntry& entry : plan.transients) {
+    if (!live(entry)) {
+      results[entry.property].error = rewardErrors[entry.reward];
+      continue;
+    }
+    ++liveCount;
+    if (!entry.cumulative) {
+      lastStep = std::max(lastStep, entry.bound);
+    } else if (entry.bound > 0) {
+      lastStep = std::max(lastStep, entry.bound - 1);
+    }
+  }
+  if (liveCount == 0) return;
+
+  std::vector<double> cumulative(plan.transients.size(), 0.0);
+  TransientSweep sweep(dtmc_, options_.exec);
+  // pi_t . r is computed at most once per distinct reward structure per
+  // step, shared by every property that needs it at that step.
+  std::vector<double> stepDot(rewards.size(), 0.0);
+  std::vector<char> stepDotValid(rewards.size(), 0);
+  const auto dotFor = [&](std::size_t r) {
+    if (!stepDotValid[r]) {
+      stepDot[r] = sweep.expectedReward(rewards[r]);
+      stepDotValid[r] = 1;
+    }
+    return stepDot[r];
+  };
+  for (std::uint64_t t = 0;; ++t) {
+    std::fill(stepDotValid.begin(), stepDotValid.end(), 0);
+    for (std::size_t g = 0; g < plan.transients.size(); ++g) {
+      const pctl::EvalPlan::TransientEntry& entry = plan.transients[g];
+      if (!live(entry)) continue;
+      if (!entry.cumulative) {
+        if (entry.bound == t) {
+          results[entry.property].value = dotFor(entry.reward);
+        }
+      } else if (t < entry.bound) {
+        cumulative[g] += dotFor(entry.reward);
+      }
+    }
+    if (t == lastStep) break;
+    sweep.advance();
+  }
+
+  const double seconds = timer.elapsedSeconds();
+  const bool shared = liveCount > 1;
+  for (std::size_t g = 0; g < plan.transients.size(); ++g) {
+    const pctl::EvalPlan::TransientEntry& entry = plan.transients[g];
+    if (!live(entry)) continue;
+    CheckResult& out = results[entry.property];
+    if (entry.cumulative) out.value = cumulative[g];
+    const pctl::RewardQuery& rq = properties[entry.property].reward;
+    if (!rq.isQuery) {
+      out.satisfied = pctl::evalCmp(rq.boundOp, out.value, rq.boundValue);
+    }
+    out.batched = shared;
+    out.checkSeconds = seconds;
+  }
+}
+
+std::vector<CheckResult> Checker::checkAll(
+    const std::vector<pctl::Property>& properties,
+    const pctl::PlanOptions& planOptions, pctl::PlanStats* planStats,
+    const la::TaskRunner& runner) const {
+  const pctl::EvalPlan plan = pctl::buildPlan(properties, planOptions);
+  if (planStats != nullptr) *planStats = plan.stats;
+  std::vector<CheckResult> results(properties.size());
+
+  // Shared atom masks, each evaluated once; failures (unknown atoms or
+  // variables) are captured per mask and surface on exactly the
+  // properties whose columns reference the broken mask.
+  std::vector<std::vector<std::uint8_t>> maskValues(plan.masks.size());
+  std::vector<std::string> maskErrors(plan.masks.size());
+  for (std::size_t m = 0; m < plan.masks.size(); ++m) {
+    try {
+      maskValues[m] = evalStateFormula(*plan.masks[m]);
+    } catch (const std::exception& e) {
+      maskErrors[m] = e.what();
+    }
+  }
+
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(plan.singles.size() + 2);
+  for (const std::size_t i : plan.singles) {
+    tasks.push_back([this, &properties, &results, i] {
+      try {
+        results[i] = checkSingle(properties[i]);
+      } catch (const std::exception& e) {
+        results[i].error = e.what();
+      }
+    });
+  }
+  if (!plan.bounded.empty()) {
+    tasks.push_back([this, &plan, &properties, &maskValues, &maskErrors,
+                     &results] {
+      try {
+        runBoundedGroup(plan, properties, maskValues, maskErrors, results);
+      } catch (const std::exception& e) {
+        for (const pctl::EvalPlan::BoundedReadout& r : plan.bounded) {
+          if (results[r.property].error.empty()) {
+            results[r.property].error = e.what();
+          }
+        }
+      }
+    });
+  }
+  if (!plan.transients.empty()) {
+    tasks.push_back([this, &plan, &properties, &results] {
+      try {
+        runTransientGroup(plan, properties, results);
+      } catch (const std::exception& e) {
+        for (const pctl::EvalPlan::TransientEntry& entry : plan.transients) {
+          if (results[entry.property].error.empty()) {
+            results[entry.property].error = e.what();
+          }
+        }
+      }
+    });
+  }
+
+  if (runner != nullptr && tasks.size() > 1) {
+    runner(std::move(tasks));
+  } else {
+    for (const auto& task : tasks) task();
+  }
+
+  // Structurally identical singles ran once: copy the representative's
+  // result (deterministic, so the copy equals a recompute bit for bit) and
+  // mark both ends of the share as batched.
+  for (const auto& [duplicate, representative] : plan.singleDuplicates) {
+    results[duplicate] = results[representative];
+    if (results[representative].ok()) {
+      results[representative].batched = true;
+      results[duplicate].batched = true;
+    }
+  }
+  return results;
+}
+
+CheckResult Checker::check(const pctl::Property& property) const {
+  std::vector<CheckResult> results = checkAll({property});
+  CheckResult& result = results.front();
+  if (!result.error.empty()) throw std::runtime_error(result.error);
   return result;
 }
 

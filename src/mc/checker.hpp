@@ -1,10 +1,27 @@
-// Full pCTL checker: evaluates a parsed property against an explicit DTMC.
+// Full pCTL checker: evaluates parsed properties against an explicit DTMC.
 //
 // State formulas resolve identifiers first against the model's variables
 // (comparisons like errs>1 become per-state predicates over the stored
 // variable assignment) and then against the model's named atoms. Reward
 // queries resolve through the model's reward structures; the empty name is
 // the default structure.
+//
+// Evaluation is plan-driven: a property set is compiled by pctl::buildPlan
+// into a deduplicated task DAG and executed in groups —
+//
+//   - every bounded path formula (U<=k / F<=k / G<=k / X) becomes a column
+//     of ONE shared masked SpMM traversal (la::spmmMasked): k bounded
+//     formulas cost one matrix traversal per step instead of k, and each
+//     column's floating-point sequence is identical to its own per-formula
+//     loop, so batching changes wall-clock only, never values;
+//   - R=?[I=T] / R=?[C<=T] share one forward transient sweep to the
+//     maximum horizon (mc::TransientSweep), reward vectors deduplicated;
+//   - everything else (unbounded operators, steady state, reachability
+//     rewards) runs as independent single tasks, optionally fanned out
+//     over a caller-supplied task runner.
+//
+// check() runs a one-property plan, so the single-property path and the
+// batched path are the same code — bit-identical by construction.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +37,7 @@
 #include "la/solver.hpp"
 #include "pctl/ast.hpp"
 #include "pctl/parser.hpp"
+#include "pctl/plan.hpp"
 #include "pctl/property_cache.hpp"
 
 namespace mimostat::mc {
@@ -31,12 +49,14 @@ struct CheckOptions {
   /// Use Cesàro averaging for R=?[S] on periodic chains.
   bool cesaroSteadyState = false;
   /// Which la::LinearSolver runs unbounded-until value iteration. The
-  /// Gauss-Seidel default is bit-identical to the legacy loop; Jacobi
-  /// converges to the same fixed point on parallelizable sweeps.
+  /// Gauss-Seidel default is bit-identical to the legacy loop; Jacobi and
+  /// the red-black GaussSeidelRB converge to the same fixed point on
+  /// parallelizable sweeps.
   la::SolverKind linearSolver = la::SolverKind::kGaussSeidel;
-  /// Parallel execution for la:: kernels (transient multiplies, power
-  /// iteration, Jacobi sweeps). Results are bit-identical with or without a
-  /// runner; the AnalysisEngine injects its pool here by default.
+  /// Parallel execution for la:: kernels (transient multiplies, masked
+  /// bounded traversals, power iteration, Jacobi/red-black sweeps).
+  /// Results are bit-identical with or without a runner; the
+  /// AnalysisEngine injects its pool here by default.
   la::Exec exec;
 };
 
@@ -49,13 +69,24 @@ struct CheckResult {
   bool satisfied = true;
   /// Per-state values when the operator produces them (empty for rewards).
   std::vector<double> stateValues;
-  /// Seconds spent checking (excludes model construction).
+  /// Seconds spent checking (excludes model construction). Group members
+  /// carry the shared group's total.
   double checkSeconds = 0.0;
+  /// This property was answered from a task shared with at least one other
+  /// property of the same checkAll call (a multi-column bounded traversal
+  /// or a multi-horizon transient sweep).
+  bool batched = false;
   /// Iterative-solver report when the property ran one (unbounded
   /// operators, R=?[F psi], R=?[S]); absent for transient/bounded
   /// properties (direct propagations) and when Prob0/Prob1 classified
   /// every state. The solver stamps its own name in SolveStats::solver.
   std::optional<la::SolveStats> solver;
+  /// Non-empty when this property failed (unknown atom/variable, ...).
+  /// Filled by checkAll — sibling properties still produce values;
+  /// check() rethrows it instead.
+  std::string error;
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
 };
 
 class Checker {
@@ -68,12 +99,26 @@ class Checker {
           CheckOptions options = {},
           pctl::PropertyCache* parseCache = nullptr);
 
-  /// Evaluate a parsed property.
+  /// Evaluate a parsed property (a one-property plan). Throws on semantic
+  /// failures (unknown atoms/variables).
   [[nodiscard]] CheckResult check(const pctl::Property& property) const;
 
   /// Parse and evaluate. Parses are memoized (thread-safe), so repeated
   /// checks of the same property text skip the parser.
   [[nodiscard]] CheckResult check(std::string_view propertyText) const;
+
+  /// Evaluate a property set through one shared evaluation plan: bounded
+  /// path formulas advance as columns of one masked traversal, transient
+  /// horizons share one sweep, everything else runs as independent tasks
+  /// (fanned out over `runner` when provided — same contract as la::Exec's
+  /// runner). Failures are captured per property in CheckResult::error;
+  /// sibling results are unaffected. `planStats` (optional) receives the
+  /// plan's dedup/batching counters.
+  [[nodiscard]] std::vector<CheckResult> checkAll(
+      const std::vector<pctl::Property>& properties,
+      const pctl::PlanOptions& planOptions = {},
+      pctl::PlanStats* planStats = nullptr,
+      const la::TaskRunner& runner = {}) const;
 
   /// Memoized parse of a property text (shared with check(string_view)).
   [[nodiscard]] pctl::Property parsedProperty(std::string_view propertyText) const;
@@ -84,6 +129,24 @@ class Checker {
       const pctl::StateFormula& f) const;
 
  private:
+  /// One property evaluated outside any group (unbounded operators,
+  /// rewards, and bounded formulas when the plan's batching is off).
+  [[nodiscard]] CheckResult checkSingle(const pctl::Property& property) const;
+
+  /// All bounded readouts of the plan: one masked SpMM traversal, columns
+  /// sampled at their bounds.
+  void runBoundedGroup(const pctl::EvalPlan& plan,
+                       const std::vector<pctl::Property>& properties,
+                       const std::vector<std::vector<std::uint8_t>>& maskValues,
+                       const std::vector<std::string>& maskErrors,
+                       std::vector<CheckResult>& results) const;
+
+  /// All transient entries of the plan: one forward sweep to the maximum
+  /// horizon, reward dot products deduplicated per step.
+  void runTransientGroup(const pctl::EvalPlan& plan,
+                         const std::vector<pctl::Property>& properties,
+                         std::vector<CheckResult>& results) const;
+
   const dtmc::ExplicitDtmc& dtmc_;
   const dtmc::Model& model_;
   CheckOptions options_;

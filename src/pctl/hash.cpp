@@ -1,0 +1,154 @@
+#include "pctl/hash.hpp"
+
+#include "util/hash.hpp"
+
+namespace mimostat::pctl {
+
+namespace {
+
+std::uint64_t hashName(std::uint64_t seed, const std::string& name) {
+  return util::fnv1a(name.data(), name.size(), seed);
+}
+
+std::uint64_t tag(std::uint64_t seed, std::uint64_t value) {
+  return util::hashCombine(seed, util::mix64(value));
+}
+
+}  // namespace
+
+std::uint64_t structuralHash(const StateFormula& f) {
+  std::uint64_t h = tag(0x5157A7EF0A91ULL, static_cast<std::uint64_t>(f.kind));
+  switch (f.kind) {
+    case StateFormula::Kind::kTrue:
+    case StateFormula::Kind::kFalse:
+      return h;
+    case StateFormula::Kind::kAtom:
+      return hashName(h, f.name);
+    case StateFormula::Kind::kVarCmp:
+      h = hashName(h, f.name);
+      h = tag(h, static_cast<std::uint64_t>(f.op));
+      return tag(h, static_cast<std::uint64_t>(f.value));
+    case StateFormula::Kind::kNot:
+      return tag(h, structuralHash(*f.lhs));
+    case StateFormula::Kind::kAnd:
+    case StateFormula::Kind::kOr:
+      h = tag(h, structuralHash(*f.lhs));
+      return tag(h, structuralHash(*f.rhs));
+  }
+  return h;
+}
+
+std::uint64_t structuralHash(const PathFormula& f) {
+  std::uint64_t h = tag(0x9A7EF0B2C4D6ULL, static_cast<std::uint64_t>(f.kind));
+  h = tag(h, f.bound ? *f.bound + 1 : 0);
+  if (f.lhs) h = tag(h, structuralHash(*f.lhs));
+  if (f.rhs) h = tag(h, structuralHash(*f.rhs));
+  return h;
+}
+
+std::uint64_t structuralHash(const Property& p) {
+  std::uint64_t h = tag(0xC3D5E7F90B1DULL, static_cast<std::uint64_t>(p.kind));
+  if (p.kind == Property::Kind::kProb) {
+    h = tag(h, p.prob.isQuery ? 1 : 0);
+    if (!p.prob.isQuery) {
+      h = tag(h, static_cast<std::uint64_t>(p.prob.boundOp));
+      std::uint64_t bits = 0;
+      static_assert(sizeof(bits) == sizeof(p.prob.boundValue));
+      __builtin_memcpy(&bits, &p.prob.boundValue, sizeof(bits));
+      h = tag(h, bits);
+    }
+    return tag(h, structuralHash(p.prob.path));
+  }
+  const RewardQuery& rq = p.reward;
+  h = tag(h, static_cast<std::uint64_t>(rq.kind));
+  h = tag(h, rq.bound);
+  h = hashName(h, rq.rewardName);
+  h = tag(h, rq.isQuery ? 1 : 0);
+  if (!rq.isQuery) {
+    h = tag(h, static_cast<std::uint64_t>(rq.boundOp));
+    std::uint64_t bits = 0;
+    __builtin_memcpy(&bits, &rq.boundValue, sizeof(bits));
+    h = tag(h, bits);
+  }
+  if (rq.target) h = tag(h, structuralHash(*rq.target));
+  return h;
+}
+
+bool structuralEqual(const StateFormula& a, const StateFormula& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case StateFormula::Kind::kTrue:
+    case StateFormula::Kind::kFalse:
+      return true;
+    case StateFormula::Kind::kAtom:
+      return a.name == b.name;
+    case StateFormula::Kind::kVarCmp:
+      return a.name == b.name && a.op == b.op && a.value == b.value;
+    case StateFormula::Kind::kNot:
+      return structuralEqual(*a.lhs, *b.lhs);
+    case StateFormula::Kind::kAnd:
+    case StateFormula::Kind::kOr:
+      return structuralEqual(*a.lhs, *b.lhs) && structuralEqual(*a.rhs, *b.rhs);
+  }
+  return false;
+}
+
+bool structuralEqual(const PathFormula& a, const PathFormula& b) {
+  if (a.kind != b.kind || a.bound != b.bound) return false;
+  if ((a.lhs == nullptr) != (b.lhs == nullptr)) return false;
+  if ((a.rhs == nullptr) != (b.rhs == nullptr)) return false;
+  if (a.lhs && !structuralEqual(*a.lhs, *b.lhs)) return false;
+  if (a.rhs && !structuralEqual(*a.rhs, *b.rhs)) return false;
+  return true;
+}
+
+bool structuralEqual(const Property& a, const Property& b) {
+  if (a.kind != b.kind) return false;
+  if (a.kind == Property::Kind::kProb) {
+    if (a.prob.isQuery != b.prob.isQuery) return false;
+    if (!a.prob.isQuery &&
+        (a.prob.boundOp != b.prob.boundOp ||
+         a.prob.boundValue != b.prob.boundValue)) {
+      return false;
+    }
+    return structuralEqual(a.prob.path, b.prob.path);
+  }
+  const RewardQuery& x = a.reward;
+  const RewardQuery& y = b.reward;
+  if (x.kind != y.kind || x.bound != y.bound || x.rewardName != y.rewardName ||
+      x.isQuery != y.isQuery) {
+    return false;
+  }
+  if (!x.isQuery && (x.boundOp != y.boundOp || x.boundValue != y.boundValue)) {
+    return false;
+  }
+  if ((x.target == nullptr) != (y.target == nullptr)) return false;
+  return x.target == nullptr || structuralEqual(*x.target, *y.target);
+}
+
+bool isTriviallyTrue(const StateFormula& f) {
+  if (f.kind == StateFormula::Kind::kTrue) return true;
+  if (f.kind == StateFormula::Kind::kNot) {
+    const StateFormula& inner = *f.lhs;
+    if (inner.kind == StateFormula::Kind::kFalse) return true;
+    if (inner.kind == StateFormula::Kind::kNot) {
+      return isTriviallyTrue(*inner.lhs);
+    }
+  }
+  return false;
+}
+
+StateFormulaPtr negated(const StateFormulaPtr& f) {
+  switch (f->kind) {
+    case StateFormula::Kind::kNot:
+      return f->lhs;
+    case StateFormula::Kind::kTrue:
+      return StateFormula::makeFalse();
+    case StateFormula::Kind::kFalse:
+      return StateFormula::makeTrue();
+    default:
+      return StateFormula::makeNot(f);
+  }
+}
+
+}  // namespace mimostat::pctl

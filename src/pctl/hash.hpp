@@ -1,0 +1,39 @@
+// Structural hashing, equality and normalization helpers for pCTL ASTs.
+//
+// The evaluation planner (pctl/plan.hpp) deduplicates subformulas by
+// structure, not by pointer or source text: "F<=5 target" parsed twice, or
+// the psi of "a U<=3 b" appearing again inside "F<=9 b", must land on the
+// same evaluation task. structuralHash/structuralEqual provide the (hash,
+// verify) pair for that; negated() performs the one normalization the
+// planner relies on (double-negation elimination, so "G<=T !flag" and
+// "F<=T flag" share one traversal column).
+#pragma once
+
+#include <cstdint>
+
+#include "pctl/ast.hpp"
+
+namespace mimostat::pctl {
+
+/// Order-sensitive structural hash (a & b and b & a hash differently — the
+/// planner only needs "same structure implies same hash").
+[[nodiscard]] std::uint64_t structuralHash(const StateFormula& f);
+[[nodiscard]] std::uint64_t structuralHash(const PathFormula& f);
+[[nodiscard]] std::uint64_t structuralHash(const Property& p);
+
+/// Exact structural equality — the collision check behind structuralHash.
+[[nodiscard]] bool structuralEqual(const StateFormula& a,
+                                   const StateFormula& b);
+[[nodiscard]] bool structuralEqual(const PathFormula& a, const PathFormula& b);
+[[nodiscard]] bool structuralEqual(const Property& a, const Property& b);
+
+/// Syntactic tautology check used by the planner to turn "true U<=k psi"
+/// into the phi-less finally form (kTrue, or any !-chain bottoming out in
+/// the matching constant).
+[[nodiscard]] bool isTriviallyTrue(const StateFormula& f);
+
+/// Structural negation with double-negation elimination: !(!f) = f, !true =
+/// false, !false = true. Shares the original nodes (never deep-copies).
+[[nodiscard]] StateFormulaPtr negated(const StateFormulaPtr& f);
+
+}  // namespace mimostat::pctl

@@ -1,0 +1,126 @@
+// pctl::EvalPlan — a request's property set compiled into a deduplicated
+// DAG of evaluation tasks, before any model-dependent work runs.
+//
+// Planning is purely syntactic (it sees only parsed ASTs), so it lives in
+// pctl::; execution belongs to the layer that owns a model (mc::Checker
+// compiles and runs plans, the AnalysisEngine plans across every property
+// of a request). A plan decomposes properties into:
+//
+//   - masks: deduplicated state subformulas (atom masks). Two properties
+//     mentioning the same phi/psi — by structure, not text — share one
+//     evaluation. Normalization folds double negation, so "G<=T !flag" and
+//     "F<=T flag" resolve to the same mask.
+//   - columns: bounded-path traversal columns. Every bounded
+//     until/finally/globally/next formula becomes a readout of one column
+//     of a shared masked SpMM traversal (la::spmmMasked); columns with the
+//     same (phi, psi, masked) key are deduplicated, so the same "U<=T" body
+//     at two thresholds advances ONCE and is sampled at both bounds.
+//   - transients: R=?[I=T] / R=?[C<=T] entries sharing one forward sweep
+//     (the horizon batching mc::TransientSweep proved out), with reward
+//     structures deduplicated by name.
+//   - singles: everything else (unbounded operators, steady state,
+//     reachability rewards) — independent tasks; structurally identical
+//     singles run once, repeats copy the representative's result.
+//
+// PlanStats quantifies the win: tasksPlanned counts distinct tasks that
+// will execute, tasksDeduped counts requests satisfied by an existing
+// identical task, traversalsSaved counts the per-step matrix traversals
+// batching avoids versus per-formula evaluation (sum of bounds minus the
+// shared maximum, per group).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pctl/ast.hpp"
+
+namespace mimostat::pctl {
+
+struct PlanOptions {
+  /// Group bounded path formulas (U<=k / F<=k / G<=k / X) into one masked
+  /// SpMM traversal; off = each becomes an independent single task.
+  bool batchBounded = true;
+  /// Group R=?[I=T] / R=?[C<=T] into one transient sweep; off = singles.
+  bool batchTransients = true;
+};
+
+struct PlanStats {
+  /// Distinct tasks the plan will execute: masks + traversal columns +
+  /// reward vectors + one task per non-empty group + singles.
+  std::uint64_t tasksPlanned = 0;
+  /// Task requests satisfied by an already-planned identical task (shared
+  /// masks, shared traversal columns, shared reward vectors).
+  std::uint64_t tasksDeduped = 0;
+  /// Per-step matrix traversals avoided versus per-formula evaluation:
+  /// sum over group members of their individual step counts, minus the
+  /// steps the shared traversal actually takes.
+  std::uint64_t traversalsSaved = 0;
+};
+
+struct EvalPlan {
+  /// Mask slot meaning "no constraint" (phi = true).
+  static constexpr std::size_t kNoMask = static_cast<std::size_t>(-1);
+
+  /// Deduplicated state subformulas, each evaluated once per plan run.
+  std::vector<StateFormulaPtr> masks;
+
+  /// One column of the shared bounded traversal.
+  struct Column {
+    std::size_t phiMask = kNoMask;  ///< kNoMask = unconstrained (finally)
+    std::size_t psiMask = 0;
+    /// true: frozen/absorbing per-state masks apply (until semantics);
+    /// false: pure propagation (the X operator's single step).
+    bool masked = true;
+    /// Furthest readout on this column (the traversal advances to the max
+    /// over all columns).
+    std::uint64_t steps = 0;
+  };
+  std::vector<Column> columns;
+
+  /// One bounded/next property's answer: column `column` sampled at step
+  /// `bound`, optionally complemented (G<=k phi = 1 - F<=k !phi).
+  struct BoundedReadout {
+    std::size_t property = 0;  ///< index into the planned property list
+    std::size_t column = 0;
+    std::uint64_t bound = 0;
+    bool complement = false;
+  };
+  std::vector<BoundedReadout> bounded;
+
+  /// Deduplicated reward structure names for the transient group.
+  std::vector<std::string> rewardNames;
+  struct TransientEntry {
+    std::size_t property = 0;
+    std::size_t reward = 0;  ///< index into rewardNames
+    bool cumulative = false;
+    std::uint64_t bound = 0;
+  };
+  std::vector<TransientEntry> transients;
+
+  /// Properties executed as independent tasks (one representative per
+  /// structurally distinct property).
+  std::vector<std::size_t> singles;
+  /// Structurally identical repeats of singles, as (property,
+  /// representative) pairs — the representative (a member of `singles`)
+  /// runs once and its result is copied. Exact evaluation is
+  /// deterministic, so the copy equals a recompute bit for bit.
+  std::vector<std::pair<std::size_t, std::size_t>> singleDuplicates;
+
+  PlanStats stats;
+
+  /// Steps the shared bounded traversal advances (max column readout).
+  [[nodiscard]] std::uint64_t boundedSteps() const;
+  /// Steps the shared transient sweep advances (max horizon; cumulative
+  /// horizons sample through step bound-1).
+  [[nodiscard]] std::uint64_t transientSteps() const;
+};
+
+/// Compile a property list into a deduplicated evaluation plan. Purely
+/// syntactic — never touches a model, never throws on semantic problems
+/// (unknown atoms surface when the plan is executed).
+[[nodiscard]] EvalPlan buildPlan(const std::vector<Property>& properties,
+                                 const PlanOptions& options = {});
+
+}  // namespace mimostat::pctl

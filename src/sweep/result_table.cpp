@@ -188,7 +188,8 @@ void ResultTable::writeCsv(std::ostream& os,
   os << "point";
   for (const auto& name : paramNames_) os << ',' << csvEscape(name);
   os << ",property,value,satisfied,backend,states,transitions,samples,"
-        "batched,ci_low,ci_high,error";
+        "batched,tasks_planned,tasks_deduped,traversals_saved,"
+        "ci_low,ci_high,error";
   if (options.diagnostics) {
     os << ",cache_hit,build_seconds,check_seconds,solver,solver_iterations,"
           "solver_residual,solver_converged";
@@ -205,6 +206,8 @@ void ResultTable::writeCsv(std::ostream& os,
     os << ',' << engine::backendName(row.backend);
     os << ',' << row.states << ',' << row.transitions << ',' << row.samples;
     os << ',' << (row.batched ? "true" : "false");
+    os << ',' << row.plan.tasksPlanned << ',' << row.plan.tasksDeduped << ','
+       << row.plan.traversalsSaved;
     if (row.interval95) {
       os << ',' << formatDouble(row.interval95->low) << ','
          << formatDouble(row.interval95->high);
@@ -249,6 +252,9 @@ void ResultTable::writeJson(std::ostream& os,
     os << ",\"transitions\":" << row.transitions;
     os << ",\"samples\":" << row.samples;
     os << ",\"batched\":" << (row.batched ? "true" : "false");
+    os << ",\"plan\":{\"tasksPlanned\":" << row.plan.tasksPlanned
+       << ",\"tasksDeduped\":" << row.plan.tasksDeduped
+       << ",\"traversalsSaved\":" << row.plan.traversalsSaved << '}';
     os << ",\"interval95\":";
     if (row.interval95) {
       os << '[' << jsonNumber(row.interval95->low) << ','

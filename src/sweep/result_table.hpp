@@ -21,6 +21,7 @@
 #include "core/report.hpp"
 #include "engine/request.hpp"
 #include "la/solver.hpp"
+#include "pctl/plan.hpp"
 #include "stats/intervals.hpp"
 #include "sweep/param_space.hpp"
 
@@ -42,8 +43,15 @@ struct ResultRow {
   std::uint64_t samples = 0;
   /// Present for fixed-sample-size sampled estimates.
   std::optional<stats::Interval> interval95;
-  /// Answered from a shared batched horizon sweep.
+  /// Answered from an evaluation-plan task shared with at least one
+  /// sibling (multi-horizon transient sweep or multi-column masked bounded
+  /// traversal).
   bool batched = false;
+  /// The serving request's evaluation-plan counters (tasksPlanned,
+  /// tasksDeduped, traversalsSaved) — identical across rows of one
+  /// coalesced request, deterministic for a fixed property set. Exact
+  /// backend only (zeros when sampled or failed).
+  pctl::PlanStats plan;
   /// Iterative-solver report when the exact backend ran one for this row
   /// (unbounded operators, R=?[F psi], R=?[S]); absent otherwise. The
   /// solver's name travels inside (SolveStats::solver).

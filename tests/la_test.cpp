@@ -280,6 +280,156 @@ TEST(Spmm, MatchesPerVectorSpmvBitwise) {
   }
 }
 
+// ----------------------------------------------------------- masked SpMM
+
+/// Reference masked update: per column j, frozen entries keep X, the rest
+/// take the plain per-column SpMV value.
+std::vector<double> maskedReference(const la::CsrMatrix& m,
+                                    const std::vector<double>& X,
+                                    std::size_t k,
+                                    const std::vector<std::uint8_t>& mask) {
+  const std::uint32_t n = m.numRows();
+  std::vector<double> Y(X.size());
+  for (std::size_t j = 0; j < k; ++j) {
+    std::vector<double> x(n);
+    for (std::uint32_t s = 0; s < n; ++s) x[s] = X[s * k + j];
+    std::vector<double> y;
+    la::spmv(m, x, y);
+    for (std::uint32_t s = 0; s < n; ++s) {
+      Y[s * k + j] = mask[s * k + j] ? X[s * k + j] : y[s];
+    }
+  }
+  return Y;
+}
+
+TEST(SpmmMasked, FrozenEntriesKeepXAndLiveEntriesMatchSpmvBitwise) {
+  const std::uint32_t n = 300;
+  const std::size_t k = 5;
+  const DenseCsr m = randomMatrix(n, 6, 211);
+  std::vector<double> X(static_cast<std::size_t>(n) * k);
+  std::vector<std::uint8_t> mask(X.size());
+  util::Xoshiro256 rng(97);
+  for (std::size_t i = 0; i < X.size(); ++i) {
+    X[i] = rng.nextDouble();
+    mask[i] = rng.nextDouble() < 0.3 ? 1 : 0;
+  }
+  std::vector<double> Y;
+  la::spmmMasked(m.csr, X, k, mask, Y);
+  EXPECT_TRUE(bitEqual(Y, maskedReference(m.csr, X, k, mask)));
+
+  // The all-zero mask degenerates to plain spmm.
+  std::fill(mask.begin(), mask.end(), 0);
+  std::vector<double> plain;
+  la::spmm(m.csr, X, k, plain);
+  la::spmmMasked(m.csr, X, k, mask, Y);
+  EXPECT_TRUE(bitEqual(Y, plain));
+
+  // spmmLeftMasked freezes over the transpose product the same way.
+  std::fill(mask.begin(), mask.end(), 0);
+  for (std::size_t i = 0; i < mask.size(); i += 7) mask[i] = 1;
+  std::vector<double> leftPlain;
+  la::spmmLeft(m.csr, X, k, leftPlain);
+  std::vector<double> leftMasked;
+  la::spmmLeftMasked(m.csr, X, k, mask, leftMasked);
+  for (std::size_t i = 0; i < leftMasked.size(); ++i) {
+    const double expect = mask[i] ? X[i] : leftPlain[i];
+    EXPECT_EQ(leftMasked[i], expect) << i;
+  }
+}
+
+TEST(SpmmMasked, BitIdenticalAcrossPoolSizes) {
+  const std::uint32_t n = 5000;
+  const std::size_t k = 4;
+  const DenseCsr m = randomMatrix(n, 8, 223);
+  ASSERT_GE(m.csr.blockCount(), 2u);
+  std::vector<double> X(static_cast<std::size_t>(n) * k);
+  std::vector<std::uint8_t> mask(X.size());
+  for (std::size_t i = 0; i < X.size(); ++i) {
+    X[i] = static_cast<double>((i * 2654435761u) % 1000) / 997.0;
+    mask[i] = (i * 40503u) % 5 == 0 ? 1 : 0;
+  }
+  std::vector<double> seq;
+  la::spmmMasked(m.csr, X, k, mask, seq);
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    engine::ThreadPool pool(threads);
+    std::vector<double> Y;
+    la::spmmMasked(m.csr, X, k, mask, Y, poolExec(pool));
+    EXPECT_TRUE(bitEqual(Y, seq)) << threads << " threads";
+  }
+}
+
+// ------------------------------------------------------ KeepOrientation
+
+TEST(CsrMatrix, TransposeOnlyDropsOriginalWithClearErrors) {
+  const DenseCsr m = randomMatrix(200, 5, 229);
+  la::CsrMatrix tOnly = la::CsrMatrix::fromCsr(
+      m.csr.rowPtr(), m.csr.col(), m.csr.val(), m.csr.numCols(),
+      la::KeepOrientation::kTransposeOnly);
+  EXPECT_FALSE(tOnly.hasOriginal());
+  EXPECT_TRUE(tOnly.hasTranspose());
+  // Counts survive the drop (rowPtr stays resident).
+  EXPECT_EQ(tOnly.numRows(), m.csr.numRows());
+  EXPECT_EQ(tOnly.numNonZeros(), m.csr.numNonZeros());
+  // Dropped-orientation access fails loudly, never silently.
+  EXPECT_THROW(tOnly.col(), std::logic_error);
+  EXPECT_THROW(tOnly.val(), std::logic_error);
+  const std::vector<double> x = randomVector(200, 31);
+  std::vector<double> y;
+  EXPECT_THROW(la::spmv(tOnly, x, y), std::logic_error);
+  std::vector<double> X(x), Y;
+  std::vector<std::uint8_t> mask(x.size(), 0);
+  EXPECT_THROW(la::spmmMasked(tOnly, X, 1, mask, Y), std::logic_error);
+
+  // Left products still work and stay bitwise-equal to the both-orientation
+  // matrix (the sparse scatter fast path needs the original, so the
+  // transpose-only matrix must fall back to the bitwise-identical gather).
+  std::vector<double> yBoth;
+  la::spmvLeft(m.csr, x, yBoth);
+  la::spmvLeft(tOnly, x, y);
+  EXPECT_TRUE(bitEqual(y, yBoth));
+  std::vector<double> pointMass(200, 0.0);
+  pointMass[7] = 1.0;
+  la::spmvLeft(m.csr, pointMass, yBoth);
+  la::spmvLeft(tOnly, pointMass, y);
+  EXPECT_TRUE(bitEqual(y, yBoth));
+}
+
+TEST(CsrMatrix, OriginalOnlyRefusesTransposedAccess) {
+  const DenseCsr m = randomMatrix(100, 4, 233);
+  la::CsrMatrix oOnly = la::CsrMatrix::fromCsr(
+      m.csr.rowPtr(), m.csr.col(), m.csr.val(), m.csr.numCols(),
+      la::KeepOrientation::kOriginalOnly);
+  EXPECT_TRUE(oOnly.hasOriginal());
+  EXPECT_FALSE(oOnly.hasTranspose());
+  EXPECT_THROW(oOnly.transposed(), std::logic_error);
+  const std::vector<double> x = randomVector(100, 37);
+  std::vector<double> y;
+  EXPECT_THROW(la::spmvLeft(oOnly, x, y), std::logic_error);
+  la::spmv(oOnly, x, y);  // right products unaffected
+  std::vector<double> yBoth;
+  la::spmv(m.csr, x, yBoth);
+  EXPECT_TRUE(bitEqual(y, yBoth));
+}
+
+TEST(CsrMatrix, ApproxBytesReflectsDroppedOrientations) {
+  const DenseCsr m = randomMatrix(300, 6, 239);
+  const auto bytes = [&](la::KeepOrientation keep) {
+    return la::CsrMatrix::fromCsr(m.csr.rowPtr(), m.csr.col(), m.csr.val(),
+                                  m.csr.numCols(), keep)
+        .approxBytes();
+  };
+  const std::uint64_t both = bytes(la::KeepOrientation::kBoth);
+  const std::uint64_t originalOnly = bytes(la::KeepOrientation::kOriginalOnly);
+  const std::uint64_t transposeOnly =
+      bytes(la::KeepOrientation::kTransposeOnly);
+  EXPECT_EQ(both, m.csr.approxBytes());
+  EXPECT_LT(originalOnly, both);
+  EXPECT_LT(transposeOnly, both);
+  // The transpose-only build keeps the original rowPtr alongside the full
+  // transpose, so it sits between the single- and double-residency sizes.
+  EXPECT_GT(transposeOnly, originalOnly);
+}
+
 // ---------------------------------------------------------- determinism
 
 TEST(Spmv, BitIdenticalAcrossPoolSizes) {
@@ -457,6 +607,78 @@ TEST(Jacobi, BitIdenticalAcrossPoolSizes) {
   }
 }
 
+TEST(GaussSeidelRB, ConvergesToSameFixedPointAsGaussSeidel) {
+  auto model = test::gamblersRuin(80, 0.45, 40);
+  const auto d = dtmc::buildExplicit(model).dtmc;
+  const auto varIdx = d.varLayout().indexOf("s");
+  std::vector<std::uint8_t> psi(d.numStates(), 0);
+  for (std::uint32_t s = 0; s < d.numStates(); ++s) {
+    psi[s] = d.varValue(s, varIdx) == 80;
+  }
+  mc::ReachOptions rb;
+  rb.solver = la::SolverKind::kGaussSeidelRB;
+  const mc::ReachResult viaRb = mc::reachProb(d, psi, rb);
+  const mc::ReachResult viaGs = mc::reachProb(d, psi);
+  const mc::ReachResult viaJacobi = [&] {
+    mc::ReachOptions jo;
+    jo.solver = la::SolverKind::kJacobi;
+    return mc::reachProb(d, psi, jo);
+  }();
+  ASSERT_TRUE(viaRb.converged);
+  EXPECT_EQ(viaRb.solver, "gauss-seidel-rb");
+  // Red-black couples the two colors within a sweep, so it should not need
+  // more iterations than pure Jacobi to pass the same threshold.
+  EXPECT_LE(viaRb.iterations, viaJacobi.iterations);
+  ASSERT_EQ(viaRb.stateValues.size(), viaGs.stateValues.size());
+  for (std::size_t s = 0; s < viaGs.stateValues.size(); ++s) {
+    EXPECT_NEAR(viaRb.stateValues[s], viaGs.stateValues[s], 1e-9) << s;
+  }
+}
+
+TEST(GaussSeidelRB, BitIdenticalAcrossPoolSizes) {
+  // 30k active rows -> several chunks of both colors; a bounded iteration
+  // budget keeps the test fast (determinism, not convergence, is asserted).
+  const std::uint32_t n = 30'000;
+  const la::CsrMatrix P = birthDeathCsr(n, 0.45);
+  std::vector<std::uint32_t> active;
+  for (std::uint32_t s = 1; s + 1 < n; ++s) active.push_back(s);
+  la::SolverOptions options;
+  options.epsilon = 1e-12;
+  options.maxIterations = 300;
+  const la::GaussSeidelRB solver;
+
+  std::vector<double> seq(n, 0.0);
+  seq[n - 1] = 1.0;
+  const la::SolveStats seqStats =
+      solver.solve(P, active, nullptr, seq, options);
+  EXPECT_EQ(seqStats.iterations, 300u);  // diffusion is slow: budget-bound
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    engine::ThreadPool pool(threads);
+    std::vector<double> x(n, 0.0);
+    x[n - 1] = 1.0;
+    const la::SolveStats stats =
+        solver.solve(P, active, nullptr, x, options, poolExec(pool));
+    EXPECT_EQ(stats.iterations, seqStats.iterations) << threads;
+    EXPECT_EQ(stats.residual, seqStats.residual) << threads;
+    EXPECT_TRUE(bitEqual(x, seq)) << threads;
+  }
+}
+
+TEST(GaussSeidelRB, SelectableThroughCheckOptions) {
+  const auto model = test::gamblersRuin(40, 0.45, 20);
+  const auto d = dtmc::buildExplicit(model).dtmc;
+  mc::CheckOptions options;
+  options.linearSolver = la::SolverKind::kGaussSeidelRB;
+  const mc::Checker checker(d, model, options);
+  const mc::CheckResult rb = checker.check("P=? [ F s=40 ]");
+  ASSERT_TRUE(rb.solver.has_value());
+  EXPECT_EQ(rb.solver->solver, "gauss-seidel-rb");
+  const mc::Checker gsChecker(d, model);
+  const mc::CheckResult gs = gsChecker.check("P=? [ F s=40 ]");
+  EXPECT_NEAR(rb.value, gs.value, 1e-9);
+}
+
 TEST(GaussSeidel, KnownChainGamblersRuin) {
   // p = 1/2 gambler's ruin on 0..10 from 4: P(hit 10 before 0) = 4/10.
   auto model = test::gamblersRuin(10, 0.5, 4);
@@ -467,7 +689,8 @@ TEST(GaussSeidel, KnownChainGamblersRuin) {
     psi[s] = d.varValue(s, varIdx) == 10;
   }
   for (const la::SolverKind kind :
-       {la::SolverKind::kGaussSeidel, la::SolverKind::kJacobi}) {
+       {la::SolverKind::kGaussSeidel, la::SolverKind::kJacobi,
+        la::SolverKind::kGaussSeidelRB}) {
     mc::ReachOptions options;
     options.solver = kind;
     const mc::ReachResult reach = mc::reachProb(d, psi, options);

@@ -241,6 +241,10 @@ TEST(SweepRunner, SharedModelCoalescesIntoOneBatchedRequest) {
   EXPECT_EQ(eng.buildCount(), 1u);
   for (const auto& row : table.rows()) {
     EXPECT_TRUE(row.batched) << "horizons of a shared model share one sweep";
+    // The serving request's plan counters ride into every row: horizons
+    // 5..45 share one sweep of 45 steps (5+15+25+35 = 80 steps saved).
+    EXPECT_EQ(row.plan.traversalsSaved, 80u);
+    EXPECT_GT(row.plan.tasksPlanned, 0u);
   }
 
   // Turning coalescing off gives per-point requests with identical values
