@@ -241,6 +241,7 @@ std::vector<std::uint32_t> BddManager::support(NodeRef f) {
     stack.push_back(nodes_[r].low);
     stack.push_back(nodes_[r].high);
   }
+  // lint:allow(unordered-iteration: copied out and immediately sorted)
   std::vector<std::uint32_t> result(vars.begin(), vars.end());
   std::sort(result.begin(), result.end());
   return result;

@@ -109,7 +109,7 @@ BuildResult buildExplicit(const Model& model, const BuildOptions& options) {
   const double w = 1.0 / static_cast<double>(initialIdx.size());
   for (const auto idx : initialIdx) raw.initial[idx] += w;
 
-  BuildResult result{ExplicitDtmc::fromRaw(std::move(raw)),
+  BuildResult result{ExplicitDtmc::fromRaw(std::move(raw), options.orientation),
                      reachabilityIterations, timer.elapsedSeconds()};
   MS_LOG_INFO("buildExplicit: %u states, %llu transitions, RI=%u, %.2fs",
               result.dtmc.numStates(),

@@ -7,14 +7,13 @@
 
 namespace mimostat::dtmc {
 
-ExplicitDtmc ExplicitDtmc::fromRaw(Raw raw) {
+ExplicitDtmc ExplicitDtmc::fromRaw(Raw raw, la::KeepOrientation keep) {
   ExplicitDtmc d;
   assert(!raw.rowPtr.empty());
   assert(raw.initial.size() == raw.rowPtr.size() - 1);
   const auto numStates = static_cast<std::uint32_t>(raw.rowPtr.size() - 1);
   d.matrix_ = la::CsrMatrix::fromCsr(std::move(raw.rowPtr), std::move(raw.col),
-                                     std::move(raw.val), numStates,
-                                     /*withTranspose=*/true);
+                                     std::move(raw.val), numStates, keep);
   d.initial_ = std::move(raw.initial);
   d.states_ = std::move(raw.states);
   d.layout_ = std::move(raw.layout);

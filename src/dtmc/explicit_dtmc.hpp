@@ -94,7 +94,12 @@ class ExplicitDtmc {
     std::vector<State> states;
     VarLayout layout;
   };
-  static ExplicitDtmc fromRaw(Raw raw);
+  /// `keep` controls which CSR orientations stay resident (see
+  /// la::KeepOrientation); a dropped orientation's accessors throw, and
+  /// checkers that need it refuse with a clear error instead of rebuilding.
+  static ExplicitDtmc fromRaw(Raw raw,
+                              la::KeepOrientation keep =
+                                  la::KeepOrientation::kBoth);
 
  private:
   la::CsrMatrix matrix_;

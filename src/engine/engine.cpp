@@ -39,14 +39,24 @@ stats::Interval meanInterval95(const stats::RunningStats& stats) {
 }
 
 /// Cache keys fold build options that change the built matrix (probFloor
-/// drops and renormalizes transitions) into the structural signature, so
-/// requests with different build options never share an entry.
+/// drops and renormalizes transitions; orientation drops CSR arrays a
+/// checker may require) into the structural signature, so requests with
+/// different build options never share an entry — a kBoth request must
+/// never be served a cached transpose-only matrix.
 std::uint64_t cacheKeyFor(std::uint64_t signatureHash,
                           const dtmc::BuildOptions& buildOptions) {
-  if (buildOptions.probFloor == 0.0) return signatureHash;
-  std::uint64_t floorBits = 0;
-  std::memcpy(&floorBits, &buildOptions.probFloor, sizeof(floorBits));
-  return util::hashCombine(signatureHash, util::mix64(floorBits));
+  std::uint64_t key = signatureHash;
+  if (buildOptions.probFloor != 0.0) {
+    std::uint64_t floorBits = 0;
+    std::memcpy(&floorBits, &buildOptions.probFloor, sizeof(floorBits));
+    key = util::hashCombine(key, util::mix64(floorBits));
+  }
+  if (buildOptions.orientation != la::KeepOrientation::kBoth) {
+    key = util::hashCombine(
+        key, util::mix64(static_cast<std::uint64_t>(buildOptions.orientation) +
+                         0x5EEDu));
+  }
+  return key;
 }
 
 }  // namespace
@@ -97,7 +107,11 @@ std::size_t AnalysisEngine::cachedModelCount() const {
 }
 
 EngineStats AnalysisEngine::stats() const {
-  const std::lock_guard<std::mutex> lock(cacheMutex_);
+  // The one sanctioned read path for the cacheMutex_-guarded counters: a
+  // snapshot under the lock, so a stats() racing an eviction or a build
+  // completion can never observe a half-updated (cachedModels, cacheBytes)
+  // pair. buildCount()/cacheHitCount()/cachedModelCount() all route here.
+  const util::MutexLock lock(cacheMutex_);
   EngineStats stats;
   stats.builds = buildCount_;
   stats.cacheHits = cacheHits_;
@@ -107,7 +121,7 @@ EngineStats AnalysisEngine::stats() const {
 }
 
 void AnalysisEngine::clearModelCache() {
-  const std::lock_guard<std::mutex> lock(cacheMutex_);
+  const util::MutexLock lock(cacheMutex_);
   modelCache_.clear();
   cacheBytes_ = 0;
 }
@@ -150,22 +164,25 @@ std::shared_ptr<const BuiltModel> AnalysisEngine::ensureBuilt(
   }
 
   std::promise<std::shared_ptr<const BuiltModel>> promise;
+  std::shared_future<std::shared_ptr<const BuiltModel>> joined;
   {
-    std::unique_lock<std::mutex> lock(cacheMutex_);
+    const util::MutexLock lock(cacheMutex_);
     const auto it = modelCache_.find(*key);
     if (it != modelCache_.end()) {
       ++cacheHits_;
       it->second.lastUsed = ++useCounter_;
-      auto future = it->second.future;
-      lock.unlock();
-      if (cacheHit != nullptr) *cacheHit = true;
-      return future.get();  // waits for an in-flight build; rethrows failures
+      joined = it->second.future;
+    } else {
+      ++buildCount_;
+      CacheSlot slot;
+      slot.future = promise.get_future().share();
+      slot.lastUsed = ++useCounter_;
+      modelCache_.emplace(*key, std::move(slot));
     }
-    ++buildCount_;
-    CacheSlot slot;
-    slot.future = promise.get_future().share();
-    slot.lastUsed = ++useCounter_;
-    modelCache_.emplace(*key, std::move(slot));
+  }
+  if (joined.valid()) {
+    if (cacheHit != nullptr) *cacheHit = true;
+    return joined.get();  // waits for an in-flight build; rethrows failures
   }
 
   try {
@@ -177,7 +194,7 @@ std::shared_ptr<const BuiltModel> AnalysisEngine::ensureBuilt(
     built->signature = *key;
     built->approxBytes = approxDtmcBytes(built->dtmc);
     promise.set_value(built);
-    const std::lock_guard<std::mutex> lock(cacheMutex_);
+    const util::MutexLock lock(cacheMutex_);
     // The slot may already be gone if a concurrent eviction pass raced past
     // this build's completion; account its bytes only while resident.
     const auto slot = modelCache_.find(*key);
@@ -194,7 +211,7 @@ std::shared_ptr<const BuiltModel> AnalysisEngine::ensureBuilt(
     // of the same key may have recorded its size here — keep cacheBytes_
     // consistent either way.
     {
-      const std::lock_guard<std::mutex> lock(cacheMutex_);
+      const util::MutexLock lock(cacheMutex_);
       const auto it = modelCache_.find(*key);
       if (it != modelCache_.end()) {
         cacheBytes_ -= it->second.bytes;
@@ -236,7 +253,7 @@ AnalysisResponse AnalysisEngine::analyze(const AnalysisRequest& request) {
     if (backend == Backend::kAuto) {
       bool cached = false;
       {
-        const std::lock_guard<std::mutex> lock(cacheMutex_);
+        const util::MutexLock lock(cacheMutex_);
         cached = modelCache_.find(key) != modelCache_.end();
       }
       backend = (cached || (sig.exact && sig.states <= options.stateBudget))

@@ -38,7 +38,6 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -53,6 +52,8 @@
 #include "engine/thread_pool.hpp"
 #include "pctl/ast.hpp"
 #include "pctl/property_cache.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace mimostat::engine {
 
@@ -166,24 +167,28 @@ class AnalysisEngine {
   };
 
   /// Evict ready LRU entries down to the entry-count and byte budgets.
-  /// Caller holds cacheMutex_.
-  void evictLocked();
+  void evictLocked() MIMOSTAT_REQUIRES(cacheMutex_);
 
   AnalysisResponse analyzeExact(const AnalysisRequest& request,
                                 std::uint64_t key);
   AnalysisResponse analyzeSampling(const AnalysisRequest& request,
                                    std::uint64_t key);
 
+  /// Set in the constructor, immutable afterwards.
+  /// lint:allow(guarded-by: constructor-initialized, read-only after)
   EngineOptions options_;
+  /// lint:allow(guarded-by: constructor-initialized, read-only after)
   pctl::PropertyCache* propertyCache_;
+  /// Internally synchronized. lint:allow(guarded-by: owns its own mutex)
   ThreadPool pool_;
 
-  mutable std::mutex cacheMutex_;
-  std::unordered_map<std::uint64_t, CacheSlot> modelCache_;
-  std::uint64_t useCounter_ = 0;
-  std::uint64_t buildCount_ = 0;
-  std::uint64_t cacheHits_ = 0;
-  std::uint64_t cacheBytes_ = 0;
+  mutable util::Mutex cacheMutex_;
+  std::unordered_map<std::uint64_t, CacheSlot> modelCache_
+      MIMOSTAT_GUARDED_BY(cacheMutex_);
+  std::uint64_t useCounter_ MIMOSTAT_GUARDED_BY(cacheMutex_) = 0;
+  std::uint64_t buildCount_ MIMOSTAT_GUARDED_BY(cacheMutex_) = 0;
+  std::uint64_t cacheHits_ MIMOSTAT_GUARDED_BY(cacheMutex_) = 0;
+  std::uint64_t cacheBytes_ MIMOSTAT_GUARDED_BY(cacheMutex_) = 0;
 };
 
 /// Lazily constructed process-wide engine (used by the

@@ -1,10 +1,30 @@
 #include "engine/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <string>
 
 namespace mimostat::engine {
 
+namespace {
+
+/// MIMOSTAT_THREADS as a pool-size override for threads == 0 constructions
+/// (unset, empty, non-numeric or 0 values are ignored). CI's TSan job uses
+/// it to force an 8-thread pool on every default-constructed engine.
+std::size_t envThreadOverride() {
+  // Read once, during pool construction, before any worker exists.
+  const char* env = std::getenv("MIMOSTAT_THREADS");  // NOLINT(concurrency-mt-unsafe)
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(env, &end, 10);
+  if (end == env || (end != nullptr && *end != '\0')) return 0;
+  return static_cast<std::size_t>(value);
+}
+
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = envThreadOverride();
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
@@ -16,18 +36,19 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     stop_ = true;
   }
   wake_.notify_all();
   for (std::thread& worker : workers_) worker.join();
 }
 
-bool ThreadPool::runOneTask(std::unique_lock<std::mutex>& lock, Batch* batch) {
+bool ThreadPool::runOneTask(Batch* batch) {
   std::shared_ptr<Batch> owner;
   if (batch == nullptr) {
     // Drop exhausted batches, then pick the oldest one with pending tasks.
-    while (!queue_.empty() && queue_.front()->next >= queue_.front()->tasks.size()) {
+    while (!queue_.empty() &&
+           queue_.front()->next >= queue_.front()->tasks.size()) {
       queue_.pop_front();
     }
     if (queue_.empty()) return false;
@@ -37,25 +58,25 @@ bool ThreadPool::runOneTask(std::unique_lock<std::mutex>& lock, Batch* batch) {
   if (batch->next >= batch->tasks.size()) return false;
 
   const std::size_t idx = batch->next++;
-  lock.unlock();
+  mutex_.unlock();
   try {
     batch->tasks[idx]();
   } catch (...) {
-    lock.lock();
+    mutex_.lock();
     if (!batch->error) batch->error = std::current_exception();
-    lock.unlock();
+    mutex_.unlock();
   }
-  lock.lock();
+  mutex_.lock();
   if (++batch->done == batch->tasks.size()) batch->finished.notify_all();
   return true;
 }
 
 void ThreadPool::workerLoop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   while (true) {
-    if (runOneTask(lock, nullptr)) continue;
+    if (runOneTask(nullptr)) continue;
     if (stop_) return;
-    wake_.wait(lock);
+    wake_.wait(mutex_);
   }
 }
 
@@ -64,14 +85,14 @@ void ThreadPool::run(std::vector<std::function<void()>> tasks) {
   auto batch = std::make_shared<Batch>();
   batch->tasks = std::move(tasks);
 
-  std::unique_lock<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   queue_.push_back(batch);
   wake_.notify_all();
 
   // Help drain our own batch, then wait for in-flight stragglers.
-  while (runOneTask(lock, batch.get())) {
+  while (runOneTask(batch.get())) {
   }
-  batch->finished.wait(lock,
+  batch->finished.wait(mutex_,
                        [&] { return batch->done == batch->tasks.size(); });
   if (batch->error) std::rethrow_exception(batch->error);
 }
@@ -80,7 +101,7 @@ void ThreadPool::post(std::function<void()> task) {
   auto batch = std::make_shared<Batch>();
   batch->tasks.push_back(std::move(task));
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     queue_.push_back(std::move(batch));
   }
   wake_.notify_one();

@@ -8,26 +8,33 @@
 //
 // Determinism contract: the pool never reorders results because callers
 // write into pre-assigned slots; scheduling order is irrelevant.
+//
+// Locking discipline (machine-checked under -Wthread-safety): queue_ and
+// stop_ are guarded by mutex_, and every function that touches a Batch's
+// mutable cursors (next/done/error) requires mutex_ — Batch objects are only
+// ever manipulated through the owning pool's lock, which is why the fields
+// themselves need no per-batch mutex.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
-#include <utility>
 #include <vector>
 
 #include "la/exec.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace mimostat::engine {
 
 class ThreadPool {
  public:
-  /// threads == 0 picks std::thread::hardware_concurrency().
+  /// threads == 0 picks the MIMOSTAT_THREADS environment variable when set
+  /// (how CI's TSan job forces an 8-thread pool on any host), otherwise
+  /// std::thread::hardware_concurrency().
   explicit ThreadPool(std::size_t threads = 0);
   ~ThreadPool();
 
@@ -39,30 +46,38 @@ class ThreadPool {
   /// Run every task, blocking until all are done. The caller participates in
   /// executing its own batch. The first exception thrown by a task is
   /// rethrown here after the batch completes.
-  void run(std::vector<std::function<void()>> tasks);
+  void run(std::vector<std::function<void()>> tasks) MIMOSTAT_EXCLUDES(mutex_);
 
-  /// Enqueue one task without waiting for it.
-  void post(std::function<void()> task);
+  /// Enqueue one task without waiting for it. The destructor drains every
+  /// queued task before joining, so posted work always runs.
+  void post(std::function<void()> task) MIMOSTAT_EXCLUDES(mutex_);
 
  private:
   struct Batch {
+    /// Immutable after construction (set before the batch is published).
     std::vector<std::function<void()>> tasks;
-    std::size_t next = 0;  // guarded by the pool mutex
+    // next/done/error are guarded by the owning pool's mutex_ — enforced by
+    // MIMOSTAT_REQUIRES(mutex_) on every member function that touches them
+    // (the analysis cannot alias a member-of-member guard expression).
+    std::size_t next = 0;
     std::size_t done = 0;
     std::exception_ptr error;
-    std::condition_variable finished;
+    util::CondVar finished;
   };
 
-  void workerLoop();
+  void workerLoop() MIMOSTAT_EXCLUDES(mutex_);
   /// Pop-and-run one task from `batch` (or any queued batch when null).
-  /// Returns false when there was nothing to run.
-  bool runOneTask(std::unique_lock<std::mutex>& lock, Batch* batch);
+  /// Returns false when there was nothing to run. The mutex is released
+  /// around the task body and re-acquired before returning.
+  bool runOneTask(Batch* batch) MIMOSTAT_REQUIRES(mutex_);
 
+  /// Started in the constructor, joined in the destructor; never touched in
+  /// between. lint:allow(guarded-by: immutable while workers can observe it)
   std::vector<std::thread> workers_;
-  std::deque<std::shared_ptr<Batch>> queue_;
-  mutable std::mutex mutex_;
-  std::condition_variable wake_;
-  bool stop_ = false;
+  mutable util::Mutex mutex_;
+  std::deque<std::shared_ptr<Batch>> queue_ MIMOSTAT_GUARDED_BY(mutex_);
+  util::CondVar wake_;
+  bool stop_ MIMOSTAT_GUARDED_BY(mutex_) = false;
 };
 
 /// The canonical ThreadPool -> la::TaskRunner adapter (used by the engine's

@@ -44,11 +44,13 @@ LumpabilityReport verifyLumpable(const dtmc::ExplicitDtmc& dtmc,
     }
     const auto sig = signatureOf(s);
     double mismatch = 0.0;
+    // lint:allow(unordered-iteration: max-reduction, order-independent)
     for (const auto& [block, prob] : sig) {
       const auto it = refSig[b].find(block);
       const double refProb = it == refSig[b].end() ? 0.0 : it->second;
       mismatch = std::max(mismatch, std::fabs(prob - refProb));
     }
+    // lint:allow(unordered-iteration: max-reduction, order-independent)
     for (const auto& [block, prob] : refSig[b]) {
       if (sig.find(block) == sig.end()) {
         mismatch = std::max(mismatch, std::fabs(prob));

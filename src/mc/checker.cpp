@@ -200,6 +200,10 @@ void Checker::runBoundedGroup(
     const std::vector<std::string>& maskErrors,
     std::vector<CheckResult>& results) const {
   util::Stopwatch timer;
+  // Refuse transpose-only models before any per-column work: checkAll's
+  // group task captures this as a per-property error on every bounded
+  // readout, so sibling transient/steady properties still answer.
+  requireForwardOrientation(dtmc_, "mc::Checker (bounded group)");
   const std::uint32_t n = dtmc_.numStates();
   constexpr std::size_t kNoPos = static_cast<std::size_t>(-1);
 

@@ -7,7 +7,7 @@ namespace mimostat::pctl {
 Property PropertyCache::get(std::string_view text) {
   std::string key(text);
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     const auto it = cache_.find(key);
     if (it != cache_.end()) {
       ++hits_;
@@ -17,29 +17,29 @@ Property PropertyCache::get(std::string_view text) {
   // Parse outside the lock: parsing is pure, and a duplicate concurrent
   // parse of the same text is cheaper than serializing every parser call.
   Property property = parseProperty(text);
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   ++misses_;
   if (cache_.size() >= maxEntries_) cache_.clear();
   return cache_.emplace(std::move(key), std::move(property)).first->second;
 }
 
 std::size_t PropertyCache::size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return cache_.size();
 }
 
 std::uint64_t PropertyCache::hits() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return hits_;
 }
 
 std::uint64_t PropertyCache::misses() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return misses_;
 }
 
 void PropertyCache::clear() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   cache_.clear();
 }
 

@@ -10,12 +10,13 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 
 #include "pctl/ast.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace mimostat::pctl {
 
@@ -46,11 +47,11 @@ class PropertyCache {
   [[nodiscard]] static PropertyCache& global();
 
  private:
-  std::size_t maxEntries_;
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, Property> cache_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  const std::size_t maxEntries_;
+  mutable util::Mutex mutex_;
+  std::unordered_map<std::string, Property> cache_ MIMOSTAT_GUARDED_BY(mutex_);
+  std::uint64_t hits_ MIMOSTAT_GUARDED_BY(mutex_) = 0;
+  std::uint64_t misses_ MIMOSTAT_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace mimostat::pctl

@@ -89,6 +89,11 @@ ResultTable Runner::run(const SweepSpec& spec) const {
                               plan.properties.begin(), plan.properties.end());
   }
 
+  // Concurrency boundary: analyzeAll is the only line that fans out across
+  // threads, and it returns responses in request order regardless of
+  // scheduling. The Runner itself therefore owns no locked state — the plan
+  // assembly above and the scatter below are single-threaded, and row order
+  // (hence CSV/JSON byte order) depends only on point order.
   const std::vector<engine::AnalysisResponse> responses =
       engine_.analyzeAll(requests);
 

@@ -1,0 +1,83 @@
+// Annotated locking primitives for Clang's thread-safety analysis.
+//
+// libstdc++'s std::mutex and std::lock_guard carry no capability attributes,
+// so code locking through them is invisible to -Wthread-safety: a
+// MIMOSTAT_GUARDED_BY member would warn on every access, lock held or not.
+// util::Mutex is a zero-overhead std::mutex wrapper declared as a capability,
+// util::MutexLock the corresponding scoped guard, and util::CondVar a
+// condition variable whose wait() declares (via MIMOSTAT_REQUIRES) that the
+// caller holds the mutex it sleeps on. Every mutex-owning type in the tree
+// (engine::ThreadPool, engine::AnalysisEngine, pctl::PropertyCache) locks
+// through these so the analysis can check its GUARDED_BY claims.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace mimostat::util {
+
+/// std::mutex as a Clang thread-safety capability.
+class MIMOSTAT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() MIMOSTAT_ACQUIRE() { mutex_.lock(); }
+  void unlock() MIMOSTAT_RELEASE() { mutex_.unlock(); }
+  [[nodiscard]] bool try_lock() MIMOSTAT_TRY_ACQUIRE(true) {
+    return mutex_.try_lock();
+  }
+
+ private:
+  friend class CondVar;
+  std::mutex mutex_;
+};
+
+/// Scoped lock over util::Mutex (the annotated std::lock_guard equivalent).
+class MIMOSTAT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) MIMOSTAT_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() MIMOSTAT_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable for util::Mutex. wait() requires (and returns holding)
+/// the mutex; the release/re-acquire inside the wait happens in the standard
+/// library, outside the analysis, which matches the caller-visible contract.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mutex) MIMOSTAT_REQUIRES(mutex) {
+    std::unique_lock<std::mutex> adopted(mutex.mutex_, std::adopt_lock);
+    cv_.wait(adopted);
+    adopted.release();
+  }
+
+  template <typename Predicate>
+  void wait(Mutex& mutex, Predicate stop) MIMOSTAT_REQUIRES(mutex) {
+    std::unique_lock<std::mutex> adopted(mutex.mutex_, std::adopt_lock);
+    cv_.wait(adopted, stop);
+    adopted.release();
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace mimostat::util

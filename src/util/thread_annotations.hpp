@@ -1,0 +1,67 @@
+// Clang thread-safety-analysis attribute macros.
+//
+// The locking discipline that keeps every parallel path bit-identical to its
+// scalar reference (engine pool, la:: kernels, smc:: chunked sampling, sweep
+// coalescing) used to live in comments the compiler never read. These macros
+// make it machine-checkable: annotate a member with MIMOSTAT_GUARDED_BY(m)
+// and Clang's -Wthread-safety analysis rejects any access that does not hold
+// m; annotate a helper with MIMOSTAT_REQUIRES(m) and callers must prove they
+// hold the lock. See https://clang.llvm.org/docs/ThreadSafetyAnalysis.html.
+//
+// The analysis only runs under Clang with the MIMOSTAT_THREAD_SAFETY CMake
+// option (CI's thread-safety job builds with -Werror=thread-safety); on every
+// other compiler the macros expand to nothing, so annotated code stays
+// portable. Because libstdc++'s std::mutex carries no capability attributes,
+// annotated code must lock through util::Mutex / util::MutexLock
+// (util/mutex.hpp), the annotated wrappers the analysis understands.
+#pragma once
+
+#if defined(__clang__) && defined(MIMOSTAT_THREAD_SAFETY)
+#define MIMOSTAT_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define MIMOSTAT_THREAD_ANNOTATION__(x)
+#endif
+
+/// A type that is a lockable capability (util::Mutex).
+#define MIMOSTAT_CAPABILITY(x) MIMOSTAT_THREAD_ANNOTATION__(capability(x))
+
+/// A RAII type that acquires a capability at construction and releases it at
+/// destruction (util::MutexLock).
+#define MIMOSTAT_SCOPED_CAPABILITY MIMOSTAT_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Data member readable/writable only while holding the given capability.
+#define MIMOSTAT_GUARDED_BY(x) MIMOSTAT_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the given capability.
+#define MIMOSTAT_PT_GUARDED_BY(x) MIMOSTAT_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Function that acquires the capability and holds it on return.
+#define MIMOSTAT_ACQUIRE(...) \
+  MIMOSTAT_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/// Function that releases a held capability.
+#define MIMOSTAT_RELEASE(...) \
+  MIMOSTAT_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability when it returns `result`.
+#define MIMOSTAT_TRY_ACQUIRE(result, ...) \
+  MIMOSTAT_THREAD_ANNOTATION__(try_acquire_capability(result, __VA_ARGS__))
+
+/// Function whose caller must already hold the capability (held on entry AND
+/// still held on return; the body may release and re-acquire in between).
+#define MIMOSTAT_REQUIRES(...) \
+  MIMOSTAT_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// Function whose caller must NOT hold the capability (deadlock guard for
+/// functions that acquire it themselves).
+#define MIMOSTAT_EXCLUDES(...) \
+  MIMOSTAT_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Function returning a reference to the given capability.
+#define MIMOSTAT_RETURN_CAPABILITY(x) \
+  MIMOSTAT_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Escape hatch: the function's locking is correct for reasons the analysis
+/// cannot follow (use sparingly; say why at the use site).
+#define MIMOSTAT_NO_THREAD_SAFETY_ANALYSIS \
+  MIMOSTAT_THREAD_ANNOTATION__(no_thread_safety_analysis)

@@ -237,6 +237,7 @@ TEST(Engine, ConcurrentIdenticalRequestsAgree) {
   constexpr int kThreads = 8;
   std::vector<engine::AnalysisResponse> responses(kThreads);
   {
+    // lint:allow(raw-thread: stress test drives the engine from client threads)
     std::vector<std::thread> threads;
     threads.reserve(kThreads);
     for (int i = 0; i < kThreads; ++i) {

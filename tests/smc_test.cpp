@@ -18,6 +18,7 @@ namespace {
 /// TaskRunner for the determinism contract (merge order must not depend on
 /// execution order).
 void reverseThreadedRunner(std::vector<std::function<void()>> tasks) {
+  // lint:allow(raw-thread: adversarial runner exercises the merge contract)
   std::vector<std::thread> threads;
   threads.reserve(tasks.size());
   for (auto it = tasks.rbegin(); it != tasks.rend(); ++it) {

@@ -1,0 +1,318 @@
+#!/usr/bin/env python3
+"""Unit tests for the determinism/concurrency linter's rules engine.
+
+Feeds known-bad and known-good C++ snippets to check_invariants.check_source
+and asserts exactly which rules fire on which lines. Registered as the
+`lint_selftest` ctest so a rule regression (a rule going silent, or a fixed
+false positive coming back) fails the suite, not just CI.
+
+Run directly: python3 tools/lint/lint_selftest.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import textwrap
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import check_invariants  # noqa: E402
+
+
+def run(source: str, path: str = "src/fake/file.cpp"):
+    """check_source on a dedented snippet; returns [(line, rule), ...]."""
+    violations = check_invariants.check_source(textwrap.dedent(source), path)
+    return [(v.line, v.rule) for v in violations]
+
+
+def rules(source: str, path: str = "src/fake/file.cpp"):
+    return sorted({rule for _, rule in run(source, path)})
+
+
+class UnorderedIterationTest(unittest.TestCase):
+    def test_range_for_over_declared_unordered_map(self):
+        src = """\
+        #include <unordered_map>
+        void f() {
+          std::unordered_map<int, double> weights;
+          for (const auto& [k, v] : weights) emit(k, v);
+        }
+        """
+        self.assertEqual(run(src), [(4, "unordered-iteration")])
+
+    def test_range_for_over_unordered_set_member(self):
+        src = """\
+        struct S {
+          std::unordered_set<int> seen_;
+          void dump() {
+            for (const auto x : seen_) print(x);
+          }
+        };
+        """
+        self.assertEqual(rules(src), ["unordered-iteration"])
+
+    def test_begin_iterator_loop_flagged(self):
+        src = """\
+        std::unordered_map<int, int> memo;
+        for (auto it = memo.begin(); it != memo.end(); ++it) use(*it);
+        """
+        self.assertEqual(rules(src), ["unordered-iteration"])
+
+    def test_find_against_end_is_not_iteration(self):
+        # The .end() comparison in a find-pattern must NOT fire (the
+        # bdd/manager.cpp false positive this rule was tuned against).
+        src = """\
+        std::unordered_map<int, int> cache;
+        if (const auto it = cache.find(key); it != cache.end()) return it->second;
+        """
+        self.assertEqual(run(src), [])
+
+    def test_alias_declared_container(self):
+        src = """\
+        using SigMap = std::unordered_map<std::uint32_t, double>;
+        void f() {
+          SigMap sig;
+          for (const auto& [b, p] : sig) acc += p;
+        }
+        """
+        self.assertEqual(rules(src), ["unordered-iteration"])
+
+    def test_allow_comment_suppresses(self):
+        src = """\
+        std::unordered_set<int> vars;
+        // lint:allow(unordered-iteration: copied out and immediately sorted)
+        std::vector<int> sorted(vars.begin(), vars.end());
+        """
+        self.assertEqual(run(src), [])
+
+    def test_ordered_map_is_fine(self):
+        src = """\
+        std::map<int, int> ordered;
+        for (const auto& [k, v] : ordered) emit(k, v);
+        """
+        self.assertEqual(run(src), [])
+
+    def test_mention_in_comment_or_string_ignored(self):
+        src = """\
+        // for (auto& x : std::unordered_map<int,int>{}) — docs only
+        const char* msg = "for (x : unordered_map)";
+        """
+        self.assertEqual(run(src), [])
+
+
+class RawRngTest(unittest.TestCase):
+    def test_std_rand_flagged(self):
+        self.assertEqual(rules("int x = std::rand();"), ["raw-rng"])
+
+    def test_random_device_flagged(self):
+        self.assertEqual(rules("std::random_device rd;"), ["raw-rng"])
+
+    def test_mt19937_flagged(self):
+        self.assertEqual(rules("std::mt19937_64 gen(42);"), ["raw-rng"])
+
+    def test_srand_flagged(self):
+        self.assertEqual(rules("srand(7);"), ["raw-rng"])
+
+    def test_allowed_inside_util_rng(self):
+        # Path scoping: util/rng.{hpp,cpp} is the sanctioned home.
+        src = "std::random_device rd;"
+        self.assertEqual(run(src, path="src/util/rng.cpp"), [])
+        self.assertEqual(run(src, path="src/util/rng.hpp"), [])
+        self.assertEqual(rules(src, path="src/util/rng_test.cpp"), ["raw-rng"])
+
+    def test_allow_comment_suppresses(self):
+        src = """\
+        // lint:allow(raw-rng: seeding doc example only)
+        std::mt19937 gen;
+        """
+        self.assertEqual(run(src), [])
+
+
+class RawThreadTest(unittest.TestCase):
+    def test_std_thread_flagged(self):
+        self.assertEqual(rules("std::thread t(work);"), ["raw-thread"])
+
+    def test_jthread_flagged(self):
+        self.assertEqual(rules("std::jthread t(work);"), ["raw-thread"])
+
+    def test_vector_of_threads_flagged(self):
+        self.assertEqual(rules("std::vector<std::thread> workers;"),
+                         ["raw-thread"])
+
+    def test_hardware_concurrency_is_fine(self):
+        src = "const unsigned n = std::thread::hardware_concurrency();"
+        self.assertEqual(run(src), [])
+
+    def test_allowed_inside_thread_pool(self):
+        src = "std::vector<std::thread> workers_;"
+        self.assertEqual(run(src, path="src/engine/thread_pool.cpp"), [])
+        self.assertEqual(run(src, path="src/engine/thread_pool.hpp"), [])
+
+    def test_allow_comment_suppresses(self):
+        src = """\
+        // lint:allow(raw-thread: stress test drives clients concurrently)
+        std::thread t([&] { eng.analyze(req); });
+        """
+        self.assertEqual(run(src), [])
+
+
+class AtomicFloatTest(unittest.TestCase):
+    def test_atomic_double_flagged(self):
+        self.assertEqual(rules("std::atomic<double> sum{0.0};"),
+                         ["atomic-float"])
+
+    def test_atomic_float_flagged(self):
+        self.assertEqual(rules("std::atomic<float> acc;"), ["atomic-float"])
+
+    def test_atomic_long_double_flagged(self):
+        self.assertEqual(rules("std::atomic<long double> acc;"),
+                         ["atomic-float"])
+
+    def test_atomic_integer_is_fine(self):
+        src = """\
+        std::atomic<std::uint64_t> counter{0};
+        std::atomic<bool> flag{false};
+        """
+        self.assertEqual(run(src), [])
+
+
+class GuardedByTest(unittest.TestCase):
+    def test_unannotated_member_in_mutex_owning_class(self):
+        src = """\
+        class Cache {
+         public:
+          void put(int k);
+         private:
+          mutable util::Mutex mutex_;
+          std::uint64_t hits_ = 0;
+        };
+        """
+        self.assertEqual(run(src), [(6, "guarded-by")])
+
+    def test_guarded_by_annotation_satisfies(self):
+        src = """\
+        class Cache {
+         private:
+          mutable util::Mutex mutex_;
+          std::uint64_t hits_ MIMOSTAT_GUARDED_BY(mutex_) = 0;
+        };
+        """
+        self.assertEqual(run(src), [])
+
+    def test_annotation_on_previous_line_satisfies(self):
+        src = """\
+        class Cache {
+         private:
+          mutable util::Mutex mutex_;
+          std::unordered_map<int, int> entries_
+              MIMOSTAT_GUARDED_BY(mutex_);
+        };
+        """
+        self.assertEqual(rules(src), [])
+
+    def test_std_mutex_also_counts_as_owning(self):
+        src = """\
+        class Pool {
+          std::mutex m_;
+          bool stop_ = false;
+        };
+        """
+        self.assertEqual(run(src), [(3, "guarded-by")])
+
+    def test_condvar_member_exempt(self):
+        src = """\
+        class Pool {
+          util::Mutex mutex_;
+          util::CondVar wake_;
+          std::condition_variable cv_;
+        };
+        """
+        self.assertEqual(run(src), [])
+
+    def test_const_and_static_members_exempt(self):
+        src = """\
+        class Cache {
+          util::Mutex mutex_;
+          const std::size_t maxEntries_;
+          static constexpr int kLimit_ = 4;
+        };
+        """
+        self.assertEqual(run(src), [])
+
+    def test_class_without_mutex_not_checked(self):
+        src = """\
+        class Plain {
+          std::uint64_t hits_ = 0;
+          double value_ = 0.0;
+        };
+        """
+        self.assertEqual(run(src), [])
+
+    def test_member_function_locals_not_flagged(self):
+        # Declarations inside member function bodies are not class members.
+        src = """\
+        class Cache {
+          util::Mutex mutex_;
+          int size_ MIMOSTAT_GUARDED_BY(mutex_) = 0;
+          void touch() {
+            int local_ = 3;
+            use(local_);
+          }
+        };
+        """
+        self.assertEqual(run(src), [])
+
+    def test_inline_accessor_return_not_flagged(self):
+        # The engine.hpp false positive: `return *propertyCache_;`.
+        src = """\
+        class Engine {
+          util::Mutex mutex_;
+          int table_ MIMOSTAT_GUARDED_BY(mutex_) = 0;
+          Cache& cache() { return *cache_; }
+        };
+        """
+        self.assertEqual(run(src), [])
+
+    def test_allow_comment_suppresses(self):
+        src = """\
+        class Pool {
+          util::Mutex mutex_;
+          /// lint:allow(guarded-by: immutable after construction)
+          std::vector<int> table_;
+        };
+        """
+        self.assertEqual(run(src), [])
+
+
+class EngineTest(unittest.TestCase):
+    def test_allow_comment_is_rule_specific(self):
+        # An allow for one rule must not blanket-suppress another.
+        src = """\
+        // lint:allow(unordered-iteration: wrong rule)
+        std::thread t(work);
+        """
+        self.assertEqual(rules(src), ["raw-thread"])
+
+    def test_violations_sorted_by_line(self):
+        src = """\
+        std::mt19937 gen;
+        std::thread t(work);
+        std::atomic<double> acc;
+        """
+        self.assertEqual(run(src),
+                         [(1, "raw-rng"), (2, "raw-thread"),
+                          (3, "atomic-float")])
+
+    def test_list_rules_names_every_rule(self):
+        expected = {"unordered-iteration", "raw-rng", "raw-thread",
+                    "atomic-float", "guarded-by"}
+        self.assertEqual(set(check_invariants.RULES), expected)
+
+    def test_clean_source_exits_zero_via_main(self):
+        self.assertEqual(check_invariants.main(["--list-rules"]), 0)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
