@@ -15,9 +15,11 @@
 //
 // Values are asserted bitwise identical (max|diff| EXACTLY 0.0 — the la::
 // contract is bit-identity, not tolerance) and the engine's plan stats are
-// asserted to match the arithmetic (traversalsSaved == sum - max); the
-// process exits 1 on any violation (this is the ctest smoke). `--csv
-// <path>` writes the measurements for the CI artifact.
+// asserted to match the arithmetic (traversalsSaved == sum - max, and the
+// packed la::BitVector mask table at least 4x under its byte-per-state
+// equivalent — ~8x in practice); the process exits 1 on any violation
+// (this is the ctest smoke). `--csv <path>` writes the measurements for
+// the CI artifact.
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -142,6 +144,10 @@ struct Row {
   std::uint64_t traversalsSaved = 0;
   std::uint64_t perFormulaTraversals = 0;
   std::uint64_t batchedTraversals = 0;
+  /// Plan mask-table footprint: packed la::BitVector words vs what the
+  /// legacy byte-per-state masks would have held (~8x more).
+  std::uint64_t maskBytesPacked = 0;
+  std::uint64_t maskBytesByte = 0;
   double maxDiff = 0.0;
 };
 
@@ -192,8 +198,9 @@ int main(int argc, char** argv) {
   bool allExact = true;
   bool statsOk = true;
 
-  std::printf("%-4s %-16s %-16s %-9s %-22s %-10s\n", "k", "per-formula(s)",
-              "batched(s)", "speedup", "traversals (sum->max)", "max|diff|");
+  std::printf("%-4s %-16s %-16s %-9s %-22s %-20s %-10s\n", "k",
+              "per-formula(s)", "batched(s)", "speedup",
+              "traversals (sum->max)", "mask bytes (byte->bv)", "max|diff|");
   for (std::size_t k = 1; k <= config.maxK; k *= 2) {
     const std::vector<FormulaSpec> specs = makeFormulas(config, k);
     Row row;
@@ -245,6 +252,14 @@ int main(int argc, char** argv) {
     statsOk = statsOk &&
               row.traversalsSaved == row.perFormulaTraversals - maxBound;
 
+    // Mask memory: the plan's interned target sets live as packed
+    // BitVectors; the byte-per-state representation they replaced is ~8x
+    // larger (exactly n bytes vs ceil(n/64) words per mask).
+    row.maskBytesPacked = response.plan.maskBytesPacked;
+    row.maskBytesByte = response.plan.maskBytesByte;
+    statsOk = statsOk && row.maskBytesPacked > 0 &&
+              row.maskBytesPacked * 4 <= row.maskBytesByte;
+
     for (std::size_t j = 0; j < k; ++j) {
       const double diff = response.results[j].value > perFormula[j]
                               ? response.results[j].value - perFormula[j]
@@ -253,11 +268,14 @@ int main(int argc, char** argv) {
     }
     allExact = allExact && row.maxDiff == 0.0;
 
-    std::printf("%-4zu %-16.3f %-16.3f %-9.2f %8llu -> %-11llu %-10g\n", k,
-                row.perFormulaSeconds, row.batchedSeconds,
+    std::printf("%-4zu %-16.3f %-16.3f %-9.2f %8llu -> %-11llu "
+                "%8llu -> %-9llu %-10g\n",
+                k, row.perFormulaSeconds, row.batchedSeconds,
                 row.perFormulaSeconds / row.batchedSeconds,
                 static_cast<unsigned long long>(row.perFormulaTraversals),
                 static_cast<unsigned long long>(row.batchedTraversals),
+                static_cast<unsigned long long>(row.maskBytesByte),
+                static_cast<unsigned long long>(row.maskBytesPacked),
                 row.maxDiff);
     rows.push_back(row);
   }
@@ -265,15 +283,18 @@ int main(int argc, char** argv) {
   if (config.csvPath != nullptr) {
     std::ofstream csv(config.csvPath);
     csv << "k,states,nnz,max_steps,per_formula_seconds,batched_seconds,"
-           "speedup,per_formula_traversals,batched_traversals,"
-           "traversals_saved,max_abs_diff\n";
+           "batched_seconds_per_step,speedup,per_formula_traversals,"
+           "batched_traversals,traversals_saved,mask_bytes_byte,"
+           "mask_bytes_packed,max_abs_diff\n";
     for (const Row& row : rows) {
       csv << row.k << ',' << d.numStates() << ',' << d.numTransitions() << ','
           << config.steps << ',' << row.perFormulaSeconds << ','
           << row.batchedSeconds << ','
-          << row.perFormulaSeconds / row.batchedSeconds << ','
+          << row.batchedSeconds / static_cast<double>(row.batchedTraversals)
+          << ',' << row.perFormulaSeconds / row.batchedSeconds << ','
           << row.perFormulaTraversals << ',' << row.batchedTraversals << ','
-          << row.traversalsSaved << ',' << row.maxDiff << '\n';
+          << row.traversalsSaved << ',' << row.maskBytesByte << ','
+          << row.maskBytesPacked << ',' << row.maxDiff << '\n';
     }
     std::printf("\nwrote %s\n", config.csvPath);
   }
@@ -284,8 +305,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (!statsOk) {
-    std::printf("\nFAIL: plan stats disagree with the traversal "
-                "arithmetic\n");
+    std::printf("\nFAIL: plan stats disagree with the traversal or "
+                "mask-byte arithmetic\n");
     return 1;
   }
   std::printf("\nOK: batched bounded evaluation bit-identical to the "

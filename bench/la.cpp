@@ -6,6 +6,10 @@
 //      stochastic chain.
 //   2. SpMM: k transient sweeps per-call (k matrix traversals per step) vs
 //      one SpMM-batched mc::TransientSweep (one traversal per step).
+//   3. Masked SpMM: the legacy n x k byte-mask frozen-entry loop vs
+//      la::spmmMasked over packed la::BitVector column masks, sequential
+//      and at 1/2/8 pool threads — same values bit for bit, 8x less mask
+//      memory (the mask_bytes columns in the CSV).
 //
 // Every variant is checked against the scalar path with max|diff| asserted
 // EXACTLY 0.0 — the la:: determinism contract is bit-identity, not
@@ -100,6 +104,31 @@ void scalarScatterLeft(const la::CsrMatrix& m, const std::vector<double>& x,
   }
 }
 
+/// The pre-refactor byte-mask frozen-entry SpMM, kept verbatim as the
+/// oracle for the packed-mask kernel: wherever mask[s*k+j] is set, output
+/// (s, j) keeps X's value; everywhere else the row gathers in CSR order —
+/// the identical floating-point sequence la::spmmMasked must produce.
+void byteMaskedSpmm(const la::CsrMatrix& m, const std::vector<double>& X,
+                    std::size_t k, const std::vector<std::uint8_t>& mask,
+                    std::vector<double>& Y) {
+  const std::uint32_t n = m.numRows();
+  Y.assign(static_cast<std::size_t>(n) * k, 0.0);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    for (std::size_t j = 0; j < k; ++j) {
+      if (mask[static_cast<std::size_t>(s) * k + j] != 0) {
+        Y[static_cast<std::size_t>(s) * k + j] =
+            X[static_cast<std::size_t>(s) * k + j];
+        continue;
+      }
+      double acc = 0.0;
+      for (std::uint64_t e = m.rowPtr()[s]; e < m.rowPtr()[s + 1]; ++e) {
+        acc += m.val()[e] * X[static_cast<std::size_t>(m.col()[e]) * k + j];
+      }
+      Y[static_cast<std::size_t>(s) * k + j] = acc;
+    }
+  }
+}
+
 double maxAbsDiff(const std::vector<double>& a, const std::vector<double>& b) {
   double worst = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) {
@@ -123,6 +152,8 @@ struct Row {
   double seconds;
   double speedup;
   double maxDiff;
+  /// Masked-SpMM rows only: resident bytes of this variant's masks.
+  std::uint64_t maskBytes = 0;
 };
 
 }  // namespace
@@ -164,9 +195,9 @@ int main(int argc, char** argv) {
   bool allExact = true;
   const auto record = [&](const std::string& section, const std::string& kernel,
                           std::size_t threads, double seconds, double scalarSec,
-                          double maxDiff) {
-    rows.push_back(
-        {section, kernel, threads, seconds, scalarSec / seconds, maxDiff});
+                          double maxDiff, std::uint64_t maskBytes = 0) {
+    rows.push_back({section, kernel, threads, seconds, scalarSec / seconds,
+                    maxDiff, maskBytes});
     allExact = allExact && maxDiff == 0.0;
     std::printf("  %-22s %8.3fs  speedup %5.2fx  max|diff| %g\n",
                 (kernel + (threads != 0 ? "(" + std::to_string(threads) + "t)"
@@ -258,15 +289,104 @@ int main(int argc, char** argv) {
     record("spmm", "spmm-batched", 0, seconds, perCallSec, worst);
   }
 
+  // ---- masked SpMM: the bounded-traversal update shape. k column masks
+  // freeze ~1/8 of the entries; the byte-mask loop is the oracle, the
+  // packed-BitVector kernel must match it bit for bit while holding the
+  // masks in 8x less memory.
+  std::printf("\n=== masked SpMM: byte-mask oracle vs packed la::BitVector "
+              "(k=%zu) ===\n",
+              config.rhs);
+  const std::uint32_t n = P.numRows();
+  std::vector<std::uint8_t> byteMask(static_cast<std::size_t>(n) * config.rhs,
+                                     0);
+  std::vector<la::BitVector> packedMasks(config.rhs, la::BitVector(n));
+  {
+    util::Xoshiro256 maskRng(0xB17F00Dull);
+    for (std::uint32_t s = 0; s < n; ++s) {
+      for (std::size_t j = 0; j < config.rhs; ++j) {
+        if (maskRng.nextBounded(8) == 0) {
+          byteMask[static_cast<std::size_t>(s) * config.rhs + j] = 1;
+          packedMasks[j].set(s);
+        }
+      }
+    }
+  }
+  std::uint64_t packedMaskBytes = 0;
+  for (const la::BitVector& m : packedMasks) {
+    packedMaskBytes += m.approxBytes();
+  }
+  const auto byteMaskBytes = static_cast<std::uint64_t>(byteMask.size());
+  std::printf("  mask bytes: %llu byte-per-state -> %llu packed (%.1fx)\n",
+              static_cast<unsigned long long>(byteMaskBytes),
+              static_cast<unsigned long long>(packedMaskBytes),
+              static_cast<double>(byteMaskBytes) /
+                  static_cast<double>(packedMaskBytes));
+
+  std::vector<double> X0(static_cast<std::size_t>(n) * config.rhs);
+  for (std::size_t i = 0; i < X0.size(); ++i) {
+    X0[i] = byteMask[i] != 0 ? 1.0 : 0.0;
+  }
+  const auto propagateMasked =
+      [&](const std::function<void(const std::vector<double>&,
+                                   std::vector<double>&)>& kernel,
+          double& seconds) {
+        std::vector<double> X = X0;
+        std::vector<double> Y(X.size());
+        const util::Stopwatch timer;
+        for (std::uint64_t t = 0; t < config.steps; ++t) {
+          kernel(X, Y);
+          X.swap(Y);
+        }
+        seconds = timer.elapsedSeconds();
+        return X;
+      };
+
+  double byteMaskSec = 0.0;
+  const std::vector<double> byteMaskOut = propagateMasked(
+      [&](const std::vector<double>& X, std::vector<double>& Y) {
+        byteMaskedSpmm(P, X, config.rhs, byteMask, Y);
+      },
+      byteMaskSec);
+  record("spmm-masked", "byte-mask", 0, byteMaskSec, byteMaskSec, 0.0,
+         byteMaskBytes);
+
+  double packedSec = 0.0;
+  const std::vector<double> packedOut = propagateMasked(
+      [&](const std::vector<double>& X, std::vector<double>& Y) {
+        la::spmmMasked(P, X, config.rhs, packedMasks, Y);
+      },
+      packedSec);
+  record("spmm-masked", "bitvector", 0, packedSec, byteMaskSec,
+         maxAbsDiff(packedOut, byteMaskOut), packedMaskBytes);
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    engine::ThreadPool pool(threads);
+    const la::Exec exec = poolExec(pool);
+    double seconds = 0.0;
+    const std::vector<double> out = propagateMasked(
+        [&](const std::vector<double>& X, std::vector<double>& Y) {
+          la::spmmMasked(P, X, config.rhs, packedMasks, Y, exec);
+        },
+        seconds);
+    record("spmm-masked", "bitvector", threads, seconds, byteMaskSec,
+           maxAbsDiff(out, byteMaskOut), packedMaskBytes);
+  }
+  std::printf("  per-step masked traversal: %.4fs byte-mask, %.4fs packed\n",
+              byteMaskSec / static_cast<double>(config.steps),
+              packedSec / static_cast<double>(config.steps));
+
   if (config.csvPath != nullptr) {
     std::ofstream csv(config.csvPath);
     csv << "section,kernel,threads,states,nnz,rhs,steps,seconds,"
-           "speedup,max_abs_diff\n";
+           "seconds_per_step,speedup,max_abs_diff,mask_bytes\n";
     for (const Row& row : rows) {
       csv << row.section << ',' << row.kernel << ',' << row.threads << ','
           << P.numRows() << ',' << P.numNonZeros() << ',' << config.rhs << ','
-          << config.steps << ',' << row.seconds << ',' << row.speedup << ','
-          << row.maxDiff << '\n';
+          << config.steps << ',' << row.seconds << ','
+          << row.seconds / static_cast<double>(config.steps) << ','
+          << row.speedup << ',' << row.maxDiff << ',' << row.maskBytes
+          << '\n';
     }
     std::printf("\nwrote %s\n", config.csvPath);
   }

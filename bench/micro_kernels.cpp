@@ -42,11 +42,11 @@ BENCHMARK(BM_TransientStep);
 
 void BM_BoundedUntil(benchmark::State& state) {
   const auto& d = viterbiDtmc();
-  const std::vector<std::uint8_t> phi(d.numStates(), 1);
-  std::vector<std::uint8_t> psi(d.numStates(), 0);
+  const la::BitVector phi(d.numStates(), true);
+  la::BitVector psi(d.numStates());
   const auto flagIdx = d.varLayout().indexOf("flag");
   for (std::uint32_t s = 0; s < d.numStates(); ++s) {
-    psi[s] = d.varValue(s, flagIdx) == 1;
+    if (d.varValue(s, flagIdx) == 1) psi.set(s);
   }
   const auto bound = static_cast<std::uint64_t>(state.range(0));
   for (auto _ : state) {

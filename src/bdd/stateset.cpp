@@ -20,4 +20,12 @@ std::size_t BddStateSet::nodeCount() const {
   return manager_.functionSize(root_);
 }
 
+la::BitVector BddStateSet::toBitVector(std::uint32_t numStates) const {
+  la::BitVector result(numStates);
+  for (std::uint32_t s = 0; s < numStates; ++s) {
+    if (contains(s)) result.set(s);
+  }
+  return result;
+}
+
 }  // namespace mimostat::bdd

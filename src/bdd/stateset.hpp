@@ -7,6 +7,7 @@
 #include <cstdint>
 
 #include "bdd/manager.hpp"
+#include "la/bit_vector.hpp"
 
 namespace mimostat::bdd {
 
@@ -24,6 +25,10 @@ class BddStateSet {
 
   /// Structural BDD node count (the memory proxy).
   [[nodiscard]] std::size_t nodeCount() const;
+
+  /// Explicit bridge: membership of packed states [0, numStates) as a
+  /// packed la::BitVector — the explicit stack's truth-mask shape.
+  [[nodiscard]] la::BitVector toBitVector(std::uint32_t numStates) const;
 
   [[nodiscard]] BddManager& manager() { return manager_; }
   [[nodiscard]] NodeRef root() const { return root_; }

@@ -20,11 +20,11 @@ ExplicitDtmc ExplicitDtmc::fromRaw(Raw raw, la::KeepOrientation keep) {
   return d;
 }
 
-std::vector<std::uint8_t> ExplicitDtmc::evalAtom(const Model& model,
-                                                 std::string_view name) const {
-  std::vector<std::uint8_t> truth(numStates());
+la::BitVector ExplicitDtmc::evalAtom(const Model& model,
+                                     std::string_view name) const {
+  la::BitVector truth(numStates());
   for (std::uint32_t i = 0; i < numStates(); ++i) {
-    truth[i] = model.atom(states_[i], name) ? 1 : 0;
+    if (model.atom(states_[i], name)) truth.set(i);
   }
   return truth;
 }

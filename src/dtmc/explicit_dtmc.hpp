@@ -15,6 +15,7 @@
 
 #include "dtmc/model.hpp"
 #include "dtmc/state.hpp"
+#include "la/bit_vector.hpp"
 #include "la/csr_matrix.hpp"
 #include "la/exec.hpp"
 
@@ -63,10 +64,10 @@ class ExplicitDtmc {
     return states_[stateIdx][varIdx];
   }
 
-  /// Per-state truth vector of an atomic proposition, evaluated through the
-  /// source model's atom() hook.
-  [[nodiscard]] std::vector<std::uint8_t> evalAtom(const Model& model,
-                                                   std::string_view name) const;
+  /// Per-state truth set of an atomic proposition (packed, one bit per
+  /// state), evaluated through the source model's atom() hook.
+  [[nodiscard]] la::BitVector evalAtom(const Model& model,
+                                       std::string_view name) const;
 
   /// Per-state reward vector from the source model.
   [[nodiscard]] std::vector<double> evalReward(const Model& model,

@@ -44,7 +44,7 @@ SccDecomposition computeSccs(const ExplicitDtmc& dtmc) {
 
   std::vector<std::uint32_t> indexOf(n, kUndef);
   std::vector<std::uint32_t> lowlink(n, 0);
-  std::vector<std::uint8_t> onStack(n, 0);
+  la::BitVector onStack(n);
   std::vector<std::uint32_t> tarjanStack;
   std::uint32_t nextIndex = 0;
 
@@ -59,7 +59,7 @@ SccDecomposition computeSccs(const ExplicitDtmc& dtmc) {
     callStack.push_back({root, dtmc.rowPtr()[root]});
     indexOf[root] = lowlink[root] = nextIndex++;
     tarjanStack.push_back(root);
-    onStack[root] = 1;
+    onStack.set(root);
 
     while (!callStack.empty()) {
       Frame& frame = callStack.back();
@@ -69,9 +69,9 @@ SccDecomposition computeSccs(const ExplicitDtmc& dtmc) {
         if (indexOf[w] == kUndef) {
           indexOf[w] = lowlink[w] = nextIndex++;
           tarjanStack.push_back(w);
-          onStack[w] = 1;
+          onStack.set(w);
           callStack.push_back({w, dtmc.rowPtr()[w]});
-        } else if (onStack[w]) {
+        } else if (onStack.get(w)) {
           lowlink[v] = std::min(lowlink[v], indexOf[w]);
         }
       } else {
@@ -80,7 +80,7 @@ SccDecomposition computeSccs(const ExplicitDtmc& dtmc) {
           while (true) {
             const std::uint32_t w = tarjanStack.back();
             tarjanStack.pop_back();
-            onStack[w] = 0;
+            onStack.set(w, false);
             result.componentOf[w] = comp;
             if (w == v) break;
           }
@@ -95,16 +95,16 @@ SccDecomposition computeSccs(const ExplicitDtmc& dtmc) {
   }
 
   // Bottom components: no edge leaving the component.
-  std::vector<std::uint8_t> hasExit(result.numComponents, 0);
+  la::BitVector hasExit(result.numComponents);
   for (std::uint32_t s = 0; s < n; ++s) {
     for (std::uint64_t k = dtmc.rowPtr()[s]; k < dtmc.rowPtr()[s + 1]; ++k) {
       if (result.componentOf[dtmc.col()[k]] != result.componentOf[s]) {
-        hasExit[result.componentOf[s]] = 1;
+        hasExit.set(result.componentOf[s]);
       }
     }
   }
   for (std::uint32_t c = 0; c < result.numComponents; ++c) {
-    if (!hasExit[c]) result.bottomComponents.push_back(c);
+    if (!hasExit.get(c)) result.bottomComponents.push_back(c);
   }
   return result;
 }
@@ -146,21 +146,20 @@ std::uint32_t chainPeriod(const ExplicitDtmc& dtmc) {
   return g == 0 ? 1 : static_cast<std::uint32_t>(g);
 }
 
-std::vector<std::uint8_t> backwardReachable(
-    const ExplicitDtmc& dtmc, const std::vector<std::uint8_t>& target) {
+la::BitVector backwardReachable(const ExplicitDtmc& dtmc,
+                                const la::BitVector& target) {
   const Transpose t = transposeOf(dtmc);
-  const std::uint32_t n = dtmc.numStates();
-  std::vector<std::uint8_t> reach(target);
+  la::BitVector reach(target);
   std::vector<std::uint32_t> queue;
-  for (std::uint32_t s = 0; s < n; ++s) {
-    if (reach[s]) queue.push_back(s);
-  }
+  // forEachSetBit is ascending, matching the legacy byte-vector seed scan.
+  reach.forEachSetBit(
+      [&](std::size_t s) { queue.push_back(static_cast<std::uint32_t>(s)); });
   for (std::size_t head = 0; head < queue.size(); ++head) {
     const std::uint32_t v = queue[head];
     for (std::uint64_t k = t.rowPtr[v]; k < t.rowPtr[v + 1]; ++k) {
       const std::uint32_t u = t.col[k];
-      if (!reach[u]) {
-        reach[u] = 1;
+      if (!reach.get(u)) {
+        reach.set(u);
         queue.push_back(u);
       }
     }
@@ -168,20 +167,18 @@ std::vector<std::uint8_t> backwardReachable(
   return reach;
 }
 
-std::vector<std::uint8_t> forwardReachable(
-    const ExplicitDtmc& dtmc, const std::vector<std::uint8_t>& from) {
-  const std::uint32_t n = dtmc.numStates();
-  std::vector<std::uint8_t> reach(from);
+la::BitVector forwardReachable(const ExplicitDtmc& dtmc,
+                               const la::BitVector& from) {
+  la::BitVector reach(from);
   std::vector<std::uint32_t> queue;
-  for (std::uint32_t s = 0; s < n; ++s) {
-    if (reach[s]) queue.push_back(s);
-  }
+  reach.forEachSetBit(
+      [&](std::size_t s) { queue.push_back(static_cast<std::uint32_t>(s)); });
   for (std::size_t head = 0; head < queue.size(); ++head) {
     const std::uint32_t u = queue[head];
     for (std::uint64_t k = dtmc.rowPtr()[u]; k < dtmc.rowPtr()[u + 1]; ++k) {
       const std::uint32_t v = dtmc.col()[k];
-      if (!reach[v]) {
-        reach[v] = 1;
+      if (!reach.get(v)) {
+        reach.set(v);
         queue.push_back(v);
       }
     }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "dtmc/explicit_dtmc.hpp"
+#include "la/bit_vector.hpp"
 
 namespace mimostat::dtmc {
 
@@ -34,12 +35,11 @@ struct SccDecomposition {
 [[nodiscard]] std::uint32_t chainPeriod(const ExplicitDtmc& dtmc);
 
 /// States from which the given target set is reachable (backward closure).
-[[nodiscard]] std::vector<std::uint8_t> backwardReachable(
-    const ExplicitDtmc& dtmc, const std::vector<std::uint8_t>& target);
+[[nodiscard]] la::BitVector backwardReachable(const ExplicitDtmc& dtmc,
+                                              const la::BitVector& target);
 
-/// States reachable from the initial distribution's support restricted to
-/// edges allowed by `mask` (mask[s]=1 means s may be traversed).
-[[nodiscard]] std::vector<std::uint8_t> forwardReachable(
-    const ExplicitDtmc& dtmc, const std::vector<std::uint8_t>& from);
+/// States reachable from the given set along forward edges.
+[[nodiscard]] la::BitVector forwardReachable(const ExplicitDtmc& dtmc,
+                                             const la::BitVector& from);
 
 }  // namespace mimostat::dtmc

@@ -216,14 +216,14 @@ ExplicitDtmc readTra(std::istream& tra, std::istream* sta,
   return ExplicitDtmc::fromRaw(std::move(raw));
 }
 
-std::vector<std::pair<std::string, std::vector<std::uint8_t>>> readLab(
+std::vector<std::pair<std::string, la::BitVector>> readLab(
     std::istream& lab, std::uint32_t numStates) {
   std::string header;
   if (!std::getline(lab, header)) {
     throw std::runtime_error("readLab: empty stream");
   }
   // header: 0="init" 1="error" ...
-  std::vector<std::pair<std::string, std::vector<std::uint8_t>>> labels;
+  std::vector<std::pair<std::string, la::BitVector>> labels;
   {
     std::istringstream hs(header);
     std::string item;
@@ -241,8 +241,7 @@ std::vector<std::pair<std::string, std::vector<std::uint8_t>>> readLab(
       if (id != labels.size()) {
         throw std::runtime_error("readLab: non-sequential label ids");
       }
-      labels.emplace_back(std::move(name),
-                          std::vector<std::uint8_t>(numStates, 0));
+      labels.emplace_back(std::move(name), la::BitVector(numStates));
     }
   }
   std::string line;
@@ -263,7 +262,7 @@ std::vector<std::pair<std::string, std::vector<std::uint8_t>>> readLab(
       if (id >= labels.size()) {
         throw std::runtime_error("readLab: label id out of range");
       }
-      labels[id].second[state] = 1;
+      labels[id].second.set(state);
     }
   }
   return labels;
@@ -324,7 +323,7 @@ void ImportedModel::transitions(const State& s,
 
 bool ImportedModel::atom(const State& s, std::string_view name) const {
   for (const auto& [labelName, truth] : imported_.labels) {
-    if (labelName == name) return truth[indexOf(s)] != 0;
+    if (labelName == name) return truth.get(indexOf(s));
   }
   return false;
 }

@@ -41,8 +41,8 @@ void writeDotFile(const ExplicitDtmc& dtmc, const std::string& path);
 /// Contents of a parsed PRISM-format model (any part may be absent).
 struct ImportedExplicit {
   ExplicitDtmc dtmc;
-  /// label name -> per-state truth (from a .lab stream).
-  std::vector<std::pair<std::string, std::vector<std::uint8_t>>> labels;
+  /// label name -> per-state truth set (packed, from a .lab stream).
+  std::vector<std::pair<std::string, la::BitVector>> labels;
   /// reward name -> per-state value (from .srew streams).
   std::vector<std::pair<std::string, std::vector<double>>> rewards;
 };
@@ -53,9 +53,9 @@ struct ImportedExplicit {
 [[nodiscard]] ExplicitDtmc readTra(std::istream& tra, std::istream* sta,
                                    std::uint32_t initialState = 0);
 
-/// Parse a .lab stream into (name, truth-vector) pairs.
-[[nodiscard]] std::vector<std::pair<std::string, std::vector<std::uint8_t>>>
-readLab(std::istream& lab, std::uint32_t numStates);
+/// Parse a .lab stream into (name, truth-set) pairs.
+[[nodiscard]] std::vector<std::pair<std::string, la::BitVector>> readLab(
+    std::istream& lab, std::uint32_t numStates);
 
 /// Parse a .srew stream into a per-state reward vector.
 [[nodiscard]] std::vector<double> readSrew(std::istream& srew,

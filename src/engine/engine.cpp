@@ -42,7 +42,10 @@ stats::Interval meanInterval95(const stats::RunningStats& stats) {
 /// drops and renormalizes transitions; orientation drops CSR arrays a
 /// checker may require) into the structural signature, so requests with
 /// different build options never share an entry — a kBoth request must
-/// never be served a cached transpose-only matrix.
+/// never be served a cached transpose-only matrix. The reverse is safe:
+/// analyzeExact may upgrade a transpose-only entry to kBoth in place
+/// (rebuildOrientation), leaving a superset of the key's promised arrays
+/// under the same key.
 std::uint64_t cacheKeyFor(std::uint64_t signatureHash,
                           const dtmc::BuildOptions& buildOptions) {
   std::uint64_t key = signatureHash;
@@ -288,13 +291,64 @@ AnalysisResponse AnalysisEngine::analyzeExact(const AnalysisRequest& request,
   }
 
   bool cacheHit = false;
-  const std::shared_ptr<const BuiltModel> built =
+  std::shared_ptr<const BuiltModel> built =
       ensureBuilt(*request.model, request.options.build, key, &cacheHit);
   response.cacheHit = cacheHit;
+
+  // Rebuild-on-demand: a transpose-only model (built or cached under a
+  // kTransposeOnly key) cannot serve forward traversals — bounded groups,
+  // unbounded value iteration, reachability rewards. Instead of refusing
+  // per property (mc::requireForwardOrientation), rebuild with both
+  // orientations and upgrade the cache entry under the SAME key: serving a
+  // superset of the key's promised arrays is safe, only the reverse is
+  // forbidden. Refusal remains when the request disables the rebuild.
+  if (request.options.rebuildOrientation &&
+      !built->dtmc.matrix().hasOriginal()) {
+    bool needsForward = false;
+    for (const ParsedSlot& slot : parsed) {
+      if (!slot.property) continue;
+      needsForward =
+          needsForward ||
+          slot.property->kind == pctl::Property::Kind::kProb ||
+          slot.property->reward.kind == pctl::RewardQuery::Kind::kReachability;
+    }
+    if (needsForward) {
+      dtmc::BuildOptions upgraded = request.options.build;
+      upgraded.orientation = la::KeepOrientation::kBoth;
+      dtmc::BuildResult rebuild = dtmc::buildExplicit(*request.model, upgraded);
+      auto replacement = std::make_shared<BuiltModel>();
+      replacement->dtmc = std::move(rebuild.dtmc);
+      replacement->reachabilityIterations = rebuild.reachabilityIterations;
+      replacement->buildSeconds = rebuild.buildSeconds;
+      replacement->signature = key;
+      replacement->approxBytes = approxDtmcBytes(replacement->dtmc);
+      std::promise<std::shared_ptr<const BuiltModel>> promise;
+      promise.set_value(replacement);
+      {
+        const util::MutexLock lock(cacheMutex_);
+        const auto it = modelCache_.find(key);
+        if (it != modelCache_.end()) cacheBytes_ -= it->second.bytes;
+        CacheSlot slot;
+        slot.future = promise.get_future().share();
+        slot.lastUsed = ++useCounter_;
+        slot.bytes = replacement->approxBytes;
+        cacheBytes_ += replacement->approxBytes;
+        modelCache_[key] = std::move(slot);
+        ++buildCount_;
+        evictLocked();
+      }
+      response.orientationRebuilt = true;
+      response.buildSeconds = built->buildSeconds + replacement->buildSeconds;
+      built = std::move(replacement);
+    }
+  }
+
   response.states = built->dtmc.numStates();
   response.transitions = built->dtmc.numTransitions();
   response.reachabilityIterations = built->reachabilityIterations;
-  response.buildSeconds = built->buildSeconds;
+  if (!response.orientationRebuilt) {
+    response.buildSeconds = built->buildSeconds;
+  }
 
   // Parallel linear algebra: unless the request brings its own runner, la::
   // kernels (transient multiplies, power iteration, Jacobi sweeps) fan out

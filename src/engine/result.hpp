@@ -84,6 +84,12 @@ struct AnalysisResponse {
   std::uint64_t modelKey = 0;
   /// The built DTMC was served from the engine's model cache.
   bool cacheHit = false;
+  /// The cached model was transpose-only but the request needed forward
+  /// (right-product) access, so the engine rebuilt it with both
+  /// orientations and upgraded the cache entry in place
+  /// (RequestOptions::rebuildOrientation). buildSeconds includes the
+  /// rebuild.
+  bool orientationRebuilt = false;
   /// Model statistics (exact backend; zero when sampled).
   std::uint64_t states = 0;
   std::uint64_t transitions = 0;

@@ -37,13 +37,17 @@ void gatherRows(const CsrMatrix& M, const double* x, double* y,
 /// traverses the rows once with stack accumulators (one cache line of
 /// doubles), so k <= kStrip right-hand sides cost a single pass. Per
 /// vector the add sequence is identical to gatherRows, so SpMM output j is
-/// bitwise equal to the j-th SpMV. `mask` (nullable) freezes entries: a
-/// masked (r, j) keeps X's value — the gathered accumulator is discarded,
-/// never observed, so frozen columns cannot perturb live ones.
+/// bitwise equal to the j-th SpMV. `masks` (nullable, k packed column
+/// BitVectors of numRows bits) freezes entries: a masked (r, j) keeps X's
+/// value — the gathered accumulator is discarded, never observed, so
+/// frozen columns cannot perturb live ones. Membership is a word-indexed
+/// bit read off the column's word array; the per-row add sequence is
+/// untouched, so outputs stay bit-identical to the byte-mask path this
+/// replaced.
 constexpr std::size_t kStrip = 8;
 
 void gatherRowsMulti(const CsrMatrix& M, const double* X, std::size_t k,
-                     const std::uint8_t* mask, double* Y,
+                     const BitVector* masks, double* Y,
                      std::uint32_t rowBegin, std::uint32_t rowEnd) {
   const std::uint64_t* rowPtr = M.rowPtr().data();
   const std::uint32_t* col = M.col().data();
@@ -54,8 +58,10 @@ void gatherRowsMulti(const CsrMatrix& M, const double* X, std::size_t k,
     // (per-formula bounded checks). Frozen rows skip their gather outright
     // — the accumulator would be discarded anyway — matching the legacy
     // bounded-until loop's work profile as well as its bits.
+    const std::uint64_t* mw =
+        masks != nullptr ? masks[0].words().data() : nullptr;
     for (std::uint32_t r = rowBegin; r < rowEnd; ++r) {
-      if (mask != nullptr && mask[r] != 0) {
+      if (mw != nullptr && ((mw[r >> 6] >> (r & 63)) & 1u) != 0) {
         Y[r] = X[r];
         continue;
       }
@@ -69,6 +75,12 @@ void gatherRowsMulti(const CsrMatrix& M, const double* X, std::size_t k,
   }
   for (std::size_t j0 = 0; j0 < k; j0 += kStrip) {
     const std::size_t width = k - j0 < kStrip ? k - j0 : kStrip;
+    const std::uint64_t* mw[kStrip] = {};
+    if (masks != nullptr) {
+      for (std::size_t j = 0; j < width; ++j) {
+        mw[j] = masks[j0 + j].words().data();
+      }
+    }
     for (std::uint32_t r = rowBegin; r < rowEnd; ++r) {
       double acc[kStrip] = {0.0};
       for (std::uint64_t e = rowPtr[r]; e < rowPtr[r + 1]; ++e) {
@@ -78,13 +90,14 @@ void gatherRowsMulti(const CsrMatrix& M, const double* X, std::size_t k,
       }
       const std::size_t base = static_cast<std::size_t>(r) * k + j0;
       double* out = Y + base;
-      if (mask == nullptr) {
+      if (masks == nullptr) {
         for (std::size_t j = 0; j < width; ++j) out[j] = acc[j];
       } else {
         const double* xr = X + base;
-        const std::uint8_t* mr = mask + base;
+        const std::size_t word = r >> 6;
+        const unsigned bit = r & 63;
         for (std::size_t j = 0; j < width; ++j) {
-          out[j] = mr[j] != 0 ? xr[j] : acc[j];
+          out[j] = ((mw[j][word] >> bit) & 1u) != 0 ? xr[j] : acc[j];
         }
       }
     }
@@ -110,15 +123,26 @@ void forEachBlock(const CsrMatrix& M, const Exec& exec, const Body& body) {
 }
 
 void spmmImpl(const CsrMatrix& M, const std::vector<double>& X, std::size_t k,
-              const std::uint8_t* mask, std::vector<double>& Y,
+              const BitVector* masks, std::vector<double>& Y,
               const Exec& exec) {
   assert(k > 0);
   assert(X.size() == static_cast<std::size_t>(M.numCols()) * k);
   Y.resize(static_cast<std::size_t>(M.numRows()) * k);
   forEachBlock(M, exec, [&](std::uint32_t begin, std::uint32_t end) {
-    gatherRowsMulti(M, X.data(), k, mask, Y.data(), begin, end);
+    gatherRowsMulti(M, X.data(), k, masks, Y.data(), begin, end);
   });
 }
+
+#ifndef NDEBUG
+bool masksMatch(const std::vector<BitVector>& masks, std::size_t k,
+                std::uint32_t numRows) {
+  if (masks.size() != k) return false;
+  for (const BitVector& m : masks) {
+    if (m.size() != numRows) return false;
+  }
+  return true;
+}
+#endif
 
 }  // namespace
 
@@ -186,21 +210,21 @@ void spmmLeft(const CsrMatrix& A, const std::vector<double>& X, std::size_t k,
 }
 
 void spmmMasked(const CsrMatrix& A, const std::vector<double>& X,
-                std::size_t k, const std::vector<std::uint8_t>& mask,
+                std::size_t k, const std::vector<BitVector>& masks,
                 std::vector<double>& Y, const Exec& exec) {
   A.requireOriginal("la::spmmMasked");
   assert(A.numRows() == A.numCols());
-  assert(mask.size() == X.size());
-  spmmImpl(A, X, k, mask.data(), Y, exec);
+  assert(masksMatch(masks, k, A.numRows()));
+  spmmImpl(A, X, k, masks.data(), Y, exec);
 }
 
 void spmmLeftMasked(const CsrMatrix& A, const std::vector<double>& X,
-                    std::size_t k, const std::vector<std::uint8_t>& mask,
+                    std::size_t k, const std::vector<BitVector>& masks,
                     std::vector<double>& Y, const Exec& exec) {
   const CsrMatrix& T = A.transposed();
   assert(A.numRows() == A.numCols());
-  assert(mask.size() == X.size());
-  spmmImpl(T, X, k, mask.data(), Y, exec);
+  assert(masksMatch(masks, k, A.numRows()));
+  spmmImpl(T, X, k, masks.data(), Y, exec);
 }
 
 }  // namespace mimostat::la

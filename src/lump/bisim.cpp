@@ -45,7 +45,7 @@ std::uint64_t signatureHash(const dtmc::ExplicitDtmc& dtmc, std::uint32_t s,
 
 InitialKeys keysFromRewardAndLabels(
     const std::vector<double>& reward,
-    const std::vector<std::vector<std::uint8_t>>& labels,
+    const std::vector<la::BitVector>& labels,
     double rewardResolution) {
   InitialKeys keys(reward.size());
   for (std::size_t s = 0; s < reward.size(); ++s) {
@@ -54,7 +54,7 @@ InitialKeys keysFromRewardAndLabels(
     std::uint64_t key = util::mix64(static_cast<std::uint64_t>(bucket));
     for (std::size_t l = 0; l < labels.size(); ++l) {
       assert(labels[l].size() == reward.size());
-      key = util::hashCombine(key, labels[l][s] ? l + 1 : 0);
+      key = util::hashCombine(key, labels[l].get(s) ? l + 1 : 0);
     }
     keys[s] = key;
   }

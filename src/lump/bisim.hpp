@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "dtmc/explicit_dtmc.hpp"
+#include "la/bit_vector.hpp"
 
 namespace mimostat::lump {
 
@@ -52,10 +53,11 @@ using InitialKeys = std::vector<std::uint64_t>;
                               const InitialKeys& initialKeys,
                               const LumpOptions& options = {});
 
-/// Initial keys from a reward vector (bucketed) and optional label vectors.
+/// Initial keys from a reward vector (bucketed) and optional packed label
+/// sets (one la::BitVector per label, one bit per state).
 [[nodiscard]] InitialKeys keysFromRewardAndLabels(
     const std::vector<double>& reward,
-    const std::vector<std::vector<std::uint8_t>>& labels,
+    const std::vector<la::BitVector>& labels,
     double rewardResolution = 1e-12);
 
 }  // namespace mimostat::lump

@@ -21,9 +21,9 @@ void requireForwardOrientation(const dtmc::ExplicitDtmc& dtmc,
 }
 
 std::vector<double> boundedUntil(const dtmc::ExplicitDtmc& dtmc,
-                                 const std::vector<std::uint8_t>& phi,
-                                 const std::vector<std::uint8_t>& psi,
-                                 std::uint64_t bound, const la::Exec& exec) {
+                                 const la::BitVector& phi,
+                                 const la::BitVector& psi, std::uint64_t bound,
+                                 const la::Exec& exec) {
   requireForwardOrientation(dtmc, "mc::boundedUntil");
   const std::uint32_t n = dtmc.numStates();
   assert(phi.size() == n && psi.size() == n);
@@ -31,13 +31,13 @@ std::vector<double> boundedUntil(const dtmc::ExplicitDtmc& dtmc,
   // psi states are frozen at 1.0 and !phi states at 0.0 — their initial
   // values — so the masked product reproduces the classic update
   //   x_{j+1}(s) = psi(s) ? 1 : (phi(s) ? sum P(s,.) x_j : 0)
-  // with the identical per-row accumulation order, bit for bit.
-  std::vector<double> x(n);
-  std::vector<std::uint8_t> frozen(n);
-  for (std::uint32_t s = 0; s < n; ++s) {
-    x[s] = psi[s] ? 1.0 : 0.0;
-    frozen[s] = (psi[s] || !phi[s]) ? 1 : 0;
-  }
+  // with the identical per-row accumulation order, bit for bit. The frozen
+  // set is two word-parallel ops: !phi | psi.
+  std::vector<double> x(n, 0.0);
+  psi.forEachSetBit([&](std::size_t s) { x[s] = 1.0; });
+  std::vector<la::BitVector> frozen(1);
+  frozen[0] = ~phi;
+  frozen[0] |= psi;
   std::vector<double> next(n);
   for (std::uint64_t j = 0; j < bound; ++j) {
     la::spmmMasked(dtmc.matrix(), x, 1, frozen, next, exec);
@@ -47,25 +47,22 @@ std::vector<double> boundedUntil(const dtmc::ExplicitDtmc& dtmc,
 }
 
 std::vector<double> boundedFinally(const dtmc::ExplicitDtmc& dtmc,
-                                   const std::vector<std::uint8_t>& psi,
+                                   const la::BitVector& psi,
                                    std::uint64_t bound, const la::Exec& exec) {
-  const std::vector<std::uint8_t> phi(dtmc.numStates(), 1);
+  const la::BitVector phi(dtmc.numStates(), true);
   return boundedUntil(dtmc, phi, psi, bound, exec);
 }
 
 std::vector<double> boundedGlobally(const dtmc::ExplicitDtmc& dtmc,
-                                    const std::vector<std::uint8_t>& phi,
+                                    const la::BitVector& phi,
                                     std::uint64_t bound, const la::Exec& exec) {
-  std::vector<std::uint8_t> notPhi(dtmc.numStates());
-  for (std::uint32_t s = 0; s < dtmc.numStates(); ++s) notPhi[s] = phi[s] ? 0 : 1;
-  std::vector<double> reach = boundedFinally(dtmc, notPhi, bound, exec);
+  std::vector<double> reach = boundedFinally(dtmc, ~phi, bound, exec);
   for (double& v : reach) v = 1.0 - v;
   return reach;
 }
 
 std::vector<double> nextProb(const dtmc::ExplicitDtmc& dtmc,
-                             const std::vector<std::uint8_t>& psi,
-                             const la::Exec& exec) {
+                             const la::BitVector& psi, const la::Exec& exec) {
   requireForwardOrientation(dtmc, "mc::nextProb");
   const std::uint32_t n = dtmc.numStates();
   assert(psi.size() == n);
@@ -73,8 +70,8 @@ std::vector<double> nextProb(const dtmc::ExplicitDtmc& dtmc,
   // val[k] over psi columns only; val * 1.0 is exact and the interleaved
   // val * 0.0 terms are bitwise-neutral (+0.0 into a non-negative
   // accumulator), so the gather is bit-identical to the skip loop.
-  std::vector<double> x(n);
-  for (std::uint32_t s = 0; s < n; ++s) x[s] = psi[s] ? 1.0 : 0.0;
+  std::vector<double> x(n, 0.0);
+  psi.forEachSetBit([&](std::size_t s) { x[s] = 1.0; });
   std::vector<double> y;
   la::spmv(dtmc.matrix(), x, y, exec);
   return y;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "dtmc/explicit_dtmc.hpp"
+#include "la/bit_vector.hpp"
 #include "la/exec.hpp"
 
 namespace mimostat::mc {
@@ -29,25 +30,27 @@ namespace mimostat::mc {
 void requireForwardOrientation(const dtmc::ExplicitDtmc& dtmc,
                                const char* who);
 
-/// Per-state probability of (phi U<=bound psi). phi/psi are 0/1 vectors.
-[[nodiscard]] std::vector<double> boundedUntil(
-    const dtmc::ExplicitDtmc& dtmc, const std::vector<std::uint8_t>& phi,
-    const std::vector<std::uint8_t>& psi, std::uint64_t bound,
-    const la::Exec& exec = {});
+/// Per-state probability of (phi U<=bound psi). phi/psi are packed state
+/// sets of numStates bits.
+[[nodiscard]] std::vector<double> boundedUntil(const dtmc::ExplicitDtmc& dtmc,
+                                               const la::BitVector& phi,
+                                               const la::BitVector& psi,
+                                               std::uint64_t bound,
+                                               const la::Exec& exec = {});
 
 /// Per-state probability of F<=bound psi.
 [[nodiscard]] std::vector<double> boundedFinally(
-    const dtmc::ExplicitDtmc& dtmc, const std::vector<std::uint8_t>& psi,
+    const dtmc::ExplicitDtmc& dtmc, const la::BitVector& psi,
     std::uint64_t bound, const la::Exec& exec = {});
 
 /// Per-state probability of G<=bound phi.
 [[nodiscard]] std::vector<double> boundedGlobally(
-    const dtmc::ExplicitDtmc& dtmc, const std::vector<std::uint8_t>& phi,
+    const dtmc::ExplicitDtmc& dtmc, const la::BitVector& phi,
     std::uint64_t bound, const la::Exec& exec = {});
 
 /// Per-state probability of X psi.
 [[nodiscard]] std::vector<double> nextProb(const dtmc::ExplicitDtmc& dtmc,
-                                           const std::vector<std::uint8_t>& psi,
+                                           const la::BitVector& psi,
                                            const la::Exec& exec = {});
 
 /// Weigh per-state values by the initial distribution.

@@ -21,15 +21,14 @@ Checker::Checker(const dtmc::ExplicitDtmc& dtmc, const dtmc::Model& model,
       parseCache_(parseCache != nullptr ? parseCache
                                         : &pctl::PropertyCache::global()) {}
 
-std::vector<std::uint8_t> Checker::evalStateFormula(
-    const pctl::StateFormula& f) const {
+la::BitVector Checker::evalStateFormula(const pctl::StateFormula& f) const {
   using Kind = pctl::StateFormula::Kind;
   const std::uint32_t n = dtmc_.numStates();
-  std::vector<std::uint8_t> truth(n, 0);
+  la::BitVector truth(n);
 
   switch (f.kind) {
     case Kind::kTrue:
-      std::fill(truth.begin(), truth.end(), 1);
+      truth.setAll();
       return truth;
     case Kind::kFalse:
       return truth;
@@ -39,7 +38,7 @@ std::vector<std::uint8_t> Checker::evalStateFormula(
       const auto varIdx = dtmc_.varLayout().tryIndexOf(f.name);
       if (varIdx != dtmc::VarLayout::npos) {
         for (std::uint32_t s = 0; s < n; ++s) {
-          truth[s] = dtmc_.varValue(s, varIdx) != 0 ? 1 : 0;
+          if (dtmc_.varValue(s, varIdx) != 0) truth.set(s);
         }
         return truth;
       }
@@ -52,33 +51,31 @@ std::vector<std::uint8_t> Checker::evalStateFormula(
                                  "'");
       }
       for (std::uint32_t s = 0; s < n; ++s) {
-        truth[s] =
-            pctl::evalCmp(f.op, dtmc_.varValue(s, varIdx), f.value) ? 1 : 0;
+        if (pctl::evalCmp(f.op, dtmc_.varValue(s, varIdx), f.value)) {
+          truth.set(s);
+        }
       }
       return truth;
     }
-    case Kind::kNot: {
-      truth = evalStateFormula(*f.lhs);
-      for (auto& b : truth) b = b ? 0 : 1;
-      return truth;
-    }
+    case Kind::kNot:
+      return ~evalStateFormula(*f.lhs);
     case Kind::kAnd: {
       truth = evalStateFormula(*f.lhs);
-      const auto rhs = evalStateFormula(*f.rhs);
-      for (std::uint32_t s = 0; s < n; ++s) truth[s] = truth[s] && rhs[s];
+      truth &= evalStateFormula(*f.rhs);
       return truth;
     }
     case Kind::kOr: {
       truth = evalStateFormula(*f.lhs);
-      const auto rhs = evalStateFormula(*f.rhs);
-      for (std::uint32_t s = 0; s < n; ++s) truth[s] = truth[s] || rhs[s];
+      truth |= evalStateFormula(*f.rhs);
       return truth;
     }
   }
   throw std::logic_error("unreachable state-formula kind");
 }
 
-CheckResult Checker::checkSingle(const pctl::Property& property) const {
+CheckResult Checker::checkSingle(
+    const pctl::Property& property, const pctl::EvalPlan::Single& single,
+    const std::vector<la::BitVector>& maskValues) const {
   util::Stopwatch timer;
   CheckResult result;
 
@@ -99,15 +96,22 @@ CheckResult Checker::checkSingle(const pctl::Property& property) const {
                                    reach.converged, reach.solver};
   };
 
+  // State sets come from the plan's shared mask table — evaluated once per
+  // checkAll, shared with the bounded group's columns and with any sibling
+  // single over the same set.
+  const auto maskAt = [&](std::size_t m) -> const la::BitVector& {
+    return maskValues[m];
+  };
+
   if (property.kind == pctl::Property::Kind::kProb) {
     const pctl::PathFormula& path = property.prob.path;
     std::vector<double> values;
     switch (path.kind) {
       case pctl::PathFormula::Kind::kNext:
-        values = nextProb(dtmc_, evalStateFormula(*path.lhs), options_.exec);
+        values = nextProb(dtmc_, maskAt(single.psiMask), options_.exec);
         break;
       case pctl::PathFormula::Kind::kFinally: {
-        const auto psi = evalStateFormula(*path.lhs);
+        const la::BitVector& psi = maskAt(single.psiMask);
         if (path.bound) {
           values = boundedFinally(dtmc_, psi, *path.bound, options_.exec);
         } else {
@@ -118,23 +122,25 @@ CheckResult Checker::checkSingle(const pctl::Property& property) const {
         break;
       }
       case pctl::PathFormula::Kind::kGlobally: {
-        const auto phi = evalStateFormula(*path.lhs);
+        // The plan interned the *negated* operand: G phi = 1 - F !phi,
+        // bounded and unbounded alike.
+        const la::BitVector& notPhi = maskAt(single.psiMask);
         if (path.bound) {
-          values = boundedGlobally(dtmc_, phi, *path.bound, options_.exec);
+          values = boundedFinally(dtmc_, notPhi, *path.bound, options_.exec);
         } else {
-          // G phi = !F !phi
-          std::vector<std::uint8_t> notPhi(phi.size());
-          for (std::size_t s = 0; s < phi.size(); ++s) notPhi[s] = !phi[s];
           ReachResult reach = reachProb(dtmc_, notPhi, reachOptions());
           recordReach(reach);
           values = std::move(reach.stateValues);
-          for (double& v : values) v = 1.0 - v;
         }
+        for (double& v : values) v = 1.0 - v;
         break;
       }
       case pctl::PathFormula::Kind::kUntil: {
-        const auto phi = evalStateFormula(*path.lhs);
-        const auto psi = evalStateFormula(*path.rhs);
+        const la::BitVector phiTrue(dtmc_.numStates(), true);
+        const la::BitVector& phi = single.phiMask == pctl::EvalPlan::kNoMask
+                                       ? phiTrue
+                                       : maskAt(single.phiMask);
+        const la::BitVector& psi = maskAt(single.psiMask);
         if (path.bound) {
           values = boundedUntil(dtmc_, phi, psi, *path.bound, options_.exec);
         } else {
@@ -175,9 +181,8 @@ CheckResult Checker::checkSingle(const pctl::Property& property) const {
         break;
       }
       case pctl::RewardQuery::Kind::kReachability: {
-        const auto psi = evalStateFormula(*rq.target);
-        ReachResult reach =
-            expectedReachReward(dtmc_, reward, psi, reachOptions());
+        ReachResult reach = expectedReachReward(
+            dtmc_, reward, maskAt(single.psiMask), reachOptions());
         recordReach(reach);
         result.value = fromInitial(dtmc_, reach.stateValues);
         result.stateValues = std::move(reach.stateValues);
@@ -196,7 +201,7 @@ CheckResult Checker::checkSingle(const pctl::Property& property) const {
 
 void Checker::runBoundedGroup(
     const pctl::EvalPlan& plan, const std::vector<pctl::Property>& properties,
-    const std::vector<std::vector<std::uint8_t>>& maskValues,
+    const std::vector<la::BitVector>& maskValues,
     const std::vector<std::string>& maskErrors,
     std::vector<CheckResult>& results) const {
   util::Stopwatch timer;
@@ -228,25 +233,26 @@ void Checker::runBoundedGroup(
   }
 
   // Lay out the traversal state: each live column of the row-major
-  // n x width X buffer starts at the psi indicator; the mask freezes psi
-  // states at 1.0 and !phi states at 0.0 (their initial values), which
-  // reproduces the per-formula bounded-until update bit for bit.
+  // n x width X buffer starts at the psi indicator; the column's packed
+  // mask freezes psi states at 1.0 and !phi states at 0.0 (their initial
+  // values), which reproduces the per-formula bounded-until update bit
+  // for bit. An unmasked column (the X operator) carries an all-zero
+  // BitVector — the kernel's "no freeze" convention.
   std::size_t width = live.size();
   std::vector<double> X(static_cast<std::size_t>(n) * width, 0.0);
-  std::vector<std::uint8_t> mask(X.size(), 0);
+  std::vector<la::BitVector> colMasks(width);
   for (std::size_t j = 0; j < width; ++j) {
     const pctl::EvalPlan::Column& column = plan.columns[live[j]];
-    const std::vector<std::uint8_t>& psi = maskValues[column.psiMask];
-    const std::vector<std::uint8_t>* phi =
-        column.phiMask == pctl::EvalPlan::kNoMask
-            ? nullptr
-            : &maskValues[column.phiMask];
-    for (std::uint32_t s = 0; s < n; ++s) {
-      X[s * width + j] = psi[s] ? 1.0 : 0.0;
-      if (column.masked) {
-        mask[s * width + j] =
-            (psi[s] || (phi != nullptr && !(*phi)[s])) ? 1 : 0;
+    const la::BitVector& psi = maskValues[column.psiMask];
+    psi.forEachSetBit([&](std::size_t s) { X[s * width + j] = 1.0; });
+    if (column.masked) {
+      la::BitVector m = psi;
+      if (column.phiMask != pctl::EvalPlan::kNoMask) {
+        m |= ~maskValues[column.phiMask];
       }
+      colMasks[j] = std::move(m);
+    } else {
+      colMasks[j] = la::BitVector(n, false);
     }
   }
 
@@ -284,7 +290,6 @@ void Checker::runBoundedGroup(
   // matrix work is sum of per-column bounds while the traversal count
   // stays ~1 per step.
   std::vector<double> scratch;
-  std::vector<std::uint8_t> maskScratch;
   for (std::uint64_t t = 0;; ++t) {
     for (const pctl::EvalPlan::BoundedReadout& readout : plan.bounded) {
       if (readout.bound == t && columnError[readout.column].empty()) {
@@ -303,21 +308,25 @@ void Checker::runBoundedGroup(
       }
       const std::size_t newWidth = keep.size();
       scratch.resize(static_cast<std::size_t>(n) * newWidth);
-      maskScratch.resize(scratch.size());
+      std::vector<la::BitVector> keptMasks(newWidth);
       for (std::uint32_t s = 0; s < n; ++s) {
         for (std::size_t j = 0; j < newWidth; ++j) {
           scratch[s * newWidth + j] = X[s * width + pos[keep[j]]];
-          maskScratch[s * newWidth + j] = mask[s * width + pos[keep[j]]];
         }
+      }
+      // Surviving columns keep their whole packed mask — repacking moves
+      // BitVectors, never touches bits.
+      for (std::size_t j = 0; j < newWidth; ++j) {
+        keptMasks[j] = std::move(colMasks[pos[keep[j]]]);
       }
       for (const std::size_t c : live) pos[c] = kNoPos;
       for (std::size_t j = 0; j < newWidth; ++j) pos[keep[j]] = j;
       live = std::move(keep);
       width = newWidth;
       X.swap(scratch);
-      mask.swap(maskScratch);
+      colMasks = std::move(keptMasks);
     }
-    la::spmmMasked(dtmc_.matrix(), X, width, mask, scratch, options_.exec);
+    la::spmmMasked(dtmc_.matrix(), X, width, colMasks, scratch, options_.exec);
     X.swap(scratch);
   }
 
@@ -422,13 +431,12 @@ std::vector<CheckResult> Checker::checkAll(
     const pctl::PlanOptions& planOptions, pctl::PlanStats* planStats,
     const la::TaskRunner& runner) const {
   const pctl::EvalPlan plan = pctl::buildPlan(properties, planOptions);
-  if (planStats != nullptr) *planStats = plan.stats;
   std::vector<CheckResult> results(properties.size());
 
   // Shared atom masks, each evaluated once; failures (unknown atoms or
   // variables) are captured per mask and surface on exactly the
-  // properties whose columns reference the broken mask.
-  std::vector<std::vector<std::uint8_t>> maskValues(plan.masks.size());
+  // properties whose columns or singles reference the broken mask.
+  std::vector<la::BitVector> maskValues(plan.masks.size());
   std::vector<std::string> maskErrors(plan.masks.size());
   for (std::size_t m = 0; m < plan.masks.size(); ++m) {
     try {
@@ -438,12 +446,38 @@ std::vector<CheckResult> Checker::checkAll(
     }
   }
 
+  if (planStats != nullptr) {
+    pctl::PlanStats stats = plan.stats;
+    // Mask-table footprint: packed words actually held vs the byte-per-
+    // state representation these masks replaced (~8x).
+    for (const la::BitVector& mask : maskValues) {
+      stats.maskBytesPacked += mask.approxBytes();
+      stats.maskBytesByte += mask.size();
+    }
+    *planStats = stats;
+  }
+
   std::vector<std::function<void()>> tasks;
   tasks.reserve(plan.singles.size() + 2);
-  for (const std::size_t i : plan.singles) {
-    tasks.push_back([this, &properties, &results, i] {
+  for (const pctl::EvalPlan::Single& single : plan.singles) {
+    const std::size_t i = single.property;
+    // A single whose interned state set failed to evaluate inherits the
+    // mask's error without scheduling a task — same isolation as the
+    // bounded group's columns.
+    std::string maskError;
+    for (const std::size_t m : {single.psiMask, single.phiMask}) {
+      if (m != pctl::EvalPlan::kNoMask && !maskErrors[m].empty() &&
+          maskError.empty()) {
+        maskError = maskErrors[m];
+      }
+    }
+    if (!maskError.empty()) {
+      results[i].error = std::move(maskError);
+      continue;
+    }
+    tasks.push_back([this, &properties, &results, &maskValues, single, i] {
       try {
-        results[i] = checkSingle(properties[i]);
+        results[i] = checkSingle(properties[i], single, maskValues);
       } catch (const std::exception& e) {
         results[i].error = e.what();
       }

@@ -33,6 +33,7 @@
 
 #include "dtmc/explicit_dtmc.hpp"
 #include "dtmc/model.hpp"
+#include "la/bit_vector.hpp"
 #include "la/exec.hpp"
 #include "la/solver.hpp"
 #include "pctl/ast.hpp"
@@ -123,21 +124,26 @@ class Checker {
   /// Memoized parse of a property text (shared with check(string_view)).
   [[nodiscard]] pctl::Property parsedProperty(std::string_view propertyText) const;
 
-  /// Per-state truth vector of a state formula (exposed for tests and for
-  /// the reduction verifier).
-  [[nodiscard]] std::vector<std::uint8_t> evalStateFormula(
+  /// Per-state truth set of a state formula (exposed for tests and for
+  /// the reduction verifier). Boolean connectives are word-parallel
+  /// BitVector ops.
+  [[nodiscard]] la::BitVector evalStateFormula(
       const pctl::StateFormula& f) const;
 
  private:
   /// One property evaluated outside any group (unbounded operators,
-  /// rewards, and bounded formulas when the plan's batching is off).
-  [[nodiscard]] CheckResult checkSingle(const pctl::Property& property) const;
+  /// rewards, and bounded formulas when the plan's batching is off). The
+  /// property's state sets are read from the plan's interned mask table
+  /// (single.phiMask/psiMask), not re-evaluated privately.
+  [[nodiscard]] CheckResult checkSingle(
+      const pctl::Property& property, const pctl::EvalPlan::Single& single,
+      const std::vector<la::BitVector>& maskValues) const;
 
   /// All bounded readouts of the plan: one masked SpMM traversal, columns
   /// sampled at their bounds.
   void runBoundedGroup(const pctl::EvalPlan& plan,
                        const std::vector<pctl::Property>& properties,
-                       const std::vector<std::vector<std::uint8_t>>& maskValues,
+                       const std::vector<la::BitVector>& maskValues,
                        const std::vector<std::string>& maskErrors,
                        std::vector<CheckResult>& results) const;
 

@@ -12,20 +12,20 @@ namespace {
 /// source satisfies `allowed` (seeds count regardless). Walks the matrix's
 /// cached stable transpose — row j lists j's predecessors in ascending
 /// order, so the BFS queue order matches the legacy hand-built transpose.
-std::vector<std::uint8_t> backwardClosure(const dtmc::ExplicitDtmc& dtmc,
-                                          std::vector<std::uint8_t> seeds,
-                                          const std::vector<std::uint8_t>& allowed) {
+la::BitVector backwardClosure(const dtmc::ExplicitDtmc& dtmc,
+                              la::BitVector seeds,
+                              const la::BitVector& allowed) {
   const la::CsrMatrix& back = dtmc.matrix().transposed();
   std::vector<std::uint32_t> queue;
-  for (std::uint32_t s = 0; s < dtmc.numStates(); ++s) {
-    if (seeds[s]) queue.push_back(s);
-  }
+  // forEachSetBit is ascending, matching the legacy byte-vector seed scan.
+  seeds.forEachSetBit(
+      [&](std::size_t s) { queue.push_back(static_cast<std::uint32_t>(s)); });
   for (std::size_t head = 0; head < queue.size(); ++head) {
     const std::uint32_t v = queue[head];
     for (std::uint64_t k = back.rowPtr()[v]; k < back.rowPtr()[v + 1]; ++k) {
       const std::uint32_t u = back.col()[k];
-      if (!seeds[u] && allowed[u]) {
-        seeds[u] = 1;
+      if (!seeds.get(u) && allowed.get(u)) {
+        seeds.set(u);
         queue.push_back(u);
       }
     }
@@ -35,66 +35,50 @@ std::vector<std::uint8_t> backwardClosure(const dtmc::ExplicitDtmc& dtmc,
 
 }  // namespace
 
-std::vector<std::uint8_t> prob0States(const dtmc::ExplicitDtmc& dtmc,
-                                      const std::vector<std::uint8_t>& phi,
-                                      const std::vector<std::uint8_t>& psi) {
-  const std::uint32_t n = dtmc.numStates();
+la::BitVector prob0States(const dtmc::ExplicitDtmc& dtmc,
+                          const la::BitVector& phi, const la::BitVector& psi) {
   // canReach[s] = s can reach psi via phi-states; prob0 is the complement.
-  const std::vector<std::uint8_t> canReach = backwardClosure(dtmc, psi, phi);
-  std::vector<std::uint8_t> prob0(n);
-  for (std::uint32_t s = 0; s < n; ++s) prob0[s] = canReach[s] ? 0 : 1;
-  return prob0;
+  return ~backwardClosure(dtmc, psi, phi);
 }
 
 namespace {
 
 /// prob1States against an already-computed prob0 set — callers that need
 /// both sets (untilProb) pay the prob0 backward walk once, not twice.
-std::vector<std::uint8_t> prob1FromProb0(const dtmc::ExplicitDtmc& dtmc,
-                                         const std::vector<std::uint8_t>& phi,
-                                         const std::vector<std::uint8_t>& psi,
-                                         std::vector<std::uint8_t> prob0) {
+la::BitVector prob1FromProb0(const dtmc::ExplicitDtmc& dtmc,
+                             const la::BitVector& phi, const la::BitVector& psi,
+                             la::BitVector prob0) {
   // Complement fixpoint (Baier & Katoen Alg. 46): states with P < 1 are the
   // backward closure of prob0 through "phi and not psi" states (psi states
   // never leave psi-satisfaction; non-phi non-psi states are already prob0).
-  const std::uint32_t n = dtmc.numStates();
-  std::vector<std::uint8_t> phiNotPsi(n);
-  for (std::uint32_t s = 0; s < n; ++s) phiNotPsi[s] = phi[s] && !psi[s];
-  const std::vector<std::uint8_t> lessThanOne =
-      backwardClosure(dtmc, std::move(prob0), phiNotPsi);
-  std::vector<std::uint8_t> prob1(n);
-  for (std::uint32_t s = 0; s < n; ++s) prob1[s] = lessThanOne[s] ? 0 : 1;
-  return prob1;
+  la::BitVector phiNotPsi(phi);
+  phiNotPsi -= psi;
+  return ~backwardClosure(dtmc, std::move(prob0), phiNotPsi);
 }
 
 }  // namespace
 
-std::vector<std::uint8_t> prob1States(const dtmc::ExplicitDtmc& dtmc,
-                                      const std::vector<std::uint8_t>& phi,
-                                      const std::vector<std::uint8_t>& psi) {
+la::BitVector prob1States(const dtmc::ExplicitDtmc& dtmc,
+                          const la::BitVector& phi, const la::BitVector& psi) {
   return prob1FromProb0(dtmc, phi, psi, prob0States(dtmc, phi, psi));
 }
 
-ReachResult untilProb(const dtmc::ExplicitDtmc& dtmc,
-                      const std::vector<std::uint8_t>& phi,
-                      const std::vector<std::uint8_t>& psi,
-                      const ReachOptions& options) {
+ReachResult untilProb(const dtmc::ExplicitDtmc& dtmc, const la::BitVector& phi,
+                      const la::BitVector& psi, const ReachOptions& options) {
   const std::uint32_t n = dtmc.numStates();
   assert(phi.size() == n && psi.size() == n);
 
-  const std::vector<std::uint8_t> prob0 = prob0States(dtmc, phi, psi);
-  const std::vector<std::uint8_t> prob1 = prob1FromProb0(dtmc, phi, psi, prob0);
+  const la::BitVector prob0 = prob0States(dtmc, phi, psi);
+  const la::BitVector prob1 = prob1FromProb0(dtmc, phi, psi, prob0);
 
   ReachResult result;
   result.stateValues.assign(n, 0.0);
-  for (std::uint32_t s = 0; s < n; ++s) {
-    if (prob1[s]) result.stateValues[s] = 1.0;
-  }
+  prob1.forEachSetBit([&](std::size_t s) { result.stateValues[s] = 1.0; });
 
   // x = P x on the undetermined states (prob0/prob1 rows fixed).
   std::vector<std::uint32_t> undetermined;
   for (std::uint32_t s = 0; s < n; ++s) {
-    if (!prob0[s] && !prob1[s]) undetermined.push_back(s);
+    if (!prob0.get(s) && !prob1.get(s)) undetermined.push_back(s);
   }
   if (undetermined.empty()) return result;
 
@@ -110,30 +94,29 @@ ReachResult untilProb(const dtmc::ExplicitDtmc& dtmc,
   return result;
 }
 
-ReachResult reachProb(const dtmc::ExplicitDtmc& dtmc,
-                      const std::vector<std::uint8_t>& psi,
+ReachResult reachProb(const dtmc::ExplicitDtmc& dtmc, const la::BitVector& psi,
                       const ReachOptions& options) {
-  const std::vector<std::uint8_t> phi(dtmc.numStates(), 1);
+  const la::BitVector phi(dtmc.numStates(), true);
   return untilProb(dtmc, phi, psi, options);
 }
 
 ReachResult expectedReachReward(const dtmc::ExplicitDtmc& dtmc,
                                 const std::vector<double>& reward,
-                                const std::vector<std::uint8_t>& psi,
+                                const la::BitVector& psi,
                                 const ReachOptions& options) {
   const std::uint32_t n = dtmc.numStates();
   assert(reward.size() == n && psi.size() == n);
 
-  const std::vector<std::uint8_t> phi(n, 1);
-  const std::vector<std::uint8_t> prob1 = prob1States(dtmc, phi, psi);
+  const la::BitVector phi(n, true);
+  const la::BitVector prob1 = prob1States(dtmc, phi, psi);
 
   ReachResult result;
   result.stateValues.assign(n, 0.0);
   std::vector<std::uint32_t> active;
   for (std::uint32_t s = 0; s < n; ++s) {
-    if (psi[s]) {
+    if (psi.get(s)) {
       result.stateValues[s] = 0.0;  // accumulate nothing once reached
-    } else if (!prob1[s]) {
+    } else if (!prob1.get(s)) {
       result.stateValues[s] = std::numeric_limits<double>::infinity();
     } else {
       active.push_back(s);

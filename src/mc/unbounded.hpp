@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "dtmc/explicit_dtmc.hpp"
+#include "la/bit_vector.hpp"
 #include "la/exec.hpp"
 #include "la/solver.hpp"
 
@@ -37,25 +38,25 @@ struct ReachResult {
 };
 
 /// States with P(phi U psi) = 0: complement of backward reachability of psi
-/// through phi states.
-[[nodiscard]] std::vector<std::uint8_t> prob0States(
-    const dtmc::ExplicitDtmc& dtmc, const std::vector<std::uint8_t>& phi,
-    const std::vector<std::uint8_t>& psi);
+/// through phi states. phi/psi are packed state sets of numStates bits.
+[[nodiscard]] la::BitVector prob0States(const dtmc::ExplicitDtmc& dtmc,
+                                        const la::BitVector& phi,
+                                        const la::BitVector& psi);
 
 /// States with P(phi U psi) = 1 (standard double-fixpoint algorithm).
-[[nodiscard]] std::vector<std::uint8_t> prob1States(
-    const dtmc::ExplicitDtmc& dtmc, const std::vector<std::uint8_t>& phi,
-    const std::vector<std::uint8_t>& psi);
+[[nodiscard]] la::BitVector prob1States(const dtmc::ExplicitDtmc& dtmc,
+                                        const la::BitVector& phi,
+                                        const la::BitVector& psi);
 
 /// Full unbounded until probabilities.
 [[nodiscard]] ReachResult untilProb(const dtmc::ExplicitDtmc& dtmc,
-                                    const std::vector<std::uint8_t>& phi,
-                                    const std::vector<std::uint8_t>& psi,
+                                    const la::BitVector& phi,
+                                    const la::BitVector& psi,
                                     const ReachOptions& options = {});
 
 /// P(F psi) = P(true U psi).
 [[nodiscard]] ReachResult reachProb(const dtmc::ExplicitDtmc& dtmc,
-                                    const std::vector<std::uint8_t>& psi,
+                                    const la::BitVector& psi,
                                     const ReachOptions& options = {});
 
 /// Expected reward accumulated before reaching psi (R=? [ F psi ]).
@@ -63,6 +64,6 @@ struct ReachResult {
 /// (PRISM semantics); psi states accumulate nothing.
 [[nodiscard]] ReachResult expectedReachReward(
     const dtmc::ExplicitDtmc& dtmc, const std::vector<double>& reward,
-    const std::vector<std::uint8_t>& psi, const ReachOptions& options = {});
+    const la::BitVector& psi, const ReachOptions& options = {});
 
 }  // namespace mimostat::mc

@@ -54,18 +54,48 @@ EvalPlan buildPlan(const std::vector<Property>& properties,
   std::vector<std::uint64_t> singleHashes;
 
   // Structurally identical single tasks run once; repeats copy the
-  // representative's (deterministic) result.
+  // representative's (deterministic) result. The duplicate check runs
+  // BEFORE mask interning so a repeat counts one dedup, not two. A
+  // representative's state subformulas intern into the shared mask table
+  // (phiMask/psiMask per Single's contract), so singles dedup their set
+  // evaluations against the bounded columns and against each other.
   const auto addSingle = [&](std::size_t i) {
     const std::uint64_t h = structuralHash(properties[i]);
     for (std::size_t j = 0; j < plan.singles.size(); ++j) {
       if (singleHashes[j] == h &&
-          structuralEqual(properties[plan.singles[j]], properties[i])) {
+          structuralEqual(properties[plan.singles[j].property],
+                          properties[i])) {
         ++plan.stats.tasksDeduped;
-        plan.singleDuplicates.emplace_back(i, plan.singles[j]);
+        plan.singleDuplicates.emplace_back(i, plan.singles[j].property);
         return;
       }
     }
-    plan.singles.push_back(i);
+    EvalPlan::Single single;
+    single.property = i;
+    const Property& p = properties[i];
+    if (p.kind == Property::Kind::kProb) {
+      const PathFormula& path = p.prob.path;
+      switch (path.kind) {
+        case PathFormula::Kind::kNext:
+        case PathFormula::Kind::kFinally:
+          single.psiMask = masks.intern(path.lhs);
+          break;
+        case PathFormula::Kind::kGlobally:
+          // G phi answers as 1 - reach(!phi); interning the negated operand
+          // lets it share a mask with F !phi / U..!phi queries.
+          single.psiMask = masks.intern(negated(path.lhs));
+          break;
+        case PathFormula::Kind::kUntil:
+          if (!isTriviallyTrue(*path.lhs)) {
+            single.phiMask = masks.intern(path.lhs);
+          }
+          single.psiMask = masks.intern(path.rhs);
+          break;
+      }
+    } else if (p.reward.kind == RewardQuery::Kind::kReachability) {
+      single.psiMask = masks.intern(p.reward.target);
+    }
+    plan.singles.push_back(single);
     singleHashes.push_back(h);
   };
 

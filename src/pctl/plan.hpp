@@ -20,7 +20,10 @@
 //     structures deduplicated by name.
 //   - singles: everything else (unbounded operators, steady state,
 //     reachability rewards) — independent tasks; structurally identical
-//     singles run once, repeats copy the representative's result.
+//     singles run once, repeats copy the representative's result. Their
+//     state subformulas go through the SAME mask table as the bounded
+//     columns, so a bounded and an unbounded query over the same target
+//     set evaluate that set once (the mask hit counts into tasksDeduped).
 //
 // PlanStats quantifies the win: tasksPlanned counts distinct tasks that
 // will execute, tasksDeduped counts requests satisfied by an existing
@@ -57,6 +60,12 @@ struct PlanStats {
   /// sum over group members of their individual step counts, minus the
   /// steps the shared traversal actually takes.
   std::uint64_t traversalsSaved = 0;
+  /// Bytes held by the plan's evaluated mask table — packed la::BitVector
+  /// words vs what the legacy byte-per-state representation would have
+  /// held (the ~8x memory win). Filled by the executor
+  /// (mc::Checker::checkAll) once masks are evaluated; zero until then.
+  std::uint64_t maskBytesPacked = 0;
+  std::uint64_t maskBytesByte = 0;
 };
 
 struct EvalPlan {
@@ -100,11 +109,22 @@ struct EvalPlan {
   std::vector<TransientEntry> transients;
 
   /// Properties executed as independent tasks (one representative per
-  /// structurally distinct property).
-  std::vector<std::size_t> singles;
+  /// structurally distinct property). Their state subformulas are interned
+  /// into `masks` like the bounded columns': phiMask is the until
+  /// left-hand side (kNoMask when trivially true or the operator has
+  /// none), psiMask the target set — next/finally operand, the *negated*
+  /// globally operand (the executor complements), the until right-hand
+  /// side, or a reachability reward's target. Steady-state and transient
+  /// reward singles carry no masks.
+  struct Single {
+    std::size_t property = 0;
+    std::size_t phiMask = kNoMask;
+    std::size_t psiMask = kNoMask;
+  };
+  std::vector<Single> singles;
   /// Structurally identical repeats of singles, as (property,
-  /// representative) pairs — the representative (a member of `singles`)
-  /// runs once and its result is copied. Exact evaluation is
+  /// representative) pairs — the representative (a property listed in
+  /// `singles`) runs once and its result is copied. Exact evaluation is
   /// deterministic, so the copy equals a recompute bit for bit.
   std::vector<std::pair<std::size_t, std::size_t>> singleDuplicates;
 

@@ -98,8 +98,8 @@ TEST(Builder, EvalAtomAndReward) {
   const auto truth = result.dtmc.evalAtom(model, "one");
   const auto reward = result.dtmc.evalReward(model, "");
   // State order follows BFS from the initial state 0.
-  EXPECT_EQ(truth[0], 0);
-  EXPECT_EQ(truth[1], 1);
+  EXPECT_FALSE(truth.get(0));
+  EXPECT_TRUE(truth.get(1));
   EXPECT_EQ(reward[1], 2.5);
 }
 

@@ -66,28 +66,26 @@ TEST(Period, TwoCycleEvenPeriod) {
 
 TEST(Reachability, BackwardClosure) {
   const auto d = build(test::lineModel(5));
-  std::vector<std::uint8_t> target(5, 0);
-  target[4] = 1;
+  la::BitVector target(5);
+  target.set(4);
   const auto reach = dtmc::backwardReachable(d, target);
   for (std::uint32_t s = 0; s < 5; ++s) {
-    EXPECT_EQ(reach[s], 1) << "state " << s;
+    EXPECT_TRUE(reach.get(s)) << "state " << s;
   }
 }
 
 TEST(Reachability, ForwardClosure) {
   const auto d = build(test::gamblersRuin(4, 0.5, 2));
   // From the absorbing state 0 (BFS index lookup needed): find its index.
-  std::vector<std::uint8_t> from(d.numStates(), 0);
+  la::BitVector from(d.numStates());
   std::uint32_t zeroIdx = ~0u;
   for (std::uint32_t s = 0; s < d.numStates(); ++s) {
     if (d.state(s)[0] == 0) zeroIdx = s;
   }
   ASSERT_NE(zeroIdx, ~0u);
-  from[zeroIdx] = 1;
+  from.set(zeroIdx);
   const auto reach = dtmc::forwardReachable(d, from);
-  std::uint32_t reached = 0;
-  for (const auto r : reach) reached += r;
-  EXPECT_EQ(reached, 1u);  // absorbing: only itself
+  EXPECT_EQ(reach.count(), 1u);  // absorbing: only itself
 }
 
 }  // namespace

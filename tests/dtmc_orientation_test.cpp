@@ -80,8 +80,9 @@ TEST(Orientation, BoundedOperatorsRefuseTransposeOnlyModels) {
   dtmc::BuildOptions options;
   options.orientation = la::KeepOrientation::kTransposeOnly;
   const auto build = dtmc::buildExplicit(model, options);
-  const std::vector<std::uint8_t> phi(3, 1);
-  const std::vector<std::uint8_t> psi{0, 0, 1};
+  const la::BitVector phi(3, true);
+  la::BitVector psi(3);
+  psi.set(2);
 
   const auto expectRefusal = [](const auto& callable) {
     try {
@@ -146,8 +147,9 @@ TEST(Orientation, OriginalOnlySupportsBoundedBitIdentically) {
   options.orientation = la::KeepOrientation::kOriginalOnly;
   const auto forwardOnly = dtmc::buildExplicit(model, options);
 
-  const std::vector<std::uint8_t> phi(3, 1);
-  const std::vector<std::uint8_t> psi{0, 0, 1};
+  const la::BitVector phi(3, true);
+  la::BitVector psi(3);
+  psi.set(2);
   EXPECT_TRUE(bitEqual(mc::boundedUntil(forwardOnly.dtmc, phi, psi, 8),
                        mc::boundedUntil(both.dtmc, phi, psi, 8)));
   EXPECT_TRUE(bitEqual(mc::nextProb(forwardOnly.dtmc, psi),
@@ -181,6 +183,72 @@ TEST(Orientation, EngineCacheKeysOnOrientation) {
   EXPECT_TRUE(hit);
   EXPECT_EQ(eng.stats().builds, 2u);
   EXPECT_EQ(eng.stats().cachedModels, 2u);
+}
+
+TEST(Orientation, EngineRebuildsTransposeOnlyOnDemand) {
+  const auto model = labeledChain();
+  engine::AnalysisEngine eng;
+
+  // Prime the cache with a transpose-only build via a request that never
+  // needs forward access — no rebuild happens.
+  engine::AnalysisRequest steady;
+  steady.model = &model;
+  steady.properties = {"R=? [ S ]"};
+  steady.options.backend = engine::Backend::kExact;
+  steady.options.build.orientation = la::KeepOrientation::kTransposeOnly;
+  const auto first = eng.analyze(steady);
+  ASSERT_TRUE(first.ok()) << first.error;
+  EXPECT_FALSE(first.orientationRebuilt);
+  EXPECT_EQ(eng.stats().builds, 1u);
+
+  // A bounded property hitting the cached transpose-only entry upgrades it
+  // in place instead of refusing.
+  engine::AnalysisRequest bounded;
+  bounded.model = &model;
+  bounded.properties = {"P=? [ F<=5 \"goal\" ]", "R=? [ S ]"};
+  bounded.options = steady.options;
+  const auto second = eng.analyze(bounded);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second.cacheHit);
+  EXPECT_TRUE(second.orientationRebuilt);
+  EXPECT_GT(second.buildSeconds, 0.0);
+  EXPECT_EQ(eng.stats().builds, 2u);       // the upgrade is a real build...
+  EXPECT_EQ(eng.stats().cachedModels, 1u);  // ...under the SAME cache key
+
+  // Values bit-equal to a kBoth build.
+  const auto reference = dtmc::buildExplicit(model);
+  const mc::Checker refChecker(reference.dtmc, model);
+  ASSERT_TRUE(second.results[0].ok()) << second.results[0].error;
+  EXPECT_EQ(second.results[0].value,
+            refChecker.check("P=? [ F<=5 \"goal\" ]").value);
+  EXPECT_EQ(second.results[1].value, refChecker.check("R=? [ S ]").value);
+
+  // The upgraded entry now serves forward traversals directly.
+  const auto third = eng.analyze(bounded);
+  ASSERT_TRUE(third.ok());
+  EXPECT_TRUE(third.cacheHit);
+  EXPECT_FALSE(third.orientationRebuilt);
+  EXPECT_EQ(eng.stats().builds, 2u);
+}
+
+TEST(Orientation, EngineKeepsRefusalWhenRebuildDisabled) {
+  const auto model = labeledChain();
+  engine::AnalysisEngine eng;
+
+  engine::AnalysisRequest request;
+  request.model = &model;
+  request.properties = {"P=? [ F<=5 \"goal\" ]", "R=? [ S ]"};
+  request.options.backend = engine::Backend::kExact;
+  request.options.build.orientation = la::KeepOrientation::kTransposeOnly;
+  request.options.rebuildOrientation = false;
+  const auto response = eng.analyze(request);
+  EXPECT_FALSE(response.orientationRebuilt);
+  ASSERT_EQ(response.results.size(), 2u);
+  // The refusal surfaces per property; the steady sibling still answers.
+  EXPECT_FALSE(response.results[0].ok());
+  EXPECT_NE(response.results[0].error.find("orientation"), std::string::npos)
+      << response.results[0].error;
+  EXPECT_TRUE(response.results[1].ok()) << response.results[1].error;
 }
 
 }  // namespace

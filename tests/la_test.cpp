@@ -282,6 +282,20 @@ TEST(Spmm, MatchesPerVectorSpmvBitwise) {
 
 // ----------------------------------------------------------- masked SpMM
 
+/// Pack a legacy row-major n x k byte mask into the kernel's shape: k
+/// per-column BitVectors, one bit per row. The byte mask stays the test
+/// oracle; this bridge is the only conversion.
+std::vector<la::BitVector> columnMasks(const std::vector<std::uint8_t>& mask,
+                                       std::uint32_t n, std::size_t k) {
+  std::vector<la::BitVector> cols(k, la::BitVector(n));
+  for (std::uint32_t s = 0; s < n; ++s) {
+    for (std::size_t j = 0; j < k; ++j) {
+      if (mask[s * k + j] != 0) cols[j].set(s);
+    }
+  }
+  return cols;
+}
+
 /// Reference masked update: per column j, frozen entries keep X, the rest
 /// take the plain per-column SpMV value.
 std::vector<double> maskedReference(const la::CsrMatrix& m,
@@ -314,14 +328,14 @@ TEST(SpmmMasked, FrozenEntriesKeepXAndLiveEntriesMatchSpmvBitwise) {
     mask[i] = rng.nextDouble() < 0.3 ? 1 : 0;
   }
   std::vector<double> Y;
-  la::spmmMasked(m.csr, X, k, mask, Y);
+  la::spmmMasked(m.csr, X, k, columnMasks(mask, n, k), Y);
   EXPECT_TRUE(bitEqual(Y, maskedReference(m.csr, X, k, mask)));
 
   // The all-zero mask degenerates to plain spmm.
   std::fill(mask.begin(), mask.end(), 0);
   std::vector<double> plain;
   la::spmm(m.csr, X, k, plain);
-  la::spmmMasked(m.csr, X, k, mask, Y);
+  la::spmmMasked(m.csr, X, k, columnMasks(mask, n, k), Y);
   EXPECT_TRUE(bitEqual(Y, plain));
 
   // spmmLeftMasked freezes over the transpose product the same way.
@@ -330,7 +344,7 @@ TEST(SpmmMasked, FrozenEntriesKeepXAndLiveEntriesMatchSpmvBitwise) {
   std::vector<double> leftPlain;
   la::spmmLeft(m.csr, X, k, leftPlain);
   std::vector<double> leftMasked;
-  la::spmmLeftMasked(m.csr, X, k, mask, leftMasked);
+  la::spmmLeftMasked(m.csr, X, k, columnMasks(mask, n, k), leftMasked);
   for (std::size_t i = 0; i < leftMasked.size(); ++i) {
     const double expect = mask[i] ? X[i] : leftPlain[i];
     EXPECT_EQ(leftMasked[i], expect) << i;
@@ -348,12 +362,15 @@ TEST(SpmmMasked, BitIdenticalAcrossPoolSizes) {
     X[i] = static_cast<double>((i * 2654435761u) % 1000) / 997.0;
     mask[i] = (i * 40503u) % 5 == 0 ? 1 : 0;
   }
+  const std::vector<la::BitVector> packed = columnMasks(mask, n, k);
   std::vector<double> seq;
-  la::spmmMasked(m.csr, X, k, mask, seq);
+  la::spmmMasked(m.csr, X, k, packed, seq);
+  // The packed path must also equal the byte-mask reference exactly.
+  EXPECT_TRUE(bitEqual(seq, maskedReference(m.csr, X, k, mask)));
   for (const std::size_t threads : {1u, 2u, 8u}) {
     engine::ThreadPool pool(threads);
     std::vector<double> Y;
-    la::spmmMasked(m.csr, X, k, mask, Y, poolExec(pool));
+    la::spmmMasked(m.csr, X, k, packed, Y, poolExec(pool));
     EXPECT_TRUE(bitEqual(Y, seq)) << threads << " threads";
   }
 }
@@ -377,7 +394,7 @@ TEST(CsrMatrix, TransposeOnlyDropsOriginalWithClearErrors) {
   std::vector<double> y;
   EXPECT_THROW(la::spmv(tOnly, x, y), std::logic_error);
   std::vector<double> X(x), Y;
-  std::vector<std::uint8_t> mask(x.size(), 0);
+  const std::vector<la::BitVector> mask(1, la::BitVector(200));
   EXPECT_THROW(la::spmmMasked(tOnly, X, 1, mask, Y), std::logic_error);
 
   // Left products still work and stay bitwise-equal to the both-orientation
@@ -522,18 +539,19 @@ TEST(GaussSeidel, MatchesLegacyValueIterationBitwise) {
   auto model = test::gamblersRuin(60, 0.45, 30);
   const auto d = dtmc::buildExplicit(model).dtmc;
   const auto varIdx = d.varLayout().indexOf("s");
-  std::vector<std::uint8_t> psi(d.numStates(), 0);
+  la::BitVector psi(d.numStates());
   for (std::uint32_t s = 0; s < d.numStates(); ++s) {
-    psi[s] = d.varValue(s, varIdx) == 60;
+    if (d.varValue(s, varIdx) == 60) psi.set(s);
   }
 
-  const auto prob0 = mc::prob0States(d, std::vector<std::uint8_t>(d.numStates(), 1), psi);
-  const auto prob1 = mc::prob1States(d, std::vector<std::uint8_t>(d.numStates(), 1), psi);
+  const la::BitVector allStates(d.numStates(), true);
+  const auto prob0 = mc::prob0States(d, allStates, psi);
+  const auto prob1 = mc::prob1States(d, allStates, psi);
   std::vector<double> legacy(d.numStates(), 0.0);
   std::vector<std::uint32_t> undetermined;
   for (std::uint32_t s = 0; s < d.numStates(); ++s) {
-    if (prob1[s]) legacy[s] = 1.0;
-    if (!prob0[s] && !prob1[s]) undetermined.push_back(s);
+    if (prob1.get(s)) legacy[s] = 1.0;
+    if (!prob0.get(s) && !prob1.get(s)) undetermined.push_back(s);
   }
   for (std::uint64_t iter = 0; iter < 1'000'000; ++iter) {
     double maxDelta = 0.0;
@@ -559,9 +577,9 @@ TEST(Jacobi, ConvergesToSameFixedPointAsGaussSeidel) {
   auto model = test::gamblersRuin(80, 0.45, 40);
   const auto d = dtmc::buildExplicit(model).dtmc;
   const auto varIdx = d.varLayout().indexOf("s");
-  std::vector<std::uint8_t> psi(d.numStates(), 0);
+  la::BitVector psi(d.numStates());
   for (std::uint32_t s = 0; s < d.numStates(); ++s) {
-    psi[s] = d.varValue(s, varIdx) == 80;
+    if (d.varValue(s, varIdx) == 80) psi.set(s);
   }
   mc::ReachOptions jacobi;
   jacobi.solver = la::SolverKind::kJacobi;
@@ -611,9 +629,9 @@ TEST(GaussSeidelRB, ConvergesToSameFixedPointAsGaussSeidel) {
   auto model = test::gamblersRuin(80, 0.45, 40);
   const auto d = dtmc::buildExplicit(model).dtmc;
   const auto varIdx = d.varLayout().indexOf("s");
-  std::vector<std::uint8_t> psi(d.numStates(), 0);
+  la::BitVector psi(d.numStates());
   for (std::uint32_t s = 0; s < d.numStates(); ++s) {
-    psi[s] = d.varValue(s, varIdx) == 80;
+    if (d.varValue(s, varIdx) == 80) psi.set(s);
   }
   mc::ReachOptions rb;
   rb.solver = la::SolverKind::kGaussSeidelRB;
@@ -683,10 +701,10 @@ TEST(GaussSeidel, KnownChainGamblersRuin) {
   // p = 1/2 gambler's ruin on 0..10 from 4: P(hit 10 before 0) = 4/10.
   auto model = test::gamblersRuin(10, 0.5, 4);
   const auto d = dtmc::buildExplicit(model).dtmc;
-  std::vector<std::uint8_t> psi(d.numStates(), 0);
+  la::BitVector psi(d.numStates());
   const auto varIdx = d.varLayout().indexOf("s");
   for (std::uint32_t s = 0; s < d.numStates(); ++s) {
-    psi[s] = d.varValue(s, varIdx) == 10;
+    if (d.varValue(s, varIdx) == 10) psi.set(s);
   }
   for (const la::SolverKind kind :
        {la::SolverKind::kGaussSeidel, la::SolverKind::kJacobi,

@@ -69,8 +69,8 @@ std::vector<double> legacyNextProb(const dtmc::ExplicitDtmc& dtmc,
 TEST(Bounded, FinallyOnLineNeedsExactlyDistanceSteps) {
   const auto model = test::lineModel(6);
   const auto d = dtmc::buildExplicit(model).dtmc;
-  std::vector<std::uint8_t> psi(6, 0);
-  psi[5] = 1;
+  la::BitVector psi(6);
+  psi.set(5);
   // From state 0 the target is 5 steps away.
   EXPECT_NEAR(mc::boundedFinally(d, psi, 4)[0], 0.0, 1e-15);
   EXPECT_NEAR(mc::boundedFinally(d, psi, 5)[0], 1.0, 1e-15);
@@ -93,8 +93,7 @@ TEST(Bounded, GloballyIsComplementOfFinallyNot) {
   const auto model = test::randomModel(20, 3, 31);
   const auto d = dtmc::buildExplicit(model).dtmc;
   const auto target = d.evalAtom(model, "target");
-  std::vector<std::uint8_t> notTarget(target.size());
-  for (std::size_t i = 0; i < target.size(); ++i) notTarget[i] = !target[i];
+  const la::BitVector notTarget = ~target;
   for (const std::uint64_t k : {0ULL, 3ULL, 7ULL}) {
     const auto g = mc::boundedGlobally(d, notTarget, k);
     const auto f = mc::boundedFinally(d, target, k);
@@ -108,10 +107,10 @@ TEST(Bounded, UntilZeroBoundIsPsiIndicator) {
   const auto model = test::randomModel(10, 2, 3);
   const auto d = dtmc::buildExplicit(model).dtmc;
   const auto psi = d.evalAtom(model, "target");
-  const std::vector<std::uint8_t> phi(d.numStates(), 1);
+  const la::BitVector phi(d.numStates(), true);
   const auto x = mc::boundedUntil(d, phi, psi, 0);
   for (std::size_t s = 0; s < x.size(); ++s) {
-    EXPECT_EQ(x[s], psi[s] ? 1.0 : 0.0);
+    EXPECT_EQ(x[s], psi.get(s) ? 1.0 : 0.0);
   }
 }
 
@@ -120,11 +119,11 @@ TEST(Bounded, UntilBlockedByPhi) {
   // 0 for every bound.
   test::MatrixModel model({{0, 1, 0}, {0, 0, 1}, {0, 0, 1}});
   const auto d = dtmc::buildExplicit(model).dtmc;
-  std::vector<std::uint8_t> phi{1, 0, 1};
-  std::vector<std::uint8_t> psi{0, 0, 1};
+  la::BitVector phi = la::BitVector::fromBytes({1, 0, 1});
+  const la::BitVector psi = la::BitVector::fromBytes({0, 0, 1});
   EXPECT_NEAR(mc::boundedUntil(d, phi, psi, 10)[0], 0.0, 1e-15);
   // With phi allowing state 1 it reaches in 2 steps.
-  phi[1] = 1;
+  phi.set(1);
   EXPECT_NEAR(mc::boundedUntil(d, phi, psi, 2)[0], 1.0, 1e-15);
 }
 
@@ -134,11 +133,11 @@ TEST(Bounded, GamblersRuinSymmetric) {
   const auto model = test::gamblersRuin(6, 0.5, 3);
   const auto d = dtmc::buildExplicit(model).dtmc;
   const auto varIdx = d.varLayout().indexOf("s");
-  std::vector<std::uint8_t> ruin(d.numStates(), 0);
-  std::vector<std::uint8_t> win(d.numStates(), 0);
+  la::BitVector ruin(d.numStates());
+  la::BitVector win(d.numStates());
   for (std::uint32_t s = 0; s < d.numStates(); ++s) {
-    ruin[s] = d.varValue(s, varIdx) == 0;
-    win[s] = d.varValue(s, varIdx) == 6;
+    if (d.varValue(s, varIdx) == 0) ruin.set(s);
+    if (d.varValue(s, varIdx) == 6) win.set(s);
   }
   for (const std::uint64_t k : {3ULL, 9ULL, 30ULL}) {
     EXPECT_NEAR(mc::fromInitial(d, mc::boundedFinally(d, ruin, k)),
@@ -149,7 +148,7 @@ TEST(Bounded, GamblersRuinSymmetric) {
 TEST(Bounded, NextProbability) {
   const auto model = test::twoStateChain(0.3, 0.4);
   const auto d = dtmc::buildExplicit(model).dtmc;
-  const std::vector<std::uint8_t> psi{0, 1};
+  const la::BitVector psi = la::BitVector::fromBytes({0, 1});
   const auto x = mc::nextProb(d, psi);
   EXPECT_NEAR(x[0], 0.3, 1e-15);
   EXPECT_NEAR(x[1], 0.6, 1e-15);
@@ -170,19 +169,21 @@ TEST(Bounded, MaskedKernelMatchesLegacyLoopBitwise) {
   const auto model = test::randomModel(400, 4, 71);
   const auto d = dtmc::buildExplicit(model).dtmc;
   const auto psi = d.evalAtom(model, "target");
-  std::vector<std::uint8_t> phi(d.numStates());
-  for (std::uint32_t s = 0; s < d.numStates(); ++s) phi[s] = s % 3 != 0;
+  const std::vector<std::uint8_t> psiBytes = psi.toBytes();
+  std::vector<std::uint8_t> phiBytes(d.numStates());
+  for (std::uint32_t s = 0; s < d.numStates(); ++s) phiBytes[s] = s % 3 != 0;
+  const la::BitVector phi = la::BitVector::fromBytes(phiBytes);
   for (const std::uint64_t k : {0ULL, 1ULL, 7ULL, 33ULL}) {
     EXPECT_TRUE(bitEqual(mc::boundedUntil(d, phi, psi, k),
-                         legacyBoundedUntil(d, phi, psi, k)))
+                         legacyBoundedUntil(d, phiBytes, psiBytes, k)))
         << "U<=" << k;
     EXPECT_TRUE(bitEqual(mc::boundedFinally(d, psi, k),
                          legacyBoundedUntil(
                              d, std::vector<std::uint8_t>(d.numStates(), 1),
-                             psi, k)))
+                             psiBytes, k)))
         << "F<=" << k;
   }
-  EXPECT_TRUE(bitEqual(mc::nextProb(d, psi), legacyNextProb(d, psi)));
+  EXPECT_TRUE(bitEqual(mc::nextProb(d, psi), legacyNextProb(d, psiBytes)));
 }
 
 /// Per-property reference values via the verbatim legacy loops.
@@ -231,7 +232,8 @@ TEST(Bounded, BatchedPlanBitIdenticalToPerFormulaAt128Threads) {
   for (std::uint32_t s = 0; s < d.numStates(); ++s) {
     phi[s] = d.varValue(s, varIdx) < 400 && d.varValue(s, varIdx) != 0;
   }
-  const std::vector<double> expected = legacyReference(d, target, phi);
+  const std::vector<double> expected =
+      legacyReference(d, target.toBytes(), phi);
 
   const auto runAll = [&](const la::Exec& exec) {
     mc::CheckOptions options;
@@ -275,7 +277,8 @@ TEST(Bounded, PlanDedupSharesColumnsAcrossThresholds) {
   // 4 + 11 + 7 steps, the shared column traverses 11.
   EXPECT_EQ(stats.tasksPlanned, 3u);  // mask + column + group task
   EXPECT_EQ(stats.traversalsSaved, 11u);
-  const auto target = d.evalAtom(model, "target");
+  const std::vector<std::uint8_t> target =
+      d.evalAtom(model, "target").toBytes();
   const std::vector<std::uint8_t> all(d.numStates(), 1);
   EXPECT_TRUE(bitEqual(results[0].stateValues,
                        legacyBoundedUntil(d, all, target, 4)));

@@ -17,9 +17,9 @@ TEST(Unbounded, FairGamblersRuinClosedForm) {
     const auto model = test::gamblersRuin(n, 0.5, start);
     const auto d = dtmc::buildExplicit(model).dtmc;
     const auto varIdx = d.varLayout().indexOf("s");
-    std::vector<std::uint8_t> win(d.numStates(), 0);
+    la::BitVector win(d.numStates());
     for (std::uint32_t s = 0; s < d.numStates(); ++s) {
-      win[s] = d.varValue(s, varIdx) == static_cast<std::int32_t>(n);
+      if (d.varValue(s, varIdx) == static_cast<std::int32_t>(n)) win.set(s);
     }
     const auto result = mc::reachProb(d, win);
     EXPECT_TRUE(result.converged);
@@ -37,9 +37,9 @@ TEST(Unbounded, BiasedGamblersRuinClosedForm) {
   const auto model = test::gamblersRuin(n, p, start);
   const auto d = dtmc::buildExplicit(model).dtmc;
   const auto varIdx = d.varLayout().indexOf("s");
-  std::vector<std::uint8_t> win(d.numStates(), 0);
+  la::BitVector win(d.numStates());
   for (std::uint32_t s = 0; s < d.numStates(); ++s) {
-    win[s] = d.varValue(s, varIdx) == static_cast<std::int32_t>(n);
+    if (d.varValue(s, varIdx) == static_cast<std::int32_t>(n)) win.set(s);
   }
   const auto result = mc::reachProb(d, win);
   const double expected =
@@ -53,19 +53,17 @@ TEST(Unbounded, Prob0Identification) {
       {{0, 0.5, 0, 0.5}, {0, 0, 1, 0}, {0, 0, 1, 0}, {0, 0, 0, 1}});
   const auto d = dtmc::buildExplicit(model).dtmc;
   const auto varIdx = d.varLayout().indexOf("s");
-  std::vector<std::uint8_t> psi(d.numStates(), 0);
-  std::vector<std::uint8_t> phi(d.numStates(), 1);
+  la::BitVector psi(d.numStates());
+  const la::BitVector phi(d.numStates(), true);
   std::uint32_t idx3 = ~0u;
   for (std::uint32_t s = 0; s < d.numStates(); ++s) {
-    psi[s] = d.varValue(s, varIdx) == 2;
+    if (d.varValue(s, varIdx) == 2) psi.set(s);
     if (d.varValue(s, varIdx) == 3) idx3 = s;
   }
   const auto prob0 = mc::prob0States(d, phi, psi);
   ASSERT_NE(idx3, ~0u);
-  EXPECT_EQ(prob0[idx3], 1);
-  std::uint32_t zeros = 0;
-  for (const auto z : prob0) zeros += z;
-  EXPECT_EQ(zeros, 1u);
+  EXPECT_TRUE(prob0.get(idx3));
+  EXPECT_EQ(prob0.count(), 1u);
 }
 
 TEST(Unbounded, Prob1Identification) {
@@ -75,18 +73,18 @@ TEST(Unbounded, Prob1Identification) {
       {{0, 0.5, 0, 0.5}, {0, 0, 1, 0}, {0, 0, 1, 0}, {0, 0, 0, 1}});
   const auto d = dtmc::buildExplicit(model).dtmc;
   const auto varIdx = d.varLayout().indexOf("s");
-  std::vector<std::uint8_t> psi(d.numStates(), 0);
-  std::vector<std::uint8_t> phi(d.numStates(), 1);
+  la::BitVector psi(d.numStates());
+  const la::BitVector phi(d.numStates(), true);
   std::uint32_t idx1 = ~0u;
   std::uint32_t idx0 = ~0u;
   for (std::uint32_t s = 0; s < d.numStates(); ++s) {
-    psi[s] = d.varValue(s, varIdx) == 2;
+    if (d.varValue(s, varIdx) == 2) psi.set(s);
     if (d.varValue(s, varIdx) == 1) idx1 = s;
     if (d.varValue(s, varIdx) == 0) idx0 = s;
   }
   const auto prob1 = mc::prob1States(d, phi, psi);
-  EXPECT_EQ(prob1[idx1], 1);
-  EXPECT_EQ(prob1[idx0], 0);
+  EXPECT_TRUE(prob1.get(idx1));
+  EXPECT_FALSE(prob1.get(idx0));
   const auto result = mc::reachProb(d, psi);
   EXPECT_NEAR(result.stateValues[idx0], 0.5, 1e-10);
 }
@@ -95,8 +93,8 @@ TEST(Unbounded, GraphPrecomputationMakesValueIterationExact) {
   // When prob0/prob1 cover everything, no iterations are needed.
   const auto model = test::lineModel(5);
   const auto d = dtmc::buildExplicit(model).dtmc;
-  std::vector<std::uint8_t> psi(5, 0);
-  psi[4] = 1;
+  la::BitVector psi(5);
+  psi.set(4);
   const auto result = mc::reachProb(d, psi);
   EXPECT_EQ(result.iterations, 0u);
   EXPECT_NEAR(result.stateValues[0], 1.0, 1e-15);
@@ -106,12 +104,12 @@ TEST(Unbounded, UntilRespectsPhi) {
   const auto model = test::gamblersRuin(4, 0.5, 2);
   const auto d = dtmc::buildExplicit(model).dtmc;
   const auto varIdx = d.varLayout().indexOf("s");
-  std::vector<std::uint8_t> psi(d.numStates(), 0);
-  std::vector<std::uint8_t> phi(d.numStates(), 0);
+  la::BitVector psi(d.numStates());
+  la::BitVector phi(d.numStates());
   for (std::uint32_t s = 0; s < d.numStates(); ++s) {
     const auto v = d.varValue(s, varIdx);
-    psi[s] = v == 4;
-    phi[s] = v >= 2;  // may not dip below the midpoint
+    if (v == 4) psi.set(s);
+    if (v >= 2) phi.set(s);  // may not dip below the midpoint
   }
   const auto bounded = mc::untilProb(d, phi, psi);
   // Must win 2 in a row immediately: probability 1/4... then from 3 it can

@@ -149,7 +149,7 @@ TEST(MimoModel, ErrorAtomMatchesFlagVariable) {
   const auto truth = d.evalAtom(model, "error");
   const auto flagIdx = d.varLayout().indexOf("flag");
   for (std::uint32_t s = 0; s < d.numStates(); ++s) {
-    EXPECT_EQ(truth[s] != 0, d.varValue(s, flagIdx) == 1);
+    EXPECT_EQ(truth.get(s), d.varValue(s, flagIdx) == 1);
   }
 }
 

@@ -185,7 +185,9 @@ TEST(EvalPlan, StructurallyIdenticalSinglesRunOnce) {
   EXPECT_EQ(plan.singleDuplicates[0].first, 2u);
   EXPECT_EQ(plan.singleDuplicates[0].second, 0u);
   EXPECT_EQ(plan.stats.tasksDeduped, 1u);
-  EXPECT_EQ(plan.stats.tasksPlanned, 3u);
+  // 2 masks ("target", "other") + 3 singles; the duplicate check runs
+  // before interning, so the repeat counts one dedup, not a mask hit too.
+  EXPECT_EQ(plan.stats.tasksPlanned, 5u);
 }
 
 TEST(EvalPlan, TasksPlannedCountsDistinctWork) {
@@ -195,9 +197,42 @@ TEST(EvalPlan, TasksPlannedCountsDistinctWork) {
       "R=? [ I=40 ]",
       "P=? [ F \"other\" ]",
   }));
-  // 1 mask + 1 column + 1 reward vector + bounded group + transient group
-  // + 1 single.
-  EXPECT_EQ(plan.stats.tasksPlanned, 6u);
+  // 2 masks ("target", "other") + 1 column + 1 reward vector + bounded
+  // group + transient group + 1 single.
+  EXPECT_EQ(plan.stats.tasksPlanned, 7u);
+}
+
+TEST(EvalPlan, SinglesShareMasksWithBoundedColumns) {
+  // A bounded and an unbounded query over the same target set evaluate
+  // that set once: the single's psiMask hits the bounded column's mask.
+  const auto plan = pctl::buildPlan(parseAll({
+      "P=? [ F<=5 \"target\" ]",
+      "P=? [ F \"target\" ]",
+      "R=? [ F \"target\" ]",
+  }));
+  ASSERT_EQ(plan.masks.size(), 1u);
+  ASSERT_EQ(plan.singles.size(), 2u);
+  EXPECT_EQ(plan.singles[0].psiMask, 0u);
+  EXPECT_EQ(plan.singles[0].phiMask, pctl::EvalPlan::kNoMask);
+  EXPECT_EQ(plan.singles[1].psiMask, 0u);
+  EXPECT_EQ(plan.stats.tasksDeduped, 2u);  // two single-task mask hits
+}
+
+TEST(EvalPlan, UnboundedSinglesInternLikeTheirBoundedTwins) {
+  // G phi answers as 1 - reach(!phi), so the single interns the negated
+  // operand and shares it with the plain F; a non-trivial until phi gets
+  // its own mask slot.
+  const auto plan = pctl::buildPlan(parseAll({
+      "P=? [ F \"flag\" ]",
+      "P=? [ G !\"flag\" ]",
+      "P=? [ \"a\" U \"flag\" ]",
+  }));
+  ASSERT_EQ(plan.masks.size(), 2u);  // "flag" and "a"
+  ASSERT_EQ(plan.singles.size(), 3u);
+  EXPECT_EQ(plan.singles[1].psiMask, plan.singles[0].psiMask);
+  EXPECT_EQ(plan.singles[2].psiMask, plan.singles[0].psiMask);
+  EXPECT_NE(plan.singles[2].phiMask, pctl::EvalPlan::kNoMask);
+  EXPECT_EQ(plan.stats.tasksDeduped, 2u);  // G and U psi-mask hits
 }
 
 }  // namespace

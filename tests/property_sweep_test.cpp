@@ -50,8 +50,7 @@ TEST_P(RandomChainProperties, BoundedFinallyMonotoneAndBounded) {
 
 TEST_P(RandomChainProperties, GloballyFinallyComplement) {
   const auto target = dtmc_.evalAtom(model_, "target");
-  std::vector<std::uint8_t> notTarget(target.size());
-  for (std::size_t i = 0; i < target.size(); ++i) notTarget[i] = !target[i];
+  const la::BitVector notTarget = ~target;
   const auto g = mc::boundedGlobally(dtmc_, notTarget, 9);
   const auto f = mc::boundedFinally(dtmc_, target, 9);
   for (std::size_t s = 0; s < g.size(); ++s) {
@@ -91,14 +90,14 @@ TEST_P(RandomChainProperties, SymbolicReachabilityAgrees) {
 
 TEST_P(RandomChainProperties, Prob0Prob1AreConsistentWithValues) {
   const auto psi = dtmc_.evalAtom(model_, "target");
-  const std::vector<std::uint8_t> phi(dtmc_.numStates(), 1);
+  const la::BitVector phi(dtmc_.numStates(), true);
   const auto prob0 = mc::prob0States(dtmc_, phi, psi);
   const auto prob1 = mc::prob1States(dtmc_, phi, psi);
   const auto values = mc::reachProb(dtmc_, psi).stateValues;
   for (std::uint32_t s = 0; s < dtmc_.numStates(); ++s) {
-    if (prob0[s]) ASSERT_NEAR(values[s], 0.0, 1e-12);
-    if (prob1[s]) ASSERT_NEAR(values[s], 1.0, 1e-12);
-    ASSERT_FALSE(prob0[s] && prob1[s]);
+    if (prob0.get(s)) ASSERT_NEAR(values[s], 0.0, 1e-12);
+    if (prob1.get(s)) ASSERT_NEAR(values[s], 1.0, 1e-12);
+    ASSERT_FALSE(prob0.get(s) && prob1.get(s));
   }
 }
 
@@ -136,14 +135,14 @@ TEST_P(RandomChainProperties, CumulativeRewardIsMonotoneAndConsistent) {
 TEST_P(RandomChainProperties, UntilDecomposition) {
   // P(phi U<=k psi) >= P(psi now) and <= P(F<=k psi), for any phi.
   const auto psi = dtmc_.evalAtom(model_, "target");
-  std::vector<std::uint8_t> phi(dtmc_.numStates());
+  la::BitVector phi(dtmc_.numStates());
   for (std::uint32_t s = 0; s < dtmc_.numStates(); ++s) {
-    phi[s] = (s % 3) != 0;  // arbitrary restriction
+    if ((s % 3) != 0) phi.set(s);  // arbitrary restriction
   }
   const auto until = mc::boundedUntil(dtmc_, phi, psi, 12);
   const auto finallyAll = mc::boundedFinally(dtmc_, psi, 12);
   for (std::uint32_t s = 0; s < dtmc_.numStates(); ++s) {
-    ASSERT_GE(until[s], (psi[s] ? 1.0 : 0.0) - 1e-12);
+    ASSERT_GE(until[s], (psi.get(s) ? 1.0 : 0.0) - 1e-12);
     ASSERT_LE(until[s], finallyAll[s] + 1e-12);
   }
 }

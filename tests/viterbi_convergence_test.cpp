@@ -116,7 +116,7 @@ TEST(Convergence, AtomNonconvMatchesReward) {
   const auto truth = d.evalAtom(model, "nonconv");
   const auto reward = d.evalReward(model, "");
   for (std::uint32_t s = 0; s < d.numStates(); ++s) {
-    EXPECT_EQ(truth[s] != 0, reward[s] == 1.0);
+    EXPECT_EQ(truth.get(s), reward[s] == 1.0);
   }
 }
 

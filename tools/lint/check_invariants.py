@@ -26,6 +26,13 @@ scalar reference at any thread count) and its byte-stable exports:
                        floating-point additions by scheduling; the la::
                        bitwise contract requires sequential (per-slot)
                        reductions. There is no legitimate use in this tree.
+  byte-truth-mask      std::vector<std::uint8_t> truth-mask declarations in
+                       src/ outside la/. State sets and masks are packed
+                       la::BitVector everywhere (8x less memory,
+                       word-parallel bulk ops); the byte representation
+                       survives only at the la:: bridge (fromBytes/toBytes)
+                       and as the test/bench oracle. Allow explicitly when a
+                       byte vector is genuinely not a truth mask.
   guarded-by           In a class that owns a util::Mutex or std::mutex,
                        every other data member named *_ must either carry a
                        MIMOSTAT_GUARDED_BY / MIMOSTAT_PT_GUARDED_BY
@@ -255,6 +262,38 @@ def check_atomic_float(path: str, lines: list[str]) -> list[Violation]:
     return out
 
 
+def check_byte_truth_mask(path: str, lines: list[str]) -> list[Violation]:
+    """Flag std::vector<std::uint8_t> declarations in src/ outside la/.
+
+    The exact stack's truth masks are packed la::BitVector; a fresh
+    byte-per-state vector in checking code silently forks the
+    representation (8x the memory, no word-parallel ops) and dodges the
+    bit-identity tests that pin the packed kernels to the byte oracle.
+    tests/ and bench/ keep byte vectors freely — they ARE the oracle.
+    """
+    posix = _posix(path)
+    if not re.search(r"(^|/)src/", posix) or re.search(r"(^|/)src/la/", posix):
+        return []
+    pattern = re.compile(r"\bstd\s*::\s*vector\s*<\s*std\s*::\s*uint8_t\s*>")
+    out = []
+    for idx, line in enumerate(lines):
+        stripped = _strip_comments_and_strings(line)
+        if pattern.search(stripped) and not _allowed(lines, idx, "byte-truth-mask"):
+            out.append(
+                Violation(
+                    path,
+                    idx + 1,
+                    "byte-truth-mask",
+                    "std::vector<std::uint8_t> truth mask outside la/ — state "
+                    "sets are packed la::BitVector (la/bit_vector.hpp); "
+                    "convert at the boundary with fromBytes/toBytes, or add "
+                    "lint:allow(byte-truth-mask: <why this is not a truth "
+                    "mask>)",
+                )
+            )
+    return out
+
+
 _CLASS_RE = re.compile(r"\b(class|struct)\s+(?:MIMOSTAT_\w+(?:\([^)]*\))?\s+)?"
                        r"([A-Za-z_]\w*)[^;{]*\{")
 _MUTEX_MEMBER_RE = re.compile(
@@ -369,6 +408,7 @@ RULES = {
     "raw-rng": check_raw_rng,
     "raw-thread": check_raw_thread,
     "atomic-float": check_atomic_float,
+    "byte-truth-mask": check_byte_truth_mask,
     "guarded-by": check_guarded_by,
 }
 

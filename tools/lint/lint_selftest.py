@@ -178,6 +178,48 @@ class AtomicFloatTest(unittest.TestCase):
         self.assertEqual(run(src), [])
 
 
+class ByteTruthMaskTest(unittest.TestCase):
+    def test_byte_vector_in_src_flagged(self):
+        src = "std::vector<std::uint8_t> phi(n, 1);"
+        self.assertEqual(rules(src), ["byte-truth-mask"])
+
+    def test_spaced_template_args_flagged(self):
+        src = "const std::vector< std::uint8_t > mask = d.evalAtom(m, a);"
+        self.assertEqual(rules(src), ["byte-truth-mask"])
+
+    def test_la_is_the_sanctioned_home(self):
+        # The packed representation's own byte bridge lives in la/.
+        src = "std::vector<std::uint8_t> bytes(numBits_, 0);"
+        self.assertEqual(run(src, path="src/la/bit_vector.cpp"), [])
+        self.assertEqual(run(src, path="src/la/bit_vector.hpp"), [])
+
+    def test_tests_and_bench_keep_byte_oracles(self):
+        # tests/ and bench/ ARE the byte-mask oracle; only src/ is scoped.
+        src = "std::vector<std::uint8_t> legacy(n, 1);"
+        self.assertEqual(run(src, path="tests/mc_bounded_test.cpp"), [])
+        self.assertEqual(run(src, path="bench/la.cpp"), [])
+
+    def test_other_byte_vectors_not_flagged(self):
+        # Only std::uint8_t element types; raw buffers of other widths are
+        # out of scope.
+        src = """\
+        std::vector<std::uint32_t> cols;
+        std::vector<unsigned char> blob;
+        """
+        self.assertEqual(run(src), [])
+
+    def test_mention_in_comment_ignored(self):
+        src = "// replaced the std::vector<std::uint8_t> masks with BitVector"
+        self.assertEqual(run(src), [])
+
+    def test_allow_comment_suppresses(self):
+        src = """\
+        // lint:allow(byte-truth-mask: wire-format byte payload, not a mask)
+        std::vector<std::uint8_t> packet(header.size());
+        """
+        self.assertEqual(run(src), [])
+
+
 class GuardedByTest(unittest.TestCase):
     def test_unannotated_member_in_mutex_owning_class(self):
         src = """\
@@ -307,7 +349,7 @@ class EngineTest(unittest.TestCase):
 
     def test_list_rules_names_every_rule(self):
         expected = {"unordered-iteration", "raw-rng", "raw-thread",
-                    "atomic-float", "guarded-by"}
+                    "atomic-float", "byte-truth-mask", "guarded-by"}
         self.assertEqual(set(check_invariants.RULES), expected)
 
     def test_clean_source_exits_zero_via_main(self):
