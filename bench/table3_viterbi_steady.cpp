@@ -11,7 +11,9 @@
 // hand-rolled per-horizon checker loop this bench used to be.
 //
 // `--csv <path>` additionally writes the sweep's long-format CSV (used by
-// the CI sweep-smoke job as a workflow artifact).
+// the CI sweep-smoke job as a workflow artifact). `--trace <path>` enables
+// the process tracer and writes the run's span tree as Chrome trace-event
+// JSON (load it in Perfetto / chrome://tracing).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -21,6 +23,7 @@
 
 #include "dtmc/builder.hpp"
 #include "mc/transient.hpp"
+#include "obs/trace.hpp"
 #include "sweep/runner.hpp"
 #include "sweep_reference.hpp"
 #include "viterbi/model_reduced.hpp"
@@ -29,6 +32,7 @@ int main(int argc, char** argv) {
   using namespace mimostat;
 
   const char* csvPath = nullptr;
+  const char* tracePath = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--csv") == 0) {
       if (i + 1 >= argc) {
@@ -36,8 +40,15 @@ int main(int argc, char** argv) {
         return 2;
       }
       csvPath = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--trace requires a path argument\n");
+        return 2;
+      }
+      tracePath = argv[++i];
     }
   }
+  if (tracePath != nullptr) obs::Tracer::global().setEnabled(true);
 
   std::printf("=== Table III: P2 for the Viterbi decoder vs T ===\n");
   std::printf("(paper: 0.2373 / 0.2394 / 0.2397 / 0.2398, RI=263)\n\n");
@@ -121,6 +132,14 @@ int main(int argc, char** argv) {
     }
     std::printf("\nSweep CSV written to %s (%zu rows)\n", csvPath,
                 table.size());
+  }
+  if (tracePath != nullptr) {
+    if (!obs::TraceWriter(obs::Tracer::global()).writeFile(tracePath)) {
+      std::fprintf(stderr, "failed to write trace JSON to %s\n", tracePath);
+      return 3;
+    }
+    std::printf("Trace JSON written to %s (%zu spans)\n", tracePath,
+                obs::Tracer::global().events().size());
   }
   return identical && planOk && table.ok() ? 0 : 1;
 }

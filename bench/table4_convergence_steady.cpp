@@ -8,20 +8,37 @@
 // the runner coalesces the three horizons into a single engine request
 // (one transient sweep), asserted bit-identical to the hand-rolled
 // per-horizon checker loop.
+//
+// `--trace <path>` enables the process tracer and writes the run's span
+// tree as Chrome trace-event JSON (Perfetto / chrome://tracing).
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "dtmc/builder.hpp"
 #include "mc/steady.hpp"
+#include "obs/trace.hpp"
 #include "sweep/runner.hpp"
 #include "sweep_reference.hpp"
 #include "viterbi/model_convergence.hpp"
 #include "viterbi/sim.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mimostat;
+
+  const char* tracePath = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--trace requires a path argument\n");
+        return 2;
+      }
+      tracePath = argv[++i];
+    }
+  }
+  if (tracePath != nullptr) obs::Tracer::global().setEnabled(true);
 
   std::printf("=== Table IV: Convergence of the Viterbi decoder (C1) ===\n");
   std::printf("(paper: ~1.03e-3..1.04e-3 across T, RI=77, L=8, SNR 8dB)\n\n");
@@ -104,5 +121,13 @@ int main() {
               "[%.3e, %.3e], model inside: %s\n",
               sim.nonConvergent.estimate(), interval.low, interval.high,
               interval.contains(rows.back().value) ? "yes" : "NO");
+  if (tracePath != nullptr) {
+    if (!obs::TraceWriter(obs::Tracer::global()).writeFile(tracePath)) {
+      std::fprintf(stderr, "failed to write trace JSON to %s\n", tracePath);
+      return 3;
+    }
+    std::printf("Trace JSON written to %s (%zu spans)\n", tracePath,
+                obs::Tracer::global().events().size());
+  }
   return identical && planOk && table.ok() ? 0 : 1;
 }

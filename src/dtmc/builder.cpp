@@ -5,9 +5,9 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "obs/trace.hpp"
 #include "util/hash.hpp"
 #include "util/log.hpp"
-#include "util/timer.hpp"
 
 namespace mimostat::dtmc {
 
@@ -19,7 +19,8 @@ using StateIndexMap =
 }  // namespace
 
 BuildResult buildExplicit(const Model& model, const BuildOptions& options) {
-  util::Stopwatch timer;
+  // Auto-parents to "engine.build" when the engine drives the build.
+  obs::Span span("dtmc.build");
 
   const VarLayout layout = model.layout();
   StateIndexMap index;
@@ -110,7 +111,7 @@ BuildResult buildExplicit(const Model& model, const BuildOptions& options) {
   for (const auto idx : initialIdx) raw.initial[idx] += w;
 
   BuildResult result{ExplicitDtmc::fromRaw(std::move(raw), options.orientation),
-                     reachabilityIterations, timer.elapsedSeconds()};
+                     reachabilityIterations, span.stopSeconds()};
   MS_LOG_INFO("buildExplicit: %u states, %llu transitions, RI=%u, %.2fs",
               result.dtmc.numStates(),
               static_cast<unsigned long long>(result.dtmc.numTransitions()),
@@ -119,7 +120,7 @@ BuildResult buildExplicit(const Model& model, const BuildOptions& options) {
 }
 
 CountResult countReachable(const Model& model, std::uint64_t maxStates) {
-  util::Stopwatch timer;
+  obs::Span span("dtmc.countReachable");
   const VarLayout layout = model.layout();
   if (!layout.fitsInU64()) {
     throw std::runtime_error(
@@ -163,7 +164,7 @@ CountResult countReachable(const Model& model, std::uint64_t maxStates) {
     }
   }
   result.numStates = seen.size();
-  result.buildSeconds = timer.elapsedSeconds();
+  result.buildSeconds = span.stopSeconds();
   return result;
 }
 

@@ -10,11 +10,12 @@
 #include "dtmc/signature.hpp"
 #include "mc/checker.hpp"
 #include "mc/transient.hpp"
+#include "obs/clock.hpp"
+#include "obs/trace.hpp"
 #include "pctl/parser.hpp"
 #include "smc/smc.hpp"
 #include "stats/gaussian.hpp"
 #include "util/hash.hpp"
-#include "util/timer.hpp"
 
 namespace mimostat::engine {
 
@@ -91,7 +92,15 @@ AnalysisEngine::AnalysisEngine(EngineOptions options)
       propertyCache_(options.propertyCache != nullptr
                          ? options.propertyCache
                          : &pctl::PropertyCache::global()),
-      pool_(options.threads) {}
+      pool_(options.threads, options.metrics != nullptr
+                                 ? options.metrics
+                                 : &obs::MetricsRegistry::global()),
+      metrics_(options.metrics != nullptr ? options.metrics
+                                          : &obs::MetricsRegistry::global()),
+      requestLatencyNs_(metrics_->histogram("engine.request_ns")),
+      requestCount_(metrics_->counter("engine.requests")),
+      buildCounter_(metrics_->counter("engine.builds")),
+      cacheHitCounter_(metrics_->counter("engine.cache_hits")) {}
 
 AnalysisEngine::~AnalysisEngine() = default;
 
@@ -114,12 +123,22 @@ EngineStats AnalysisEngine::stats() const {
   // snapshot under the lock, so a stats() racing an eviction or a build
   // completion can never observe a half-updated (cachedModels, cacheBytes)
   // pair. buildCount()/cacheHitCount()/cachedModelCount() all route here.
-  const util::MutexLock lock(cacheMutex_);
   EngineStats stats;
-  stats.builds = buildCount_;
-  stats.cacheHits = cacheHits_;
-  stats.cachedModels = modelCache_.size();
-  stats.cacheBytes = cacheBytes_;
+  {
+    const util::MutexLock lock(cacheMutex_);
+    stats.builds = buildCount_;
+    stats.cacheHits = cacheHits_;
+    stats.cachedModels = modelCache_.size();
+    stats.cacheBytes = cacheBytes_;
+  }
+  // Latency percentiles come from the registry's shard-merged request
+  // histogram (nanoseconds); engines sharing one registry share it.
+  const obs::HistogramSnapshot latency =
+      metrics_->histogramSnapshot("engine.request_ns");
+  stats.requests = latency.count;
+  stats.p50RequestSeconds = latency.p50() * 1e-9;
+  stats.p90RequestSeconds = latency.p90() * 1e-9;
+  stats.p99RequestSeconds = latency.p99() * 1e-9;
   return stats;
 }
 
@@ -173,10 +192,12 @@ std::shared_ptr<const BuiltModel> AnalysisEngine::ensureBuilt(
     const auto it = modelCache_.find(*key);
     if (it != modelCache_.end()) {
       ++cacheHits_;
+      cacheHitCounter_.inc();
       it->second.lastUsed = ++useCounter_;
       joined = it->second.future;
     } else {
       ++buildCount_;
+      buildCounter_.inc();
       CacheSlot slot;
       slot.future = promise.get_future().share();
       slot.lastUsed = ++useCounter_;
@@ -227,6 +248,14 @@ std::shared_ptr<const BuiltModel> AnalysisEngine::ensureBuilt(
 }
 
 AnalysisResponse AnalysisEngine::analyze(const AnalysisRequest& request) {
+  return analyzeQueued(request, 0.0);
+}
+
+AnalysisResponse AnalysisEngine::analyzeQueued(const AnalysisRequest& request,
+                                               double queueSeconds) {
+  // Root of the request's span tree; every phase span below parents here
+  // (directly or via CheckOptions::traceParent for cross-thread tasks).
+  obs::Span span("engine.analyze");
   if (request.model == nullptr) {
     throw std::invalid_argument("AnalysisRequest: model is null");
   }
@@ -265,13 +294,21 @@ AnalysisResponse AnalysisEngine::analyze(const AnalysisRequest& request) {
     }
   }
 
-  return backend == Backend::kExact ? analyzeExact(request, key)
-                                    : analyzeSampling(request, key);
+  AnalysisResponse response =
+      backend == Backend::kExact
+          ? analyzeExact(request, key, span.id())
+          : analyzeSampling(request, key, span.id());
+  response.timing.queueSeconds = queueSeconds;
+  response.totalSeconds = span.stopSeconds();
+  response.timing.totalSeconds = response.totalSeconds;
+  requestCount_.inc();
+  requestLatencyNs_.recordSeconds(queueSeconds + response.totalSeconds);
+  return response;
 }
 
 AnalysisResponse AnalysisEngine::analyzeExact(const AnalysisRequest& request,
-                                              std::uint64_t key) {
-  const util::Stopwatch total;
+                                              std::uint64_t key,
+                                              std::uint64_t traceParent) {
   AnalysisResponse response;
   response.backend = Backend::kExact;
   response.modelKey = key;
@@ -279,6 +316,7 @@ AnalysisResponse AnalysisEngine::analyzeExact(const AnalysisRequest& request,
 
   // Parse every property up front (memoized); parse failures become
   // per-property errors, not request failures.
+  obs::Span parseSpan("pctl.parse", traceParent);
   std::vector<ParsedSlot> parsed(request.properties.size());
   for (std::size_t i = 0; i < request.properties.size(); ++i) {
     response.results[i].property = request.properties[i];
@@ -289,7 +327,12 @@ AnalysisResponse AnalysisEngine::analyzeExact(const AnalysisRequest& request,
       response.results[i].error = e.what();
     }
   }
+  const double parseSeconds = parseSpan.stopSeconds();
 
+  // The build phase covers cache lookup, the build itself (or the wait
+  // joining an in-flight one — "dtmc.build" nests here on a miss) and any
+  // orientation rebuild below.
+  obs::Span buildSpan("engine.build", traceParent);
   bool cacheHit = false;
   std::shared_ptr<const BuiltModel> built =
       ensureBuilt(*request.model, request.options.build, key, &cacheHit);
@@ -343,6 +386,8 @@ AnalysisResponse AnalysisEngine::analyzeExact(const AnalysisRequest& request,
     }
   }
 
+  response.timing.buildSeconds = buildSpan.stopSeconds();
+
   response.states = built->dtmc.numStates();
   response.transitions = built->dtmc.numTransitions();
   response.reachabilityIterations = built->reachabilityIterations;
@@ -355,7 +400,13 @@ AnalysisResponse AnalysisEngine::analyzeExact(const AnalysisRequest& request,
   // over the engine pool. Nested pool_.run is deadlock-free (the property
   // task drains its own sub-batch) and every kernel is bit-identical at any
   // pool size, so this only changes wall-clock.
+  // Check phase: plan compilation ("pctl.plan", stamped into PlanStats by
+  // the checker) plus plan execution. Group tasks run on pool threads, so
+  // their spans parent through CheckOptions::traceParent rather than the
+  // thread-local nesting.
+  obs::Span checkSpan("engine.check", traceParent);
   mc::CheckOptions checkOptions = request.options.check;
+  checkOptions.traceParent = checkSpan.id();
   if (checkOptions.exec.runner == nullptr && options_.parallelLinearAlgebra) {
     checkOptions.exec.runner = laRunnerFor(pool_);
     // A threshold the request set explicitly (even to the la:: default)
@@ -405,13 +456,14 @@ AnalysisResponse AnalysisEngine::analyzeExact(const AnalysisRequest& request,
     result.solver = check.solver;
   }
 
-  response.totalSeconds = total.elapsedSeconds();
+  response.timing.checkSeconds = checkSpan.stopSeconds();
+  response.timing.planSeconds = parseSeconds + response.plan.planSeconds;
   return response;
 }
 
 AnalysisResponse AnalysisEngine::analyzeSampling(const AnalysisRequest& request,
-                                                 std::uint64_t key) {
-  const util::Stopwatch total;
+                                                 std::uint64_t key,
+                                                 std::uint64_t traceParent) {
   AnalysisResponse response;
   response.backend = Backend::kSampling;
   response.modelKey = key;
@@ -424,13 +476,18 @@ AnalysisResponse AnalysisEngine::analyzeSampling(const AnalysisRequest& request,
         pool_.run(std::move(chunks));
       };
 
+  obs::Span checkSpan("engine.check", traceParent);
+  const std::uint64_t checkSpanId = checkSpan.id();
   std::vector<std::function<void()>> tasks;
   tasks.reserve(request.properties.size());
   for (std::size_t i = 0; i < request.properties.size(); ++i) {
     response.results[i].property = request.properties[i];
-    tasks.push_back([&, i] {
+    tasks.push_back([&, i, checkSpanId] {
       AnalysisResult& result = response.results[i];
-      const util::Stopwatch timer;
+      // Pool-thread task: parent the sampling span explicitly (the
+      // thread-local nesting only links same-thread spans). smc::'s own
+      // "smc.sample" span nests under this one on the task's thread.
+      obs::Span propSpan("engine.property", checkSpanId);
       try {
         const pctl::Property property =
             parsedProperty(request.properties[i]);
@@ -512,12 +569,12 @@ AnalysisResponse AnalysisEngine::analyzeSampling(const AnalysisRequest& request,
       } catch (const std::exception& e) {
         result.error = e.what();
       }
-      result.checkSeconds = timer.elapsedSeconds();
+      result.checkSeconds = propSpan.stopSeconds();
     });
   }
 
   pool_.run(std::move(tasks));
-  response.totalSeconds = total.elapsedSeconds();
+  response.timing.checkSeconds = checkSpan.stopSeconds();
   return response;
 }
 
@@ -526,12 +583,15 @@ std::vector<AnalysisResponse> AnalysisEngine::analyzeAll(
   std::vector<AnalysisResponse> responses(requests.size());
   std::vector<std::function<void()>> tasks;
   tasks.reserve(requests.size());
+  const std::uint64_t enqueuedNs = obs::monotonicNanos();
   for (std::size_t i = 0; i < requests.size(); ++i) {
-    tasks.push_back([&, i] {
+    tasks.push_back([&, i, enqueuedNs] {
       // A failing request must not take its siblings' responses down with
       // it: capture the failure per-response instead of rethrowing.
+      const double queueSeconds =
+          static_cast<double>(obs::monotonicNanos() - enqueuedNs) * 1e-9;
       try {
-        responses[i] = analyze(requests[i]);
+        responses[i] = analyzeQueued(requests[i], queueSeconds);
       } catch (const std::exception& e) {
         responses[i] = AnalysisResponse{};
         responses[i].backend = requests[i].options.backend;
@@ -544,8 +604,13 @@ std::vector<AnalysisResponse> AnalysisEngine::analyzeAll(
 }
 
 std::future<AnalysisResponse> AnalysisEngine::submit(AnalysisRequest request) {
+  const std::uint64_t enqueuedNs = obs::monotonicNanos();
   auto task = std::make_shared<std::packaged_task<AnalysisResponse()>>(
-      [this, request = std::move(request)] { return analyze(request); });
+      [this, request = std::move(request), enqueuedNs] {
+        const double queueSeconds =
+            static_cast<double>(obs::monotonicNanos() - enqueuedNs) * 1e-9;
+        return analyzeQueued(request, queueSeconds);
+      });
   std::future<AnalysisResponse> future = task->get_future();
   pool_.post([task] { (*task)(); });
   return future;

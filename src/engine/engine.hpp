@@ -50,6 +50,7 @@
 #include "la/exec.hpp"
 #include "engine/result.hpp"
 #include "engine/thread_pool.hpp"
+#include "obs/metrics.hpp"
 #include "pctl/ast.hpp"
 #include "pctl/property_cache.hpp"
 #include "util/mutex.hpp"
@@ -81,6 +82,12 @@ struct EngineOptions {
   /// neither a runner nor a threshold in RequestOptions::check.exec (a
   /// request with its own runner owns its whole exec and is never touched).
   std::uint64_t laParallelThresholdNnz = la::Exec::kDefaultParallelThresholdNnz;
+  /// Metrics sink for engine counters, pool histograms and the
+  /// request-latency histogram behind EngineStats percentiles; nullptr uses
+  /// the process-wide obs::MetricsRegistry::global() (injectable like
+  /// `propertyCache`, so tests get an isolated registry). Note that engines
+  /// sharing a registry share its histograms.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Counters exposed for tests, sweeps and ops dashboards.
@@ -94,6 +101,14 @@ struct EngineStats {
   std::size_t cachedModels = 0;
   /// Approximate bytes held by completed cached builds.
   std::uint64_t cacheBytes = 0;
+  /// Requests answered (analyze/analyzeAll/submit, failed ones included).
+  std::uint64_t requests = 0;
+  /// Request-latency percentiles (queue wait included) from the engine's
+  /// "engine.request_ns" histogram — the serve:: readiness numbers.
+  /// Diagnostics only; 0 until the first request completes.
+  double p50RequestSeconds = 0.0;
+  double p90RequestSeconds = 0.0;
+  double p99RequestSeconds = 0.0;
 };
 
 /// A built model as held by the engine's cache.
@@ -169,10 +184,16 @@ class AnalysisEngine {
   /// Evict ready LRU entries down to the entry-count and byte budgets.
   void evictLocked() MIMOSTAT_REQUIRES(cacheMutex_);
 
+  /// analyze() with a measured queue wait (analyzeAll/submit tasks pass the
+  /// enqueue timestamp so the wait lands in timing.queueSeconds and the
+  /// latency histogram). Opens the per-request "engine.analyze" span.
+  AnalysisResponse analyzeQueued(const AnalysisRequest& request,
+                                 double queueSeconds);
   AnalysisResponse analyzeExact(const AnalysisRequest& request,
-                                std::uint64_t key);
+                                std::uint64_t key, std::uint64_t traceParent);
   AnalysisResponse analyzeSampling(const AnalysisRequest& request,
-                                   std::uint64_t key);
+                                   std::uint64_t key,
+                                   std::uint64_t traceParent);
 
   /// Set in the constructor, immutable afterwards.
   /// lint:allow(guarded-by: constructor-initialized, read-only after)
@@ -181,6 +202,17 @@ class AnalysisEngine {
   pctl::PropertyCache* propertyCache_;
   /// Internally synchronized. lint:allow(guarded-by: owns its own mutex)
   ThreadPool pool_;
+  /// Resolved once in the constructor; handles are internally synchronized
+  /// sharded atomics. lint:allow(guarded-by: constructor-initialized, read-only after)
+  obs::MetricsRegistry* metrics_;
+  /// lint:allow(guarded-by: internally synchronized handle)
+  obs::Histogram requestLatencyNs_;
+  /// lint:allow(guarded-by: internally synchronized handle)
+  obs::Counter requestCount_;
+  /// lint:allow(guarded-by: internally synchronized handle)
+  obs::Counter buildCounter_;
+  /// lint:allow(guarded-by: internally synchronized handle)
+  obs::Counter cacheHitCounter_;
 
   mutable util::Mutex cacheMutex_;
   std::unordered_map<std::uint64_t, CacheSlot> modelCache_

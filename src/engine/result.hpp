@@ -14,6 +14,25 @@ namespace mimostat::engine {
 
 enum class Backend;  // request.hpp
 
+/// Where a request's wall-clock went, phase by phase. Filled by the engine
+/// from obs::Span measurements on every request (tracing on or off).
+/// Diagnostics only: values and orderings the engine exports never depend
+/// on these numbers.
+struct PhaseTiming {
+  /// Seconds between enqueue (analyzeAll/submit) and the moment a worker
+  /// picked the request up; 0 for synchronous analyze().
+  double queueSeconds = 0.0;
+  /// Model acquisition: cache lookup + build (or the wait joining an
+  /// in-flight build) + any orientation rebuild.
+  double buildSeconds = 0.0;
+  /// Property parsing + evaluation-plan compilation (exact backend).
+  double planSeconds = 0.0;
+  /// Plan execution (exact) or sampling (smc) across all properties.
+  double checkSeconds = 0.0;
+  /// Whole request as seen by the engine (excludes queueSeconds).
+  double totalSeconds = 0.0;
+};
+
 /// How the sampling backend decided a bounded-probability property
 /// (P>=theta [...]) with Wald's SPRT.
 struct SprtVerdict {
@@ -103,6 +122,9 @@ struct AnalysisResponse {
   pctl::PlanStats plan;
   /// Wall-clock for the whole request.
   double totalSeconds = 0.0;
+  /// Per-phase wall-clock breakdown (queue/build/plan/check). Sums may be
+  /// less than totalSeconds; the remainder is engine overhead.
+  PhaseTiming timing;
   /// Request-level failure (null model, state-space overflow, ...). Set by
   /// analyzeAll/submit instead of losing sibling responses to a rethrow;
   /// when non-empty, `results` is empty.

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/clock.hpp"
+
 namespace mimostat::engine {
 
 namespace {
@@ -23,7 +25,13 @@ std::size_t envThreadOverride() {
 
 }  // namespace
 
-ThreadPool::ThreadPool(std::size_t threads) {
+ThreadPool::ThreadPool(std::size_t threads, obs::MetricsRegistry* metrics)
+    : metrics_(metrics) {
+  if (metrics_ != nullptr) {
+    queueDepth_ = metrics_->gauge("engine.pool.queue_depth");
+    taskWaitNs_ = metrics_->histogram("engine.pool.task_wait_ns");
+    taskRunNs_ = metrics_->histogram("engine.pool.task_run_ns");
+  }
   if (threads == 0) threads = envThreadOverride();
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -59,12 +67,24 @@ bool ThreadPool::runOneTask(Batch* batch) {
 
   const std::size_t idx = batch->next++;
   mutex_.unlock();
+  // Wait = enqueue -> pickup, run = the task body; both land in sharded
+  // relaxed-atomic histograms, so the metered path costs two clock reads
+  // outside the pool lock. Unmetered pools (metrics_ == nullptr) skip it.
+  std::uint64_t startNs = 0;
+  if (metrics_ != nullptr) {
+    startNs = obs::monotonicNanos();
+    taskWaitNs_.record(startNs - batch->enqueuedNs);
+    queueDepth_.sub(1);
+  }
   try {
     batch->tasks[idx]();
   } catch (...) {
     mutex_.lock();
     if (!batch->error) batch->error = std::current_exception();
     mutex_.unlock();
+  }
+  if (metrics_ != nullptr) {
+    taskRunNs_.record(obs::monotonicNanos() - startNs);
   }
   mutex_.lock();
   if (++batch->done == batch->tasks.size()) batch->finished.notify_all();
@@ -84,6 +104,10 @@ void ThreadPool::run(std::vector<std::function<void()>> tasks) {
   if (tasks.empty()) return;
   auto batch = std::make_shared<Batch>();
   batch->tasks = std::move(tasks);
+  if (metrics_ != nullptr) {
+    batch->enqueuedNs = obs::monotonicNanos();
+    queueDepth_.add(static_cast<std::int64_t>(batch->tasks.size()));
+  }
 
   const util::MutexLock lock(mutex_);
   queue_.push_back(batch);
@@ -100,6 +124,10 @@ void ThreadPool::run(std::vector<std::function<void()>> tasks) {
 void ThreadPool::post(std::function<void()> task) {
   auto batch = std::make_shared<Batch>();
   batch->tasks.push_back(std::move(task));
+  if (metrics_ != nullptr) {
+    batch->enqueuedNs = obs::monotonicNanos();
+    queueDepth_.add(1);
+  }
   {
     const util::MutexLock lock(mutex_);
     queue_.push_back(std::move(batch));

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "la/exec.hpp"
+#include "obs/metrics.hpp"
 #include "util/mutex.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -35,7 +36,13 @@ class ThreadPool {
   /// threads == 0 picks the MIMOSTAT_THREADS environment variable when set
   /// (how CI's TSan job forces an 8-thread pool on any host), otherwise
   /// std::thread::hardware_concurrency().
-  explicit ThreadPool(std::size_t threads = 0);
+  ///
+  /// When `metrics` is non-null the pool reports a queue-depth gauge
+  /// ("engine.pool.queue_depth") and task wait/run histograms
+  /// ("engine.pool.task_wait_ns" / "engine.pool.task_run_ns") into it; the
+  /// AnalysisEngine passes its registry, bare pools stay unmetered.
+  explicit ThreadPool(std::size_t threads = 0,
+                      obs::MetricsRegistry* metrics = nullptr);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -56,6 +63,9 @@ class ThreadPool {
   struct Batch {
     /// Immutable after construction (set before the batch is published).
     std::vector<std::function<void()>> tasks;
+    /// Enqueue timestamp (obs::monotonicNanos) for the wait histogram; 0
+    /// when the pool is unmetered. Immutable after construction.
+    std::uint64_t enqueuedNs = 0;
     // next/done/error are guarded by the owning pool's mutex_ — enforced by
     // MIMOSTAT_REQUIRES(mutex_) on every member function that touches them
     // (the analysis cannot alias a member-of-member guard expression).
@@ -78,6 +88,15 @@ class ThreadPool {
   std::deque<std::shared_ptr<Batch>> queue_ MIMOSTAT_GUARDED_BY(mutex_);
   util::CondVar wake_;
   bool stop_ MIMOSTAT_GUARDED_BY(mutex_) = false;
+  /// Constructor-initialized; nullptr = unmetered.
+  /// lint:allow(guarded-by: constructor-initialized, read-only after)
+  obs::MetricsRegistry* metrics_ = nullptr;
+  /// lint:allow(guarded-by: internally synchronized handle)
+  obs::Gauge queueDepth_;
+  /// lint:allow(guarded-by: internally synchronized handle)
+  obs::Histogram taskWaitNs_;
+  /// lint:allow(guarded-by: internally synchronized handle)
+  obs::Histogram taskRunNs_;
 };
 
 /// The canonical ThreadPool -> la::TaskRunner adapter (used by the engine's

@@ -6,6 +6,7 @@
 #include <functional>
 
 #include "la/spmv.hpp"
+#include "obs/trace.hpp"
 
 namespace mimostat::la {
 
@@ -56,6 +57,7 @@ SolveStats GaussSeidel::solve(const CsrMatrix& P,
                               const SolverOptions& options,
                               const Exec& exec) const {
   (void)exec;  // in-place sweeps are order-dependent: sequential by design
+  const obs::Span span("la.solve.gauss-seidel");
   P.requireOriginal("la::GaussSeidel");
   assert(x.size() == P.numRows());
   SolveStats stats;
@@ -91,6 +93,7 @@ SolveStats Jacobi::solve(const CsrMatrix& P,
                          const std::vector<std::uint32_t>& active,
                          const double* b, std::vector<double>& x,
                          const SolverOptions& options, const Exec& exec) const {
+  const obs::Span span("la.solve.jacobi");
   P.requireOriginal("la::Jacobi");
   assert(x.size() == P.numRows());
   SolveStats stats;
@@ -162,6 +165,7 @@ SolveStats GaussSeidelRB::solve(const CsrMatrix& P,
                                 const double* b, std::vector<double>& x,
                                 const SolverOptions& options,
                                 const Exec& exec) const {
+  const obs::Span span("la.solve.gauss-seidel-rb");
   P.requireOriginal("la::GaussSeidelRB");
   assert(x.size() == P.numRows());
   SolveStats stats;
@@ -251,6 +255,7 @@ PowerResult PowerIteration::run(const CsrMatrix& P,
                                 std::vector<double> initial,
                                 const PowerOptions& options,
                                 const Exec& exec) const {
+  const obs::Span span("la.solve.power");
   assert(initial.size() == P.numRows());
   PowerResult result;
   result.stats.solver = options.cesaroAveraging ? "power+cesaro" : "power";

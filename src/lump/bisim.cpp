@@ -5,8 +5,8 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "obs/trace.hpp"
 #include "util/hash.hpp"
-#include "util/timer.hpp"
 
 namespace mimostat::lump {
 
@@ -63,7 +63,7 @@ InitialKeys keysFromRewardAndLabels(
 
 LumpResult lump(const dtmc::ExplicitDtmc& dtmc, const InitialKeys& initialKeys,
                 const LumpOptions& options) {
-  util::Stopwatch timer;
+  obs::Span span("lump.bisim");
   const std::uint32_t n = dtmc.numStates();
   assert(initialKeys.size() == n);
 
@@ -149,7 +149,7 @@ LumpResult lump(const dtmc::ExplicitDtmc& dtmc, const InitialKeys& initialKeys,
   }
 
   result.quotient = dtmc::ExplicitDtmc::fromRaw(std::move(raw));
-  result.seconds = timer.elapsedSeconds();
+  result.seconds = span.stopSeconds();
   return result;
 }
 

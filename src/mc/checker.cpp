@@ -9,7 +9,7 @@
 #include "mc/steady.hpp"
 #include "mc/transient.hpp"
 #include "mc/unbounded.hpp"
-#include "util/timer.hpp"
+#include "obs/trace.hpp"
 
 namespace mimostat::mc {
 
@@ -76,7 +76,10 @@ la::BitVector Checker::evalStateFormula(const pctl::StateFormula& f) const {
 CheckResult Checker::checkSingle(
     const pctl::Property& property, const pctl::EvalPlan::Single& single,
     const std::vector<la::BitVector>& maskValues) const {
-  util::Stopwatch timer;
+  // Explicit parent: singles run on pool threads via the caller's runner.
+  // Solver spans ("la.solve.*") opened inside reachProb & co. nest under
+  // this one through the tracer's same-thread tracking.
+  obs::Span span("mc.single", options_.traceParent);
   CheckResult result;
 
   const auto reachOptions = [&] {
@@ -195,7 +198,7 @@ CheckResult Checker::checkSingle(
     }
   }
 
-  result.checkSeconds = timer.elapsedSeconds();
+  result.checkSeconds = span.stopSeconds();
   return result;
 }
 
@@ -204,7 +207,7 @@ void Checker::runBoundedGroup(
     const std::vector<la::BitVector>& maskValues,
     const std::vector<std::string>& maskErrors,
     std::vector<CheckResult>& results) const {
-  util::Stopwatch timer;
+  obs::Span groupSpan("mc.boundedTraversal", options_.traceParent);
   // Refuse transpose-only models before any per-column work: checkAll's
   // group task captures this as a per-property error on every bounded
   // readout, so sibling transient/steady properties still answer.
@@ -326,11 +329,21 @@ void Checker::runBoundedGroup(
       X.swap(scratch);
       colMasks = std::move(keptMasks);
     }
-    la::spmmMasked(dtmc_.matrix(), X, width, colMasks, scratch, options_.exec);
+    if (obs::Tracer::global().detailEnabled()) {
+      // Opt-in per-step span (Tracer::setDetailEnabled): one event per
+      // traversal step is too hot for default tracing but invaluable when
+      // profiling the masked SpMM itself.
+      obs::Span step("mc.boundedTraversal.step");
+      la::spmmMasked(dtmc_.matrix(), X, width, colMasks, scratch,
+                     options_.exec);
+    } else {
+      la::spmmMasked(dtmc_.matrix(), X, width, colMasks, scratch,
+                     options_.exec);
+    }
     X.swap(scratch);
   }
 
-  const double seconds = timer.elapsedSeconds();
+  const double seconds = groupSpan.stopSeconds();
   const bool shared = plan.bounded.size() > 1;
   for (const pctl::EvalPlan::BoundedReadout& readout : plan.bounded) {
     // Errored readouts never joined the traversal: no shared-task
@@ -344,7 +357,7 @@ void Checker::runBoundedGroup(
 void Checker::runTransientGroup(const pctl::EvalPlan& plan,
                                 const std::vector<pctl::Property>& properties,
                                 std::vector<CheckResult>& results) const {
-  util::Stopwatch timer;
+  obs::Span groupSpan("mc.transientSweep", options_.traceParent);
   // One forward sweep serves every I=/C<= property: reward vectors are
   // evaluated once per distinct reward structure, instantaneous values
   // are sampled when the sweep passes their horizon, and cumulative
@@ -410,7 +423,7 @@ void Checker::runTransientGroup(const pctl::EvalPlan& plan,
     sweep.advance();
   }
 
-  const double seconds = timer.elapsedSeconds();
+  const double seconds = groupSpan.stopSeconds();
   const bool shared = liveCount > 1;
   for (std::size_t g = 0; g < plan.transients.size(); ++g) {
     const pctl::EvalPlan::TransientEntry& entry = plan.transients[g];
@@ -430,6 +443,9 @@ std::vector<CheckResult> Checker::checkAll(
     const std::vector<pctl::Property>& properties,
     const pctl::PlanOptions& planOptions, pctl::PlanStats* planStats,
     const la::TaskRunner& runner) const {
+  // Plan phase: compile the property set and evaluate the shared mask
+  // table. Runs on the calling thread, before any group task is scheduled.
+  obs::Span planSpan("pctl.plan", options_.traceParent);
   const pctl::EvalPlan plan = pctl::buildPlan(properties, planOptions);
   std::vector<CheckResult> results(properties.size());
 
@@ -445,6 +461,7 @@ std::vector<CheckResult> Checker::checkAll(
       maskErrors[m] = e.what();
     }
   }
+  const double planSeconds = planSpan.stopSeconds();
 
   if (planStats != nullptr) {
     pctl::PlanStats stats = plan.stats;
@@ -454,6 +471,7 @@ std::vector<CheckResult> Checker::checkAll(
       stats.maskBytesPacked += mask.approxBytes();
       stats.maskBytesByte += mask.size();
     }
+    stats.planSeconds = planSeconds;
     *planStats = stats;
   }
 

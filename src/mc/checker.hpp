@@ -59,6 +59,12 @@ struct CheckOptions {
   /// Results are bit-identical with or without a runner; the
   /// AnalysisEngine injects its pool here by default.
   la::Exec exec;
+  /// obs:: span id the checker's phase spans ("pctl.plan", "mc.single",
+  /// "mc.boundedTraversal", "mc.transientSweep") parent to. Needed because
+  /// group tasks may run on pool threads, where the tracer's same-thread
+  /// nesting cannot see the caller's span. 0 = root / thread-local parent.
+  /// Diagnostics only; checking results never depend on it.
+  std::uint64_t traceParent = 0;
 };
 
 struct CheckResult {

@@ -5,8 +5,8 @@
 #include "comm/channel.hpp"
 #include "comm/rayleigh.hpp"
 #include "comm/snr.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
-#include "util/timer.hpp"
 
 namespace mimostat::mimo {
 
@@ -18,7 +18,7 @@ namespace {
 template <typename DetectFn>
 MimoSimulationResult runTrials(const MimoParams& params, std::uint64_t trials,
                                std::uint64_t seed, DetectFn&& detect) {
-  util::Stopwatch timer;
+  obs::Span span("mimo.sim");
   util::Xoshiro256 rng(seed);
   const double hSigma = comm::RayleighFading::perDimensionSigma();
   const double nSigma = comm::noiseSigmaPerDimension(params.snrDb);
@@ -47,7 +47,7 @@ MimoSimulationResult runTrials(const MimoParams& params, std::uint64_t trials,
       result.bitErrors.add(((wrongBits >> k) & 1u) != 0);
     }
   }
-  result.seconds = timer.elapsedSeconds();
+  result.seconds = span.stopSeconds();
   return result;
 }
 

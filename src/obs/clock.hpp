@@ -1,0 +1,24 @@
+// Monotonic clock access for the observability layer.
+//
+// Every wall-clock read in src/ flows through here (or util::Stopwatch,
+// which obs:: wraps): the `raw-wallclock` lint rule bans direct
+// std::chrono::steady_clock / util::Stopwatch use outside src/util/ and
+// src/obs/, so timing can only ever reach spans, histograms and the
+// diagnostic timing structs — never exported values or ordering.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace mimostat::obs {
+
+/// Nanoseconds on the process-wide monotonic clock. Only differences are
+/// meaningful; the epoch is unspecified (steady_clock's).
+[[nodiscard]] inline std::uint64_t monotonicNanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace mimostat::obs

@@ -1,0 +1,145 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "util/log.hpp"
+
+namespace mimostat::obs {
+
+namespace {
+
+/// Small dense per-process thread index for trace "tid" fields (raw OS
+/// thread ids are large and unstable across runs).
+std::atomic<std::uint32_t> g_nextThreadIndex{0};
+
+std::uint32_t currentThreadIndex() {
+  thread_local const std::uint32_t index =
+      g_nextThreadIndex.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+/// Innermost live recording span on this thread (0 = none).
+thread_local std::uint64_t t_currentSpan = 0;
+
+}  // namespace
+
+std::uint64_t currentSpanId() { return t_currentSpan; }
+
+Tracer::Tracer() { epochNs_.store(monotonicNanos(), std::memory_order_relaxed); }
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::clear() {
+  util::MutexLock lock(mutex_);
+  events_.clear();
+  nextId_.store(1, std::memory_order_relaxed);
+  epochNs_.store(monotonicNanos(), std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> out;
+  {
+    util::MutexLock lock(mutex_);
+    out = events_;
+  }
+  std::sort(out.begin(), out.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    if (a.startNs != b.startNs) return a.startNs < b.startNs;
+    return a.id < b.id;
+  });
+  return out;
+}
+
+void Tracer::record(const TraceEvent& event) {
+  util::MutexLock lock(mutex_);
+  events_.push_back(event);
+}
+
+Span::Span(const char* name, std::uint64_t parent, Tracer& tracer)
+    : tracer_(&tracer), name_(name), startNs_(monotonicNanos()) {
+  if (tracer_->enabled()) {
+    id_ = tracer_->nextId();
+    parent_ = parent != 0 ? parent : t_currentSpan;
+    savedCurrent_ = t_currentSpan;
+    t_currentSpan = id_;
+  }
+}
+
+Span::Span(Span&& other) noexcept
+    : tracer_(other.tracer_),
+      name_(other.name_),
+      id_(other.id_),
+      parent_(other.parent_),
+      startNs_(other.startNs_),
+      savedCurrent_(other.savedCurrent_),
+      stopped_(other.stopped_) {
+  other.id_ = 0;
+  other.stopped_ = true;
+}
+
+void Span::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  if (id_ == 0) return;
+  TraceEvent event;
+  event.name = name_;
+  event.id = id_;
+  event.parent = parent_;
+  event.startNs = startNs_;
+  event.endNs = monotonicNanos();
+  event.tid = currentThreadIndex();
+  // Restore only if we are still the innermost span on this thread; a span
+  // moved across threads must not clobber the destination thread's stack.
+  if (t_currentSpan == id_) t_currentSpan = savedCurrent_;
+  tracer_->record(event);
+}
+
+double Span::stopSeconds() {
+  const double seconds = elapsedSeconds();
+  stop();
+  return seconds;
+}
+
+double Span::elapsedSeconds() const {
+  return static_cast<double>(monotonicNanos() - startNs_) * 1e-9;
+}
+
+void TraceWriter::write(std::ostream& out) const {
+  const std::uint64_t epoch = tracer_->epochNs();
+  const std::vector<TraceEvent> events = tracer_->events();
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  char buf[64];
+  for (const TraceEvent& e : events) {
+    if (!first) out << ",";
+    first = false;
+    // Chrome trace "complete" events: ts/dur in microseconds.
+    const double ts = static_cast<double>(e.startNs - epoch) * 1e-3;
+    const double dur = static_cast<double>(e.endNs - e.startNs) * 1e-3;
+    out << "{\"name\":\"" << e.name
+        << "\",\"cat\":\"mimostat\",\"ph\":\"X\",\"pid\":1,\"tid\":" << e.tid;
+    std::snprintf(buf, sizeof(buf), "%.3f", ts);
+    out << ",\"ts\":" << buf;
+    std::snprintf(buf, sizeof(buf), "%.3f", dur);
+    out << ",\"dur\":" << buf;
+    out << ",\"args\":{\"id\":" << e.id << ",\"parent\":" << e.parent << "}}";
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}";
+}
+
+bool TraceWriter::writeFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    MS_LOG_WARN("obs: cannot open trace file '%s'", path.c_str());
+    return false;
+  }
+  write(out);
+  return out.good();
+}
+
+}  // namespace mimostat::obs

@@ -1,0 +1,157 @@
+// obs::Tracer / obs::Span — per-request phase tracing.
+//
+// A Span is an RAII scope around one phase of work ("engine.analyze",
+// "dtmc.build", "la.solve.gauss-seidel", ...). Spans form a tree: on the
+// same thread, nesting is automatic via a thread_local current-span id;
+// across threads (pool tasks), the scheduling site passes the parent id
+// explicitly. The tracer collects finished spans and obs::TraceWriter
+// exports them as Chrome trace-event JSON, loadable in Perfetto or
+// chrome://tracing.
+//
+// Tracing is disabled by default. A disabled tracer costs one relaxed
+// atomic load per span plus the clock reads — spans still measure time
+// (stopSeconds() feeds the always-on diagnostic timing structs), they just
+// don't allocate or record events. Span names must be string literals (or
+// otherwise outlive the tracer); the tracer stores the pointer, not a copy.
+//
+// Determinism boundary: spans and traces are diagnostics only. Nothing
+// here may feed exported values or ordering — the determinism lint's
+// `raw-wallclock` rule keeps clock reads confined to src/obs/ + src/util/.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/clock.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace mimostat::obs {
+
+/// One finished span. Timestamps are monotonicNanos() values relative to
+/// the tracer's epoch (its construction / last clear()).
+struct TraceEvent {
+  const char* name = "";     ///< static-lifetime phase name
+  std::uint64_t id = 0;      ///< unique per tracer epoch, > 0
+  std::uint64_t parent = 0;  ///< 0 = root
+  std::uint64_t startNs = 0;
+  std::uint64_t endNs = 0;
+  std::uint32_t tid = 0;  ///< small per-process thread index
+};
+
+class Tracer {
+ public:
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// The process-wide tracer (what every Span uses by default).
+  [[nodiscard]] static Tracer& global();
+
+  /// Master switch. Spans created while disabled record nothing.
+  void setEnabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Opt-in high-volume spans (per-step bounded-traversal spans). Only
+  /// consulted when enabled() is also true.
+  void setDetailEnabled(bool on) {
+    detail_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool detailEnabled() const {
+    return enabled() && detail_.load(std::memory_order_relaxed);
+  }
+
+  /// Drop all recorded events and restart the epoch / id counter.
+  void clear();
+
+  /// Snapshot of finished spans, sorted by (startNs, id) so output is
+  /// stable regardless of completion order.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  /// Nanosecond timestamp of the current epoch (clear()/construction).
+  [[nodiscard]] std::uint64_t epochNs() const {
+    return epochNs_.load(std::memory_order_relaxed);
+  }
+
+  /// Next span id (internal; used by Span).
+  [[nodiscard]] std::uint64_t nextId() {
+    return nextId_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void record(const TraceEvent& event);
+
+ private:
+  /// lint:allow(guarded-by: relaxed atomic flag, hot-path enabled check)
+  std::atomic<bool> enabled_{false};
+  /// lint:allow(guarded-by: relaxed atomic flag)
+  std::atomic<bool> detail_{false};
+  /// lint:allow(guarded-by: atomic id counter, fetch_add only)
+  std::atomic<std::uint64_t> nextId_{1};
+  /// lint:allow(guarded-by: atomic timestamp, store on clear / relaxed reads)
+  std::atomic<std::uint64_t> epochNs_{0};
+  mutable util::Mutex mutex_;
+  std::vector<TraceEvent> events_ MIMOSTAT_GUARDED_BY(mutex_);
+};
+
+/// The calling thread's innermost live recording span id (0 = none). Used
+/// for same-thread auto-parenting; cross-thread tasks pass parents
+/// explicitly.
+[[nodiscard]] std::uint64_t currentSpanId();
+
+/// RAII phase scope. Always measures wall time (elapsedSeconds() works
+/// with tracing off); records a TraceEvent only when the tracer was
+/// enabled at construction.
+class Span {
+ public:
+  /// `name` must outlive the tracer (use a string literal). `parent` = 0
+  /// auto-parents to the calling thread's current span; a nonzero parent
+  /// overrides (use for cross-thread pool tasks).
+  explicit Span(const char* name, std::uint64_t parent = 0,
+                Tracer& tracer = Tracer::global());
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span(Span&& other) noexcept;
+  Span& operator=(Span&&) = delete;
+  ~Span() { stop(); }
+
+  /// Finish the span (idempotent). Records the event if tracing was on.
+  void stop();
+  /// stop() and return the span's total duration in seconds.
+  double stopSeconds();
+  /// Seconds since construction (span keeps running).
+  [[nodiscard]] double elapsedSeconds() const;
+
+  /// This span's id while recording, 0 when tracing was off at
+  /// construction. Pass as the explicit parent of cross-thread children.
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+
+ private:
+  Tracer* tracer_;
+  const char* name_;
+  std::uint64_t id_ = 0;      ///< 0 = not recording
+  std::uint64_t parent_ = 0;
+  std::uint64_t startNs_;
+  std::uint64_t savedCurrent_ = 0;  ///< restored on stop when recording
+  bool stopped_ = false;
+};
+
+/// Exports a tracer's events as Chrome trace-event JSON ("traceEvents"
+/// array of complete events, ts/dur in microseconds).
+class TraceWriter {
+ public:
+  explicit TraceWriter(const Tracer& tracer) : tracer_(&tracer) {}
+
+  void write(std::ostream& out) const;
+  /// Returns false (and logs) when the file cannot be opened.
+  bool writeFile(const std::string& path) const;
+
+ private:
+  const Tracer* tracer_;
+};
+
+}  // namespace mimostat::obs

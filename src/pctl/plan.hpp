@@ -66,6 +66,10 @@ struct PlanStats {
   /// (mc::Checker::checkAll) once masks are evaluated; zero until then.
   std::uint64_t maskBytesPacked = 0;
   std::uint64_t maskBytesByte = 0;
+  /// Seconds spent compiling the plan and evaluating its mask table (the
+  /// "pctl.plan" span). Filled by the executor (mc::Checker::checkAll);
+  /// diagnostics only — never feeds exported values or ordering.
+  double planSeconds = 0.0;
 };
 
 struct EvalPlan {

@@ -2,12 +2,12 @@
 
 #include <cmath>
 
-#include "util/timer.hpp"
+#include "obs/trace.hpp"
 
 namespace mimostat::sim {
 
 BerRunResult runBer(const ErrorSource& source, const BerRunOptions& options) {
-  util::Stopwatch timer;
+  obs::Span span("sim.ber");
   BerRunResult result;
   for (std::uint64_t step = 0; step < options.maxSteps; ++step) {
     result.errors.add(source(step));
@@ -24,7 +24,7 @@ BerRunResult runBer(const ErrorSource& source, const BerRunOptions& options) {
       }
     }
   }
-  result.seconds = timer.elapsedSeconds();
+  result.seconds = span.stopSeconds();
   return result;
 }
 

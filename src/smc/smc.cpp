@@ -4,9 +4,9 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "pctl/parser.hpp"
 #include "util/hash.hpp"
-#include "util/timer.hpp"
 
 namespace mimostat::smc {
 
@@ -188,14 +188,16 @@ SmcEstimate estimatePathProbability(const dtmc::Model& model,
                                     const SmcOptions& options,
                                     const TaskRunner& runner) {
   requireBounded(path);
-  util::Stopwatch timer;
+  // Auto-parents to the caller's span on this thread (the engine's
+  // per-property "engine.property" when invoked through the engine).
+  obs::Span span("smc.sample");
   SmcEstimate result;
   result.satisfied = sampleChunked<stats::BernoulliEstimator>(
       model, options, runner,
       [&model, &path](PathSampler& sampler, stats::BernoulliEstimator& acc) {
         acc.add(samplePathSatisfies(sampler, model, path));
       });
-  result.seconds = timer.elapsedSeconds();
+  result.seconds = span.stopSeconds();
   return result;
 }
 

@@ -192,7 +192,7 @@ void ResultTable::writeCsv(std::ostream& os,
         "ci_low,ci_high,error";
   if (options.diagnostics) {
     os << ",cache_hit,build_seconds,check_seconds,solver,solver_iterations,"
-          "solver_residual,solver_converged";
+          "solver_residual,solver_converged,t_queue,t_build,t_plan,t_check";
   }
   os << '\n';
   for (const auto& row : rows_) {
@@ -227,6 +227,10 @@ void ResultTable::writeCsv(std::ostream& os,
       } else {
         os << ",,,,";
       }
+      os << ',' << formatDouble(row.timing.queueSeconds) << ','
+         << formatDouble(row.timing.buildSeconds) << ','
+         << formatDouble(row.timing.planSeconds) << ','
+         << formatDouble(row.timing.checkSeconds);
     }
     os << '\n';
   }
@@ -276,6 +280,11 @@ void ResultTable::writeJson(std::ostream& os,
       } else {
         os << "null";
       }
+      os << ",\"timing\":{\"queueSeconds\":"
+         << jsonNumber(row.timing.queueSeconds)
+         << ",\"buildSeconds\":" << jsonNumber(row.timing.buildSeconds)
+         << ",\"planSeconds\":" << jsonNumber(row.timing.planSeconds)
+         << ",\"checkSeconds\":" << jsonNumber(row.timing.checkSeconds) << '}';
     }
     os << ",\"error\":\"" << jsonEscape(row.error) << "\"}";
   }

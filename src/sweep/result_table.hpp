@@ -20,6 +20,7 @@
 
 #include "core/report.hpp"
 #include "engine/request.hpp"
+#include "engine/result.hpp"
 #include "la/solver.hpp"
 #include "pctl/plan.hpp"
 #include "stats/intervals.hpp"
@@ -60,6 +61,9 @@ struct ResultRow {
   bool cacheHit = false;
   double buildSeconds = 0.0;
   double checkSeconds = 0.0;
+  /// The serving request's phase breakdown (t_queue/t_build/t_plan/t_check
+  /// diagnostic columns) — identical across rows of one coalesced request.
+  engine::PhaseTiming timing;
   /// Non-empty when this row failed (factory error, parse error, request
   /// failure...). Sibling rows are unaffected. Failed rows carry
   /// value = NaN (exported as "nan"/null, a gap — never a passing zero)

@@ -129,6 +129,7 @@ ResultTable Runner::run(const SweepSpec& spec) const {
       row.transitions = response.transitions;
       row.cacheHit = response.cacheHit;
       row.buildSeconds = response.buildSeconds;
+      row.timing = response.timing;
       row.plan = response.plan;
       if (!response.error.empty()) {
         row.value = std::numeric_limits<double>::quiet_NaN();

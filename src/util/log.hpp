@@ -2,8 +2,9 @@
 //
 // The library is deterministic and mostly silent; logging exists for the
 // builder / engines to report progress on large models and for benches to
-// explain what they are doing. Not thread-safe by design (all engines are
-// single-threaded).
+// explain what they are doing. Thread-safe: concurrent pool tasks log
+// freely — each message is formatted into a buffer and emitted as one
+// stream write under flockfile, so lines never interleave.
 #pragma once
 
 #include <cstdio>

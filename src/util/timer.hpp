@@ -1,5 +1,9 @@
-// Wall-clock stopwatch used by builders/engines to report the
-// "model construction + model checking" times the paper's Table I lists.
+// Wall-clock stopwatch (benches, tests, obs::).
+//
+// Library code in src/ should time phases through obs::Span / the metrics
+// registry instead: the `raw-wallclock` determinism lint bans direct
+// Stopwatch / std::chrono clock use in src/ outside src/util/ + src/obs/,
+// so wall-clock can only reach diagnostics, never exported values.
 #pragma once
 
 #include <chrono>

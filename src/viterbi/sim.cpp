@@ -2,15 +2,15 @@
 
 #include <deque>
 
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
-#include "util/timer.hpp"
 #include "viterbi/decoder.hpp"
 
 namespace mimostat::viterbi {
 
 SimulationResult simulate(const ViterbiParams& params, std::uint64_t steps,
                           std::uint64_t seed) {
-  util::Stopwatch timer;
+  obs::Span span("viterbi.sim");
   util::Xoshiro256 rng(seed);
   const TrellisKernel kernel(params);
   Decoder decoder(kernel);
@@ -46,7 +46,7 @@ SimulationResult simulate(const ViterbiParams& params, std::uint64_t steps,
 
     prevBit = bit;
   }
-  result.seconds = timer.elapsedSeconds();
+  result.seconds = span.stopSeconds();
   return result;
 }
 

@@ -39,6 +39,13 @@ scalar reference at any thread count) and its byte-stable exports:
                        annotation or an explicit allow comment — so Clang's
                        -Wthread-safety analysis (and the reader) knows which
                        lock protects what.
+  raw-wallclock        Direct std::chrono clock reads / util::Stopwatch in
+                       src/ outside src/util/ + src/obs/. Library code times
+                       phases through obs::Span and the obs:: metrics
+                       registry, so wall-clock stays on the diagnostics side
+                       of the determinism boundary and can never feed
+                       exported values or ordering. tests/ and bench/ keep
+                       raw timing freely.
 
 Escape hatch: a line (or the line above it) containing
     lint:allow(<rule>) or lint:allow(<rule>: <reason>)
@@ -294,6 +301,42 @@ def check_byte_truth_mask(path: str, lines: list[str]) -> list[Violation]:
     return out
 
 
+def check_raw_wallclock(path: str, lines: list[str]) -> list[Violation]:
+    """Flag raw wall-clock use in src/ outside src/util/ + src/obs/.
+
+    obs::Span / the metrics registry are the sanctioned timing paths for
+    library code; they keep every clock read behind the diagnostics-only
+    boundary. benches and tests time whatever they like — the rule only
+    applies to src/ paths.
+    """
+    posix = _posix(path)
+    if not re.search(r"(^|/)src/", posix):
+        return []
+    if re.search(r"(^|/)src/(util|obs)/", posix):
+        return []
+    pattern = re.compile(
+        r"\bstd\s*::\s*chrono\s*::\s*"
+        r"(?:steady_clock|high_resolution_clock|system_clock)\b"
+        r"|\butil\s*::\s*Stopwatch\b"
+    )
+    out = []
+    for idx, line in enumerate(lines):
+        stripped = _strip_comments_and_strings(line)
+        if pattern.search(stripped) and not _allowed(lines, idx, "raw-wallclock"):
+            out.append(
+                Violation(
+                    path,
+                    idx + 1,
+                    "raw-wallclock",
+                    "raw wall-clock read outside src/util/ + src/obs/ — time "
+                    "phases with obs::Span (or an obs:: histogram) so clock "
+                    "reads stay diagnostics-only and cannot leak into "
+                    "exported values or ordering",
+                )
+            )
+    return out
+
+
 _CLASS_RE = re.compile(r"\b(class|struct)\s+(?:MIMOSTAT_\w+(?:\([^)]*\))?\s+)?"
                        r"([A-Za-z_]\w*)[^;{]*\{")
 _MUTEX_MEMBER_RE = re.compile(
@@ -410,6 +453,7 @@ RULES = {
     "atomic-float": check_atomic_float,
     "byte-truth-mask": check_byte_truth_mask,
     "guarded-by": check_guarded_by,
+    "raw-wallclock": check_raw_wallclock,
 }
 
 

@@ -328,6 +328,54 @@ class GuardedByTest(unittest.TestCase):
         self.assertEqual(run(src), [])
 
 
+class RawWallclockTest(unittest.TestCase):
+    def test_steady_clock_in_src_flagged(self):
+        src = "const auto t0 = std::chrono::steady_clock::now();"
+        self.assertEqual(rules(src), ["raw-wallclock"])
+
+    def test_system_and_high_resolution_clocks_flagged(self):
+        src = """\
+        auto a = std::chrono::system_clock::now();
+        auto b = std::chrono::high_resolution_clock::now();
+        """
+        self.assertEqual(run(src),
+                         [(1, "raw-wallclock"), (2, "raw-wallclock")])
+
+    def test_stopwatch_in_src_flagged(self):
+        self.assertEqual(rules("util::Stopwatch timer;"), ["raw-wallclock"])
+
+    def test_util_and_obs_are_the_sanctioned_homes(self):
+        src = "const auto t0 = std::chrono::steady_clock::now();"
+        self.assertEqual(run(src, path="src/util/timer.hpp"), [])
+        self.assertEqual(run(src, path="src/obs/clock.hpp"), [])
+        self.assertEqual(run(src, path="src/obs/trace.cpp"), [])
+
+    def test_tests_and_bench_time_freely(self):
+        # Only src/ is scoped; harness timing is not a determinism hazard.
+        src = "util::Stopwatch timer;"
+        self.assertEqual(run(src, path="tests/engine_test.cpp"), [])
+        self.assertEqual(run(src, path="bench/table3_viterbi_steady.cpp"), [])
+
+    def test_chrono_durations_are_fine(self):
+        # Duration arithmetic / literals don't read a clock.
+        src = """\
+        std::chrono::seconds ttl{0};
+        cv.wait_for(lock, std::chrono::milliseconds(5));
+        """
+        self.assertEqual(run(src), [])
+
+    def test_mention_in_comment_ignored(self):
+        src = "// replaced std::chrono::steady_clock with obs::Span"
+        self.assertEqual(run(src), [])
+
+    def test_allow_comment_suppresses(self):
+        src = """\
+        // lint:allow(raw-wallclock: TTL eviction needs a real clock)
+        auto now = std::chrono::steady_clock::now();
+        """
+        self.assertEqual(run(src), [])
+
+
 class EngineTest(unittest.TestCase):
     def test_allow_comment_is_rule_specific(self):
         # An allow for one rule must not blanket-suppress another.
@@ -349,7 +397,8 @@ class EngineTest(unittest.TestCase):
 
     def test_list_rules_names_every_rule(self):
         expected = {"unordered-iteration", "raw-rng", "raw-thread",
-                    "atomic-float", "byte-truth-mask", "guarded-by"}
+                    "atomic-float", "byte-truth-mask", "guarded-by",
+                    "raw-wallclock"}
         self.assertEqual(set(check_invariants.RULES), expected)
 
     def test_clean_source_exits_zero_via_main(self):

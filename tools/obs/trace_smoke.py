@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for the obs:: trace export path.
+
+Runs a bench driver with `--trace <file>`, then re-parses the emitted
+Chrome trace-event JSON with a real JSON parser and validates the
+invariants Perfetto / chrome://tracing rely on:
+
+  * top-level object with a "traceEvents" array and "displayTimeUnit"
+  * every event is a complete ("ph": "X") event with name/pid/tid,
+    numeric ts/dur, dur >= 0
+  * span ids are unique and every non-zero parent id resolves to another
+    event in the same trace (the span tree is closed)
+  * a child span's [ts, ts+dur] interval nests inside its parent's,
+    up to the writer's microsecond rounding
+  * the expected root phase ("engine.analyze") is present
+
+Registered as the `obs_smoke` ctest; CI's bench job runs the same flag on
+the full-size drivers and uploads the trace as a workflow artifact.
+
+Usage: trace_smoke.py --bench <driver> --out <trace.json> [bench args...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+
+
+def fail(message: str) -> int:
+    print(f"trace_smoke: FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def validate(trace: dict) -> int:
+    if not isinstance(trace, dict):
+        return fail("top level is not a JSON object")
+    if "displayTimeUnit" not in trace:
+        return fail("missing displayTimeUnit")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return fail("traceEvents is missing or not an array")
+    if not events:
+        return fail("trace is empty — the tracer never recorded a span")
+
+    by_id: dict[int, dict] = {}
+    for i, event in enumerate(events):
+        for key in ("name", "ph", "pid", "tid", "ts", "dur", "args"):
+            if key not in event:
+                return fail(f"event #{i} missing '{key}': {event}")
+        if event["ph"] != "X":
+            return fail(f"event #{i} is not a complete event: ph={event['ph']}")
+        if not isinstance(event["ts"], (int, float)):
+            return fail(f"event #{i} ts is not numeric")
+        if not isinstance(event["dur"], (int, float)) or event["dur"] < 0:
+            return fail(f"event #{i} has negative/missing dur: {event}")
+        span_id = event["args"].get("id")
+        if not isinstance(span_id, int) or span_id <= 0:
+            return fail(f"event #{i} has no positive span id: {event}")
+        if span_id in by_id:
+            return fail(f"duplicate span id {span_id}")
+        by_id[span_id] = event
+
+    for event in events:
+        parent = event["args"].get("parent", 0)
+        if parent == 0:
+            continue
+        if parent not in by_id:
+            return fail(f"span {event['args']['id']} ('{event['name']}') has "
+                        f"dangling parent {parent}")
+        outer = by_id[parent]
+        # The writer rounds ts/dur to microseconds independently, so allow
+        # 1us of slack per endpoint.
+        if event["ts"] + 1e-3 < outer["ts"] or \
+           event["ts"] + event["dur"] > outer["ts"] + outer["dur"] + 2e-3:
+            return fail(
+                f"span {event['args']['id']} ('{event['name']}') "
+                f"[{event['ts']}, {event['ts'] + event['dur']}] does not "
+                f"nest inside parent '{outer['name']}' "
+                f"[{outer['ts']}, {outer['ts'] + outer['dur']}]")
+
+    names = {event["name"] for event in events}
+    if "engine.analyze" not in names:
+        return fail(f"no engine.analyze root span; got: {sorted(names)}")
+
+    roots = sum(1 for e in events if e["args"].get("parent", 0) == 0)
+    print(f"trace_smoke: OK — {len(events)} spans, {roots} root(s), "
+          f"{len(names)} distinct phases: {', '.join(sorted(names))}")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench", required=True,
+                        help="bench driver binary supporting --trace")
+    parser.add_argument("--out", required=True, help="trace JSON output path")
+    parser.add_argument("extra", nargs="*",
+                        help="extra args forwarded to the driver")
+    args = parser.parse_args()
+
+    cmd = [args.bench, "--trace", args.out, *args.extra]
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE,
+                          stderr=subprocess.STDOUT, text=True)
+    if proc.returncode != 0:
+        print(proc.stdout, file=sys.stderr)
+        return fail(f"driver exited {proc.returncode}: {' '.join(cmd)}")
+
+    try:
+        with open(args.out, encoding="utf-8") as handle:
+            trace = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        return fail(f"cannot parse {args.out}: {err}")
+    return validate(trace)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
