@@ -32,13 +32,16 @@ ReductionVerdict verifyReduction(const dtmc::Model& fullModel,
   if (abstraction) {
     // Partition of the full state space induced by F_abs.
     std::unordered_map<dtmc::State, std::uint32_t, util::VecI32Hash> blockIds;
+    // lint:allow(reduction-boundary: builds the partition handed to lump::)
     std::vector<std::uint32_t> blockOf(full.dtmc.numStates());
     for (std::uint32_t s = 0; s < full.dtmc.numStates(); ++s) {
       const dtmc::State abstracted = abstraction(full.dtmc.state(s));
       auto [it, inserted] = blockIds.try_emplace(
           abstracted, static_cast<std::uint32_t>(blockIds.size()));
+      // lint:allow(reduction-boundary: builds the partition handed to lump::)
       blockOf[s] = it->second;
     }
+    // lint:allow(reduction-boundary: builds the partition handed to lump::)
     const lump::Partition partition = lump::partitionFromMap(blockOf);
     const lump::LumpabilityReport report =
         lump::verifyLumpable(full.dtmc, partition, tolerance);

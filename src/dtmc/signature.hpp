@@ -17,8 +17,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
+#include <vector>
 
 #include "dtmc/model.hpp"
+#include "la/bit_vector.hpp"
 
 namespace mimostat::dtmc {
 
@@ -42,5 +45,30 @@ struct ModelSignature {
 /// models — the probe truncates and reports exact=false instead.
 [[nodiscard]] ModelSignature modelSignature(const Model& model,
                                             const SignatureOptions& options = {});
+
+/// Order-independent digest over the label masks and reward vectors an
+/// evaluation plan needs — the optional second half of a cache key for
+/// plan-aware reduction artifacts (the engine's quotient cache). Entries
+/// combine an identity hash (the mask's structural formula hash / the reward
+/// structure's name) with a content hash (the evaluated bits / values), then
+/// XOR into the accumulator, so insertion order never matters; two plans
+/// needing the same atoms and rewards digest equal no matter how their
+/// properties were listed. An empty digest hashes to 0 (plan needs nothing —
+/// every state may merge).
+class LabelRewardDigest {
+ public:
+  /// Mask entry: `formulaHash` identifies the state formula (use
+  /// pctl::structuralHash), the BitVector is its evaluated truth set.
+  void addMask(std::uint64_t formulaHash, const la::BitVector& mask);
+  /// Reward entry: the reward structure's name plus its evaluated vector.
+  void addReward(std::string_view name, const std::vector<double>& values);
+
+  [[nodiscard]] std::uint64_t hash() const { return hash_; }
+  [[nodiscard]] std::uint32_t entries() const { return entries_; }
+
+ private:
+  std::uint64_t hash_ = 0;
+  std::uint32_t entries_ = 0;
+};
 
 }  // namespace mimostat::dtmc

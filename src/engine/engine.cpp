@@ -9,6 +9,7 @@
 
 #include "dtmc/signature.hpp"
 #include "mc/checker.hpp"
+#include "pctl/hash.hpp"
 #include "mc/transient.hpp"
 #include "obs/clock.hpp"
 #include "obs/trace.hpp"
@@ -47,6 +48,11 @@ stats::Interval meanInterval95(const stats::RunningStats& stats) {
 /// analyzeExact may upgrade a transpose-only entry to kBoth in place
 /// (rebuildOrientation), leaving a superset of the key's promised arrays
 /// under the same key.
+/// Quotient-cache entries live in the same map as full builds; the salt
+/// keeps a quotient key from ever colliding with its structural key even
+/// for an empty digest.
+constexpr std::uint64_t kQuotientKeySalt = 0x9D0712E6C2B5A34Full;
+
 std::uint64_t cacheKeyFor(std::uint64_t signatureHash,
                           const dtmc::BuildOptions& buildOptions) {
   std::uint64_t key = signatureHash;
@@ -100,7 +106,9 @@ AnalysisEngine::AnalysisEngine(EngineOptions options)
       requestLatencyNs_(metrics_->histogram("engine.request_ns")),
       requestCount_(metrics_->counter("engine.requests")),
       buildCounter_(metrics_->counter("engine.builds")),
-      cacheHitCounter_(metrics_->counter("engine.cache_hits")) {}
+      cacheHitCounter_(metrics_->counter("engine.cache_hits")),
+      quotientBuildCounter_(metrics_->counter("engine.quotient_builds")),
+      quotientHitCounter_(metrics_->counter("engine.quotient_hits")) {}
 
 AnalysisEngine::~AnalysisEngine() = default;
 
@@ -130,6 +138,8 @@ EngineStats AnalysisEngine::stats() const {
     stats.cacheHits = cacheHits_;
     stats.cachedModels = modelCache_.size();
     stats.cacheBytes = cacheBytes_;
+    stats.quotientBuilds = quotientBuilds_;
+    stats.quotientHits = quotientHits_;
   }
   // Latency percentiles come from the registry's shard-merged request
   // histogram (nanoseconds); engines sharing one registry share it.
@@ -237,6 +247,81 @@ std::shared_ptr<const BuiltModel> AnalysisEngine::ensureBuilt(
     {
       const util::MutexLock lock(cacheMutex_);
       const auto it = modelCache_.find(*key);
+      if (it != modelCache_.end()) {
+        cacheBytes_ -= it->second.bytes;
+        modelCache_.erase(it);
+      }
+    }
+    promise.set_exception(std::current_exception());
+    throw;
+  }
+}
+
+std::shared_ptr<const BuiltModel> AnalysisEngine::quotientFor(
+    const BuiltModel& full, std::uint64_t quotientKey,
+    const std::vector<const la::BitVector*>& masks,
+    const std::vector<const std::vector<double>*>& rewards,
+    const reduce::Options& reduction, bool* cacheHit) {
+  *cacheHit = false;
+
+  std::promise<std::shared_ptr<const BuiltModel>> promise;
+  std::shared_future<std::shared_ptr<const BuiltModel>> joined;
+  {
+    const util::MutexLock lock(cacheMutex_);
+    const auto it = modelCache_.find(quotientKey);
+    if (it != modelCache_.end()) {
+      ++quotientHits_;
+      quotientHitCounter_.inc();
+      it->second.lastUsed = ++useCounter_;
+      joined = it->second.future;
+    } else {
+      ++quotientBuilds_;
+      quotientBuildCounter_.inc();
+      CacheSlot slot;
+      slot.future = promise.get_future().share();
+      slot.lastUsed = ++useCounter_;
+      modelCache_.emplace(quotientKey, std::move(slot));
+    }
+  }
+  if (joined.valid()) {
+    *cacheHit = true;
+    return joined.get();  // waits for an in-flight refinement
+  }
+
+  try {
+    reduce::ReducedModel reduced =
+        reduce::buildQuotient(full.dtmc, masks, rewards, reduction);
+    auto built = std::make_shared<BuiltModel>();
+    built->signature = quotientKey;
+    built->reachabilityIterations = full.reachabilityIterations;
+    auto info = std::make_shared<reduce::ReductionInfo>(std::move(reduced.info));
+    if (info->statesAfter < info->statesBefore) {
+      built->dtmc = std::move(reduced.quotient);
+      built->approxBytes = approxDtmcBytes(built->dtmc) + info->approxBytes();
+    } else {
+      // Identity-quotient marker: drop the block map and the (duplicate)
+      // quotient matrix. The entry only memoizes "this plan cannot shrink
+      // this model", so repeat requests skip the refinement at no byte
+      // cost.
+      reduce::shrinkToMarker(*info);
+      built->approxBytes = sizeof(BuiltModel);
+    }
+    built->reduction = std::move(info);
+    promise.set_value(built);
+    {
+      const util::MutexLock lock(cacheMutex_);
+      const auto slot = modelCache_.find(quotientKey);
+      if (slot != modelCache_.end() && slot->second.bytes == 0) {
+        slot->second.bytes = built->approxBytes;
+        cacheBytes_ += built->approxBytes;
+      }
+      evictLocked();
+    }
+    return built;
+  } catch (...) {
+    {
+      const util::MutexLock lock(cacheMutex_);
+      const auto it = modelCache_.find(quotientKey);
       if (it != modelCache_.end()) {
         cacheBytes_ -= it->second.bytes;
         modelCache_.erase(it);
@@ -395,6 +480,115 @@ AnalysisResponse AnalysisEngine::analyzeExact(const AnalysisRequest& request,
     response.buildSeconds = built->buildSeconds;
   }
 
+  // Properties the plan (and the reduction stage's probe) will cover; the
+  // engine maps indices around parse failures.
+  std::vector<pctl::Property> planned;
+  std::vector<std::size_t> slotOf;
+  planned.reserve(parsed.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    if (!parsed[i].property) continue;
+    planned.push_back(*parsed[i].property);
+    slotOf.push_back(i);
+  }
+  pctl::PlanOptions planOptions;
+  planOptions.batchBounded = request.options.batchBounded;
+  planOptions.batchTransients = request.options.batchHorizons;
+
+  // ---- State-space reduction stage -------------------------------------
+  // On models past the auto threshold (or when forced on), replace the
+  // checking substrate with the plan-aware bisimulation quotient: the
+  // initial partition is seeded by exactly the atom masks and reward
+  // vectors this request's plan needs, so labels the plan never reads
+  // cannot block merging. The unmodified checker then runs on the quotient
+  // — every mask/reward that seeded the partition is block-constant, so
+  // re-evaluation through the quotient's representative states equals
+  // projection and the initial-distribution-weighted answers are exact
+  // (strong lumping). Quotients are cached in the model cache keyed by
+  // (structural key, label/reward digest).
+  const reduce::Options& reduction = request.options.reduction;
+  if (!planned.empty() &&
+      reduce::quotientSelected(reduction, built->dtmc.numStates())) {
+    obs::Span reduceSpan("engine.reduce", traceParent);
+    ReductionStats reductionStats;
+    try {
+      // The plan compiled here is purely syntactic and deterministic — the
+      // checker recompiles the identical plan below; only its mask table
+      // and reward names matter to the partition.
+      const pctl::EvalPlan probePlan = pctl::buildPlan(planned, planOptions);
+      mc::CheckOptions probeOptions;
+      probeOptions.traceParent = reduceSpan.id();
+      const mc::Checker probe(built->dtmc, *request.model, probeOptions,
+                              propertyCache_);
+      std::vector<la::BitVector> maskBits;
+      maskBits.reserve(probePlan.masks.size());
+      for (const auto& mask : probePlan.masks) {
+        maskBits.push_back(probe.evalStateFormula(*mask));
+      }
+      // Reward structures any reward property resolves. plan.rewardNames
+      // covers only the transient group, so gather from the properties and
+      // deduplicate in sorted order (the digest is order-independent, but
+      // the partition keys must be fed deterministically).
+      std::vector<std::string> rewardNames;
+      for (const pctl::Property& property : planned) {
+        if (property.kind == pctl::Property::Kind::kReward) {
+          rewardNames.push_back(property.reward.rewardName);
+        }
+      }
+      std::sort(rewardNames.begin(), rewardNames.end());
+      rewardNames.erase(std::unique(rewardNames.begin(), rewardNames.end()),
+                        rewardNames.end());
+      std::vector<std::vector<double>> rewardVectors;
+      rewardVectors.reserve(rewardNames.size());
+      for (const std::string& name : rewardNames) {
+        rewardVectors.push_back(built->dtmc.evalReward(*request.model, name));
+      }
+
+      dtmc::LabelRewardDigest digest;
+      for (std::size_t m = 0; m < probePlan.masks.size(); ++m) {
+        digest.addMask(pctl::structuralHash(*probePlan.masks[m]), maskBits[m]);
+      }
+      for (std::size_t r = 0; r < rewardNames.size(); ++r) {
+        digest.addReward(rewardNames[r], rewardVectors[r]);
+      }
+      const std::uint64_t quotientKey = util::hashCombine(
+          key ^ kQuotientKeySalt, util::mix64(digest.hash()));
+
+      std::vector<const la::BitVector*> maskPtrs;
+      maskPtrs.reserve(maskBits.size());
+      for (const la::BitVector& bits : maskBits) maskPtrs.push_back(&bits);
+      std::vector<const std::vector<double>*> rewardPtrs;
+      rewardPtrs.reserve(rewardVectors.size());
+      for (const std::vector<double>& v : rewardVectors) {
+        rewardPtrs.push_back(&v);
+      }
+
+      bool quotientCacheHit = false;
+      std::shared_ptr<const BuiltModel> reducedBuilt = quotientFor(
+          *built, quotientKey, maskPtrs, rewardPtrs, reduction,
+          &quotientCacheHit);
+      const reduce::ReductionInfo& info = *reducedBuilt->reduction;
+      reductionStats.cacheHit = quotientCacheHit;
+      reductionStats.statesBefore = info.statesBefore;
+      reductionStats.statesAfter = info.statesAfter;
+      reductionStats.transitionsBefore = info.transitionsBefore;
+      reductionStats.transitionsAfter = info.transitionsAfter;
+      reductionStats.refinementRounds = info.refinementRounds;
+      if (info.statesAfter < info.statesBefore) {
+        reductionStats.applied = true;
+        built = std::move(reducedBuilt);
+      }
+      // Identity quotients (marker entries) are recorded but never applied.
+    } catch (...) {
+      // Reduction is an optimization, never a gatekeeper: semantic errors
+      // (unknown atoms/rewards) fall through to the checker, which reports
+      // them per property against the full model.
+      reductionStats = ReductionStats{};
+    }
+    reductionStats.reduceSeconds = reduceSpan.stopSeconds();
+    response.timing.reduceSeconds = reductionStats.reduceSeconds;
+    response.reduction = reductionStats;
+  }
+
   // Parallel linear algebra: unless the request brings its own runner, la::
   // kernels (transient multiplies, power iteration, Jacobi sweeps) fan out
   // over the engine pool. Nested pool_.run is deadlock-free (the property
@@ -407,6 +601,18 @@ AnalysisResponse AnalysisEngine::analyzeExact(const AnalysisRequest& request,
   obs::Span checkSpan("engine.check", traceParent);
   mc::CheckOptions checkOptions = request.options.check;
   checkOptions.traceParent = checkSpan.id();
+  // RequestOptions::reduction is authoritative; the engine resolves the
+  // elimination kAuto here (fire only when a quotient applied and stayed
+  // within the elimination size cap), so the checker never sees kAuto as
+  // anything but off.
+  checkOptions.reduction = reduction;
+  if (checkOptions.reduction.elimination == reduce::Toggle::kAuto) {
+    checkOptions.reduction.elimination =
+        reduce::eliminationAutoFires(reduction, response.reduction.applied,
+                                     built->dtmc.numStates())
+            ? reduce::Toggle::kOn
+            : reduce::Toggle::kOff;
+  }
   if (checkOptions.exec.runner == nullptr && options_.parallelLinearAlgebra) {
     checkOptions.exec.runner = laRunnerFor(pool_);
     // A threshold the request set explicitly (even to the la:: default)
@@ -424,18 +630,6 @@ AnalysisResponse AnalysisEngine::analyzeExact(const AnalysisRequest& request,
   // checker compiles and executes the plan (mc::Checker::checkAll), the
   // engine only maps indices around parse failures and surfaces the plan
   // counters on the response.
-  std::vector<pctl::Property> planned;
-  std::vector<std::size_t> slotOf;
-  planned.reserve(parsed.size());
-  for (std::size_t i = 0; i < parsed.size(); ++i) {
-    if (!parsed[i].property) continue;
-    planned.push_back(*parsed[i].property);
-    slotOf.push_back(i);
-  }
-
-  pctl::PlanOptions planOptions;
-  planOptions.batchBounded = request.options.batchBounded;
-  planOptions.batchTransients = request.options.batchHorizons;
   const std::vector<mc::CheckResult> checks = checker.checkAll(
       planned, planOptions, &response.plan,
       [this](std::vector<std::function<void()>> tasks) {

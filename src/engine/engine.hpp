@@ -53,6 +53,7 @@
 #include "obs/metrics.hpp"
 #include "pctl/ast.hpp"
 #include "pctl/property_cache.hpp"
+#include "reduce/reduce.hpp"
 #include "util/mutex.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -101,6 +102,12 @@ struct EngineStats {
   std::size_t cachedModels = 0;
   /// Approximate bytes held by completed cached builds.
   std::uint64_t cacheBytes = 0;
+  /// Plan-aware bisimulation quotients actually refined (quotient-cache
+  /// misses, identity quotients included).
+  std::uint64_t quotientBuilds = 0;
+  /// Reduction stages served from the quotient cache (joining an in-flight
+  /// refinement counts).
+  std::uint64_t quotientHits = 0;
   /// Requests answered (analyze/analyzeAll/submit, failed ones included).
   std::uint64_t requests = 0;
   /// Request-latency percentiles (queue wait included) from the engine's
@@ -121,6 +128,12 @@ struct BuiltModel {
   /// Approximate resident size of `dtmc` (CSR arrays + decoded state table
   /// + initial distribution) used for the cache's byte accounting.
   std::uint64_t approxBytes = 0;
+  /// Set on quotient entries only: the block map and reduction counters of
+  /// the plan-aware bisimulation quotient this entry holds. An entry whose
+  /// info reports statesAfter == statesBefore is an identity-quotient
+  /// marker — `dtmc` is empty and the engine never applies it (it exists so
+  /// repeat requests skip the refinement, at no byte cost).
+  std::shared_ptr<const reduce::ReductionInfo> reduction;
 };
 
 /// Approximate resident bytes of an explicit DTMC (the BuiltModel/cache
@@ -184,6 +197,18 @@ class AnalysisEngine {
   /// Evict ready LRU entries down to the entry-count and byte budgets.
   void evictLocked() MIMOSTAT_REQUIRES(cacheMutex_);
 
+  /// Fetch or refine the plan-aware bisimulation quotient of `full` under
+  /// `quotientKey` (structural cache key + label/reward digest). Quotients
+  /// share the model cache's slots, byte accounting and LRU eviction;
+  /// concurrent calls for the same key join one refinement. The returned
+  /// entry always carries BuiltModel::reduction (possibly an identity
+  /// marker).
+  [[nodiscard]] std::shared_ptr<const BuiltModel> quotientFor(
+      const BuiltModel& full, std::uint64_t quotientKey,
+      const std::vector<const la::BitVector*>& masks,
+      const std::vector<const std::vector<double>*>& rewards,
+      const reduce::Options& reduction, bool* cacheHit);
+
   /// analyze() with a measured queue wait (analyzeAll/submit tasks pass the
   /// enqueue timestamp so the wait lands in timing.queueSeconds and the
   /// latency histogram). Opens the per-request "engine.analyze" span.
@@ -213,6 +238,10 @@ class AnalysisEngine {
   obs::Counter buildCounter_;
   /// lint:allow(guarded-by: internally synchronized handle)
   obs::Counter cacheHitCounter_;
+  /// lint:allow(guarded-by: internally synchronized handle)
+  obs::Counter quotientBuildCounter_;
+  /// lint:allow(guarded-by: internally synchronized handle)
+  obs::Counter quotientHitCounter_;
 
   mutable util::Mutex cacheMutex_;
   std::unordered_map<std::uint64_t, CacheSlot> modelCache_
@@ -221,6 +250,8 @@ class AnalysisEngine {
   std::uint64_t buildCount_ MIMOSTAT_GUARDED_BY(cacheMutex_) = 0;
   std::uint64_t cacheHits_ MIMOSTAT_GUARDED_BY(cacheMutex_) = 0;
   std::uint64_t cacheBytes_ MIMOSTAT_GUARDED_BY(cacheMutex_) = 0;
+  std::uint64_t quotientBuilds_ MIMOSTAT_GUARDED_BY(cacheMutex_) = 0;
+  std::uint64_t quotientHits_ MIMOSTAT_GUARDED_BY(cacheMutex_) = 0;
 };
 
 /// Lazily constructed process-wide engine (used by the

@@ -14,6 +14,7 @@
 #include "dtmc/builder.hpp"
 #include "dtmc/model.hpp"
 #include "mc/checker.hpp"
+#include "reduce/reduce.hpp"
 #include "smc/smc.hpp"
 
 namespace mimostat::engine {
@@ -56,6 +57,14 @@ struct RequestOptions {
   /// the engine skips the structural probe and uses this as the cache key;
   /// the caller asserts it identifies the model's transition structure.
   std::optional<std::uint64_t> modelKey;
+  /// State-space reduction (exact backend): plan-aware bisimulation
+  /// quotienting before checking plus the exact state-elimination checker
+  /// for unbounded singles. The defaults auto-reduce large models only
+  /// (reduce::Options::minQuotientStates) and resolve the elimination
+  /// toggle from whether a quotient applied. This field is authoritative:
+  /// the engine copies it into check.reduction (with kAuto resolved), so a
+  /// value set in `check` directly is overwritten.
+  reduce::Options reduction;
   dtmc::BuildOptions build;
   mc::CheckOptions check;
   /// Sampling backend: path counts and the request's base seed. Each

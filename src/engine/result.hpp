@@ -25,6 +25,10 @@ struct PhaseTiming {
   /// Model acquisition: cache lookup + build (or the wait joining an
   /// in-flight build) + any orientation rebuild.
   double buildSeconds = 0.0;
+  /// State-space reduction stage: plan compilation probe, mask/reward
+  /// evaluation, quotient-cache lookup and (on a miss) the bisimulation
+  /// refinement. 0 when the stage did not run.
+  double reduceSeconds = 0.0;
   /// Property parsing + evaluation-plan compilation (exact backend).
   double planSeconds = 0.0;
   /// Plan execution (exact) or sampling (smc) across all properties.
@@ -48,6 +52,31 @@ struct SprtVerdict {
   double beta = 0.0;
   /// Effective indifference half-width (shrunk near theta = 0 or 1).
   double indifference = 0.0;
+};
+
+/// How the engine's state-space reduction stage treated a request (exact
+/// backend). Values the engine exports are bit-identical (exact paths) or
+/// within the solver tolerance (iterative paths) whether or not the stage
+/// applied — this struct is bookkeeping, not semantics.
+struct ReductionStats {
+  /// The checker ran on the bisimulation quotient instead of the full
+  /// model. False when the stage was off, skipped by the auto heuristic, or
+  /// the quotient did not shrink the model (identity quotients are recorded
+  /// in the cache but never applied).
+  bool applied = false;
+  /// The quotient (or the identity-quotient marker) came from the engine's
+  /// model cache rather than a fresh refinement.
+  bool cacheHit = false;
+  std::uint64_t statesBefore = 0;
+  std::uint64_t statesAfter = 0;
+  std::uint64_t transitionsBefore = 0;
+  std::uint64_t transitionsAfter = 0;
+  /// Signature-refinement rounds of the (possibly cached) quotient build.
+  std::uint32_t refinementRounds = 0;
+  /// Wall-clock of the reduction stage for this request (cache hits pay
+  /// only the mask/reward evaluation + lookup). Mirrors
+  /// PhaseTiming::reduceSeconds.
+  double reduceSeconds = 0.0;
 };
 
 /// Outcome of one property from an AnalysisRequest.
@@ -120,6 +149,10 @@ struct AnalysisResponse {
   /// shared bounded/transient groups saved versus per-formula evaluation.
   /// Deterministic for a fixed property set.
   pctl::PlanStats plan;
+  /// State-space reduction stage outcome (exact backend; defaults when the
+  /// stage was off or skipped). `states`/`transitions` above always report
+  /// the full model — the quotient's counts live here.
+  ReductionStats reduction;
   /// Wall-clock for the whole request.
   double totalSeconds = 0.0;
   /// Per-phase wall-clock breakdown (queue/build/plan/check). Sums may be

@@ -61,6 +61,29 @@ InitialKeys keysFromRewardAndLabels(
   return keys;
 }
 
+InitialKeys keysFromMasksAndRewards(
+    std::size_t numStates, const std::vector<const la::BitVector*>& masks,
+    const std::vector<const std::vector<double>*>& rewards,
+    double rewardResolution) {
+  InitialKeys keys(numStates, 0x9E3779B97F4A7C15ULL);
+  for (std::size_t m = 0; m < masks.size(); ++m) {
+    assert(masks[m] != nullptr && masks[m]->size() == numStates);
+    for (std::size_t s = 0; s < numStates; ++s) {
+      keys[s] = util::hashCombine(keys[s], masks[m]->get(s) ? m + 1 : 0);
+    }
+  }
+  for (const std::vector<double>* reward : rewards) {
+    assert(reward != nullptr && reward->size() == numStates);
+    for (std::size_t s = 0; s < numStates; ++s) {
+      const auto bucket = static_cast<std::int64_t>(
+          std::llround((*reward)[s] / rewardResolution));
+      keys[s] = util::hashCombine(
+          keys[s], util::mix64(static_cast<std::uint64_t>(bucket)));
+    }
+  }
+  return keys;
+}
+
 LumpResult lump(const dtmc::ExplicitDtmc& dtmc, const InitialKeys& initialKeys,
                 const LumpOptions& options) {
   obs::Span span("lump.bisim");

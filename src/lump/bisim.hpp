@@ -60,4 +60,14 @@ using InitialKeys = std::vector<std::uint64_t>;
     const std::vector<la::BitVector>& labels,
     double rewardResolution = 1e-12);
 
+/// Initial keys from an evaluation plan's needs: any number of packed masks
+/// (one bit per state each) and any number of reward vectors (bucketed to
+/// `rewardResolution`). States agreeing on every mask bit and every bucketed
+/// reward share a key; masks/rewards the plan does not need are simply not
+/// passed and never block merging (the reduce:: plan-aware partition).
+[[nodiscard]] InitialKeys keysFromMasksAndRewards(
+    std::size_t numStates, const std::vector<const la::BitVector*>& masks,
+    const std::vector<const std::vector<double>*>& rewards,
+    double rewardResolution = 1e-12);
+
 }  // namespace mimostat::lump

@@ -90,6 +90,9 @@ CheckResult Checker::checkSingle(
     ro.exec = options_.exec;
     return ro;
   };
+  // Elimination-selected unbounded paths answer exactly, no epsilon; the
+  // toggle is resolved by the engine (kAuto never reaches here as on).
+  const bool elim = reduce::eliminationOn(options_.reduction);
   const auto recordReach = [&](const ReachResult& reach) {
     // Prob0/Prob1 may classify every state, in which case no linear solver
     // ran — the report stays absent rather than claiming a 0-iteration
@@ -118,7 +121,8 @@ CheckResult Checker::checkSingle(
         if (path.bound) {
           values = boundedFinally(dtmc_, psi, *path.bound, options_.exec);
         } else {
-          ReachResult reach = reachProb(dtmc_, psi, reachOptions());
+          ReachResult reach = elim ? reachProbByElimination(dtmc_, psi)
+                                   : reachProb(dtmc_, psi, reachOptions());
           recordReach(reach);
           values = std::move(reach.stateValues);
         }
@@ -131,7 +135,8 @@ CheckResult Checker::checkSingle(
         if (path.bound) {
           values = boundedFinally(dtmc_, notPhi, *path.bound, options_.exec);
         } else {
-          ReachResult reach = reachProb(dtmc_, notPhi, reachOptions());
+          ReachResult reach = elim ? reachProbByElimination(dtmc_, notPhi)
+                                   : reachProb(dtmc_, notPhi, reachOptions());
           recordReach(reach);
           values = std::move(reach.stateValues);
         }
@@ -147,7 +152,9 @@ CheckResult Checker::checkSingle(
         if (path.bound) {
           values = boundedUntil(dtmc_, phi, psi, *path.bound, options_.exec);
         } else {
-          ReachResult reach = untilProb(dtmc_, phi, psi, reachOptions());
+          ReachResult reach =
+              elim ? untilProbByElimination(dtmc_, phi, psi)
+                   : untilProb(dtmc_, phi, psi, reachOptions());
           recordReach(reach);
           values = std::move(reach.stateValues);
         }
@@ -184,8 +191,11 @@ CheckResult Checker::checkSingle(
         break;
       }
       case pctl::RewardQuery::Kind::kReachability: {
-        ReachResult reach = expectedReachReward(
-            dtmc_, reward, maskAt(single.psiMask), reachOptions());
+        ReachResult reach =
+            elim ? expectedReachRewardByElimination(dtmc_, reward,
+                                                    maskAt(single.psiMask))
+                 : expectedReachReward(dtmc_, reward, maskAt(single.psiMask),
+                                       reachOptions());
         recordReach(reach);
         result.value = fromInitial(dtmc_, reach.stateValues);
         result.stateValues = std::move(reach.stateValues);

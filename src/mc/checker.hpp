@@ -40,6 +40,7 @@
 #include "pctl/parser.hpp"
 #include "pctl/plan.hpp"
 #include "pctl/property_cache.hpp"
+#include "reduce/reduce.hpp"
 
 namespace mimostat::mc {
 
@@ -59,6 +60,13 @@ struct CheckOptions {
   /// Results are bit-identical with or without a runner; the
   /// AnalysisEngine injects its pool here by default.
   la::Exec exec;
+  /// State-space reduction knobs. The checker consults only the
+  /// elimination toggle: when reduce::eliminationOn(reduction) holds,
+  /// unbounded reachability / reachability-reward singles are answered by
+  /// exact state elimination (solver name "elimination") instead of an
+  /// iterative solver. kAuto is resolved by the AnalysisEngine (which knows
+  /// whether a quotient applied); a standalone Checker treats it as off.
+  reduce::Options reduction;
   /// obs:: span id the checker's phase spans ("pctl.plan", "mc.single",
   /// "mc.boundedTraversal", "mc.transientSweep") parent to. Needed because
   /// group tasks may run on pool threads, where the tracer's same-thread

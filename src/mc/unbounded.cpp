@@ -3,6 +3,9 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <utility>
+
+#include "reduce/eliminate.hpp"
 
 namespace mimostat::mc {
 
@@ -135,6 +138,51 @@ ReachResult expectedReachReward(const dtmc::ExplicitDtmc& dtmc,
   result.converged = stats.converged;
   result.residual = stats.residual;
   result.solver = std::move(stats.solver);
+  return result;
+}
+
+ReachResult untilProbByElimination(const dtmc::ExplicitDtmc& dtmc,
+                                   const la::BitVector& phi,
+                                   const la::BitVector& psi) {
+  assert(phi.size() == dtmc.numStates() && psi.size() == dtmc.numStates());
+  const la::BitVector prob0 = prob0States(dtmc, phi, psi);
+  const la::BitVector prob1 = prob1FromProb0(dtmc, phi, psi, prob0);
+
+  reduce::EliminationResult elim =
+      reduce::eliminateUntilProb(dtmc, prob0, prob1);
+  ReachResult result;
+  result.stateValues = std::move(elim.stateValues);
+  result.iterations = elim.eliminated;
+  result.residual = 0.0;
+  result.converged = true;
+  // Empty solver name when precomputation answered everything, matching the
+  // iterative paths' convention.
+  if (elim.eliminated > 0) result.solver = "elimination";
+  return result;
+}
+
+ReachResult reachProbByElimination(const dtmc::ExplicitDtmc& dtmc,
+                                   const la::BitVector& psi) {
+  const la::BitVector phi(dtmc.numStates(), true);
+  return untilProbByElimination(dtmc, phi, psi);
+}
+
+ReachResult expectedReachRewardByElimination(const dtmc::ExplicitDtmc& dtmc,
+                                             const std::vector<double>& reward,
+                                             const la::BitVector& psi) {
+  const std::uint32_t n = dtmc.numStates();
+  assert(reward.size() == n && psi.size() == n);
+  const la::BitVector phi(n, true);
+  const la::BitVector reachesPsi = prob1States(dtmc, phi, psi);
+
+  reduce::EliminationResult elim =
+      reduce::eliminateReachReward(dtmc, reward, psi, reachesPsi);
+  ReachResult result;
+  result.stateValues = std::move(elim.stateValues);
+  result.iterations = elim.eliminated;
+  result.residual = 0.0;
+  result.converged = true;
+  if (elim.eliminated > 0) result.solver = "elimination";
   return result;
 }
 

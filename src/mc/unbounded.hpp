@@ -66,4 +66,26 @@ struct ReachResult {
     const dtmc::ExplicitDtmc& dtmc, const std::vector<double>& reward,
     const la::BitVector& psi, const ReachOptions& options = {});
 
+// Elimination-backed variants: same Prob0/Prob1 precomputation, but the
+// undetermined states are solved exactly by reduce:: state elimination
+// instead of an iterative solver. ReachResult::iterations reports the
+// number of eliminated states, residual is 0 and the solver name is
+// "elimination" (empty when precomputation classified every state, matching
+// the iterative paths' "no solver ran" convention). Selected through
+// mc::CheckOptions::reduction / engine auto-selection.
+
+/// P(phi U psi) by state elimination.
+[[nodiscard]] ReachResult untilProbByElimination(const dtmc::ExplicitDtmc& dtmc,
+                                                 const la::BitVector& phi,
+                                                 const la::BitVector& psi);
+
+/// P(F psi) by state elimination.
+[[nodiscard]] ReachResult reachProbByElimination(const dtmc::ExplicitDtmc& dtmc,
+                                                 const la::BitVector& psi);
+
+/// R=? [ F psi ] by state elimination.
+[[nodiscard]] ReachResult expectedReachRewardByElimination(
+    const dtmc::ExplicitDtmc& dtmc, const std::vector<double>& reward,
+    const la::BitVector& psi);
+
 }  // namespace mimostat::mc

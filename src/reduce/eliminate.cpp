@@ -1,0 +1,228 @@
+#include "reduce/eliminate.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace mimostat::reduce {
+
+namespace {
+
+/// Sparse row over active-local columns, kept sorted by column index so
+/// every merge walks in one deterministic order.
+struct FlexRow {
+  std::vector<std::pair<std::uint32_t, double>> entries;
+  /// Source term: one-step value mass into the fixed boundary (until) or
+  /// the state reward (expected reward), accumulating eliminated
+  /// neighbours' contributions.
+  double value = 0.0;
+};
+
+/// Shared elimination core: solve x_i = value_i + sum_j P(i,j) x_j over the
+/// active states, boundary contributions already folded into value_i.
+/// Writes each active state's solution through `store`.
+template <typename Store>
+EliminationResult eliminateActive(std::vector<FlexRow>& rows,
+                                  const Store& store) {
+  const std::uint32_t m = static_cast<std::uint32_t>(rows.size());
+  EliminationResult result;
+  result.eliminated = m;
+
+  // Predecessor lists per active-local column; entries may go stale when a
+  // merge cancels a coefficient, so consumers re-check the row. Sorted +
+  // deduplicated at use time for a deterministic update order.
+  std::vector<std::vector<std::uint32_t>> preds(m);
+  for (std::uint32_t i = 0; i < m; ++i) {
+    for (const auto& [j, p] : rows[i].entries) {
+      (void)p;
+      preds[j].push_back(i);
+    }
+  }
+
+  std::vector<std::pair<std::uint32_t, double>> merged;
+  for (std::uint32_t s = 0; s < m; ++s) {
+    FlexRow& row = rows[s];
+    // Self-loop removal: x_s = (value_s + sum_{j!=s} p_j x_j) / (1 - p_ss).
+    double selfProb = 0.0;
+    for (const auto& [j, p] : row.entries) {
+      if (j == s) selfProb = p;
+    }
+    const double stay = 1.0 - selfProb;
+    if (!(stay > 0.0)) {
+      // An active state with P(s,s) = 1 contradicts the caller's boundary
+      // classification (it could never reach the target almost surely /
+      // with positive probability).
+      throw std::runtime_error(
+          "reduce::eliminate: active state with an absorbing self-loop");
+    }
+    if (selfProb != 0.0) {
+      const double scale = 1.0 / stay;
+      row.value *= scale;
+      std::size_t keep = 0;
+      for (const auto& [j, p] : row.entries) {
+        if (j != s) row.entries[keep++] = {j, p * scale};
+      }
+      row.entries.resize(keep);
+    }
+
+    // Redistribute onto every not-yet-eliminated predecessor. row.entries
+    // now references only columns > s (earlier columns were substituted
+    // away when they were eliminated), so no new predecessor of s can
+    // appear after this loop.
+    std::vector<std::uint32_t>& ps = preds[s];
+    std::sort(ps.begin(), ps.end());
+    ps.erase(std::unique(ps.begin(), ps.end()), ps.end());
+    for (const std::uint32_t p : ps) {
+      if (p <= s) continue;  // already eliminated (or the self entry)
+      FlexRow& target = rows[p];
+      const auto it = std::find_if(
+          target.entries.begin(), target.entries.end(),
+          [&](const auto& e) { return e.first == s; });
+      if (it == target.entries.end()) continue;  // stale predecessor entry
+      const double w = it->second;
+      target.entries.erase(it);
+      target.value += w * row.value;
+      // Sorted merge of w * row into target (both sorted by column).
+      merged.clear();
+      merged.reserve(target.entries.size() + row.entries.size());
+      std::size_t a = 0;
+      std::size_t b = 0;
+      while (a < target.entries.size() || b < row.entries.size()) {
+        if (b == row.entries.size() ||
+            (a < target.entries.size() &&
+             target.entries[a].first < row.entries[b].first)) {
+          merged.push_back(target.entries[a++]);
+        } else if (a == target.entries.size() ||
+                   row.entries[b].first < target.entries[a].first) {
+          const std::uint32_t col = row.entries[b].first;
+          merged.emplace_back(col, w * row.entries[b].second);
+          ++result.fillIn;
+          preds[col].push_back(p);
+          ++b;
+        } else {
+          merged.emplace_back(target.entries[a].first,
+                              target.entries[a].second +
+                                  w * row.entries[b].second);
+          ++a;
+          ++b;
+        }
+      }
+      target.entries.swap(merged);
+    }
+  }
+  // Back-substitution: row s references only columns eliminated after s,
+  // so a reverse sweep resolves every value exactly.
+  std::vector<double> solution(m, 0.0);
+  for (std::uint32_t s = m; s-- > 0;) {
+    double x = rows[s].value;
+    for (const auto& [j, p] : rows[s].entries) {
+      x += p * solution[j];
+    }
+    solution[s] = x;
+    store(s, x);
+  }
+  return result;
+}
+
+}  // namespace
+
+EliminationResult eliminateUntilProb(const dtmc::ExplicitDtmc& dtmc,
+                                     const la::BitVector& prob0,
+                                     const la::BitVector& prob1) {
+  const std::uint32_t n = dtmc.numStates();
+  assert(prob0.size() == n && prob1.size() == n);
+
+  std::vector<double> values(n, 0.0);
+  prob1.forEachSetBit([&](std::size_t s) { values[s] = 1.0; });
+
+  constexpr std::uint32_t kBoundary = ~std::uint32_t{0};
+  std::vector<std::uint32_t> localOf(n, kBoundary);
+  std::vector<std::uint32_t> active;
+  for (std::uint32_t s = 0; s < n; ++s) {
+    if (!prob0.get(s) && !prob1.get(s)) {
+      localOf[s] = static_cast<std::uint32_t>(active.size());
+      active.push_back(s);
+    }
+  }
+  if (active.empty()) {
+    EliminationResult result;
+    result.stateValues = std::move(values);
+    return result;
+  }
+
+  std::vector<FlexRow> rows(active.size());
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    const std::uint32_t s = active[i];
+    for (std::uint64_t k = dtmc.rowPtr()[s]; k < dtmc.rowPtr()[s + 1]; ++k) {
+      const std::uint32_t t = dtmc.col()[k];
+      if (localOf[t] != kBoundary) {
+        rows[i].entries.emplace_back(localOf[t], dtmc.val()[k]);
+      } else if (prob1.get(t)) {
+        rows[i].value += dtmc.val()[k];
+      }
+      // prob0 targets contribute 0 — dropped.
+    }
+    // Active-local column order follows ascending state order, so CSR rows
+    // arrive already sorted.
+  }
+
+  EliminationResult result =
+      eliminateActive(rows, [&](std::uint32_t i, double x) {
+        values[active[i]] = x;
+      });
+  result.stateValues = std::move(values);
+  return result;
+}
+
+EliminationResult eliminateReachReward(const dtmc::ExplicitDtmc& dtmc,
+                                       const std::vector<double>& reward,
+                                       const la::BitVector& psi,
+                                       const la::BitVector& reachesPsi) {
+  const std::uint32_t n = dtmc.numStates();
+  assert(reward.size() == n && psi.size() == n && reachesPsi.size() == n);
+
+  std::vector<double> values(n, 0.0);
+  constexpr std::uint32_t kBoundary = ~std::uint32_t{0};
+  std::vector<std::uint32_t> localOf(n, kBoundary);
+  std::vector<std::uint32_t> active;
+  for (std::uint32_t s = 0; s < n; ++s) {
+    if (psi.get(s)) {
+      values[s] = 0.0;  // accumulate nothing once reached
+    } else if (!reachesPsi.get(s)) {
+      values[s] = std::numeric_limits<double>::infinity();
+    } else {
+      localOf[s] = static_cast<std::uint32_t>(active.size());
+      active.push_back(s);
+    }
+  }
+  if (active.empty()) {
+    EliminationResult result;
+    result.stateValues = std::move(values);
+    return result;
+  }
+
+  std::vector<FlexRow> rows(active.size());
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    const std::uint32_t s = active[i];
+    rows[i].value = reward[s];
+    for (std::uint64_t k = dtmc.rowPtr()[s]; k < dtmc.rowPtr()[s + 1]; ++k) {
+      const std::uint32_t t = dtmc.col()[k];
+      if (localOf[t] != kBoundary) {
+        rows[i].entries.emplace_back(localOf[t], dtmc.val()[k]);
+      }
+      // psi targets contribute 0. A non-reaching target is impossible from
+      // an almost-surely-reaching state (it would drag the probability
+      // below 1), so no infinity can leak into an active row.
+    }
+  }
+
+  EliminationResult result =
+      eliminateActive(rows, [&](std::uint32_t i, double x) {
+        values[active[i]] = x;
+      });
+  result.stateValues = std::move(values);
+  return result;
+}
+
+}  // namespace mimostat::reduce

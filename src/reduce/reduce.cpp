@@ -1,0 +1,94 @@
+#include "reduce/reduce.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "lump/bisim.hpp"
+#include "obs/trace.hpp"
+
+namespace mimostat::reduce {
+
+bool quotientSelected(const Options& options, std::uint64_t numStates) {
+  switch (options.quotient) {
+    case Toggle::kOn:
+      return true;
+    case Toggle::kOff:
+      return false;
+    case Toggle::kAuto:
+      return numStates >= options.minQuotientStates;
+  }
+  return false;
+}
+
+bool eliminationOn(const Options& options) {
+  return options.elimination == Toggle::kOn;
+}
+
+bool eliminationAutoFires(const Options& options, bool quotientApplied,
+                          std::uint64_t quotientStates) {
+  if (options.elimination != Toggle::kAuto) return false;
+  return quotientApplied && quotientStates <= options.eliminationMaxStates;
+}
+
+ReducedModel buildQuotient(const dtmc::ExplicitDtmc& dtmc,
+                           const std::vector<const la::BitVector*>& masks,
+                           const std::vector<const std::vector<double>*>& rewards,
+                           const Options& options) {
+  obs::Span span("reduce.quotient");
+  const lump::InitialKeys keys = lump::keysFromMasksAndRewards(
+      dtmc.numStates(), masks, rewards, options.rewardResolution);
+  lump::LumpOptions lumpOptions;
+  lumpOptions.probResolution = options.probResolution;
+  lump::LumpResult lumped = lump::lump(dtmc, keys, lumpOptions);
+
+  ReducedModel reduced;
+  reduced.info.blockOf = std::move(lumped.partition.blockOf);
+  reduced.info.representative = std::move(lumped.representative);
+  reduced.info.statesBefore = dtmc.numStates();
+  reduced.info.statesAfter = lumped.partition.numBlocks;
+  reduced.info.transitionsBefore = dtmc.numTransitions();
+  reduced.info.transitionsAfter = lumped.quotient.numTransitions();
+  reduced.info.refinementRounds = lumped.refinementRounds;
+  reduced.quotient = std::move(lumped.quotient);
+  reduced.info.seconds = span.stopSeconds();
+  return reduced;
+}
+
+std::vector<double> liftStateValues(const ReductionInfo& info,
+                                    const std::vector<double>& blockValues) {
+  assert(blockValues.size() == info.representative.size());
+  std::vector<double> lifted(info.blockOf.size());
+  for (std::size_t s = 0; s < info.blockOf.size(); ++s) {
+    lifted[s] = blockValues[info.blockOf[s]];
+  }
+  return lifted;
+}
+
+la::BitVector projectMask(const ReductionInfo& info,
+                          const la::BitVector& originalMask) {
+  assert(originalMask.size() == info.blockOf.size());
+  la::BitVector projected(info.representative.size());
+  for (std::size_t b = 0; b < info.representative.size(); ++b) {
+    if (originalMask.get(info.representative[b])) projected.set(b);
+  }
+  return projected;
+}
+
+std::vector<double> projectVector(const ReductionInfo& info,
+                                  const std::vector<double>& originalValues) {
+  assert(originalValues.size() == info.blockOf.size());
+  std::vector<double> projected(info.representative.size());
+  for (std::size_t b = 0; b < info.representative.size(); ++b) {
+    projected[b] = originalValues[info.representative[b]];
+  }
+  return projected;
+}
+
+void shrinkToMarker(ReductionInfo& info) {
+  info.blockOf.clear();
+  info.blockOf.shrink_to_fit();
+  info.representative.clear();
+  info.representative.shrink_to_fit();
+}
+
+}  // namespace mimostat::reduce

@@ -1,0 +1,142 @@
+// reduce:: — plan-aware state-space reduction between build and check.
+//
+// The engine's reduction stage quotients an explicit DTMC by probabilistic
+// bisimulation (lump::bisim's signature refinement) with an initial
+// partition derived from exactly the atom masks and reward vectors the
+// request's pctl::EvalPlan needs. Labels the plan never touches do not seed
+// the partition, so they never block merging — the paper's structured comm/
+// chains collapse by orders of magnitude under a single-property plan that
+// a full-label partition would keep nearly discrete.
+//
+// The quotient's state table stores block representatives (lump:: keeps the
+// VarLayout), so every keyed mask and reward re-evaluates to the same value
+// on the representative as on any block member — mc::Checker runs the plan
+// on the quotient unchanged. Quotient-indexed vectors must not escape this
+// boundary except through the lift/project API below (machine-checked by
+// the `reduction-boundary` lint rule).
+//
+// Tolerance contract: quotienting is exact under the Strong Lumping Theorem
+// but changes floating-point accumulation order (block mass sums, merged
+// rows), so reduced answers agree with the unreduced reference to solver /
+// rounding tolerance, not bit-for-bit. The reduction itself is
+// deterministic: a fixed model + plan yields a byte-identical block map at
+// any thread count. tests/reduce_test.cpp and bench/reduce.cpp assert both.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dtmc/explicit_dtmc.hpp"
+#include "la/bit_vector.hpp"
+
+namespace mimostat::reduce {
+
+/// Three-state reduction knob: kAuto defers to the engine's heuristics.
+enum class Toggle : std::uint8_t { kAuto, kOn, kOff };
+
+struct Options {
+  /// Plan-aware bisimulation quotient of the whole request. kAuto fires
+  /// when the built model has at least `minQuotientStates` states (small
+  /// models gain nothing over the refinement cost); kOn always tries,
+  /// kOff never. An attempted quotient that does not shrink the model is
+  /// discarded (the check phase runs unreduced) but cached, so repeated
+  /// requests skip the refinement.
+  Toggle quotient = Toggle::kAuto;
+  /// State-elimination checker for unbounded reachability / expected-reward
+  /// singles (exact Gaussian elimination instead of Prob0/1 + iterative
+  /// solver). kOn forces it at the mc::Checker level. kAuto is resolved by
+  /// the engine: it fires only when the quotient stage actually applied and
+  /// the quotient is at most `eliminationMaxStates` states — elimination
+  /// fill-in is bounded on the coarse quotient, and those answers already
+  /// carry the reduction tolerance contract. A standalone mc::Checker
+  /// treats kAuto as off.
+  Toggle elimination = Toggle::kAuto;
+  /// kAuto quotient threshold (states). The default keeps small models —
+  /// including every in-repo bit-identity bench — on the unreduced path.
+  std::uint64_t minQuotientStates = 100'000;
+  /// kAuto elimination cap on the quotient's state count.
+  std::uint64_t eliminationMaxStates = 50'000;
+  /// Transition probabilities are bucketed to this resolution during
+  /// signature refinement (lump::LumpOptions::probResolution).
+  double probResolution = 1e-12;
+  /// Reward values are bucketed to this resolution when seeding the initial
+  /// partition — states merged across a bucket boundary may differ by up to
+  /// one resolution step in any keyed reward.
+  double rewardResolution = 1e-12;
+};
+
+/// Engine policy: should the quotient stage run for an n-state model?
+[[nodiscard]] bool quotientSelected(const Options& options, std::uint64_t numStates);
+
+/// mc::Checker policy: elimination runs only when explicitly on — kAuto
+/// belongs to the engine (see Options::elimination).
+[[nodiscard]] bool eliminationOn(const Options& options);
+
+/// Engine policy for resolving elimination kAuto (see Options::elimination).
+[[nodiscard]] bool eliminationAutoFires(const Options& options,
+                                        bool quotientApplied,
+                                        std::uint64_t quotientStates);
+
+/// Lift/project metadata tying a quotient to its base model. This is the
+/// only sanctioned crossing between quotient-block and original-state
+/// indexing.
+struct ReductionInfo {
+  /// blockOf[s] = quotient block of original state s.
+  std::vector<std::uint32_t> blockOf;
+  /// representative[b] = original state whose row/values represent block b.
+  std::vector<std::uint32_t> representative;
+  std::uint32_t statesBefore = 0;
+  std::uint32_t statesAfter = 0;
+  std::uint64_t transitionsBefore = 0;
+  std::uint64_t transitionsAfter = 0;
+  std::uint32_t refinementRounds = 0;
+  /// Wall-clock of the refinement + quotient construction.
+  double seconds = 0.0;
+
+  /// Resident bytes of the block map + representatives (cache accounting).
+  [[nodiscard]] std::uint64_t approxBytes() const {
+    return (blockOf.size() + representative.size()) * sizeof(std::uint32_t);
+  }
+};
+
+/// A quotient DTMC plus the metadata to map results back.
+struct ReducedModel {
+  dtmc::ExplicitDtmc quotient;
+  ReductionInfo info;
+};
+
+/// Plan-aware quotient: the initial partition separates states exactly by
+/// the given evaluated masks (one bit per state each) and bucketed reward
+/// vectors — the plan's needs, nothing more. Deterministic: block ids are
+/// assigned in ascending state order.
+[[nodiscard]] ReducedModel buildQuotient(
+    const dtmc::ExplicitDtmc& dtmc,
+    const std::vector<const la::BitVector*>& masks,
+    const std::vector<const std::vector<double>*>& rewards,
+    const Options& options = {});
+
+/// Quotient per-block values -> original per-state values (block-map
+/// indirection: every member of a block reads its block's value).
+[[nodiscard]] std::vector<double> liftStateValues(
+    const ReductionInfo& info, const std::vector<double>& blockValues);
+
+/// Original per-state mask -> quotient per-block mask, reading each block's
+/// representative. Only meaningful for masks that are block-constant (every
+/// mask that seeded the partition is).
+[[nodiscard]] la::BitVector projectMask(const ReductionInfo& info,
+                                        const la::BitVector& originalMask);
+
+/// Original per-state vector -> quotient per-block vector via the block
+/// representatives (block-constant vectors only, e.g. keyed rewards).
+[[nodiscard]] std::vector<double> projectVector(
+    const ReductionInfo& info, const std::vector<double>& originalValues);
+
+/// Strip the per-state tables from an identity quotient's info, keeping the
+/// counters. Used for cache marker entries ("this plan cannot shrink this
+/// model"): the counters still answer the apply/skip decision while the
+/// entry costs no per-state bytes. Lifting/projecting through a shrunk info
+/// is invalid — an identity quotient is never applied, so nothing needs
+/// mapping.
+void shrinkToMarker(ReductionInfo& info);
+
+}  // namespace mimostat::reduce

@@ -192,7 +192,8 @@ void ResultTable::writeCsv(std::ostream& os,
         "ci_low,ci_high,error";
   if (options.diagnostics) {
     os << ",cache_hit,build_seconds,check_seconds,solver,solver_iterations,"
-          "solver_residual,solver_converged,t_queue,t_build,t_plan,t_check";
+          "solver_residual,solver_converged,t_queue,t_build,t_plan,t_check,"
+          "reduced,reduce_states_before,reduce_states_after,t_reduce";
   }
   os << '\n';
   for (const auto& row : rows_) {
@@ -231,6 +232,9 @@ void ResultTable::writeCsv(std::ostream& os,
          << formatDouble(row.timing.buildSeconds) << ','
          << formatDouble(row.timing.planSeconds) << ','
          << formatDouble(row.timing.checkSeconds);
+      os << ',' << (row.reduction.applied ? "true" : "false") << ','
+         << row.reduction.statesBefore << ',' << row.reduction.statesAfter
+         << ',' << formatDouble(row.reduction.reduceSeconds);
     }
     os << '\n';
   }
@@ -284,7 +288,14 @@ void ResultTable::writeJson(std::ostream& os,
          << jsonNumber(row.timing.queueSeconds)
          << ",\"buildSeconds\":" << jsonNumber(row.timing.buildSeconds)
          << ",\"planSeconds\":" << jsonNumber(row.timing.planSeconds)
-         << ",\"checkSeconds\":" << jsonNumber(row.timing.checkSeconds) << '}';
+         << ",\"checkSeconds\":" << jsonNumber(row.timing.checkSeconds)
+         << ",\"reduceSeconds\":" << jsonNumber(row.timing.reduceSeconds)
+         << '}';
+      os << ",\"reduction\":{\"applied\":"
+         << (row.reduction.applied ? "true" : "false")
+         << ",\"cacheHit\":" << (row.reduction.cacheHit ? "true" : "false")
+         << ",\"statesBefore\":" << row.reduction.statesBefore
+         << ",\"statesAfter\":" << row.reduction.statesAfter << '}';
     }
     os << ",\"error\":\"" << jsonEscape(row.error) << "\"}";
   }

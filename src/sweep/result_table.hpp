@@ -62,8 +62,13 @@ struct ResultRow {
   double buildSeconds = 0.0;
   double checkSeconds = 0.0;
   /// The serving request's phase breakdown (t_queue/t_build/t_plan/t_check
-  /// diagnostic columns) — identical across rows of one coalesced request.
+  /// and the opt-in t_reduce diagnostic columns) — identical across rows of
+  /// one coalesced request.
   engine::PhaseTiming timing;
+  /// The serving request's state-space reduction outcome (reduced,
+  /// reduce_states_before/after, t_reduce diagnostic columns) — identical
+  /// across rows of one coalesced request.
+  engine::ReductionStats reduction;
   /// Non-empty when this row failed (factory error, parse error, request
   /// failure...). Sibling rows are unaffected. Failed rows carry
   /// value = NaN (exported as "nan"/null, a gap — never a passing zero)

@@ -130,6 +130,7 @@ ResultTable Runner::run(const SweepSpec& spec) const {
       row.cacheHit = response.cacheHit;
       row.buildSeconds = response.buildSeconds;
       row.timing = response.timing;
+      row.reduction = response.reduction;
       row.plan = response.plan;
       if (!response.error.empty()) {
         row.value = std::numeric_limits<double>::quiet_NaN();

@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "dtmc/builder.hpp"
+#include "la/bit_vector.hpp"
 #include "lump/bisim.hpp"
 #include "lump/verify.hpp"
 #include "mc/transient.hpp"
@@ -129,6 +133,158 @@ TEST(Lump, CompareProperties) {
       full.dtmc, model, lumped.quotient, model, {"R=? [ I=7 ]", "R=? [ C<=9 ]"});
   for (const auto& cmp : comparisons) {
     EXPECT_LT(cmp.absDiff, 1e-10) << cmp.property;
+  }
+}
+
+// --- edge cases for the reduce:: stage's substrate --------------------
+
+/// Hand-built ExplicitDtmc (fromRaw), so the state table may contain
+/// unreachable states — buildExplicit never emits those.
+dtmc::ExplicitDtmc rawChain(const std::vector<std::vector<double>>& rows,
+                            std::vector<double> initial) {
+  dtmc::ExplicitDtmc::Raw raw;
+  raw.layout = dtmc::VarLayout(
+      {{"s", 0, static_cast<std::int32_t>(rows.size() - 1)}});
+  raw.rowPtr.push_back(0);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t j = 0; j < rows[i].size(); ++j) {
+      if (rows[i][j] != 0.0) {
+        raw.col.push_back(static_cast<std::uint32_t>(j));
+        raw.val.push_back(rows[i][j]);
+      }
+    }
+    raw.rowPtr.push_back(raw.col.size());
+    raw.states.push_back({static_cast<std::int32_t>(i)});
+  }
+  raw.initial = std::move(initial);
+  return dtmc::ExplicitDtmc::fromRaw(std::move(raw));
+}
+
+TEST(LumpEdge, UnreachableStatesMergeWithBisimilarReachableOnes) {
+  // 0 -> 1 -> 2 (absorbing); 3 is unreachable but behaves exactly like 1.
+  const auto d = rawChain({{0, 1.0, 0, 0},
+                           {0, 0, 1.0, 0},
+                           {0, 0, 1.0, 0},
+                           {0, 0, 1.0, 0}},
+                          {1.0, 0, 0, 0});
+  lump::InitialKeys keys(4, 0);
+  keys[2] = 7;  // distinguish the absorbing target
+  const auto result = lump::lump(d, keys);
+  EXPECT_EQ(result.partition.numBlocks, 3u);
+  EXPECT_EQ(result.partition.blockOf[1], result.partition.blockOf[3]);
+  EXPECT_NE(result.partition.blockOf[0], result.partition.blockOf[1]);
+  EXPECT_TRUE(lump::verifyLumpable(d, result.partition).lumpable);
+  // The unreachable member adds no initial mass to its block.
+  double totalInitial = 0.0;
+  for (const double p : result.quotient.initialDistribution()) {
+    totalInitial += p;
+  }
+  EXPECT_DOUBLE_EQ(totalInitial, 1.0);
+  EXPECT_LT(result.quotient.maxRowDeviation(), 1e-12);
+}
+
+TEST(LumpEdge, AbsorbingSelfLoopsMergeByKeyAndStayAbsorbing) {
+  // Two absorbing states sharing a key collapse into one absorbing block.
+  const auto d = rawChain({{0, 0.5, 0.5}, {0, 1.0, 0}, {0, 0, 1.0}},
+                          {1.0, 0, 0});
+  const auto result = lump::lump(d, lump::InitialKeys(3, 0));
+  // With no distinctions the whole stochastic chain collapses.
+  EXPECT_EQ(result.partition.numBlocks, 1u);
+  ASSERT_EQ(result.quotient.numStates(), 1u);
+  // The single block must be exactly absorbing (self-loop mass 1), not
+  // approximately: aggregation sums the representative row, no rounding.
+  ASSERT_EQ(result.quotient.numTransitions(), 1u);
+  EXPECT_DOUBLE_EQ(result.quotient.val()[0], 1.0);
+  EXPECT_DOUBLE_EQ(result.quotient.initialDistribution()[0], 1.0);
+
+  // Keyed apart, the two absorbing states stay separate self-loops.
+  lump::InitialKeys keys(3, 0);
+  keys[1] = 1;
+  keys[2] = 2;
+  const auto keyed = lump::lump(d, keys);
+  EXPECT_EQ(keyed.partition.numBlocks, 3u);
+  EXPECT_TRUE(lump::verifyLumpable(d, keyed.partition).lumpable);
+}
+
+TEST(LumpEdge, ProbResolutionBucketsNearTies) {
+  // States 1 and 2 differ in transition probability by 1e-14 — far below
+  // the default 1e-12 bucketing, so they merge; a tighter resolution
+  // splits them.
+  const double eps = 1e-14;
+  const auto d = rawChain({{0, 0.5, 0.5, 0, 0},
+                           {0, 0, 0, 0.3, 0.7},
+                           {0, 0, 0, 0.3 + eps, 0.7 - eps},
+                           {0, 0, 0, 1.0, 0},
+                           {0, 0, 0, 0, 1.0}},
+                          {1.0, 0, 0, 0, 0});
+  lump::InitialKeys keys(5, 0);
+  keys[3] = 1;
+  keys[4] = 2;
+
+  const auto merged = lump::lump(d, keys);  // default probResolution 1e-12
+  EXPECT_EQ(merged.partition.numBlocks, 4u);
+  EXPECT_EQ(merged.partition.blockOf[1], merged.partition.blockOf[2]);
+
+  lump::LumpOptions tight;
+  tight.probResolution = 1e-16;
+  const auto split = lump::lump(d, keys, tight);
+  EXPECT_EQ(split.partition.numBlocks, 5u);
+  EXPECT_NE(split.partition.blockOf[1], split.partition.blockOf[2]);
+}
+
+TEST(LumpEdge, KeysFromMasksAndRewardsMatchesManualPartition) {
+  const auto model = test::randomModel(40, 3, 77);
+  const auto d = dtmc::buildExplicit(model).dtmc;
+  const auto reward = d.evalReward(model, "");
+  la::BitVector mask(d.numStates());
+  for (std::uint32_t s = 0; s < d.numStates(); ++s) {
+    if (s % 3 == 0) mask.set(s);
+  }
+  const auto keys = lump::keysFromMasksAndRewards(
+      d.numStates(), {&mask}, {&reward});
+  // States sharing a key must agree on the mask bit and the reward.
+  for (std::uint32_t a = 0; a < d.numStates(); ++a) {
+    for (std::uint32_t b = a + 1; b < d.numStates(); ++b) {
+      if (keys[a] == keys[b]) {
+        EXPECT_EQ(mask.get(a), mask.get(b));
+        EXPECT_EQ(reward[a], reward[b]);
+      }
+    }
+  }
+  // No needs at all -> one shared key (nothing blocks merging).
+  const auto empty = lump::keysFromMasksAndRewards(d.numStates(), {}, {});
+  for (const std::uint64_t k : empty) EXPECT_EQ(k, empty[0]);
+}
+
+TEST(LumpEdge, QuotientByteIdenticalAcrossConcurrentThreads) {
+  // The refinement is sequential, but the engine's reduce stage may run it
+  // from any pool thread with siblings refining concurrently. Block maps
+  // and quotient arrays must come out byte-identical regardless.
+  const auto model = test::randomModel(60, 3, 5);
+  const auto d = dtmc::buildExplicit(model).dtmc;
+  const auto reward = d.evalReward(model, "");
+  const auto keys = lump::keysFromMasksAndRewards(d.numStates(), {}, {&reward});
+  const auto reference = lump::lump(d, keys);
+
+  for (const int threads : {1, 2, 8}) {
+    std::vector<lump::LumpResult> results(threads);
+    {
+      // lint:allow(raw-thread: determinism test drives lump from client threads)
+      std::vector<std::thread> pool;
+      pool.reserve(threads);
+      for (int t = 0; t < threads; ++t) {
+        pool.emplace_back(
+            [&, t] { results[t] = lump::lump(d, keys); });
+      }
+      for (auto& th : pool) th.join();
+    }
+    for (const auto& result : results) {
+      EXPECT_EQ(result.partition.blockOf, reference.partition.blockOf)
+          << threads << " threads";
+      EXPECT_EQ(result.representative, reference.representative);
+      EXPECT_EQ(result.quotient.col(), reference.quotient.col());
+      EXPECT_EQ(result.quotient.val(), reference.quotient.val());
+    }
   }
 }
 

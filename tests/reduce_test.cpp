@@ -1,0 +1,520 @@
+// reduce:: — plan-aware quotienting, state elimination and the engine's
+// reduction stage. Asserts the tolerance contract from reduce/reduce.hpp:
+// reduced answers agree with the unreduced reference within solver /
+// rounding tolerance, and the engine's exports stay byte-identical across
+// thread counts and tracing on/off.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "dtmc/builder.hpp"
+#include "dtmc/signature.hpp"
+#include "engine/engine.hpp"
+#include "la/bit_vector.hpp"
+#include "mc/checker.hpp"
+#include "mc/unbounded.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "reduce/eliminate.hpp"
+#include "reduce/reduce.hpp"
+#include "test_models.hpp"
+
+namespace mimostat {
+namespace {
+
+/// Reflecting birth-death chain with one absorbing "goal" end: every state
+/// reaches goal with probability 1, so R=?[F goal] is finite everywhere.
+test::MatrixModel birthDeathToGoal(std::uint32_t n, double up) {
+  std::vector<std::vector<double>> matrix(n, std::vector<double>(n, 0.0));
+  matrix[0][1] = 1.0;
+  for (std::uint32_t i = 1; i + 1 < n; ++i) {
+    matrix[i][i + 1] = up;
+    matrix[i][i - 1] = 1.0 - up;
+  }
+  matrix[n - 1][n - 1] = 1.0;
+  std::vector<std::uint8_t> goal(n, 0);
+  goal[n - 1] = 1;
+  std::vector<double> rewards(n, 1.0);
+  rewards[n - 1] = 0.0;
+  test::MatrixModel model(std::move(matrix));
+  model.withLabel("goal", std::move(goal)).withRewards(std::move(rewards));
+  return model;
+}
+
+TEST(ReduceOptions, SelectionHeuristics) {
+  reduce::Options options;  // kAuto / kAuto, threshold 100'000
+  EXPECT_FALSE(reduce::quotientSelected(options, 99'999));
+  EXPECT_TRUE(reduce::quotientSelected(options, 100'000));
+  options.minQuotientStates = 10;
+  EXPECT_TRUE(reduce::quotientSelected(options, 10));
+  options.quotient = reduce::Toggle::kOn;
+  EXPECT_TRUE(reduce::quotientSelected(options, 1));
+  options.quotient = reduce::Toggle::kOff;
+  EXPECT_FALSE(reduce::quotientSelected(options, 1'000'000));
+
+  // The checker-level predicate honors only an explicit kOn.
+  options.elimination = reduce::Toggle::kAuto;
+  EXPECT_FALSE(reduce::eliminationOn(options));
+  options.elimination = reduce::Toggle::kOn;
+  EXPECT_TRUE(reduce::eliminationOn(options));
+  options.elimination = reduce::Toggle::kOff;
+  EXPECT_FALSE(reduce::eliminationOn(options));
+
+  // Engine auto-resolution: quotient applied AND small enough, kAuto only.
+  options.elimination = reduce::Toggle::kAuto;
+  options.eliminationMaxStates = 100;
+  EXPECT_TRUE(reduce::eliminationAutoFires(options, true, 100));
+  EXPECT_FALSE(reduce::eliminationAutoFires(options, true, 101));
+  EXPECT_FALSE(reduce::eliminationAutoFires(options, false, 10));
+  options.elimination = reduce::Toggle::kOn;
+  EXPECT_FALSE(reduce::eliminationAutoFires(options, true, 10));
+}
+
+TEST(ReduceQuotient, BuildQuotientLiftProject) {
+  // 4 symmetric banks: 16 states collapse to the 5 count classes when the
+  // partition is seeded by the count reward (the "any" mask refines
+  // nothing the reward does not already split).
+  const test::SymmetricBanksModel model(4, 0.3, 0.2);
+  const auto build = dtmc::buildExplicit(model);
+  const la::BitVector any = build.dtmc.evalAtom(model, "any");
+  const std::vector<double> reward = build.dtmc.evalReward(model, "");
+
+  const reduce::ReducedModel reduced =
+      reduce::buildQuotient(build.dtmc, {&any}, {&reward});
+  const reduce::ReductionInfo& info = reduced.info;
+  EXPECT_EQ(info.statesBefore, 16u);
+  EXPECT_EQ(info.statesAfter, 5u);
+  ASSERT_EQ(info.blockOf.size(), 16u);
+  ASSERT_EQ(info.representative.size(), 5u);
+  EXPECT_EQ(reduced.quotient.numStates(), 5u);
+  EXPECT_GT(info.transitionsBefore, info.transitionsAfter);
+
+  // Keyed masks and rewards are block-constant: every state agrees with its
+  // block representative, so projection is well-defined.
+  const la::BitVector projectedAny = reduce::projectMask(info, any);
+  const std::vector<double> projectedReward =
+      reduce::projectVector(info, reward);
+  for (std::uint32_t s = 0; s < 16; ++s) {
+    const std::uint32_t b = info.blockOf[s];
+    EXPECT_EQ(any.get(s), projectedAny.get(b)) << "state " << s;
+    EXPECT_EQ(reward[s], projectedReward[b]) << "state " << s;
+  }
+
+  // Lift is the block-map indirection, exactly.
+  const std::vector<double> blockValues{0.0, 1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> lifted =
+      reduce::liftStateValues(info, blockValues);
+  ASSERT_EQ(lifted.size(), 16u);
+  for (std::uint32_t s = 0; s < 16; ++s) {
+    EXPECT_EQ(lifted[s], blockValues[info.blockOf[s]]);
+  }
+
+  // Quotient initial mass sums block members: banks start all-zero, so the
+  // all-zero block carries the whole distribution.
+  double initialMass = 0.0;
+  for (const double w : reduced.quotient.initialDistribution()) {
+    initialMass += w;
+  }
+  EXPECT_NEAR(initialMass, 1.0, 1e-12);
+}
+
+TEST(ReduceElimination, MatchesIterativeUntil) {
+  const auto model = test::gamblersRuin(15, 0.45, 7);
+  const auto build = dtmc::buildExplicit(model);
+  const std::uint32_t n = build.dtmc.numStates();
+  la::BitVector phi(n);
+  for (std::uint32_t s = 0; s < n; ++s) phi.set(s);
+  la::BitVector psi(n);
+  // Ruin = counter variable "s" at 0; find that state in the table.
+  for (std::uint32_t s = 0; s < n; ++s) {
+    if (build.dtmc.varValue(s, 0) == 0) psi.set(s);
+  }
+
+  const mc::ReachResult iterative = mc::untilProb(build.dtmc, phi, psi);
+  const mc::ReachResult exact =
+      mc::untilProbByElimination(build.dtmc, phi, psi);
+  ASSERT_EQ(exact.stateValues.size(), iterative.stateValues.size());
+  for (std::uint32_t s = 0; s < n; ++s) {
+    EXPECT_NEAR(exact.stateValues[s], iterative.stateValues[s], 1e-8)
+        << "state " << s;
+  }
+  EXPECT_EQ(exact.solver, "elimination");
+  EXPECT_TRUE(exact.converged);
+  EXPECT_EQ(exact.residual, 0.0);
+  EXPECT_GT(exact.iterations, 0u);  // = states eliminated
+}
+
+TEST(ReduceElimination, MatchesIterativeReward) {
+  const auto model = birthDeathToGoal(14, 0.55);
+  const auto build = dtmc::buildExplicit(model);
+  const std::uint32_t n = build.dtmc.numStates();
+  const la::BitVector psi = build.dtmc.evalAtom(model, "goal");
+  const std::vector<double> reward = build.dtmc.evalReward(model, "");
+
+  const mc::ReachResult iterative =
+      mc::expectedReachReward(build.dtmc, reward, psi);
+  const mc::ReachResult exact =
+      mc::expectedReachRewardByElimination(build.dtmc, reward, psi);
+  ASSERT_EQ(exact.stateValues.size(), iterative.stateValues.size());
+  for (std::uint32_t s = 0; s < n; ++s) {
+    const double scale = std::max(1.0, std::abs(iterative.stateValues[s]));
+    EXPECT_NEAR(exact.stateValues[s], iterative.stateValues[s], 1e-7 * scale)
+        << "state " << s;
+  }
+  EXPECT_EQ(exact.solver, "elimination");
+}
+
+TEST(ReduceElimination, InfiniteRewardStatesAgree) {
+  // Gambler's ruin with reward 1 per step: interior states reach "win"
+  // (s = n) with probability < 1, so their expected reward is +infinity on
+  // both paths.
+  auto model = test::gamblersRuin(10, 0.5, 5);
+  model.withRewards(std::vector<double>(11, 1.0));
+  const auto build = dtmc::buildExplicit(model);
+  const std::uint32_t n = build.dtmc.numStates();
+  la::BitVector psi(n);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    if (build.dtmc.varValue(s, 0) == 10) psi.set(s);
+  }
+
+  const mc::ReachResult iterative =
+      mc::expectedReachReward(build.dtmc, build.dtmc.evalReward(model, ""), psi);
+  const mc::ReachResult exact = mc::expectedReachRewardByElimination(
+      build.dtmc, build.dtmc.evalReward(model, ""), psi);
+  const double inf = std::numeric_limits<double>::infinity();
+  bool sawInfinite = false;
+  for (std::uint32_t s = 0; s < n; ++s) {
+    if (std::isinf(iterative.stateValues[s])) {
+      EXPECT_EQ(exact.stateValues[s], inf) << "state " << s;
+      sawInfinite = true;
+    } else {
+      EXPECT_NEAR(exact.stateValues[s], iterative.stateValues[s], 1e-8);
+    }
+  }
+  EXPECT_TRUE(sawInfinite);
+}
+
+TEST(ReduceElimination, AllStatesClassifiedRunsNoElimination) {
+  // psi covers every state: Prob1 classifies everything and elimination has
+  // nothing to do — same empty-solver convention as the iterative path.
+  const auto model = test::twoStateChain(0.3, 0.4);
+  const auto build = dtmc::buildExplicit(model);
+  la::BitVector psi(build.dtmc.numStates());
+  psi.set(0);
+  psi.set(1);
+  const mc::ReachResult r = mc::reachProbByElimination(build.dtmc, psi);
+  EXPECT_TRUE(r.solver.empty());
+  EXPECT_EQ(r.iterations, 0u);
+  EXPECT_EQ(r.stateValues[0], 1.0);
+  EXPECT_EQ(r.stateValues[1], 1.0);
+}
+
+TEST(ReduceElimination, CheckerSelectsEliminationViaOptions) {
+  // One property per model so the undetermined-state set is non-empty and
+  // a solver actually runs: ruin probability (interior states strictly
+  // between 0 and 1) and a finite expected reward.
+  auto ruinModel = test::gamblersRuin(12, 0.45, 6);
+  std::vector<std::uint8_t> ruin(13, 0);
+  ruin[0] = 1;
+  ruinModel.withLabel("ruin", std::move(ruin));
+  const auto rewardModel = birthDeathToGoal(12, 0.5);
+
+  const auto checkBoth = [](const dtmc::Model& model,
+                            const std::string& property) {
+    const auto build = dtmc::buildExplicit(model);
+    const mc::Checker iterative(build.dtmc, model);
+    mc::CheckOptions options;
+    options.reduction.elimination = reduce::Toggle::kOn;
+    const mc::Checker eliminating(build.dtmc, model, options);
+
+    const mc::CheckResult ref = iterative.check(property);
+    const mc::CheckResult elim = eliminating.check(property);
+    ASSERT_TRUE(elim.solver.has_value()) << property;
+    EXPECT_EQ(elim.solver->solver, "elimination") << property;
+    const double scale = std::max(1.0, std::abs(ref.value));
+    EXPECT_NEAR(elim.value, ref.value, 1e-7 * scale) << property;
+    // A standalone checker treats kAuto as off: the reference ran the
+    // iterative solver, never elimination.
+    ASSERT_TRUE(ref.solver.has_value()) << property;
+    EXPECT_NE(ref.solver->solver, "elimination") << property;
+  };
+  checkBoth(ruinModel, "P=? [ F ruin ]");
+  checkBoth(rewardModel, "R=? [ F goal ]");
+}
+
+// --- engine reduction stage ---
+
+const std::vector<std::string> kBanksProperties{
+    "P=? [ F<=10 any ]",
+    "R=? [ I=20 ]",
+    "R=? [ C<=30 ]",
+    "P=? [ G<=15 !any ]",
+    "P=? [ F any ]",
+};
+
+std::vector<double> engineValues(const engine::AnalysisResponse& response) {
+  std::vector<double> values;
+  values.reserve(response.results.size());
+  for (const auto& r : response.results) {
+    EXPECT_TRUE(r.ok()) << r.property << ": " << r.error;
+    values.push_back(r.value);
+  }
+  return values;
+}
+
+TEST(EngineReduce, AutoThresholdSkipsSmallModels) {
+  const test::SymmetricBanksModel model(8, 0.3, 0.2);  // 256 states
+  engine::EngineOptions engineOptions;
+  engineOptions.threads = 1;
+  obs::MetricsRegistry metrics;
+  engineOptions.metrics = &metrics;
+  engine::AnalysisEngine eng(engineOptions);
+
+  engine::AnalysisRequest request;
+  request.model = &model;
+  request.properties = kBanksProperties;
+  const auto response = eng.analyze(request);
+  ASSERT_TRUE(response.ok()) << response.error;
+  EXPECT_FALSE(response.reduction.applied);
+  EXPECT_FALSE(response.reduction.cacheHit);
+  EXPECT_EQ(response.reduction.statesBefore, 0u);
+  EXPECT_EQ(eng.stats().quotientBuilds, 0u);
+}
+
+TEST(EngineReduce, ForcedQuotientAppliesAndCaches) {
+  const test::SymmetricBanksModel model(8, 0.3, 0.2);  // 256 -> 9 blocks
+  engine::AnalysisRequest request;
+  request.model = &model;
+  request.properties = kBanksProperties;
+
+  // Unreduced reference from a reduction-off engine.
+  engine::EngineOptions engineOptions;
+  engineOptions.threads = 1;
+  obs::MetricsRegistry referenceMetrics;
+  engineOptions.metrics = &referenceMetrics;
+  engine::AnalysisEngine referenceEngine(engineOptions);
+  request.options.reduction.quotient = reduce::Toggle::kOff;
+  const auto reference = referenceEngine.analyze(request);
+  ASSERT_TRUE(reference.ok()) << reference.error;
+  const std::vector<double> referenceValues = engineValues(reference);
+
+  obs::MetricsRegistry metrics;
+  engineOptions.metrics = &metrics;
+  engine::AnalysisEngine eng(engineOptions);
+  request.options.reduction.quotient = reduce::Toggle::kOn;
+
+  const auto first = eng.analyze(request);
+  ASSERT_TRUE(first.ok()) << first.error;
+  EXPECT_TRUE(first.reduction.applied);
+  EXPECT_FALSE(first.reduction.cacheHit);
+  EXPECT_EQ(first.reduction.statesBefore, 256u);
+  EXPECT_EQ(first.reduction.statesAfter, 9u);
+  EXPECT_LT(first.reduction.transitionsAfter, first.reduction.transitionsBefore);
+  EXPECT_GT(first.reduction.refinementRounds, 0u);
+  // The response still reports the full model; the quotient lives in
+  // reduction.
+  EXPECT_EQ(first.states, 256u);
+
+  const std::vector<double> firstValues = engineValues(first);
+  ASSERT_EQ(firstValues.size(), referenceValues.size());
+  for (std::size_t i = 0; i < firstValues.size(); ++i) {
+    // Exact by strong lumping, up to FP accumulation-order differences.
+    EXPECT_NEAR(firstValues[i], referenceValues[i], 1e-9)
+        << request.properties[i];
+  }
+
+  const auto second = eng.analyze(request);
+  ASSERT_TRUE(second.ok()) << second.error;
+  EXPECT_TRUE(second.reduction.applied);
+  EXPECT_TRUE(second.reduction.cacheHit);
+  const std::vector<double> secondValues = engineValues(second);
+  for (std::size_t i = 0; i < firstValues.size(); ++i) {
+    EXPECT_EQ(secondValues[i], firstValues[i]) << request.properties[i];
+  }
+
+  const auto stats = eng.stats();
+  EXPECT_EQ(stats.quotientBuilds, 1u);
+  EXPECT_GE(stats.quotientHits, 1u);
+}
+
+TEST(EngineReduce, IdentityQuotientRecordedButNeverApplied) {
+  // A random chain with distinct rows: the plan-aware partition cannot
+  // merge anything, so the quotient is the identity and the engine keeps
+  // the full model — but memoizes the outcome.
+  const auto model = test::randomModel(30, 3, 0xC0FFEEu);
+  engine::EngineOptions engineOptions;
+  engineOptions.threads = 1;
+  obs::MetricsRegistry metrics;
+  engineOptions.metrics = &metrics;
+  engine::AnalysisEngine eng(engineOptions);
+
+  engine::AnalysisRequest request;
+  request.model = &model;
+  request.properties = {"P=? [ F target ]", "R=? [ C<=25 ]"};
+  request.options.reduction.quotient = reduce::Toggle::kOn;
+
+  const auto first = eng.analyze(request);
+  ASSERT_TRUE(first.ok()) << first.error;
+  EXPECT_FALSE(first.reduction.applied);
+  EXPECT_FALSE(first.reduction.cacheHit);
+  EXPECT_EQ(first.reduction.statesBefore, 30u);
+  EXPECT_EQ(first.reduction.statesAfter, 30u);
+
+  const auto second = eng.analyze(request);
+  ASSERT_TRUE(second.ok()) << second.error;
+  EXPECT_FALSE(second.reduction.applied);
+  EXPECT_TRUE(second.reduction.cacheHit);
+  EXPECT_EQ(eng.stats().quotientBuilds, 1u);
+
+  // Identical full-model path both times: values are bitwise equal.
+  const std::vector<double> a = engineValues(first);
+  const std::vector<double> b = engineValues(second);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(EngineReduce, TracingOnOffByteIdentical) {
+  const test::SymmetricBanksModel model(8, 0.3, 0.2);
+  const auto runOnce = [&model] {
+    engine::EngineOptions engineOptions;
+    engineOptions.threads = 1;
+    engine::AnalysisEngine eng(engineOptions);
+    engine::AnalysisRequest request;
+    request.model = &model;
+    request.properties = kBanksProperties;
+    request.options.reduction.quotient = reduce::Toggle::kOn;
+    const auto response = eng.analyze(request);
+    EXPECT_TRUE(response.ok()) << response.error;
+    EXPECT_TRUE(response.reduction.applied);
+    return engineValues(response);
+  };
+
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.setEnabled(false);
+  const std::vector<double> off = runOnce();
+  tracer.setEnabled(true);
+  const std::vector<double> on = runOnce();
+  tracer.setEnabled(false);
+  tracer.clear();
+
+  ASSERT_EQ(off.size(), on.size());
+  for (std::size_t i = 0; i < off.size(); ++i) {
+    EXPECT_EQ(off[i], on[i]) << kBanksProperties[i];
+  }
+}
+
+TEST(EngineReduce, ThreadCountByteIdentical) {
+  const test::SymmetricBanksModel model(8, 0.3, 0.2);
+  std::vector<std::vector<double>> perThreadValues;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    engine::EngineOptions engineOptions;
+    engineOptions.threads = threads;
+    engine::AnalysisEngine eng(engineOptions);
+    engine::AnalysisRequest request;
+    request.model = &model;
+    request.properties = kBanksProperties;
+    request.options.reduction.quotient = reduce::Toggle::kOn;
+    const auto response = eng.analyze(request);
+    ASSERT_TRUE(response.ok()) << response.error;
+    EXPECT_TRUE(response.reduction.applied);
+    perThreadValues.push_back(engineValues(response));
+  }
+  for (std::size_t t = 1; t < perThreadValues.size(); ++t) {
+    ASSERT_EQ(perThreadValues[t].size(), perThreadValues[0].size());
+    for (std::size_t i = 0; i < perThreadValues[0].size(); ++i) {
+      EXPECT_EQ(perThreadValues[t][i], perThreadValues[0][i])
+          << kBanksProperties[i] << " at pool size " << t;
+    }
+  }
+}
+
+// --- label/reward digest (satellite: cache-key extension) ---
+
+TEST(SignatureDigest, EmptyDigestIsZero) {
+  const dtmc::LabelRewardDigest digest;
+  EXPECT_EQ(digest.hash(), 0u);
+  EXPECT_EQ(digest.entries(), 0u);
+}
+
+TEST(SignatureDigest, OrderIndependent) {
+  la::BitVector a(10);
+  a.set(3);
+  la::BitVector b(10);
+  b.set(7);
+  const std::vector<double> r{1.0, 2.0, 3.0};
+
+  dtmc::LabelRewardDigest forward;
+  forward.addMask(11, a);
+  forward.addMask(22, b);
+  forward.addReward("time", r);
+
+  dtmc::LabelRewardDigest backward;
+  backward.addReward("time", r);
+  backward.addMask(22, b);
+  backward.addMask(11, a);
+
+  EXPECT_EQ(forward.hash(), backward.hash());
+  EXPECT_EQ(forward.entries(), 3u);
+}
+
+TEST(SignatureDigest, DistinguishesContentFormulaAndName) {
+  la::BitVector a(10);
+  a.set(3);
+  la::BitVector flipped(10);
+  flipped.set(4);
+
+  dtmc::LabelRewardDigest base;
+  base.addMask(11, a);
+
+  dtmc::LabelRewardDigest differentBits;
+  differentBits.addMask(11, flipped);
+  EXPECT_NE(base.hash(), differentBits.hash());
+
+  // Same truth bits under a different formula are a different plan need.
+  dtmc::LabelRewardDigest differentFormula;
+  differentFormula.addMask(12, a);
+  EXPECT_NE(base.hash(), differentFormula.hash());
+
+  // Same words, different bit length (all-zero tails share bytes).
+  la::BitVector short10(10);
+  la::BitVector long12(12);
+  dtmc::LabelRewardDigest shortDigest;
+  shortDigest.addMask(11, short10);
+  dtmc::LabelRewardDigest longDigest;
+  longDigest.addMask(11, long12);
+  EXPECT_NE(shortDigest.hash(), longDigest.hash());
+
+  const std::vector<double> r{1.0, 2.0};
+  dtmc::LabelRewardDigest namedA;
+  namedA.addReward("time", r);
+  dtmc::LabelRewardDigest namedB;
+  namedB.addReward("energy", r);
+  EXPECT_NE(namedA.hash(), namedB.hash());
+
+  dtmc::LabelRewardDigest otherValues;
+  otherValues.addReward("time", {1.0, 2.5});
+  EXPECT_NE(namedA.hash(), otherValues.hash());
+}
+
+TEST(SignatureDigest, EqualInputsCollide) {
+  // Two independently built digests over equal inputs must agree — that is
+  // the quotient-cache sharing contract across requests.
+  const auto model = test::randomModel(16, 2, 42);
+  const auto build = dtmc::buildExplicit(model);
+  const la::BitVector mask = build.dtmc.evalAtom(model, "target");
+  const std::vector<double> reward = build.dtmc.evalReward(model, "");
+
+  dtmc::LabelRewardDigest first;
+  first.addMask(77, mask);
+  first.addReward("", reward);
+  dtmc::LabelRewardDigest second;
+  second.addMask(77, mask);
+  second.addReward("", reward);
+  EXPECT_EQ(first.hash(), second.hash());
+}
+
+}  // namespace
+}  // namespace mimostat

@@ -46,6 +46,16 @@ scalar reference at any thread count) and its byte-stable exports:
                        of the determinism boundary and can never feed
                        exported values or ordering. tests/ and bench/ keep
                        raw timing freely.
+  reduction-boundary   Quotient block-map access (`blockOf`, indexing the
+                       representative table) in src/ outside src/reduce/ +
+                       src/lump/ + src/mc/. The bisimulation quotient's
+                       state indexing is private to the reduction layers;
+                       results cross back to original-state indexing only
+                       through reduce::liftStateValues / projectMask /
+                       projectVector. Hand-rolled block-map arithmetic
+                       elsewhere is one off-by-one away from handing a
+                       caller quotient-indexed values under an
+                       original-indexed contract.
 
 Escape hatch: a line (or the line above it) containing
     lint:allow(<rule>) or lint:allow(<rule>: <reason>)
@@ -446,6 +456,44 @@ def check_guarded_by(path: str, lines: list[str]) -> list[Violation]:
     return out
 
 
+def check_reduction_boundary(path: str, lines: list[str]) -> list[Violation]:
+    """Flag quotient block-map access outside the reduction layers.
+
+    src/reduce/ owns the quotient indexing, src/lump/ produces it, and
+    src/mc/ consumes it through the checker; everything else maps between
+    quotient and original indexing exclusively via reduce::liftStateValues /
+    projectMask / projectVector. A `blockOf` read (or representative-table
+    indexing) elsewhere hand-rolls that mapping and can silently return
+    quotient-indexed vectors where original indexing is promised.
+    tests/ and bench/ verify the mapping itself, so they stay free.
+    """
+    posix = _posix(path)
+    if not re.search(r"(^|/)src/", posix):
+        return []
+    if re.search(r"(^|/)src/(reduce|lump|mc)/", posix):
+        return []
+    pattern = re.compile(r"\bblockOf\b|\brepresentative\s*\[")
+    out = []
+    for idx, line in enumerate(lines):
+        stripped = _strip_comments_and_strings(line)
+        if pattern.search(stripped) and not _allowed(
+            lines, idx, "reduction-boundary"
+        ):
+            out.append(
+                Violation(
+                    path,
+                    idx + 1,
+                    "reduction-boundary",
+                    "quotient block-map access outside src/reduce/ + "
+                    "src/lump/ + src/mc/ — map results with "
+                    "reduce::liftStateValues / projectMask / projectVector, "
+                    "or add lint:allow(reduction-boundary: <why this is not "
+                    "quotient-index mapping>)",
+                )
+            )
+    return out
+
+
 RULES = {
     "unordered-iteration": check_unordered_iteration,
     "raw-rng": check_raw_rng,
@@ -454,6 +502,7 @@ RULES = {
     "byte-truth-mask": check_byte_truth_mask,
     "guarded-by": check_guarded_by,
     "raw-wallclock": check_raw_wallclock,
+    "reduction-boundary": check_reduction_boundary,
 }
 
 

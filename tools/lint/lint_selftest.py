@@ -376,6 +376,45 @@ class RawWallclockTest(unittest.TestCase):
         self.assertEqual(run(src), [])
 
 
+class ReductionBoundaryTest(unittest.TestCase):
+    def test_block_map_read_in_engine_flagged(self):
+        src = "values[s] = blockValues[info.blockOf[s]];"
+        self.assertEqual(rules(src, path="src/engine/engine.cpp"),
+                         ["reduction-boundary"])
+
+    def test_representative_indexing_flagged(self):
+        src = "const auto rep = info.representative[b];"
+        self.assertEqual(rules(src, path="src/sweep/runner.cpp"),
+                         ["reduction-boundary"])
+
+    def test_reduce_lump_mc_own_the_indexing(self):
+        src = "lifted[s] = blockValues[info.blockOf[s]];"
+        self.assertEqual(run(src, path="src/reduce/reduce.cpp"), [])
+        self.assertEqual(run(src, path="src/lump/bisim.cpp"), [])
+        self.assertEqual(run(src, path="src/mc/checker.cpp"), [])
+
+    def test_tests_and_bench_verify_the_mapping_freely(self):
+        src = "EXPECT_EQ(info.blockOf[0], info.blockOf[1]);"
+        self.assertEqual(run(src, path="tests/reduce_test.cpp"), [])
+        self.assertEqual(run(src, path="bench/reduce.cpp"), [])
+
+    def test_unrelated_representative_identifier_ignored(self):
+        # Plain uses of the word (no table indexing) are not block-map math.
+        src = "std::string representative = pickRepresentative();"
+        self.assertEqual(run(src, path="src/engine/engine.cpp"), [])
+
+    def test_mention_in_comment_ignored(self):
+        src = "// maps via info.blockOf, see reduce::liftStateValues"
+        self.assertEqual(run(src, path="src/engine/engine.cpp"), [])
+
+    def test_allow_comment_suppresses(self):
+        src = """\
+        // lint:allow(reduction-boundary: builds the partition handed to lump::)
+        blockOf[s] = it->second;
+        """
+        self.assertEqual(run(src, path="src/core/reduction.cpp"), [])
+
+
 class EngineTest(unittest.TestCase):
     def test_allow_comment_is_rule_specific(self):
         # An allow for one rule must not blanket-suppress another.
@@ -398,7 +437,7 @@ class EngineTest(unittest.TestCase):
     def test_list_rules_names_every_rule(self):
         expected = {"unordered-iteration", "raw-rng", "raw-thread",
                     "atomic-float", "byte-truth-mask", "guarded-by",
-                    "raw-wallclock"}
+                    "raw-wallclock", "reduction-boundary"}
         self.assertEqual(set(check_invariants.RULES), expected)
 
     def test_clean_source_exits_zero_via_main(self):
