@@ -10,6 +10,11 @@
 //      la::spmmMasked over packed la::BitVector column masks, sequential
 //      and at 1/2/8 pool threads — same values bit for bit, 8x less mask
 //      memory (the mask_bytes columns in the CSV).
+//   4. SIMD dispatch: masked SpMM forced to scalar vs every compiled-and-
+//      supported vector target (sequential and at 2/8 pool threads). The
+//      forced-scalar output is the oracle; each target's panel count and
+//      per-panel traversal time land in the simd_target/panels/
+//      seconds_per_panel CSV columns.
 //
 // Every variant is checked against the scalar path with max|diff| asserted
 // EXACTLY 0.0 — the la:: determinism contract is bit-identity, not
@@ -35,6 +40,7 @@
 #include "engine/thread_pool.hpp"
 #include "la/csr_matrix.hpp"
 #include "la/exec.hpp"
+#include "la/simd.hpp"
 #include "la/spmv.hpp"
 #include "mc/transient.hpp"
 #include "util/rng.hpp"
@@ -154,6 +160,10 @@ struct Row {
   double maxDiff;
   /// Masked-SpMM rows only: resident bytes of this variant's masks.
   std::uint64_t maskBytes = 0;
+  /// SIMD rows only: the forced dispatch target ("" = default dispatch).
+  std::string simdTarget;
+  /// SIMD rows only: column panels per product (0 = not recorded).
+  std::uint64_t panels = 0;
 };
 
 }  // namespace
@@ -195,9 +205,11 @@ int main(int argc, char** argv) {
   bool allExact = true;
   const auto record = [&](const std::string& section, const std::string& kernel,
                           std::size_t threads, double seconds, double scalarSec,
-                          double maxDiff, std::uint64_t maskBytes = 0) {
+                          double maxDiff, std::uint64_t maskBytes = 0,
+                          const std::string& simdTarget = "",
+                          std::uint64_t panels = 0) {
     rows.push_back({section, kernel, threads, seconds, scalarSec / seconds,
-                    maxDiff, maskBytes});
+                    maxDiff, maskBytes, simdTarget, panels});
     allExact = allExact && maxDiff == 0.0;
     std::printf("  %-22s %8.3fs  speedup %5.2fx  max|diff| %g\n",
                 (kernel + (threads != 0 ? "(" + std::to_string(threads) + "t)"
@@ -376,16 +388,86 @@ int main(int argc, char** argv) {
               byteMaskSec / static_cast<double>(config.steps),
               packedSec / static_cast<double>(config.steps));
 
+  // ---- SIMD dispatch: the same masked bounded-traversal shape, forced to
+  // scalar and then to every compiled-and-supported vector target. The
+  // forced-scalar run is the oracle; any nonzero diff fails the smoke.
+  std::printf("\n=== SIMD dispatch: forced scalar vs runtime targets "
+              "(k=%zu) ===\n",
+              config.rhs);
+  la::Exec scalarSimdExec;
+  scalarSimdExec.simd = la::SimdTarget::kScalar;
+  la::SpmmStats scalarStats;
+  double simdScalarSec = 0.0;
+  const std::vector<double> simdScalarOut = propagateMasked(
+      [&](const std::vector<double>& X, std::vector<double>& Y) {
+        la::spmmMasked(P, X, config.rhs, packedMasks, Y, scalarSimdExec,
+                       &scalarStats);
+      },
+      simdScalarSec);
+  record("spmm-simd", "scalar", 0, simdScalarSec, simdScalarSec,
+         maxAbsDiff(simdScalarOut, byteMaskOut), packedMaskBytes, "scalar",
+         scalarStats.panels);
+
+  double bestTargetSec = simdScalarSec;
+  const char* bestTargetName = "scalar";
+  for (const la::SimdTarget target :
+       {la::SimdTarget::kSse2, la::SimdTarget::kAvx2, la::SimdTarget::kNeon}) {
+    if (!la::simdTargetSupported(target)) continue;
+    const char* name = la::simdTargetName(target);
+    la::Exec exec;
+    exec.simd = target;
+    la::SpmmStats stats;
+    double seconds = 0.0;
+    const std::vector<double> out = propagateMasked(
+        [&](const std::vector<double>& X, std::vector<double>& Y) {
+          la::spmmMasked(P, X, config.rhs, packedMasks, Y, exec, &stats);
+        },
+        seconds);
+    record("spmm-simd", name, 0, seconds, simdScalarSec,
+           maxAbsDiff(out, simdScalarOut), packedMaskBytes, name,
+           stats.panels);
+    if (seconds < bestTargetSec) {
+      bestTargetSec = seconds;
+      bestTargetName = name;
+    }
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+      engine::ThreadPool pool(threads);
+      la::Exec pooled = poolExec(pool);
+      pooled.simd = target;
+      la::SpmmStats pooledStats;
+      double pooledSec = 0.0;
+      const std::vector<double> pooledOut = propagateMasked(
+          [&](const std::vector<double>& X, std::vector<double>& Y) {
+            la::spmmMasked(P, X, config.rhs, packedMasks, Y, pooled,
+                           &pooledStats);
+          },
+          pooledSec);
+      record("spmm-simd", name, threads, pooledSec, simdScalarSec,
+             maxAbsDiff(pooledOut, simdScalarOut), packedMaskBytes, name,
+             pooledStats.panels);
+    }
+  }
+  std::printf("  single-core masked-SpMM speedup (%s vs forced scalar): "
+              "%.2fx\n",
+              bestTargetName, simdScalarSec / bestTargetSec);
+
   if (config.csvPath != nullptr) {
     std::ofstream csv(config.csvPath);
     csv << "section,kernel,threads,states,nnz,rhs,steps,seconds,"
-           "seconds_per_step,speedup,max_abs_diff,mask_bytes\n";
+           "seconds_per_step,speedup,max_abs_diff,mask_bytes,"
+           "simd_target,panels,seconds_per_panel\n";
     for (const Row& row : rows) {
+      // Per-panel traversal time: each step walks `panels` column panels.
+      const double secondsPerPanel =
+          row.panels == 0
+              ? 0.0
+              : row.seconds / static_cast<double>(config.steps * row.panels);
       csv << row.section << ',' << row.kernel << ',' << row.threads << ','
           << P.numRows() << ',' << P.numNonZeros() << ',' << config.rhs << ','
           << config.steps << ',' << row.seconds << ','
           << row.seconds / static_cast<double>(config.steps) << ','
-          << row.speedup << ',' << row.maxDiff << ',' << row.maskBytes
+          << row.speedup << ',' << row.maxDiff << ',' << row.maskBytes << ','
+          << row.simdTarget << ',' << row.panels << ',' << secondsPerPanel
           << '\n';
     }
     std::printf("\nwrote %s\n", config.csvPath);

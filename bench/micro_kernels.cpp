@@ -1,11 +1,24 @@
 // google-benchmark micro kernels for the engine primitives: sparse
 // matrix-vector products (transient analysis), bounded-until iterations,
-// bisimulation lumping, BDD operations and Gaussian cell probabilities.
+// bisimulation lumping, BDD operations, Gaussian cell probabilities and
+// per-SIMD-target masked SpMM (registered only for targets this host can
+// run). A custom main() first replays every supported SIMD target against
+// the forced-scalar kernels and exits 1 on any bitwise mismatch — the
+// benchmark rows are only worth reading if the dispatch is exact.
 #include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "bdd/manager.hpp"
 #include "comm/quantizer.hpp"
 #include "dtmc/builder.hpp"
+#include "la/exec.hpp"
+#include "la/simd.hpp"
+#include "la/spmv.hpp"
 #include "lump/bisim.hpp"
 #include "mc/bounded.hpp"
 #include "mc/transient.hpp"
@@ -104,4 +117,104 @@ void BM_QuantizerCellProbs(benchmark::State& state) {
 }
 BENCHMARK(BM_QuantizerCellProbs);
 
+// ------------------------------------------------------ SIMD masked SpMM
+
+constexpr la::SimdTarget kAllTargets[] = {
+    la::SimdTarget::kScalar, la::SimdTarget::kSse2, la::SimdTarget::kAvx2,
+    la::SimdTarget::kNeon};
+
+/// Masked bounded-traversal workload on the Viterbi chain: 8 RHS columns,
+/// ~1/8 of the entries frozen per column.
+struct MaskedFixture {
+  const la::CsrMatrix* m = nullptr;
+  std::size_t k = 8;
+  std::vector<double> X;
+  std::vector<la::BitVector> masks;
+};
+
+const MaskedFixture& maskedFixture() {
+  static const MaskedFixture fixture = [] {
+    MaskedFixture f;
+    f.m = &viterbiDtmc().matrix();
+    const std::uint32_t n = f.m->numRows();
+    f.X.resize(static_cast<std::size_t>(n) * f.k);
+    f.masks.assign(f.k, la::BitVector(n));
+    util::Xoshiro256 rng(71);
+    for (std::uint32_t s = 0; s < n; ++s) {
+      for (std::size_t j = 0; j < f.k; ++j) {
+        f.X[s * f.k + j] = rng.nextDouble();
+        if (rng.nextBounded(8) == 0) f.masks[j].set(s);
+      }
+    }
+    return f;
+  }();
+  return fixture;
+}
+
+void BM_MaskedSpmmTarget(benchmark::State& state, la::SimdTarget target) {
+  const MaskedFixture& f = maskedFixture();
+  la::Exec exec;
+  exec.simd = target;
+  std::vector<double> Y;
+  for (auto _ : state) {
+    la::spmmMasked(*f.m, f.X, f.k, f.masks, Y, exec);
+    benchmark::DoNotOptimize(Y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.m->numNonZeros()) *
+                          static_cast<std::int64_t>(f.k));
+}
+
+bool bitEqual(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+/// Replay every supported target against the forced-scalar kernels; any
+/// byte of divergence fails the run before a single benchmark executes.
+bool verifySimdTargetsBitwise() {
+  const MaskedFixture& f = maskedFixture();
+  la::Exec scalarExec;
+  scalarExec.simd = la::SimdTarget::kScalar;
+  std::vector<double> refMasked;
+  la::spmmMasked(*f.m, f.X, f.k, f.masks, refMasked, scalarExec);
+  std::vector<double> refPlain;
+  la::spmm(*f.m, f.X, f.k, refPlain, scalarExec);
+  bool ok = true;
+  for (const la::SimdTarget target : kAllTargets) {
+    if (!la::simdTargetSupported(target)) continue;
+    la::Exec exec;
+    exec.simd = target;
+    std::vector<double> Y;
+    la::spmmMasked(*f.m, f.X, f.k, f.masks, Y, exec);
+    std::vector<double> Z;
+    la::spmm(*f.m, f.X, f.k, Z, exec);
+    if (!bitEqual(Y, refMasked) || !bitEqual(Z, refPlain)) {
+      std::fprintf(stderr,
+                   "FAIL: %s SpMM diverged bitwise from forced scalar\n",
+                   la::simdTargetName(target));
+      ok = false;
+    }
+  }
+  return ok;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  for (const la::SimdTarget target : kAllTargets) {
+    if (!la::simdTargetSupported(target)) continue;
+    benchmark::RegisterBenchmark(
+        (std::string("BM_MaskedSpmm/") + la::simdTargetName(target)).c_str(),
+        [target](benchmark::State& state) {
+          BM_MaskedSpmmTarget(state, target);
+        });
+  }
+  if (!verifySimdTargetsBitwise()) return 1;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

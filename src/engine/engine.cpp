@@ -621,6 +621,12 @@ AnalysisResponse AnalysisEngine::analyzeExact(const AnalysisRequest& request,
       checkOptions.exec.parallelThresholdNnz = options_.laParallelThresholdNnz;
     }
   }
+  // SIMD target is orthogonal to the runner: the engine default fills the
+  // unset case whether or not the request brought its own runner (a
+  // request-pinned Exec::simd always wins).
+  if (!checkOptions.exec.simd && options_.simd) {
+    checkOptions.exec.simd = options_.simd;
+  }
   const mc::Checker checker(built->dtmc, *request.model, checkOptions,
                             propertyCache_);
 

@@ -83,6 +83,12 @@ struct EngineOptions {
   /// neither a runner nor a threshold in RequestOptions::check.exec (a
   /// request with its own runner owns its whole exec and is never touched).
   std::uint64_t laParallelThresholdNnz = la::Exec::kDefaultParallelThresholdNnz;
+  /// Default SIMD dispatch target for la:: kernels; applied to requests
+  /// that don't pin one in RequestOptions::check.exec.simd. nullopt = the
+  /// process-wide la::activeSimdTarget() (MIMOSTAT_SIMD env override, else
+  /// the widest supported target). Outputs are bit-identical across
+  /// targets, so this is a performance/debugging knob only.
+  std::optional<la::SimdTarget> simd;
   /// Metrics sink for engine counters, pool histograms and the
   /// request-latency histogram behind EngineStats percentiles; nullptr uses
   /// the process-wide obs::MetricsRegistry::global() (injectable like

@@ -7,10 +7,13 @@
 // with no runner, a 1-thread pool, or an 8-thread pool.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <optional>
 #include <vector>
+
+#include "la/simd.hpp"
 
 namespace mimostat::la {
 
@@ -31,6 +34,16 @@ struct Exec {
   /// an injector (the engine) can distinguish "unset" from an explicitly
   /// chosen value, including one equal to the default.
   std::optional<std::uint64_t> parallelThresholdNnz;
+  /// Force the SIMD dispatch target for this call. nullopt = the
+  /// process-wide la::activeSimdTarget() (MIMOSTAT_SIMD env override, else
+  /// the widest supported target). Outputs are bit-identical across
+  /// targets by construction, so this is a performance/testing knob only —
+  /// an unsupported forced target degrades to scalar.
+  std::optional<SimdTarget> simd;
+  /// Force the SpMM column-panel width (clamped to the kernels' register
+  /// cap). nullopt = la::spmmPanelWidth's L2-budget choice. Exists so tests
+  /// and benches can pin odd panel boundaries; results never depend on it.
+  std::optional<std::size_t> spmmPanelColumns;
 
   /// Should a kernel over `nnz` nonzeros fan out?
   [[nodiscard]] bool parallelFor(std::uint64_t nnz) const {

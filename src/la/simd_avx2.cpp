@@ -1,0 +1,74 @@
+// AVX2 kernels (4 double lanes, cpuid-gated at dispatch time). CMake
+// compiles exactly this TU with -mavx2 on x86 — the rest of the library
+// stays baseline, so merely linking these kernels can never fault on a
+// pre-AVX2 CPU; only a successful runtime probe routes calls here. FMA is
+// deliberately NOT enabled: contraction rounds once where the scalar
+// reference rounds twice and would break the bitwise-identity contract.
+//
+// lint:allow(simd-intrinsics: per-target kernel TU inside src/la/)
+#include "la/simd_kernels.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace mimostat::la::detail {
+namespace {
+
+struct Avx2Lanes {
+  using Vec = __m256d;
+  static constexpr std::size_t kLanes = 4;
+  static Vec zero() { return _mm256_setzero_pd(); }
+  static Vec broadcast(double v) { return _mm256_set1_pd(v); }
+  static Vec loadu(const double* p) { return _mm256_loadu_pd(p); }
+  static void storeu(double* p, Vec v) { _mm256_storeu_pd(p, v); }
+  // Separate mul and add (never an FMA): each lane rounds twice, exactly
+  // like the scalar reference.
+  static Vec mul(Vec a, Vec b) { return _mm256_mul_pd(a, b); }
+  static Vec add(Vec a, Vec b) { return _mm256_add_pd(a, b); }
+};
+
+struct Avx2Row {
+  // 4-term blocks: hardware gather + vector multiply, then the four lane
+  // products added back in ascending-entry order — the accumulator sees
+  // the exact scalar sequence, so vectorizing the loads/multiplies cannot
+  // change the sum's bits.
+  static double gather(const CsrView& m, const double* x, std::uint64_t begin,
+                       std::uint64_t end) {
+    double acc = 0.0;
+    std::uint64_t e = begin;
+    for (; e + 4 <= end; e += 4) {
+      const __m128i idx =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(m.col + e));
+      const __m256d xv = _mm256_i32gather_pd(x, idx, 8);
+      alignas(32) double t[4];
+      _mm256_store_pd(t, _mm256_mul_pd(_mm256_loadu_pd(m.val + e), xv));
+      acc += t[0];
+      acc += t[1];
+      acc += t[2];
+      acc += t[3];
+    }
+    for (; e < end; ++e) acc += m.val[e] * x[m.col[e]];
+    return acc;
+  }
+};
+
+}  // namespace
+
+const KernelSet& avx2Kernels() {
+  static constexpr KernelSet kSet{&panelGatherImpl<Avx2Lanes>,
+                                  &rowGatherImpl<Avx2Row>,
+                                  &maskedRowGatherImpl<Avx2Row>,
+                                  /*lanes=*/4, /*compiled=*/true};
+  return kSet;
+}
+
+}  // namespace mimostat::la::detail
+
+#else  // !__AVX2__ (TU built without -mavx2, e.g. non-x86 hosts)
+
+namespace mimostat::la::detail {
+const KernelSet& avx2Kernels() { return scalarStandIn(); }
+}  // namespace mimostat::la::detail
+
+#endif

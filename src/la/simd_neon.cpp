@@ -1,0 +1,69 @@
+// NEON kernels (aarch64 baseline, 2 double lanes). Advanced SIMD is
+// mandatory on aarch64, so no extra ISA flags are needed; on other
+// architectures this TU compiles to the scalar stand-in. vmulq + vaddq are
+// kept as separate intrinsics (no vfmaq): contraction rounds once where
+// the scalar reference rounds twice — and the build pins -ffp-contract=off
+// so the scalar loops can't silently fuse into fmadd either.
+//
+// lint:allow(simd-intrinsics: per-target kernel TU inside src/la/)
+#include "la/simd_kernels.hpp"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+namespace mimostat::la::detail {
+namespace {
+
+struct NeonLanes {
+  using Vec = float64x2_t;
+  static constexpr std::size_t kLanes = 2;
+  static Vec zero() { return vdupq_n_f64(0.0); }
+  static Vec broadcast(double v) { return vdupq_n_f64(v); }
+  static Vec loadu(const double* p) { return vld1q_f64(p); }
+  static void storeu(double* p, Vec v) { vst1q_f64(p, v); }
+  // Separate mul and add (never an FMA): each lane rounds twice, exactly
+  // like the scalar reference.
+  static Vec mul(Vec a, Vec b) { return vmulq_f64(a, b); }
+  static Vec add(Vec a, Vec b) { return vaddq_f64(a, b); }
+};
+
+struct NeonRow {
+  // 2-term blocks: vector multiply, then the two lane products added back
+  // in ascending-entry order — the accumulator sees the exact scalar
+  // sequence, so the reduction order over the nonzeros is untouched.
+  static double gather(const CsrView& m, const double* x, std::uint64_t begin,
+                       std::uint64_t end) {
+    double acc = 0.0;
+    std::uint64_t e = begin;
+    for (; e + 2 <= end; e += 2) {
+      const double xs[2] = {x[m.col[e]], x[m.col[e + 1]]};
+      double t[2];
+      vst1q_f64(t, vmulq_f64(vld1q_f64(m.val + e), vld1q_f64(xs)));
+      acc += t[0];
+      acc += t[1];
+    }
+    for (; e < end; ++e) acc += m.val[e] * x[m.col[e]];
+    return acc;
+  }
+};
+
+}  // namespace
+
+const KernelSet& neonKernels() {
+  static constexpr KernelSet kSet{&panelGatherImpl<NeonLanes>,
+                                  &rowGatherImpl<NeonRow>,
+                                  &maskedRowGatherImpl<NeonRow>,
+                                  /*lanes=*/2, /*compiled=*/true};
+  return kSet;
+}
+
+}  // namespace mimostat::la::detail
+
+#else  // !__aarch64__
+
+namespace mimostat::la::detail {
+const KernelSet& neonKernels() { return scalarStandIn(); }
+}  // namespace mimostat::la::detail
+
+#endif

@@ -1,0 +1,66 @@
+// SSE2 kernels (x86-64 baseline, 2 double lanes). Built without extra ISA
+// flags — __SSE2__ is implied by the x86-64 ABI, so this TU compiles to the
+// scalar stand-in only on non-x86 hosts.
+//
+// lint:allow(simd-intrinsics: per-target kernel TU inside src/la/)
+#include "la/simd_kernels.hpp"
+
+#if defined(__SSE2__)
+
+#include <emmintrin.h>
+
+namespace mimostat::la::detail {
+namespace {
+
+struct Sse2Lanes {
+  using Vec = __m128d;
+  static constexpr std::size_t kLanes = 2;
+  static Vec zero() { return _mm_setzero_pd(); }
+  static Vec broadcast(double v) { return _mm_set1_pd(v); }
+  static Vec loadu(const double* p) { return _mm_loadu_pd(p); }
+  static void storeu(double* p, Vec v) { _mm_storeu_pd(p, v); }
+  // Separate mul and add (never an FMA): each lane rounds twice, exactly
+  // like the scalar reference.
+  static Vec mul(Vec a, Vec b) { return _mm_mul_pd(a, b); }
+  static Vec add(Vec a, Vec b) { return _mm_add_pd(a, b); }
+};
+
+struct Sse2Row {
+  // 2-term blocks: vector multiply, then the two lane products added back
+  // in ascending-entry order — the accumulator sees the exact scalar
+  // sequence, so the reduction order over the nonzeros is untouched.
+  static double gather(const CsrView& m, const double* x, std::uint64_t begin,
+                       std::uint64_t end) {
+    double acc = 0.0;
+    std::uint64_t e = begin;
+    for (; e + 2 <= end; e += 2) {
+      const __m128d xv = _mm_set_pd(x[m.col[e + 1]], x[m.col[e]]);
+      alignas(16) double t[2];
+      _mm_store_pd(t, _mm_mul_pd(_mm_loadu_pd(m.val + e), xv));
+      acc += t[0];
+      acc += t[1];
+    }
+    for (; e < end; ++e) acc += m.val[e] * x[m.col[e]];
+    return acc;
+  }
+};
+
+}  // namespace
+
+const KernelSet& sse2Kernels() {
+  static constexpr KernelSet kSet{&panelGatherImpl<Sse2Lanes>,
+                                  &rowGatherImpl<Sse2Row>,
+                                  &maskedRowGatherImpl<Sse2Row>,
+                                  /*lanes=*/2, /*compiled=*/true};
+  return kSet;
+}
+
+}  // namespace mimostat::la::detail
+
+#else  // !__SSE2__
+
+namespace mimostat::la::detail {
+const KernelSet& sse2Kernels() { return scalarStandIn(); }
+}  // namespace mimostat::la::detail
+
+#endif

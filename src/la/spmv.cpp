@@ -1,6 +1,10 @@
 #include "la/spmv.hpp"
 
 #include <cassert>
+#include <string>
+
+#include "la/simd_kernels.hpp"
+#include "obs/metrics.hpp"
 
 namespace mimostat::la {
 
@@ -17,91 +21,52 @@ namespace {
 // value vectors. Dropping the branch keeps the gather loop a pure
 // multiply-add stream the compiler can pipeline (tests assert bitwise
 // equality against the legacy scatter, zeros included).
+//
+// Since the SIMD dispatch layer (la/simd.hpp) the kernels themselves live
+// in simd_kernels.hpp as per-target instantiations: lanes run across the k
+// RHS columns of one row, never across a row's nonzeros, so every target
+// reproduces the scalar reference bit for bit. This file owns the dispatch
+// resolution, the column-panel decomposition and the block/panel fan-out.
 
-/// y[r] = sum_k M.val[k] * x[M.col[k]] over rows [rowBegin, rowEnd).
-void gatherRows(const CsrMatrix& M, const double* x, double* y,
-                std::uint32_t rowBegin, std::uint32_t rowEnd) {
-  const std::uint64_t* rowPtr = M.rowPtr().data();
-  const std::uint32_t* col = M.col().data();
-  const double* val = M.val().data();
-  for (std::uint32_t r = rowBegin; r < rowEnd; ++r) {
-    double acc = 0.0;
-    for (std::uint64_t k = rowPtr[r]; k < rowPtr[r + 1]; ++k) {
-      acc += val[k] * x[col[k]];
+/// Process-wide dispatch/panel counters. Handles are resolved once and
+/// cached — MetricsRegistry::counter takes the registry mutex, the cached
+/// Counter::add is a relaxed sharded atomic, cheap enough for kernel entry.
+struct SimdMetrics {
+  obs::Counter dispatch;
+  obs::Counter byTarget[kSimdTargetCount];
+  obs::Counter panels;
+};
+
+const SimdMetrics& simdMetrics() {
+  static const SimdMetrics* const kMetrics = [] {
+    auto* m = new SimdMetrics;
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    m->dispatch = reg.counter("la.simd.dispatch");
+    for (std::size_t t = 0; t < kSimdTargetCount; ++t) {
+      m->byTarget[t] = reg.counter(
+          std::string("la.simd.dispatch.") +
+          simdTargetName(static_cast<SimdTarget>(t)));
     }
-    y[r] = acc;
-  }
+    m->panels = reg.counter("la.spmm.panels");
+    return m;
+  }();
+  return *kMetrics;
 }
 
-/// Multi-vector gather in strips of up to kStrip vectors: each strip
-/// traverses the rows once with stack accumulators (one cache line of
-/// doubles), so k <= kStrip right-hand sides cost a single pass. Per
-/// vector the add sequence is identical to gatherRows, so SpMM output j is
-/// bitwise equal to the j-th SpMV. `masks` (nullable, k packed column
-/// BitVectors of numRows bits) freezes entries: a masked (r, j) keeps X's
-/// value — the gathered accumulator is discarded, never observed, so
-/// frozen columns cannot perturb live ones. Membership is a word-indexed
-/// bit read off the column's word array; the per-row add sequence is
-/// untouched, so outputs stay bit-identical to the byte-mask path this
-/// replaced.
-constexpr std::size_t kStrip = 8;
+/// Resolve the call's dispatch target, bump the obs counters, return the
+/// kernel set to run.
+const detail::KernelSet& dispatchKernels(const Exec& exec,
+                                         SimdTarget* resolved) {
+  const SimdTarget target = resolveSimdTarget(exec.simd);
+  const SimdMetrics& metrics = simdMetrics();
+  metrics.dispatch.inc();
+  metrics.byTarget[static_cast<std::size_t>(target)].inc();
+  if (resolved != nullptr) *resolved = target;
+  return detail::kernelsFor(target);
+}
 
-void gatherRowsMulti(const CsrMatrix& M, const double* X, std::size_t k,
-                     const BitVector* masks, double* Y,
-                     std::uint32_t rowBegin, std::uint32_t rowEnd) {
-  const std::uint64_t* rowPtr = M.rowPtr().data();
-  const std::uint32_t* col = M.col().data();
-  const double* val = M.val().data();
-  if (k == 1) {
-    // Single-column fast path: the strip loop's per-entry width iteration
-    // costs ~2x against the plain scalar gather on width-1 workloads
-    // (per-formula bounded checks). Frozen rows skip their gather outright
-    // — the accumulator would be discarded anyway — matching the legacy
-    // bounded-until loop's work profile as well as its bits.
-    const std::uint64_t* mw =
-        masks != nullptr ? masks[0].words().data() : nullptr;
-    for (std::uint32_t r = rowBegin; r < rowEnd; ++r) {
-      if (mw != nullptr && ((mw[r >> 6] >> (r & 63)) & 1u) != 0) {
-        Y[r] = X[r];
-        continue;
-      }
-      double acc = 0.0;
-      for (std::uint64_t e = rowPtr[r]; e < rowPtr[r + 1]; ++e) {
-        acc += val[e] * X[col[e]];
-      }
-      Y[r] = acc;
-    }
-    return;
-  }
-  for (std::size_t j0 = 0; j0 < k; j0 += kStrip) {
-    const std::size_t width = k - j0 < kStrip ? k - j0 : kStrip;
-    const std::uint64_t* mw[kStrip] = {};
-    if (masks != nullptr) {
-      for (std::size_t j = 0; j < width; ++j) {
-        mw[j] = masks[j0 + j].words().data();
-      }
-    }
-    for (std::uint32_t r = rowBegin; r < rowEnd; ++r) {
-      double acc[kStrip] = {0.0};
-      for (std::uint64_t e = rowPtr[r]; e < rowPtr[r + 1]; ++e) {
-        const double* xs = X + static_cast<std::size_t>(col[e]) * k + j0;
-        const double v = val[e];
-        for (std::size_t j = 0; j < width; ++j) acc[j] += v * xs[j];
-      }
-      const std::size_t base = static_cast<std::size_t>(r) * k + j0;
-      double* out = Y + base;
-      if (masks == nullptr) {
-        for (std::size_t j = 0; j < width; ++j) out[j] = acc[j];
-      } else {
-        const double* xr = X + base;
-        const std::size_t word = r >> 6;
-        const unsigned bit = r & 63;
-        for (std::size_t j = 0; j < width; ++j) {
-          out[j] = ((mw[j][word] >> bit) & 1u) != 0 ? xr[j] : acc[j];
-        }
-      }
-    }
-  }
+detail::CsrView viewOf(const CsrMatrix& M) {
+  return {M.rowPtr().data(), M.col().data(), M.val().data()};
 }
 
 /// Run `body` over the matrix's block row-partition: sequentially, or one
@@ -122,15 +87,109 @@ void forEachBlock(const CsrMatrix& M, const Exec& exec, const Body& body) {
   exec.runner(std::move(tasks));
 }
 
+std::size_t panelWidthFor(const CsrMatrix& M, std::size_t k,
+                          std::size_t lanes, const Exec& exec) {
+  if (exec.spmmPanelColumns) {
+    std::size_t w = *exec.spmmPanelColumns;
+    if (w < 1) w = 1;
+    if (w > detail::kMaxPanelColumns) w = detail::kMaxPanelColumns;
+    return w;
+  }
+  return spmmPanelWidth(M.numCols(), k, lanes);
+}
+
 void spmmImpl(const CsrMatrix& M, const std::vector<double>& X, std::size_t k,
               const BitVector* masks, std::vector<double>& Y,
-              const Exec& exec) {
-  assert(k > 0);
+              const Exec& exec, SpmmStats* stats) {
   assert(X.size() == static_cast<std::size_t>(M.numCols()) * k);
+  SimdTarget target = SimdTarget::kScalar;
+  const detail::KernelSet& ks = dispatchKernels(exec, &target);
+  if (stats != nullptr) *stats = SpmmStats{0, 0, target};
   Y.resize(static_cast<std::size_t>(M.numRows()) * k);
-  forEachBlock(M, exec, [&](std::uint32_t begin, std::uint32_t end) {
-    gatherRowsMulti(M, X.data(), k, masks, Y.data(), begin, end);
-  });
+  if (k == 0) return;  // empty tile: nothing to traverse
+  const detail::CsrView view = viewOf(M);
+
+  if (k == 1) {
+    // Single-column fast path: the panel loop's per-entry width iteration
+    // costs ~2x against the plain row gather on width-1 workloads
+    // (per-formula bounded checks). Frozen rows skip their gather outright
+    // — the accumulator would be discarded anyway — matching the legacy
+    // bounded-until loop's work profile as well as its bits.
+    const std::uint64_t* mw =
+        masks != nullptr ? masks[0].words().data() : nullptr;
+    forEachBlock(M, exec, [&](std::uint32_t begin, std::uint32_t end) {
+      if (mw != nullptr) {
+        ks.maskedRowGather(view, X.data(), mw, Y.data(), begin, end);
+      } else {
+        ks.rowGather(view, X.data(), Y.data(), begin, end);
+      }
+    });
+    const SimdMetrics& metrics = simdMetrics();
+    metrics.panels.inc();
+    if (stats != nullptr) stats->panels = 1;
+    return;
+  }
+
+  // Column-panel decomposition: tile the k RHS columns into lane-aligned
+  // panels (L2-sized when that keeps a panel's X slice cache-resident — see
+  // spmmPanelWidth) and reuse one CSR traversal per panel. Each panel's
+  // packed-mask pointers are resolved once, outside the row loops.
+  const std::size_t width = panelWidthFor(M, k, ks.lanes, exec);
+  const std::size_t panels = (k + width - 1) / width;
+  std::vector<std::vector<const std::uint64_t*>> panelMasks;
+  if (masks != nullptr) {
+    panelMasks.resize(panels);
+    for (std::size_t p = 0; p < panels; ++p) {
+      const std::size_t j0 = p * width;
+      const std::size_t w = k - j0 < width ? k - j0 : width;
+      panelMasks[p].resize(w);
+      for (std::size_t j = 0; j < w; ++j) {
+        panelMasks[p][j] = masks[j0 + j].words().data();
+      }
+    }
+  }
+
+  std::uint64_t columnTasks = 0;
+  if (!exec.parallelFor(M.numNonZeros()) ||
+      (M.blockCount() <= 1 && panels <= 1)) {
+    for (std::size_t p = 0; p < panels; ++p) {
+      const std::size_t j0 = p * width;
+      const std::size_t w = k - j0 < width ? k - j0 : width;
+      ks.panelGather(view, X.data(), k, j0, w,
+                     masks != nullptr ? panelMasks[p].data() : nullptr,
+                     Y.data(), 0, M.numRows());
+    }
+  } else {
+    // Column-wise split across the pool: the task grid is row blocks x
+    // column panels, so a wide group parallelizes even when the matrix has
+    // few row blocks (the "many small columns" shape). Every (row, column)
+    // output cell belongs to exactly one (block, panel) task and each
+    // column's accumulation order is fixed, so the fan-out stays race-free
+    // and bit-identical at any thread count.
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(M.blockCount() * panels);
+    for (std::size_t b = 0; b < M.blockCount(); ++b) {
+      for (std::size_t p = 0; p < panels; ++p) {
+        tasks.push_back([&M, &X, k, width, p, b, &ks, view, &panelMasks,
+                         masks, &Y] {
+          const std::size_t j0 = p * width;
+          const std::size_t w = k - j0 < width ? k - j0 : width;
+          ks.panelGather(view, X.data(), k, j0, w,
+                         masks != nullptr ? panelMasks[p].data() : nullptr,
+                         Y.data(), M.blockBegin(b), M.blockEnd(b));
+        });
+      }
+    }
+    columnTasks = tasks.size();
+    exec.runner(std::move(tasks));
+  }
+
+  const SimdMetrics& metrics = simdMetrics();
+  metrics.panels.add(panels);
+  if (stats != nullptr) {
+    stats->panels = panels;
+    stats->columnTasks = columnTasks;
+  }
 }
 
 #ifndef NDEBUG
@@ -150,9 +209,11 @@ void spmv(const CsrMatrix& A, const std::vector<double>& x,
           std::vector<double>& y, const Exec& exec) {
   A.requireOriginal("la::spmv");
   assert(x.size() == A.numCols());
+  const detail::KernelSet& ks = dispatchKernels(exec, nullptr);
+  const detail::CsrView view = viewOf(A);
   y.resize(A.numRows());
   forEachBlock(A, exec, [&](std::uint32_t begin, std::uint32_t end) {
-    gatherRows(A, x.data(), y.data(), begin, end);
+    ks.rowGather(view, x.data(), y.data(), begin, end);
   });
 }
 
@@ -168,7 +229,8 @@ void spmvLeft(const CsrMatrix& A, const std::vector<double>& x,
   // sparsity is invisible to results. The support scan exits as soon as x
   // is provably dense, so dense steps pay O(cap), not O(n). The scatter
   // reads the original orientation, so a transpose-only matrix always
-  // takes the (bitwise-identical) gather below.
+  // takes the (bitwise-identical) gather below. The scatter stays scalar —
+  // it is support-bound, not lane-bound — so it skips SIMD dispatch.
   const std::uint32_t n = A.numRows();
   if (A.hasOriginal()) {
     const std::uint32_t sparseCap = n / 64 + 1;
@@ -192,39 +254,42 @@ void spmvLeft(const CsrMatrix& A, const std::vector<double>& x,
     }
   }
 
+  const detail::KernelSet& ks = dispatchKernels(exec, nullptr);
+  const detail::CsrView view = viewOf(T);
   y.resize(T.numRows());
   forEachBlock(T, exec, [&](std::uint32_t begin, std::uint32_t end) {
-    gatherRows(T, x.data(), y.data(), begin, end);
+    ks.rowGather(view, x.data(), y.data(), begin, end);
   });
 }
 
 void spmm(const CsrMatrix& A, const std::vector<double>& X, std::size_t k,
-          std::vector<double>& Y, const Exec& exec) {
+          std::vector<double>& Y, const Exec& exec, SpmmStats* stats) {
   A.requireOriginal("la::spmm");
-  spmmImpl(A, X, k, nullptr, Y, exec);
+  spmmImpl(A, X, k, nullptr, Y, exec, stats);
 }
 
 void spmmLeft(const CsrMatrix& A, const std::vector<double>& X, std::size_t k,
-              std::vector<double>& Y, const Exec& exec) {
-  spmmImpl(A.transposed(), X, k, nullptr, Y, exec);
+              std::vector<double>& Y, const Exec& exec, SpmmStats* stats) {
+  spmmImpl(A.transposed(), X, k, nullptr, Y, exec, stats);
 }
 
 void spmmMasked(const CsrMatrix& A, const std::vector<double>& X,
                 std::size_t k, const std::vector<BitVector>& masks,
-                std::vector<double>& Y, const Exec& exec) {
+                std::vector<double>& Y, const Exec& exec, SpmmStats* stats) {
   A.requireOriginal("la::spmmMasked");
   assert(A.numRows() == A.numCols());
   assert(masksMatch(masks, k, A.numRows()));
-  spmmImpl(A, X, k, masks.data(), Y, exec);
+  spmmImpl(A, X, k, masks.data(), Y, exec, stats);
 }
 
 void spmmLeftMasked(const CsrMatrix& A, const std::vector<double>& X,
                     std::size_t k, const std::vector<BitVector>& masks,
-                    std::vector<double>& Y, const Exec& exec) {
+                    std::vector<double>& Y, const Exec& exec,
+                    SpmmStats* stats) {
   const CsrMatrix& T = A.transposed();
   assert(A.numRows() == A.numCols());
   assert(masksMatch(masks, k, A.numRows()));
-  spmmImpl(T, X, k, masks.data(), Y, exec);
+  spmmImpl(T, X, k, masks.data(), Y, exec, stats);
 }
 
 }  // namespace mimostat::la

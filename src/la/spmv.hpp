@@ -32,6 +32,16 @@
 // are bit-identical to the legacy n x k byte-mask path (kept in tests and
 // benches as the oracle) at any thread count — while the masks themselves
 // cost 8x less memory.
+//
+// Every kernel dispatches to a SIMD target (la/simd.hpp: scalar, SSE2,
+// AVX2 or NEON — probed once, forceable via Exec::simd or MIMOSTAT_SIMD).
+// Vector lanes run across the k RHS columns of a row, never across a row's
+// nonzeros, and FMA stays off, so every target reproduces the scalar
+// reference bit for bit. The SpMM variants additionally tile the k columns
+// into lane-aligned panels (one CSR traversal per panel, L2-sized when
+// that keeps a panel's X slice cache-resident) and, when parallel, fan out
+// a row-block x column-panel task grid — the column-wise split that beats
+// pure block-row parallelism on wide, short groups.
 #pragma once
 
 #include <cstddef>
@@ -41,6 +51,7 @@
 #include "la/bit_vector.hpp"
 #include "la/csr_matrix.hpp"
 #include "la/exec.hpp"
+#include "la/simd.hpp"
 
 namespace mimostat::la {
 
@@ -54,14 +65,18 @@ void spmvLeft(const CsrMatrix& A, const std::vector<double>& x,
               std::vector<double>& y, const Exec& exec = {});
 
 /// Y = A X for k column vectors stored row-major (n x k).
-/// X.size() == numCols * k, Y resized to numRows * k.
+/// X.size() == numCols * k, Y resized to numRows * k. `stats` (optional)
+/// receives the call's panel/dispatch accounting (same for the variants
+/// below); k == 0 is a valid empty tile.
 void spmm(const CsrMatrix& A, const std::vector<double>& X, std::size_t k,
-          std::vector<double>& Y, const Exec& exec = {});
+          std::vector<double>& Y, const Exec& exec = {},
+          SpmmStats* stats = nullptr);
 
 /// Y = X^T A for k row vectors stored row-major (n x k). Requires
 /// A.hasTranspose(). X.size() == numRows * k, Y resized to numCols * k.
 void spmmLeft(const CsrMatrix& A, const std::vector<double>& X, std::size_t k,
-              std::vector<double>& Y, const Exec& exec = {});
+              std::vector<double>& Y, const Exec& exec = {},
+              SpmmStats* stats = nullptr);
 
 /// Y = A X with per-entry freezing: Y[s*k+j] = masks[j].get(s) ? X[s*k+j]
 /// : (A X)[s*k+j]. Requires a square-shaped use (X rows must line up with
@@ -70,13 +85,15 @@ void spmmLeft(const CsrMatrix& A, const std::vector<double>& X, std::size_t k,
 /// all-zero BitVector is an unmasked column).
 void spmmMasked(const CsrMatrix& A, const std::vector<double>& X,
                 std::size_t k, const std::vector<BitVector>& masks,
-                std::vector<double>& Y, const Exec& exec = {});
+                std::vector<double>& Y, const Exec& exec = {},
+                SpmmStats* stats = nullptr);
 
 /// Y = X^T A with per-entry freezing over the output rows (same contract
 /// as spmmMasked, via the stable transpose). Requires A.hasTranspose() and
 /// numRows == numCols.
 void spmmLeftMasked(const CsrMatrix& A, const std::vector<double>& X,
                     std::size_t k, const std::vector<BitVector>& masks,
-                    std::vector<double>& Y, const Exec& exec = {});
+                    std::vector<double>& Y, const Exec& exec = {},
+                    SpmmStats* stats = nullptr);
 
 }  // namespace mimostat::la

@@ -216,7 +216,7 @@ void Checker::runBoundedGroup(
     const pctl::EvalPlan& plan, const std::vector<pctl::Property>& properties,
     const std::vector<la::BitVector>& maskValues,
     const std::vector<std::string>& maskErrors,
-    std::vector<CheckResult>& results) const {
+    std::vector<CheckResult>& results, pctl::PlanStats* planStats) const {
   obs::Span groupSpan("mc.boundedTraversal", options_.traceParent);
   // Refuse transpose-only models before any per-column work: checkAll's
   // group task captures this as a per-property error on every bounded
@@ -303,6 +303,8 @@ void Checker::runBoundedGroup(
   // matrix work is sum of per-column bounds while the traversal count
   // stays ~1 per step.
   std::vector<double> scratch;
+  la::SpmmStats stepStats;
+  std::uint64_t spmmPanels = 0;
   for (std::uint64_t t = 0;; ++t) {
     for (const pctl::EvalPlan::BoundedReadout& readout : plan.bounded) {
       if (readout.bound == t && columnError[readout.column].empty()) {
@@ -345,12 +347,18 @@ void Checker::runBoundedGroup(
       // profiling the masked SpMM itself.
       obs::Span step("mc.boundedTraversal.step");
       la::spmmMasked(dtmc_.matrix(), X, width, colMasks, scratch,
-                     options_.exec);
+                     options_.exec, &stepStats);
     } else {
       la::spmmMasked(dtmc_.matrix(), X, width, colMasks, scratch,
-                     options_.exec);
+                     options_.exec, &stepStats);
     }
+    spmmPanels += stepStats.panels;
     X.swap(scratch);
+  }
+  if (planStats != nullptr) {
+    // Compaction narrows the tile between steps, so the per-step panel
+    // counts genuinely vary — the sum is the group's total CSR traversals.
+    planStats->spmmPanels = spmmPanels;
   }
 
   const double seconds = groupSpan.stopSeconds();
@@ -482,6 +490,11 @@ std::vector<CheckResult> Checker::checkAll(
       stats.maskBytesByte += mask.size();
     }
     stats.planSeconds = planSeconds;
+    // The dispatch target is a request-level resolution (Exec::simd
+    // override, else the process-wide active target) — record it even when
+    // no bounded group runs, so diagnostics always say what la:: used.
+    stats.simdTarget =
+        la::simdTargetName(la::resolveSimdTarget(options_.exec.simd));
     *planStats = stats;
   }
 
@@ -513,9 +526,12 @@ std::vector<CheckResult> Checker::checkAll(
   }
   if (!plan.bounded.empty()) {
     tasks.push_back([this, &plan, &properties, &maskValues, &maskErrors,
-                     &results] {
+                     &results, planStats] {
       try {
-        runBoundedGroup(plan, properties, maskValues, maskErrors, results);
+        // planStats' spmmPanels is written only here (the group's own
+        // task); checkAll reads it back after the runner joins.
+        runBoundedGroup(plan, properties, maskValues, maskErrors, results,
+                        planStats);
       } catch (const std::exception& e) {
         for (const pctl::EvalPlan::BoundedReadout& r : plan.bounded) {
           if (results[r.property].error.empty()) {

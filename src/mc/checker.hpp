@@ -154,12 +154,15 @@ class Checker {
       const std::vector<la::BitVector>& maskValues) const;
 
   /// All bounded readouts of the plan: one masked SpMM traversal, columns
-  /// sampled at their bounds.
+  /// sampled at their bounds. `planStats` (nullable) accumulates the
+  /// traversal's per-step panel counts (PlanStats::spmmPanels) — written
+  /// only from the group's own task, after the traversal finishes.
   void runBoundedGroup(const pctl::EvalPlan& plan,
                        const std::vector<pctl::Property>& properties,
                        const std::vector<la::BitVector>& maskValues,
                        const std::vector<std::string>& maskErrors,
-                       std::vector<CheckResult>& results) const;
+                       std::vector<CheckResult>& results,
+                       pctl::PlanStats* planStats) const;
 
   /// All transient entries of the plan: one forward sweep to the maximum
   /// horizon, reward dot products deduplicated per step.

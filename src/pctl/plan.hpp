@@ -70,6 +70,14 @@ struct PlanStats {
   /// "pctl.plan" span). Filled by the executor (mc::Checker::checkAll);
   /// diagnostics only — never feeds exported values or ordering.
   double planSeconds = 0.0;
+  /// Column panels the bounded group's masked traversal processed, summed
+  /// over its steps (one CSR traversal per panel per step — la::SpmmStats).
+  /// Filled by the executor; zero when no bounded group ran.
+  std::uint64_t spmmPanels = 0;
+  /// SIMD dispatch target the la:: kernels resolved for this request
+  /// ("scalar"/"sse2"/"avx2"/"neon" — la::simdTargetName). Filled by the
+  /// executor; purely diagnostic, values are bit-identical across targets.
+  std::string simdTarget;
 };
 
 struct EvalPlan {

@@ -78,6 +78,70 @@ std::string jsonParamValue(const ParamValue& value) {
   return formatParamValue(value);
 }
 
+/// One opt-in diagnostic CSV column. The table below is sorted by name and
+/// must stay sorted: header order is NAME order, not append order, so
+/// adding a counter can never reshuffle existing columns under a consumer
+/// (a test asserts the ordering).
+struct DiagnosticColumn {
+  const char* name;
+  std::string (*value)(const ResultRow& row);
+};
+
+constexpr DiagnosticColumn kDiagnosticColumns[] = {
+    {"build_seconds",
+     [](const ResultRow& r) { return formatDouble(r.buildSeconds); }},
+    {"cache_hit",
+     [](const ResultRow& r) {
+       return std::string(r.cacheHit ? "true" : "false");
+     }},
+    {"check_seconds",
+     [](const ResultRow& r) { return formatDouble(r.checkSeconds); }},
+    {"reduce_states_after",
+     [](const ResultRow& r) {
+       return std::to_string(r.reduction.statesAfter);
+     }},
+    {"reduce_states_before",
+     [](const ResultRow& r) {
+       return std::to_string(r.reduction.statesBefore);
+     }},
+    {"reduced",
+     [](const ResultRow& r) {
+       return std::string(r.reduction.applied ? "true" : "false");
+     }},
+    {"simd", [](const ResultRow& r) { return csvEscape(r.plan.simdTarget); }},
+    {"solver",
+     [](const ResultRow& r) {
+       return r.solver ? csvEscape(r.solver->solver) : std::string();
+     }},
+    {"solver_converged",
+     [](const ResultRow& r) {
+       return r.solver ? std::string(r.solver->converged ? "true" : "false")
+                       : std::string();
+     }},
+    {"solver_iterations",
+     [](const ResultRow& r) {
+       return r.solver ? std::to_string(r.solver->iterations) : std::string();
+     }},
+    {"solver_residual",
+     [](const ResultRow& r) {
+       return r.solver ? formatDouble(r.solver->residual) : std::string();
+     }},
+    {"spmm_panels",
+     [](const ResultRow& r) { return std::to_string(r.plan.spmmPanels); }},
+    {"t_build",
+     [](const ResultRow& r) { return formatDouble(r.timing.buildSeconds); }},
+    {"t_check",
+     [](const ResultRow& r) { return formatDouble(r.timing.checkSeconds); }},
+    {"t_plan",
+     [](const ResultRow& r) { return formatDouble(r.timing.planSeconds); }},
+    {"t_queue",
+     [](const ResultRow& r) { return formatDouble(r.timing.queueSeconds); }},
+    {"t_reduce",
+     [](const ResultRow& r) {
+       return formatDouble(r.reduction.reduceSeconds);
+     }},
+};
+
 }  // namespace
 
 std::string PivotTable::format(const std::string& title) const {
@@ -191,9 +255,9 @@ void ResultTable::writeCsv(std::ostream& os,
         "batched,tasks_planned,tasks_deduped,traversals_saved,"
         "ci_low,ci_high,error";
   if (options.diagnostics) {
-    os << ",cache_hit,build_seconds,check_seconds,solver,solver_iterations,"
-          "solver_residual,solver_converged,t_queue,t_build,t_plan,t_check,"
-          "reduced,reduce_states_before,reduce_states_after,t_reduce";
+    for (const DiagnosticColumn& column : kDiagnosticColumns) {
+      os << ',' << column.name;
+    }
   }
   os << '\n';
   for (const auto& row : rows_) {
@@ -217,24 +281,9 @@ void ResultTable::writeCsv(std::ostream& os,
     }
     os << ',' << csvEscape(row.error);
     if (options.diagnostics) {
-      os << ',' << (row.cacheHit ? "true" : "false") << ','
-         << formatDouble(row.buildSeconds) << ','
-         << formatDouble(row.checkSeconds);
-      if (row.solver) {
-        os << ',' << csvEscape(row.solver->solver) << ','
-           << row.solver->iterations << ','
-           << formatDouble(row.solver->residual) << ','
-           << (row.solver->converged ? "true" : "false");
-      } else {
-        os << ",,,,";
+      for (const DiagnosticColumn& column : kDiagnosticColumns) {
+        os << ',' << column.value(row);
       }
-      os << ',' << formatDouble(row.timing.queueSeconds) << ','
-         << formatDouble(row.timing.buildSeconds) << ','
-         << formatDouble(row.timing.planSeconds) << ','
-         << formatDouble(row.timing.checkSeconds);
-      os << ',' << (row.reduction.applied ? "true" : "false") << ','
-         << row.reduction.statesBefore << ',' << row.reduction.statesAfter
-         << ',' << formatDouble(row.reduction.reduceSeconds);
     }
     os << '\n';
   }
@@ -296,6 +345,8 @@ void ResultTable::writeJson(std::ostream& os,
          << ",\"cacheHit\":" << (row.reduction.cacheHit ? "true" : "false")
          << ",\"statesBefore\":" << row.reduction.statesBefore
          << ",\"statesAfter\":" << row.reduction.statesAfter << '}';
+      os << ",\"simd\":\"" << jsonEscape(row.plan.simdTarget) << '"'
+         << ",\"spmmPanels\":" << row.plan.spmmPanels;
     }
     os << ",\"error\":\"" << jsonEscape(row.error) << "\"}";
   }

@@ -80,11 +80,14 @@ struct ResultRow {
 
 struct ExportOptions {
   /// Include diagnostic columns: cache_hit, the build/check wall-clock
-  /// columns, and the iterative-solver report (solver, solver_iterations,
-  /// solver_residual, solver_converged). Off by default so exports are
-  /// byte-deterministic (cache-hit attribution races between concurrent
-  /// requests that share a build; timings always vary — solver columns are
-  /// themselves deterministic, but they ride the same opt-in).
+  /// columns, the iterative-solver report (solver, solver_iterations,
+  /// solver_residual, solver_converged), the reduction outcome and the
+  /// SIMD/panel counters (simd, spmm_panels). Diagnostic columns are
+  /// emitted sorted by NAME, so the header stays stable as counters are
+  /// added. Off by default so exports are byte-deterministic (cache-hit
+  /// attribution races between concurrent requests that share a build;
+  /// timings always vary — solver/simd columns are themselves
+  /// deterministic, but they ride the same opt-in).
   bool diagnostics = false;
 };
 

@@ -6,8 +6,11 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "dtmc/builder.hpp"
@@ -15,8 +18,10 @@
 #include "engine/thread_pool.hpp"
 #include "la/csr_matrix.hpp"
 #include "la/exec.hpp"
+#include "la/simd.hpp"
 #include "la/solver.hpp"
 #include "la/spmv.hpp"
+#include "obs/metrics.hpp"
 #include "mc/checker.hpp"
 #include "mc/steady.hpp"
 #include "mc/transient.hpp"
@@ -874,7 +879,9 @@ TEST(Checker, JacobiOptionMatchesGaussSeidelValues) {
 }
 
 TEST(Engine, SolverDiagnosticsReachResults) {
-  engine::AnalysisEngine engine(engine::EngineOptions{.threads = 2});
+  engine::EngineOptions options;
+  options.threads = 2;
+  engine::AnalysisEngine engine(options);
   const auto model = test::gamblersRuin(10, 0.5, 4);
   engine::AnalysisRequest request;
   request.model = &model;
@@ -912,6 +919,335 @@ TEST(Engine, ExactResultsBitIdenticalAcrossPoolSizes) {
   }
   EXPECT_TRUE(bitEqual(values[1], values[0]));
   EXPECT_TRUE(bitEqual(values[2], values[0]));
+}
+
+// ------------------------------------------------------------------ SIMD
+
+std::vector<la::SimdTarget> supportedTargets() {
+  std::vector<la::SimdTarget> targets;
+  for (const la::SimdTarget t :
+       {la::SimdTarget::kScalar, la::SimdTarget::kSse2, la::SimdTarget::kAvx2,
+        la::SimdTarget::kNeon}) {
+    if (la::simdTargetSupported(t)) targets.push_back(t);
+  }
+  return targets;
+}
+
+TEST(Simd, TargetNamesRoundTripAndScalarAlwaysWorks) {
+  for (const la::SimdTarget t : supportedTargets()) {
+    const char* name = la::simdTargetName(t);
+    const std::optional<la::SimdTarget> parsed = la::parseSimdTarget(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, t);
+    EXPECT_GE(la::simdLanes(t), 1u);
+  }
+  EXPECT_FALSE(la::parseSimdTarget("bogus").has_value());
+  EXPECT_FALSE(la::parseSimdTarget("").has_value());
+  // The scalar reference is compiled into every build; the probed best
+  // target must itself pass the support probe.
+  EXPECT_TRUE(la::simdTargetSupported(la::SimdTarget::kScalar));
+  EXPECT_EQ(la::simdLanes(la::SimdTarget::kScalar), 1u);
+  EXPECT_TRUE(la::simdTargetSupported(la::bestSimdTarget()));
+}
+
+TEST(Simd, ResolveEnvValueBranches) {
+  std::string warning;
+  // Absent / empty picks the probed best target, silently.
+  EXPECT_EQ(la::resolveSimdEnvValue(nullptr, &warning), la::bestSimdTarget());
+  EXPECT_TRUE(warning.empty()) << warning;
+  EXPECT_EQ(la::resolveSimdEnvValue("", &warning), la::bestSimdTarget());
+  EXPECT_TRUE(warning.empty()) << warning;
+  // A supported explicit name wins.
+  for (const la::SimdTarget t : supportedTargets()) {
+    warning.clear();
+    EXPECT_EQ(la::resolveSimdEnvValue(la::simdTargetName(t), &warning), t);
+    EXPECT_TRUE(warning.empty()) << warning;
+  }
+  // Unknown values degrade to scalar with a warning — never to a wider
+  // target (a typo must not silently change which kernels run).
+  warning.clear();
+  EXPECT_EQ(la::resolveSimdEnvValue("bogus", &warning),
+            la::SimdTarget::kScalar);
+  EXPECT_FALSE(warning.empty());
+  // So do names this binary cannot run (compiled out or unsupported CPU).
+  for (const la::SimdTarget t :
+       {la::SimdTarget::kSse2, la::SimdTarget::kAvx2,
+        la::SimdTarget::kNeon}) {
+    if (la::simdTargetSupported(t)) continue;
+    warning.clear();
+    EXPECT_EQ(la::resolveSimdEnvValue(la::simdTargetName(t), &warning),
+              la::SimdTarget::kScalar);
+    EXPECT_FALSE(warning.empty()) << la::simdTargetName(t);
+  }
+}
+
+TEST(Simd, EnvVariableRoutesThroughResolution) {
+  // activeSimdTarget() latches its first read, so the integration check
+  // goes through simdTargetFromEnv() directly.
+  ASSERT_EQ(setenv("MIMOSTAT_SIMD", "scalar", 1), 0);
+  EXPECT_EQ(la::simdTargetFromEnv(), la::SimdTarget::kScalar);
+  ASSERT_EQ(setenv("MIMOSTAT_SIMD", "definitely-not-a-target", 1), 0);
+  EXPECT_EQ(la::simdTargetFromEnv(), la::SimdTarget::kScalar);
+  ASSERT_EQ(unsetenv("MIMOSTAT_SIMD"), 0);
+  EXPECT_EQ(la::simdTargetFromEnv(), la::bestSimdTarget());
+}
+
+TEST(Simd, ResolvePrecedence) {
+  EXPECT_EQ(la::resolveSimdTarget(std::nullopt), la::activeSimdTarget());
+  for (const la::SimdTarget t : supportedTargets()) {
+    EXPECT_EQ(la::resolveSimdTarget(t), t);
+  }
+  // A forced-but-unsupported target degrades to scalar, never wider.
+  for (const la::SimdTarget t :
+       {la::SimdTarget::kSse2, la::SimdTarget::kAvx2,
+        la::SimdTarget::kNeon}) {
+    if (la::simdTargetSupported(t)) continue;
+    EXPECT_EQ(la::resolveSimdTarget(t), la::SimdTarget::kScalar);
+  }
+}
+
+TEST(Simd, PanelWidthKeepsLaneMultiplesAndL2Residency) {
+  // Narrow tiles stay whole (no point splitting below one panel)...
+  EXPECT_EQ(la::spmmPanelWidth(100, 3, 4), 3u);
+  EXPECT_EQ(la::spmmPanelWidth(100, 1, 4), 1u);
+  EXPECT_EQ(la::spmmPanelWidth(100, 0, 4), 1u);
+  // ...wide tiles clamp to the 16-column cap, rounded to a lane multiple.
+  EXPECT_EQ(la::spmmPanelWidth(100, 40, 4), 16u);
+  EXPECT_EQ(la::spmmPanelWidth(100, 40, 1), 16u);
+  EXPECT_EQ(la::spmmPanelWidth(100, 14, 4), 12u);
+  // A tall RHS narrows the panel so one panel's X slice fits the fixed
+  // 256 KiB budget: 8192 rows * 8 bytes = 64 KiB per column -> 4 columns.
+  EXPECT_EQ(la::spmmPanelWidth(8192, 40, 4), 4u);
+  EXPECT_EQ(la::spmmPanelWidth(8192, 40, 2), 4u);
+  // When even one whole vector of columns blows the budget, narrowing
+  // would only re-stream the CSR arrays without a hit-rate win: go wide.
+  EXPECT_EQ(la::spmmPanelWidth(1u << 20, 40, 4), 16u);
+  EXPECT_EQ(la::spmmPanelWidth(0, 40, 4), 16u);
+}
+
+/// One SpMM workload: matrix, row-major RHS tile, byte mask + its packed
+/// per-column form. Deterministic in (n, k, seed).
+struct SpmmCase {
+  DenseCsr m;
+  std::size_t k = 0;
+  std::vector<double> X;
+  std::vector<std::uint8_t> mask;
+  std::vector<la::BitVector> packed;
+};
+
+SpmmCase makeSpmmCase(std::uint32_t n, std::size_t k, std::uint64_t seed) {
+  SpmmCase c{randomMatrix(n, 4, seed), k, {}, {}, {}};
+  c.X.resize(static_cast<std::size_t>(n) * k);
+  c.mask.resize(c.X.size());
+  util::Xoshiro256 rng(seed ^ 0x9e3779b97f4a7c15ull);
+  for (std::size_t i = 0; i < c.X.size(); ++i) {
+    c.X[i] = rng.nextDouble();
+    c.mask[i] = rng.nextDouble() < 0.25 ? 1 : 0;
+  }
+  c.packed = columnMasks(c.mask, n, k);
+  return c;
+}
+
+/// All six dispatched kernels run under one Exec. The spmv pair uses
+/// column 0 of X (or zeros when k == 0 — the empty tile still exercises
+/// resize-and-return).
+struct KernelOutputs {
+  std::vector<double> v, vl, m, ml, mm, mlm;
+};
+
+KernelOutputs runAllKernels(const SpmmCase& c, const la::Exec& exec) {
+  const std::uint32_t n = c.m.csr.numRows();
+  std::vector<double> x(n, 0.0);
+  if (c.k > 0) {
+    for (std::uint32_t s = 0; s < n; ++s) x[s] = c.X[s * c.k];
+  }
+  KernelOutputs o;
+  la::spmv(c.m.csr, x, o.v, exec);
+  la::spmvLeft(c.m.csr, x, o.vl, exec);
+  la::spmm(c.m.csr, c.X, c.k, o.m, exec);
+  la::spmmLeft(c.m.csr, c.X, c.k, o.ml, exec);
+  la::spmmMasked(c.m.csr, c.X, c.k, c.packed, o.mm, exec);
+  la::spmmLeftMasked(c.m.csr, c.X, c.k, c.packed, o.mlm, exec);
+  return o;
+}
+
+void expectAllBitEqual(const KernelOutputs& got, const KernelOutputs& want,
+                       const std::string& label) {
+  EXPECT_TRUE(bitEqual(got.v, want.v)) << label << " spmv";
+  EXPECT_TRUE(bitEqual(got.vl, want.vl)) << label << " spmvLeft";
+  EXPECT_TRUE(bitEqual(got.m, want.m)) << label << " spmm";
+  EXPECT_TRUE(bitEqual(got.ml, want.ml)) << label << " spmmLeft";
+  EXPECT_TRUE(bitEqual(got.mm, want.mm)) << label << " spmmMasked";
+  EXPECT_TRUE(bitEqual(got.mlm, want.mlm)) << label << " spmmLeftMasked";
+}
+
+TEST(Simd, TailSizesBitwiseMatchScalarAndDenseOracle) {
+  // n and k sweep 1 / lane-1 / lane / lane+1 per supported target (k == 0
+  // is covered by SpmmStats below; n == 0 by EmptyTile). Remainder columns
+  // take the scalar-tail path inside the panel kernel, so lane-straddling
+  // sizes are exactly where a bad tail would show.
+  la::Exec scalarExec;
+  scalarExec.simd = la::SimdTarget::kScalar;
+  for (const la::SimdTarget target : supportedTargets()) {
+    const std::size_t lanes = la::simdLanes(target);
+    std::vector<std::size_t> sizes{1, 2, 3};
+    if (lanes > 1) {
+      sizes = {1, lanes - 1, lanes, lanes + 1, 2 * lanes + 1};
+    }
+    la::Exec exec;
+    exec.simd = target;
+    for (const std::size_t k : sizes) {
+      for (const std::size_t n : sizes) {
+        const SpmmCase c = makeSpmmCase(static_cast<std::uint32_t>(n), k,
+                                        1000 * n + k);
+        const std::string label = std::string(la::simdTargetName(target)) +
+                                  " n=" + std::to_string(n) +
+                                  " k=" + std::to_string(k);
+        expectAllBitEqual(runAllKernels(c, exec),
+                          runAllKernels(c, scalarExec), label);
+        // The vectorized spmm also has to be *right*, not merely
+        // self-consistent: check against the dense oracle.
+        std::vector<double> Y;
+        la::spmm(c.m.csr, c.X, k, Y, exec);
+        for (std::size_t r = 0; r < n; ++r) {
+          for (std::size_t j = 0; j < k; ++j) {
+            double expect = 0.0;
+            for (std::size_t col = 0; col < n; ++col) {
+              expect += c.m.dense[r][col] * c.X[col * k + j];
+            }
+            EXPECT_NEAR(Y[r * k + j], expect, 1e-12) << label;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Simd, EmptyTileAndEmptyMatrixAreValid) {
+  const SpmmCase c = makeSpmmCase(50, 3, 7);
+  std::vector<double> Y(5, 1.0);
+  la::SpmmStats stats;
+  la::spmm(c.m.csr, {}, 0, Y, la::Exec{}, &stats);
+  EXPECT_TRUE(Y.empty());
+  EXPECT_EQ(stats.panels, 0u);
+  EXPECT_EQ(stats.columnTasks, 0u);
+  // A 0 x 0 matrix with a non-zero column count is the other degenerate
+  // axis: the product is an empty tile whatever k says.
+  const la::CsrMatrix empty = la::CsrMatrix::fromCsr({0}, {}, {}, 0);
+  std::vector<double> Ze(3, 1.0);
+  la::spmm(empty, {}, 4, Ze, la::Exec{}, &stats);
+  EXPECT_TRUE(Ze.empty());
+}
+
+TEST(Simd, ForcedDispatchBitIdenticalAcrossTargetsAndThreads) {
+  // Large enough for several row blocks and column panels; odd k so every
+  // target sees remainder columns. The scalar sequential output is the
+  // one reference every (target, thread-count) combination must hit.
+  SpmmCase c = makeSpmmCase(6000, 11, 811);
+  c.m.dense.clear();  // unused here; keep the fixture light
+  ASSERT_GE(c.m.csr.blockCount(), 2u);
+  la::Exec scalarExec;
+  scalarExec.simd = la::SimdTarget::kScalar;
+  const KernelOutputs ref = runAllKernels(c, scalarExec);
+  for (const la::SimdTarget target : supportedTargets()) {
+    la::Exec exec;
+    exec.simd = target;
+    expectAllBitEqual(runAllKernels(c, exec), ref,
+                      std::string(la::simdTargetName(target)) + " seq");
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+      engine::ThreadPool pool(threads);
+      la::Exec pexec = poolExec(pool);
+      pexec.simd = target;
+      expectAllBitEqual(runAllKernels(c, pexec), ref,
+                        std::string(la::simdTargetName(target)) + " x" +
+                            std::to_string(threads));
+    }
+  }
+}
+
+TEST(Simd, OddPanelWidthsExerciseUnalignedColumnOffsets) {
+  // Odd row stride (k = 13) and odd forced panel widths put every vector
+  // load/store at unaligned byte offsets and start panels mid-vector;
+  // loadu/storeu kernels must not care, bitwise.
+  const SpmmCase c = makeSpmmCase(257, 13, 977);
+  la::Exec scalarExec;
+  scalarExec.simd = la::SimdTarget::kScalar;
+  std::vector<double> ref;
+  la::spmmMasked(c.m.csr, c.X, c.k, c.packed, ref, scalarExec);
+  for (const la::SimdTarget target : supportedTargets()) {
+    for (const std::size_t panelColumns : {1u, 3u, 5u, 7u, 16u}) {
+      la::Exec exec;
+      exec.simd = target;
+      exec.spmmPanelColumns = panelColumns;
+      std::vector<double> Y;
+      la::SpmmStats stats;
+      la::spmmMasked(c.m.csr, c.X, c.k, c.packed, Y, exec, &stats);
+      EXPECT_TRUE(bitEqual(Y, ref))
+          << la::simdTargetName(target) << " panel=" << panelColumns;
+      EXPECT_EQ(stats.panels, (c.k + panelColumns - 1) / panelColumns);
+    }
+  }
+}
+
+TEST(Simd, SpmmStatsReportPanelsTasksAndTarget) {
+  // 1000-row RHS: 8 KiB per column, far inside the 256 KiB budget, so
+  // panels stay 16 wide -> ceil(40 / 16) = 3 per product.
+  const SpmmCase c = makeSpmmCase(1000, 40, 313);
+  la::SpmmStats stats;
+  std::vector<double> Y;
+  la::spmm(c.m.csr, c.X, c.k, Y, la::Exec{}, &stats);
+  EXPECT_EQ(stats.panels, 3u);
+  EXPECT_EQ(stats.columnTasks, 0u);  // sequential: no task fan-out
+  EXPECT_EQ(stats.target, la::resolveSimdTarget(std::nullopt));
+
+  // Parallel: the task grid is row blocks x column panels.
+  engine::ThreadPool pool(2);
+  la::Exec exec = poolExec(pool);
+  exec.simd = la::SimdTarget::kScalar;
+  la::spmm(c.m.csr, c.X, c.k, Y, exec, &stats);
+  EXPECT_EQ(stats.panels, 3u);
+  EXPECT_EQ(stats.columnTasks, c.m.csr.blockCount() * 3u);
+  EXPECT_EQ(stats.target, la::SimdTarget::kScalar);
+
+  // The k == 1 fast path counts as one panel.
+  const SpmmCase single = makeSpmmCase(200, 1, 5);
+  la::spmmMasked(single.m.csr, single.X, 1, single.packed, Y, la::Exec{},
+                 &stats);
+  EXPECT_EQ(stats.panels, 1u);
+}
+
+TEST(Simd, DispatchAndPanelCountersTick) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  const obs::MetricsSnapshot before = registry.snapshot();
+  const SpmmCase c = makeSpmmCase(200, 20, 99);
+  std::vector<double> Y;
+  la::spmm(c.m.csr, c.X, c.k, Y);
+  const obs::MetricsSnapshot after = registry.snapshot();
+  EXPECT_GT(after.counterValue("la.simd.dispatch"),
+            before.counterValue("la.simd.dispatch"));
+  // k = 20 over 16-wide panels is 2 panels for this product.
+  EXPECT_GE(after.counterValue("la.spmm.panels"),
+            before.counterValue("la.spmm.panels") + 2);
+  const std::string byTarget =
+      std::string("la.simd.dispatch.") +
+      la::simdTargetName(la::resolveSimdTarget(std::nullopt));
+  EXPECT_GT(after.counterValue(byTarget), 0u);
+}
+
+TEST(Engine, PlanStatsCarrySimdTargetAndPanels) {
+  // EngineOptions::simd flows into the checker's Exec; the bounded group
+  // reports its panel traversals and the resolved target name.
+  const auto model = test::randomModel(300, 5, 41);
+  engine::EngineOptions options;
+  options.simd = la::SimdTarget::kScalar;
+  engine::AnalysisEngine engine(options);
+  engine::AnalysisRequest request;
+  request.model = &model;
+  request.properties = {"P=? [ F<=20 target ]"};
+  const engine::AnalysisResponse response = engine.analyze(request);
+  ASSERT_TRUE(response.ok()) << response.error;
+  EXPECT_EQ(response.plan.simdTarget, "scalar");
+  EXPECT_GE(response.plan.spmmPanels, 1u);
 }
 
 }  // namespace

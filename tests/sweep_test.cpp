@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <stdexcept>
@@ -575,8 +577,10 @@ TEST(ResultTable, DiagnosticsIncludeSolverColumns) {
   sweep::ExportOptions diagnostics;
   diagnostics.diagnostics = true;
   const std::string csv = table.toCsv(diagnostics);
-  EXPECT_NE(csv.find(",solver,solver_iterations,solver_residual,"
-                     "solver_converged"),
+  // Diagnostic columns are emitted sorted by name (stable header as
+  // counters are added), so the solver group sits in alphabetical order.
+  EXPECT_NE(csv.find(",simd,solver,solver_converged,solver_iterations,"
+                     "solver_residual,spmm_panels,"),
             std::string::npos);
   EXPECT_NE(csv.find(",gauss-seidel,"), std::string::npos);
 
@@ -586,6 +590,39 @@ TEST(ResultTable, DiagnosticsIncludeSolverColumns) {
   EXPECT_NE(json.find("\"converged\":true"), std::string::npos);
   // The transient row carries no solver report.
   EXPECT_NE(json.find("\"solver\":null"), std::string::npos);
+  // SIMD/panel counters ride the same diagnostics opt-in.
+  EXPECT_NE(json.find("\"simd\":\""), std::string::npos);
+  EXPECT_NE(json.find("\"spmmPanels\":"), std::string::npos);
+  EXPECT_EQ(plain.find("spmm_panels"), std::string::npos);
+}
+
+TEST(ResultTable, DiagnosticColumnsSortedByName) {
+  std::vector<sweep::ResultRow> rows(1);
+  rows[0].params = {sweep::ParamValue{std::int64_t{1}}};
+  rows[0].property = "R=? [ I=3 ]";
+  rows[0].value = 1.0;
+  const sweep::ResultTable table("sorted", {"T"}, std::move(rows));
+  sweep::ExportOptions diagnostics;
+  diagnostics.diagnostics = true;
+  const std::string csv = table.toCsv(diagnostics);
+  const std::string header = csv.substr(0, csv.find('\n'));
+  // Everything after the fixed "error" column is the diagnostic block.
+  const std::size_t start = header.find(",error,");
+  ASSERT_NE(start, std::string::npos);
+  std::vector<std::string> columns;
+  std::string rest = header.substr(start + 7);
+  for (std::size_t pos = 0; pos != std::string::npos;) {
+    const std::size_t comma = rest.find(',', pos);
+    columns.push_back(rest.substr(pos, comma - pos));
+    pos = comma == std::string::npos ? comma : comma + 1;
+  }
+  ASSERT_GE(columns.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(columns.begin(), columns.end()))
+      << header;
+  EXPECT_NE(std::find(columns.begin(), columns.end(), "simd"),
+            columns.end());
+  EXPECT_NE(std::find(columns.begin(), columns.end(), "spmm_panels"),
+            columns.end());
 }
 
 }  // namespace

@@ -46,6 +46,15 @@ scalar reference at any thread count) and its byte-stable exports:
                        of the determinism boundary and can never feed
                        exported values or ordering. tests/ and bench/ keep
                        raw timing freely.
+  simd-intrinsics      Raw vector intrinsics / vendor intrinsic headers
+                       (<immintrin.h>, <arm_neon.h>, _mm*/__m*/v*q_f64)
+                       outside src/la/. Vector code lives behind the la::
+                       SIMD dispatch layer (src/la/simd*.cpp): per-target
+                       kernels built with per-TU ISA flags, cpuid-gated at
+                       runtime, forceable via la::Exec::simd/MIMOSTAT_SIMD
+                       and asserted bitwise against the scalar reference.
+                       Intrinsics elsewhere dodge all of that — and a stray
+                       FMA would silently change rounding.
   reduction-boundary   Quotient block-map access (`blockOf`, indexing the
                        representative table) in src/ outside src/reduce/ +
                        src/lump/ + src/mc/. The bisimulation quotient's
@@ -494,6 +503,53 @@ def check_reduction_boundary(path: str, lines: list[str]) -> list[Violation]:
     return out
 
 
+def check_simd_intrinsics(path: str, lines: list[str]) -> list[Violation]:
+    """Flag raw SIMD intrinsics / vendor intrinsic headers outside src/la/.
+
+    The dispatch layer (src/la/simd*.{hpp,cpp}) is the only sanctioned home
+    for vector intrinsics: kernels there are instantiated per target with
+    per-TU ISA flags, runtime cpuid gating and bitwise assertions against
+    the scalar reference. Intrinsics anywhere else — src/, tests/ and
+    bench/ alike — bypass dispatch (so MIMOSTAT_SIMD / Exec::simd forcing
+    lies) and the bit-identity tests; tests force paths through
+    la::Exec::simd instead of hand-rolling vectors.
+    """
+    posix = _posix(path)
+    if re.search(r"(^|/)src/la/", posix):
+        return []
+    include_re = re.compile(
+        r"#\s*include\s*<(?:[a-z0-9]*mmintrin|x86intrin|x86gprintrin|"
+        r"arm_neon|arm_sve|arm_acle)\.h>"
+    )
+    intrinsic_re = re.compile(
+        r"\b_mm\d*_\w+\s*\(|\b__m(?:64|128|256|512)[di]?\b"
+        r"|\bfloat(?:16|32|64)x\d+(?:x\d+)?_t\b"
+        r"|\bv(?:ld[1-4]|st[1-4]|dup|mov|mul|add|sub|fma|mla|mls|abs|neg|"
+        r"max|min|get|set|combine|ext|zip|uzp|trn|rev|cvt|reinterpret)"
+        r"[a-z0-9_]*_[fsup](?:8|16|32|64)\b"
+    )
+    out = []
+    for idx, line in enumerate(lines):
+        stripped = _strip_comments_and_strings(line)
+        if (include_re.search(stripped) or intrinsic_re.search(stripped)) \
+                and not _allowed(lines, idx, "simd-intrinsics"):
+            out.append(
+                Violation(
+                    path,
+                    idx + 1,
+                    "simd-intrinsics",
+                    "raw SIMD intrinsics outside src/la/ — vector code "
+                    "belongs behind the la:: dispatch layer "
+                    "(src/la/simd*.cpp: per-target ISA flags, cpuid gating, "
+                    "bitwise tests vs the scalar reference); force a path "
+                    "with la::Exec::simd / MIMOSTAT_SIMD instead, or add "
+                    "lint:allow(simd-intrinsics: <why dispatch cannot "
+                    "serve this>)",
+                )
+            )
+    return out
+
+
 RULES = {
     "unordered-iteration": check_unordered_iteration,
     "raw-rng": check_raw_rng,
@@ -503,6 +559,7 @@ RULES = {
     "guarded-by": check_guarded_by,
     "raw-wallclock": check_raw_wallclock,
     "reduction-boundary": check_reduction_boundary,
+    "simd-intrinsics": check_simd_intrinsics,
 }
 
 

@@ -437,11 +437,75 @@ class EngineTest(unittest.TestCase):
     def test_list_rules_names_every_rule(self):
         expected = {"unordered-iteration", "raw-rng", "raw-thread",
                     "atomic-float", "byte-truth-mask", "guarded-by",
-                    "raw-wallclock", "reduction-boundary"}
+                    "raw-wallclock", "reduction-boundary",
+                    "simd-intrinsics"}
         self.assertEqual(set(check_invariants.RULES), expected)
 
     def test_clean_source_exits_zero_via_main(self):
         self.assertEqual(check_invariants.main(["--list-rules"]), 0)
+
+
+class SimdIntrinsicsTest(unittest.TestCase):
+    def test_immintrin_include_flagged_outside_la(self):
+        src = """\
+        #include <immintrin.h>
+        """
+        self.assertEqual(run(src, "src/mc/fast.cpp"),
+                         [(1, "simd-intrinsics")])
+
+    def test_arm_neon_include_flagged_in_tests(self):
+        # tests/ and bench/ are banned too: they must force paths through
+        # la::Exec::simd, not hand-roll vectors outside the dispatch layer.
+        src = """\
+        #include <arm_neon.h>
+        """
+        self.assertEqual(run(src, "tests/fast_test.cpp"),
+                         [(1, "simd-intrinsics")])
+
+    def test_avx_intrinsic_call_and_vector_type_flagged(self):
+        src = """\
+        void f(const double* p) {
+          __m256d acc = _mm256_setzero_pd();
+          acc = _mm256_add_pd(acc, _mm256_loadu_pd(p));
+        }
+        """
+        self.assertEqual(rules(src, "bench/fast.cpp"), ["simd-intrinsics"])
+
+    def test_neon_intrinsic_call_flagged(self):
+        src = """\
+        float64x2_t v = vld1q_f64(p);
+        v = vfmaq_f64(v, v, v);
+        """
+        self.assertEqual(run(src, "src/engine/hot.cpp"),
+                         [(1, "simd-intrinsics"), (2, "simd-intrinsics")])
+
+    def test_src_la_is_exempt(self):
+        src = """\
+        #include <immintrin.h>
+        __m256d acc = _mm256_setzero_pd();
+        """
+        self.assertEqual(run(src, "src/la/simd_avx2.cpp"), [])
+
+    def test_allow_comment_suppresses(self):
+        src = """\
+        // lint:allow(simd-intrinsics: ffi shim mirrors the vendor ABI)
+        __m128d raw = _mm_setzero_pd();
+        """
+        self.assertEqual(run(src, "src/util/ffi.cpp"), [])
+
+    def test_mention_in_comment_or_string_is_clean(self):
+        src = """\
+        // dispatch picks _mm256_mul_pd inside src/la, never here
+        const char* doc = "see _mm_add_pd and <immintrin.h>";
+        """
+        self.assertEqual(run(src, "src/obs/doc.cpp"), [])
+
+    def test_plain_identifiers_do_not_false_positive(self):
+        src = """\
+        double vadd_total = values_f64 + vset_count;
+        int m256 = mm_width(3);
+        """
+        self.assertEqual(run(src, "src/mc/clean.cpp"), [])
 
 
 if __name__ == "__main__":
